@@ -1,0 +1,100 @@
+//! Error type for the auction mechanism.
+
+use std::fmt;
+
+/// Error returned by the auction mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuctionError {
+    /// A quality vector had the wrong number of dimensions.
+    DimensionMismatch {
+        /// Dimensions expected by the scoring/cost function.
+        expected: usize,
+        /// Dimensions actually supplied.
+        actual: usize,
+    },
+    /// A scoring/cost parameter was invalid (negative weight, empty coefficient list, …).
+    InvalidParameter(String),
+    /// The private cost parameter θ lies outside the distribution support `[θ̲, θ̄]`.
+    ThetaOutOfSupport {
+        /// Offending θ.
+        theta: f64,
+        /// Lower support bound.
+        lo: f64,
+        /// Upper support bound.
+        hi: f64,
+    },
+    /// The auction was configured with an invalid population / winner count.
+    InvalidGame {
+        /// Total number of nodes `N`.
+        n: usize,
+        /// Number of winners `K`.
+        k: usize,
+    },
+    /// No bids were submitted to an auction round.
+    NoBids,
+    /// A numerical routine failed while computing the equilibrium.
+    Numerics(fmore_numerics::NumericsError),
+}
+
+impl fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuctionError::DimensionMismatch { expected, actual } => {
+                write!(f, "quality vector has {actual} dimensions, expected {expected}")
+            }
+            AuctionError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AuctionError::ThetaOutOfSupport { theta, lo, hi } => {
+                write!(f, "theta {theta} outside of support [{lo}, {hi}]")
+            }
+            AuctionError::InvalidGame { n, k } => {
+                write!(f, "invalid auction game with N = {n} nodes and K = {k} winners")
+            }
+            AuctionError::NoBids => write!(f, "no bids were submitted"),
+            AuctionError::Numerics(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuctionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuctionError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fmore_numerics::NumericsError> for AuctionError {
+    fn from(e: fmore_numerics::NumericsError) -> Self {
+        AuctionError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_failure() {
+        let e = AuctionError::DimensionMismatch { expected: 2, actual: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let e = AuctionError::InvalidGame { n: 5, k: 9 };
+        assert!(e.to_string().contains("K = 9"));
+        let e = AuctionError::NoBids;
+        assert!(e.to_string().contains("no bids"));
+    }
+
+    #[test]
+    fn numerics_errors_convert_and_chain() {
+        let inner = fmore_numerics::NumericsError::EmptyInput("grid");
+        let e: AuctionError = inner.clone().into();
+        assert_eq!(e, AuctionError::Numerics(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AuctionError>();
+    }
+}

@@ -1,0 +1,350 @@
+//! The auction round run by the aggregator: bid collection → winner determination → payment.
+//!
+//! [`Auction`] bundles the broadcast scoring rule, the number of winners `K`, the selection
+//! rule (FMore or ψ-FMore), and the pricing rule. [`Auction::run`] consumes the sealed bids
+//! of one federated-learning round and produces an [`AuctionOutcome`] with the ranked bids,
+//! the winner awards, and the aggregator's realised profit.
+
+use crate::error::AuctionError;
+use crate::pricing::PricingRule;
+use crate::scoring::{ScoringFunction, ScoringRule};
+use crate::types::{NodeId, Quality, ScoredBid};
+use crate::winner::SelectionRule;
+use fmore_numerics::rng::shuffle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sealed bid `(q, p)` submitted by an edge node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmittedBid {
+    /// The bidding node.
+    pub node: NodeId,
+    /// Declared resource qualities.
+    pub quality: Quality,
+    /// Expected payment `p`.
+    pub ask: f64,
+}
+
+impl SubmittedBid {
+    /// Creates a sealed bid.
+    pub fn new(node: NodeId, quality: Quality, ask: f64) -> Self {
+        Self { node, quality, ask }
+    }
+}
+
+/// The award granted to one auction winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Award {
+    /// The winning node.
+    pub node: NodeId,
+    /// The quality it committed to provide.
+    pub quality: Quality,
+    /// Its score `S(q, p)` under the broadcast rule.
+    pub score: f64,
+    /// The payment it will receive after completing local training.
+    pub payment: f64,
+}
+
+/// The result of one auction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionOutcome {
+    /// All bids, scored and sorted in descending score order.
+    pub ranked: Vec<ScoredBid>,
+    /// Awards for the selected winners, in selection order.
+    pub winners: Vec<Award>,
+}
+
+impl AuctionOutcome {
+    /// Node ids of the winners, in selection order.
+    pub fn winner_ids(&self) -> Vec<NodeId> {
+        self.winners.iter().map(|w| w.node).collect()
+    }
+
+    /// Total payment promised to the winners.
+    pub fn total_payment(&self) -> f64 {
+        self.winners.iter().map(|w| w.payment).sum()
+    }
+
+    /// Aggregator profit `V = Σ_{i ∈ W} (U(q_i) − p_i)` under utility `U` (Eq. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] if `utility` expects a different number of
+    /// resource dimensions than the winning bids carry.
+    pub fn aggregator_profit<U: ScoringFunction>(&self, utility: &U) -> Result<f64, AuctionError> {
+        let mut total = 0.0;
+        for w in &self.winners {
+            total += utility.evaluate(w.quality.as_slice())? - w.payment;
+        }
+        Ok(total)
+    }
+
+    /// Mean score of the winners (reported in Figs. 9b and 10b of the paper).
+    pub fn mean_winner_score(&self) -> f64 {
+        if self.winners.is_empty() {
+            return 0.0;
+        }
+        self.winners.iter().map(|w| w.score).sum::<f64>() / self.winners.len() as f64
+    }
+
+    /// Mean payment of the winners (reported in Figs. 9b and 10b of the paper).
+    pub fn mean_winner_payment(&self) -> f64 {
+        if self.winners.is_empty() {
+            return 0.0;
+        }
+        self.total_payment() / self.winners.len() as f64
+    }
+}
+
+/// One multi-dimensional procurement auction with `K` winners.
+#[derive(Debug, Clone)]
+pub struct Auction {
+    scoring: ScoringRule,
+    k: usize,
+    selection: SelectionRule,
+    pricing: PricingRule,
+}
+
+impl Auction {
+    /// Creates an auction with the broadcast scoring rule, winner count `K`, selection rule,
+    /// and pricing rule.
+    pub fn new(
+        scoring: ScoringRule,
+        k: usize,
+        selection: SelectionRule,
+        pricing: PricingRule,
+    ) -> Self {
+        Self { scoring, k, selection, pricing }
+    }
+
+    /// The broadcast scoring rule (what the aggregator sends in the bid-ask step).
+    pub fn scoring_rule(&self) -> &ScoringRule {
+        &self.scoring
+    }
+
+    /// The number of winners `K` the aggregator recruits per round.
+    pub fn winners_per_round(&self) -> usize {
+        self.k
+    }
+
+    /// The selection rule in use.
+    pub fn selection_rule(&self) -> SelectionRule {
+        self.selection
+    }
+
+    /// The pricing rule in use.
+    pub fn pricing_rule(&self) -> PricingRule {
+        self.pricing
+    }
+
+    /// Runs one auction round over the submitted sealed bids.
+    ///
+    /// Bids with invalid quality vectors (negative or non-finite components, wrong dimension)
+    /// are rejected with an error rather than silently dropped, because a malformed bid
+    /// indicates a protocol violation by the submitting node.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuctionError::NoBids`] when `bids` is empty,
+    /// * [`AuctionError::InvalidGame`] when the auction was configured with `K = 0` or an
+    ///   invalid ψ,
+    /// * [`AuctionError::DimensionMismatch`] / [`AuctionError::InvalidParameter`] for
+    ///   malformed bids.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        bids: Vec<SubmittedBid>,
+        rng: &mut R,
+    ) -> Result<AuctionOutcome, AuctionError> {
+        if bids.is_empty() {
+            return Err(AuctionError::NoBids);
+        }
+        if self.k == 0 || !self.selection.is_valid() {
+            return Err(AuctionError::InvalidGame { n: bids.len(), k: self.k });
+        }
+
+        let mut scored = Vec::with_capacity(bids.len());
+        for bid in bids {
+            if !bid.quality.is_valid() {
+                return Err(AuctionError::InvalidParameter(format!(
+                    "bid from {} has an invalid quality vector",
+                    bid.node
+                )));
+            }
+            if !bid.ask.is_finite() || bid.ask < 0.0 {
+                return Err(AuctionError::InvalidParameter(format!(
+                    "bid from {} has an invalid payment ask {}",
+                    bid.node, bid.ask
+                )));
+            }
+            let score = self.scoring.score(&bid.quality, bid.ask)?;
+            scored.push(ScoredBid { node: bid.node, quality: bid.quality, ask: bid.ask, score });
+        }
+
+        // Ties are resolved by the flip of a coin (Section V-A): shuffle before the stable
+        // sort so equal scores end up in random relative order.
+        shuffle(&mut scored, rng);
+        scored.sort_by(ScoredBid::by_descending_score);
+
+        let winner_indices = self.selection.select(&scored, self.k, rng);
+        let best_losing_score = scored
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !winner_indices.contains(i))
+            .map(|(_, b)| b.score)
+            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))));
+
+        let winners = winner_indices
+            .iter()
+            .map(|&idx| {
+                let payment = self.pricing.payment(&self.scoring, &scored, idx, best_losing_score);
+                let b = &scored[idx];
+                Award { node: b.node, quality: b.quality.clone(), score: b.score, payment }
+            })
+            .collect();
+
+        Ok(AuctionOutcome { ranked: scored, winners })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{Additive, CobbDouglas};
+    use fmore_numerics::seeded_rng;
+
+    fn simple_auction(k: usize) -> Auction {
+        Auction::new(
+            ScoringRule::new(Additive::new(vec![1.0]).unwrap()),
+            k,
+            SelectionRule::TopK,
+            PricingRule::FirstPrice,
+        )
+    }
+
+    fn bid(node: u64, q: f64, ask: f64) -> SubmittedBid {
+        SubmittedBid::new(NodeId(node), Quality::new(vec![q]), ask)
+    }
+
+    #[test]
+    fn selects_top_k_by_score() {
+        let auction = simple_auction(2);
+        let mut rng = seeded_rng(1);
+        let outcome = auction
+            .run(vec![bid(0, 1.0, 0.5), bid(1, 1.0, 0.1), bid(2, 0.9, 0.2), bid(3, 0.2, 0.0)], &mut rng)
+            .unwrap();
+        assert_eq!(outcome.winner_ids(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(outcome.ranked.len(), 4);
+        assert!((outcome.total_payment() - 0.3).abs() < 1e-12);
+        assert!((outcome.mean_winner_payment() - 0.15).abs() < 1e-12);
+        assert!(outcome.mean_winner_score() > 0.0);
+    }
+
+    #[test]
+    fn aggregator_profit_uses_utility_minus_payment() {
+        let auction = simple_auction(2);
+        let mut rng = seeded_rng(2);
+        let outcome =
+            auction.run(vec![bid(0, 1.0, 0.1), bid(1, 0.8, 0.2), bid(2, 0.5, 0.1)], &mut rng).unwrap();
+        let utility = Additive::new(vec![1.0]).unwrap();
+        let profit = outcome.aggregator_profit(&utility).unwrap();
+        // Winners: node 0 (1.0 - 0.1) and node 1 (0.8 - 0.2) => profit 1.5.
+        assert!((profit - 1.5).abs() < 1e-12);
+        // Wrong-dimension utility is rejected.
+        let bad = Additive::new(vec![1.0, 1.0]).unwrap();
+        assert!(outcome.aggregator_profit(&bad).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_population_awards_everyone() {
+        let auction = simple_auction(10);
+        let mut rng = seeded_rng(3);
+        let outcome = auction.run(vec![bid(0, 1.0, 0.1), bid(1, 0.5, 0.1)], &mut rng).unwrap();
+        assert_eq!(outcome.winners.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_input() {
+        let auction = simple_auction(2);
+        let mut rng = seeded_rng(4);
+        assert_eq!(auction.run(vec![], &mut rng).unwrap_err(), AuctionError::NoBids);
+
+        let bad_quality = SubmittedBid::new(NodeId(0), Quality::new(vec![-1.0]), 0.1);
+        assert!(matches!(
+            auction.run(vec![bad_quality], &mut rng).unwrap_err(),
+            AuctionError::InvalidParameter(_)
+        ));
+
+        let bad_ask = SubmittedBid::new(NodeId(0), Quality::new(vec![1.0]), f64::NAN);
+        assert!(auction.run(vec![bad_ask], &mut rng).is_err());
+
+        let wrong_dims = SubmittedBid::new(NodeId(0), Quality::new(vec![1.0, 2.0]), 0.1);
+        assert!(matches!(
+            auction.run(vec![wrong_dims], &mut rng).unwrap_err(),
+            AuctionError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let zero_k = simple_auction(0);
+        let mut rng = seeded_rng(5);
+        assert!(matches!(
+            zero_k.run(vec![bid(0, 1.0, 0.1)], &mut rng).unwrap_err(),
+            AuctionError::InvalidGame { .. }
+        ));
+        let bad_psi = Auction::new(
+            ScoringRule::new(Additive::new(vec![1.0]).unwrap()),
+            1,
+            SelectionRule::PsiFMore { psi: 0.0 },
+            PricingRule::FirstPrice,
+        );
+        assert!(bad_psi.run(vec![bid(0, 1.0, 0.1)], &mut rng).is_err());
+    }
+
+    #[test]
+    fn tie_break_is_random_but_deterministic_per_seed() {
+        // Two identical bids: with different seeds the winner may differ, but the same seed
+        // always yields the same outcome.
+        let auction = simple_auction(1);
+        let bids = vec![bid(0, 1.0, 0.2), bid(1, 1.0, 0.2)];
+        let w1 = auction.run(bids.clone(), &mut seeded_rng(7)).unwrap().winner_ids();
+        let w2 = auction.run(bids.clone(), &mut seeded_rng(7)).unwrap().winner_ids();
+        assert_eq!(w1, w2);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let w = auction.run(bids.clone(), &mut seeded_rng(seed)).unwrap().winner_ids();
+            seen.insert(w[0]);
+        }
+        assert_eq!(seen.len(), 2, "both tied nodes should win under some seed");
+    }
+
+    #[test]
+    fn second_price_auction_pays_at_least_the_ask() {
+        let auction = Auction::new(
+            ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap()),
+            2,
+            SelectionRule::TopK,
+            PricingRule::SecondPrice,
+        );
+        let mut rng = seeded_rng(8);
+        let bids = vec![
+            SubmittedBid::new(NodeId(0), Quality::new(vec![0.9, 0.9]), 3.0),
+            SubmittedBid::new(NodeId(1), Quality::new(vec![0.8, 0.7]), 2.5),
+            SubmittedBid::new(NodeId(2), Quality::new(vec![0.4, 0.5]), 1.0),
+        ];
+        let outcome = auction.run(bids, &mut rng).unwrap();
+        for w in &outcome.winners {
+            let ask = outcome.ranked.iter().find(|b| b.node == w.node).unwrap().ask;
+            assert!(w.payment >= ask - 1e-12);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let auction = simple_auction(7);
+        assert_eq!(auction.winners_per_round(), 7);
+        assert_eq!(auction.selection_rule(), SelectionRule::TopK);
+        assert_eq!(auction.pricing_rule(), PricingRule::FirstPrice);
+        assert_eq!(auction.scoring_rule().dims(), 1);
+    }
+}

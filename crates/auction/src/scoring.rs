@@ -1,0 +1,451 @@
+//! Scoring functions `s(q)` and the quasi-linear scoring rule `S(q, p) = s(q) − p`.
+//!
+//! Section III-A of the paper lists three classic utility/scoring families the aggregator may
+//! broadcast:
+//!
+//! * **perfect substitution** (additive): `s(q) = α1 q1 + … + αm qm`,
+//! * **perfect complementary**: `s(q) = min{α1 q1, …, αm qm}`,
+//! * **general Cobb–Douglas**: `s(q) = q1^α1 · … · qm^αm` (optionally scaled).
+//!
+//! The simulator of Section V uses the scaled product `s(q1, q2) = 25·q1·q2` (Cobb–Douglas
+//! with unit exponents) and the cluster deployment uses the additive form with weights
+//! `(0.4, 0.3, 0.3)`. The walk-through example additionally normalises each resource by
+//! min–max before scoring, which [`NormalizedScoring`] models.
+
+use crate::error::AuctionError;
+use crate::types::Quality;
+use fmore_numerics::normalize::MinMaxNormalizer;
+use std::sync::Arc;
+
+/// A scoring (equivalently, aggregator utility) function `s(q1, …, qm)`.
+///
+/// Implementations must be non-decreasing in every resource dimension, matching the paper's
+/// assumption `U'(·) ≥ 0`.
+pub trait ScoringFunction: Send + Sync {
+    /// Number of resource dimensions `m` the function expects.
+    fn dims(&self) -> usize;
+
+    /// Evaluates `s(q)`.
+    ///
+    /// Implementations may assume `q.len() == self.dims()`; [`ScoringFunction::evaluate`]
+    /// performs the dimension check.
+    fn value(&self, q: &[f64]) -> f64;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "scoring"
+    }
+
+    /// Evaluates `s(q)` after validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong number of dimensions.
+    fn evaluate(&self, q: &[f64]) -> Result<f64, AuctionError> {
+        if q.len() != self.dims() {
+            return Err(AuctionError::DimensionMismatch { expected: self.dims(), actual: q.len() });
+        }
+        Ok(self.value(q))
+    }
+}
+
+fn validate_weights(weights: &[f64]) -> Result<(), AuctionError> {
+    if weights.is_empty() {
+        return Err(AuctionError::InvalidParameter("weights must not be empty".into()));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(AuctionError::InvalidParameter(
+            "weights must be finite and non-negative".into(),
+        ));
+    }
+    if weights.iter().all(|w| *w == 0.0) {
+        return Err(AuctionError::InvalidParameter("at least one weight must be positive".into()));
+    }
+    Ok(())
+}
+
+/// Perfect-substitution (additive) scoring: `s(q) = Σ αi qi`.
+///
+/// The paper recommends this form for substitutable resources such as GPU and CPU; the
+/// 32-node cluster experiment uses it with weights `(0.4, 0.3, 0.3)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Additive {
+    weights: Vec<f64>,
+}
+
+impl Additive {
+    /// Creates an additive scoring function with the given per-resource weights `αi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidParameter`] if `weights` is empty, contains a negative
+    /// or non-finite value, or is identically zero.
+    pub fn new(weights: Vec<f64>) -> Result<Self, AuctionError> {
+        validate_weights(&weights)?;
+        Ok(Self { weights })
+    }
+
+    /// The per-resource weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoringFunction for Additive {
+    fn dims(&self) -> usize {
+        self.weights.len()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        self.weights.iter().zip(q).map(|(w, x)| w * x).sum()
+    }
+    fn name(&self) -> &'static str {
+        "additive"
+    }
+}
+
+/// Perfect-complementary scoring: `s(q) = min{αi qi}`.
+///
+/// The paper recommends this form when all resources are needed simultaneously, e.g.
+/// bandwidth and computing power; the walk-through example of Fig. 3 uses it with weights
+/// `(0.5, 0.5)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfectComplementary {
+    weights: Vec<f64>,
+}
+
+impl PerfectComplementary {
+    /// Creates a perfect-complementary scoring function with the given weights `αi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidParameter`] for empty, negative, non-finite, or
+    /// all-zero weights.
+    pub fn new(weights: Vec<f64>) -> Result<Self, AuctionError> {
+        validate_weights(&weights)?;
+        Ok(Self { weights })
+    }
+
+    /// The per-resource weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoringFunction for PerfectComplementary {
+    fn dims(&self) -> usize {
+        self.weights.len()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(q)
+            .map(|(w, x)| w * x)
+            .fold(f64::INFINITY, f64::min)
+    }
+    fn name(&self) -> &'static str {
+        "perfect-complementary"
+    }
+}
+
+/// General (scaled) Cobb–Douglas scoring: `s(q) = scale · Π qi^αi`.
+///
+/// With unit exponents and `scale = 25` this is exactly the simulator's scoring function
+/// `s(q1, q2) = 25·q1·q2` from Section V-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CobbDouglas {
+    scale: f64,
+    exponents: Vec<f64>,
+}
+
+impl CobbDouglas {
+    /// Creates a Cobb–Douglas scoring function with unit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidParameter`] for invalid exponents.
+    pub fn new(exponents: Vec<f64>) -> Result<Self, AuctionError> {
+        Self::with_scale(1.0, exponents)
+    }
+
+    /// Creates a Cobb–Douglas scoring function `scale · Π qi^αi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::InvalidParameter`] if `scale` is not positive/finite or the
+    /// exponent vector is invalid.
+    pub fn with_scale(scale: f64, exponents: Vec<f64>) -> Result<Self, AuctionError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(AuctionError::InvalidParameter(format!(
+                "Cobb-Douglas scale must be positive, got {scale}"
+            )));
+        }
+        validate_weights(&exponents)?;
+        Ok(Self { scale, exponents })
+    }
+
+    /// The per-resource exponents `αi`.
+    pub fn exponents(&self) -> &[f64] {
+        &self.exponents
+    }
+
+    /// The multiplicative scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ScoringFunction for CobbDouglas {
+    fn dims(&self) -> usize {
+        self.exponents.len()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        let product: f64 = self
+            .exponents
+            .iter()
+            .zip(q)
+            .map(|(a, x)| x.max(0.0).powf(*a))
+            .product();
+        self.scale * product
+    }
+    fn name(&self) -> &'static str {
+        "cobb-douglas"
+    }
+}
+
+/// Wraps an inner scoring function with per-dimension min–max normalisation, as in the
+/// walk-through example of Section III-B where data size and bandwidth live on very
+/// different scales.
+#[derive(Debug, Clone)]
+pub struct NormalizedScoring<S> {
+    inner: S,
+    normalizers: Vec<MinMaxNormalizer>,
+}
+
+impl<S: ScoringFunction> NormalizedScoring<S> {
+    /// Creates a normalised scoring function.
+    ///
+    /// `ranges[i]` gives the `(min, max)` range used to normalise resource `i` before it is
+    /// passed to the inner function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] if the number of ranges does not match
+    /// the inner function's dimensions.
+    pub fn new(inner: S, ranges: Vec<(f64, f64)>) -> Result<Self, AuctionError> {
+        if ranges.len() != inner.dims() {
+            return Err(AuctionError::DimensionMismatch {
+                expected: inner.dims(),
+                actual: ranges.len(),
+            });
+        }
+        let normalizers = ranges.iter().map(|&(lo, hi)| MinMaxNormalizer::new(lo, hi)).collect();
+        Ok(Self { inner, normalizers })
+    }
+
+    /// Access the wrapped scoring function.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ScoringFunction> ScoringFunction for NormalizedScoring<S> {
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        let normalized: Vec<f64> =
+            q.iter().zip(&self.normalizers).map(|(x, n)| n.normalize(*x)).collect();
+        self.inner.value(&normalized)
+    }
+    fn name(&self) -> &'static str {
+        "normalized"
+    }
+}
+
+// Allow shared scoring functions (Arc) and references to be used wherever a ScoringFunction
+// is expected.
+impl<S: ScoringFunction + ?Sized> ScoringFunction for Arc<S> {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        (**self).value(q)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<S: ScoringFunction + ?Sized> ScoringFunction for &S {
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn value(&self, q: &[f64]) -> f64 {
+        (**self).value(q)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The quasi-linear scoring rule `S(q, p) = s(q) − p` broadcast by the aggregator in the
+/// bid-ask step (Eq. 4 of the paper).
+#[derive(Clone)]
+pub struct ScoringRule {
+    s: Arc<dyn ScoringFunction>,
+}
+
+impl std::fmt::Debug for ScoringRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoringRule")
+            .field("s", &self.s.name())
+            .field("dims", &self.s.dims())
+            .finish()
+    }
+}
+
+impl ScoringRule {
+    /// Wraps a scoring function into the quasi-linear rule `S(q, p) = s(q) − p`.
+    pub fn new<S: ScoringFunction + 'static>(s: S) -> Self {
+        Self { s: Arc::new(s) }
+    }
+
+    /// Number of resource dimensions the rule expects.
+    pub fn dims(&self) -> usize {
+        self.s.dims()
+    }
+
+    /// Evaluates the resource part `s(q)` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong dimensions.
+    pub fn resource_value(&self, q: &Quality) -> Result<f64, AuctionError> {
+        self.s.evaluate(q.as_slice())
+    }
+
+    /// Evaluates the full score `S(q, p) = s(q) − p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong dimensions.
+    pub fn score(&self, q: &Quality, payment_ask: f64) -> Result<f64, AuctionError> {
+        Ok(self.resource_value(q)? - payment_ask)
+    }
+
+    /// Access the underlying scoring function as a trait object.
+    pub fn function(&self) -> &dyn ScoringFunction {
+        self.s.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_scores_linearly() {
+        let s = Additive::new(vec![0.4, 0.3, 0.3]).unwrap();
+        assert_eq!(s.dims(), 3);
+        assert_eq!(s.name(), "additive");
+        assert!((s.value(&[1.0, 2.0, 3.0]) - (0.4 + 0.6 + 0.9)).abs() < 1e-12);
+        assert_eq!(s.weights(), &[0.4, 0.3, 0.3]);
+    }
+
+    #[test]
+    fn invalid_weights_rejected_everywhere() {
+        assert!(Additive::new(vec![]).is_err());
+        assert!(Additive::new(vec![-1.0, 2.0]).is_err());
+        assert!(Additive::new(vec![0.0, 0.0]).is_err());
+        assert!(PerfectComplementary::new(vec![f64::NAN]).is_err());
+        assert!(CobbDouglas::new(vec![]).is_err());
+        assert!(CobbDouglas::with_scale(0.0, vec![1.0]).is_err());
+        assert!(CobbDouglas::with_scale(-3.0, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn perfect_complementary_takes_minimum() {
+        let s = PerfectComplementary::new(vec![0.5, 0.5]).unwrap();
+        assert!((s.value(&[0.75, 0.842]) - 0.375).abs() < 1e-12);
+        assert_eq!(s.name(), "perfect-complementary");
+        assert_eq!(s.weights(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn cobb_douglas_matches_simulator_form() {
+        // s(q1, q2) = 25 q1 q2, the simulator scoring rule.
+        let s = CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap();
+        assert!((s.value(&[0.4, 0.8]) - 8.0).abs() < 1e-12);
+        assert_eq!(s.scale(), 25.0);
+        assert_eq!(s.exponents(), &[1.0, 1.0]);
+        // Negative inputs are clamped to zero rather than producing NaN.
+        assert_eq!(s.value(&[-1.0, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn cobb_douglas_exponents_shape_returns() {
+        let s = CobbDouglas::new(vec![0.5, 0.5]).unwrap();
+        assert!((s.value(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_functions_are_monotone_in_quality() {
+        let functions: Vec<Box<dyn ScoringFunction>> = vec![
+            Box::new(Additive::new(vec![0.3, 0.7]).unwrap()),
+            Box::new(PerfectComplementary::new(vec![0.5, 0.5]).unwrap()),
+            Box::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap()),
+        ];
+        for f in &functions {
+            let base = f.value(&[0.4, 0.6]);
+            assert!(f.value(&[0.5, 0.6]) >= base, "{} not monotone in q1", f.name());
+            assert!(f.value(&[0.4, 0.7]) >= base, "{} not monotone in q2", f.name());
+        }
+    }
+
+    #[test]
+    fn evaluate_validates_dimensions() {
+        let s = Additive::new(vec![1.0, 1.0]).unwrap();
+        assert!(s.evaluate(&[1.0, 2.0]).is_ok());
+        assert_eq!(
+            s.evaluate(&[1.0]).unwrap_err(),
+            AuctionError::DimensionMismatch { expected: 2, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn normalized_scoring_reproduces_walkthrough_score() {
+        // Node A in round 1: (4000, 85 Mb, p = 0.20) with ranges [1000, 5000] and [5, 100].
+        let inner = PerfectComplementary::new(vec![0.5, 0.5]).unwrap();
+        let s = NormalizedScoring::new(inner, vec![(1000.0, 5000.0), (5.0, 100.0)]).unwrap();
+        let rule = ScoringRule::new(s);
+        let score = rule.score(&Quality::new(vec![4000.0, 85.0]), 0.20).unwrap();
+        assert!((score - 0.175).abs() < 1e-3, "expected the paper's 0.175, got {score}");
+    }
+
+    #[test]
+    fn normalized_scoring_checks_range_count() {
+        let inner = Additive::new(vec![1.0, 1.0]).unwrap();
+        assert!(NormalizedScoring::new(inner, vec![(0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn scoring_rule_is_quasi_linear_in_payment() {
+        let rule = ScoringRule::new(Additive::new(vec![1.0]).unwrap());
+        let q = Quality::new(vec![2.0]);
+        let s0 = rule.score(&q, 0.0).unwrap();
+        let s1 = rule.score(&q, 0.7).unwrap();
+        assert!((s0 - s1 - 0.7).abs() < 1e-12);
+        assert_eq!(rule.dims(), 1);
+        assert!(format!("{rule:?}").contains("additive"));
+    }
+
+    #[test]
+    fn arc_and_ref_forwarding() {
+        let arc: Arc<dyn ScoringFunction> = Arc::new(Additive::new(vec![2.0]).unwrap());
+        assert_eq!(arc.dims(), 1);
+        assert_eq!(arc.value(&[3.0]), 6.0);
+        let inner = Additive::new(vec![2.0]).unwrap();
+        let r: &dyn ScoringFunction = &inner;
+        assert_eq!((&r).value(&[3.0]), 6.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Winner determination (step 3 of FMore).
+//!
+//! FMore sorts all scored bids in descending order and selects the top `K`. The ψ-FMore
+//! extension of Section III-C walks the sorted list and admits each node independently with
+//! probability ψ until `K` winners are found (wrapping around the list until the winner set
+//! is filled), which trades selection quality for data diversity. Ties are resolved by a coin
+//! flip, as in the paper's simulator.
+
+use crate::types::ScoredBid;
+use rand::Rng;
+
+/// How the aggregator forms the winner set from the sorted scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionRule {
+    /// Plain FMore: the `K` highest-scoring bids win.
+    TopK,
+    /// ψ-FMore: nodes are considered in descending score order and each is admitted with
+    /// probability ψ until `K` winners are chosen. `psi = 1.0` degenerates to [`Self::TopK`];
+    /// small ψ approaches uniform random selection (RandFL).
+    PsiFMore {
+        /// Per-node admission probability ψ ∈ (0, 1].
+        psi: f64,
+    },
+}
+
+impl SelectionRule {
+    /// Returns `true` if the rule's parameters are valid (ψ ∈ (0, 1]).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            SelectionRule::TopK => true,
+            SelectionRule::PsiFMore { psi } => *psi > 0.0 && *psi <= 1.0 && psi.is_finite(),
+        }
+    }
+
+    /// Selects the indices (into `sorted`) of the winners.
+    ///
+    /// `sorted` must already be in descending score order; at most `k` indices are returned
+    /// and each index appears at most once. Tie-breaking among equal scores is performed by
+    /// the caller via a random shuffle before sorting (see [`crate::mechanism::Auction`]).
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        sorted: &[ScoredBid],
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let k = k.min(sorted.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        match self {
+            SelectionRule::TopK => (0..k).collect(),
+            SelectionRule::PsiFMore { psi } => {
+                let psi = psi.clamp(0.0, 1.0);
+                let mut winners = Vec::with_capacity(k);
+                let mut admitted = vec![false; sorted.len()];
+                // Walk the sorted list repeatedly until K nodes are admitted. With ψ = 1 the
+                // first pass admits exactly the top K; with ψ < 1 later-ranked nodes get a
+                // chance. A final deterministic pass guarantees termination even for tiny ψ.
+                let mut passes = 0;
+                while winners.len() < k && passes < 64 {
+                    for (idx, _) in sorted.iter().enumerate() {
+                        if winners.len() >= k {
+                            break;
+                        }
+                        if admitted[idx] {
+                            continue;
+                        }
+                        if rng.gen::<f64>() < psi {
+                            admitted[idx] = true;
+                            winners.push(idx);
+                        }
+                    }
+                    passes += 1;
+                }
+                // Deterministic fill (highest-ranked first) if the probabilistic passes did
+                // not complete the set.
+                for idx in 0..sorted.len() {
+                    if winners.len() >= k {
+                        break;
+                    }
+                    if !admitted[idx] {
+                        admitted[idx] = true;
+                        winners.push(idx);
+                    }
+                }
+                winners
+            }
+        }
+    }
+}
+
+/// Probability that ψ-FMore fills a winner set of size `K` from `N` candidates within one
+/// sweep of the candidate list: `Pr(ψ) = Σ_{i=0}^{N−K} C(i+K−1, i) (1−ψ)^i ψ^K` (Section
+/// III-C). Approaches 1 for moderate ψ.
+pub fn psi_fill_probability(n: usize, k: usize, psi: f64) -> f64 {
+    if k == 0 || k > n || !(0.0..=1.0).contains(&psi) {
+        return 0.0;
+    }
+    if psi == 1.0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    // C(i + K - 1, i), built incrementally.
+    let mut binom = 1.0_f64;
+    for i in 0..=(n - k) {
+        if i > 0 {
+            binom *= (i + k - 1) as f64 / i as f64;
+        }
+        total += binom * (1.0 - psi).powi(i as i32) * psi.powi(k as i32);
+    }
+    total.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{NodeId, Quality};
+    use fmore_numerics::seeded_rng;
+
+    fn sorted_bids(scores: &[f64]) -> Vec<ScoredBid> {
+        let mut bids: Vec<ScoredBid> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ScoredBid {
+                node: NodeId(i as u64),
+                quality: Quality::default(),
+                ask: 0.0,
+                score: s,
+            })
+            .collect();
+        bids.sort_by(ScoredBid::by_descending_score);
+        bids
+    }
+
+    #[test]
+    fn top_k_selects_highest_scores() {
+        let bids = sorted_bids(&[0.1, 0.9, 0.5, 0.7, 0.3]);
+        let mut rng = seeded_rng(1);
+        let winners = SelectionRule::TopK.select(&bids, 3, &mut rng);
+        assert_eq!(winners, vec![0, 1, 2]);
+        let chosen: Vec<u64> = winners.iter().map(|&i| bids[i].node.0).collect();
+        assert_eq!(chosen, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_handles_small_populations_and_zero_k() {
+        let bids = sorted_bids(&[0.4, 0.2]);
+        let mut rng = seeded_rng(1);
+        assert_eq!(SelectionRule::TopK.select(&bids, 5, &mut rng).len(), 2);
+        assert!(SelectionRule::TopK.select(&bids, 0, &mut rng).is_empty());
+        assert!(SelectionRule::TopK.select(&[], 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn psi_one_equals_top_k() {
+        let bids = sorted_bids(&[0.9, 0.8, 0.7, 0.6, 0.5, 0.4]);
+        let mut rng = seeded_rng(2);
+        let a = SelectionRule::PsiFMore { psi: 1.0 }.select(&bids, 3, &mut rng);
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn psi_selection_always_fills_k_distinct_winners() {
+        let bids = sorted_bids(&(0..50).map(|i| i as f64 / 50.0).collect::<Vec<_>>());
+        let mut rng = seeded_rng(3);
+        for &psi in &[0.05, 0.2, 0.5, 0.8] {
+            let winners = SelectionRule::PsiFMore { psi }.select(&bids, 20, &mut rng);
+            assert_eq!(winners.len(), 20, "psi={psi}");
+            let mut dedup = winners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 20, "psi={psi} produced duplicates");
+        }
+    }
+
+    #[test]
+    fn larger_psi_concentrates_on_top_ranks() {
+        // With ψ = 0.9 most winners come from the top of the ranking; with ψ = 0.2 the
+        // selection is much more scattered (Fig. 11b of the paper).
+        let bids = sorted_bids(&(0..100).map(|i| 1.0 - i as f64 / 100.0).collect::<Vec<_>>());
+        let mut rng = seeded_rng(4);
+        let trials = 200;
+        let mut top30_high = 0usize;
+        let mut top30_low = 0usize;
+        for _ in 0..trials {
+            let high = SelectionRule::PsiFMore { psi: 0.9 }.select(&bids, 20, &mut rng);
+            let low = SelectionRule::PsiFMore { psi: 0.2 }.select(&bids, 20, &mut rng);
+            top30_high += high.iter().filter(|&&i| i < 30).count();
+            top30_low += low.iter().filter(|&&i| i < 30).count();
+        }
+        assert!(
+            top30_high > top30_low,
+            "ψ=0.9 should pick more top-30 nodes ({top30_high}) than ψ=0.2 ({top30_low})"
+        );
+    }
+
+    #[test]
+    fn selection_rule_validity() {
+        assert!(SelectionRule::TopK.is_valid());
+        assert!(SelectionRule::PsiFMore { psi: 0.5 }.is_valid());
+        assert!(!SelectionRule::PsiFMore { psi: 0.0 }.is_valid());
+        assert!(!SelectionRule::PsiFMore { psi: 1.5 }.is_valid());
+        assert!(!SelectionRule::PsiFMore { psi: f64::NAN }.is_valid());
+    }
+
+    #[test]
+    fn fill_probability_behaves_as_in_the_paper() {
+        // Pr(ψ) approaches one for moderate ψ and reasonable N, K.
+        assert!(psi_fill_probability(100, 20, 0.8) > 0.99);
+        assert_eq!(psi_fill_probability(100, 20, 1.0), 1.0);
+        // Larger ψ always yields a larger fill probability.
+        let p_small = psi_fill_probability(30, 10, 0.3);
+        let p_big = psi_fill_probability(30, 10, 0.7);
+        assert!(p_big > p_small);
+        // Degenerate configurations.
+        assert_eq!(psi_fill_probability(5, 0, 0.5), 0.0);
+        assert_eq!(psi_fill_probability(5, 6, 0.5), 0.0);
+        assert_eq!(psi_fill_probability(5, 2, 1.5), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates Figures 4–8 of the paper: accuracy/loss per round for FMore vs RandFL vs
+//! FixFL on each of the four tasks, and the winner-score distribution.
+//!
+//! The bench prints the regenerated table for every figure (scaled-down configuration, see
+//! EXPERIMENTS.md) and then times one training round per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_ml::dataset::TaskKind;
+use fmore_sim::experiments::accuracy::{run as run_accuracy, AccuracyConfig};
+use fmore_sim::experiments::headline::{headline_table, simulation_headline};
+use fmore_sim::experiments::scores::run as run_scores;
+use std::time::Duration;
+
+fn figure_config(task: TaskKind) -> AccuracyConfig {
+    // Mid-size configuration: large enough to show the selection effect, small enough to
+    // regenerate all four figures in a few minutes of bench time.
+    let mut config = AccuracyConfig::quick(task);
+    config.rounds = 10;
+    config.fl.clients = 50;
+    config.fl.winners_per_round = 10;
+    config.fl.partition.clients = 50;
+    config.fl.train_samples = 4_000;
+    config.fl.test_samples = 600;
+    config
+}
+
+/// Figures 4–7: accuracy and loss per round for each task; also prints the headline table
+/// (round reduction / accuracy improvement vs RandFL).
+fn bench_figs_4_to_7(c: &mut Criterion) {
+    let tasks = [
+        (TaskKind::MnistO, 0.90, "Fig. 4"),
+        (TaskKind::MnistF, 0.80, "Fig. 5"),
+        (TaskKind::Cifar10, 0.50, "Fig. 6"),
+        (TaskKind::HpNews, 0.46, "Fig. 7"),
+    ];
+    let mut headlines = Vec::new();
+    for (task, target, label) in tasks {
+        let config = figure_config(task);
+        let figure = run_accuracy(&config).expect("figure run");
+        println!("\n==== {label}: {} ====", task.name());
+        println!("{}", figure.to_table().to_markdown());
+        headlines.push(simulation_headline(&figure, target));
+    }
+    println!("{}", headline_table(&headlines, None).to_markdown());
+
+    // Time one federated round per scheme on the MNIST-O task.
+    let mut group = c.benchmark_group("fig4_7_one_round");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for strategy in [SelectionStrategy::fmore(), SelectionStrategy::random()] {
+        let name = strategy.name().to_string();
+        let config = figure_config(TaskKind::MnistO);
+        let mut trainer = FederatedTrainer::new(config.fl.clone(), strategy, 42).unwrap();
+        group.bench_with_input(BenchmarkId::new("round", name), &(), |b, _| {
+            b.iter(|| trainer.run_round().unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: the winner-score distribution per scheme.
+fn bench_fig_8(c: &mut Criterion) {
+    let config = figure_config(TaskKind::Cifar10);
+    let dist = run_scores(&config).expect("score distribution run");
+    println!("\n==== Fig. 8: winner-score distribution (CIFAR-10) ====");
+    println!("{}", dist.to_table().to_markdown());
+    for scheme in &dist.schemes {
+        let series = dist.cumulative_proportions(&scheme.winner_scores, 10);
+        println!("{} cumulative proportions: {:?}", scheme.strategy, series.ys);
+    }
+
+    let mut group = c.benchmark_group("fig8_score_distribution");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    let quick = AccuracyConfig::quick(TaskKind::MnistO);
+    group.bench_function("quick_distribution", |b| b.iter(|| run_scores(&quick).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figs_4_to_7, bench_fig_8);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates Figures 12–13 of the paper: the simulated 32-node MEC cluster running
+//! CIFAR-10 with FMore vs RandFL — accuracy per round, cumulative training time, and the
+//! headline time-reduction / accuracy-improvement percentages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmore_mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
+use fmore_sim::experiments::cluster::{run as run_cluster, ClusterExperimentConfig};
+use fmore_sim::experiments::headline::{cluster_headline, headline_table};
+use std::time::Duration;
+
+fn bench_figs_12_13(c: &mut Criterion) {
+    // Mid-size cluster: 31 nodes as in the paper but a reduced data pool and the fast
+    // surrogate model so the figure regenerates in bench time.
+    let mut config = ClusterExperimentConfig::quick();
+    config.rounds = 10;
+    config.cluster.nodes = 31;
+    config.cluster.winners_per_round = 10;
+    config.cluster.fl.clients = 31;
+    config.cluster.fl.partition.clients = 31;
+    config.cluster.fl.train_samples = 4_000;
+    config.cluster.fl.test_samples = 600;
+    config.accuracy_targets = vec![0.35, 0.40, 0.45, 0.50];
+
+    let figure = run_cluster(&config).expect("cluster figure run");
+    println!("\n==== Figs. 12-13: simulated cluster deployment ====");
+    println!("{}", figure.to_table().to_markdown());
+    for target in &figure.accuracy_targets {
+        println!(
+            "time to {:.0}% accuracy: FMore {:?} s, RandFL {:?} s",
+            target * 100.0,
+            figure.time_to_accuracy("FMore", *target),
+            figure.time_to_accuracy("RandFL", *target)
+        );
+    }
+    let headline = cluster_headline(&figure, 0.40);
+    println!("{}", headline_table(&[], Some(&headline)).to_markdown());
+
+    // Time one full cluster round per strategy on a small deployment.
+    let mut group = c.benchmark_group("fig12_13_cluster_round");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for strategy in [ClusterStrategy::FMore, ClusterStrategy::RandFL] {
+        let mut cluster = MecCluster::new(ClusterConfig::fast_test(), strategy, 3).unwrap();
+        group.bench_function(strategy.name(), |b| b.iter(|| cluster.run_round().unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figs_12_13);
+criterion_main!(benches);

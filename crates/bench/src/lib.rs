@@ -1,0 +1,20 @@
+//! Benchmark harness for the FMore reproduction.
+//!
+//! The crate contains no library code — the interesting parts are its Criterion benches,
+//! each of which regenerates the data behind one or more paper figures before timing the
+//! underlying computation:
+//!
+//! * `mechanism` — micro-benchmarks and ablations of the auction core (equilibrium solving
+//!   via quadrature vs the paper's Euler route vs Che's closed form, first- vs second-price
+//!   payment, top-K vs ψ-FMore selection, scoring-function families),
+//! * `figures_accuracy` — Figs. 4–8 (accuracy/loss curves per scheme, winner-score
+//!   distribution),
+//! * `figures_parameters` — Figs. 9–11 (impact of `N`, `K`, and ψ),
+//! * `figures_cluster` — Figs. 12–13 and the headline table (the simulated MEC cluster).
+//!
+//! Run everything with `cargo bench --workspace`; each bench prints the regenerated
+//! rows/series to stdout so the numbers can be compared against the paper (see
+//! EXPERIMENTS.md).
+
+/// Marker constant so the crate has at least one documented item.
+pub const BENCH_CRATE: &str = "fmore-bench";

@@ -1,0 +1,80 @@
+//! Global aggregation (FedAvg, Eq. 3 of the paper).
+
+/// Computes the data-size-weighted average of client parameter vectors:
+/// `w(t+1) = Σ D_i w_i(t+1) / Σ D_i`.
+///
+/// Updates with non-positive weight are ignored. Returns `None` if there are no usable
+/// updates or the parameter vectors disagree in length.
+pub fn federated_average(updates: &[(Vec<f64>, f64)]) -> Option<Vec<f64>> {
+    let mut iter = updates.iter().filter(|(_, w)| *w > 0.0);
+    let first = iter.next()?;
+    let dim = first.0.len();
+    let mut acc = vec![0.0; dim];
+    let mut total_weight = 0.0;
+    for (params, weight) in updates.iter().filter(|(_, w)| *w > 0.0) {
+        if params.len() != dim {
+            return None;
+        }
+        for (a, p) in acc.iter_mut().zip(params) {
+            *a += p * weight;
+        }
+        total_weight += weight;
+    }
+    if total_weight <= 0.0 {
+        return None;
+    }
+    for a in &mut acc {
+        *a /= total_weight;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let avg = federated_average(&[
+            (vec![1.0, 2.0], 1.0),
+            (vec![3.0, 4.0], 1.0),
+        ])
+        .unwrap();
+        assert_eq!(avg, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn weights_follow_data_sizes() {
+        // Eq. 3: node with 3x the data pulls the average 3x harder.
+        let avg = federated_average(&[
+            (vec![0.0], 1.0),
+            (vec![4.0], 3.0),
+        ])
+        .unwrap();
+        assert_eq!(avg, vec![3.0]);
+    }
+
+    #[test]
+    fn zero_and_negative_weights_are_ignored() {
+        let avg = federated_average(&[
+            (vec![10.0], 0.0),
+            (vec![-3.0], -5.0),
+            (vec![2.0], 2.0),
+        ])
+        .unwrap();
+        assert_eq!(avg, vec![2.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(federated_average(&[]).is_none());
+        assert!(federated_average(&[(vec![1.0], 0.0)]).is_none());
+        assert!(federated_average(&[(vec![1.0], 1.0), (vec![1.0, 2.0], 1.0)]).is_none());
+    }
+
+    #[test]
+    fn single_update_is_returned_unchanged() {
+        let avg = federated_average(&[(vec![1.5, -2.5, 0.0], 7.0)]).unwrap();
+        assert_eq!(avg, vec![1.5, -2.5, 0.0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Configuration of a federated-learning experiment.
+
+use fmore_ml::dataset::TaskKind;
+use fmore_ml::partition::PartitionConfig;
+
+use crate::error::FlError;
+
+/// Which model family the trainer instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// The paper's architecture for the task (CNN for image tasks, LSTM for HPNews).
+    PaperModel,
+    /// A small MLP surrogate with the same input/output dimensions — used where experiment
+    /// wall-clock matters more than architecture fidelity (tests, large sweeps).
+    FastSurrogate,
+}
+
+/// Configuration of one federated-learning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlConfig {
+    /// Which of the paper's tasks to train.
+    pub task: TaskKind,
+    /// Which model family to instantiate.
+    pub model: ModelChoice,
+    /// Total number of edge nodes `N`.
+    pub clients: usize,
+    /// Number of winners / participants per round `K`.
+    pub winners_per_round: usize,
+    /// Size of the global training pool to synthesise.
+    pub train_samples: usize,
+    /// Size of the held-out test set used to report accuracy and loss.
+    pub test_samples: usize,
+    /// How the training pool is spread across clients.
+    pub partition: PartitionConfig,
+    /// Local SGD epochs per selected client per round.
+    pub local_epochs: usize,
+    /// SGD learning rate η (Eq. 2).
+    pub learning_rate: f64,
+    /// Mini-batch size for local training.
+    pub batch_size: usize,
+    /// Support `[θ̲, θ̄]` of the private cost parameter.
+    pub theta_range: (f64, f64),
+    /// Fraction range of a client's shard that is actually available in a given round,
+    /// modelling the dynamic resource provision of MEC nodes.
+    pub availability: (f64, f64),
+}
+
+impl FlConfig {
+    /// The paper's simulator configuration (Section V-A): `N = 100`, `K = 20`, non-IID data,
+    /// two-dimensional resources (data size and category proportion).
+    pub fn paper_simulation(task: TaskKind) -> Self {
+        Self {
+            task,
+            model: ModelChoice::PaperModel,
+            clients: 100,
+            winners_per_round: 20,
+            train_samples: 20_000,
+            test_samples: 2_000,
+            partition: PartitionConfig {
+                clients: 100,
+                size_range: (50, 500),
+                category_range: (2, 10),
+            },
+            local_epochs: 1,
+            learning_rate: 0.1,
+            batch_size: 32,
+            theta_range: (0.1, 1.0),
+            availability: (0.7, 1.0),
+        }
+    }
+
+    /// A small configuration that finishes in well under a second — used by unit tests and
+    /// doc examples.
+    pub fn fast_test(task: TaskKind) -> Self {
+        Self {
+            task,
+            model: ModelChoice::FastSurrogate,
+            clients: 12,
+            winners_per_round: 4,
+            train_samples: 400,
+            test_samples: 120,
+            partition: PartitionConfig {
+                clients: 12,
+                size_range: (20, 60),
+                category_range: (2, 10),
+            },
+            local_epochs: 1,
+            learning_rate: 0.1,
+            batch_size: 16,
+            theta_range: (0.1, 1.0),
+            availability: (0.8, 1.0),
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), FlError> {
+        if self.clients == 0 {
+            return Err(FlError::InvalidConfig("clients must be positive".into()));
+        }
+        if self.winners_per_round == 0 || self.winners_per_round > self.clients {
+            return Err(FlError::InvalidConfig(format!(
+                "winners_per_round {} must be in 1..={}",
+                self.winners_per_round, self.clients
+            )));
+        }
+        if self.partition.clients != self.clients {
+            return Err(FlError::InvalidConfig(format!(
+                "partition.clients {} must equal clients {}",
+                self.partition.clients, self.clients
+            )));
+        }
+        if self.train_samples == 0 || self.test_samples == 0 {
+            return Err(FlError::InvalidConfig("sample counts must be positive".into()));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(FlError::InvalidConfig("learning rate must be positive".into()));
+        }
+        if self.local_epochs == 0 || self.batch_size == 0 {
+            return Err(FlError::InvalidConfig("epochs and batch size must be positive".into()));
+        }
+        let (lo, hi) = self.theta_range;
+        if !(lo > 0.0 && hi > lo && hi.is_finite()) {
+            return Err(FlError::InvalidConfig(format!("invalid theta range [{lo}, {hi}]")));
+        }
+        let (alo, ahi) = self.availability;
+        if !(alo > 0.0 && alo <= ahi && ahi <= 1.0) {
+            return Err(FlError::InvalidConfig(format!(
+                "availability range [{alo}, {ahi}] must lie in (0, 1]"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_simulation_matches_section_v() {
+        let c = FlConfig::paper_simulation(TaskKind::Cifar10);
+        assert_eq!(c.clients, 100);
+        assert_eq!(c.winners_per_round, 20);
+        assert_eq!(c.model, ModelChoice::PaperModel);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fast_test_is_valid_and_small() {
+        let c = FlConfig::fast_test(TaskKind::MnistO);
+        assert!(c.validate().is_ok());
+        assert!(c.clients <= 20);
+        assert!(c.train_samples <= 1000);
+    }
+
+    #[test]
+    fn validation_catches_each_violation() {
+        let base = FlConfig::fast_test(TaskKind::MnistO);
+
+        let mut c = base.clone();
+        c.clients = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.winners_per_round = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.winners_per_round = c.clients + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.partition.clients = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.train_samples = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.learning_rate = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.local_epochs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.theta_range = (0.0, 1.0);
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.availability = (0.0, 1.0);
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.availability = (0.5, 1.5);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the federated-learning substrate.
+
+use std::fmt;
+
+/// Error returned by the federated-learning substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// Invalid training configuration (zero clients, `K > N`, zero rounds, …).
+    InvalidConfig(String),
+    /// A client-selection strategy referenced a client that does not exist.
+    UnknownClient(usize),
+    /// The auction used by FMore selection failed.
+    Auction(fmore_auction::AuctionError),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::InvalidConfig(msg) => write!(f, "invalid federated-learning config: {msg}"),
+            FlError::UnknownClient(idx) => write!(f, "unknown client index {idx}"),
+            FlError::Auction(e) => write!(f, "auction failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Auction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fmore_auction::AuctionError> for FlError {
+    fn from(e: fmore_auction::AuctionError) -> Self {
+        FlError::Auction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FlError::InvalidConfig("K > N".into());
+        assert!(e.to_string().contains("K > N"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = FlError::UnknownClient(7);
+        assert!(e.to_string().contains('7'));
+
+        let inner = fmore_auction::AuctionError::NoBids;
+        let e: FlError = inner.into();
+        assert!(e.to_string().contains("no bids"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-round metrics and the full training history.
+
+use fmore_auction::NodeId;
+
+/// What the aggregator recorded about one selected client in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinnerInfo {
+    /// Index of the client in the trainer's client list.
+    pub client: usize,
+    /// The client's node identifier.
+    pub node: NodeId,
+    /// Number of samples the client trained on this round (`D_i` in Eq. 3).
+    pub data_size: usize,
+    /// Distinct classes in the client's training data this round.
+    pub categories: usize,
+    /// The client's auction score (0 for RandFL / FixFL, which run no auction).
+    pub score: f64,
+    /// The payment promised to the client (0 for RandFL / FixFL).
+    pub payment: f64,
+}
+
+/// Everything recorded about one federated-learning round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMetrics {
+    /// Round index, starting at 1.
+    pub round: usize,
+    /// Global-model accuracy on the held-out test set after aggregation.
+    pub accuracy: f64,
+    /// Global-model loss on the held-out test set after aggregation.
+    pub loss: f64,
+    /// The selected clients.
+    pub winners: Vec<WinnerInfo>,
+    /// All scores computed in this round's auction (empty for RandFL / FixFL); used by the
+    /// score-distribution analysis of Fig. 8.
+    pub all_scores: Vec<f64>,
+}
+
+impl RoundMetrics {
+    /// Total payment promised this round.
+    pub fn total_payment(&self) -> f64 {
+        self.winners.iter().map(|w| w.payment).sum()
+    }
+
+    /// Mean winner score this round.
+    pub fn mean_winner_score(&self) -> f64 {
+        if self.winners.is_empty() {
+            return 0.0;
+        }
+        self.winners.iter().map(|w| w.score).sum::<f64>() / self.winners.len() as f64
+    }
+
+    /// Mean winner payment this round.
+    pub fn mean_winner_payment(&self) -> f64 {
+        if self.winners.is_empty() {
+            return 0.0;
+        }
+        self.total_payment() / self.winners.len() as f64
+    }
+
+    /// Total number of samples fed into this round's aggregation.
+    pub fn total_data(&self) -> usize {
+        self.winners.iter().map(|w| w.data_size).sum()
+    }
+}
+
+/// The sequence of per-round metrics produced by one training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingHistory {
+    /// Metrics per round, in order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl TrainingHistory {
+    /// Accuracy after every round.
+    pub fn accuracy_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.accuracy).collect()
+    }
+
+    /// Loss after every round.
+    pub fn loss_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.loss).collect()
+    }
+
+    /// Accuracy after the last round, `0.0` if no rounds were run.
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Loss after the last round, `0.0` if no rounds were run.
+    pub fn final_loss(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.loss)
+    }
+
+    /// The first round (1-based) whose accuracy reaches `target`, or `None` if the target is
+    /// never reached. This is the "rounds to accuracy" metric of Figs. 9a/10a/11a.
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.rounds.iter().find(|r| r.accuracy >= target).map(|r| r.round)
+    }
+
+    /// Best accuracy reached at any round.
+    pub fn best_accuracy(&self) -> f64 {
+        self.rounds.iter().map(|r| r.accuracy).fold(0.0, f64::max)
+    }
+
+    /// Total payment promised over the whole run.
+    pub fn total_payment(&self) -> f64 {
+        self.rounds.iter().map(|r| r.total_payment()).sum()
+    }
+
+    /// Flattened list of every winner score across all rounds (Fig. 8 input).
+    pub fn winner_scores(&self) -> Vec<f64> {
+        self.rounds.iter().flat_map(|r| r.winners.iter().map(|w| w.score)).collect()
+    }
+
+    /// Flattened list of every score computed in any auction across all rounds.
+    pub fn all_scores(&self) -> Vec<f64> {
+        self.rounds.iter().flat_map(|r| r.all_scores.iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn winner(client: usize, score: f64, payment: f64, data: usize) -> WinnerInfo {
+        WinnerInfo {
+            client,
+            node: NodeId(client as u64),
+            data_size: data,
+            categories: 3,
+            score,
+            payment,
+        }
+    }
+
+    fn round(idx: usize, acc: f64, loss: f64) -> RoundMetrics {
+        RoundMetrics {
+            round: idx,
+            accuracy: acc,
+            loss,
+            winners: vec![winner(0, 1.0, 0.2, 100), winner(1, 0.8, 0.3, 50)],
+            all_scores: vec![1.0, 0.8, 0.1],
+        }
+    }
+
+    #[test]
+    fn round_aggregates() {
+        let r = round(1, 0.5, 1.2);
+        assert!((r.total_payment() - 0.5).abs() < 1e-12);
+        assert!((r.mean_winner_score() - 0.9).abs() < 1e-12);
+        assert!((r.mean_winner_payment() - 0.25).abs() < 1e-12);
+        assert_eq!(r.total_data(), 150);
+
+        let empty = RoundMetrics { round: 1, accuracy: 0.0, loss: 0.0, winners: vec![], all_scores: vec![] };
+        assert_eq!(empty.mean_winner_score(), 0.0);
+        assert_eq!(empty.mean_winner_payment(), 0.0);
+    }
+
+    #[test]
+    fn history_series_and_targets() {
+        let h = TrainingHistory {
+            rounds: vec![round(1, 0.3, 2.0), round(2, 0.55, 1.5), round(3, 0.7, 1.1)],
+        };
+        assert_eq!(h.accuracy_series(), vec![0.3, 0.55, 0.7]);
+        assert_eq!(h.loss_series(), vec![2.0, 1.5, 1.1]);
+        assert_eq!(h.final_accuracy(), 0.7);
+        assert_eq!(h.final_loss(), 1.1);
+        assert_eq!(h.best_accuracy(), 0.7);
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.9), None);
+        assert!((h.total_payment() - 1.5).abs() < 1e-12);
+        assert_eq!(h.winner_scores().len(), 6);
+        assert_eq!(h.all_scores().len(), 9);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = TrainingHistory::default();
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.final_loss(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert_eq!(h.rounds_to_accuracy(0.1), None);
+        assert!(h.accuracy_series().is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! The simulated 32-machine deployment: per-round three-dimensional auction, federated
+//! training, and wall-clock accounting.
+
+use crate::error::MecError;
+use crate::ledger::PaymentLedger;
+use crate::node::{MecNode, ResourceRanges};
+use crate::time_model::TimeModel;
+use fmore_auction::{
+    Additive, Auction, EquilibriumSolver, LinearCost, NodeId, PricingRule, Quality, ScoringRule,
+    SelectionRule, SubmittedBid,
+};
+use fmore_fl::config::{FlConfig, ModelChoice};
+use fmore_fl::metrics::{RoundMetrics, WinnerInfo};
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_ml::dataset::TaskKind;
+use fmore_ml::partition::PartitionConfig;
+use fmore_numerics::rng::{derive_seed, sample_indices};
+use fmore_numerics::{seeded_rng, Distribution1D, UniformDist};
+use rand::rngs::StdRng;
+
+/// Which scheme the cluster runs (Fig. 12–13 compare FMore against RandFL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterStrategy {
+    /// FMore: three-dimensional auction per round, first-price payment.
+    FMore,
+    /// RandFL: uniform random selection, no payments.
+    RandFL,
+}
+
+impl ClusterStrategy {
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterStrategy::FMore => "FMore",
+            ClusterStrategy::RandFL => "RandFL",
+        }
+    }
+}
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of edge nodes (the paper uses 31 plus one aggregator).
+    pub nodes: usize,
+    /// Winners per round `K`.
+    pub winners_per_round: usize,
+    /// Federated-learning configuration driving the actual training.
+    pub fl: FlConfig,
+    /// Per-node resource ranges.
+    pub resources: ResourceRanges,
+    /// Additive scoring weights over (computing power, bandwidth, data size); the paper uses
+    /// `(0.4, 0.3, 0.3)`.
+    pub scoring_weights: Vec<f64>,
+    /// Linear private-cost coefficients over the same three resources.
+    pub cost_coefficients: Vec<f64>,
+    /// Wall-clock time model.
+    pub time_model: TimeModel,
+}
+
+impl ClusterConfig {
+    /// The paper's deployment: 31 nodes, CIFAR-10 task, additive scoring `(0.4, 0.3, 0.3)`.
+    pub fn paper_cluster() -> Self {
+        let mut fl = FlConfig::paper_simulation(TaskKind::Cifar10);
+        fl.clients = 31;
+        fl.winners_per_round = 10;
+        fl.partition = PartitionConfig { clients: 31, size_range: (100, 600), category_range: (2, 10) };
+        fl.train_samples = 8_000;
+        fl.test_samples = 1_000;
+        Self {
+            nodes: 31,
+            winners_per_round: 10,
+            fl,
+            resources: ResourceRanges::paper_cluster(),
+            scoring_weights: vec![0.4, 0.3, 0.3],
+            cost_coefficients: vec![0.3, 0.3, 0.4],
+            time_model: TimeModel::paper_cluster(),
+        }
+    }
+
+    /// A small configuration for tests and doc examples.
+    pub fn fast_test() -> Self {
+        let mut fl = FlConfig::fast_test(TaskKind::MnistO);
+        fl.clients = 8;
+        fl.winners_per_round = 3;
+        fl.partition = PartitionConfig { clients: 8, size_range: (20, 60), category_range: (2, 10) };
+        Self {
+            nodes: 8,
+            winners_per_round: 3,
+            fl,
+            resources: ResourceRanges::paper_cluster(),
+            scoring_weights: vec![0.4, 0.3, 0.3],
+            cost_coefficients: vec![0.3, 0.3, 0.4],
+            time_model: TimeModel::paper_cluster(),
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), MecError> {
+        if self.nodes == 0 {
+            return Err(MecError::InvalidConfig("nodes must be positive".into()));
+        }
+        if self.winners_per_round == 0 || self.winners_per_round > self.nodes {
+            return Err(MecError::InvalidConfig(format!(
+                "winners_per_round {} must be in 1..={}",
+                self.winners_per_round, self.nodes
+            )));
+        }
+        if self.fl.clients != self.nodes {
+            return Err(MecError::InvalidConfig(format!(
+                "fl.clients {} must equal nodes {}",
+                self.fl.clients, self.nodes
+            )));
+        }
+        if self.scoring_weights.len() != 3 || self.cost_coefficients.len() != 3 {
+            return Err(MecError::InvalidConfig(
+                "cluster scoring and cost are defined over exactly three resources".into(),
+            ));
+        }
+        if !self.resources.is_valid() {
+            return Err(MecError::InvalidConfig("invalid resource ranges".into()));
+        }
+        self.fl.validate()?;
+        Ok(())
+    }
+}
+
+/// Metrics of one cluster round: the learning metrics plus simulated wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRound {
+    /// Learning metrics (accuracy, loss, winners, payments).
+    pub learning: RoundMetrics,
+    /// Duration of this round in simulated seconds.
+    pub round_secs: f64,
+    /// Cumulative training time up to and including this round.
+    pub cumulative_secs: f64,
+}
+
+/// The full history of a cluster run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterHistory {
+    /// Per-round records in order.
+    pub rounds: Vec<ClusterRound>,
+}
+
+impl ClusterHistory {
+    /// Total simulated training time.
+    pub fn total_time_secs(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.cumulative_secs)
+    }
+
+    /// Accuracy after every round.
+    pub fn accuracy_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.learning.accuracy).collect()
+    }
+
+    /// Loss after every round.
+    pub fn loss_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.learning.loss).collect()
+    }
+
+    /// Cumulative time after every round.
+    pub fn cumulative_time_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.cumulative_secs).collect()
+    }
+
+    /// Accuracy after the final round.
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.learning.accuracy)
+    }
+
+    /// Simulated time needed to first reach `target` accuracy, if ever reached
+    /// (the time-to-accuracy metric of Fig. 13 right).
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.rounds.iter().find(|r| r.learning.accuracy >= target).map(|r| r.cumulative_secs)
+    }
+}
+
+/// The simulated MEC deployment.
+pub struct MecCluster {
+    config: ClusterConfig,
+    strategy: ClusterStrategy,
+    nodes: Vec<MecNode>,
+    trainer: FederatedTrainer,
+    solver: Option<EquilibriumSolver>,
+    auction: Option<Auction>,
+    ledger: PaymentLedger,
+    rng: StdRng,
+    elapsed_secs: f64,
+}
+
+impl std::fmt::Debug for MecCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MecCluster")
+            .field("strategy", &self.strategy.name())
+            .field("nodes", &self.nodes.len())
+            .field("winners_per_round", &self.config.winners_per_round)
+            .field("elapsed_secs", &self.elapsed_secs)
+            .finish()
+    }
+}
+
+impl MecCluster {
+    /// Builds the cluster: creates the nodes with random resource ranges and private costs,
+    /// the embedded federated trainer, and (for FMore) the three-dimensional auction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidConfig`] for inconsistent configurations and propagates
+    /// construction failures of the trainer or the auction components.
+    pub fn new(config: ClusterConfig, strategy: ClusterStrategy, seed: u64) -> Result<Self, MecError> {
+        config.validate()?;
+        let mut rng = seeded_rng(seed);
+        let theta_dist = UniformDist::new(config.fl.theta_range.0, config.fl.theta_range.1)
+            .map_err(fmore_auction::AuctionError::from)?;
+        let nodes: Vec<MecNode> = (0..config.nodes)
+            .map(|i| {
+                let theta = theta_dist.sample(&mut rng);
+                MecNode::new(
+                    NodeId(i as u64),
+                    config.resources,
+                    theta,
+                    derive_seed(seed, 0x1000 + i as u64),
+                )
+            })
+            .collect();
+
+        // The trainer is always constructed with a pass-through strategy; the cluster drives
+        // selection itself and injects the winners via `run_round_with`.
+        let mut fl_config = config.fl.clone();
+        if matches!(fl_config.model, ModelChoice::PaperModel) && fl_config.train_samples > 50_000 {
+            fl_config.model = ModelChoice::FastSurrogate;
+        }
+        let trainer =
+            FederatedTrainer::new(fl_config, SelectionStrategy::random(), derive_seed(seed, 0x2000))?;
+
+        let (solver, auction) = match strategy {
+            ClusterStrategy::FMore => {
+                let scoring = Additive::new(config.scoring_weights.clone())?;
+                let cost = LinearCost::new(config.cost_coefficients.clone())?;
+                let solver = EquilibriumSolver::builder()
+                    .scoring(scoring.clone())
+                    .cost(cost)
+                    .theta(theta_dist)
+                    .bounds(vec![(0.0, 1.0); 3])
+                    .population(config.nodes)
+                    .winners(config.winners_per_round)
+                    .grid_size(128)
+                    .build()?;
+                let auction = Auction::new(
+                    ScoringRule::new(scoring),
+                    config.winners_per_round,
+                    SelectionRule::TopK,
+                    PricingRule::FirstPrice,
+                );
+                (Some(solver), Some(auction))
+            }
+            ClusterStrategy::RandFL => (None, None),
+        };
+
+        Ok(Self {
+            config,
+            strategy,
+            nodes,
+            trainer,
+            solver,
+            auction,
+            ledger: PaymentLedger::new(),
+            rng,
+            elapsed_secs: 0.0,
+        })
+    }
+
+    /// The nodes of the cluster.
+    pub fn nodes(&self) -> &[MecNode] {
+        &self.nodes
+    }
+
+    /// The payment ledger accumulated so far.
+    pub fn ledger(&self) -> &PaymentLedger {
+        &self.ledger
+    }
+
+    /// The strategy the cluster runs.
+    pub fn strategy(&self) -> ClusterStrategy {
+        self.strategy
+    }
+
+    /// Total simulated time elapsed so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_secs
+    }
+
+    /// Runs `rounds` cluster rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates auction and training failures.
+    pub fn run(&mut self, rounds: usize) -> Result<ClusterHistory, MecError> {
+        let mut history = ClusterHistory::default();
+        for _ in 0..rounds {
+            history.rounds.push(self.run_round()?);
+        }
+        Ok(history)
+    }
+
+    /// Runs one cluster round: resource refresh, selection (auction or random), local
+    /// training, aggregation, and time accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates auction and training failures.
+    pub fn run_round(&mut self) -> Result<ClusterRound, MecError> {
+        for node in &mut self.nodes {
+            node.refresh();
+        }
+        self.trainer.refresh_clients();
+
+        let maxima = self.config.resources.maxima();
+        let (winners, all_scores) = match self.strategy {
+            ClusterStrategy::FMore => {
+                let solver = self.solver.as_ref().expect("FMore cluster always has a solver");
+                let auction = self.auction.as_ref().expect("FMore cluster always has an auction");
+                let mut bids = Vec::with_capacity(self.nodes.len());
+                for node in &self.nodes {
+                    let capacity = node.quality(&maxima);
+                    let (ideal, _) = solver.quality_choice(node.theta());
+                    let declared: Vec<f64> = ideal
+                        .iter()
+                        .zip(capacity.as_slice())
+                        .map(|(want, have)| want.min(*have))
+                        .collect();
+                    let ask = solver.payment_for(node.theta())?;
+                    bids.push(SubmittedBid::new(node.id(), Quality::new(declared), ask));
+                }
+                let outcome = auction.run(bids, &mut self.rng)?;
+                let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
+                let winners: Vec<WinnerInfo> = outcome
+                    .winners
+                    .iter()
+                    .map(|award| self.winner_from_award(award.node, award.score, award.payment))
+                    .collect();
+                (winners, all_scores)
+            }
+            ClusterStrategy::RandFL => {
+                let selected =
+                    sample_indices(self.nodes.len(), self.config.winners_per_round, &mut self.rng);
+                let winners: Vec<WinnerInfo> = selected
+                    .into_iter()
+                    .map(|idx| self.winner_from_award(NodeId(idx as u64), 0.0, 0.0))
+                    .collect();
+                (winners, Vec::new())
+            }
+        };
+
+        // Wall-clock accounting: the declared data size of each winner trains on its node.
+        let participants: Vec<(crate::node::ResourceProfile, f64)> = winners
+            .iter()
+            .map(|w| {
+                let node = &self.nodes[w.client];
+                (node.current(), node.current().data_size)
+            })
+            .collect();
+        let round_secs =
+            self.config.time_model.round_secs(&participants, self.config.fl.local_epochs);
+        self.elapsed_secs += round_secs;
+
+        for w in &winners {
+            if w.payment > 0.0 {
+                self.ledger.record(w.node, w.payment);
+            }
+        }
+
+        let learning = self.trainer.run_round_with(winners, all_scores);
+        Ok(ClusterRound { learning, round_secs, cumulative_secs: self.elapsed_secs })
+    }
+
+    /// Maps an auction award (or a random pick) onto the federated trainer's client list: the
+    /// node trains on a fraction of its data shard proportional to the data resource it
+    /// offered this round.
+    fn winner_from_award(&self, node_id: NodeId, score: f64, payment: f64) -> WinnerInfo {
+        let idx = node_id.0 as usize;
+        let node = &self.nodes[idx];
+        let client = &self.trainer.clients()[idx];
+        let fraction =
+            (node.current().data_size / self.config.resources.maxima().data_size).clamp(0.05, 1.0);
+        let data_size = ((client.data_size() as f64) * fraction).round().max(1.0) as usize;
+        WinnerInfo {
+            client: idx,
+            node: node_id,
+            data_size: data_size.min(client.data_size().max(1)),
+            categories: client.categories(),
+            score,
+            payment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_mistakes() {
+        assert!(ClusterConfig::paper_cluster().validate().is_ok());
+        assert!(ClusterConfig::fast_test().validate().is_ok());
+
+        let mut c = ClusterConfig::fast_test();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::fast_test();
+        c.winners_per_round = 100;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::fast_test();
+        c.fl.clients = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::fast_test();
+        c.scoring_weights = vec![0.5, 0.5];
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::fast_test();
+        c.resources.cpu_cores = (0.0, 4.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_cluster_matches_section_v_c() {
+        let c = ClusterConfig::paper_cluster();
+        assert_eq!(c.nodes, 31);
+        assert_eq!(c.scoring_weights, vec![0.4, 0.3, 0.3]);
+        assert_eq!(c.fl.task, TaskKind::Cifar10);
+        assert_eq!(c.resources.data_size, (2000.0, 10_000.0));
+    }
+
+    #[test]
+    fn fmore_cluster_round_selects_pays_and_times() {
+        let mut cluster =
+            MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, 1).unwrap();
+        let round = cluster.run_round().unwrap();
+        assert_eq!(round.learning.winners.len(), 3);
+        assert!(round.learning.winners.iter().all(|w| w.payment > 0.0));
+        assert_eq!(round.learning.all_scores.len(), 8);
+        assert!(round.round_secs > 0.0);
+        assert_eq!(round.cumulative_secs, round.round_secs);
+        assert_eq!(cluster.ledger().distinct_winners(), 3);
+        assert!(format!("{cluster:?}").contains("FMore"));
+    }
+
+    #[test]
+    fn randfl_cluster_round_has_no_payments() {
+        let mut cluster =
+            MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::RandFL, 2).unwrap();
+        let round = cluster.run_round().unwrap();
+        assert_eq!(round.learning.winners.len(), 3);
+        assert!(round.learning.winners.iter().all(|w| w.payment == 0.0));
+        assert!(round.learning.all_scores.is_empty());
+        assert_eq!(cluster.ledger().total(), 0.0);
+        assert_eq!(cluster.strategy(), ClusterStrategy::RandFL);
+    }
+
+    #[test]
+    fn history_accumulates_time_and_accuracy() {
+        let mut cluster =
+            MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, 3).unwrap();
+        let history = cluster.run(3).unwrap();
+        assert_eq!(history.rounds.len(), 3);
+        let times = history.cumulative_time_series();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "cumulative time must increase");
+        assert_eq!(history.total_time_secs(), *times.last().unwrap());
+        assert_eq!(history.accuracy_series().len(), 3);
+        assert_eq!(history.loss_series().len(), 3);
+        assert!(history.final_accuracy() >= 0.0);
+        assert_eq!(cluster.elapsed_secs(), history.total_time_secs());
+        // Time-to-accuracy of an unreachable target is None.
+        assert!(history.time_to_accuracy(2.0).is_none());
+        assert_eq!(history.time_to_accuracy(0.0), Some(history.rounds[0].cumulative_secs));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut c =
+                MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, seed).unwrap();
+            c.run(2).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn fmore_winners_have_top_scores() {
+        let mut cluster =
+            MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, 4).unwrap();
+        let round = cluster.run_round().unwrap();
+        let min_winner =
+            round.learning.winners.iter().map(|w| w.score).fold(f64::INFINITY, f64::min);
+        let beaten = round
+            .learning
+            .all_scores
+            .iter()
+            .filter(|&&s| s > min_winner + 1e-9)
+            .count();
+        assert!(beaten < round.learning.winners.len());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(ClusterStrategy::FMore.name(), "FMore");
+        assert_eq!(ClusterStrategy::RandFL.name(), "RandFL");
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the MEC cluster simulator.
+
+use std::fmt;
+
+/// Error returned by the MEC cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MecError {
+    /// Invalid cluster configuration.
+    InvalidConfig(String),
+    /// The embedded federated-learning trainer failed.
+    Learning(fmore_fl::FlError),
+    /// The per-round resource auction failed.
+    Auction(fmore_auction::AuctionError),
+}
+
+impl fmt::Display for MecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MecError::InvalidConfig(msg) => write!(f, "invalid cluster config: {msg}"),
+            MecError::Learning(e) => write!(f, "federated learning failure: {e}"),
+            MecError::Auction(e) => write!(f, "auction failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MecError::Learning(e) => Some(e),
+            MecError::Auction(e) => Some(e),
+            MecError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<fmore_fl::FlError> for MecError {
+    fn from(e: fmore_fl::FlError) -> Self {
+        MecError::Learning(e)
+    }
+}
+
+impl From<fmore_auction::AuctionError> for MecError {
+    fn from(e: fmore_auction::AuctionError) -> Self {
+        MecError::Auction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = MecError::InvalidConfig("zero nodes".into());
+        assert!(e.to_string().contains("zero nodes"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: MecError = fmore_fl::FlError::UnknownClient(3).into();
+        assert!(e.to_string().contains("3"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: MecError = fmore_auction::AuctionError::NoBids.into();
+        assert!(e.to_string().contains("no bids"));
+    }
+}

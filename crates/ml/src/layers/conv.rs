@@ -1,0 +1,393 @@
+//! 2-D convolution and max-pooling layers.
+//!
+//! Inputs are mini-batches of flattened image volumes: each row of the input matrix holds a
+//! `channels × height × width` volume in channel-major order, as described by [`ImageShape`].
+
+use super::Layer;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// The spatial interpretation of a flattened feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageShape {
+    /// Number of channels.
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+}
+
+impl ImageShape {
+    /// Creates an image shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// Length of the flattened feature vector.
+    pub fn flat_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    #[inline]
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.height + y) * self.width + x
+    }
+}
+
+/// A 2-D convolution with `filters` output channels, square `kernel`, stride 1 and valid
+/// padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    input_shape: ImageShape,
+    filters: usize,
+    kernel: usize,
+    /// `(filters, channels·kernel·kernel)`.
+    weights: Matrix,
+    /// `(1, filters)`.
+    bias: Matrix,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is larger than the input or `filters == 0`.
+    pub fn new(input_shape: ImageShape, filters: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        assert!(filters > 0, "Conv2d needs at least one filter");
+        assert!(
+            kernel >= 1 && kernel <= input_shape.height && kernel <= input_shape.width,
+            "kernel {kernel} does not fit into {input_shape:?}"
+        );
+        let fan_in = input_shape.channels * kernel * kernel;
+        Self {
+            input_shape,
+            filters,
+            kernel,
+            weights: Matrix::he_init(filters, fan_in, fan_in, rng),
+            bias: Matrix::zeros(1, filters),
+            grad_w: Matrix::zeros(filters, fan_in),
+            grad_b: Matrix::zeros(1, filters),
+            cached_input: None,
+        }
+    }
+
+    /// Shape of the produced feature volume.
+    pub fn output_shape(&self) -> ImageShape {
+        ImageShape::new(
+            self.filters,
+            self.input_shape.height - self.kernel + 1,
+            self.input_shape.width - self.kernel + 1,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+        assert_eq!(input.cols(), self.input_shape.flat_len(), "Conv2d input width mismatch");
+        self.cached_input = Some(input.clone());
+        let out_shape = self.output_shape();
+        let (oh, ow) = (out_shape.height, out_shape.width);
+        let mut out = Matrix::zeros(input.rows(), out_shape.flat_len());
+        let k = self.kernel;
+        let in_shape = self.input_shape;
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            for f in 0..self.filters {
+                let w_row = self.weights.row(f);
+                let bias = self.bias.data()[f];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        let mut widx = 0;
+                        for c in 0..in_shape.channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    acc += w_row[widx] * row[in_shape.index(c, oy + ky, ox + kx)];
+                                    widx += 1;
+                                }
+                            }
+                        }
+                        out.set(b, out_shape.index(f, oy, ox), acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on Conv2d layer");
+        let out_shape = self.output_shape();
+        let (oh, ow) = (out_shape.height, out_shape.width);
+        let k = self.kernel;
+        let in_shape = self.input_shape;
+        let mut grad_input = Matrix::zeros(input.rows(), in_shape.flat_len());
+        for b in 0..input.rows() {
+            let in_row = input.row(b);
+            let go_row = grad_output.row(b);
+            for f in 0..self.filters {
+                let w_row_start = f * self.weights.cols();
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go_row[out_shape.index(f, oy, ox)];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_b.data_mut()[f] += g;
+                        let mut widx = 0;
+                        for c in 0..in_shape.channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let in_idx = in_shape.index(c, oy + ky, ox + kx);
+                                    self.grad_w.data_mut()[w_row_start + widx] +=
+                                        g * in_row[in_idx];
+                                    grad_input.data_mut()[b * in_shape.flat_len() + in_idx] +=
+                                        g * self.weights.data()[w_row_start + widx];
+                                    widx += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.data().len() + self.bias.data().len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self.weights.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn read_params(&mut self, src: &[f64]) -> usize {
+        let w_len = self.weights.data().len();
+        let b_len = self.bias.data().len();
+        self.weights.data_mut().copy_from_slice(&src[..w_len]);
+        self.bias.data_mut().copy_from_slice(&src[w_len..w_len + b_len]);
+        w_len + b_len
+    }
+
+    fn apply_gradients(&mut self, lr: f64) {
+        self.weights.add_scaled_in_place(&self.grad_w, -lr);
+        self.bias.add_scaled_in_place(&self.grad_b, -lr);
+        self.grad_w.scale_in_place(0.0);
+        self.grad_b.scale_in_place(0.0);
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2×2 max pooling with stride 2 (trailing odd rows/columns are dropped).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    input_shape: ImageShape,
+    /// Argmax input index for every output element of the last forward pass.
+    cached_argmax: Option<Vec<usize>>,
+    cached_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a 2×2 max-pooling layer over volumes of the given shape.
+    pub fn new(input_shape: ImageShape) -> Self {
+        Self { input_shape, cached_argmax: None, cached_batch: 0 }
+    }
+
+    /// Shape of the pooled feature volume.
+    pub fn output_shape(&self) -> ImageShape {
+        ImageShape::new(
+            self.input_shape.channels,
+            self.input_shape.height / 2,
+            self.input_shape.width / 2,
+        )
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+        assert_eq!(input.cols(), self.input_shape.flat_len(), "MaxPool2d input width mismatch");
+        let out_shape = self.output_shape();
+        let mut out = Matrix::zeros(input.rows(), out_shape.flat_len());
+        let mut argmax = vec![0usize; input.rows() * out_shape.flat_len()];
+        let in_shape = self.input_shape;
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            for c in 0..in_shape.channels {
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = in_shape.index(c, oy * 2 + dy, ox * 2 + dx);
+                                if row[idx] > best {
+                                    best = row[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = out_shape.index(c, oy, ox);
+                        out.set(b, out_idx, best);
+                        argmax[b * out_shape.flat_len() + out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_batch = input.rows();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward called before forward on MaxPool2d layer");
+        let out_flat = self.output_shape().flat_len();
+        let mut grad_input = Matrix::zeros(self.cached_batch, self.input_shape.flat_len());
+        for b in 0..self.cached_batch {
+            for o in 0..out_flat {
+                let in_idx = argmax[b * out_flat + o];
+                grad_input.data_mut()[b * self.input_shape.flat_len() + in_idx] +=
+                    grad_output.get(b, o);
+            }
+        }
+        grad_input
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self { input_shape: self.input_shape, cached_argmax: None, cached_batch: 0 })
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::check_input_gradient;
+    use fmore_numerics::seeded_rng;
+
+    #[test]
+    fn image_shape_indexing() {
+        let s = ImageShape::new(2, 3, 4);
+        assert_eq!(s.flat_len(), 24);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn conv_identity_kernel_reproduces_input_patch() {
+        let mut rng = seeded_rng(1);
+        let shape = ImageShape::new(1, 3, 3);
+        let mut conv = Conv2d::new(shape, 1, 1, &mut rng);
+        // 1×1 kernel with weight 1, bias 0: output == input.
+        assert_eq!(conv.read_params(&[1.0, 0.0]), 2);
+        let x = Matrix::from_vec(1, 9, (1..=9).map(|v| v as f64).collect());
+        let y = conv.forward(&x, true, &mut rng);
+        assert_eq!(y.data(), x.data());
+        assert_eq!(conv.output_shape(), shape);
+    }
+
+    #[test]
+    fn conv_known_kernel_computes_expected_sums() {
+        let mut rng = seeded_rng(2);
+        let shape = ImageShape::new(1, 3, 3);
+        let mut conv = Conv2d::new(shape, 1, 2, &mut rng);
+        // All-ones 2x2 kernel, bias 0: each output is the sum of a 2x2 patch.
+        assert_eq!(conv.read_params(&[1.0, 1.0, 1.0, 1.0, 0.0]), 5);
+        let x = Matrix::from_vec(1, 9, (1..=9).map(|v| v as f64).collect());
+        let y = conv.forward(&x, true, &mut rng);
+        // Patches: [1,2,4,5]=12, [2,3,5,6]=16, [4,5,7,8]=24, [5,6,8,9]=28.
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+        assert_eq!(conv.output_shape(), ImageShape::new(1, 2, 2));
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(3);
+        let shape = ImageShape::new(2, 4, 4);
+        let mut conv = Conv2d::new(shape, 3, 3, &mut rng);
+        let x = Matrix::random_uniform(2, shape.flat_len(), 1.0, &mut rng);
+        check_input_gradient(&mut conv, &x, 1e-4);
+    }
+
+    #[test]
+    fn conv_param_roundtrip_and_update() {
+        let mut rng = seeded_rng(4);
+        let shape = ImageShape::new(1, 4, 4);
+        let mut conv = Conv2d::new(shape, 2, 3, &mut rng);
+        let mut params = Vec::new();
+        conv.write_params(&mut params);
+        assert_eq!(params.len(), conv.param_count());
+        // Gradient step changes the parameters.
+        let x = Matrix::random_uniform(1, shape.flat_len(), 1.0, &mut rng);
+        let y = conv.forward(&x, true, &mut rng);
+        conv.backward(&y.map(|_| 1.0));
+        conv.apply_gradients(0.1);
+        let mut after = Vec::new();
+        conv.write_params(&mut after);
+        assert_ne!(params, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn conv_rejects_oversized_kernel() {
+        let mut rng = seeded_rng(5);
+        let _ = Conv2d::new(ImageShape::new(1, 2, 2), 1, 3, &mut rng);
+    }
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradients() {
+        let mut rng = seeded_rng(6);
+        let shape = ImageShape::new(1, 4, 4);
+        let mut pool = MaxPool2d::new(shape);
+        #[rustfmt::skip]
+        let x = Matrix::from_vec(1, 16, vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 10.0, 11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ]);
+        let y = pool.forward(&x, true, &mut rng);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(pool.output_shape(), ImageShape::new(1, 2, 2));
+        let grad = pool.backward(&Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        // Gradient lands exactly on the argmax positions.
+        let mut expected = vec![0.0; 16];
+        expected[5] = 1.0;
+        expected[7] = 2.0;
+        expected[13] = 3.0;
+        expected[15] = 4.0;
+        assert_eq!(grad.data(), expected.as_slice());
+    }
+
+    #[test]
+    fn maxpool_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(7);
+        let shape = ImageShape::new(2, 4, 4);
+        let mut pool = MaxPool2d::new(shape);
+        let x = Matrix::random_uniform(2, shape.flat_len(), 1.0, &mut rng);
+        check_input_gradient(&mut pool, &x, 1e-4);
+    }
+}

@@ -1,0 +1,327 @@
+//! A single-layer LSTM that consumes a flattened sequence and emits the last hidden state.
+//!
+//! The paper's news-headline classifier is an LSTM followed by a dense softmax layer. Here
+//! the input row is a flattened sequence `x_1 … x_T` (each `x_t` of width `input_dim`), the
+//! layer runs the standard LSTM recurrence and outputs `h_T`, which downstream dense layers
+//! turn into class logits. The backward pass is full back-propagation through time.
+
+use super::Layer;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// Single-layer LSTM over flattened sequences.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden_dim: usize,
+    seq_len: usize,
+    /// `(input_dim, 4·hidden)` — gate order `[i, f, g, o]`.
+    w_x: Matrix,
+    /// `(hidden, 4·hidden)`.
+    w_h: Matrix,
+    /// `(1, 4·hidden)`.
+    bias: Matrix,
+    grad_wx: Matrix,
+    grad_wh: Matrix,
+    grad_b: Matrix,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    /// Per-timestep input slices `(batch, input_dim)`.
+    xs: Vec<Matrix>,
+    /// Hidden states `h_0 … h_T` (index 0 is the initial zero state).
+    hs: Vec<Matrix>,
+    /// Cell states `c_0 … c_T`.
+    cs: Vec<Matrix>,
+    /// Gate activations per timestep: `(i, f, g, o)`.
+    gates: Vec<(Matrix, Matrix, Matrix, Matrix)>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM layer for sequences of `seq_len` steps, each of width `input_dim`,
+    /// with `hidden_dim` hidden units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(seq_len: usize, input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
+        assert!(seq_len > 0 && input_dim > 0 && hidden_dim > 0, "LSTM dimensions must be positive");
+        Self {
+            input_dim,
+            hidden_dim,
+            seq_len,
+            w_x: Matrix::he_init(input_dim, 4 * hidden_dim, input_dim, rng),
+            w_h: Matrix::he_init(hidden_dim, 4 * hidden_dim, hidden_dim, rng),
+            bias: Matrix::zeros(1, 4 * hidden_dim),
+            grad_wx: Matrix::zeros(input_dim, 4 * hidden_dim),
+            grad_wh: Matrix::zeros(hidden_dim, 4 * hidden_dim),
+            grad_b: Matrix::zeros(1, 4 * hidden_dim),
+            cache: None,
+        }
+    }
+
+    /// Hidden-state width (the layer's output dimension).
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Expected flattened input width `seq_len · input_dim`.
+    pub fn input_width(&self) -> usize {
+        self.seq_len * self.input_dim
+    }
+
+    fn slice_timestep(&self, input: &Matrix, t: usize) -> Matrix {
+        let mut out = Matrix::zeros(input.rows(), self.input_dim);
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            out.row_mut(b)
+                .copy_from_slice(&row[t * self.input_dim..(t + 1) * self.input_dim]);
+        }
+        out
+    }
+
+    /// Splits a `(batch, 4H)` pre-activation into activated gates `(i, f, g, o)`.
+    fn activate_gates(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let h = self.hidden_dim;
+        let batch = z.rows();
+        let mut i = Matrix::zeros(batch, h);
+        let mut f = Matrix::zeros(batch, h);
+        let mut g = Matrix::zeros(batch, h);
+        let mut o = Matrix::zeros(batch, h);
+        for b in 0..batch {
+            let row = z.row(b);
+            for j in 0..h {
+                i.set(b, j, sigmoid(row[j]));
+                f.set(b, j, sigmoid(row[h + j]));
+                g.set(b, j, row[2 * h + j].tanh());
+                o.set(b, j, sigmoid(row[3 * h + j]));
+            }
+        }
+        (i, f, g, o)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+        assert_eq!(input.cols(), self.input_width(), "LSTM input width mismatch");
+        let batch = input.rows();
+        let mut hs = vec![Matrix::zeros(batch, self.hidden_dim)];
+        let mut cs = vec![Matrix::zeros(batch, self.hidden_dim)];
+        let mut xs = Vec::with_capacity(self.seq_len);
+        let mut gates = Vec::with_capacity(self.seq_len);
+
+        for t in 0..self.seq_len {
+            let x_t = self.slice_timestep(input, t);
+            let z = x_t
+                .matmul(&self.w_x)
+                .add(&hs[t].matmul(&self.w_h))
+                .add_row_broadcast(&self.bias);
+            let (i, f, g, o) = self.activate_gates(&z);
+            let c_t = f.hadamard(&cs[t]).add(&i.hadamard(&g));
+            let h_t = o.hadamard(&c_t.map(f64::tanh));
+            xs.push(x_t);
+            gates.push((i, f, g, o));
+            cs.push(c_t);
+            hs.push(h_t);
+        }
+        let out = hs.last().unwrap().clone();
+        self.cache = Some(Cache { xs, hs, cs, gates });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward on LSTM layer");
+        let batch = grad_output.rows();
+        let h_dim = self.hidden_dim;
+        let mut grad_input = Matrix::zeros(batch, self.input_width());
+        let mut dh = grad_output.clone();
+        let mut dc = Matrix::zeros(batch, h_dim);
+
+        for t in (0..self.seq_len).rev() {
+            let (i, f, g, o) = &cache.gates[t];
+            let c_t = &cache.cs[t + 1];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let x_t = &cache.xs[t];
+
+            let tanh_c = c_t.map(f64::tanh);
+            let d_o = dh.hadamard(&tanh_c);
+            let dct = dc.add(&dh.hadamard(o).hadamard(&tanh_c.map(|y| 1.0 - y * y)));
+            let d_i = dct.hadamard(g);
+            let d_g = dct.hadamard(i);
+            let d_f = dct.hadamard(c_prev);
+
+            // Pre-activation gradients.
+            let dz_i = d_i.hadamard(&i.map(|y| y * (1.0 - y)));
+            let dz_f = d_f.hadamard(&f.map(|y| y * (1.0 - y)));
+            let dz_g = d_g.hadamard(&g.map(|y| 1.0 - y * y));
+            let dz_o = d_o.hadamard(&o.map(|y| y * (1.0 - y)));
+
+            // Assemble (batch, 4H).
+            let mut dz = Matrix::zeros(batch, 4 * h_dim);
+            for b in 0..batch {
+                for j in 0..h_dim {
+                    dz.set(b, j, dz_i.get(b, j));
+                    dz.set(b, h_dim + j, dz_f.get(b, j));
+                    dz.set(b, 2 * h_dim + j, dz_g.get(b, j));
+                    dz.set(b, 3 * h_dim + j, dz_o.get(b, j));
+                }
+            }
+
+            self.grad_wx = self.grad_wx.add(&x_t.transpose().matmul(&dz));
+            self.grad_wh = self.grad_wh.add(&h_prev.transpose().matmul(&dz));
+            self.grad_b = self.grad_b.add(&dz.sum_rows());
+
+            let dx = dz.matmul(&self.w_x.transpose());
+            for b in 0..batch {
+                let dst = &mut grad_input.row_mut(b)
+                    [t * self.input_dim..(t + 1) * self.input_dim];
+                for (d, s) in dst.iter_mut().zip(dx.row(b)) {
+                    *d += s;
+                }
+            }
+            dh = dz.matmul(&self.w_h.transpose());
+            dc = dct.hadamard(f);
+        }
+        grad_input
+    }
+
+    fn param_count(&self) -> usize {
+        self.w_x.data().len() + self.w_h.data().len() + self.bias.data().len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self.w_x.data());
+        out.extend_from_slice(self.w_h.data());
+        out.extend_from_slice(self.bias.data());
+    }
+
+    fn read_params(&mut self, src: &[f64]) -> usize {
+        let (a, b, c) = (self.w_x.data().len(), self.w_h.data().len(), self.bias.data().len());
+        self.w_x.data_mut().copy_from_slice(&src[..a]);
+        self.w_h.data_mut().copy_from_slice(&src[a..a + b]);
+        self.bias.data_mut().copy_from_slice(&src[a + b..a + b + c]);
+        a + b + c
+    }
+
+    fn apply_gradients(&mut self, lr: f64) {
+        self.w_x.add_scaled_in_place(&self.grad_wx, -lr);
+        self.w_h.add_scaled_in_place(&self.grad_wh, -lr);
+        self.bias.add_scaled_in_place(&self.grad_b, -lr);
+        self.grad_wx.scale_in_place(0.0);
+        self.grad_wh.scale_in_place(0.0);
+        self.grad_b.scale_in_place(0.0);
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::check_input_gradient;
+    use fmore_numerics::seeded_rng;
+
+    #[test]
+    fn forward_shapes_and_accessors() {
+        let mut rng = seeded_rng(1);
+        let mut lstm = Lstm::new(5, 3, 4, &mut rng);
+        assert_eq!(lstm.input_width(), 15);
+        assert_eq!(lstm.hidden_dim(), 4);
+        assert_eq!(lstm.name(), "lstm");
+        let x = Matrix::random_uniform(2, 15, 1.0, &mut rng);
+        let h = lstm.forward(&x, true, &mut rng);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 4);
+        // Hidden state stays in (-1, 1) because it is o ⊙ tanh(c).
+        assert!(h.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_weights_give_zero_output() {
+        let mut rng = seeded_rng(2);
+        let mut lstm = Lstm::new(3, 2, 2, &mut rng);
+        let zeros = vec![0.0; lstm.param_count()];
+        lstm.read_params(&zeros);
+        let x = Matrix::random_uniform(1, 6, 1.0, &mut rng);
+        let h = lstm.forward(&x, true, &mut rng);
+        // With all weights and biases at zero, i = f = o = 0.5, g = 0, so c stays 0 and h = 0.
+        assert!(h.data().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(3);
+        let mut lstm = Lstm::new(3, 2, 3, &mut rng);
+        let x = Matrix::random_uniform(2, 6, 0.8, &mut rng);
+        check_input_gradient(&mut lstm, &x, 1e-3);
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let mut rng = seeded_rng(4);
+        let lstm = Lstm::new(4, 3, 5, &mut rng);
+        let mut params = Vec::new();
+        lstm.write_params(&mut params);
+        assert_eq!(params.len(), lstm.param_count());
+        let mut other = Lstm::new(4, 3, 5, &mut rng);
+        assert_eq!(other.read_params(&params), params.len());
+        let mut back = Vec::new();
+        other.write_params(&mut back);
+        assert_eq!(params, back);
+    }
+
+    #[test]
+    fn training_step_moves_parameters_and_reduces_loss() {
+        // Learn to output a large positive first hidden unit for a fixed input.
+        let mut rng = seeded_rng(5);
+        let mut lstm = Lstm::new(2, 2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 4, vec![0.5, -0.3, 0.8, 0.1]);
+        let loss = |h: &Matrix| (1.0 - h.get(0, 0)).powi(2);
+        let mut rng2 = seeded_rng(6);
+        let h0 = lstm.forward(&x, true, &mut rng2);
+        let initial = loss(&h0);
+        for _ in 0..200 {
+            let h = lstm.forward(&x, true, &mut rng2);
+            let mut grad = Matrix::zeros(1, 2);
+            grad.set(0, 0, -2.0 * (1.0 - h.get(0, 0)));
+            lstm.backward(&grad);
+            lstm.apply_gradients(0.1);
+        }
+        let h_final = lstm.forward(&x, true, &mut rng2);
+        assert!(
+            loss(&h_final) < initial * 0.5,
+            "loss should at least halve: {} -> {}",
+            initial,
+            loss(&h_final)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_is_rejected() {
+        let mut rng = seeded_rng(7);
+        let _ = Lstm::new(0, 2, 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_is_rejected() {
+        let mut rng = seeded_rng(8);
+        let mut lstm = Lstm::new(2, 2, 2, &mut rng);
+        let x = Matrix::zeros(1, 5);
+        let _ = lstm.forward(&x, true, &mut rng);
+    }
+}

@@ -1,0 +1,103 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! All layers operate on mini-batches stored as [`Matrix`] values of shape
+//! `(batch, features)`. Convolutional and pooling layers interpret the feature axis as a
+//! flattened `channels × height × width` volume described by an [`ImageShape`].
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod lstm;
+
+pub use activation::{Activation, ActivationKind};
+pub use conv::{Conv2d, ImageShape, MaxPool2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use lstm::Lstm;
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// A differentiable layer.
+///
+/// The contract mirrors classic define-by-run frameworks:
+///
+/// 1. [`Layer::forward`] consumes a mini-batch and caches whatever it needs for the backward
+///    pass;
+/// 2. [`Layer::backward`] consumes `∂L/∂output`, accumulates parameter gradients internally,
+///    and returns `∂L/∂input`;
+/// 3. [`Layer::apply_gradients`] performs one SGD step (`w ← w − lr · ∇w`) and clears the
+///    accumulated gradients.
+///
+/// Parameters can be exported and imported as flat `f64` slices so the federated-learning
+/// crate can average models across clients (FedAvg, Eq. 3 of the paper).
+pub trait Layer: Send + Sync {
+    /// Forward pass over a `(batch, in_features)` matrix. `training` enables stochastic
+    /// behaviour such as dropout.
+    fn forward(&mut self, input: &Matrix, training: bool, rng: &mut StdRng) -> Matrix;
+
+    /// Backward pass: receives `∂L/∂output`, returns `∂L/∂input`.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Appends the layer's parameters to `out` in a stable order.
+    fn write_params(&self, _out: &mut Vec<f64>) {}
+
+    /// Reads the layer's parameters back from `src`, returning how many values were consumed.
+    fn read_params(&mut self, _src: &[f64]) -> usize {
+        0
+    }
+
+    /// Applies one SGD step with learning rate `lr` and clears accumulated gradients.
+    fn apply_gradients(&mut self, _lr: f64) {}
+
+    /// Clones the layer into a boxed trait object (parameters included, caches excluded).
+    fn clone_layer(&self) -> Box<dyn Layer>;
+
+    /// Short layer name used in model summaries.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_layer()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use fmore_numerics::seeded_rng;
+
+    /// Finite-difference gradient check for a layer: perturbs each input entry and compares
+    /// the numerical gradient of `sum(output)` with the analytic gradient returned by
+    /// `backward(ones)`.
+    pub fn check_input_gradient<L: Layer>(layer: &mut L, input: &Matrix, tolerance: f64) {
+        let mut rng = seeded_rng(0);
+        let out = layer.forward(input, false, &mut rng);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        let analytic = layer.backward(&ones);
+        let eps = 1e-5;
+        for idx in 0..input.data().len() {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let mut rng_p = seeded_rng(0);
+            let f_plus: f64 = layer.forward(&plus, false, &mut rng_p).data().iter().sum();
+            let mut rng_m = seeded_rng(0);
+            let f_minus: f64 = layer.forward(&minus, false, &mut rng_m).data().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let got = analytic.data()[idx];
+            assert!(
+                (numeric - got).abs() < tolerance * numeric.abs().max(1.0),
+                "gradient mismatch at {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+}

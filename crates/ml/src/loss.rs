@@ -1,0 +1,144 @@
+//! Softmax cross-entropy loss.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable row-wise softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum.max(1e-300);
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, grad)` where `grad` has the same shape as `logits` and already includes
+/// the `1/batch` factor, so it can be fed straight into the backward pass.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per logit row is required");
+    let probs = softmax(logits);
+    let batch = logits.rows() as f64;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range for {} classes", logits.cols());
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    grad.scale_in_place(1.0 / batch);
+    (loss / batch, grad)
+}
+
+/// Row-wise argmax: the predicted class for every sample.
+pub fn predictions(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+        // Larger logits get larger probabilities.
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, 1001.0]);
+        let p = softmax(&logits);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!((p.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_vec(1, 3, vec![20.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (bad_loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!(bad_loss > 10.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Matrix::zeros(4, 10);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0_f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_vec(2, 3, vec![0.2, -0.1, 0.5, 1.0, 0.3, -0.7]);
+        let labels = [2, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-6;
+        for idx in 0..logits.data().len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[idx]).abs() < 1e-6,
+                "grad mismatch at {idx}: {numeric} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_take_row_argmax() {
+        let logits = Matrix::from_vec(3, 3, vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0, 0.0, 0.1, 0.2]);
+        assert_eq!(predictions(&logits), vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per logit row")]
+    fn mismatched_labels_are_rejected() {
+        let logits = Matrix::zeros(2, 3);
+        let _ = softmax_cross_entropy(&logits, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_is_rejected() {
+        let logits = Matrix::zeros(1, 3);
+        let _ = softmax_cross_entropy(&logits, &[7]);
+    }
+}

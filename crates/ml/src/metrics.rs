@@ -1,0 +1,96 @@
+//! Evaluation metrics.
+
+/// Classification accuracy: the fraction of predictions equal to the targets.
+///
+/// Returns `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix `counts[target][prediction]` for `num_classes` classes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any label is out of range.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    targets: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    let mut counts = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in predictions.iter().zip(targets) {
+        assert!(p < num_classes && t < num_classes, "label out of range");
+        counts[t][p] += 1;
+    }
+    counts
+}
+
+/// Per-class recall computed from a confusion matrix; classes with no samples get recall 0.
+pub fn per_class_recall(confusion: &[Vec<usize>]) -> Vec<f64> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(class, row)| {
+            let total: usize = row.iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                row[class] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+        assert_eq!(accuracy(&[5, 5], &[5, 5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_by_target_then_prediction() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_matrix_rejects_bad_labels() {
+        let _ = confusion_matrix(&[0, 4], &[0, 1], 3);
+    }
+
+    #[test]
+    fn recall_handles_empty_classes() {
+        let m = confusion_matrix(&[0, 0, 1], &[0, 0, 1], 3);
+        let recall = per_class_recall(&m);
+        assert_eq!(recall[0], 1.0);
+        assert_eq!(recall[1], 1.0);
+        assert_eq!(recall[2], 0.0);
+    }
+}

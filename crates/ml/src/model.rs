@@ -1,0 +1,284 @@
+//! The trainable model abstraction and the [`Sequential`] container.
+//!
+//! Federated learning only needs three operations from a model: export its parameters as a
+//! flat vector (so the aggregator can average them, Eq. 3), import averaged parameters, and
+//! perform local SGD epochs on a data shard (Eq. 2). The [`Model`] trait captures exactly
+//! that, and [`Sequential`] implements it for a stack of [`Layer`]s trained with softmax
+//! cross-entropy.
+
+use crate::dataset::Dataset;
+use crate::layers::Layer;
+use crate::loss::{predictions, softmax_cross_entropy};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// Accuracy and loss of a model on a data shard.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Evaluation {
+    /// Mean softmax cross-entropy loss.
+    pub loss: f64,
+    /// Fraction of correctly classified samples in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// A trainable classification model.
+pub trait Model: Send + Sync {
+    /// Exports all trainable parameters as one flat vector (stable order).
+    fn parameters(&self) -> Vec<f64>;
+
+    /// Imports parameters previously produced by [`Model::parameters`] (or an average of
+    /// several such vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong length.
+    fn set_parameters(&mut self, params: &[f64]);
+
+    /// Total number of trainable parameters.
+    fn num_parameters(&self) -> usize;
+
+    /// Runs one epoch of mini-batch SGD (Eq. 2, `w ← w − η ∇F_i(w)`) over the given sample
+    /// indices of `data`. Returns the mean training loss over the epoch.
+    fn train_epoch(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f64;
+
+    /// Evaluates loss and accuracy over the given sample indices of `data`.
+    fn evaluate(&self, data: &Dataset, indices: &[usize]) -> Evaluation;
+
+    /// Clones the model (architecture and parameters) into a boxed trait object.
+    fn clone_model(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// A feed-forward stack of layers trained with softmax cross-entropy.
+#[derive(Clone)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    /// Scratch RNG for stochastic layers (dropout); reseeded deterministically per model.
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("parameters", &self.num_parameters())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates a model from an ordered stack of layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "a Sequential model needs at least one layer");
+        Self { layers, rng: fmore_numerics::seeded_rng(0xF00D) }
+    }
+
+    /// Layer names in order, useful for summaries and tests.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs the forward pass and returns the logits for a feature batch.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut out = x.clone();
+        for layer in &mut self.layers {
+            out = layer.forward(&out, training, &mut self.rng);
+        }
+        out
+    }
+
+    fn backward_and_step(&mut self, grad_logits: &Matrix, lr: f64) {
+        let mut grad = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr);
+        }
+    }
+}
+
+impl Model for Sequential {
+    fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter vector length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&params[offset..]);
+        }
+        debug_assert_eq!(offset, params.len());
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn train_epoch(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let batch_size = batch_size.max(1);
+        let mut order = indices.to_vec();
+        fmore_numerics::rng::shuffle(&mut order, rng);
+        let mut total_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            let (x, y) = data.batch(chunk);
+            let logits = self.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &y);
+            self.backward_and_step(&grad, learning_rate);
+            total_loss += loss;
+            batches += 1;
+        }
+        total_loss / batches as f64
+    }
+
+    fn evaluate(&self, data: &Dataset, indices: &[usize]) -> Evaluation {
+        if indices.is_empty() {
+            return Evaluation::default();
+        }
+        // Evaluation must not mutate the model; run on a scratch clone so layer caches and the
+        // dropout RNG stay untouched.
+        let mut scratch = self.clone();
+        let mut total_loss = 0.0;
+        let mut correct = 0usize;
+        let mut count = 0usize;
+        for chunk in indices.chunks(256) {
+            let (x, y) = data.batch(chunk);
+            let logits = scratch.forward(&x, false);
+            let (loss, _) = softmax_cross_entropy(&logits, &y);
+            total_loss += loss * chunk.len() as f64;
+            let preds = predictions(&logits);
+            correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+            count += chunk.len();
+        }
+        Evaluation { loss: total_loss / count as f64, accuracy: correct as f64 / count as f64 }
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticImageSpec;
+    use crate::layers::{Activation, Dense};
+    use fmore_numerics::seeded_rng;
+
+    fn tiny_mlp(input: usize, classes: usize, seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(input, 16, &mut rng)),
+            Box::new(Activation::relu()),
+            Box::new(Dense::new(16, classes, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn parameter_roundtrip_and_count() {
+        let model = tiny_mlp(8, 4, 1);
+        let params = model.parameters();
+        assert_eq!(params.len(), model.num_parameters());
+        assert_eq!(params.len(), 8 * 16 + 16 + 16 * 4 + 4);
+        let mut other = tiny_mlp(8, 4, 2);
+        assert_ne!(other.parameters(), params);
+        other.set_parameters(&params);
+        assert_eq!(other.parameters(), params);
+        assert_eq!(model.layer_names(), vec!["dense", "relu", "dense"]);
+        assert!(format!("{model:?}").contains("dense"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_parameter_length_is_rejected() {
+        let mut model = tiny_mlp(8, 4, 1);
+        model.set_parameters(&[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_is_rejected() {
+        let _ = Sequential::new(vec![]);
+    }
+
+    #[test]
+    fn training_improves_accuracy_on_easy_task() {
+        let mut rng = seeded_rng(3);
+        let data = SyntheticImageSpec::mnist_like().generate(300, &mut rng);
+        let mut model = tiny_mlp(data.feature_dim(), data.num_classes(), 4);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let before = model.evaluate(&data, &all);
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..8 {
+            last_loss = model.train_epoch(&data, &all, 0.1, 32, &mut rng);
+        }
+        let after = model.evaluate(&data, &all);
+        assert!(after.accuracy > before.accuracy + 0.2, "{:?} -> {:?}", before, after);
+        assert!(after.loss < before.loss);
+        assert!(last_loss < 2.0);
+    }
+
+    #[test]
+    fn evaluate_does_not_change_parameters() {
+        let mut rng = seeded_rng(5);
+        let data = SyntheticImageSpec::mnist_like().generate(50, &mut rng);
+        let model = tiny_mlp(data.feature_dim(), 10, 6);
+        let before = model.parameters();
+        let _ = model.evaluate(&data, &(0..data.len()).collect::<Vec<_>>());
+        assert_eq!(model.parameters(), before);
+    }
+
+    #[test]
+    fn empty_index_sets_are_handled() {
+        let mut rng = seeded_rng(6);
+        let data = SyntheticImageSpec::mnist_like().generate(10, &mut rng);
+        let mut model = tiny_mlp(data.feature_dim(), 10, 7);
+        assert_eq!(model.train_epoch(&data, &[], 0.1, 8, &mut rng), 0.0);
+        let eval = model.evaluate(&data, &[]);
+        assert_eq!(eval, Evaluation::default());
+    }
+
+    #[test]
+    fn cloned_model_diverges_after_independent_training() {
+        let mut rng = seeded_rng(8);
+        let data = SyntheticImageSpec::mnist_like().generate(60, &mut rng);
+        let model = tiny_mlp(data.feature_dim(), 10, 9);
+        let mut clone = model.clone_model();
+        assert_eq!(clone.parameters(), model.parameters());
+        clone.train_epoch(&data, &(0..data.len()).collect::<Vec<_>>(), 0.1, 16, &mut rng);
+        assert_ne!(clone.parameters(), model.parameters());
+    }
+}

@@ -1,0 +1,47 @@
+//! Numerical substrate for the FMore reproduction.
+//!
+//! The FMore incentive mechanism (Zeng et al., ICDCS 2020) requires a small set of
+//! numerical tools to compute Nash-equilibrium bids and to drive the simulation:
+//!
+//! * first-order ODE solvers (Euler, RK4) used to integrate the payment equation of
+//!   Theorem 1 ([`ode`]),
+//! * numerical quadrature used for the closed-form payment integral ([`quadrature`]),
+//! * one-dimensional and coordinate-wise maximisation used for the quality choice
+//!   `q* = argmax s(q) − c(q, θ)` of Che's Theorem 1 ([`optimize`]),
+//! * probability distributions over the private cost parameter θ and empirical CDFs
+//!   estimated from historical data ([`distribution`]),
+//! * min–max normalisation as used by the walk-through example of Section III-B
+//!   ([`normalize`]),
+//! * summary statistics and histograms used by the evaluation ([`stats`]),
+//! * deterministic, seedable random-number helpers so that every experiment in the
+//!   repository is reproducible ([`rng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fmore_numerics::optimize::maximize_scalar;
+//!
+//! // argmax of s(q) - c(q, θ) for s(q) = 2√q and c(q, θ) = θ q with θ = 0.5.
+//! let (q_star, value) = maximize_scalar(|q| 2.0 * q.sqrt() - 0.5 * q, 0.0, 100.0, 1e-9);
+//! assert!((q_star - 4.0).abs() < 1e-3);
+//! assert!((value - 2.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distribution;
+pub mod error;
+pub mod normalize;
+pub mod ode;
+pub mod optimize;
+pub mod quadrature;
+pub mod rng;
+pub mod stats;
+
+pub use distribution::{Distribution1D, EmpiricalCdf, TruncatedNormal, UniformDist};
+pub use error::NumericsError;
+pub use ode::{solve_euler, solve_rk4, OdeSolution};
+pub use optimize::{maximize_coordinate, maximize_scalar};
+pub use quadrature::{cumulative_trapezoid, simpson, trapezoid};
+pub use rng::seeded_rng;

@@ -1,0 +1,229 @@
+//! First-order ODE solvers.
+//!
+//! The payment component of the Nash-equilibrium bid in FMore (Theorem 1) is characterised
+//! by the first-order linear differential equation
+//!
+//! ```text
+//! b'(u) + φ(u) b(u) = u φ(u),        φ(u) = g'(u) / g(u),
+//! ```
+//!
+//! with the initial condition `b(0) = 0`. The paper proposes solving it with the Euler
+//! method (Eq. 13–14) in linear time; we also provide a classical Runge–Kutta 4 solver so
+//! the ablation benchmarks can compare the two.
+
+use crate::error::NumericsError;
+
+/// The numerical solution of an initial-value problem on a uniform grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeSolution {
+    /// Grid points `x_0 < x_1 < … < x_n`.
+    pub xs: Vec<f64>,
+    /// Solution values `y_i ≈ y(x_i)`.
+    pub ys: Vec<f64>,
+}
+
+impl OdeSolution {
+    /// Returns the final value `y(x_n)` of the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty, which cannot happen for solutions produced by
+    /// [`solve_euler`] or [`solve_rk4`].
+    pub fn final_value(&self) -> f64 {
+        *self.ys.last().expect("ODE solution is never empty")
+    }
+
+    /// Linearly interpolates the solution at `x`, clamping to the grid endpoints.
+    pub fn interpolate(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return 0.0;
+        }
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().unwrap() {
+            return *self.ys.last().unwrap();
+        }
+        // Binary search for the segment containing x.
+        let idx = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        let t = (x - x0) / (x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+}
+
+fn validate_grid(x0: f64, x1: f64, steps: usize) -> Result<(), NumericsError> {
+    if !x0.is_finite() || !x1.is_finite() || x1 < x0 {
+        return Err(NumericsError::InvalidInterval { lo: x0, hi: x1 });
+    }
+    if steps == 0 {
+        return Err(NumericsError::EmptyInput("ODE steps"));
+    }
+    Ok(())
+}
+
+/// Solves `dy/dx = f(x, y)` with `y(x0) = y0` on `[x0, x1]` using the forward Euler method
+/// (the method proposed by the FMore paper, Eq. 13–14) with `steps` uniform steps.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInterval`] if the interval is invalid and
+/// [`NumericsError::EmptyInput`] if `steps == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fmore_numerics::ode::solve_euler;
+/// // dy/dx = y, y(0) = 1  =>  y(1) = e
+/// let sol = solve_euler(|_, y| y, 0.0, 1.0, 1.0, 10_000).unwrap();
+/// assert!((sol.final_value() - std::f64::consts::E).abs() < 1e-3);
+/// ```
+pub fn solve_euler<F>(
+    mut f: F,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    steps: usize,
+) -> Result<OdeSolution, NumericsError>
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    validate_grid(x0, x1, steps)?;
+    let h = (x1 - x0) / steps as f64;
+    let mut xs = Vec::with_capacity(steps + 1);
+    let mut ys = Vec::with_capacity(steps + 1);
+    let (mut x, mut y) = (x0, y0);
+    xs.push(x);
+    ys.push(y);
+    for _ in 0..steps {
+        y += h * f(x, y);
+        x += h;
+        xs.push(x);
+        ys.push(y);
+    }
+    Ok(OdeSolution { xs, ys })
+}
+
+/// Solves `dy/dx = f(x, y)` with `y(x0) = y0` on `[x0, x1]` using the classical fourth-order
+/// Runge–Kutta method with `steps` uniform steps.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInterval`] if the interval is invalid and
+/// [`NumericsError::EmptyInput`] if `steps == 0`.
+pub fn solve_rk4<F>(
+    mut f: F,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    steps: usize,
+) -> Result<OdeSolution, NumericsError>
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    validate_grid(x0, x1, steps)?;
+    let h = (x1 - x0) / steps as f64;
+    let mut xs = Vec::with_capacity(steps + 1);
+    let mut ys = Vec::with_capacity(steps + 1);
+    let (mut x, mut y) = (x0, y0);
+    xs.push(x);
+    ys.push(y);
+    for _ in 0..steps {
+        let k1 = f(x, y);
+        let k2 = f(x + h / 2.0, y + h / 2.0 * k1);
+        let k3 = f(x + h / 2.0, y + h / 2.0 * k2);
+        let k4 = f(x + h, y + h * k3);
+        y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        x += h;
+        xs.push(x);
+        ys.push(y);
+    }
+    Ok(OdeSolution { xs, ys })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euler_matches_exponential() {
+        let sol = solve_euler(|_, y| y, 0.0, 1.0, 1.0, 50_000).unwrap();
+        assert!((sol.final_value() - std::f64::consts::E).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_than_euler() {
+        let exact = std::f64::consts::E;
+        let euler = solve_euler(|_, y| y, 0.0, 1.0, 1.0, 100).unwrap().final_value();
+        let rk4 = solve_rk4(|_, y| y, 0.0, 1.0, 1.0, 100).unwrap().final_value();
+        assert!((rk4 - exact).abs() < (euler - exact).abs());
+        assert!((rk4 - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn euler_handles_degenerate_interval() {
+        let sol = solve_euler(|_, y| y, 2.0, 5.0, 2.0, 10).unwrap();
+        assert_eq!(sol.final_value(), 5.0);
+        assert_eq!(sol.xs.len(), 11);
+    }
+
+    #[test]
+    fn zero_steps_is_rejected() {
+        assert_eq!(
+            solve_euler(|_, y| y, 0.0, 1.0, 1.0, 0).unwrap_err(),
+            NumericsError::EmptyInput("ODE steps")
+        );
+    }
+
+    #[test]
+    fn reversed_interval_is_rejected() {
+        assert!(matches!(
+            solve_rk4(|_, y| y, 1.0, 1.0, 0.0, 10).unwrap_err(),
+            NumericsError::InvalidInterval { .. }
+        ));
+    }
+
+    #[test]
+    fn linear_ode_solved_exactly_by_euler_when_rhs_constant() {
+        // dy/dx = 3 -> y = 3x; Euler is exact for constant RHS.
+        let sol = solve_euler(|_, _| 3.0, 0.0, 0.0, 2.0, 8).unwrap();
+        assert!((sol.final_value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_on_monotone_solution() {
+        let sol = solve_rk4(|_, y| y, 0.0, 1.0, 1.0, 100).unwrap();
+        let a = sol.interpolate(0.25);
+        let b = sol.interpolate(0.5);
+        let c = sol.interpolate(0.75);
+        assert!(a < b && b < c);
+        // Clamping at the ends.
+        assert_eq!(sol.interpolate(-1.0), sol.ys[0]);
+        assert_eq!(sol.interpolate(10.0), sol.final_value());
+    }
+
+    #[test]
+    fn rk4_solves_payment_style_linear_ode() {
+        // b'(u) = φ(u) (u - b(u)) with φ(u) = 2/u (i.e. g(u) = u^2, N=3, K=1 style).
+        // Analytic solution with b(0)=0 is b(u) = 2u/3.
+        let sol = solve_rk4(
+            |u, b| {
+                if u <= 1e-12 {
+                    0.0
+                } else {
+                    (2.0 / u) * (u - b)
+                }
+            },
+            0.0,
+            0.0,
+            3.0,
+            30_000,
+        )
+        .unwrap();
+        assert!((sol.final_value() - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Derivative-free maximisation.
+//!
+//! Che's Theorem 1 chooses the bid quality as `q*(θ) = argmax_q s(q) − c(q, θ)`. For the
+//! scoring and cost families used in the paper this objective is strictly concave, so a
+//! golden-section search on each coordinate converges to the global maximiser. The
+//! coordinate-ascent wrapper handles the multi-dimensional resource case of Proposition 3.
+
+/// Maximises a unimodal scalar function over `[lo, hi]` by golden-section search.
+///
+/// Returns the pair `(argmax, max)`. When the objective is not unimodal the result is a
+/// local maximiser. The search stops when the bracketing interval is shorter than `tol`
+/// (a minimum of `1e-12` is enforced).
+///
+/// # Example
+///
+/// ```
+/// use fmore_numerics::optimize::maximize_scalar;
+/// let (x, v) = maximize_scalar(|x| -(x - 3.0) * (x - 3.0), 0.0, 10.0, 1e-10);
+/// assert!((x - 3.0).abs() < 1e-4);
+/// assert!(v.abs() < 1e-8);
+/// ```
+pub fn maximize_scalar<F>(mut f: F, lo: f64, hi: f64, tol: f64) -> (f64, f64)
+where
+    F: FnMut(f64) -> f64,
+{
+    let tol = tol.max(1e-12);
+    let (mut a, mut b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    if (b - a) < tol {
+        let x = 0.5 * (a + b);
+        return (x, f(x));
+    }
+    let inv_phi = (5_f64.sqrt() - 1.0) / 2.0; // 1/φ
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a) > tol {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// Maximises `f` over an axis-aligned box by cyclic coordinate ascent, using
+/// [`maximize_scalar`] for each coordinate.
+///
+/// * `bounds` — per-coordinate `(lo, hi)` intervals; the dimension of the problem is
+///   `bounds.len()`.
+/// * `sweeps` — number of full passes over all coordinates.
+///
+/// Returns the pair `(argmax, max)`. For objectives that are concave and separable or have
+/// strictly concave restrictions along coordinates (all scoring − cost combinations shipped
+/// with this repository), coordinate ascent converges to the global maximiser.
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty.
+pub fn maximize_coordinate<F>(mut f: F, bounds: &[(f64, f64)], sweeps: usize) -> (Vec<f64>, f64)
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!bounds.is_empty(), "maximize_coordinate requires at least one dimension");
+    // Start at the box midpoint.
+    let mut x: Vec<f64> = bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
+    let mut best = f(&x);
+    for _ in 0..sweeps.max(1) {
+        for dim in 0..bounds.len() {
+            let (lo, hi) = bounds[dim];
+            let mut probe = x.clone();
+            let (xi, vi) = maximize_scalar(
+                |v| {
+                    probe[dim] = v;
+                    f(&probe)
+                },
+                lo,
+                hi,
+                1e-9 * (hi - lo).abs().max(1.0),
+            );
+            if vi > best {
+                best = vi;
+                x[dim] = xi;
+            }
+        }
+    }
+    (x, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_maximum_of_concave_quadratic() {
+        let (x, v) = maximize_scalar(|x| 4.0 - (x - 1.5).powi(2), -10.0, 10.0, 1e-12);
+        assert!((x - 1.5).abs() < 1e-5);
+        assert!((v - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_maximum_on_boundary() {
+        // Increasing function: maximum should be found at the upper bound.
+        let (x, _) = maximize_scalar(|x| x, 0.0, 5.0, 1e-10);
+        assert!((x - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scalar_handles_reversed_bounds() {
+        let (x, _) = maximize_scalar(|x| -(x - 2.0).powi(2), 10.0, 0.0, 1e-10);
+        assert!((x - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scalar_handles_tiny_interval() {
+        let (x, v) = maximize_scalar(|x| x, 1.0, 1.0, 1e-10);
+        assert_eq!(x, 1.0);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn coordinate_ascent_on_separable_objective() {
+        let (x, v) = maximize_coordinate(
+            |x| -(x[0] - 1.0).powi(2) - (x[1] + 2.0).powi(2) + 7.0,
+            &[(-5.0, 5.0), (-5.0, 5.0)],
+            4,
+        );
+        assert!((x[0] - 1.0).abs() < 1e-4);
+        assert!((x[1] + 2.0).abs() < 1e-4);
+        assert!((v - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn coordinate_ascent_on_coupled_concave_objective() {
+        // Cobb-Douglas s(q) = q1^0.5 q2^0.5 minus linear cost: concave, interior maximum.
+        let theta = 0.2;
+        let (x, _) = maximize_coordinate(
+            |q| (q[0].max(0.0) * q[1].max(0.0)).sqrt() - theta * (q[0] + q[1]),
+            &[(0.0, 50.0), (0.0, 50.0)],
+            8,
+        );
+        // Symmetric problem: q1 = q2 = 1/(4θ^2) * ... solve: d/dq1 0.5 sqrt(q2/q1) = θ at q1=q2 -> 0.5 = θ·...
+        // With q1=q2=q: objective = q - 2θq maximised at boundary unless θ>0.5; here θ=0.2 so the
+        // objective increases linearly (slope 1-2θ=0.6) and the maximiser sits at the box corner.
+        assert!((x[0] - 50.0).abs() < 1e-3);
+        assert!((x[1] - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn coordinate_ascent_rejects_empty_bounds() {
+        let _ = maximize_coordinate(|_| 0.0, &[], 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic random-number helpers.
+//!
+//! Every experiment in the repository takes an explicit seed so that paper figures can be
+//! regenerated bit-for-bit. All crates obtain their RNGs through [`seeded_rng`] to keep the
+//! choice of generator in a single place.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use fmore_numerics::rng::seeded_rng;
+/// use rand::Rng;
+/// let mut a = seeded_rng(42);
+/// let mut b = seeded_rng(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Used to give every edge node / client an independent but reproducible RNG stream.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    // SplitMix64 step: decorrelates consecutive stream indices.
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffles a slice in place using the supplied RNG.
+pub fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    if items.len() < 2 {
+        return;
+    }
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct indices uniformly at random from `0..n` (reservoir sampling).
+/// Returns all indices when `k >= n`.
+pub fn sample_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(1);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_per_stream() {
+        let parent = 99;
+        let s: Vec<u64> = (0..100).map(|i| derive_seed(parent, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = seeded_rng(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = seeded_rng(5);
+        let mut empty: Vec<u32> = vec![];
+        shuffle(&mut empty, &mut rng);
+        let mut one = vec![7u32];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = seeded_rng(9);
+        let s = sample_indices(100, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 20);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_saturates() {
+        let mut rng = seeded_rng(9);
+        let s = sample_indices(5, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_indices_is_roughly_uniform() {
+        let mut rng = seeded_rng(13);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..5000 {
+            for idx in sample_indices(10, 3, &mut rng) {
+                counts[idx] += 1;
+            }
+        }
+        // Each index expected ~1500 times; allow generous tolerance.
+        for &c in &counts {
+            assert!((1200..1800).contains(&c), "count {c} outside tolerance");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Figure 9: the impact of the total node count `N`.
+//!
+//! * Fig. 9a — rounds needed to reach given accuracy targets for `N = 50` vs `N = 100`
+//!   (more nodes → more data diversity and better winners → fewer rounds).
+//! * Fig. 9b — the mean winner payment and mean winner score as `N` grows (more competition
+//!   → lower payments, higher scores; Theorem 2).
+
+use crate::series::{Series, Table};
+use fmore_auction::{
+    Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, PricingRule, Quality,
+    ScoringRule, SelectionRule, SubmittedBid,
+};
+use fmore_fl::config::FlConfig;
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_fl::FlError;
+use fmore_ml::dataset::TaskKind;
+use fmore_numerics::{seeded_rng, Distribution1D, UniformDist};
+
+/// Result of the auction-side sweep over `N` (Fig. 9b) or `K` (Fig. 10b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuctionSweepPoint {
+    /// The swept parameter value (`N` or `K`).
+    pub value: usize,
+    /// Mean payment per winner.
+    pub mean_payment: f64,
+    /// Mean score per winner.
+    pub mean_score: f64,
+}
+
+/// The reproduction of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpactOfN {
+    /// For each accuracy target: rounds needed at `N = n_small` and `N = n_large`
+    /// (`None` if the target was never reached within the round budget).
+    pub rounds_to_accuracy: Vec<(f64, Option<usize>, Option<usize>)>,
+    /// The small and large population sizes compared in Fig. 9a.
+    pub populations: (usize, usize),
+    /// Payment / score as a function of `N` (Fig. 9b).
+    pub sweep: Vec<AuctionSweepPoint>,
+}
+
+impl ImpactOfN {
+    /// The payment-vs-N series.
+    pub fn payment_series(&self) -> Series {
+        Series::new(
+            "mean winner payment",
+            self.sweep.iter().map(|p| p.value as f64).collect(),
+            self.sweep.iter().map(|p| p.mean_payment).collect(),
+        )
+    }
+
+    /// The score-vs-N series.
+    pub fn score_series(&self) -> Series {
+        Series::new(
+            "mean winner score",
+            self.sweep.iter().map(|p| p.value as f64).collect(),
+            self.sweep.iter().map(|p| p.mean_score).collect(),
+        )
+    }
+
+    /// Markdown table combining both panels.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Impact of N (Fig. 9)",
+            &["accuracy target", "rounds (N small)", "rounds (N large)"],
+        );
+        for (target, small, large) in &self.rounds_to_accuracy {
+            let fmt = |v: &Option<usize>| v.map_or("not reached".to_string(), |r| r.to_string());
+            t.push_row(&[format!("{:.0}%", target * 100.0), fmt(small), fmt(large)]);
+        }
+        t
+    }
+}
+
+/// Runs the pure auction game once for a population of `n` nodes and `k` winners and returns
+/// `(mean winner payment, mean winner score)` averaged over `trials` independent games.
+///
+/// Every node's capacity is drawn uniformly (data size and category proportion in `[0.3, 1]`)
+/// and its θ from `[0.1, 1]`, matching the simulator's heterogeneity.
+///
+/// # Errors
+///
+/// Propagates auction-construction failures.
+pub fn auction_game_statistics(
+    n: usize,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<(f64, f64), fmore_auction::AuctionError> {
+    let scoring = CobbDouglas::with_scale(25.0, vec![1.0, 1.0])?;
+    let cost = LinearCost::new(vec![2.0, 1.0])?;
+    let theta = UniformDist::new(0.1, 1.0)?;
+    let solver = EquilibriumSolver::builder()
+        .scoring(scoring.clone())
+        .cost(cost)
+        .theta(theta)
+        .bounds(vec![(0.0, 1.0), (0.0, 1.0)])
+        .population(n)
+        .winners(k)
+        .grid_size(96)
+        .build()?;
+    let auction =
+        Auction::new(ScoringRule::new(scoring), k, SelectionRule::TopK, PricingRule::FirstPrice);
+    let mut rng = seeded_rng(seed);
+    let mut payments = Vec::new();
+    let mut scores = Vec::new();
+    for _ in 0..trials.max(1) {
+        let mut bids = Vec::with_capacity(n);
+        for i in 0..n {
+            use rand::Rng;
+            let t = theta.sample(&mut rng);
+            let capacity = [rng.gen_range(0.3..=1.0), rng.gen_range(0.3..=1.0)];
+            let (ideal, _) = solver.quality_choice(t);
+            let declared: Vec<f64> =
+                ideal.iter().zip(capacity.iter()).map(|(w, h)| w.min(*h)).collect();
+            let ask = solver.payment_for(t)?;
+            bids.push(SubmittedBid::new(NodeId(i as u64), Quality::new(declared), ask));
+        }
+        let outcome = auction.run(bids, &mut rng)?;
+        payments.push(outcome.mean_winner_payment());
+        scores.push(outcome.mean_winner_score());
+    }
+    Ok((fmore_numerics::stats::mean(&payments), fmore_numerics::stats::mean(&scores)))
+}
+
+/// Configuration for the Fig. 9 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpactOfNConfig {
+    /// The two populations compared in Fig. 9a.
+    pub populations: (usize, usize),
+    /// Accuracy targets of Fig. 9a.
+    pub accuracy_targets: Vec<f64>,
+    /// Round budget for the training runs.
+    pub rounds: usize,
+    /// Base FL configuration (clients/partition are overridden per population).
+    pub fl: FlConfig,
+    /// Values of `N` swept in Fig. 9b.
+    pub sweep_values: Vec<usize>,
+    /// Winner count `K` used in the sweep.
+    pub k: usize,
+    /// Auction games averaged per sweep point.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ImpactOfNConfig {
+    /// Quick configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            populations: (8, 16),
+            accuracy_targets: vec![0.5, 0.7],
+            rounds: 4,
+            fl: FlConfig::fast_test(TaskKind::MnistO),
+            sweep_values: vec![20, 40, 80],
+            k: 5,
+            trials: 2,
+            seed: 7,
+        }
+    }
+
+    /// The paper's configuration: `N ∈ {50, 100}` for Fig. 9a, `N ∈ {50 … 200}` for Fig. 9b,
+    /// `K = 20`.
+    pub fn paper() -> Self {
+        let mut fl = FlConfig::paper_simulation(TaskKind::MnistF);
+        fl.model = fmore_fl::config::ModelChoice::FastSurrogate;
+        fl.train_samples = 8_000;
+        fl.test_samples = 1_000;
+        Self {
+            populations: (50, 100),
+            accuracy_targets: vec![0.70, 0.80, 0.82, 0.84, 0.86],
+            rounds: 20,
+            fl,
+            sweep_values: vec![50, 80, 110, 140, 170, 200],
+            k: 20,
+            trials: 5,
+            seed: 7,
+        }
+    }
+}
+
+fn config_with_population(base: &FlConfig, n: usize) -> FlConfig {
+    let mut fl = base.clone();
+    fl.clients = n;
+    fl.partition.clients = n;
+    if fl.winners_per_round > n {
+        fl.winners_per_round = n;
+    }
+    fl
+}
+
+/// Reproduces Fig. 9.
+///
+/// # Errors
+///
+/// Propagates trainer and auction errors.
+pub fn run(config: &ImpactOfNConfig) -> Result<ImpactOfN, FlError> {
+    let (n_small, n_large) = config.populations;
+    let mut histories = Vec::new();
+    for n in [n_small, n_large] {
+        let fl = config_with_population(&config.fl, n);
+        let mut trainer = FederatedTrainer::new(fl, SelectionStrategy::fmore(), config.seed)?;
+        histories.push(trainer.run(config.rounds)?);
+    }
+    let rounds_to_accuracy = config
+        .accuracy_targets
+        .iter()
+        .map(|&target| {
+            (target, histories[0].rounds_to_accuracy(target), histories[1].rounds_to_accuracy(target))
+        })
+        .collect();
+
+    let mut sweep = Vec::new();
+    for &n in &config.sweep_values {
+        let k = config.k.min(n);
+        let (mean_payment, mean_score) =
+            auction_game_statistics(n, k, config.trials, config.seed + n as u64)?;
+        sweep.push(AuctionSweepPoint { value: n, mean_payment, mean_score });
+    }
+    Ok(ImpactOfN { rounds_to_accuracy, populations: config.populations, sweep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_payment_falling_and_score_rising_with_n() {
+        // Theorem 2 / Fig. 9b: more competition lowers payments and raises winner scores.
+        let small = auction_game_statistics(20, 5, 4, 1).unwrap();
+        let large = auction_game_statistics(80, 5, 4, 1).unwrap();
+        assert!(
+            large.0 <= small.0 + 0.05,
+            "mean payment should not rise with N: {small:?} -> {large:?}"
+        );
+        assert!(
+            large.1 >= small.1 - 0.05,
+            "mean score should not fall with N: {small:?} -> {large:?}"
+        );
+    }
+
+    #[test]
+    fn quick_run_produces_both_panels() {
+        let result = run(&ImpactOfNConfig::quick()).unwrap();
+        assert_eq!(result.rounds_to_accuracy.len(), 2);
+        assert_eq!(result.sweep.len(), 3);
+        assert_eq!(result.payment_series().len(), 3);
+        assert_eq!(result.score_series().len(), 3);
+        let md = result.to_table().to_markdown();
+        assert!(md.contains("Impact of N"));
+        assert!(md.contains('%'));
+    }
+
+    #[test]
+    fn paper_config_matches_figure_axes() {
+        let c = ImpactOfNConfig::paper();
+        assert_eq!(c.populations, (50, 100));
+        assert_eq!(c.sweep_values.first(), Some(&50));
+        assert_eq!(c.sweep_values.last(), Some(&200));
+        assert_eq!(c.k, 20);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per figure of the paper's evaluation.
+
+pub mod accuracy;
+pub mod cluster;
+pub mod headline;
+pub mod impact_k;
+pub mod impact_n;
+pub mod impact_psi;
+pub mod scores;

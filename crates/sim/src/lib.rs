@@ -1,0 +1,26 @@
+//! Experiment harness reproducing every figure of the FMore paper's evaluation (Section V).
+//!
+//! Each module in [`experiments`] corresponds to one figure (or pair of figures) of the
+//! paper and produces plain data series that can be printed as Markdown tables or CSV:
+//!
+//! | Module | Paper figure | What it reports |
+//! |---|---|---|
+//! | [`experiments::accuracy`] | Figs. 4–7 | accuracy & loss per round for FMore / RandFL / FixFL on each task |
+//! | [`experiments::scores`] | Fig. 8 | the distribution of winner scores per scheme |
+//! | [`experiments::impact_n`] | Fig. 9 | rounds-to-accuracy and (payment, score) as `N` varies |
+//! | [`experiments::impact_k`] | Fig. 10 | rounds-to-accuracy and (payment, score) as `K` varies |
+//! | [`experiments::impact_psi`] | Fig. 11 | training speed and winner-rank spread as ψ varies |
+//! | [`experiments::cluster`] | Figs. 12–13 | accuracy and cumulative time on the simulated 32-node cluster |
+//! | [`experiments::headline`] | §I / §V text | the headline round-reduction and accuracy-improvement percentages |
+//!
+//! Every experiment has a `quick()` configuration (seconds, used by tests and CI) and a
+//! `paper()` configuration (the full parameters of Section V). Results carry enough data for
+//! EXPERIMENTS.md to record paper-vs-measured comparisons.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod series;
+
+pub use series::{Series, Table};

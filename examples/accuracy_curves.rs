@@ -1,0 +1,46 @@
+//! Regenerates a small version of Figs. 4–7: accuracy and loss per round for FMore, RandFL,
+//! and FixFL on a chosen task.
+//!
+//! ```bash
+//! cargo run --release --example accuracy_curves [mnist-o|mnist-f|cifar10|hpnews]
+//! ```
+
+use fmore::ml::dataset::TaskKind;
+use fmore::sim::experiments::accuracy::{run, AccuracyConfig};
+
+fn task_from_arg(arg: Option<String>) -> TaskKind {
+    match arg.as_deref() {
+        Some("mnist-f") => TaskKind::MnistF,
+        Some("cifar10") => TaskKind::Cifar10,
+        Some("hpnews") => TaskKind::HpNews,
+        _ => TaskKind::MnistO,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = task_from_arg(std::env::args().nth(1));
+    // A mid-sized configuration: larger than the unit-test config, far smaller than the full
+    // paper sweep so the example finishes in seconds.
+    let mut config = AccuracyConfig::quick(task);
+    config.rounds = 8;
+    config.fl.clients = 40;
+    config.fl.winners_per_round = 10;
+    config.fl.partition.clients = 40;
+    config.fl.train_samples = 3_000;
+    config.fl.test_samples = 500;
+
+    println!("Reproducing the accuracy/loss figure for {} …", task.name());
+    let figure = run(&config)?;
+    println!("{}", figure.to_table().to_markdown());
+
+    for curve in &figure.curves {
+        println!(
+            "{:<7} final accuracy {:.3}, best accuracy {:.3}, total payment {:.3}",
+            curve.strategy,
+            curve.history.final_accuracy(),
+            curve.history.best_accuracy(),
+            curve.history.total_payment()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! The walk-through example of Section III-B (Fig. 3): five edge nodes, two resources
+//! (training-data size and bandwidth), K = 3 winners, two auction rounds.
+//!
+//! ```bash
+//! cargo run --release --example auction_walkthrough
+//! ```
+
+use fmore::auction::walkthrough::{label_of, run_walkthrough};
+use fmore::numerics::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(1);
+    let (round1, round2) = run_walkthrough(&mut rng)?;
+
+    for (idx, outcome) in [round1, round2].iter().enumerate() {
+        println!("== Round {} ==", idx + 1);
+        println!("rank  node  score    ask    winner");
+        let winner_ids = outcome.winner_ids();
+        for (rank, bid) in outcome.ranked.iter().enumerate() {
+            let is_winner = winner_ids.contains(&bid.node);
+            println!(
+                "{:>4}  {:>4}  {:>6.3}  {:>5.2}  {}",
+                rank + 1,
+                label_of(bid.node),
+                bid.score,
+                bid.ask,
+                if is_winner { "yes" } else { "" }
+            );
+        }
+        println!(
+            "winners pay-out: {:.3} in total, mean winner score {:.3}\n",
+            outcome.total_payment(),
+            outcome.mean_winner_score()
+        );
+    }
+    println!("Compare with Fig. 3 of the paper: round 1 selects {{A, D, E}}, round 2 selects {{A, C, E}}.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run a few rounds of FMore-incentivised federated learning and compare against
+//! RandFL on the same task.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fmore::fl::config::FlConfig;
+use fmore::fl::selection::SelectionStrategy;
+use fmore::fl::trainer::FederatedTrainer;
+use fmore::ml::dataset::TaskKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = 6;
+    let mut config = FlConfig::fast_test(TaskKind::MnistO);
+    config.clients = 30;
+    config.winners_per_round = 8;
+    config.partition.clients = 30;
+    config.train_samples = 2_000;
+    config.test_samples = 400;
+
+    println!("FMore quickstart — task {}, N = {}, K = {}, {} rounds", config.task.name(), config.clients, config.winners_per_round, rounds);
+
+    for strategy in [SelectionStrategy::fmore(), SelectionStrategy::random()] {
+        let name = strategy.name();
+        let mut trainer = FederatedTrainer::new(config.clone(), strategy, 7)?;
+        let history = trainer.run(rounds)?;
+        println!("\n== {name} ==");
+        println!("round  accuracy  loss    payment");
+        for round in &history.rounds {
+            println!(
+                "{:>5}  {:>8.3}  {:>6.3}  {:>7.3}",
+                round.round,
+                round.accuracy,
+                round.loss,
+                round.total_payment()
+            );
+        }
+        println!(
+            "final accuracy {:.3}, total incentive spend {:.3}",
+            history.final_accuracy(),
+            history.total_payment()
+        );
+    }
+    Ok(())
+}

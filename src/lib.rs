@@ -1,0 +1,67 @@
+//! # fmore
+//!
+//! A full reproduction of *"FMore: An Incentive Scheme of Multi-dimensional Auction for
+//! Federated Learning in MEC"* (Zeng, Zhang, Wang, Chu — ICDCS 2020) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members so downstream users can depend on a
+//! single crate:
+//!
+//! * [`auction`] — the paper's contribution: the multi-dimensional procurement auction with
+//!   `K` winners, Nash-equilibrium bidding, ψ-FMore, and the mechanism-property checks,
+//! * [`numerics`] — ODE solvers, quadrature, distributions, and optimisation used by the
+//!   equilibrium computation,
+//! * [`ml`] — the from-scratch machine-learning substrate (CNN / LSTM / MLP models, synthetic
+//!   datasets, non-IID partitioning),
+//! * [`fl`] — the federated-learning substrate (clients, FedAvg, RandFL / FixFL / FMore
+//!   selection, the round loop of Algorithm 1),
+//! * [`mec`] — the simulated 32-node MEC cluster with computation/communication time models,
+//! * [`sim`] — experiment runners reproducing every figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fmore::fl::config::FlConfig;
+//! use fmore::fl::selection::SelectionStrategy;
+//! use fmore::fl::trainer::FederatedTrainer;
+//! use fmore::ml::dataset::TaskKind;
+//!
+//! // Train a small federated task with FMore-based client selection.
+//! let config = FlConfig::fast_test(TaskKind::MnistO);
+//! let mut trainer = FederatedTrainer::new(config, SelectionStrategy::fmore(), 1)?;
+//! let history = trainer.run(3)?;
+//! assert_eq!(history.rounds.len(), 3);
+//! println!("final accuracy: {:.3}", history.final_accuracy());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use fmore_auction as auction;
+pub use fmore_fl as fl;
+pub use fmore_mec as mec;
+pub use fmore_ml as ml;
+pub use fmore_numerics as numerics;
+pub use fmore_sim as sim;
+
+/// The crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+
+    #[test]
+    fn reexports_are_wired_up() {
+        // A smoke test touching one item from every re-exported crate.
+        let _ = super::numerics::seeded_rng(1);
+        let _ = super::auction::SelectionRule::TopK;
+        let _ = super::ml::dataset::TaskKind::Cifar10;
+        let _ = super::fl::selection::SelectionStrategy::fmore();
+        let _ = super::mec::cluster::ClusterStrategy::FMore;
+        let _ = super::sim::Series::from_rounds("x", vec![1.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: auction → federated learning → MEC cluster → experiment
+//! harness, exercised through the public `fmore` facade exactly as a downstream user would.
+
+use fmore::auction::prelude::*;
+use fmore::auction::properties;
+use fmore::fl::config::FlConfig;
+use fmore::fl::selection::SelectionStrategy;
+use fmore::fl::trainer::FederatedTrainer;
+use fmore::mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
+use fmore::ml::dataset::TaskKind;
+use fmore::numerics::{seeded_rng, UniformDist};
+use fmore::sim::experiments::{accuracy, headline, scores};
+
+/// The full FMore pipeline on a small task: equilibrium bidding, auction-based selection,
+/// local training, aggregation — and the selection advantage it is supposed to deliver.
+#[test]
+fn fmore_selects_better_nodes_than_random_and_learns() {
+    let mut config = FlConfig::fast_test(TaskKind::MnistO);
+    config.clients = 20;
+    config.winners_per_round = 5;
+    config.partition.clients = 20;
+    config.train_samples = 1200;
+    config.rounds_sanity();
+
+    let mut fmore = FederatedTrainer::new(config.clone(), SelectionStrategy::fmore(), 3).unwrap();
+    let mut random = FederatedTrainer::new(config, SelectionStrategy::random(), 3).unwrap();
+
+    let fmore_history = fmore.run(4).unwrap();
+    let random_history = random.run(4).unwrap();
+
+    // FMore pays its winners, RandFL does not.
+    assert!(fmore_history.total_payment() > 0.0);
+    assert_eq!(random_history.total_payment(), 0.0);
+
+    // FMore's winners carry more data into each aggregation round than random selection
+    // (that is exactly what the scoring rule rewards).
+    let mean_data = |h: &fmore::fl::metrics::TrainingHistory| {
+        let total: usize = h.rounds.iter().map(|r| r.total_data()).sum();
+        total as f64 / h.rounds.len() as f64
+    };
+    assert!(
+        mean_data(&fmore_history) >= mean_data(&random_history) * 0.9,
+        "FMore should not feed dramatically less data than random selection"
+    );
+
+    // Both learn something.
+    assert!(fmore_history.final_accuracy() > 0.2);
+    assert!(random_history.final_accuracy() > 0.1);
+}
+
+// Small extension trait so the test reads naturally; verifies the config is valid.
+trait ConfigSanity {
+    fn rounds_sanity(&self);
+}
+impl ConfigSanity for FlConfig {
+    fn rounds_sanity(&self) {
+        assert!(self.validate().is_ok());
+    }
+}
+
+/// The equilibrium strategy produced by the auction crate is consistent with the theory the
+/// paper states (Theorems 2, 3, 5) when driven through the facade crate.
+#[test]
+fn equilibrium_theory_holds_through_the_facade() {
+    let build = |n: usize, k: usize| {
+        EquilibriumSolver::builder()
+            .scoring(Additive::new(vec![1.0]).unwrap())
+            .cost(QuadraticCost::new(vec![1.0]).unwrap())
+            .theta(UniformDist::new(0.2, 1.0).unwrap())
+            .bounds(vec![(0.0, 4.0)])
+            .population(n)
+            .winners(k)
+            .grid_size(96)
+            .build()
+            .unwrap()
+    };
+    let by_n: Vec<_> = [10, 20, 40].iter().map(|&n| build(n, 4)).collect();
+    assert!(properties::profit_decreases_with_population(&by_n, 0.4, 1e-6).unwrap());
+    let by_k: Vec<_> = [2, 4, 8].iter().map(|&k| build(30, k)).collect();
+    assert!(properties::profit_increases_with_winners(&by_k, 0.4, 1e-6).unwrap());
+
+    let solver = build(30, 6);
+    let scoring = Additive::new(vec![1.0]).unwrap();
+    assert!(properties::incentive_compatibility_holds(&solver, &scoring, 0.5, &[0.5, 0.9]).unwrap());
+}
+
+/// One auction round run end-to-end through the facade: bids in, ranked outcome and
+/// first-price payments out.
+#[test]
+fn auction_round_through_the_facade() {
+    let scoring = CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap();
+    let auction = Auction::new(
+        ScoringRule::new(scoring),
+        2,
+        SelectionRule::TopK,
+        PricingRule::FirstPrice,
+    );
+    let bids = vec![
+        SubmittedBid::new(NodeId(0), Quality::new(vec![0.9, 0.8]), 2.0),
+        SubmittedBid::new(NodeId(1), Quality::new(vec![0.5, 0.5]), 1.0),
+        SubmittedBid::new(NodeId(2), Quality::new(vec![0.95, 0.9]), 1.5),
+    ];
+    let outcome = auction.run(bids, &mut seeded_rng(1)).unwrap();
+    assert_eq!(outcome.winners.len(), 2);
+    // Node 2 has the best quality at a lower ask than node 0: it must rank first.
+    assert_eq!(outcome.ranked[0].node, NodeId(2));
+    assert!(outcome.total_payment() > 0.0);
+}
+
+/// The MEC cluster simulation produces monotone cumulative time and pays only under FMore.
+#[test]
+fn mec_cluster_round_trip() {
+    let config = ClusterConfig::fast_test();
+    let mut fmore = MecCluster::new(config.clone(), ClusterStrategy::FMore, 11).unwrap();
+    let mut randfl = MecCluster::new(config, ClusterStrategy::RandFL, 11).unwrap();
+    let fmore_history = fmore.run(3).unwrap();
+    let randfl_history = randfl.run(3).unwrap();
+
+    assert!(fmore.ledger().total() > 0.0);
+    assert_eq!(randfl.ledger().total(), 0.0);
+    for history in [&fmore_history, &randfl_history] {
+        let times = history.cumulative_time_series();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        assert!(history.final_accuracy() >= 0.0);
+    }
+}
+
+/// The experiment harness produces the figures and the headline table end to end.
+#[test]
+fn experiment_harness_produces_figures_and_headline() {
+    let figure = accuracy::run(&accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+    assert_eq!(figure.curves.len(), 3);
+    let table = figure.to_table().to_markdown();
+    assert!(table.contains("FMore accuracy"));
+
+    let score_dist = scores::run(&accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+    assert!(score_dist.mean_winner_score("FMore") >= score_dist.mean_winner_score("RandFL"));
+
+    let sim_headline = headline::simulation_headline(&figure, 0.3);
+    let md = headline::headline_table(&[sim_headline], None).to_markdown();
+    assert!(md.contains("simulation MNIST-O"));
+}
+
+/// Reproducibility across the whole stack: the same seed yields the same history, a different
+/// seed does not.
+#[test]
+fn whole_stack_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut trainer = FederatedTrainer::new(
+            FlConfig::fast_test(TaskKind::MnistF),
+            SelectionStrategy::fmore(),
+            seed,
+        )
+        .unwrap();
+        trainer.run(2).unwrap()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}

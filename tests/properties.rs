@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core mechanism invariants, run against the public
+//! facade crate.
+
+use fmore::auction::prelude::*;
+use fmore::numerics::normalize::MinMaxNormalizer;
+use fmore::numerics::{seeded_rng, Distribution1D, UniformDist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The quasi-linear scoring rule is monotone: more quality or a lower ask never lowers
+    /// the score.
+    #[test]
+    fn score_is_monotone_in_quality_and_antitone_in_ask(
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+        bump in 0.0..0.5f64,
+        ask in 0.0..1.0f64,
+        discount in 0.0..0.5f64,
+    ) {
+        let rule = ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap());
+        let base = rule.score(&Quality::new(vec![q1, q2]), ask).unwrap();
+        let better_quality = rule.score(&Quality::new(vec![q1 + bump, q2]), ask).unwrap();
+        let cheaper = rule.score(&Quality::new(vec![q1, q2]), (ask - discount).max(0.0)).unwrap();
+        prop_assert!(better_quality >= base - 1e-12);
+        prop_assert!(cheaper >= base - 1e-12);
+    }
+
+    /// First-price auctions always pay winners exactly their ask, and the winner set is never
+    /// larger than K or the number of bidders.
+    #[test]
+    fn auction_awards_are_consistent(
+        asks in proptest::collection::vec(0.0..2.0f64, 1..40),
+        k in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let rule = ScoringRule::new(Additive::new(vec![1.0]).unwrap());
+        let auction = Auction::new(rule, k, SelectionRule::TopK, PricingRule::FirstPrice);
+        let bids: Vec<SubmittedBid> = asks
+            .iter()
+            .enumerate()
+            .map(|(i, &ask)| SubmittedBid::new(NodeId(i as u64), Quality::new(vec![1.0]), ask))
+            .collect();
+        let outcome = auction.run(bids, &mut seeded_rng(seed)).unwrap();
+        prop_assert_eq!(outcome.winners.len(), k.min(asks.len()));
+        for award in &outcome.winners {
+            let original = asks[award.node.0 as usize];
+            prop_assert!((award.payment - original).abs() < 1e-12);
+        }
+        // Every winner's score is at least as good as every non-winner's score.
+        let winner_ids = outcome.winner_ids();
+        let min_winner = outcome
+            .winners
+            .iter()
+            .map(|w| w.score)
+            .fold(f64::INFINITY, f64::min);
+        for bid in &outcome.ranked {
+            if !winner_ids.contains(&bid.node) {
+                prop_assert!(bid.score <= min_winner + 1e-9);
+            }
+        }
+    }
+
+    /// Equilibrium bids are individually rational and their expected profit is non-negative
+    /// for every type in the support.
+    #[test]
+    fn equilibrium_bids_are_individually_rational(theta in 0.21f64..0.99) {
+        let cost = QuadraticCost::new(vec![1.0]).unwrap();
+        let solver = EquilibriumSolver::builder()
+            .scoring(Additive::new(vec![1.0]).unwrap())
+            .cost(cost.clone())
+            .theta(UniformDist::new(0.2, 1.0).unwrap())
+            .bounds(vec![(0.0, 4.0)])
+            .population(25)
+            .winners(5)
+            .grid_size(64)
+            .build()
+            .unwrap();
+        let bid = solver.bid_for(theta).unwrap();
+        let c = cost.value(bid.quality.as_slice(), theta);
+        prop_assert!(bid.ask >= c - 1e-6);
+        prop_assert!(bid.expected_profit >= -1e-9);
+        prop_assert!((0.0..=1.0).contains(&bid.win_probability));
+    }
+
+    /// ψ-FMore always returns exactly `min(K, N)` distinct winners regardless of ψ.
+    #[test]
+    fn psi_selection_always_fills_the_winner_set(
+        n in 1usize..60,
+        k in 1usize..30,
+        psi in 0.01f64..1.0,
+        seed in 0u64..500,
+    ) {
+        use fmore::auction::types::ScoredBid;
+        let bids: Vec<ScoredBid> = (0..n)
+            .map(|i| ScoredBid {
+                node: NodeId(i as u64),
+                quality: Quality::default(),
+                ask: 0.0,
+                score: i as f64,
+            })
+            .collect();
+        let winners = SelectionRule::PsiFMore { psi }.select(&bids, k, &mut seeded_rng(seed));
+        prop_assert_eq!(winners.len(), k.min(n));
+        let mut dedup = winners.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), winners.len());
+    }
+
+    /// Min–max normalisation always lands in [0, 1] and round-trips within the range.
+    #[test]
+    fn normalizer_round_trips(lo in -100.0..100.0f64, width in 0.1..100.0f64, x in -200.0..200.0f64) {
+        let n = MinMaxNormalizer::new(lo, lo + width);
+        let y = n.normalize(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        let back = n.denormalize(y);
+        prop_assert!(back >= lo - 1e-9 && back <= lo + width + 1e-9);
+        // Values inside the range round-trip exactly (up to float error).
+        if x >= lo && x <= lo + width {
+            prop_assert!((back - x).abs() < 1e-6);
+        }
+    }
+
+    /// The uniform θ distribution's quantile inverts its CDF everywhere.
+    #[test]
+    fn uniform_quantile_inverts_cdf(lo in 0.01f64..1.0, width in 0.1f64..2.0, p in 0.0f64..1.0) {
+        let d = UniformDist::new(lo, lo + width).unwrap();
+        let q = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(q) - p).abs() < 1e-4);
+    }
+
+    /// FedAvg with identical updates returns that update unchanged, and its output always
+    /// lies inside the per-coordinate envelope of the inputs.
+    #[test]
+    fn federated_average_stays_in_envelope(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..20),
+        weight_a in 0.1..10.0f64,
+        weight_b in 0.1..10.0f64,
+        delta in proptest::collection::vec(-1.0..1.0f64, 1..20),
+    ) {
+        let dim = a.len().min(delta.len());
+        let a: Vec<f64> = a[..dim].to_vec();
+        let b: Vec<f64> = a.iter().zip(&delta[..dim]).map(|(x, d)| x + d).collect();
+        let avg = fmore::fl::federated_average(&[(a.clone(), weight_a), (b.clone(), weight_b)]).unwrap();
+        for i in 0..dim {
+            let lo = a[i].min(b[i]) - 1e-9;
+            let hi = a[i].max(b[i]) + 1e-9;
+            prop_assert!(avg[i] >= lo && avg[i] <= hi);
+        }
+        let same = fmore::fl::federated_average(&[(a.clone(), weight_a), (a.clone(), weight_b)]).unwrap();
+        for (x, y) in same.iter().zip(&a) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}
