@@ -32,7 +32,10 @@ pub trait CostFunction: Send + Sync {
     /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong number of dimensions.
     fn evaluate(&self, q: &[f64], theta: f64) -> Result<f64, AuctionError> {
         if q.len() != self.dims() {
-            return Err(AuctionError::DimensionMismatch { expected: self.dims(), actual: q.len() });
+            return Err(AuctionError::DimensionMismatch {
+                expected: self.dims(),
+                actual: q.len(),
+            });
         }
         Ok(self.value(q, theta))
     }
@@ -40,7 +43,9 @@ pub trait CostFunction: Send + Sync {
 
 fn validate_coefficients(beta: &[f64]) -> Result<(), AuctionError> {
     if beta.is_empty() {
-        return Err(AuctionError::InvalidParameter("cost coefficients must not be empty".into()));
+        return Err(AuctionError::InvalidParameter(
+            "cost coefficients must not be empty".into(),
+        ));
     }
     if beta.iter().any(|b| !b.is_finite() || *b <= 0.0) {
         return Err(AuctionError::InvalidParameter(
@@ -176,12 +181,17 @@ pub fn satisfies_single_crossing<C: CostFunction>(
     if bounds.len() != cost.dims() || grid < 2 {
         return false;
     }
-    let eps_q: Vec<f64> = bounds.iter().map(|(lo, hi)| (hi - lo).abs().max(1e-6) * 1e-4).collect();
+    let eps_q: Vec<f64> = bounds
+        .iter()
+        .map(|(lo, hi)| (hi - lo).abs().max(1e-6) * 1e-4)
+        .collect();
     let eps_t = (theta_range.1 - theta_range.0).abs().max(1e-6) * 1e-4;
     let tol: f64 = 1e-9;
 
     let grid_points = |lo: f64, hi: f64| -> Vec<f64> {
-        (0..grid).map(|i| lo + (hi - lo) * (i as f64 + 0.5) / grid as f64).collect()
+        (0..grid)
+            .map(|i| lo + (hi - lo) * (i as f64 + 0.5) / grid as f64)
+            .collect()
     };
 
     let thetas = grid_points(theta_range.0, theta_range.1);
@@ -189,8 +199,7 @@ pub fn satisfies_single_crossing<C: CostFunction>(
         let qs = grid_points(bounds[dim].0, bounds[dim].1);
         for &theta in &thetas {
             for &qv in &qs {
-                let mut base: Vec<f64> =
-                    bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
+                let mut base: Vec<f64> = bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
                 base[dim] = qv;
                 let h = eps_q[dim];
                 let mut q_plus = base.clone();
@@ -273,7 +282,10 @@ mod tests {
         assert!(c.evaluate(&[1.0, 1.0], 0.5).is_ok());
         assert!(matches!(
             c.evaluate(&[1.0], 0.5),
-            Err(AuctionError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(AuctionError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 
@@ -313,16 +325,31 @@ mod tests {
                 -q[0]
             }
         }
-        assert!(!satisfies_single_crossing(&DecreasingInTheta, &[(0.1, 1.0)], (0.1, 0.9), 5));
+        assert!(!satisfies_single_crossing(
+            &DecreasingInTheta,
+            &[(0.1, 1.0)],
+            (0.1, 0.9),
+            5
+        ));
     }
 
     #[test]
     fn single_crossing_rejects_bad_configuration() {
         let lin = LinearCost::new(vec![1.0]).unwrap();
         // Wrong number of bounds.
-        assert!(!satisfies_single_crossing(&lin, &[(0.0, 1.0), (0.0, 1.0)], (0.1, 1.0), 5));
+        assert!(!satisfies_single_crossing(
+            &lin,
+            &[(0.0, 1.0), (0.0, 1.0)],
+            (0.1, 1.0),
+            5
+        ));
         // Degenerate grid.
-        assert!(!satisfies_single_crossing(&lin, &[(0.0, 1.0)], (0.1, 1.0), 1));
+        assert!(!satisfies_single_crossing(
+            &lin,
+            &[(0.0, 1.0)],
+            (0.1, 1.0),
+            1
+        ));
     }
 
     #[test]

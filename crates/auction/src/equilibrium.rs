@@ -16,8 +16,9 @@
 
 use crate::cost::CostFunction;
 use crate::error::AuctionError;
+use crate::mechanism::SubmittedBid;
 use crate::scoring::ScoringFunction;
-use crate::types::Quality;
+use crate::types::{NodeId, Quality};
 use fmore_numerics::distribution::Distribution1D;
 use fmore_numerics::optimize::maximize_coordinate;
 use fmore_numerics::quadrature::{cumulative_trapezoid, trapezoid};
@@ -29,9 +30,10 @@ const DEFAULT_GRID: usize = 512;
 const DEFAULT_SWEEPS: usize = 6;
 
 /// How the equilibrium payment integral is evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PaymentMethod {
     /// Direct composite-trapezoid quadrature of `∫₀ᵘ g(x) dx / g(u)` (default, most accurate).
+    #[default]
     Quadrature,
     /// Forward-Euler integration of the first-order ODE from the paper's proof of Theorem 1
     /// — the method Algorithm 1 runs on every edge node.
@@ -42,12 +44,6 @@ pub enum PaymentMethod {
     /// The closed-form integral of Che's Theorem 2 / Proposition 1. Only available for
     /// `K ∈ {1, 2}`; selecting it for larger `K` yields a build error.
     CheClosedForm,
-}
-
-impl Default for PaymentMethod {
-    fn default() -> Self {
-        PaymentMethod::Quadrature
-    }
 }
 
 /// The Nash-equilibrium bid of a node with a given private cost parameter.
@@ -240,7 +236,9 @@ impl EquilibriumSolverBuilder {
             .theta
             .ok_or_else(|| AuctionError::InvalidParameter("theta distribution not set".into()))?;
         if self.bounds.is_empty() {
-            return Err(AuctionError::InvalidParameter("quality bounds not set".into()));
+            return Err(AuctionError::InvalidParameter(
+                "quality bounds not set".into(),
+            ));
         }
         if scoring.dims() != self.bounds.len() {
             return Err(AuctionError::DimensionMismatch {
@@ -264,7 +262,10 @@ impl EquilibriumSolverBuilder {
             ));
         }
         if self.n == 0 || self.k == 0 || self.k > self.n {
-            return Err(AuctionError::InvalidGame { n: self.n, k: self.k });
+            return Err(AuctionError::InvalidGame {
+                n: self.n,
+                k: self.k,
+            });
         }
         if matches!(self.payment_method, PaymentMethod::CheClosedForm) && self.k > 2 {
             return Err(AuctionError::InvalidParameter(
@@ -273,7 +274,9 @@ impl EquilibriumSolverBuilder {
         }
         if let PaymentMethod::Euler { steps } = self.payment_method {
             if steps == 0 {
-                return Err(AuctionError::InvalidParameter("Euler steps must be > 0".into()));
+                return Err(AuctionError::InvalidParameter(
+                    "Euler steps must be > 0".into(),
+                ));
             }
         }
 
@@ -373,7 +376,9 @@ impl EquilibriumSolver {
                 "theta support [{lo}, {hi}] must satisfy 0 < lo < hi < inf"
             )));
         }
-        self.thetas = (0..grid).map(|i| lo + (hi - lo) * i as f64 / (grid - 1) as f64).collect();
+        self.thetas = (0..grid)
+            .map(|i| lo + (hi - lo) * i as f64 / (grid - 1) as f64)
+            .collect();
         self.qualities = Vec::with_capacity(grid);
         self.u_values = Vec::with_capacity(grid);
         for &theta in &self.thetas {
@@ -403,7 +408,11 @@ impl EquilibriumSolver {
         self.u_grid = (0..points)
             .map(|i| u_min + (u_max - u_min) * i as f64 / (points - 1) as f64)
             .collect();
-        self.g_grid = self.u_grid.iter().map(|&u| self.win_probability_at(u)).collect();
+        self.g_grid = self
+            .u_grid
+            .iter()
+            .map(|&u| self.win_probability_at(u))
+            .collect();
         self.g_cumulative = cumulative_trapezoid(&self.u_grid, &self.g_grid)?;
         Ok(())
     }
@@ -471,7 +480,11 @@ impl EquilibriumSolver {
         }
         let (u_hi, u_lo) = (self.u_values[lo], self.u_values[hi]);
         let (t_lo, t_hi) = (self.thetas[lo], self.thetas[hi]);
-        let frac = if (u_hi - u_lo).abs() < 1e-15 { 0.0 } else { (u_hi - x) / (u_hi - u_lo) };
+        let frac = if (u_hi - u_lo).abs() < 1e-15 {
+            0.0
+        } else {
+            (u_hi - x) / (u_hi - u_lo)
+        };
         let theta_inv = t_lo + frac * (t_hi - t_lo);
         (1.0 - self.theta.cdf(theta_inv)).clamp(0.0, 1.0)
     }
@@ -631,6 +644,33 @@ impl EquilibriumSolver {
     pub fn expected_profit(&self, theta: f64) -> Result<f64, AuctionError> {
         Ok(self.bid_for(theta)?.expected_profit)
     }
+
+    /// The sealed bid of a node whose realised capacity caps its declared quality: the
+    /// equilibrium quality `q*(θ)` clipped component-wise to `capacity`, with the equilibrium
+    /// payment ask `p*(θ)`.
+    ///
+    /// This is the single shared bid-construction path for every simulator in the workspace
+    /// (FL clients, MEC nodes, and the pure auction games of Figs. 9b/10b) — a node cannot
+    /// promise more data, categories, or hardware than it actually holds this round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside `[θ̲, θ̄]`.
+    pub fn capped_bid(
+        &self,
+        node: NodeId,
+        theta: f64,
+        capacity: &[f64],
+    ) -> Result<SubmittedBid, AuctionError> {
+        let (ideal, _) = self.quality_choice(theta);
+        let declared: Vec<f64> = ideal
+            .iter()
+            .zip(capacity.iter())
+            .map(|(want, have)| want.min(*have))
+            .collect();
+        let ask = self.payment_for(theta)?;
+        Ok(SubmittedBid::new(node, Quality::new(declared), ask))
+    }
 }
 
 #[cfg(test)]
@@ -709,8 +749,15 @@ mod tests {
         let solver = simple_solver(10, 1, PaymentMethod::Quadrature);
         for theta in [0.25, 0.5, 0.8] {
             let (q, u) = solver.quality_choice(theta);
-            assert!((q[0] - 1.0 / (2.0 * theta)).abs() < 1e-3, "theta={theta} q={:?}", q);
-            assert!((u - 1.0 / (4.0 * theta)).abs() < 1e-3, "theta={theta} u={u}");
+            assert!(
+                (q[0] - 1.0 / (2.0 * theta)).abs() < 1e-3,
+                "theta={theta} q={:?}",
+                q
+            );
+            assert!(
+                (u - 1.0 / (4.0 * theta)).abs() < 1e-3,
+                "theta={theta} u={u}"
+            );
         }
     }
 
@@ -729,8 +776,14 @@ mod tests {
         let solver = simple_solver(30, 5, PaymentMethod::Quadrature);
         for theta in [0.2, 0.35, 0.5, 0.75, 1.0] {
             let bid = solver.bid_for(theta).unwrap();
-            let c = QuadraticCost::new(vec![1.0]).unwrap().value(bid.quality.as_slice(), theta);
-            assert!(bid.ask >= c - 1e-9, "θ={theta}: ask {} below cost {c}", bid.ask);
+            let c = QuadraticCost::new(vec![1.0])
+                .unwrap()
+                .value(bid.quality.as_slice(), theta);
+            assert!(
+                bid.ask >= c - 1e-9,
+                "θ={theta}: ask {} below cost {c}",
+                bid.ask
+            );
             assert!(bid.expected_profit >= -1e-9);
         }
     }
@@ -839,10 +892,17 @@ mod tests {
         let theta = 0.4;
         let profits: Vec<f64> = [10, 20, 40, 80]
             .iter()
-            .map(|&n| simple_solver(n, 5, PaymentMethod::Quadrature).expected_profit(theta).unwrap())
+            .map(|&n| {
+                simple_solver(n, 5, PaymentMethod::Quadrature)
+                    .expected_profit(theta)
+                    .unwrap()
+            })
             .collect();
         for w in profits.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "profit should fall with N: {profits:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "profit should fall with N: {profits:?}"
+            );
         }
     }
 
@@ -852,10 +912,17 @@ mod tests {
         let theta = 0.4;
         let profits: Vec<f64> = [1, 5, 10, 20]
             .iter()
-            .map(|&k| simple_solver(40, k, PaymentMethod::Quadrature).expected_profit(theta).unwrap())
+            .map(|&k| {
+                simple_solver(40, k, PaymentMethod::Quadrature)
+                    .expected_profit(theta)
+                    .unwrap()
+            })
             .collect();
         for w in profits.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "profit should rise with K: {profits:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "profit should rise with K: {profits:?}"
+            );
         }
     }
 

@@ -40,14 +40,20 @@ impl fmt::Display for AuctionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuctionError::DimensionMismatch { expected, actual } => {
-                write!(f, "quality vector has {actual} dimensions, expected {expected}")
+                write!(
+                    f,
+                    "quality vector has {actual} dimensions, expected {expected}"
+                )
             }
             AuctionError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             AuctionError::ThetaOutOfSupport { theta, lo, hi } => {
                 write!(f, "theta {theta} outside of support [{lo}, {hi}]")
             }
             AuctionError::InvalidGame { n, k } => {
-                write!(f, "invalid auction game with N = {n} nodes and K = {k} winners")
+                write!(
+                    f,
+                    "invalid auction game with N = {n} nodes and K = {k} winners"
+                )
             }
             AuctionError::NoBids => write!(f, "no bids were submitted"),
             AuctionError::Numerics(e) => write!(f, "numerical failure: {e}"),
@@ -76,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_mentions_the_failure() {
-        let e = AuctionError::DimensionMismatch { expected: 2, actual: 3 };
+        let e = AuctionError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
         let e = AuctionError::InvalidGame { n: 5, k: 9 };
         assert!(e.to_string().contains("K = 9"));

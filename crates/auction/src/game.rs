@@ -1,0 +1,222 @@
+//! Repeated pure-auction games: the reusable simulation behind the parameter sweeps of
+//! Figs. 9b, 10b, and 11b.
+//!
+//! The experiment harness used to construct its own [`EquilibriumSolver`] and [`Auction`]
+//! inline for every sweep point; this module is now the single place where a *stand-alone*
+//! auction game (no federated training attached) is assembled. A sweep over `N`, `K`, or ψ
+//! becomes a data change — a different [`GameConfig`] per point — instead of another copy of
+//! the auction loop.
+
+use crate::cost::LinearCost;
+use crate::equilibrium::EquilibriumSolver;
+use crate::error::AuctionError;
+use crate::mechanism::Auction;
+use crate::pricing::PricingRule;
+use crate::scoring::{CobbDouglas, ScoringRule};
+use crate::types::{NodeId, Quality, ScoredBid};
+use crate::winner::SelectionRule;
+use fmore_numerics::rng::seeded_rng;
+use fmore_numerics::{Distribution1D, UniformDist};
+use rand::Rng;
+
+/// Configuration of one repeated stand-alone auction game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameConfig {
+    /// Population size `N`.
+    pub population: usize,
+    /// Winners per game `K`.
+    pub winners: usize,
+    /// Independent games averaged per statistic.
+    pub trials: usize,
+    /// Multiplicative scale α of the Cobb–Douglas scoring function.
+    pub scoring_scale: f64,
+    /// Per-resource exponents of the Cobb–Douglas scoring function.
+    pub scoring_exponents: Vec<f64>,
+    /// Per-resource coefficients β of the linear private cost.
+    pub cost_coefficients: Vec<f64>,
+    /// Support of every node's per-resource capacity draw.
+    pub capacity_range: (f64, f64),
+    /// Support `[θ̲, θ̄]` of the private cost parameter.
+    pub theta_range: (f64, f64),
+    /// θ grid resolution of the equilibrium tabulation.
+    pub grid_size: usize,
+    /// How winners are selected.
+    pub selection: SelectionRule,
+    /// How winners are paid.
+    pub pricing: PricingRule,
+}
+
+impl GameConfig {
+    /// The paper's simulator game (Section V-A) for a given `N` and `K`: scoring
+    /// `s(q) = 25·q1·q2`, linear cost `θ(2q1 + q2)`, capacities uniform in `[0.3, 1]`,
+    /// θ uniform in `[0.1, 1]`, top-K selection, first-price payment.
+    pub fn paper_simulation(population: usize, winners: usize, trials: usize) -> Self {
+        Self {
+            population,
+            winners,
+            trials,
+            scoring_scale: 25.0,
+            scoring_exponents: vec![1.0, 1.0],
+            cost_coefficients: vec![2.0, 1.0],
+            capacity_range: (0.3, 1.0),
+            theta_range: (0.1, 1.0),
+            grid_size: 96,
+            selection: SelectionRule::TopK,
+            pricing: PricingRule::FirstPrice,
+        }
+    }
+
+    /// Number of resource dimensions of the game.
+    pub fn dims(&self) -> usize {
+        self.scoring_exponents.len()
+    }
+}
+
+/// Mean winner statistics over the trials of one game configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GameStatistics {
+    /// Mean payment per winner, averaged over trials.
+    pub mean_payment: f64,
+    /// Mean score per winner, averaged over trials.
+    pub mean_score: f64,
+}
+
+/// Runs the configured stand-alone auction game `trials` times and averages the winner
+/// payment and score (the quantities plotted in Figs. 9b and 10b).
+///
+/// Every node's per-resource capacity is drawn uniformly from `capacity_range` and its θ
+/// from `theta_range`; bids are the capacity-capped equilibrium bids of
+/// [`EquilibriumSolver::capped_bid`], and each trial runs one batched auction round.
+///
+/// # Errors
+///
+/// Propagates equilibrium-solver and auction construction/run failures.
+pub fn game_statistics(config: &GameConfig, seed: u64) -> Result<GameStatistics, AuctionError> {
+    let scoring = CobbDouglas::with_scale(config.scoring_scale, config.scoring_exponents.clone())?;
+    let cost = LinearCost::new(config.cost_coefficients.clone())?;
+    let theta = UniformDist::new(config.theta_range.0, config.theta_range.1)?;
+    let solver = EquilibriumSolver::builder()
+        .scoring(scoring.clone())
+        .cost(cost)
+        .theta(theta)
+        .bounds(vec![(0.0, 1.0); config.dims()])
+        .population(config.population)
+        .winners(config.winners)
+        .grid_size(config.grid_size)
+        .build()?;
+    let auction = Auction::new(
+        ScoringRule::new(scoring),
+        config.winners,
+        config.selection,
+        config.pricing,
+    );
+
+    let (cap_lo, cap_hi) = config.capacity_range;
+    let mut rng = seeded_rng(seed);
+    let trials = config.trials.max(1);
+    let mut payments = Vec::with_capacity(trials);
+    let mut scores = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut bids = Vec::with_capacity(config.population);
+        for i in 0..config.population {
+            let t = theta.sample(&mut rng);
+            let capacity: Vec<f64> = (0..config.dims())
+                .map(|_| rng.gen_range(cap_lo..=cap_hi))
+                .collect();
+            bids.push(solver.capped_bid(NodeId(i as u64), t, &capacity)?);
+        }
+        let outcome = auction.run(bids, &mut rng)?;
+        payments.push(outcome.mean_winner_payment());
+        scores.push(outcome.mean_winner_score());
+    }
+    Ok(GameStatistics {
+        mean_payment: fmore_numerics::stats::mean(&payments),
+        mean_score: fmore_numerics::stats::mean(&scores),
+    })
+}
+
+/// How many ψ-FMore selections land in the top-10 / top-20 / top-30 score ranks, averaged
+/// over repeated selections from a fixed strictly-decreasing score ladder (Fig. 11b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSpreadCounts {
+    /// Mean number of winners ranked in the top 10.
+    pub top10: f64,
+    /// Mean number of winners ranked in the top 20.
+    pub top20: f64,
+    /// Mean number of winners ranked in the top 30.
+    pub top30: f64,
+}
+
+/// Selects `k` winners from an `n`-node score ladder with the ψ-FMore rule `trials` times and
+/// counts how many selections fall in the top 10/20/30 ranks.
+pub fn psi_rank_spread(psi: f64, n: usize, k: usize, trials: usize, seed: u64) -> RankSpreadCounts {
+    let bids: Vec<ScoredBid> = (0..n)
+        .map(|i| ScoredBid {
+            node: NodeId(i as u64),
+            quality: Quality::default(),
+            ask: 0.0,
+            score: 1.0 - i as f64 / n as f64,
+        })
+        .collect();
+    let rule = SelectionRule::PsiFMore { psi };
+    let mut rng = seeded_rng(seed);
+    let (mut t10, mut t20, mut t30) = (0usize, 0usize, 0usize);
+    let trials = trials.max(1);
+    for _ in 0..trials {
+        let winners = rule.select(&bids, k, &mut rng);
+        t10 += winners.iter().filter(|&&i| i < 10).count();
+        t20 += winners.iter().filter(|&&i| i < 20).count();
+        t30 += winners.iter().filter(|&&i| i < 30).count();
+    }
+    RankSpreadCounts {
+        top10: t10 as f64 / trials as f64,
+        top20: t20 as f64 / trials as f64,
+        top30: t30 as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_game_is_deterministic_per_seed() {
+        let config = GameConfig::paper_simulation(20, 5, 2);
+        let a = game_statistics(&config, 7).unwrap();
+        let b = game_statistics(&config, 7).unwrap();
+        assert_eq!(a, b);
+        let c = game_statistics(&config, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn statistics_are_positive_and_bounded() {
+        let config = GameConfig::paper_simulation(30, 5, 3);
+        let stats = game_statistics(&config, 1).unwrap();
+        assert!(stats.mean_payment > 0.0);
+        assert!(stats.mean_score > 0.0);
+        // Score cannot exceed the scoring scale at full quality and zero ask.
+        assert!(stats.mean_score <= config.scoring_scale);
+    }
+
+    #[test]
+    fn competition_lowers_payments_and_raises_scores() {
+        // Theorem 2 / Fig. 9b.
+        let small = game_statistics(&GameConfig::paper_simulation(20, 5, 4), 1).unwrap();
+        let large = game_statistics(&GameConfig::paper_simulation(80, 5, 4), 1).unwrap();
+        assert!(large.mean_payment <= small.mean_payment + 0.05);
+        assert!(large.mean_score >= small.mean_score - 0.05);
+    }
+
+    #[test]
+    fn rank_spread_concentrates_with_large_psi() {
+        let low = psi_rank_spread(0.2, 100, 20, 200, 1);
+        let high = psi_rank_spread(0.8, 100, 20, 200, 1);
+        assert!(high.top30 > low.top30);
+        assert!(high.top10 > low.top10);
+        for r in [&low, &high] {
+            assert!(r.top10 <= 10.0 + 1e-9);
+            assert!(r.top10 <= r.top20 && r.top20 <= r.top30);
+        }
+    }
+}

@@ -64,6 +64,7 @@
 pub mod cost;
 pub mod equilibrium;
 pub mod error;
+pub mod game;
 pub mod mechanism;
 pub mod pricing;
 pub mod properties;
@@ -75,6 +76,7 @@ pub mod winner;
 pub use cost::{CostFunction, LinearCost, QuadraticCost};
 pub use equilibrium::{EquilibriumBid, EquilibriumSolver, EquilibriumSolverBuilder, PaymentMethod};
 pub use error::AuctionError;
+pub use game::{game_statistics, psi_rank_spread, GameConfig, GameStatistics, RankSpreadCounts};
 pub use mechanism::{Auction, AuctionOutcome, Award, SubmittedBid};
 pub use pricing::PricingRule;
 pub use scoring::{

@@ -12,10 +12,9 @@ use crate::types::{NodeId, Quality, ScoredBid};
 use crate::winner::SelectionRule;
 use fmore_numerics::rng::shuffle;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A sealed bid `(q, p)` submitted by an edge node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubmittedBid {
     /// The bidding node.
     pub node: NodeId,
@@ -33,7 +32,7 @@ impl SubmittedBid {
 }
 
 /// The award granted to one auction winner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Award {
     /// The winning node.
     pub node: NodeId,
@@ -114,7 +113,12 @@ impl Auction {
         selection: SelectionRule,
         pricing: PricingRule,
     ) -> Self {
-        Self { scoring, k, selection, pricing }
+        Self {
+            scoring,
+            k,
+            selection,
+            pricing,
+        }
     }
 
     /// The broadcast scoring rule (what the aggregator sends in the bid-ask step).
@@ -137,11 +141,65 @@ impl Auction {
         self.pricing
     }
 
-    /// Runs one auction round over the submitted sealed bids.
+    /// Scores a full bid population in one call, preserving input order.
+    ///
+    /// This is the batched entry point every caller should prefer over scoring bid-by-bid:
+    /// validation and scoring happen in a single pass over the population.
     ///
     /// Bids with invalid quality vectors (negative or non-finite components, wrong dimension)
     /// are rejected with an error rather than silently dropped, because a malformed bid
     /// indicates a protocol violation by the submitting node.
+    ///
+    /// # Errors
+    ///
+    /// [`AuctionError::DimensionMismatch`] / [`AuctionError::InvalidParameter`] for malformed
+    /// bids.
+    pub fn score_bids(&self, bids: Vec<SubmittedBid>) -> Result<Vec<ScoredBid>, AuctionError> {
+        let mut scored = Vec::with_capacity(bids.len());
+        for bid in bids {
+            if !bid.quality.is_valid() {
+                return Err(AuctionError::InvalidParameter(format!(
+                    "bid from {} has an invalid quality vector",
+                    bid.node
+                )));
+            }
+            if !bid.ask.is_finite() || bid.ask < 0.0 {
+                return Err(AuctionError::InvalidParameter(format!(
+                    "bid from {} has an invalid payment ask {}",
+                    bid.node, bid.ask
+                )));
+            }
+            let score = self.scoring.score(&bid.quality, bid.ask)?;
+            scored.push(ScoredBid {
+                node: bid.node,
+                quality: bid.quality,
+                ask: bid.ask,
+                score,
+            });
+        }
+        Ok(scored)
+    }
+
+    /// Scores and ranks a full bid population: one batched scoring pass, then a descending
+    /// sort by score with ties resolved by the flip of a coin (Section V-A) — the population
+    /// is shuffled before the stable sort so equal scores end up in random relative order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Auction::score_bids`] failures.
+    pub fn rank_bids<R: Rng + ?Sized>(
+        &self,
+        bids: Vec<SubmittedBid>,
+        rng: &mut R,
+    ) -> Result<Vec<ScoredBid>, AuctionError> {
+        let mut scored = self.score_bids(bids)?;
+        shuffle(&mut scored, rng);
+        scored.sort_by(ScoredBid::by_descending_score);
+        Ok(scored)
+    }
+
+    /// Runs one auction round over the submitted sealed bids: batched scoring and ranking
+    /// ([`Auction::rank_bids`]), winner selection, and payment computation.
     ///
     /// # Errors
     ///
@@ -159,50 +217,43 @@ impl Auction {
             return Err(AuctionError::NoBids);
         }
         if self.k == 0 || !self.selection.is_valid() {
-            return Err(AuctionError::InvalidGame { n: bids.len(), k: self.k });
+            return Err(AuctionError::InvalidGame {
+                n: bids.len(),
+                k: self.k,
+            });
         }
 
-        let mut scored = Vec::with_capacity(bids.len());
-        for bid in bids {
-            if !bid.quality.is_valid() {
-                return Err(AuctionError::InvalidParameter(format!(
-                    "bid from {} has an invalid quality vector",
-                    bid.node
-                )));
-            }
-            if !bid.ask.is_finite() || bid.ask < 0.0 {
-                return Err(AuctionError::InvalidParameter(format!(
-                    "bid from {} has an invalid payment ask {}",
-                    bid.node, bid.ask
-                )));
-            }
-            let score = self.scoring.score(&bid.quality, bid.ask)?;
-            scored.push(ScoredBid { node: bid.node, quality: bid.quality, ask: bid.ask, score });
-        }
-
-        // Ties are resolved by the flip of a coin (Section V-A): shuffle before the stable
-        // sort so equal scores end up in random relative order.
-        shuffle(&mut scored, rng);
-        scored.sort_by(ScoredBid::by_descending_score);
-
+        let scored = self.rank_bids(bids, rng)?;
         let winner_indices = self.selection.select(&scored, self.k, rng);
         let best_losing_score = scored
             .iter()
             .enumerate()
             .filter(|(i, _)| !winner_indices.contains(i))
             .map(|(_, b)| b.score)
-            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))));
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
 
         let winners = winner_indices
             .iter()
             .map(|&idx| {
-                let payment = self.pricing.payment(&self.scoring, &scored, idx, best_losing_score);
+                let payment = self
+                    .pricing
+                    .payment(&self.scoring, &scored, idx, best_losing_score);
                 let b = &scored[idx];
-                Award { node: b.node, quality: b.quality.clone(), score: b.score, payment }
+                Award {
+                    node: b.node,
+                    quality: b.quality.clone(),
+                    score: b.score,
+                    payment,
+                }
             })
             .collect();
 
-        Ok(AuctionOutcome { ranked: scored, winners })
+        Ok(AuctionOutcome {
+            ranked: scored,
+            winners,
+        })
     }
 }
 
@@ -230,7 +281,15 @@ mod tests {
         let auction = simple_auction(2);
         let mut rng = seeded_rng(1);
         let outcome = auction
-            .run(vec![bid(0, 1.0, 0.5), bid(1, 1.0, 0.1), bid(2, 0.9, 0.2), bid(3, 0.2, 0.0)], &mut rng)
+            .run(
+                vec![
+                    bid(0, 1.0, 0.5),
+                    bid(1, 1.0, 0.1),
+                    bid(2, 0.9, 0.2),
+                    bid(3, 0.2, 0.0),
+                ],
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(outcome.winner_ids(), vec![NodeId(1), NodeId(2)]);
         assert_eq!(outcome.ranked.len(), 4);
@@ -243,8 +302,12 @@ mod tests {
     fn aggregator_profit_uses_utility_minus_payment() {
         let auction = simple_auction(2);
         let mut rng = seeded_rng(2);
-        let outcome =
-            auction.run(vec![bid(0, 1.0, 0.1), bid(1, 0.8, 0.2), bid(2, 0.5, 0.1)], &mut rng).unwrap();
+        let outcome = auction
+            .run(
+                vec![bid(0, 1.0, 0.1), bid(1, 0.8, 0.2), bid(2, 0.5, 0.1)],
+                &mut rng,
+            )
+            .unwrap();
         let utility = Additive::new(vec![1.0]).unwrap();
         let profit = outcome.aggregator_profit(&utility).unwrap();
         // Winners: node 0 (1.0 - 0.1) and node 1 (0.8 - 0.2) => profit 1.5.
@@ -258,7 +321,9 @@ mod tests {
     fn k_larger_than_population_awards_everyone() {
         let auction = simple_auction(10);
         let mut rng = seeded_rng(3);
-        let outcome = auction.run(vec![bid(0, 1.0, 0.1), bid(1, 0.5, 0.1)], &mut rng).unwrap();
+        let outcome = auction
+            .run(vec![bid(0, 1.0, 0.1), bid(1, 0.5, 0.1)], &mut rng)
+            .unwrap();
         assert_eq!(outcome.winners.len(), 2);
     }
 
@@ -266,7 +331,10 @@ mod tests {
     fn rejects_empty_and_malformed_input() {
         let auction = simple_auction(2);
         let mut rng = seeded_rng(4);
-        assert_eq!(auction.run(vec![], &mut rng).unwrap_err(), AuctionError::NoBids);
+        assert_eq!(
+            auction.run(vec![], &mut rng).unwrap_err(),
+            AuctionError::NoBids
+        );
 
         let bad_quality = SubmittedBid::new(NodeId(0), Quality::new(vec![-1.0]), 0.1);
         assert!(matches!(
@@ -307,12 +375,21 @@ mod tests {
         // always yields the same outcome.
         let auction = simple_auction(1);
         let bids = vec![bid(0, 1.0, 0.2), bid(1, 1.0, 0.2)];
-        let w1 = auction.run(bids.clone(), &mut seeded_rng(7)).unwrap().winner_ids();
-        let w2 = auction.run(bids.clone(), &mut seeded_rng(7)).unwrap().winner_ids();
+        let w1 = auction
+            .run(bids.clone(), &mut seeded_rng(7))
+            .unwrap()
+            .winner_ids();
+        let w2 = auction
+            .run(bids.clone(), &mut seeded_rng(7))
+            .unwrap()
+            .winner_ids();
         assert_eq!(w1, w2);
         let mut seen = std::collections::HashSet::new();
         for seed in 0..32 {
-            let w = auction.run(bids.clone(), &mut seeded_rng(seed)).unwrap().winner_ids();
+            let w = auction
+                .run(bids.clone(), &mut seeded_rng(seed))
+                .unwrap()
+                .winner_ids();
             seen.insert(w[0]);
         }
         assert_eq!(seen.len(), 2, "both tied nodes should win under some seed");
@@ -334,7 +411,12 @@ mod tests {
         ];
         let outcome = auction.run(bids, &mut rng).unwrap();
         for w in &outcome.winners {
-            let ask = outcome.ranked.iter().find(|b| b.node == w.node).unwrap().ask;
+            let ask = outcome
+                .ranked
+                .iter()
+                .find(|b| b.node == w.node)
+                .unwrap()
+                .ask;
             assert!(w.payment >= ask - 1e-12);
         }
     }

@@ -65,14 +65,22 @@ mod tests {
     fn bid(node: u64, q: f64, ask: f64, rule: &ScoringRule) -> ScoredBid {
         let quality = Quality::new(vec![q]);
         let score = rule.score(&quality, ask).unwrap();
-        ScoredBid { node: NodeId(node), quality, ask, score }
+        ScoredBid {
+            node: NodeId(node),
+            quality,
+            ask,
+            score,
+        }
     }
 
     #[test]
     fn first_price_pays_the_ask() {
         let r = rule();
         let sorted = vec![bid(0, 1.0, 0.3, &r), bid(1, 0.8, 0.2, &r)];
-        assert_eq!(PricingRule::FirstPrice.payment(&r, &sorted, 0, Some(0.6)), 0.3);
+        assert_eq!(
+            PricingRule::FirstPrice.payment(&r, &sorted, 0, Some(0.6)),
+            0.3
+        );
     }
 
     #[test]
@@ -81,7 +89,10 @@ mod tests {
         // Winner: s(q) = 1.0, ask 0.3 (score 0.7). Best losing score 0.5.
         let sorted = vec![bid(0, 1.0, 0.3, &r), bid(1, 0.8, 0.3, &r)];
         let p = PricingRule::SecondPrice.payment(&r, &sorted, 0, Some(0.5));
-        assert!((p - 0.5).abs() < 1e-12, "winner should be paid s(q) − S_loser = 0.5, got {p}");
+        assert!(
+            (p - 0.5).abs() < 1e-12,
+            "winner should be paid s(q) − S_loser = 0.5, got {p}"
+        );
         // The payment is never below the ask.
         let p = PricingRule::SecondPrice.payment(&r, &sorted, 0, Some(0.9));
         assert_eq!(p, 0.3);
@@ -97,7 +108,11 @@ mod tests {
     #[test]
     fn second_price_weakly_exceeds_first_price() {
         let r = rule();
-        let sorted = vec![bid(0, 2.0, 0.4, &r), bid(1, 1.5, 0.35, &r), bid(2, 1.0, 0.3, &r)];
+        let sorted = vec![
+            bid(0, 2.0, 0.4, &r),
+            bid(1, 1.5, 0.35, &r),
+            bid(2, 1.0, 0.3, &r),
+        ];
         let losing = Some(sorted[2].score);
         for idx in 0..2 {
             let fp = PricingRule::FirstPrice.payment(&r, &sorted, idx, losing);

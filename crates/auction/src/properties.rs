@@ -194,7 +194,11 @@ pub fn cobb_douglas_resource_ratio(
             "alpha and beta vectors must be non-empty and of equal length".into(),
         ));
     }
-    if alphas.iter().chain(betas.iter()).any(|v| !v.is_finite() || *v <= 0.0) {
+    if alphas
+        .iter()
+        .chain(betas.iter())
+        .any(|v| !v.is_finite() || *v <= 0.0)
+    {
         return Err(AuctionError::InvalidParameter(
             "alpha and beta coefficients must be positive".into(),
         ));
@@ -266,14 +270,24 @@ mod tests {
         let cost = QuadraticCost::new(vec![1.0]).unwrap();
         for theta in [0.25, 0.5, 0.75, 1.0] {
             let bid = s.bid_for(theta).unwrap();
-            assert!(is_individually_rational(&bid.quality, bid.ask, &cost, theta));
+            assert!(is_individually_rational(
+                &bid.quality,
+                bid.ask,
+                &cost,
+                theta
+            ));
         }
         // A payment below cost violates IR.
         let bid = s.bid_for(0.5).unwrap();
         assert!(!is_individually_rational(&bid.quality, 0.0, &cost, 0.5));
         // Dimension mismatch is treated as a violation rather than a panic.
         let bad_cost = QuadraticCost::new(vec![1.0, 1.0]).unwrap();
-        assert!(!is_individually_rational(&bid.quality, bid.ask, &bad_cost, 0.5));
+        assert!(!is_individually_rational(
+            &bid.quality,
+            bid.ask,
+            &bad_cost,
+            0.5
+        ));
     }
 
     #[test]
@@ -310,7 +324,10 @@ mod tests {
                 payment: 0.0,
             };
             let surplus = social_surplus(&[alt], &[theta], &scoring, &cost).unwrap();
-            assert!(surplus <= optimal + 1e-6, "q={q} surplus {surplus} > optimal {optimal}");
+            assert!(
+                surplus <= optimal + 1e-6,
+                "q={q} surplus {surplus} > optimal {optimal}"
+            );
         }
         // Length mismatch is rejected.
         assert!(social_surplus(&[], &[0.5], &scoring, &cost).is_err());
@@ -367,8 +384,9 @@ mod tests {
         // Doubling α1 relative to α2 doubles q1/q2 (with equal betas): the Proposition-4
         // guidance the aggregator uses to acquire the resources it actually needs.
         let base = cobb_douglas_optimal_quantities(&[0.5, 0.5], &[0.5, 0.5], 0.5, 10.0).unwrap();
-        let skewed = cobb_douglas_optimal_quantities(&[2.0 / 3.0, 1.0 / 3.0], &[0.5, 0.5], 0.5, 10.0)
-            .unwrap();
+        let skewed =
+            cobb_douglas_optimal_quantities(&[2.0 / 3.0, 1.0 / 3.0], &[0.5, 0.5], 0.5, 10.0)
+                .unwrap();
         let base_ratio = base[0] / base[1];
         let skewed_ratio = skewed[0] / skewed[1];
         assert!((skewed_ratio / base_ratio - 2.0).abs() < 1e-9);

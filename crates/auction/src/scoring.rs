@@ -43,7 +43,10 @@ pub trait ScoringFunction: Send + Sync {
     /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong number of dimensions.
     fn evaluate(&self, q: &[f64]) -> Result<f64, AuctionError> {
         if q.len() != self.dims() {
-            return Err(AuctionError::DimensionMismatch { expected: self.dims(), actual: q.len() });
+            return Err(AuctionError::DimensionMismatch {
+                expected: self.dims(),
+                actual: q.len(),
+            });
         }
         Ok(self.value(q))
     }
@@ -51,7 +54,9 @@ pub trait ScoringFunction: Send + Sync {
 
 fn validate_weights(weights: &[f64]) -> Result<(), AuctionError> {
     if weights.is_empty() {
-        return Err(AuctionError::InvalidParameter("weights must not be empty".into()));
+        return Err(AuctionError::InvalidParameter(
+            "weights must not be empty".into(),
+        ));
     }
     if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
         return Err(AuctionError::InvalidParameter(
@@ -59,7 +64,9 @@ fn validate_weights(weights: &[f64]) -> Result<(), AuctionError> {
         ));
     }
     if weights.iter().all(|w| *w == 0.0) {
-        return Err(AuctionError::InvalidParameter("at least one weight must be positive".into()));
+        return Err(AuctionError::InvalidParameter(
+            "at least one weight must be positive".into(),
+        ));
     }
     Ok(())
 }
@@ -238,7 +245,10 @@ impl<S: ScoringFunction> NormalizedScoring<S> {
                 actual: ranges.len(),
             });
         }
-        let normalizers = ranges.iter().map(|&(lo, hi)| MinMaxNormalizer::new(lo, hi)).collect();
+        let normalizers = ranges
+            .iter()
+            .map(|&(lo, hi)| MinMaxNormalizer::new(lo, hi))
+            .collect();
         Ok(Self { inner, normalizers })
     }
 
@@ -253,8 +263,11 @@ impl<S: ScoringFunction> ScoringFunction for NormalizedScoring<S> {
         self.inner.dims()
     }
     fn value(&self, q: &[f64]) -> f64 {
-        let normalized: Vec<f64> =
-            q.iter().zip(&self.normalizers).map(|(x, n)| n.normalize(*x)).collect();
+        let normalized: Vec<f64> = q
+            .iter()
+            .zip(&self.normalizers)
+            .map(|(x, n)| n.normalize(*x))
+            .collect();
         self.inner.value(&normalized)
     }
     fn name(&self) -> &'static str {
@@ -397,8 +410,16 @@ mod tests {
         ];
         for f in &functions {
             let base = f.value(&[0.4, 0.6]);
-            assert!(f.value(&[0.5, 0.6]) >= base, "{} not monotone in q1", f.name());
-            assert!(f.value(&[0.4, 0.7]) >= base, "{} not monotone in q2", f.name());
+            assert!(
+                f.value(&[0.5, 0.6]) >= base,
+                "{} not monotone in q1",
+                f.name()
+            );
+            assert!(
+                f.value(&[0.4, 0.7]) >= base,
+                "{} not monotone in q2",
+                f.name()
+            );
         }
     }
 
@@ -408,7 +429,10 @@ mod tests {
         assert!(s.evaluate(&[1.0, 2.0]).is_ok());
         assert_eq!(
             s.evaluate(&[1.0]).unwrap_err(),
-            AuctionError::DimensionMismatch { expected: 2, actual: 1 }
+            AuctionError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
         );
     }
 
@@ -419,7 +443,10 @@ mod tests {
         let s = NormalizedScoring::new(inner, vec![(1000.0, 5000.0), (5.0, 100.0)]).unwrap();
         let rule = ScoringRule::new(s);
         let score = rule.score(&Quality::new(vec![4000.0, 85.0]), 0.20).unwrap();
-        assert!((score - 0.175).abs() < 1e-3, "expected the paper's 0.175, got {score}");
+        assert!(
+            (score - 0.175).abs() < 1e-3,
+            "expected the paper's 0.175, got {score}"
+        );
     }
 
     #[test]

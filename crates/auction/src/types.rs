@@ -1,12 +1,9 @@
 //! Core value types shared across the auction mechanism.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an edge node (a bidder).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u64);
 
 impl fmt::Display for NodeId {
@@ -26,7 +23,7 @@ impl From<u64> for NodeId {
 /// The paper's simulator uses two dimensions (data size, data-category proportion); the
 /// real-world deployment uses three (computing power, bandwidth, data size). The type keeps
 /// dimensions explicit so that scoring and cost functions can validate them.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Quality(Vec<f64>);
 
 impl Quality {
@@ -69,8 +66,7 @@ impl Quality {
     /// Component-wise comparison: `true` when every component of `self` is `<=` the matching
     /// component of `other` and the dimensions agree.
     pub fn dominated_by(&self, other: &Quality) -> bool {
-        self.dims() == other.dims()
-            && self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+        self.dims() == other.dims() && self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
     }
 }
 
@@ -106,7 +102,7 @@ impl fmt::Display for Quality {
 }
 
 /// A bid after the aggregator has applied the scoring rule `S(q, p) = s(q) − p`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredBid {
     /// The bidder.
     pub node: NodeId,
@@ -121,7 +117,9 @@ pub struct ScoredBid {
 impl ScoredBid {
     /// Orders two scored bids by descending score (the aggregator's sort order).
     pub fn by_descending_score(a: &ScoredBid, b: &ScoredBid) -> std::cmp::Ordering {
-        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -174,10 +172,25 @@ mod tests {
 
     #[test]
     fn scored_bids_sort_descending() {
-        let mut bids = vec![
-            ScoredBid { node: NodeId(1), quality: Quality::default(), ask: 0.1, score: 0.2 },
-            ScoredBid { node: NodeId(2), quality: Quality::default(), ask: 0.1, score: 0.9 },
-            ScoredBid { node: NodeId(3), quality: Quality::default(), ask: 0.1, score: 0.5 },
+        let mut bids = [
+            ScoredBid {
+                node: NodeId(1),
+                quality: Quality::default(),
+                ask: 0.1,
+                score: 0.2,
+            },
+            ScoredBid {
+                node: NodeId(2),
+                quality: Quality::default(),
+                ask: 0.1,
+                score: 0.9,
+            },
+            ScoredBid {
+                node: NodeId(3),
+                quality: Quality::default(),
+                ask: 0.1,
+                score: 0.5,
+            },
         ];
         bids.sort_by(ScoredBid::by_descending_score);
         let order: Vec<u64> = bids.iter().map(|b| b.node.0).collect();

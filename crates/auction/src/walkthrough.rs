@@ -144,11 +144,19 @@ mod tests {
 
         let mut w1: Vec<char> = round1.winner_ids().into_iter().map(label_of).collect();
         w1.sort_unstable();
-        assert_eq!(w1, vec!['A', 'D', 'E'], "round 1 winners should be {{A, D, E}}");
+        assert_eq!(
+            w1,
+            vec!['A', 'D', 'E'],
+            "round 1 winners should be {{A, D, E}}"
+        );
 
         let mut w2: Vec<char> = round2.winner_ids().into_iter().map(label_of).collect();
         w2.sort_unstable();
-        assert_eq!(w2, vec!['A', 'C', 'E'], "round 2 winners should be {{A, C, E}}");
+        assert_eq!(
+            w2,
+            vec!['A', 'C', 'E'],
+            "round 2 winners should be {{A, C, E}}"
+        );
     }
 
     #[test]
@@ -176,7 +184,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         let (round1, round2) = run_walkthrough(&mut rng).unwrap();
         let rank_of_c = |outcome: &AuctionOutcome| {
-            outcome.ranked.iter().position(|b| label_of(b.node) == 'C').unwrap()
+            outcome
+                .ranked
+                .iter()
+                .position(|b| label_of(b.node) == 'C')
+                .unwrap()
         };
         assert_eq!(rank_of_c(&round1), 3, "C is ranked 4th in round 1");
         assert_eq!(rank_of_c(&round2), 0, "C is ranked 1st in round 2");

@@ -74,12 +74,12 @@ impl SelectionRule {
                 }
                 // Deterministic fill (highest-ranked first) if the probabilistic passes did
                 // not complete the set.
-                for idx in 0..sorted.len() {
+                for (idx, taken) in admitted.iter_mut().enumerate() {
                     if winners.len() >= k {
                         break;
                     }
-                    if !admitted[idx] {
-                        admitted[idx] = true;
+                    if !*taken {
+                        *taken = true;
                         winners.push(idx);
                     }
                 }

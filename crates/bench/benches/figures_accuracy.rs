@@ -11,6 +11,7 @@ use fmore_ml::dataset::TaskKind;
 use fmore_sim::experiments::accuracy::{run as run_accuracy, AccuracyConfig};
 use fmore_sim::experiments::headline::{headline_table, simulation_headline};
 use fmore_sim::experiments::scores::run as run_scores;
+use fmore_sim::ScenarioRunner;
 use std::time::Duration;
 
 fn figure_config(task: TaskKind) -> AccuracyConfig {
@@ -38,7 +39,7 @@ fn bench_figs_4_to_7(c: &mut Criterion) {
     let mut headlines = Vec::new();
     for (task, target, label) in tasks {
         let config = figure_config(task);
-        let figure = run_accuracy(&config).expect("figure run");
+        let figure = run_accuracy(&ScenarioRunner::new(), &config).expect("figure run");
         println!("\n==== {label}: {} ====", task.name());
         println!("{}", figure.to_table().to_markdown());
         headlines.push(simulation_headline(&figure, target));
@@ -47,7 +48,10 @@ fn bench_figs_4_to_7(c: &mut Criterion) {
 
     // Time one federated round per scheme on the MNIST-O task.
     let mut group = c.benchmark_group("fig4_7_one_round");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for strategy in [SelectionStrategy::fmore(), SelectionStrategy::random()] {
         let name = strategy.name().to_string();
         let config = figure_config(TaskKind::MnistO);
@@ -62,18 +66,26 @@ fn bench_figs_4_to_7(c: &mut Criterion) {
 /// Figure 8: the winner-score distribution per scheme.
 fn bench_fig_8(c: &mut Criterion) {
     let config = figure_config(TaskKind::Cifar10);
-    let dist = run_scores(&config).expect("score distribution run");
+    let dist = run_scores(&ScenarioRunner::new(), &config).expect("score distribution run");
     println!("\n==== Fig. 8: winner-score distribution (CIFAR-10) ====");
     println!("{}", dist.to_table().to_markdown());
     for scheme in &dist.schemes {
         let series = dist.cumulative_proportions(&scheme.winner_scores, 10);
-        println!("{} cumulative proportions: {:?}", scheme.strategy, series.ys);
+        println!(
+            "{} cumulative proportions: {:?}",
+            scheme.strategy, series.ys
+        );
     }
 
     let mut group = c.benchmark_group("fig8_score_distribution");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     let quick = AccuracyConfig::quick(TaskKind::MnistO);
-    group.bench_function("quick_distribution", |b| b.iter(|| run_scores(&quick).unwrap()));
+    group.bench_function("quick_distribution", |b| {
+        b.iter(|| run_scores(&ScenarioRunner::new(), &quick).unwrap())
+    });
     group.finish();
 }
 

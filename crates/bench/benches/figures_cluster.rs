@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fmore_mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
 use fmore_sim::experiments::cluster::{run as run_cluster, ClusterExperimentConfig};
 use fmore_sim::experiments::headline::{cluster_headline, headline_table};
+use fmore_sim::ScenarioRunner;
 use std::time::Duration;
 
 fn bench_figs_12_13(c: &mut Criterion) {
@@ -21,7 +22,7 @@ fn bench_figs_12_13(c: &mut Criterion) {
     config.cluster.fl.test_samples = 600;
     config.accuracy_targets = vec![0.35, 0.40, 0.45, 0.50];
 
-    let figure = run_cluster(&config).expect("cluster figure run");
+    let figure = run_cluster(&ScenarioRunner::new(), &config).expect("cluster figure run");
     println!("\n==== Figs. 12-13: simulated cluster deployment ====");
     println!("{}", figure.to_table().to_markdown());
     for target in &figure.accuracy_targets {
@@ -37,7 +38,10 @@ fn bench_figs_12_13(c: &mut Criterion) {
 
     // Time one full cluster round per strategy on a small deployment.
     let mut group = c.benchmark_group("fig12_13_cluster_round");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for strategy in [ClusterStrategy::FMore, ClusterStrategy::RandFL] {
         let mut cluster = MecCluster::new(ClusterConfig::fast_test(), strategy, 3).unwrap();
         group.bench_function(strategy.name(), |b| b.iter(|| cluster.run_round().unwrap()));

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fmore_sim::experiments::impact_k::{run as run_k, ImpactOfKConfig};
 use fmore_sim::experiments::impact_n::{auction_game_statistics, run as run_n, ImpactOfNConfig};
 use fmore_sim::experiments::impact_psi::{rank_spread_for_psi, run as run_psi, ImpactOfPsiConfig};
-use fmore_sim::Table;
+use fmore_sim::{ScenarioRunner, Table};
 use std::time::Duration;
 
 /// Figure 9: impact of N — rounds-to-accuracy plus payment/score vs N.
@@ -16,10 +16,13 @@ fn bench_fig_9(c: &mut Criterion) {
     config.sweep_values = vec![50, 80, 110, 140, 170, 200];
     config.k = 20;
     config.trials = 3;
-    let result = run_n(&config).expect("impact-of-N run");
+    let result = run_n(&ScenarioRunner::new(), &config).expect("impact-of-N run");
     println!("\n==== Fig. 9: impact of N ====");
     println!("{}", result.to_table().to_markdown());
-    let mut sweep = Table::new("Payment and score vs N (Fig. 9b)", &["N", "mean payment", "mean score"]);
+    let mut sweep = Table::new(
+        "Payment and score vs N (Fig. 9b)",
+        &["N", "mean payment", "mean score"],
+    );
     for point in &result.sweep {
         sweep.push_row(&[
             point.value.to_string(),
@@ -30,7 +33,10 @@ fn bench_fig_9(c: &mut Criterion) {
     println!("{}", sweep.to_markdown());
 
     let mut group = c.benchmark_group("fig9_auction_sweep");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for n in [50usize, 100, 200] {
         group.bench_with_input(BenchmarkId::new("auction_game", n), &n, |b, &n| {
             b.iter(|| auction_game_statistics(n, 20, 1, 3).unwrap())
@@ -47,10 +53,13 @@ fn bench_fig_10(c: &mut Criterion) {
     config.sweep_values = vec![5, 10, 15, 20, 25, 30, 35];
     config.n = 100;
     config.trials = 3;
-    let result = run_k(&config).expect("impact-of-K run");
+    let result = run_k(&ScenarioRunner::new(), &config).expect("impact-of-K run");
     println!("\n==== Fig. 10: impact of K ====");
     println!("{}", result.to_table().to_markdown());
-    let mut sweep = Table::new("Payment and score vs K (Fig. 10b)", &["K", "mean payment", "mean score"]);
+    let mut sweep = Table::new(
+        "Payment and score vs K (Fig. 10b)",
+        &["K", "mean payment", "mean score"],
+    );
     for point in &result.sweep {
         sweep.push_row(&[
             point.value.to_string(),
@@ -61,7 +70,10 @@ fn bench_fig_10(c: &mut Criterion) {
     println!("{}", sweep.to_markdown());
 
     let mut group = c.benchmark_group("fig10_auction_sweep");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for k in [5usize, 20, 35] {
         group.bench_with_input(BenchmarkId::new("auction_game", k), &k, |b, &k| {
             b.iter(|| auction_game_statistics(100, k, 1, 5).unwrap())
@@ -76,7 +88,7 @@ fn bench_fig_11(c: &mut Criterion) {
     config.rounds = 8;
     config.sweep_values = vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     config.trials = 300;
-    let result = run_psi(&config).expect("impact-of-psi run");
+    let result = run_psi(&ScenarioRunner::new(), &config).expect("impact-of-psi run");
     println!("\n==== Fig. 11: impact of ψ ====");
     println!("{}", result.to_table().to_markdown());
     for (target, slow, fast) in &result.rounds_to_accuracy {
@@ -91,11 +103,16 @@ fn bench_fig_11(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("fig11_rank_spread");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for psi in [0.3f64, 0.6, 0.9] {
-        group.bench_with_input(BenchmarkId::new("rank_spread", format!("{psi:.1}")), &psi, |b, &psi| {
-            b.iter(|| rank_spread_for_psi(psi, 100, 20, 50, 9))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rank_spread", format!("{psi:.1}")),
+            &psi,
+            |b, &psi| b.iter(|| rank_spread_for_psi(psi, 100, 20, 50, 9)),
+        );
     }
     group.finish();
 }

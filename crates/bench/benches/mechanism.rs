@@ -30,10 +30,8 @@ fn make_bids(n: usize, solver: &EquilibriumSolver, seed: u64) -> Vec<SubmittedBi
     (0..n)
         .map(|i| {
             let t = theta.sample(&mut rng);
-            let (ideal, _) = solver.quality_choice(t);
             let cap = [rng.gen_range(0.3..1.0), rng.gen_range(0.3..1.0)];
-            let q: Vec<f64> = ideal.iter().zip(cap.iter()).map(|(a, b)| a.min(*b)).collect();
-            SubmittedBid::new(NodeId(i as u64), Quality::new(q), solver.payment_for(t).unwrap())
+            solver.capped_bid(NodeId(i as u64), t, &cap).unwrap()
         })
         .collect()
 }
@@ -42,7 +40,10 @@ fn make_bids(n: usize, solver: &EquilibriumSolver, seed: u64) -> Vec<SubmittedBi
 /// the payment-method ablation (the paper's Algorithm 1 runs the Euler route on every node).
 fn bench_equilibrium(c: &mut Criterion) {
     let mut group = c.benchmark_group("equilibrium");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("solver_build_n100_k20", |b| {
         b.iter(|| solver(100, 20, PaymentMethod::Quadrature))
@@ -52,8 +53,12 @@ fn bench_equilibrium(c: &mut Criterion) {
     let euler = solver(100, 20, PaymentMethod::Euler { steps: 512 });
     let che = solver(100, 1, PaymentMethod::CheClosedForm);
     group.bench_function("bid_quadrature", |b| b.iter(|| quad.bid_for(0.4).unwrap()));
-    group.bench_function("bid_euler_paper_route", |b| b.iter(|| euler.bid_for(0.4).unwrap()));
-    group.bench_function("bid_che_closed_form_k1", |b| b.iter(|| che.bid_for(0.4).unwrap()));
+    group.bench_function("bid_euler_paper_route", |b| {
+        b.iter(|| euler.bid_for(0.4).unwrap())
+    });
+    group.bench_function("bid_che_closed_form_k1", |b| {
+        b.iter(|| che.bid_for(0.4).unwrap())
+    });
     group.finish();
 
     // Report the ablation numbers once so the bench doubles as a correctness record.
@@ -65,22 +70,36 @@ fn bench_equilibrium(c: &mut Criterion) {
 /// One full auction round with 100 bidders under the different pricing and selection rules.
 fn bench_auction_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("auction_round_n100_k20");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
 
     let eq = solver(100, 20, PaymentMethod::Quadrature);
     let bids = make_bids(100, &eq, 1);
     let scoring = || ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap());
 
     let variants: Vec<(&str, Auction)> = vec![
-        ("first_price_topk", Auction::new(scoring(), 20, SelectionRule::TopK, PricingRule::FirstPrice)),
-        ("second_price_topk", Auction::new(scoring(), 20, SelectionRule::TopK, PricingRule::SecondPrice)),
+        (
+            "first_price_topk",
+            Auction::new(scoring(), 20, SelectionRule::TopK, PricingRule::FirstPrice),
+        ),
+        (
+            "second_price_topk",
+            Auction::new(scoring(), 20, SelectionRule::TopK, PricingRule::SecondPrice),
+        ),
         (
             "first_price_psi_0.8",
-            Auction::new(scoring(), 20, SelectionRule::PsiFMore { psi: 0.8 }, PricingRule::FirstPrice),
+            Auction::new(
+                scoring(),
+                20,
+                SelectionRule::PsiFMore { psi: 0.8 },
+                PricingRule::FirstPrice,
+            ),
         ),
     ];
     for (name, auction) in &variants {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter_batched(
                 || (bids.clone(), seeded_rng(7)),
                 |(bids, mut rng)| auction.run(bids, &mut rng).unwrap(),
@@ -103,16 +122,30 @@ fn bench_auction_round(c: &mut Criterion) {
 /// Scoring-function family ablation: additive vs perfect-complementary vs Cobb–Douglas.
 fn bench_scoring_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("scoring_families");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let q = vec![0.6, 0.8, 0.4];
     let additive = Additive::new(vec![0.4, 0.3, 0.3]).unwrap();
     let min_form = PerfectComplementary::new(vec![0.4, 0.3, 0.3]).unwrap();
     let cobb = CobbDouglas::new(vec![0.4, 0.3, 0.3]).unwrap();
-    group.bench_function("additive", |b| b.iter(|| additive.value(std::hint::black_box(&q))));
-    group.bench_function("perfect_complementary", |b| b.iter(|| min_form.value(std::hint::black_box(&q))));
-    group.bench_function("cobb_douglas", |b| b.iter(|| cobb.value(std::hint::black_box(&q))));
+    group.bench_function("additive", |b| {
+        b.iter(|| additive.value(std::hint::black_box(&q)))
+    });
+    group.bench_function("perfect_complementary", |b| {
+        b.iter(|| min_form.value(std::hint::black_box(&q)))
+    });
+    group.bench_function("cobb_douglas", |b| {
+        b.iter(|| cobb.value(std::hint::black_box(&q)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_equilibrium, bench_auction_round, bench_scoring_families);
+criterion_group!(
+    benches,
+    bench_equilibrium,
+    bench_auction_round,
+    bench_scoring_families
+);
 criterion_main!(benches);

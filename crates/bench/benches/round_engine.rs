@@ -1,0 +1,86 @@
+//! Per-round wall-clock of the pooled `RoundEngine` vs the seed's spawn-per-round path.
+//!
+//! The original trainer spawned one fresh OS thread per winner every round
+//! (`crossbeam::thread::scope`) and collected results through a mutex-guarded `Vec` plus a
+//! sort. The refactored engine keeps a persistent worker pool and slot-indexed collection.
+//! This bench times one full federated round (selection + parallel local training +
+//! aggregation + evaluation) under both substrates, plus the inline baseline, on identical
+//! configurations — the histories produced are bit-identical (see `tests/determinism.rs`),
+//! so any delta is pure execution overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fmore_fl::config::FlConfig;
+use fmore_fl::engine::RoundEngine;
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_ml::dataset::TaskKind;
+use std::time::Duration;
+
+fn round_config() -> FlConfig {
+    let mut config = FlConfig::fast_test(TaskKind::MnistO);
+    // Enough winners that the per-round thread churn of the old path is visible.
+    config.clients = 24;
+    config.winners_per_round = 12;
+    config.partition.clients = 24;
+    config.train_samples = 1_200;
+    config
+}
+
+fn trainer_with(engine: RoundEngine) -> FederatedTrainer {
+    FederatedTrainer::with_engine(round_config(), SelectionStrategy::fmore(), 42, engine)
+        .expect("bench config is valid")
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("pooled_round", |b| {
+        let mut trainer = trainer_with(RoundEngine::pooled(0));
+        b.iter(|| trainer.run_round().expect("round runs"))
+    });
+
+    group.bench_function("spawn_per_round", |b| {
+        let mut trainer = trainer_with(RoundEngine::spawn_per_round());
+        b.iter(|| trainer.run_round().expect("round runs"))
+    });
+
+    group.bench_function("inline_round", |b| {
+        let mut trainer = trainer_with(RoundEngine::inline());
+        b.iter(|| trainer.run_round().expect("round runs"))
+    });
+
+    group.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_engine_full_run");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("pooled_5_rounds", |b| {
+        b.iter_batched(
+            || trainer_with(RoundEngine::pooled(0)),
+            |mut trainer| trainer.run(5).expect("run completes"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("spawn_per_round_5_rounds", |b| {
+        b.iter_batched(
+            || trainer_with(RoundEngine::spawn_per_round()),
+            |mut trainer| trainer.run(5).expect("run completes"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_full_runs);
+criterion_main!(benches);

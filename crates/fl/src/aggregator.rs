@@ -6,20 +6,42 @@
 /// Updates with non-positive weight are ignored. Returns `None` if there are no usable
 /// updates or the parameter vectors disagree in length.
 pub fn federated_average(updates: &[(Vec<f64>, f64)]) -> Option<Vec<f64>> {
-    let mut iter = updates.iter().filter(|(_, w)| *w > 0.0);
-    let first = iter.next()?;
-    let dim = first.0.len();
-    let mut acc = vec![0.0; dim];
+    federated_average_slices(
+        updates
+            .iter()
+            .map(|(params, weight)| (params.as_slice(), *weight)),
+    )
+}
+
+/// Borrowing form of [`federated_average`]: averages parameter slices without requiring the
+/// caller to materialise owned vectors (used by the round engine, whose `LocalUpdate`s
+/// already own their parameters).
+pub fn federated_average_slices<'a, I>(updates: I) -> Option<Vec<f64>>
+where
+    I: IntoIterator<Item = (&'a [f64], f64)>,
+{
+    let mut acc: Option<Vec<f64>> = None;
     let mut total_weight = 0.0;
-    for (params, weight) in updates.iter().filter(|(_, w)| *w > 0.0) {
-        if params.len() != dim {
-            return None;
+    for (params, weight) in updates {
+        if weight <= 0.0 {
+            continue;
         }
-        for (a, p) in acc.iter_mut().zip(params) {
-            *a += p * weight;
+        match &mut acc {
+            None => {
+                acc = Some(params.iter().map(|p| p * weight).collect());
+            }
+            Some(acc) => {
+                if params.len() != acc.len() {
+                    return None;
+                }
+                for (a, p) in acc.iter_mut().zip(params) {
+                    *a += p * weight;
+                }
+            }
         }
         total_weight += weight;
     }
+    let mut acc = acc?;
     if total_weight <= 0.0 {
         return None;
     }
@@ -35,33 +57,21 @@ mod tests {
 
     #[test]
     fn equal_weights_give_plain_mean() {
-        let avg = federated_average(&[
-            (vec![1.0, 2.0], 1.0),
-            (vec![3.0, 4.0], 1.0),
-        ])
-        .unwrap();
+        let avg = federated_average(&[(vec![1.0, 2.0], 1.0), (vec![3.0, 4.0], 1.0)]).unwrap();
         assert_eq!(avg, vec![2.0, 3.0]);
     }
 
     #[test]
     fn weights_follow_data_sizes() {
         // Eq. 3: node with 3x the data pulls the average 3x harder.
-        let avg = federated_average(&[
-            (vec![0.0], 1.0),
-            (vec![4.0], 3.0),
-        ])
-        .unwrap();
+        let avg = federated_average(&[(vec![0.0], 1.0), (vec![4.0], 3.0)]).unwrap();
         assert_eq!(avg, vec![3.0]);
     }
 
     #[test]
     fn zero_and_negative_weights_are_ignored() {
-        let avg = federated_average(&[
-            (vec![10.0], 0.0),
-            (vec![-3.0], -5.0),
-            (vec![2.0], 2.0),
-        ])
-        .unwrap();
+        let avg =
+            federated_average(&[(vec![10.0], 0.0), (vec![-3.0], -5.0), (vec![2.0], 2.0)]).unwrap();
         assert_eq!(avg, vec![2.0]);
     }
 

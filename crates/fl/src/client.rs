@@ -82,13 +82,32 @@ impl EdgeClient {
     /// `availability = (lo, hi)` becomes this round's offered data.
     pub fn refresh_availability(&mut self, availability: (f64, f64), data: &Dataset) {
         let (lo, hi) = availability;
-        let fraction = if hi > lo { self.rng.gen_range(lo..=hi) } else { hi };
+        let fraction = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            hi
+        };
         let target = ((self.shard.size() as f64) * fraction).round().max(1.0) as usize;
         let target = target.min(self.shard.size());
-        let picked =
-            fmore_numerics::rng::sample_indices(self.shard.size(), target, &mut self.rng);
+        let picked = fmore_numerics::rng::sample_indices(self.shard.size(), target, &mut self.rng);
         self.available = picked.iter().map(|&i| self.shard.indices[i]).collect();
         self.available_categories = data.category_count(&self.available);
+    }
+
+    /// Draws the subset of this round's available samples the client actually trains on,
+    /// using the client's own seeded RNG.
+    ///
+    /// A winner may have declared (and be paid for) fewer samples than it has available; the
+    /// trained subset is then a uniform draw from the availability — **not** a prefix of it.
+    /// (The pre-refactor trainer took the first `take` indices, silently biasing every
+    /// non-full-data round toward the front of the shard.)
+    pub fn draw_training_subset(&mut self, take: usize) -> Vec<usize> {
+        let take = take.min(self.available.len()).max(1);
+        if take >= self.available.len() {
+            return self.available.clone();
+        }
+        let picked = fmore_numerics::rng::sample_indices(self.available.len(), take, &mut self.rng);
+        picked.iter().map(|&i| self.available[i]).collect()
     }
 
     /// The client's currently offered resource quality `(q1, q2)` =
@@ -119,14 +138,7 @@ impl EdgeClient {
         num_classes: usize,
     ) -> Result<SubmittedBid, FlError> {
         let capacity = self.resource_quality(max_data_size, num_classes);
-        let (ideal, _) = solver.quality_choice(self.theta);
-        let declared: Vec<f64> = ideal
-            .iter()
-            .zip(capacity.as_slice())
-            .map(|(want, have)| want.min(*have))
-            .collect();
-        let ask = solver.payment_for(self.theta)?;
-        Ok(SubmittedBid::new(self.id, Quality::new(declared), ask))
+        Ok(solver.capped_bid(self.id, self.theta, capacity.as_slice())?)
     }
 }
 
@@ -143,14 +155,23 @@ mod tests {
         let data = SyntheticImageSpec::mnist_like().generate(1000, &mut rng);
         let shards = partition_non_iid(
             &data,
-            &PartitionConfig { clients: 10, size_range: (30, 120), category_range: (2, 8) },
+            &PartitionConfig {
+                clients: 10,
+                size_range: (30, 120),
+                category_range: (2, 8),
+            },
             &mut rng,
         );
         let clients = shards
             .into_iter()
             .enumerate()
             .map(|(i, shard)| {
-                EdgeClient::new(NodeId(i as u64), shard, 0.1 + 0.08 * i as f64, 100 + i as u64)
+                EdgeClient::new(
+                    NodeId(i as u64),
+                    shard,
+                    0.1 + 0.08 * i as f64,
+                    100 + i as u64,
+                )
             })
             .collect();
         (data, clients)
@@ -191,7 +212,10 @@ mod tests {
         assert!(c.data_size() >= (full as f64 * 0.45) as usize);
         assert!(c.data_size() <= (full as f64 * 0.65).ceil() as usize);
         // Offered indices are a subset of the shard.
-        assert!(c.available_indices().iter().all(|i| c.shard().indices.contains(i)));
+        assert!(c
+            .available_indices()
+            .iter()
+            .all(|i| c.shard().indices.contains(i)));
         // Re-drawing availability changes the offer (with very high probability).
         let first = c.available_indices().to_vec();
         c.refresh_availability((0.5, 0.6), &data);
@@ -217,7 +241,10 @@ mod tests {
         for c in &clients {
             let bid = c.make_bid(&solver, 120.0, data.num_classes()).unwrap();
             let capacity = c.resource_quality(120.0, data.num_classes());
-            assert!(bid.quality.dominated_by(&capacity), "bid must not exceed capacity");
+            assert!(
+                bid.quality.dominated_by(&capacity),
+                "bid must not exceed capacity"
+            );
             // The ask covers the cost of the *declared* quality (declared ≤ equilibrium
             // quality, and cost is increasing, so equilibrium payment is enough).
             let c_declared =

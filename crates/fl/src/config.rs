@@ -114,17 +114,25 @@ impl FlConfig {
             )));
         }
         if self.train_samples == 0 || self.test_samples == 0 {
-            return Err(FlError::InvalidConfig("sample counts must be positive".into()));
+            return Err(FlError::InvalidConfig(
+                "sample counts must be positive".into(),
+            ));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
-            return Err(FlError::InvalidConfig("learning rate must be positive".into()));
+            return Err(FlError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
         }
         if self.local_epochs == 0 || self.batch_size == 0 {
-            return Err(FlError::InvalidConfig("epochs and batch size must be positive".into()));
+            return Err(FlError::InvalidConfig(
+                "epochs and batch size must be positive".into(),
+            ));
         }
         let (lo, hi) = self.theta_range;
         if !(lo > 0.0 && hi > lo && hi.is_finite()) {
-            return Err(FlError::InvalidConfig(format!("invalid theta range [{lo}, {hi}]")));
+            return Err(FlError::InvalidConfig(format!(
+                "invalid theta range [{lo}, {hi}]"
+            )));
         }
         let (alo, ahi) = self.availability;
         if !(alo > 0.0 && alo <= ahi && ahi <= 1.0) {

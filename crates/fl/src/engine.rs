@@ -1,0 +1,530 @@
+//! The reusable round engine: a persistent worker pool plus the composable stages of
+//! Algorithm 1.
+//!
+//! Every round of federated learning — whether driven by [`crate::trainer::FederatedTrainer`],
+//! by the MEC cluster simulator, or by an experiment sweep — is the same pipeline:
+//!
+//! ```text
+//! bid collection ── auction ── local training ── aggregation ── evaluation
+//!  (collect_bids)   (auction_select)  (local_training)  (aggregate)   (trainer)
+//! ```
+//!
+//! This module holds the shared implementation of each stage and the execution substrate
+//! they run on. The original trainer spawned a fresh `crossbeam` scope with one thread per
+//! winner every round and pushed results into a locked `Vec` that then had to be re-sorted;
+//! the [`WorkerPool`] here is created once, reused across rounds (and across trainers, via
+//! [`shared_pool`]), and collects results into pre-sized slots indexed by submission order —
+//! deterministic by construction, no lock contention, no per-round thread churn.
+//!
+//! Parallelism never affects results: a training job owns its model clone, its data handle,
+//! its sample indices, and a seed derived from `(run seed, round, client)`, so the outcome of
+//! a round is a pure function of the submitted jobs regardless of worker count or execution
+//! mode. The determinism tests in `tests/determinism.rs` pin this property for every
+//! selection scheme at pool sizes 1 and N.
+
+use crate::aggregator::federated_average_slices;
+use crate::client::EdgeClient;
+use crate::error::FlError;
+use crate::metrics::WinnerInfo;
+use fmore_auction::mechanism::Award;
+use fmore_auction::{Auction, AuctionError, EquilibriumSolver, SubmittedBid};
+use fmore_ml::dataset::Dataset;
+use fmore_ml::model::{Model, Sequential};
+use fmore_numerics::seeded_rng;
+use rand::Rng;
+use std::cell::Cell;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A unit of work returning a value; see [`RoundEngine::run_tasks`].
+pub type Task<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+thread_local! {
+    /// Set while the current thread is a pool worker, so nested fan-outs (an experiment sweep
+    /// whose tasks themselves train in parallel) degrade to inline execution instead of
+    /// deadlocking on a saturated queue.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of workers used when a pool is created with `threads = 0`.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .clamp(1, 8)
+}
+
+/// A persistent pool of worker threads with slot-indexed, order-preserving result collection.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (`0` means [`default_threads`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fmore-pool-{i}"))
+                    .spawn(move || {
+                        IN_POOL_WORKER.with(|flag| flag.set(true));
+                        loop {
+                            // Take the next job without holding the queue lock while running it.
+                            let job = match receiver.lock() {
+                                Ok(guard) => guard.recv(),
+                                Err(_) => break,
+                            };
+                            match job {
+                                // A panicking job must not take the worker down with it:
+                                // the pool is a process-wide singleton, and a dead worker
+                                // would silently shrink it for the rest of the process
+                                // (eventually starving run_indexed). The panic still
+                                // reaches the submitter — dropping the job's result sender
+                                // makes its recv() fail with "a pooled task panicked".
+                                Ok(job) => {
+                                    let _ =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                                }
+                                Err(_) => break, // all senders dropped: pool shut down
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool and returns the results **in submission order**.
+    ///
+    /// Results are written into pre-sized slots keyed by submission index, so the output
+    /// order is independent of completion order — determinism by construction rather than by
+    /// an after-the-fact sort. When called from inside a pool worker (a nested fan-out) the
+    /// tasks run inline on the calling thread, which keeps the pool deadlock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panics.
+    pub fn run_indexed<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
+        if tasks.len() <= 1 || IN_POOL_WORKER.with(|flag| flag.get()) {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let n = tasks.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        let sender = self
+            .sender
+            .as_ref()
+            .expect("pool is live while not dropped");
+        for (slot, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            sender
+                .send(Box::new(move || {
+                    let value = task();
+                    let _ = tx.send((slot, value));
+                }))
+                .expect("worker pool queue is open");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (slot, value) = rx.recv().expect("a pooled task panicked");
+            debug_assert!(slots[slot].is_none(), "slot {slot} delivered twice");
+            slots[slot] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|v| v.expect("every slot filled exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The process-wide shared pool: created on first use, reused by every trainer, cluster, and
+/// scenario runner that does not bring its own pool. Worker threads are started exactly once
+/// per process instead of once per round.
+pub fn shared_pool() -> Arc<WorkerPool> {
+    static SHARED: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    SHARED.get_or_init(|| Arc::new(WorkerPool::new(0))).clone()
+}
+
+/// How a round's parallel work is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Sequential execution on the calling thread.
+    Inline,
+    /// One fresh OS thread per task per round — the strategy of the original trainer, kept
+    /// for benchmarking against the pool.
+    SpawnPerRound,
+    /// Reused worker threads from a persistent [`WorkerPool`].
+    Pooled,
+}
+
+/// The execution substrate of one round pipeline: an [`ExecutionMode`] plus (for pooled
+/// mode) the pool the work is submitted to.
+#[derive(Debug, Clone)]
+pub struct RoundEngine {
+    mode: ExecutionMode,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for RoundEngine {
+    /// The default engine runs on the process-wide [`shared_pool`].
+    fn default() -> Self {
+        Self::with_pool(shared_pool())
+    }
+}
+
+impl RoundEngine {
+    /// An engine executing tasks sequentially on the calling thread.
+    pub fn inline() -> Self {
+        Self {
+            mode: ExecutionMode::Inline,
+            pool: None,
+        }
+    }
+
+    /// An engine spawning one fresh thread per task per round (the pre-refactor behaviour;
+    /// kept so the bench suite can measure what the pool buys).
+    pub fn spawn_per_round() -> Self {
+        Self {
+            mode: ExecutionMode::SpawnPerRound,
+            pool: None,
+        }
+    }
+
+    /// An engine owning a fresh pool with `threads` workers (`0` means [`default_threads`]).
+    pub fn pooled(threads: usize) -> Self {
+        Self::with_pool(Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// An engine submitting to an existing (possibly shared) pool.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self {
+            mode: ExecutionMode::Pooled,
+            pool: Some(pool),
+        }
+    }
+
+    /// The engine's execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The pool backing a [`ExecutionMode::Pooled`] engine.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Runs the tasks under the configured mode, returning results in submission order in
+    /// every mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panics.
+    pub fn run_tasks<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
+        match self.mode {
+            ExecutionMode::Inline => tasks.into_iter().map(|task| task()).collect(),
+            ExecutionMode::SpawnPerRound => {
+                let handles: Vec<JoinHandle<T>> = tasks
+                    .into_iter()
+                    .map(|task| std::thread::spawn(task))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("a spawned task panicked"))
+                    .collect()
+            }
+            ExecutionMode::Pooled => self
+                .pool
+                .as_ref()
+                .expect("pooled engine always has a pool")
+                .run_indexed(tasks),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1–2: bid collection.
+// ---------------------------------------------------------------------------
+
+/// Collects the sealed equilibrium bid of every client (steps 1–2 of Algorithm 1: the
+/// scoring rule has been broadcast; each node answers with its capacity-capped
+/// Nash-equilibrium bid).
+///
+/// # Errors
+///
+/// Returns [`FlError::Auction`] if a client's θ lies outside the solver's support.
+pub fn collect_bids(
+    clients: &[EdgeClient],
+    solver: &EquilibriumSolver,
+    max_data_size: f64,
+    num_classes: usize,
+) -> Result<Vec<SubmittedBid>, FlError> {
+    let mut bids = Vec::with_capacity(clients.len());
+    for client in clients {
+        bids.push(client.make_bid(solver, max_data_size, num_classes)?);
+    }
+    Ok(bids)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: winner determination.
+// ---------------------------------------------------------------------------
+
+/// Runs the batched auction over the collected bids (step 3 of Algorithm 1) and maps each
+/// award onto the caller's notion of a winner.
+///
+/// The caller supplies `map_award` because the trainer and the MEC cluster attach different
+/// data to a win (declared data size vs node resource fraction); everything else — scoring
+/// the population in one call, ranking, selection, payment — is shared here.
+///
+/// # Errors
+///
+/// Propagates auction failures ([`AuctionError::NoBids`], malformed bids, invalid games).
+pub fn auction_select<R, F>(
+    auction: &Auction,
+    bids: Vec<SubmittedBid>,
+    rng: &mut R,
+    mut map_award: F,
+) -> Result<(Vec<WinnerInfo>, Vec<f64>), AuctionError>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Award) -> WinnerInfo,
+{
+    let outcome = auction.run(bids, rng)?;
+    let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
+    let winners = outcome.winners.iter().map(&mut map_award).collect();
+    Ok((winners, all_scores))
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: local training.
+// ---------------------------------------------------------------------------
+
+/// One client's local-training work item: fully self-contained (model clone, shared dataset
+/// handle, sample indices, derived seed), so it can run on any thread — or any machine —
+/// without touching trainer state.
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    /// Position of this job in the round's winner list; results are returned in slot order.
+    pub slot: usize,
+    /// Index of the client in the trainer's client list.
+    pub client: usize,
+    /// The global model parameters at the start of the round.
+    pub model: Sequential,
+    /// The shared training pool.
+    pub data: Arc<Dataset>,
+    /// Indices (into `data`) this client trains on.
+    pub indices: Vec<usize>,
+    /// Local SGD epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed of this job's private RNG, derived from `(run seed, round, client)`.
+    pub seed: u64,
+}
+
+/// The result of one [`TrainingJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalUpdate {
+    /// Slot of the job that produced this update.
+    pub slot: usize,
+    /// Index of the client that trained.
+    pub client: usize,
+    /// The locally trained model parameters.
+    pub parameters: Vec<f64>,
+    /// FedAvg weight `D_i` — the number of samples trained on (Eq. 3).
+    pub weight: f64,
+}
+
+impl TrainingJob {
+    /// Runs the local SGD epochs and returns the update.
+    pub fn run(mut self) -> LocalUpdate {
+        let mut rng = seeded_rng(self.seed);
+        for _ in 0..self.epochs {
+            self.model.train_epoch(
+                &self.data,
+                &self.indices,
+                self.learning_rate,
+                self.batch_size,
+                &mut rng,
+            );
+        }
+        LocalUpdate {
+            slot: self.slot,
+            client: self.client,
+            parameters: self.model.parameters(),
+            weight: self.indices.len() as f64,
+        }
+    }
+}
+
+/// Trains every job on the engine (steps 4–5 of Algorithm 1), returning updates in slot
+/// order regardless of execution mode or completion order.
+pub fn local_training(engine: &RoundEngine, jobs: Vec<TrainingJob>) -> Vec<LocalUpdate> {
+    let tasks: Vec<Task<LocalUpdate>> = jobs
+        .into_iter()
+        .map(|job| Box::new(move || job.run()) as Task<LocalUpdate>)
+        .collect();
+    engine.run_tasks(tasks)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5: aggregation.
+// ---------------------------------------------------------------------------
+
+/// Aggregates local updates into new global parameters by data-weighted FedAvg (step 6 of
+/// Algorithm 1). Returns `None` when there are no updates.
+pub fn aggregate(updates: &[LocalUpdate]) -> Option<Vec<f64>> {
+    federated_average_slices(updates.iter().map(|u| (u.parameters.as_slice(), u.weight)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Task<usize>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Stagger so completion order differs from submission order.
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 2
+                }) as Task<usize>
+            })
+            .collect();
+        let results = pool.run_indexed(tasks);
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_size_one_and_inline_agree() {
+        let pool = WorkerPool::new(1);
+        let make = || -> Vec<Task<u64>> {
+            (0..16)
+                .map(|i| Box::new(move || i as u64 * i as u64) as Task<u64>)
+                .collect()
+        };
+        let pooled = pool.run_indexed(make());
+        let inline: Vec<u64> = make().into_iter().map(|t| t()).collect();
+        assert_eq!(pooled, inline);
+    }
+
+    #[test]
+    fn nested_fanout_runs_inline_without_deadlock() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let outer: Vec<Task<Vec<usize>>> = (0..4usize)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                Box::new(move || {
+                    let inner: Vec<Task<usize>> = (0..8usize)
+                        .map(|j| Box::new(move || i * 100 + j) as Task<usize>)
+                        .collect();
+                    pool.run_indexed(inner)
+                }) as Task<Vec<usize>>
+            })
+            .collect();
+        let results = pool.run_indexed(outer);
+        for (i, row) in results.iter().enumerate() {
+            assert_eq!(*row, (0..8).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn engine_modes_agree_on_results() {
+        let make = || -> Vec<Task<i64>> {
+            (0..12)
+                .map(|i| Box::new(move || (i as i64 - 6) * 3) as Task<i64>)
+                .collect()
+        };
+        let inline = RoundEngine::inline().run_tasks(make());
+        let spawned = RoundEngine::spawn_per_round().run_tasks(make());
+        let pooled = RoundEngine::pooled(3).run_tasks(make());
+        let shared = RoundEngine::default().run_tasks(make());
+        assert_eq!(inline, spawned);
+        assert_eq!(inline, pooled);
+        assert_eq!(inline, shared);
+    }
+
+    #[test]
+    fn engine_exposes_mode_and_pool() {
+        assert_eq!(RoundEngine::inline().mode(), ExecutionMode::Inline);
+        assert!(RoundEngine::inline().pool().is_none());
+        assert_eq!(
+            RoundEngine::spawn_per_round().mode(),
+            ExecutionMode::SpawnPerRound
+        );
+        let engine = RoundEngine::pooled(2);
+        assert_eq!(engine.mode(), ExecutionMode::Pooled);
+        assert_eq!(engine.pool().unwrap().threads(), 2);
+        assert!(WorkerPool::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        assert!(Arc::ptr_eq(&shared_pool(), &shared_pool()));
+    }
+
+    #[test]
+    fn aggregate_weights_by_data_size() {
+        let updates = vec![
+            LocalUpdate {
+                slot: 0,
+                client: 0,
+                parameters: vec![1.0, 0.0],
+                weight: 3.0,
+            },
+            LocalUpdate {
+                slot: 1,
+                client: 1,
+                parameters: vec![0.0, 1.0],
+                weight: 1.0,
+            },
+        ];
+        let avg = aggregate(&updates).unwrap();
+        assert!((avg[0] - 0.75).abs() < 1e-12);
+        assert!((avg[1] - 0.25).abs() < 1e-12);
+        assert_eq!(aggregate(&[]), None);
+    }
+}

@@ -36,6 +36,7 @@
 pub mod aggregator;
 pub mod client;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod selection;
@@ -44,6 +45,7 @@ pub mod trainer;
 pub use aggregator::federated_average;
 pub use client::EdgeClient;
 pub use config::FlConfig;
+pub use engine::{shared_pool, ExecutionMode, RoundEngine, WorkerPool};
 pub use error::FlError;
 pub use metrics::{RoundMetrics, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;

@@ -94,7 +94,10 @@ impl TrainingHistory {
     /// The first round (1-based) whose accuracy reaches `target`, or `None` if the target is
     /// never reached. This is the "rounds to accuracy" metric of Figs. 9a/10a/11a.
     pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
-        self.rounds.iter().find(|r| r.accuracy >= target).map(|r| r.round)
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.round)
     }
 
     /// Best accuracy reached at any round.
@@ -109,12 +112,18 @@ impl TrainingHistory {
 
     /// Flattened list of every winner score across all rounds (Fig. 8 input).
     pub fn winner_scores(&self) -> Vec<f64> {
-        self.rounds.iter().flat_map(|r| r.winners.iter().map(|w| w.score)).collect()
+        self.rounds
+            .iter()
+            .flat_map(|r| r.winners.iter().map(|w| w.score))
+            .collect()
     }
 
     /// Flattened list of every score computed in any auction across all rounds.
     pub fn all_scores(&self) -> Vec<f64> {
-        self.rounds.iter().flat_map(|r| r.all_scores.iter().copied()).collect()
+        self.rounds
+            .iter()
+            .flat_map(|r| r.all_scores.iter().copied())
+            .collect()
     }
 }
 
@@ -151,7 +160,13 @@ mod tests {
         assert!((r.mean_winner_payment() - 0.25).abs() < 1e-12);
         assert_eq!(r.total_data(), 150);
 
-        let empty = RoundMetrics { round: 1, accuracy: 0.0, loss: 0.0, winners: vec![], all_scores: vec![] };
+        let empty = RoundMetrics {
+            round: 1,
+            accuracy: 0.0,
+            loss: 0.0,
+            winners: vec![],
+            all_scores: vec![],
+        };
         assert_eq!(empty.mean_winner_score(), 0.0);
         assert_eq!(empty.mean_winner_payment(), 0.0);
     }

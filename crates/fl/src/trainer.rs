@@ -1,36 +1,40 @@
-//! The federated-learning round loop (Algorithm 1 of the paper).
+//! The federated-learning round loop (Algorithm 1 of the paper), composed from the shared
+//! stages of [`crate::engine`].
 
-use crate::aggregator::federated_average;
 use crate::client::EdgeClient;
 use crate::config::{FlConfig, ModelChoice};
+use crate::engine::{self, RoundEngine, TrainingJob};
 use crate::error::FlError;
 use crate::metrics::{RoundMetrics, TrainingHistory, WinnerInfo};
 use crate::selection::SelectionStrategy;
-use fmore_auction::{
-    Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, ScoringRule,
-};
+use fmore_auction::{Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, ScoringRule};
 use fmore_ml::dataset::{image_spec_for, Dataset, SyntheticTextSpec, TaskKind};
 use fmore_ml::model::{Model, Sequential};
 use fmore_ml::models;
 use fmore_ml::partition::partition_non_iid;
 use fmore_numerics::rng::{derive_seed, sample_indices};
 use fmore_numerics::{seeded_rng, UniformDist};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Drives federated training: client selection (random, fixed, or by FMore auction), local
 /// SGD at the selected clients, FedAvg aggregation, and per-round evaluation.
+///
+/// All per-round work flows through the stages of [`crate::engine`]; parallel local training
+/// runs on the engine's worker pool (the process-wide [`engine::shared_pool`] unless a
+/// specific engine is injected via [`FederatedTrainer::with_engine`]).
 pub struct FederatedTrainer {
     config: FlConfig,
     strategy: SelectionStrategy,
-    train_data: Dataset,
+    train_data: Arc<Dataset>,
     test_data: Dataset,
     test_indices: Vec<usize>,
     clients: Vec<EdgeClient>,
     global: Sequential,
     solver: Option<EquilibriumSolver>,
     auction: Option<Auction>,
+    engine: RoundEngine,
     rng: StdRng,
     seed: u64,
     round: usize,
@@ -43,6 +47,7 @@ impl std::fmt::Debug for FederatedTrainer {
             .field("strategy", &self.strategy.name())
             .field("clients", &self.clients.len())
             .field("winners_per_round", &self.config.winners_per_round)
+            .field("mode", &self.engine.mode())
             .field("round", &self.round)
             .finish()
     }
@@ -52,11 +57,17 @@ fn generate_datasets(config: &FlConfig, rng: &mut StdRng) -> (Dataset, Dataset) 
     match config.task {
         TaskKind::HpNews => {
             let spec = SyntheticTextSpec::hpnews_like();
-            (spec.generate(config.train_samples, rng), spec.generate(config.test_samples, rng))
+            (
+                spec.generate(config.train_samples, rng),
+                spec.generate(config.test_samples, rng),
+            )
         }
         task => {
             let spec = image_spec_for(task);
-            (spec.generate(config.train_samples, rng), spec.generate(config.test_samples, rng))
+            (
+                spec.generate(config.train_samples, rng),
+                spec.generate(config.test_samples, rng),
+            )
         }
     }
 }
@@ -69,7 +80,9 @@ fn build_model(config: &FlConfig, rng: &mut StdRng) -> Sequential {
 }
 
 impl FederatedTrainer {
-    /// Builds a trainer: synthesises the task's train/test data, partitions it non-IID across
+    /// Builds a trainer on the default engine (the process-wide shared worker pool).
+    ///
+    /// The constructor synthesises the task's train/test data, partitions it non-IID across
     /// `N` clients, draws every client's private cost parameter θ, instantiates the global
     /// model, and (for FMore strategies) precomputes the equilibrium bidding strategy and the
     /// auction.
@@ -80,10 +93,30 @@ impl FederatedTrainer {
     /// [`FlError::UnknownClient`] if a fixed selection references a missing client, and
     /// [`FlError::Auction`] if the auction components cannot be constructed.
     pub fn new(config: FlConfig, strategy: SelectionStrategy, seed: u64) -> Result<Self, FlError> {
+        Self::with_engine(config, strategy, seed, RoundEngine::default())
+    }
+
+    /// Builds a trainer running its parallel stages on a caller-supplied engine (an inline
+    /// engine for strict single-threaded runs, a private pool, the spawn-per-round baseline,
+    /// or a pool shared with other trainers).
+    ///
+    /// The choice of engine never affects the produced [`TrainingHistory`] — only wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FederatedTrainer::new`].
+    pub fn with_engine(
+        config: FlConfig,
+        strategy: SelectionStrategy,
+        seed: u64,
+        engine: RoundEngine,
+    ) -> Result<Self, FlError> {
         config.validate()?;
         if let SelectionStrategy::Fixed(indices) = &strategy {
             if indices.is_empty() {
-                return Err(FlError::InvalidConfig("fixed selection must not be empty".into()));
+                return Err(FlError::InvalidConfig(
+                    "fixed selection must not be empty".into(),
+                ));
             }
             if let Some(&bad) = indices.iter().find(|&&i| i >= config.clients) {
                 return Err(FlError::UnknownClient(bad));
@@ -102,7 +135,12 @@ impl FederatedTrainer {
             .map(|(i, shard)| {
                 use fmore_numerics::Distribution1D;
                 let theta = theta_dist.sample(&mut rng);
-                EdgeClient::new(NodeId(i as u64), shard, theta, derive_seed(seed, i as u64 + 1))
+                EdgeClient::new(
+                    NodeId(i as u64),
+                    shard,
+                    theta,
+                    derive_seed(seed, i as u64 + 1),
+                )
             })
             .collect();
 
@@ -138,13 +176,14 @@ impl FederatedTrainer {
         Ok(Self {
             config,
             strategy,
-            train_data,
+            train_data: Arc::new(train_data),
             test_data,
             test_indices,
             clients,
             global,
             solver,
             auction,
+            engine,
             rng,
             seed,
             round: 0,
@@ -159,6 +198,11 @@ impl FederatedTrainer {
     /// The selection strategy in use.
     pub fn strategy(&self) -> &SelectionStrategy {
         &self.strategy
+    }
+
+    /// The engine executing this trainer's parallel stages.
+    pub fn engine(&self) -> &RoundEngine {
+        &self.engine
     }
 
     /// The clients participating in the game.
@@ -225,22 +269,22 @@ impl FederatedTrainer {
                 Ok((self.plain_winners(&selected), Vec::new()))
             }
             SelectionStrategy::Auction(_) => {
-                let solver = self.solver.as_ref().expect("auction strategy always has a solver");
-                let auction = self.auction.as_ref().expect("auction strategy always has an auction");
+                let solver = self
+                    .solver
+                    .as_ref()
+                    .expect("auction strategy always has a solver");
+                let auction = self
+                    .auction
+                    .as_ref()
+                    .expect("auction strategy always has an auction");
                 let max_data = self.config.partition.size_range.1 as f64;
                 let num_classes = self.train_data.num_classes();
-                let mut bids = Vec::with_capacity(self.clients.len());
-                for client in &self.clients {
-                    bids.push(client.make_bid(solver, max_data, num_classes)?);
-                }
-                let outcome = auction.run(bids, &mut self.rng)?;
-                let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
-                let winners = outcome
-                    .winners
-                    .iter()
-                    .map(|award| {
+                let bids = engine::collect_bids(&self.clients, solver, max_data, num_classes)?;
+                let clients = &self.clients;
+                let (winners, all_scores) =
+                    engine::auction_select(auction, bids, &mut self.rng, |award| {
                         let client_idx = award.node.0 as usize;
-                        let client = &self.clients[client_idx];
+                        let client = &clients[client_idx];
                         // The winner trains with its *declared* data size (q1 · max),
                         // never exceeding what it actually has available this round.
                         let declared =
@@ -254,8 +298,7 @@ impl FederatedTrainer {
                             score: award.score,
                             payment: award.payment,
                         }
-                    })
-                    .collect();
+                    })?;
                 Ok((winners, all_scores))
             }
         }
@@ -287,8 +330,9 @@ impl FederatedTrainer {
         all_scores: Vec<f64>,
     ) -> RoundMetrics {
         self.round += 1;
-        let updates = self.local_training(&winners);
-        if let Some(average) = federated_average(&updates) {
+        let jobs = self.training_jobs(&winners);
+        let updates = engine::local_training(&self.engine, jobs);
+        if let Some(average) = engine::aggregate(&updates) {
             self.global.set_parameters(&average);
         }
         let eval = self.global.evaluate(&self.test_data, &self.test_indices);
@@ -301,49 +345,30 @@ impl FederatedTrainer {
         }
     }
 
-    /// Local training at every winner, in parallel. Returns `(parameters, weight)` pairs with
-    /// the weight equal to the client's data size `D_i` (Eq. 3).
-    fn local_training(&mut self, winners: &[WinnerInfo]) -> Vec<(Vec<f64>, f64)> {
-        let results: Mutex<Vec<(usize, Vec<f64>, f64)>> = Mutex::new(Vec::new());
-        let global = &self.global;
-        let train_data = &self.train_data;
-        let clients = &self.clients;
-        let config = &self.config;
-        let round = self.round;
-        let seed = self.seed;
-
-        crossbeam::thread::scope(|scope| {
-            for (slot, winner) in winners.iter().enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let client = &clients[winner.client];
-                    let available = client.available_indices();
-                    let take = winner.data_size.min(available.len()).max(1);
-                    let indices: Vec<usize> = available.iter().copied().take(take).collect();
-                    let mut local = global.clone();
-                    let mut local_rng = seeded_rng(derive_seed(
-                        seed,
-                        (round as u64) << 32 | winner.client as u64,
-                    ));
-                    for _ in 0..config.local_epochs {
-                        local.train_epoch(
-                            train_data,
-                            &indices,
-                            config.learning_rate,
-                            config.batch_size,
-                            &mut local_rng,
-                        );
-                    }
-                    results.lock().push((slot, local.parameters(), indices.len() as f64));
-                });
-            }
-        })
-        .expect("local training thread panicked");
-
-        let mut collected = results.into_inner();
-        // Deterministic aggregation order regardless of thread completion order.
-        collected.sort_by_key(|(slot, _, _)| *slot);
-        collected.into_iter().map(|(_, params, weight)| (params, weight)).collect()
+    /// Prepares one self-contained [`TrainingJob`] per winner. This is the serial part of the
+    /// local-training stage: drawing each winner's training subset through the client's own
+    /// seeded RNG (in slot order, so the draw is deterministic) and snapshotting the global
+    /// model. The jobs then run on the engine in any order.
+    fn training_jobs(&mut self, winners: &[WinnerInfo]) -> Vec<TrainingJob> {
+        winners
+            .iter()
+            .enumerate()
+            .map(|(slot, winner)| {
+                let client = &mut self.clients[winner.client];
+                let indices = client.draw_training_subset(winner.data_size);
+                TrainingJob {
+                    slot,
+                    client: winner.client,
+                    model: self.global.clone(),
+                    data: Arc::clone(&self.train_data),
+                    indices,
+                    epochs: self.config.local_epochs,
+                    learning_rate: self.config.learning_rate,
+                    batch_size: self.config.batch_size,
+                    seed: derive_seed(self.seed, (self.round as u64) << 32 | winner.client as u64),
+                }
+            })
+            .collect()
     }
 
     /// Draws `n` fresh θ samples from the configured distribution (exposed for experiments
@@ -367,8 +392,8 @@ mod tests {
     fn construction_validates_strategy_and_config() {
         assert!(FederatedTrainer::new(fast_config(), SelectionStrategy::random(), 1).is_ok());
         // Fixed selection referencing a missing client.
-        let err =
-            FederatedTrainer::new(fast_config(), SelectionStrategy::Fixed(vec![999]), 1).unwrap_err();
+        let err = FederatedTrainer::new(fast_config(), SelectionStrategy::Fixed(vec![999]), 1)
+            .unwrap_err();
         assert_eq!(err, FlError::UnknownClient(999));
         // Empty fixed selection.
         assert!(FederatedTrainer::new(fast_config(), SelectionStrategy::Fixed(vec![]), 1).is_err());
@@ -385,7 +410,10 @@ mod tests {
         let metrics = trainer.run_round().unwrap();
         assert_eq!(metrics.round, 1);
         assert_eq!(metrics.winners.len(), 4);
-        assert!(metrics.winners.iter().all(|w| w.payment == 0.0 && w.score == 0.0));
+        assert!(metrics
+            .winners
+            .iter()
+            .all(|w| w.payment == 0.0 && w.score == 0.0));
         assert!(metrics.all_scores.is_empty());
         assert!(metrics.accuracy >= 0.0 && metrics.accuracy <= 1.0);
         assert!(format!("{trainer:?}").contains("RandFL"));
@@ -411,14 +439,20 @@ mod tests {
         assert_eq!(metrics.all_scores.len(), 12, "one score per bidding client");
         assert!(metrics.winners.iter().all(|w| w.payment > 0.0));
         // Winners have the best scores among all bids.
-        let min_winner_score =
-            metrics.winners.iter().map(|w| w.score).fold(f64::INFINITY, f64::min);
+        let min_winner_score = metrics
+            .winners
+            .iter()
+            .map(|w| w.score)
+            .fold(f64::INFINITY, f64::min);
         let beaten = metrics
             .all_scores
             .iter()
             .filter(|&&s| s > min_winner_score + 1e-9)
             .count();
-        assert!(beaten < metrics.winners.len(), "no more than K-1 bids may beat the worst winner");
+        assert!(
+            beaten < metrics.winners.len(),
+            "no more than K-1 bids may beat the worst winner"
+        );
         // Winner data sizes never exceed what the client has.
         for w in &metrics.winners {
             assert!(w.data_size <= trainer.clients()[w.client].shard().size());
@@ -441,12 +475,30 @@ mod tests {
     }
 
     #[test]
+    fn every_engine_mode_produces_the_same_history() {
+        let run = |engine: RoundEngine| {
+            let mut t = FederatedTrainer::with_engine(
+                fast_config(),
+                SelectionStrategy::fmore(),
+                23,
+                engine,
+            )
+            .unwrap();
+            t.run(2).unwrap()
+        };
+        let inline = run(RoundEngine::inline());
+        assert_eq!(inline, run(RoundEngine::spawn_per_round()));
+        assert_eq!(inline, run(RoundEngine::pooled(1)));
+        assert_eq!(inline, run(RoundEngine::pooled(4)));
+        assert_eq!(inline, run(RoundEngine::default()));
+    }
+
+    #[test]
     fn accuracy_improves_over_a_few_rounds() {
         let mut config = fast_config();
         config.train_samples = 600;
         config.partition.size_range = (40, 80);
-        let mut trainer =
-            FederatedTrainer::new(config, SelectionStrategy::fmore(), 11).unwrap();
+        let mut trainer = FederatedTrainer::new(config, SelectionStrategy::fmore(), 11).unwrap();
         let initial = trainer.evaluate_global().accuracy;
         let history = trainer.run(5).unwrap();
         assert!(
@@ -497,6 +549,9 @@ mod tests {
         assert_eq!(thetas.len(), 50);
         assert!(thetas.iter().all(|t| (0.1..1.0).contains(t)));
         // Client thetas were drawn from the same range.
-        assert!(trainer.clients().iter().all(|c| (0.1..1.0).contains(&c.theta())));
+        assert!(trainer
+            .clients()
+            .iter()
+            .all(|c| (0.1..1.0).contains(&c.theta())));
     }
 }

@@ -1,15 +1,24 @@
 //! The simulated 32-machine deployment: per-round three-dimensional auction, federated
 //! training, and wall-clock accounting.
+//!
+//! The cluster is a thin driver over the shared round engine of [`fmore_fl::engine`]: bids
+//! are the capacity-capped equilibrium bids of
+//! [`EquilibriumSolver::capped_bid`], winner determination goes through the same batched
+//! [`fmore_fl::engine::auction_select`] stage the federated trainer uses, and local training
+//! runs on the engine's worker pool inside the embedded [`FederatedTrainer`]. The only
+//! cluster-specific parts left are the three-dimensional resource model and the wall-clock
+//! accounting.
 
 use crate::error::MecError;
 use crate::ledger::PaymentLedger;
 use crate::node::{MecNode, ResourceRanges};
 use crate::time_model::TimeModel;
 use fmore_auction::{
-    Additive, Auction, EquilibriumSolver, LinearCost, NodeId, PricingRule, Quality, ScoringRule,
-    SelectionRule, SubmittedBid,
+    Additive, Auction, EquilibriumSolver, LinearCost, NodeId, PricingRule, ScoringRule,
+    SelectionRule,
 };
 use fmore_fl::config::{FlConfig, ModelChoice};
+use fmore_fl::engine::{self, RoundEngine};
 use fmore_fl::metrics::{RoundMetrics, WinnerInfo};
 use fmore_fl::selection::SelectionStrategy;
 use fmore_fl::trainer::FederatedTrainer;
@@ -64,7 +73,11 @@ impl ClusterConfig {
         let mut fl = FlConfig::paper_simulation(TaskKind::Cifar10);
         fl.clients = 31;
         fl.winners_per_round = 10;
-        fl.partition = PartitionConfig { clients: 31, size_range: (100, 600), category_range: (2, 10) };
+        fl.partition = PartitionConfig {
+            clients: 31,
+            size_range: (100, 600),
+            category_range: (2, 10),
+        };
         fl.train_samples = 8_000;
         fl.test_samples = 1_000;
         Self {
@@ -83,7 +96,11 @@ impl ClusterConfig {
         let mut fl = FlConfig::fast_test(TaskKind::MnistO);
         fl.clients = 8;
         fl.winners_per_round = 3;
-        fl.partition = PartitionConfig { clients: 8, size_range: (20, 60), category_range: (2, 10) };
+        fl.partition = PartitionConfig {
+            clients: 8,
+            size_range: (20, 60),
+            category_range: (2, 10),
+        };
         Self {
             nodes: 8,
             winners_per_round: 3,
@@ -176,7 +193,10 @@ impl ClusterHistory {
     /// Simulated time needed to first reach `target` accuracy, if ever reached
     /// (the time-to-accuracy metric of Fig. 13 right).
     pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
-        self.rounds.iter().find(|r| r.learning.accuracy >= target).map(|r| r.cumulative_secs)
+        self.rounds
+            .iter()
+            .find(|r| r.learning.accuracy >= target)
+            .map(|r| r.cumulative_secs)
     }
 }
 
@@ -212,7 +232,27 @@ impl MecCluster {
     ///
     /// Returns [`MecError::InvalidConfig`] for inconsistent configurations and propagates
     /// construction failures of the trainer or the auction components.
-    pub fn new(config: ClusterConfig, strategy: ClusterStrategy, seed: u64) -> Result<Self, MecError> {
+    pub fn new(
+        config: ClusterConfig,
+        strategy: ClusterStrategy,
+        seed: u64,
+    ) -> Result<Self, MecError> {
+        Self::with_engine(config, strategy, seed, RoundEngine::default())
+    }
+
+    /// Builds the cluster with a caller-supplied round engine (shared pool, private pool,
+    /// inline, or spawn-per-round); the engine drives the embedded trainer's parallel local
+    /// training. The engine choice never affects results.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MecCluster::new`].
+    pub fn with_engine(
+        config: ClusterConfig,
+        strategy: ClusterStrategy,
+        seed: u64,
+        round_engine: RoundEngine,
+    ) -> Result<Self, MecError> {
         config.validate()?;
         let mut rng = seeded_rng(seed);
         let theta_dist = UniformDist::new(config.fl.theta_range.0, config.fl.theta_range.1)
@@ -235,8 +275,12 @@ impl MecCluster {
         if matches!(fl_config.model, ModelChoice::PaperModel) && fl_config.train_samples > 50_000 {
             fl_config.model = ModelChoice::FastSurrogate;
         }
-        let trainer =
-            FederatedTrainer::new(fl_config, SelectionStrategy::random(), derive_seed(seed, 0x2000))?;
+        let trainer = FederatedTrainer::with_engine(
+            fl_config,
+            SelectionStrategy::random(),
+            derive_seed(seed, 0x2000),
+            round_engine,
+        )?;
 
         let (solver, auction) = match strategy {
             ClusterStrategy::FMore => {
@@ -323,35 +367,53 @@ impl MecCluster {
         let maxima = self.config.resources.maxima();
         let (winners, all_scores) = match self.strategy {
             ClusterStrategy::FMore => {
-                let solver = self.solver.as_ref().expect("FMore cluster always has a solver");
-                let auction = self.auction.as_ref().expect("FMore cluster always has an auction");
+                // Bid collection: one capacity-capped equilibrium bid per node, then the
+                // shared batched auction stage — the same pipeline the trainer runs, with the
+                // cluster's own award-to-winner mapping plugged in.
+                let solver = self
+                    .solver
+                    .as_ref()
+                    .expect("FMore cluster always has a solver");
+                let auction = self
+                    .auction
+                    .as_ref()
+                    .expect("FMore cluster always has an auction");
                 let mut bids = Vec::with_capacity(self.nodes.len());
                 for node in &self.nodes {
                     let capacity = node.quality(&maxima);
-                    let (ideal, _) = solver.quality_choice(node.theta());
-                    let declared: Vec<f64> = ideal
-                        .iter()
-                        .zip(capacity.as_slice())
-                        .map(|(want, have)| want.min(*have))
-                        .collect();
-                    let ask = solver.payment_for(node.theta())?;
-                    bids.push(SubmittedBid::new(node.id(), Quality::new(declared), ask));
+                    bids.push(solver.capped_bid(node.id(), node.theta(), capacity.as_slice())?);
                 }
-                let outcome = auction.run(bids, &mut self.rng)?;
-                let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
-                let winners: Vec<WinnerInfo> = outcome
-                    .winners
-                    .iter()
-                    .map(|award| self.winner_from_award(award.node, award.score, award.payment))
-                    .collect();
-                (winners, all_scores)
+                let nodes = &self.nodes;
+                let clients = self.trainer.clients();
+                engine::auction_select(auction, bids, &mut self.rng, |award| {
+                    winner_from_award(
+                        nodes,
+                        clients,
+                        maxima.data_size,
+                        award.node,
+                        award.score,
+                        award.payment,
+                    )
+                })?
             }
             ClusterStrategy::RandFL => {
-                let selected =
-                    sample_indices(self.nodes.len(), self.config.winners_per_round, &mut self.rng);
+                let selected = sample_indices(
+                    self.nodes.len(),
+                    self.config.winners_per_round,
+                    &mut self.rng,
+                );
                 let winners: Vec<WinnerInfo> = selected
                     .into_iter()
-                    .map(|idx| self.winner_from_award(NodeId(idx as u64), 0.0, 0.0))
+                    .map(|idx| {
+                        winner_from_award(
+                            &self.nodes,
+                            self.trainer.clients(),
+                            maxima.data_size,
+                            NodeId(idx as u64),
+                            0.0,
+                            0.0,
+                        )
+                    })
                     .collect();
                 (winners, Vec::new())
             }
@@ -365,8 +427,10 @@ impl MecCluster {
                 (node.current(), node.current().data_size)
             })
             .collect();
-        let round_secs =
-            self.config.time_model.round_secs(&participants, self.config.fl.local_epochs);
+        let round_secs = self
+            .config
+            .time_model
+            .round_secs(&participants, self.config.fl.local_epochs);
         self.elapsed_secs += round_secs;
 
         for w in &winners {
@@ -376,27 +440,37 @@ impl MecCluster {
         }
 
         let learning = self.trainer.run_round_with(winners, all_scores);
-        Ok(ClusterRound { learning, round_secs, cumulative_secs: self.elapsed_secs })
+        Ok(ClusterRound {
+            learning,
+            round_secs,
+            cumulative_secs: self.elapsed_secs,
+        })
     }
+}
 
-    /// Maps an auction award (or a random pick) onto the federated trainer's client list: the
-    /// node trains on a fraction of its data shard proportional to the data resource it
-    /// offered this round.
-    fn winner_from_award(&self, node_id: NodeId, score: f64, payment: f64) -> WinnerInfo {
-        let idx = node_id.0 as usize;
-        let node = &self.nodes[idx];
-        let client = &self.trainer.clients()[idx];
-        let fraction =
-            (node.current().data_size / self.config.resources.maxima().data_size).clamp(0.05, 1.0);
-        let data_size = ((client.data_size() as f64) * fraction).round().max(1.0) as usize;
-        WinnerInfo {
-            client: idx,
-            node: node_id,
-            data_size: data_size.min(client.data_size().max(1)),
-            categories: client.categories(),
-            score,
-            payment,
-        }
+/// Maps an auction award (or a random pick) onto the federated trainer's client list: the
+/// node trains on a fraction of its data shard proportional to the data resource it offered
+/// this round.
+fn winner_from_award(
+    nodes: &[MecNode],
+    clients: &[fmore_fl::EdgeClient],
+    max_data_size: f64,
+    node_id: NodeId,
+    score: f64,
+    payment: f64,
+) -> WinnerInfo {
+    let idx = node_id.0 as usize;
+    let node = &nodes[idx];
+    let client = &clients[idx];
+    let fraction = (node.current().data_size / max_data_size).clamp(0.05, 1.0);
+    let data_size = ((client.data_size() as f64) * fraction).round().max(1.0) as usize;
+    WinnerInfo {
+        client: idx,
+        node: node_id,
+        data_size: data_size.min(client.data_size().max(1)),
+        categories: client.categories(),
+        score,
+        payment,
     }
 }
 
@@ -472,7 +546,10 @@ mod tests {
         let history = cluster.run(3).unwrap();
         assert_eq!(history.rounds.len(), 3);
         let times = history.cumulative_time_series();
-        assert!(times.windows(2).all(|w| w[1] > w[0]), "cumulative time must increase");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "cumulative time must increase"
+        );
         assert_eq!(history.total_time_secs(), *times.last().unwrap());
         assert_eq!(history.accuracy_series().len(), 3);
         assert_eq!(history.loss_series().len(), 3);
@@ -480,7 +557,10 @@ mod tests {
         assert_eq!(cluster.elapsed_secs(), history.total_time_secs());
         // Time-to-accuracy of an unreachable target is None.
         assert!(history.time_to_accuracy(2.0).is_none());
-        assert_eq!(history.time_to_accuracy(0.0), Some(history.rounds[0].cumulative_secs));
+        assert_eq!(
+            history.time_to_accuracy(0.0),
+            Some(history.rounds[0].cumulative_secs)
+        );
     }
 
     #[test]
@@ -499,8 +579,12 @@ mod tests {
         let mut cluster =
             MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, 4).unwrap();
         let round = cluster.run_round().unwrap();
-        let min_winner =
-            round.learning.winners.iter().map(|w| w.score).fold(f64::INFINITY, f64::min);
+        let min_winner = round
+            .learning
+            .winners
+            .iter()
+            .map(|w| w.score)
+            .fold(f64::INFINITY, f64::min);
         let beaten = round
             .learning
             .all_scores

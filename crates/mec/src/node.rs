@@ -20,7 +20,13 @@ impl ResourceProfile {
     /// Normalises the profile against per-dimension maxima into a quality vector
     /// `(q1, q2, q3) ∈ [0, 1]³` in the paper's order (computing power, bandwidth, data size).
     pub fn to_quality(&self, max: &ResourceProfile) -> Quality {
-        let norm = |v: f64, m: f64| if m > 0.0 { (v / m).clamp(0.0, 1.0) } else { 0.0 };
+        let norm = |v: f64, m: f64| {
+            if m > 0.0 {
+                (v / m).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
         Quality::new(vec![
             norm(self.cpu_cores, max.cpu_cores),
             norm(self.bandwidth_mbps, max.bandwidth_mbps),
@@ -44,7 +50,11 @@ impl ResourceRanges {
     /// The paper's cluster hardware class: Intel i7 (up to 8 cores), 1 Gbps Ethernet shared
     /// with other traffic, and data allocated over `[2000, 10000]` samples.
     pub fn paper_cluster() -> Self {
-        Self { cpu_cores: (1.0, 8.0), bandwidth_mbps: (100.0, 1000.0), data_size: (2000.0, 10_000.0) }
+        Self {
+            cpu_cores: (1.0, 8.0),
+            bandwidth_mbps: (100.0, 1000.0),
+            data_size: (2000.0, 10_000.0),
+        }
     }
 
     /// The per-dimension maxima, used for normalisation.
@@ -93,7 +103,13 @@ impl MecNode {
     pub fn new(id: NodeId, ranges: ResourceRanges, theta: f64, seed: u64) -> Self {
         let mut rng = fmore_numerics::seeded_rng(seed);
         let current = ranges.draw(&mut rng);
-        Self { id, ranges, theta, rng, current }
+        Self {
+            id,
+            ranges,
+            theta,
+            rng,
+            current,
+        }
     }
 
     /// The node identifier.
@@ -143,9 +159,15 @@ mod tests {
 
     #[test]
     fn invalid_ranges_are_detected() {
-        let bad = ResourceRanges { cpu_cores: (0.0, 8.0), ..ResourceRanges::paper_cluster() };
+        let bad = ResourceRanges {
+            cpu_cores: (0.0, 8.0),
+            ..ResourceRanges::paper_cluster()
+        };
         assert!(!bad.is_valid());
-        let bad = ResourceRanges { data_size: (100.0, 50.0), ..ResourceRanges::paper_cluster() };
+        let bad = ResourceRanges {
+            data_size: (100.0, 50.0),
+            ..ResourceRanges::paper_cluster()
+        };
         assert!(!bad.is_valid());
     }
 
@@ -182,7 +204,11 @@ mod tests {
         assert_eq!(q.dims(), 3);
         assert!(q.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
         // Degenerate maxima give zero quality rather than NaN.
-        let zero = ResourceProfile { cpu_cores: 0.0, bandwidth_mbps: 0.0, data_size: 0.0 };
+        let zero = ResourceProfile {
+            cpu_cores: 0.0,
+            bandwidth_mbps: 0.0,
+            data_size: 0.0,
+        };
         let q0 = node.current().to_quality(&zero);
         assert_eq!(q0.as_slice(), &[0.0, 0.0, 0.0]);
     }

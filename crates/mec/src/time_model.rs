@@ -82,7 +82,11 @@ mod tests {
     use super::*;
 
     fn profile(cores: f64, bw: f64) -> ResourceProfile {
-        ResourceProfile { cpu_cores: cores, bandwidth_mbps: bw, data_size: 5000.0 }
+        ResourceProfile {
+            cpu_cores: cores,
+            bandwidth_mbps: bw,
+            data_size: 5000.0,
+        }
     }
 
     #[test]
@@ -123,13 +127,20 @@ mod tests {
         // round, so 20 rounds land near the paper's ~1000-2000 s.
         let m = TimeModel::paper_cluster();
         let t = m.node_round_secs(&profile(4.0, 500.0), 6000.0, 1);
-        assert!((3.0..120.0).contains(&t), "per-round time {t} outside plausible range");
+        assert!(
+            (3.0..120.0).contains(&t),
+            "per-round time {t} outside plausible range"
+        );
     }
 
     #[test]
     fn degenerate_inputs_stay_finite() {
         let m = TimeModel::paper_cluster();
-        let zero_core = ResourceProfile { cpu_cores: 0.0, bandwidth_mbps: 0.0, data_size: 0.0 };
+        let zero_core = ResourceProfile {
+            cpu_cores: 0.0,
+            bandwidth_mbps: 0.0,
+            data_size: 0.0,
+        };
         assert!(m.computation_secs(&zero_core, 1000.0, 1).is_finite());
         assert!(m.communication_secs(&zero_core).is_finite());
         assert!(m.node_round_secs(&zero_core, 0.0, 0).is_finite());

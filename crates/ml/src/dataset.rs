@@ -65,9 +65,21 @@ impl Dataset {
     /// Panics if the number of label entries differs from the number of feature rows or a
     /// label is out of range.
     pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize, task: TaskKind) -> Self {
-        assert_eq!(features.rows(), labels.len(), "one label per feature row is required");
-        assert!(labels.iter().all(|&l| l < num_classes), "labels must be < num_classes");
-        Self { features, labels, num_classes, task }
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "one label per feature row is required"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < num_classes"
+        );
+        Self {
+            features,
+            labels,
+            num_classes,
+            task,
+        }
     }
 
     /// Number of samples.
@@ -235,7 +247,13 @@ pub struct SyntheticTextSpec {
 impl SyntheticTextSpec {
     /// The HPNews stand-in: 12-token headlines over a 32-token vocabulary, 10 categories.
     pub fn hpnews_like() -> Self {
-        Self { seq_len: 12, vocab: 32, num_classes: 10, signal: 0.45, prototype_seed: 2001 }
+        Self {
+            seq_len: 12,
+            vocab: 32,
+            num_classes: 10,
+            signal: 0.45,
+            prototype_seed: 2001,
+        }
     }
 
     /// Flattened feature width (`seq_len · vocab`).
@@ -353,8 +371,7 @@ mod tests {
         let train = spec.generate(400, &mut seeded_rng(10));
         let test = spec.generate(400, &mut seeded_rng(11));
         let class_mean = |d: &Dataset, class: usize| -> Vec<f64> {
-            let idx: Vec<usize> =
-                (0..d.len()).filter(|&i| d.labels()[i] == class).collect();
+            let idx: Vec<usize> = (0..d.len()).filter(|&i| d.labels()[i] == class).collect();
             let mut mean = vec![0.0; d.feature_dim()];
             for &i in &idx {
                 for (m, v) in mean.iter_mut().zip(d.features().row(i)) {
@@ -364,11 +381,18 @@ mod tests {
             mean.iter().map(|m| m / idx.len().max(1) as f64).collect()
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let same = dist(&class_mean(&train, 0), &class_mean(&test, 0));
         let different = dist(&class_mean(&train, 0), &class_mean(&test, 1));
-        assert!(same < different, "class structure must persist across generations");
+        assert!(
+            same < different,
+            "class structure must persist across generations"
+        );
     }
 
     #[test]

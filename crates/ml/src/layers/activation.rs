@@ -50,7 +50,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Self { kind, cached_output: None }
+        Self {
+            kind,
+            cached_output: None,
+        }
     }
 
     /// Shorthand for a ReLU layer.

@@ -21,7 +21,11 @@ pub struct ImageShape {
 impl ImageShape {
     /// Creates an image shape.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Length of the flattened feature vector.
@@ -88,7 +92,11 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
-        assert_eq!(input.cols(), self.input_shape.flat_len(), "Conv2d input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_shape.flat_len(),
+            "Conv2d input width mismatch"
+        );
         self.cached_input = Some(input.clone());
         let out_shape = self.output_shape();
         let (oh, ow) = (out_shape.height, out_shape.width);
@@ -175,7 +183,9 @@ impl Layer for Conv2d {
         let w_len = self.weights.data().len();
         let b_len = self.bias.data().len();
         self.weights.data_mut().copy_from_slice(&src[..w_len]);
-        self.bias.data_mut().copy_from_slice(&src[w_len..w_len + b_len]);
+        self.bias
+            .data_mut()
+            .copy_from_slice(&src[w_len..w_len + b_len]);
         w_len + b_len
     }
 
@@ -207,7 +217,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a 2×2 max-pooling layer over volumes of the given shape.
     pub fn new(input_shape: ImageShape) -> Self {
-        Self { input_shape, cached_argmax: None, cached_batch: 0 }
+        Self {
+            input_shape,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
     }
 
     /// Shape of the pooled feature volume.
@@ -222,7 +236,11 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
-        assert_eq!(input.cols(), self.input_shape.flat_len(), "MaxPool2d input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_shape.flat_len(),
+            "MaxPool2d input width mismatch"
+        );
         let out_shape = self.output_shape();
         let mut out = Matrix::zeros(input.rows(), out_shape.flat_len());
         let mut argmax = vec![0usize; input.rows() * out_shape.flat_len()];
@@ -273,7 +291,11 @@ impl Layer for MaxPool2d {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(Self { input_shape: self.input_shape, cached_argmax: None, cached_batch: 0 })
+        Box::new(Self {
+            input_shape: self.input_shape,
+            cached_argmax: None,
+            cached_batch: 0,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -66,7 +66,9 @@ impl Layer for Dense {
         let w_len = self.weights.data().len();
         let b_len = self.bias.data().len();
         self.weights.data_mut().copy_from_slice(&src[..w_len]);
-        self.bias.data_mut().copy_from_slice(&src[w_len..w_len + b_len]);
+        self.bias
+            .data_mut()
+            .copy_from_slice(&src[w_len..w_len + b_len]);
         w_len + b_len
     }
 
@@ -147,7 +149,10 @@ mod tests {
             layer.apply_gradients(0.05);
         }
         let after = loss_of(&mut layer, &mut rng);
-        assert!(after < before * 0.1, "loss should shrink: before {before} after {after}");
+        assert!(
+            after < before * 0.1,
+            "loss should shrink: before {before} after {after}"
+        );
     }
 
     #[test]

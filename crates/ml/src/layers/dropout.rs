@@ -16,7 +16,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `rate`, clamped into `[0, 0.95]`.
     pub fn new(rate: f64) -> Self {
-        Self { rate: rate.clamp(0.0, 0.95), mask: None }
+        Self {
+            rate: rate.clamp(0.0, 0.95),
+            mask: None,
+        }
     }
 
     /// The configured drop probability.
@@ -34,7 +37,11 @@ impl Layer for Dropout {
         let keep = 1.0 - self.rate;
         let mut mask = Matrix::zeros(input.rows(), input.cols());
         for v in mask.data_mut() {
-            *v = if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 };
+            *v = if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
         }
         self.mask = Some(mask.clone());
         input.hadamard(&mask)
@@ -48,7 +55,10 @@ impl Layer for Dropout {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        Box::new(Self { rate: self.rate, mask: None })
+        Box::new(Self {
+            rate: self.rate,
+            mask: None,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -80,9 +90,16 @@ mod tests {
         let x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
         let y = layer.forward(&x, true, &mut rng);
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
-        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-12).count();
+        let kept = y
+            .data()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-12)
+            .count();
         assert_eq!(zeros + kept, 1000);
-        assert!((400..600).contains(&zeros), "roughly half should be dropped, got {zeros}");
+        assert!(
+            (400..600).contains(&zeros),
+            "roughly half should be dropped, got {zeros}"
+        );
         // Expected value is preserved by the inverted scaling.
         assert!((y.mean() - 1.0).abs() < 0.15);
     }

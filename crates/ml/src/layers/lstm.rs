@@ -51,7 +51,10 @@ impl Lstm {
     ///
     /// Panics if any dimension is zero.
     pub fn new(seq_len: usize, input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
-        assert!(seq_len > 0 && input_dim > 0 && hidden_dim > 0, "LSTM dimensions must be positive");
+        assert!(
+            seq_len > 0 && input_dim > 0 && hidden_dim > 0,
+            "LSTM dimensions must be positive"
+        );
         Self {
             input_dim,
             hidden_dim,
@@ -109,7 +112,11 @@ impl Lstm {
 
 impl Layer for Lstm {
     fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
-        assert_eq!(input.cols(), self.input_width(), "LSTM input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_width(),
+            "LSTM input width mismatch"
+        );
         let batch = input.rows();
         let mut hs = vec![Matrix::zeros(batch, self.hidden_dim)];
         let mut cs = vec![Matrix::zeros(batch, self.hidden_dim)];
@@ -136,7 +143,10 @@ impl Layer for Lstm {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cache = self.cache.as_ref().expect("backward called before forward on LSTM layer");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward on LSTM layer");
         let batch = grad_output.rows();
         let h_dim = self.hidden_dim;
         let mut grad_input = Matrix::zeros(batch, self.input_width());
@@ -180,8 +190,7 @@ impl Layer for Lstm {
 
             let dx = dz.matmul(&self.w_x.transpose());
             for b in 0..batch {
-                let dst = &mut grad_input.row_mut(b)
-                    [t * self.input_dim..(t + 1) * self.input_dim];
+                let dst = &mut grad_input.row_mut(b)[t * self.input_dim..(t + 1) * self.input_dim];
                 for (d, s) in dst.iter_mut().zip(dx.row(b)) {
                     *d += s;
                 }
@@ -203,7 +212,11 @@ impl Layer for Lstm {
     }
 
     fn read_params(&mut self, src: &[f64]) -> usize {
-        let (a, b, c) = (self.w_x.data().len(), self.w_h.data().len(), self.bias.data().len());
+        let (a, b, c) = (
+            self.w_x.data().len(),
+            self.w_h.data().len(),
+            self.bias.data().len(),
+        );
         self.w_x.data_mut().copy_from_slice(&src[..a]);
         self.w_h.data_mut().copy_from_slice(&src[a..a + b]);
         self.bias.data_mut().copy_from_slice(&src[a + b..a + b + c]);

@@ -29,13 +29,21 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 ///
 /// Panics if `labels.len() != logits.rows()` or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
-    assert_eq!(labels.len(), logits.rows(), "one label per logit row is required");
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logit row is required"
+    );
     let probs = softmax(logits);
     let batch = logits.rows() as f64;
     let mut loss = 0.0;
     let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < logits.cols(), "label {label} out of range for {} classes", logits.cols());
+        assert!(
+            label < logits.cols(),
+            "label {label} out of range for {} classes",
+            logits.cols()
+        );
         let p = probs.get(r, label).max(1e-12);
         loss -= p.ln();
         grad.set(r, label, grad.get(r, label) - 1.0);

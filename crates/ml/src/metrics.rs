@@ -8,11 +8,19 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -26,7 +34,11 @@ pub fn confusion_matrix(
     targets: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
-    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
     let mut counts = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &t) in predictions.iter().zip(targets) {
         assert!(p < num_classes && t < num_classes, "label out of range");

@@ -86,8 +86,14 @@ impl Sequential {
     ///
     /// Panics if `layers` is empty.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        assert!(!layers.is_empty(), "a Sequential model needs at least one layer");
-        Self { layers, rng: fmore_numerics::seeded_rng(0xF00D) }
+        assert!(
+            !layers.is_empty(),
+            "a Sequential model needs at least one layer"
+        );
+        Self {
+            layers,
+            rng: fmore_numerics::seeded_rng(0xF00D),
+        }
     }
 
     /// Layer names in order, useful for summaries and tests.
@@ -125,7 +131,11 @@ impl Model for Sequential {
     }
 
     fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter vector length mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter vector length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             offset += layer.read_params(&params[offset..]);
@@ -183,7 +193,10 @@ impl Model for Sequential {
             correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
             count += chunk.len();
         }
-        Evaluation { loss: total_loss / count as f64, accuracy: correct as f64 / count as f64 }
+        Evaluation {
+            loss: total_loss / count as f64,
+            accuracy: correct as f64 / count as f64,
+        }
     }
 
     fn clone_model(&self) -> Box<dyn Model> {
@@ -246,7 +259,12 @@ mod tests {
             last_loss = model.train_epoch(&data, &all, 0.1, 32, &mut rng);
         }
         let after = model.evaluate(&data, &all);
-        assert!(after.accuracy > before.accuracy + 0.2, "{:?} -> {:?}", before, after);
+        assert!(
+            after.accuracy > before.accuracy + 0.2,
+            "{:?} -> {:?}",
+            before,
+            after
+        );
         assert!(after.loss < before.loss);
         assert!(last_loss < 2.0);
     }
@@ -278,7 +296,13 @@ mod tests {
         let model = tiny_mlp(data.feature_dim(), 10, 9);
         let mut clone = model.clone_model();
         assert_eq!(clone.parameters(), model.parameters());
-        clone.train_epoch(&data, &(0..data.len()).collect::<Vec<_>>(), 0.1, 16, &mut rng);
+        clone.train_epoch(
+            &data,
+            &(0..data.len()).collect::<Vec<_>>(),
+            0.1,
+            16,
+            &mut rng,
+        );
         assert_ne!(clone.parameters(), model.parameters());
     }
 }

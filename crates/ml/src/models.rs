@@ -162,8 +162,12 @@ mod tests {
     #[test]
     fn task_dispatch_matches_paper_pairing() {
         let mut rng = seeded_rng(4);
-        assert!(model_for_task(TaskKind::MnistO, &mut rng).layer_names().contains(&"conv2d"));
-        assert!(model_for_task(TaskKind::HpNews, &mut rng).layer_names().contains(&"lstm"));
+        assert!(model_for_task(TaskKind::MnistO, &mut rng)
+            .layer_names()
+            .contains(&"conv2d"));
+        assert!(model_for_task(TaskKind::HpNews, &mut rng)
+            .layer_names()
+            .contains(&"lstm"));
         // Fast surrogates are small MLPs.
         let fast = fast_model_for_task(TaskKind::Cifar10, &mut rng);
         assert_eq!(fast.layer_names(), vec!["dense", "relu", "dense"]);

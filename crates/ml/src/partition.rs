@@ -48,14 +48,22 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        Self { clients: 100, size_range: (50, 500), category_range: (2, 10) }
+        Self {
+            clients: 100,
+            size_range: (50, 500),
+            category_range: (2, 10),
+        }
     }
 }
 
 /// Splits the dataset IID: every client receives a uniformly random shard of a size drawn
 /// from `size_range` (with replacement across clients, i.e. clients may share samples — the
 /// standard simulator shortcut for large populations).
-pub fn partition_iid(data: &Dataset, config: &PartitionConfig, rng: &mut StdRng) -> Vec<ClientShard> {
+pub fn partition_iid(
+    data: &Dataset,
+    config: &PartitionConfig,
+    rng: &mut StdRng,
+) -> Vec<ClientShard> {
     assert!(config.clients > 0, "at least one client is required");
     let (lo, hi) = normalized_size_range(config.size_range, data.len());
     (0..config.clients)
@@ -63,7 +71,10 @@ pub fn partition_iid(data: &Dataset, config: &PartitionConfig, rng: &mut StdRng)
             let size = rng.gen_range(lo..=hi);
             let indices = fmore_numerics::rng::sample_indices(data.len(), size, rng);
             let categories = data.category_count(&indices);
-            ClientShard { indices, categories }
+            ClientShard {
+                indices,
+                categories,
+            }
         })
         .collect()
 }
@@ -112,7 +123,10 @@ pub fn partition_non_iid(
                 }
             }
             let categories = data.category_count(&indices);
-            ClientShard { indices, categories }
+            ClientShard {
+                indices,
+                categories,
+            }
         })
         .collect()
 }
@@ -145,7 +159,11 @@ mod tests {
         let shards = partition_non_iid(&data, &config, &mut rng);
         assert_eq!(shards.len(), 50);
         for shard in &shards {
-            assert!((20..=200).contains(&shard.size()), "size {} out of range", shard.size());
+            assert!(
+                (20..=200).contains(&shard.size()),
+                "size {} out of range",
+                shard.size()
+            );
             assert!(
                 (1..=6).contains(&shard.categories),
                 "categories {} out of range",
@@ -163,7 +181,11 @@ mod tests {
     #[test]
     fn non_iid_limits_each_client_to_its_classes() {
         let data = dataset(1000, 3);
-        let config = PartitionConfig { clients: 20, size_range: (50, 50), category_range: (2, 2) };
+        let config = PartitionConfig {
+            clients: 20,
+            size_range: (50, 50),
+            category_range: (2, 2),
+        };
         let mut rng = seeded_rng(4);
         let shards = partition_non_iid(&data, &config, &mut rng);
         for shard in &shards {
@@ -185,7 +207,10 @@ mod tests {
         let shards = partition_iid(&data, &config, &mut rng);
         assert_eq!(shards.len(), 10);
         for shard in &shards {
-            assert!(shard.categories >= 8, "an IID shard of 200+ samples should see most classes");
+            assert!(
+                shard.categories >= 8,
+                "an IID shard of 200+ samples should see most classes"
+            );
             // IID sampling is without replacement inside a shard: indices are unique.
             let mut dedup = shard.indices.clone();
             dedup.sort_unstable();
@@ -197,8 +222,11 @@ mod tests {
     #[test]
     fn size_range_is_clamped_to_dataset() {
         let data = dataset(30, 7);
-        let config =
-            PartitionConfig { clients: 3, size_range: (100, 500), category_range: (1, 10) };
+        let config = PartitionConfig {
+            clients: 3,
+            size_range: (100, 500),
+            category_range: (1, 10),
+        };
         let mut rng = seeded_rng(8);
         for shard in partition_iid(&data, &config, &mut rng) {
             assert!(shard.size() <= 30);
@@ -221,13 +249,19 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn zero_clients_is_rejected() {
         let data = dataset(10, 11);
-        let config = PartitionConfig { clients: 0, ..PartitionConfig::default() };
+        let config = PartitionConfig {
+            clients: 0,
+            ..PartitionConfig::default()
+        };
         let _ = partition_non_iid(&data, &config, &mut seeded_rng(12));
     }
 
     #[test]
     fn shard_helpers() {
-        let shard = ClientShard { indices: vec![1, 2, 3], categories: 4 };
+        let shard = ClientShard {
+            indices: vec![1, 2, 3],
+            categories: 4,
+        };
         assert_eq!(shard.size(), 3);
         assert!((shard.category_proportion(10) - 0.4).abs() < 1e-12);
         assert_eq!(shard.category_proportion(0), 0.0);

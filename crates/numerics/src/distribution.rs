@@ -108,16 +108,28 @@ impl TruncatedNormal {
     /// [`NumericsError::InvalidInterval`] for an invalid interval.
     pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, NumericsError> {
         if sigma <= 0.0 || !sigma.is_finite() {
-            return Err(NumericsError::InvalidParameter { name: "sigma", value: sigma });
+            return Err(NumericsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(NumericsError::InvalidInterval { lo, hi });
         }
         let z = std_normal_cdf((hi - mu) / sigma) - std_normal_cdf((lo - mu) / sigma);
         if z <= 1e-300 {
-            return Err(NumericsError::InvalidParameter { name: "truncation mass", value: z });
+            return Err(NumericsError::InvalidParameter {
+                name: "truncation mass",
+                value: z,
+            });
         }
-        Ok(Self { mu, sigma, lo, hi, z })
+        Ok(Self {
+            mu,
+            sigma,
+            lo,
+            hi,
+            z,
+        })
     }
 }
 
@@ -181,7 +193,10 @@ impl EmpiricalCdf {
             return Err(NumericsError::EmptyInput("empirical CDF samples"));
         }
         if let Some(bad) = samples.iter().find(|s| !s.is_finite()) {
-            return Err(NumericsError::InvalidParameter { name: "sample", value: *bad });
+            return Err(NumericsError::InvalidParameter {
+                name: "sample",
+                value: *bad,
+            });
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -238,8 +253,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -276,7 +290,7 @@ mod tests {
         let mut rng = seeded_rng(7);
         for _ in 0..1000 {
             let x = d.sample(&mut rng);
-            assert!(x >= 0.1 && x < 0.9);
+            assert!((0.1..0.9).contains(&x));
         }
     }
 
@@ -303,7 +317,10 @@ mod tests {
             assert!(c >= prev - 1e-12);
             prev = c;
         }
-        assert!((d.cdf(0.5) - 0.5).abs() < 1e-6, "symmetric truncation keeps the median at μ");
+        assert!(
+            (d.cdf(0.5) - 0.5).abs() < 1e-6,
+            "symmetric truncation keeps the median at μ"
+        );
     }
 
     #[test]
@@ -325,7 +342,10 @@ mod tests {
             sum += x;
         }
         let mean = sum / N as f64;
-        assert!((mean - 0.5).abs() < 0.02, "mean {mean} should be near μ for symmetric truncation");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean {mean} should be near μ for symmetric truncation"
+        );
     }
 
     #[test]

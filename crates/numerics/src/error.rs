@@ -56,7 +56,10 @@ mod tests {
         assert!(e.to_string().contains("samples"));
         let e = NumericsError::InvalidProbability(1.5);
         assert!(e.to_string().contains("1.5"));
-        let e = NumericsError::InvalidParameter { name: "sigma", value: -1.0 };
+        let e = NumericsError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("sigma"));
     }
 

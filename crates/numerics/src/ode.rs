@@ -158,8 +158,12 @@ mod tests {
     #[test]
     fn rk4_is_more_accurate_than_euler() {
         let exact = std::f64::consts::E;
-        let euler = solve_euler(|_, y| y, 0.0, 1.0, 1.0, 100).unwrap().final_value();
-        let rk4 = solve_rk4(|_, y| y, 0.0, 1.0, 1.0, 100).unwrap().final_value();
+        let euler = solve_euler(|_, y| y, 0.0, 1.0, 1.0, 100)
+            .unwrap()
+            .final_value();
+        let rk4 = solve_rk4(|_, y| y, 0.0, 1.0, 1.0, 100)
+            .unwrap()
+            .final_value();
         assert!((rk4 - exact).abs() < (euler - exact).abs());
         assert!((rk4 - exact).abs() < 1e-8);
     }

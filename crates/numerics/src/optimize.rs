@@ -71,7 +71,10 @@ pub fn maximize_coordinate<F>(mut f: F, bounds: &[(f64, f64)], sweeps: usize) ->
 where
     F: FnMut(&[f64]) -> f64,
 {
-    assert!(!bounds.is_empty(), "maximize_coordinate requires at least one dimension");
+    assert!(
+        !bounds.is_empty(),
+        "maximize_coordinate requires at least one dimension"
+    );
     // Start at the box midpoint.
     let mut x: Vec<f64> = bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
     let mut best = f(&x);

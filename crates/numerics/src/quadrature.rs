@@ -51,7 +51,7 @@ where
     if a == b {
         return Ok(0.0);
     }
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut sum = f(a) + f(b);
     for i in 1..n {
@@ -84,7 +84,10 @@ pub fn cumulative_trapezoid(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>, Numerics
     for i in 1..xs.len() {
         let dx = xs[i] - xs[i - 1];
         if dx < 0.0 {
-            return Err(NumericsError::InvalidInterval { lo: xs[i - 1], hi: xs[i] });
+            return Err(NumericsError::InvalidInterval {
+                lo: xs[i - 1],
+                hi: xs[i],
+            });
         }
         let area = 0.5 * (ys[i] + ys[i - 1]) * dx;
         out.push(out[i - 1] + area);

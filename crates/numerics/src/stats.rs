@@ -57,7 +57,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins] }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Adds one observation.
@@ -87,14 +91,19 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Midpoint of each bin, useful as plot x-coordinates.
     pub fn bin_centers(&self) -> Vec<f64> {
         let bins = self.counts.len();
         let width = (self.hi - self.lo) / bins as f64;
-        (0..bins).map(|i| self.lo + (i as f64 + 0.5) * width).collect()
+        (0..bins)
+            .map(|i| self.lo + (i as f64 + 0.5) * width)
+            .collect()
     }
 
     /// Total number of observations.

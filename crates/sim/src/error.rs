@@ -1,0 +1,81 @@
+//! Error type of the experiment harness.
+
+use fmore_auction::AuctionError;
+use fmore_fl::FlError;
+use fmore_mec::MecError;
+use std::fmt;
+
+/// Error returned by the scenario engine and the experiment registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A federated-learning scenario failed.
+    Fl(FlError),
+    /// A cluster scenario failed.
+    Mec(MecError),
+    /// A stand-alone auction game failed.
+    Auction(AuctionError),
+    /// The registry was asked for an experiment it does not contain.
+    UnknownExperiment(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fl(e) => write!(f, "federated-learning scenario failed: {e}"),
+            SimError::Mec(e) => write!(f, "cluster scenario failed: {e}"),
+            SimError::Auction(e) => write!(f, "auction game failed: {e}"),
+            SimError::UnknownExperiment(name) => write!(f, "unknown experiment '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fl(e) => Some(e),
+            SimError::Mec(e) => Some(e),
+            SimError::Auction(e) => Some(e),
+            SimError::UnknownExperiment(_) => None,
+        }
+    }
+}
+
+impl From<FlError> for SimError {
+    fn from(e: FlError) -> Self {
+        SimError::Fl(e)
+    }
+}
+
+impl From<MecError> for SimError {
+    fn from(e: MecError) -> Self {
+        SimError::Mec(e)
+    }
+}
+
+impl From<AuctionError> for SimError {
+    fn from(e: AuctionError) -> Self {
+        SimError::Auction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: SimError = FlError::InvalidConfig("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: SimError = MecError::InvalidConfig("nodes".into()).into();
+        assert!(e.to_string().contains("nodes"));
+
+        let e: SimError = AuctionError::NoBids.into();
+        assert!(e.to_string().contains("no bids"));
+
+        let e = SimError::UnknownExperiment("nope".into());
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,11 +1,11 @@
 //! Figures 4–7: model accuracy and loss per training round for FMore, RandFL, and FixFL.
 
+use crate::error::SimError;
+use crate::scenario::{ScenarioRunner, ScenarioSpec};
 use crate::series::{Series, Table};
 use fmore_fl::config::{FlConfig, ModelChoice};
 use fmore_fl::metrics::TrainingHistory;
 use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
-use fmore_fl::FlError;
 use fmore_ml::dataset::TaskKind;
 
 /// Configuration of one accuracy/loss figure (one task, all three schemes).
@@ -25,7 +25,12 @@ pub struct AccuracyConfig {
 impl AccuracyConfig {
     /// A configuration that finishes in well under a second (tests, CI).
     pub fn quick(task: TaskKind) -> Self {
-        Self { task, rounds: 3, fl: FlConfig::fast_test(task), seed: 42 }
+        Self {
+            task,
+            rounds: 3,
+            fl: FlConfig::fast_test(task),
+            seed: 42,
+        }
     }
 
     /// The paper's simulator parameters (`N = 100`, `K = 20`, 20 rounds, non-IID), with the
@@ -37,7 +42,12 @@ impl AccuracyConfig {
         fl.model = ModelChoice::FastSurrogate;
         fl.train_samples = 8_000;
         fl.test_samples = 1_000;
-        Self { task, rounds: 20, fl, seed: 42 }
+        Self {
+            task,
+            rounds: 20,
+            fl,
+            seed: 42,
+        }
     }
 }
 
@@ -71,28 +81,44 @@ impl AccuracyFigure {
 
     /// Final accuracy of a scheme, `0.0` if the scheme is missing.
     pub fn final_accuracy(&self, strategy: &str) -> f64 {
-        self.curve(strategy).map_or(0.0, |c| c.history.final_accuracy())
+        self.curve(strategy)
+            .map_or(0.0, |c| c.history.final_accuracy())
     }
 
     /// Renders the per-round accuracy of every scheme as a Markdown table (the data behind
     /// the paper figure).
     pub fn to_table(&self) -> Table {
         let mut headers = vec!["round".to_string()];
-        headers.extend(self.curves.iter().map(|c| format!("{} accuracy", c.strategy)));
+        headers.extend(
+            self.curves
+                .iter()
+                .map(|c| format!("{} accuracy", c.strategy)),
+        );
         headers.extend(self.curves.iter().map(|c| format!("{} loss", c.strategy)));
         let mut table = Table {
             title: format!("Accuracy and loss per round — {}", self.task.name()),
             headers,
             rows: Vec::new(),
         };
-        let rounds = self.curves.iter().map(|c| c.accuracy.len()).max().unwrap_or(0);
+        let rounds = self
+            .curves
+            .iter()
+            .map(|c| c.accuracy.len())
+            .max()
+            .unwrap_or(0);
         for r in 0..rounds {
             let mut row = vec![(r + 1).to_string()];
             for c in &self.curves {
-                row.push(format!("{:.4}", c.accuracy.ys.get(r).copied().unwrap_or(f64::NAN)));
+                row.push(format!(
+                    "{:.4}",
+                    c.accuracy.ys.get(r).copied().unwrap_or(f64::NAN)
+                ));
             }
             for c in &self.curves {
-                row.push(format!("{:.4}", c.loss.ys.get(r).copied().unwrap_or(f64::NAN)));
+                row.push(format!(
+                    "{:.4}",
+                    c.loss.ys.get(r).copied().unwrap_or(f64::NAN)
+                ));
             }
             table.rows.push(row);
         }
@@ -100,40 +126,71 @@ impl AccuracyFigure {
     }
 }
 
-/// Runs one scheme and returns its curve.
-pub fn run_strategy(
-    config: &AccuracyConfig,
-    strategy: SelectionStrategy,
-    seed: u64,
-) -> Result<StrategyCurve, FlError> {
-    let name = strategy.name().to_string();
-    let mut trainer = FederatedTrainer::new(config.fl.clone(), strategy, seed)?;
-    let history = trainer.run(config.rounds)?;
-    Ok(StrategyCurve {
-        strategy: name,
-        accuracy: Series::from_rounds("accuracy", history.accuracy_series()),
-        loss: Series::from_rounds("loss", history.loss_series()),
-        history,
-    })
-}
-
-/// Reproduces one of Figs. 4–7: trains the task with FMore, RandFL, and FixFL and returns
-/// the three curves.
-///
-/// # Errors
-///
-/// Propagates configuration and auction errors from the trainer.
-pub fn run(config: &AccuracyConfig) -> Result<AccuracyFigure, FlError> {
-    let strategies = [
+/// The declarative specs of one accuracy figure: one scenario per scheme, with derived
+/// seeds in scheme order.
+pub fn specs(config: &AccuracyConfig) -> Vec<ScenarioSpec> {
+    [
         SelectionStrategy::fmore(),
         SelectionStrategy::random(),
         SelectionStrategy::fixed_first(config.fl.winners_per_round),
-    ];
-    let mut curves = Vec::with_capacity(strategies.len());
-    for (i, strategy) in strategies.into_iter().enumerate() {
-        curves.push(run_strategy(config, strategy, config.seed + i as u64)?);
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, strategy)| {
+        let label = strategy.name().to_string();
+        ScenarioSpec::new(
+            label,
+            config.fl.clone(),
+            strategy,
+            config.rounds,
+            config.seed + i as u64,
+        )
+    })
+    .collect()
+}
+
+fn curve_from_history(strategy: String, history: TrainingHistory) -> StrategyCurve {
+    StrategyCurve {
+        strategy,
+        accuracy: Series::from_rounds("accuracy", history.accuracy_series()),
+        loss: Series::from_rounds("loss", history.loss_series()),
+        history,
     }
-    Ok(AccuracyFigure { task: config.task, curves })
+}
+
+/// Runs one scheme through the scenario engine and returns its curve.
+///
+/// # Errors
+///
+/// Propagates configuration and auction errors from the scenario engine.
+pub fn run_strategy(
+    runner: &ScenarioRunner,
+    config: &AccuracyConfig,
+    strategy: SelectionStrategy,
+    seed: u64,
+) -> Result<StrategyCurve, SimError> {
+    let label = strategy.name().to_string();
+    let spec = ScenarioSpec::new(label, config.fl.clone(), strategy, config.rounds, seed);
+    let outcome = runner.run(&spec)?;
+    Ok(curve_from_history(outcome.strategy, outcome.history))
+}
+
+/// Reproduces one of Figs. 4–7: trains the task with FMore, RandFL, and FixFL (in parallel
+/// on the runner’s pool) and returns the three curves.
+///
+/// # Errors
+///
+/// Propagates configuration and auction errors from the scenario engine.
+pub fn run(runner: &ScenarioRunner, config: &AccuracyConfig) -> Result<AccuracyFigure, SimError> {
+    let outcomes = runner.run_all(&specs(config))?;
+    let curves = outcomes
+        .into_iter()
+        .map(|o| curve_from_history(o.strategy, o.history))
+        .collect();
+    Ok(AccuracyFigure {
+        task: config.task,
+        curves,
+    })
 }
 
 #[cfg(test)]
@@ -142,7 +199,11 @@ mod tests {
 
     #[test]
     fn quick_figure_has_three_schemes() {
-        let fig = run(&AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+        let fig = run(
+            &ScenarioRunner::new(),
+            &AccuracyConfig::quick(TaskKind::MnistO),
+        )
+        .unwrap();
         assert_eq!(fig.curves.len(), 3);
         assert!(fig.curve("FMore").is_some());
         assert!(fig.curve("RandFL").is_some());
@@ -159,7 +220,11 @@ mod tests {
 
     #[test]
     fn table_has_one_row_per_round() {
-        let fig = run(&AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+        let fig = run(
+            &ScenarioRunner::new(),
+            &AccuracyConfig::quick(TaskKind::MnistO),
+        )
+        .unwrap();
         let table = fig.to_table();
         assert_eq!(table.rows.len(), 3);
         assert_eq!(table.headers.len(), 1 + 3 + 3);
@@ -177,8 +242,9 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let config = AccuracyConfig::quick(TaskKind::MnistO);
-        let a = run(&config).unwrap();
-        let b = run(&config).unwrap();
+        let runner = ScenarioRunner::new();
+        let a = run(&runner, &config).unwrap();
+        let b = run(&runner, &config).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -1,9 +1,10 @@
 //! Figures 12–13: the simulated 32-node cluster deployment (accuracy and training time for
 //! FMore vs RandFL on CIFAR-10).
 
+use crate::error::SimError;
+use crate::scenario::{ClusterScenarioSpec, ScenarioRunner};
 use crate::series::{Series, Table};
-use fmore_mec::cluster::{ClusterConfig, ClusterHistory, ClusterStrategy, MecCluster};
-use fmore_mec::MecError;
+use fmore_mec::cluster::{ClusterConfig, ClusterHistory, ClusterStrategy};
 
 /// Configuration of the cluster experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,20 +68,26 @@ impl ClusterFigure {
 
     /// Accuracy-per-round series of a scheme (Fig. 12 left).
     pub fn accuracy_series(&self, strategy: &str) -> Series {
-        let ys = self.curve(strategy).map(|c| c.history.accuracy_series()).unwrap_or_default();
+        let ys = self
+            .curve(strategy)
+            .map(|c| c.history.accuracy_series())
+            .unwrap_or_default();
         Series::from_rounds(format!("{strategy} accuracy"), ys)
     }
 
     /// Cumulative-time-per-round series of a scheme (Fig. 13 left).
     pub fn time_series(&self, strategy: &str) -> Series {
-        let ys =
-            self.curve(strategy).map(|c| c.history.cumulative_time_series()).unwrap_or_default();
+        let ys = self
+            .curve(strategy)
+            .map(|c| c.history.cumulative_time_series())
+            .unwrap_or_default();
         Series::from_rounds(format!("{strategy} cumulative time (s)"), ys)
     }
 
     /// Time (seconds) needed by a scheme to reach an accuracy target (Fig. 13 right).
     pub fn time_to_accuracy(&self, strategy: &str, target: f64) -> Option<f64> {
-        self.curve(strategy).and_then(|c| c.history.time_to_accuracy(target))
+        self.curve(strategy)
+            .and_then(|c| c.history.time_to_accuracy(target))
     }
 
     /// Markdown table with the per-round accuracy and cumulative time of every scheme.
@@ -95,12 +102,25 @@ impl ClusterFigure {
             headers,
             rows: Vec::new(),
         };
-        let rounds = self.curves.iter().map(|c| c.history.rounds.len()).max().unwrap_or(0);
+        let rounds = self
+            .curves
+            .iter()
+            .map(|c| c.history.rounds.len())
+            .max()
+            .unwrap_or(0);
         for r in 0..rounds {
             let mut row = vec![(r + 1).to_string()];
             for c in &self.curves {
-                let acc = c.history.rounds.get(r).map_or(f64::NAN, |x| x.learning.accuracy);
-                let time = c.history.rounds.get(r).map_or(f64::NAN, |x| x.cumulative_secs);
+                let acc = c
+                    .history
+                    .rounds
+                    .get(r)
+                    .map_or(f64::NAN, |x| x.learning.accuracy);
+                let time = c
+                    .history
+                    .rounds
+                    .get(r)
+                    .map_or(f64::NAN, |x| x.cumulative_secs);
                 row.push(format!("{acc:.4}"));
                 row.push(format!("{time:.1}"));
             }
@@ -110,19 +130,44 @@ impl ClusterFigure {
     }
 }
 
-/// Reproduces Figs. 12–13: runs the simulated cluster once with FMore and once with RandFL.
+/// The declarative specs of the cluster figure: one cluster scenario per scheme.
+pub fn specs(config: &ClusterExperimentConfig) -> Vec<ClusterScenarioSpec> {
+    [ClusterStrategy::FMore, ClusterStrategy::RandFL]
+        .into_iter()
+        .map(|strategy| {
+            ClusterScenarioSpec::new(
+                strategy.name(),
+                config.cluster.clone(),
+                strategy,
+                config.rounds,
+                config.seed,
+            )
+        })
+        .collect()
+}
+
+/// Reproduces Figs. 12–13: runs the simulated cluster with FMore and with RandFL, in
+/// parallel on the runner’s pool.
 ///
 /// # Errors
 ///
 /// Propagates cluster construction and training errors.
-pub fn run(config: &ClusterExperimentConfig) -> Result<ClusterFigure, MecError> {
-    let mut curves = Vec::new();
-    for strategy in [ClusterStrategy::FMore, ClusterStrategy::RandFL] {
-        let mut cluster = MecCluster::new(config.cluster.clone(), strategy, config.seed)?;
-        let history = cluster.run(config.rounds)?;
-        curves.push(ClusterCurve { strategy: strategy.name().to_string(), history });
-    }
-    Ok(ClusterFigure { curves, accuracy_targets: config.accuracy_targets.clone() })
+pub fn run(
+    runner: &ScenarioRunner,
+    config: &ClusterExperimentConfig,
+) -> Result<ClusterFigure, SimError> {
+    let outcomes = runner.run_clusters(&specs(config))?;
+    let curves = outcomes
+        .into_iter()
+        .map(|o| ClusterCurve {
+            strategy: o.strategy,
+            history: o.history,
+        })
+        .collect();
+    Ok(ClusterFigure {
+        curves,
+        accuracy_targets: config.accuracy_targets.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +176,7 @@ mod tests {
 
     #[test]
     fn quick_run_compares_both_schemes() {
-        let fig = run(&ClusterExperimentConfig::quick()).unwrap();
+        let fig = run(&ScenarioRunner::new(), &ClusterExperimentConfig::quick()).unwrap();
         assert_eq!(fig.curves.len(), 2);
         assert!(fig.curve("FMore").is_some());
         assert!(fig.curve("RandFL").is_some());
@@ -148,7 +193,7 @@ mod tests {
 
     #[test]
     fn time_to_accuracy_is_consistent_with_the_series() {
-        let fig = run(&ClusterExperimentConfig::quick()).unwrap();
+        let fig = run(&ScenarioRunner::new(), &ClusterExperimentConfig::quick()).unwrap();
         for strategy in ["FMore", "RandFL"] {
             if let Some(t) = fig.time_to_accuracy(strategy, 0.0) {
                 let first_time = fig.curve(strategy).unwrap().history.rounds[0].cumulative_secs;

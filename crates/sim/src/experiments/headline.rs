@@ -126,14 +126,21 @@ pub fn headline_table(
     let fmt_pct = |v: Option<f64>| v.map_or("n/a".to_string(), |p| format!("{p:.1}%"));
     for s in simulations {
         t.push_row(&[
-            format!("simulation {} (target {:.0}%)", s.task, s.accuracy_target * 100.0),
+            format!(
+                "simulation {} (target {:.0}%)",
+                s.task,
+                s.accuracy_target * 100.0
+            ),
             fmt_pct(s.round_reduction_pct),
             fmt_pct(s.accuracy_improvement_pct),
         ]);
     }
     if let Some(c) = cluster {
         t.push_row(&[
-            format!("cluster CIFAR-10 (target {:.0}%)", c.accuracy_target * 100.0),
+            format!(
+                "cluster CIFAR-10 (target {:.0}%)",
+                c.accuracy_target * 100.0
+            ),
             fmt_pct(c.time_reduction_pct),
             fmt_pct(c.accuracy_improvement_pct),
         ]);
@@ -146,6 +153,7 @@ mod tests {
     use super::*;
     use crate::experiments::accuracy::{run as run_accuracy, AccuracyConfig};
     use crate::experiments::cluster::{run as run_cluster, ClusterExperimentConfig};
+    use crate::scenario::ScenarioRunner;
     use fmore_ml::dataset::TaskKind;
 
     #[test]
@@ -158,7 +166,11 @@ mod tests {
 
     #[test]
     fn simulation_headline_from_quick_run() {
-        let figure = run_accuracy(&AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+        let figure = run_accuracy(
+            &ScenarioRunner::new(),
+            &AccuracyConfig::quick(TaskKind::MnistO),
+        )
+        .unwrap();
         let headline = simulation_headline(&figure, 0.3);
         assert_eq!(headline.task, "MNIST-O");
         assert_eq!(headline.accuracy_target, 0.3);
@@ -168,7 +180,8 @@ mod tests {
 
     #[test]
     fn cluster_headline_from_quick_run() {
-        let figure = run_cluster(&ClusterExperimentConfig::quick()).unwrap();
+        let figure =
+            run_cluster(&ScenarioRunner::new(), &ClusterExperimentConfig::quick()).unwrap();
         let headline = cluster_headline(&figure, 0.0);
         // Target 0.0 is reached in round 1 by both schemes.
         assert!(headline.fmore_secs.is_some());
@@ -197,7 +210,10 @@ mod tests {
         let md = headline_table(&[sim], Some(&cluster)).to_markdown();
         assert!(md.contains("simulation CIFAR-10"));
         assert!(md.contains("cluster CIFAR-10"));
-        assert!(md.contains("52.9%"), "8 vs 17 rounds is a 52.9% reduction: {md}");
+        assert!(
+            md.contains("52.9%"),
+            "8 vs 17 rounds is a 52.9% reduction: {md}"
+        );
         assert!(md.contains("44.9%"));
         // Missing values render as n/a.
         let incomplete = SimulationHeadline {

@@ -5,12 +5,13 @@
 //! * Fig. 10b — the mean winner payment rises and the mean winner score falls as `K` grows
 //!   (weaker competition per slot; Theorem 3).
 
-use crate::experiments::impact_n::{auction_game_statistics, AuctionSweepPoint};
+use crate::error::SimError;
+use crate::experiments::impact_n::AuctionSweepPoint;
+use crate::scenario::{ScenarioRunner, ScenarioSpec};
 use crate::series::{Series, Table};
+use fmore_auction::game::{game_statistics, GameConfig};
 use fmore_fl::config::FlConfig;
 use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
-use fmore_fl::FlError;
 use fmore_ml::dataset::TaskKind;
 
 /// The reproduction of Fig. 10.
@@ -113,52 +114,76 @@ impl ImpactOfKConfig {
     }
 }
 
-fn config_with_winners(base: &FlConfig, k: usize) -> FlConfig {
-    let mut fl = base.clone();
-    fl.winners_per_round = k.min(fl.clients);
-    fl
+/// The declarative specs of Fig. 10a: one FMore training scenario per winner count.
+pub fn specs(config: &ImpactOfKConfig) -> Vec<ScenarioSpec> {
+    let (k_small, k_large) = config.winner_counts;
+    [k_small, k_large]
+        .into_iter()
+        .map(|k| {
+            ScenarioSpec::new(
+                format!("K={k}"),
+                config.fl.clone(),
+                SelectionStrategy::fmore(),
+                config.rounds,
+                config.seed,
+            )
+            .with_winners(k)
+        })
+        .collect()
 }
 
-/// Reproduces Fig. 10.
+/// Reproduces Fig. 10: the two training runs of panel (a) and the auction-game sweep of
+/// panel (b), every independent piece in parallel on the runner’s pool.
 ///
 /// # Errors
 ///
 /// Propagates trainer and auction errors.
-pub fn run(config: &ImpactOfKConfig) -> Result<ImpactOfK, FlError> {
-    let (k_small, k_large) = config.winner_counts;
-    let mut histories = Vec::new();
-    for k in [k_small, k_large] {
-        let fl = config_with_winners(&config.fl, k);
-        let mut trainer = FederatedTrainer::new(fl, SelectionStrategy::fmore(), config.seed)?;
-        histories.push(trainer.run(config.rounds)?);
-    }
+pub fn run(runner: &ScenarioRunner, config: &ImpactOfKConfig) -> Result<ImpactOfK, SimError> {
+    let outcomes = runner.run_all(&specs(config))?;
     let rounds_to_accuracy = config
         .accuracy_targets
         .iter()
         .map(|&target| {
-            (target, histories[0].rounds_to_accuracy(target), histories[1].rounds_to_accuracy(target))
+            (
+                target,
+                outcomes[0].history.rounds_to_accuracy(target),
+                outcomes[1].history.rounds_to_accuracy(target),
+            )
         })
         .collect();
 
-    let mut sweep = Vec::new();
-    for &k in &config.sweep_values {
-        let k = k.min(config.n);
-        let (mean_payment, mean_score) =
-            auction_game_statistics(config.n, k, config.trials, config.seed + k as u64)?;
-        sweep.push(AuctionSweepPoint { value: k, mean_payment, mean_score });
-    }
-    Ok(ImpactOfK { rounds_to_accuracy, winner_counts: config.winner_counts, sweep })
+    let (n, trials, seed) = (config.n, config.trials, config.seed);
+    let sweep = runner
+        .map(config.sweep_values.clone(), move |k| {
+            let k = k.min(n);
+            let stats =
+                game_statistics(&GameConfig::paper_simulation(n, k, trials), seed + k as u64)?;
+            Ok(AuctionSweepPoint {
+                value: k,
+                mean_payment: stats.mean_payment,
+                mean_score: stats.mean_score,
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, fmore_auction::AuctionError>>()?;
+    Ok(ImpactOfK {
+        rounds_to_accuracy,
+        winner_counts: config.winner_counts,
+        sweep,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::impact_n::auction_game_statistics;
 
     #[test]
     fn payment_rises_and_score_falls_with_k() {
-        // Theorem 3 / Fig. 10b.
-        let small = auction_game_statistics(40, 4, 4, 2).unwrap();
-        let large = auction_game_statistics(40, 20, 4, 2).unwrap();
+        // Theorem 3 / Fig. 10b. The payment effect is small relative to per-game noise, so
+        // average enough games for the direction to be stable.
+        let small = auction_game_statistics(40, 4, 16, 2).unwrap();
+        let large = auction_game_statistics(40, 20, 16, 2).unwrap();
         assert!(
             large.0 >= small.0 - 0.05,
             "mean payment should not fall with K: {small:?} -> {large:?}"
@@ -171,7 +196,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_both_panels() {
-        let result = run(&ImpactOfKConfig::quick()).unwrap();
+        let result = run(&ScenarioRunner::new(), &ImpactOfKConfig::quick()).unwrap();
         assert_eq!(result.rounds_to_accuracy.len(), 2);
         assert_eq!(result.sweep.len(), 3);
         assert!(result.payment_series().len() == 3 && result.score_series().len() == 3);

@@ -5,17 +5,13 @@
 //! * Fig. 9b — the mean winner payment and mean winner score as `N` grows (more competition
 //!   → lower payments, higher scores; Theorem 2).
 
+use crate::error::SimError;
+use crate::scenario::{ScenarioRunner, ScenarioSpec};
 use crate::series::{Series, Table};
-use fmore_auction::{
-    Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, PricingRule, Quality,
-    ScoringRule, SelectionRule, SubmittedBid,
-};
+use fmore_auction::game::{game_statistics, GameConfig};
 use fmore_fl::config::FlConfig;
 use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
-use fmore_fl::FlError;
 use fmore_ml::dataset::TaskKind;
-use fmore_numerics::{seeded_rng, Distribution1D, UniformDist};
 
 /// Result of the auction-side sweep over `N` (Fig. 9b) or `K` (Fig. 10b).
 #[derive(Debug, Clone, PartialEq)]
@@ -73,11 +69,9 @@ impl ImpactOfN {
     }
 }
 
-/// Runs the pure auction game once for a population of `n` nodes and `k` winners and returns
-/// `(mean winner payment, mean winner score)` averaged over `trials` independent games.
-///
-/// Every node's capacity is drawn uniformly (data size and category proportion in `[0.3, 1]`)
-/// and its θ from `[0.1, 1]`, matching the simulator's heterogeneity.
+/// Runs the paper's pure auction game (via [`fmore_auction::game`]) for a population of `n`
+/// nodes and `k` winners and returns `(mean winner payment, mean winner score)` averaged
+/// over `trials` independent games.
 ///
 /// # Errors
 ///
@@ -88,40 +82,8 @@ pub fn auction_game_statistics(
     trials: usize,
     seed: u64,
 ) -> Result<(f64, f64), fmore_auction::AuctionError> {
-    let scoring = CobbDouglas::with_scale(25.0, vec![1.0, 1.0])?;
-    let cost = LinearCost::new(vec![2.0, 1.0])?;
-    let theta = UniformDist::new(0.1, 1.0)?;
-    let solver = EquilibriumSolver::builder()
-        .scoring(scoring.clone())
-        .cost(cost)
-        .theta(theta)
-        .bounds(vec![(0.0, 1.0), (0.0, 1.0)])
-        .population(n)
-        .winners(k)
-        .grid_size(96)
-        .build()?;
-    let auction =
-        Auction::new(ScoringRule::new(scoring), k, SelectionRule::TopK, PricingRule::FirstPrice);
-    let mut rng = seeded_rng(seed);
-    let mut payments = Vec::new();
-    let mut scores = Vec::new();
-    for _ in 0..trials.max(1) {
-        let mut bids = Vec::with_capacity(n);
-        for i in 0..n {
-            use rand::Rng;
-            let t = theta.sample(&mut rng);
-            let capacity = [rng.gen_range(0.3..=1.0), rng.gen_range(0.3..=1.0)];
-            let (ideal, _) = solver.quality_choice(t);
-            let declared: Vec<f64> =
-                ideal.iter().zip(capacity.iter()).map(|(w, h)| w.min(*h)).collect();
-            let ask = solver.payment_for(t)?;
-            bids.push(SubmittedBid::new(NodeId(i as u64), Quality::new(declared), ask));
-        }
-        let outcome = auction.run(bids, &mut rng)?;
-        payments.push(outcome.mean_winner_payment());
-        scores.push(outcome.mean_winner_score());
-    }
-    Ok((fmore_numerics::stats::mean(&payments), fmore_numerics::stats::mean(&scores)))
+    let stats = game_statistics(&GameConfig::paper_simulation(n, k, trials), seed)?;
+    Ok((stats.mean_payment, stats.mean_score))
 }
 
 /// Configuration for the Fig. 9 experiment.
@@ -180,45 +142,64 @@ impl ImpactOfNConfig {
     }
 }
 
-fn config_with_population(base: &FlConfig, n: usize) -> FlConfig {
-    let mut fl = base.clone();
-    fl.clients = n;
-    fl.partition.clients = n;
-    if fl.winners_per_round > n {
-        fl.winners_per_round = n;
-    }
-    fl
+/// The declarative specs of Fig. 9a: one FMore training scenario per population size.
+pub fn specs(config: &ImpactOfNConfig) -> Vec<ScenarioSpec> {
+    let (n_small, n_large) = config.populations;
+    [n_small, n_large]
+        .into_iter()
+        .map(|n| {
+            ScenarioSpec::new(
+                format!("N={n}"),
+                config.fl.clone(),
+                SelectionStrategy::fmore(),
+                config.rounds,
+                config.seed,
+            )
+            .with_population(n)
+        })
+        .collect()
 }
 
-/// Reproduces Fig. 9.
+/// Reproduces Fig. 9: the two training runs of panel (a) and the auction-game sweep of
+/// panel (b), every independent piece in parallel on the runner’s pool.
 ///
 /// # Errors
 ///
 /// Propagates trainer and auction errors.
-pub fn run(config: &ImpactOfNConfig) -> Result<ImpactOfN, FlError> {
-    let (n_small, n_large) = config.populations;
-    let mut histories = Vec::new();
-    for n in [n_small, n_large] {
-        let fl = config_with_population(&config.fl, n);
-        let mut trainer = FederatedTrainer::new(fl, SelectionStrategy::fmore(), config.seed)?;
-        histories.push(trainer.run(config.rounds)?);
-    }
+pub fn run(runner: &ScenarioRunner, config: &ImpactOfNConfig) -> Result<ImpactOfN, SimError> {
+    let outcomes = runner.run_all(&specs(config))?;
     let rounds_to_accuracy = config
         .accuracy_targets
         .iter()
         .map(|&target| {
-            (target, histories[0].rounds_to_accuracy(target), histories[1].rounds_to_accuracy(target))
+            (
+                target,
+                outcomes[0].history.rounds_to_accuracy(target),
+                outcomes[1].history.rounds_to_accuracy(target),
+            )
         })
         .collect();
 
-    let mut sweep = Vec::new();
-    for &n in &config.sweep_values {
-        let k = config.k.min(n);
-        let (mean_payment, mean_score) =
-            auction_game_statistics(n, k, config.trials, config.seed + n as u64)?;
-        sweep.push(AuctionSweepPoint { value: n, mean_payment, mean_score });
-    }
-    Ok(ImpactOfN { rounds_to_accuracy, populations: config.populations, sweep })
+    let (k, trials, seed) = (config.k, config.trials, config.seed);
+    let sweep = runner
+        .map(config.sweep_values.clone(), move |n| {
+            let stats = game_statistics(
+                &GameConfig::paper_simulation(n, k.min(n), trials),
+                seed + n as u64,
+            )?;
+            Ok(AuctionSweepPoint {
+                value: n,
+                mean_payment: stats.mean_payment,
+                mean_score: stats.mean_score,
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, fmore_auction::AuctionError>>()?;
+    Ok(ImpactOfN {
+        rounds_to_accuracy,
+        populations: config.populations,
+        sweep,
+    })
 }
 
 #[cfg(test)]
@@ -242,7 +223,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_both_panels() {
-        let result = run(&ImpactOfNConfig::quick()).unwrap();
+        let result = run(&ScenarioRunner::new(), &ImpactOfNConfig::quick()).unwrap();
         assert_eq!(result.rounds_to_accuracy.len(), 2);
         assert_eq!(result.sweep.len(), 3);
         assert_eq!(result.payment_series().len(), 3);

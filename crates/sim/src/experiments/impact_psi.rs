@@ -5,15 +5,13 @@
 //! * Fig. 11b — how many of the selected nodes come from the top-10 / top-20 / top-30 ranks
 //!   of the score ordering, as ψ varies (large ψ concentrates on the top ranks).
 
+use crate::error::SimError;
+use crate::scenario::{ScenarioRunner, ScenarioSpec};
 use crate::series::{Series, Table};
-use fmore_auction::types::{NodeId, Quality, ScoredBid};
-use fmore_auction::SelectionRule;
+use fmore_auction::game::psi_rank_spread;
 use fmore_fl::config::FlConfig;
 use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
-use fmore_fl::FlError;
 use fmore_ml::dataset::TaskKind;
-use fmore_numerics::seeded_rng;
 
 /// How many winners fall into the top-10 / top-20 / top-30 score ranks for one ψ.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +58,10 @@ impl ImpactOfPsi {
 
     /// Markdown table for both panels.
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new("Impact of ψ (Fig. 11)", &["ψ", "top-10", "top-20", "top-30"]);
+        let mut t = Table::new(
+            "Impact of ψ (Fig. 11)",
+            &["ψ", "top-10", "top-20", "top-30"],
+        );
         for r in &self.rank_spread {
             t.push_row(&[
                 format!("{:.1}", r.psi),
@@ -73,32 +74,15 @@ impl ImpactOfPsi {
     }
 }
 
-/// Counts how many ψ-FMore winners come from the top-10/20/30 ranks of a 100-node score
-/// ordering, averaged over `trials` selections of `k` winners.
+/// Counts how many ψ-FMore winners come from the top-10/20/30 ranks of an `n`-node score
+/// ordering, averaged over `trials` selections of `k` winners (via [`fmore_auction::game`]).
 pub fn rank_spread_for_psi(psi: f64, n: usize, k: usize, trials: usize, seed: u64) -> RankSpread {
-    let bids: Vec<ScoredBid> = (0..n)
-        .map(|i| ScoredBid {
-            node: NodeId(i as u64),
-            quality: Quality::default(),
-            ask: 0.0,
-            score: 1.0 - i as f64 / n as f64,
-        })
-        .collect();
-    let rule = SelectionRule::PsiFMore { psi };
-    let mut rng = seeded_rng(seed);
-    let (mut t10, mut t20, mut t30) = (0usize, 0usize, 0usize);
-    let trials = trials.max(1);
-    for _ in 0..trials {
-        let winners = rule.select(&bids, k, &mut rng);
-        t10 += winners.iter().filter(|&&i| i < 10).count();
-        t20 += winners.iter().filter(|&&i| i < 20).count();
-        t30 += winners.iter().filter(|&&i| i < 30).count();
-    }
+    let counts = psi_rank_spread(psi, n, k, trials, seed);
     RankSpread {
         psi,
-        top10: t10 as f64 / trials as f64,
-        top20: t20 as f64 / trials as f64,
-        top30: t30 as f64 / trials as f64,
+        top10: counts.top10,
+        top20: counts.top20,
+        top30: counts.top30,
     }
 }
 
@@ -164,37 +148,53 @@ impl ImpactOfPsiConfig {
     }
 }
 
-/// Reproduces Fig. 11.
+/// The declarative specs of Fig. 11a: one ψ-FMore training scenario per ψ value.
+pub fn specs(config: &ImpactOfPsiConfig) -> Vec<ScenarioSpec> {
+    let (psi_small, psi_large) = config.psi_pair;
+    [psi_small, psi_large]
+        .into_iter()
+        .map(|psi| {
+            ScenarioSpec::new(
+                format!("psi={psi}"),
+                config.fl.clone(),
+                SelectionStrategy::psi_fmore(psi),
+                config.rounds,
+                config.seed,
+            )
+        })
+        .collect()
+}
+
+/// Reproduces Fig. 11: the two training runs of panel (a) and the rank-spread sweep of
+/// panel (b), every independent piece in parallel on the runner’s pool.
 ///
 /// # Errors
 ///
 /// Propagates trainer and auction errors.
-pub fn run(config: &ImpactOfPsiConfig) -> Result<ImpactOfPsi, FlError> {
-    let (psi_small, psi_large) = config.psi_pair;
-    let mut histories = Vec::new();
-    for psi in [psi_small, psi_large] {
-        let mut trainer = FederatedTrainer::new(
-            config.fl.clone(),
-            SelectionStrategy::psi_fmore(psi),
-            config.seed,
-        )?;
-        histories.push(trainer.run(config.rounds)?);
-    }
+pub fn run(runner: &ScenarioRunner, config: &ImpactOfPsiConfig) -> Result<ImpactOfPsi, SimError> {
+    let outcomes = runner.run_all(&specs(config))?;
     let rounds_to_accuracy = config
         .accuracy_targets
         .iter()
         .map(|&target| {
-            (target, histories[0].rounds_to_accuracy(target), histories[1].rounds_to_accuracy(target))
+            (
+                target,
+                outcomes[0].history.rounds_to_accuracy(target),
+                outcomes[1].history.rounds_to_accuracy(target),
+            )
         })
         .collect();
 
-    let rank_spread = config
-        .sweep_values
-        .iter()
-        .map(|&psi| rank_spread_for_psi(psi, config.n, config.k, config.trials, config.seed))
-        .collect();
+    let (n, k, trials, seed) = (config.n, config.k, config.trials, config.seed);
+    let rank_spread = runner.map(config.sweep_values.clone(), move |psi| {
+        rank_spread_for_psi(psi, n, k, trials, seed)
+    });
 
-    Ok(ImpactOfPsi { rounds_to_accuracy, psi_pair: config.psi_pair, rank_spread })
+    Ok(ImpactOfPsi {
+        rounds_to_accuracy,
+        psi_pair: config.psi_pair,
+        rank_spread,
+    })
 }
 
 #[cfg(test)]
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn quick_run_produces_both_panels() {
-        let result = run(&ImpactOfPsiConfig::quick()).unwrap();
+        let result = run(&ScenarioRunner::new(), &ImpactOfPsiConfig::quick()).unwrap();
         assert_eq!(result.rounds_to_accuracy.len(), 2);
         assert_eq!(result.rank_spread.len(), 3);
         assert_eq!(result.rank_series(10).len(), 3);

@@ -1,4 +1,6 @@
-//! One module per figure of the paper's evaluation.
+//! One module per figure of the paper's evaluation, plus the declarative registry that
+//! catalogues them all. Each module is a presentation layer over the scenario engine of
+//! [`crate::scenario`]; none of them owns a training loop or constructs auction machinery.
 
 pub mod accuracy;
 pub mod cluster;
@@ -6,4 +8,5 @@ pub mod headline;
 pub mod impact_k;
 pub mod impact_n;
 pub mod impact_psi;
+pub mod registry;
 pub mod scores;

@@ -1,0 +1,327 @@
+//! The declarative experiment registry: every paper figure as a named, data-described entry.
+//!
+//! The registry is the single catalogue of what this reproduction can regenerate. Each entry
+//! names the experiment, the paper figure it reproduces, and a runner function that executes
+//! the experiment's scenarios through a [`ScenarioRunner`] and returns presentation-ready
+//! tables. Drivers (examples, benches, CI smoke runs) iterate the registry instead of
+//! hard-coding module calls, so adding a figure is one new entry plus its spec — no new
+//! driver code.
+
+use crate::error::SimError;
+use crate::experiments::{accuracy, cluster, headline, impact_k, impact_n, impact_psi, scores};
+use crate::scenario::ScenarioRunner;
+use crate::series::Table;
+use fmore_ml::dataset::TaskKind;
+
+/// How expensive a registry run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Sub-second configurations for tests, CI, and smoke runs.
+    Quick,
+    /// The full Section V parameters (minutes per experiment).
+    Paper,
+}
+
+/// The output of one registry experiment: presentation-ready Markdown tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// The registry name of the experiment.
+    pub name: &'static str,
+    /// The produced tables (one per figure panel, typically).
+    pub tables: Vec<Table>,
+}
+
+impl ExperimentReport {
+    /// Renders every table as one Markdown document.
+    pub fn to_markdown(&self) -> String {
+        self.tables
+            .iter()
+            .map(Table::to_markdown)
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    }
+}
+
+type RunFn = fn(&ScenarioRunner, Fidelity) -> Result<ExperimentReport, SimError>;
+
+/// One registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDef {
+    /// Registry name (stable, kebab-case).
+    pub name: &'static str,
+    /// The paper figure(s) the experiment reproduces.
+    pub figure: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    run: RunFn,
+}
+
+impl ExperimentDef {
+    /// Runs the experiment at the requested fidelity on the given runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario failures.
+    pub fn run(
+        &self,
+        runner: &ScenarioRunner,
+        fidelity: Fidelity,
+    ) -> Result<ExperimentReport, SimError> {
+        (self.run)(runner, fidelity)
+    }
+}
+
+fn accuracy_config(fidelity: Fidelity) -> accuracy::AccuracyConfig {
+    match fidelity {
+        Fidelity::Quick => accuracy::AccuracyConfig::quick(TaskKind::MnistO),
+        Fidelity::Paper => accuracy::AccuracyConfig::paper(TaskKind::MnistO),
+    }
+}
+
+fn cluster_config(fidelity: Fidelity) -> cluster::ClusterExperimentConfig {
+    match fidelity {
+        Fidelity::Quick => cluster::ClusterExperimentConfig::quick(),
+        Fidelity::Paper => cluster::ClusterExperimentConfig::paper(),
+    }
+}
+
+fn headline_targets(fidelity: Fidelity) -> (f64, f64) {
+    match fidelity {
+        Fidelity::Quick => (0.3, 0.0),
+        Fidelity::Paper => (0.95, 0.5),
+    }
+}
+
+fn accuracy_report(figure: &accuracy::AccuracyFigure) -> ExperimentReport {
+    ExperimentReport {
+        name: "accuracy",
+        tables: vec![figure.to_table()],
+    }
+}
+
+fn cluster_report(figure: &cluster::ClusterFigure) -> ExperimentReport {
+    ExperimentReport {
+        name: "cluster",
+        tables: vec![figure.to_table()],
+    }
+}
+
+fn headline_report(
+    figure: &accuracy::AccuracyFigure,
+    cluster_figure: &cluster::ClusterFigure,
+    fidelity: Fidelity,
+) -> ExperimentReport {
+    let (accuracy_target, cluster_target) = headline_targets(fidelity);
+    let sim_headline = headline::simulation_headline(figure, accuracy_target);
+    let cluster_headline = headline::cluster_headline(cluster_figure, cluster_target);
+    ExperimentReport {
+        name: "headline",
+        tables: vec![headline::headline_table(
+            &[sim_headline],
+            Some(&cluster_headline),
+        )],
+    }
+}
+
+fn run_accuracy(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let figure = accuracy::run(runner, &accuracy_config(fidelity))?;
+    Ok(accuracy_report(&figure))
+}
+
+fn run_scores(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let dist = scores::run(runner, &accuracy_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "scores",
+        tables: vec![dist.to_table()],
+    })
+}
+
+fn run_impact_n(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => impact_n::ImpactOfNConfig::quick(),
+        Fidelity::Paper => impact_n::ImpactOfNConfig::paper(),
+    };
+    let result = impact_n::run(runner, &config)?;
+    Ok(ExperimentReport {
+        name: "impact-n",
+        tables: vec![result.to_table()],
+    })
+}
+
+fn run_impact_k(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => impact_k::ImpactOfKConfig::quick(),
+        Fidelity::Paper => impact_k::ImpactOfKConfig::paper(),
+    };
+    let result = impact_k::run(runner, &config)?;
+    Ok(ExperimentReport {
+        name: "impact-k",
+        tables: vec![result.to_table()],
+    })
+}
+
+fn run_impact_psi(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => impact_psi::ImpactOfPsiConfig::quick(),
+        Fidelity::Paper => impact_psi::ImpactOfPsiConfig::paper(),
+    };
+    let result = impact_psi::run(runner, &config)?;
+    Ok(ExperimentReport {
+        name: "impact-psi",
+        tables: vec![result.to_table()],
+    })
+}
+
+fn run_cluster(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let figure = cluster::run(runner, &cluster_config(fidelity))?;
+    Ok(cluster_report(&figure))
+}
+
+fn run_headline(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<ExperimentReport, SimError> {
+    let figure = accuracy::run(runner, &accuracy_config(fidelity))?;
+    let cluster_figure = cluster::run(runner, &cluster_config(fidelity))?;
+    Ok(headline_report(&figure, &cluster_figure, fidelity))
+}
+
+/// Every experiment of the paper's evaluation, in figure order.
+pub const REGISTRY: &[ExperimentDef] = &[
+    ExperimentDef {
+        name: "accuracy",
+        figure: "Figs. 4-7",
+        summary: "accuracy & loss per round for FMore / RandFL / FixFL",
+        run: run_accuracy,
+    },
+    ExperimentDef {
+        name: "scores",
+        figure: "Fig. 8",
+        summary: "distribution of winner quality scores per scheme",
+        run: run_scores,
+    },
+    ExperimentDef {
+        name: "impact-n",
+        figure: "Fig. 9",
+        summary: "rounds-to-accuracy and (payment, score) as N varies",
+        run: run_impact_n,
+    },
+    ExperimentDef {
+        name: "impact-k",
+        figure: "Fig. 10",
+        summary: "rounds-to-accuracy and (payment, score) as K varies",
+        run: run_impact_k,
+    },
+    ExperimentDef {
+        name: "impact-psi",
+        figure: "Fig. 11",
+        summary: "training speed and winner-rank spread as psi varies",
+        run: run_impact_psi,
+    },
+    ExperimentDef {
+        name: "cluster",
+        figure: "Figs. 12-13",
+        summary: "accuracy and cumulative time on the simulated 32-node cluster",
+        run: run_cluster,
+    },
+    ExperimentDef {
+        name: "headline",
+        figure: "SS I / SS V text",
+        summary: "headline round-reduction and accuracy-improvement percentages",
+        run: run_headline,
+    },
+];
+
+/// Looks an experiment up by registry name.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownExperiment`] for names not in the registry.
+pub fn find(name: &str) -> Result<&'static ExperimentDef, SimError> {
+    REGISTRY
+        .iter()
+        .find(|def| def.name == name)
+        .ok_or_else(|| SimError::UnknownExperiment(name.to_string()))
+}
+
+/// Runs every registered experiment at the given fidelity, in registry order.
+///
+/// The `headline` entry is pure post-processing of the `accuracy` and `cluster` figures, so
+/// a full registry run computes those figures exactly once and derives all three dependent
+/// reports from them instead of re-training identical scenarios.
+///
+/// # Errors
+///
+/// Returns the first experiment failure.
+pub fn run_all(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<Vec<ExperimentReport>, SimError> {
+    let accuracy_figure = accuracy::run(runner, &accuracy_config(fidelity))?;
+    let cluster_figure = cluster::run(runner, &cluster_config(fidelity))?;
+    REGISTRY
+        .iter()
+        .map(|def| match def.name {
+            "accuracy" => Ok(accuracy_report(&accuracy_figure)),
+            "cluster" => Ok(cluster_report(&cluster_figure)),
+            "headline" => Ok(headline_report(&accuracy_figure, &cluster_figure, fidelity)),
+            _ => def.run(runner, fidelity),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_seven_experiments() {
+        assert_eq!(REGISTRY.len(), 7);
+        let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
+        for expected in [
+            "accuracy",
+            "scores",
+            "impact-n",
+            "impact-k",
+            "impact-psi",
+            "cluster",
+            "headline",
+        ] {
+            assert!(names.contains(&expected), "missing experiment {expected}");
+        }
+        // Names are unique.
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn find_resolves_names_and_rejects_unknowns() {
+        assert_eq!(find("cluster").unwrap().figure, "Figs. 12-13");
+        assert!(matches!(find("nope"), Err(SimError::UnknownExperiment(_))));
+    }
+
+    #[test]
+    fn every_experiment_runs_at_quick_fidelity() {
+        let runner = ScenarioRunner::new();
+        let reports = run_all(&runner, Fidelity::Quick).unwrap();
+        assert_eq!(reports.len(), REGISTRY.len());
+        for (def, report) in REGISTRY.iter().zip(&reports) {
+            assert_eq!(def.name, report.name);
+            assert!(!report.tables.is_empty(), "{} produced no tables", def.name);
+            assert!(!report.to_markdown().is_empty());
+        }
+    }
+
+    #[test]
+    fn named_lookup_runs_a_single_experiment() {
+        let runner = ScenarioRunner::new();
+        let report = find("scores")
+            .unwrap()
+            .run(&runner, Fidelity::Quick)
+            .unwrap();
+        assert_eq!(report.name, "scores");
+        assert!(report.to_markdown().contains("FMore"));
+    }
+}

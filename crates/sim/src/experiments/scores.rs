@@ -6,12 +6,12 @@
 //! same per-scheme winner-score samples are produced along with the score distribution of
 //! the whole population.
 
-use crate::experiments::accuracy::{run_strategy, AccuracyConfig};
+use crate::error::SimError;
+use crate::experiments::accuracy::AccuracyConfig;
+use crate::scenario::{ScenarioRunner, ScenarioSpec};
 use crate::series::{Series, Table};
 use fmore_auction::{CobbDouglas, ScoringFunction};
 use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
-use fmore_fl::FlError;
 use fmore_numerics::stats::Histogram;
 
 /// Winner-score samples of one scheme.
@@ -39,9 +39,21 @@ impl ScoreDistribution {
         if scores.is_empty() {
             return Series::new("empty", vec![], vec![]);
         }
-        let lo = self.population_scores.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = self.population_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+        let lo = self
+            .population_scores
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .population_scores
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, lo + 0.5)
+        };
         let mut hist = Histogram::new(lo, hi + 1e-9, bins.max(1));
         hist.extend(scores.iter().copied());
         let proportions = hist.proportions();
@@ -64,13 +76,18 @@ impl ScoreDistribution {
 
     /// Markdown table of mean/median winner score per scheme.
     pub fn to_table(&self) -> Table {
-        let mut table =
-            Table::new("Winner score distribution (Fig. 8)", &["scheme", "mean score", "median score", "samples"]);
+        let mut table = Table::new(
+            "Winner score distribution (Fig. 8)",
+            &["scheme", "mean score", "median score", "samples"],
+        );
         let mut row = |name: &str, scores: &[f64]| {
             table.push_row(&[
                 name.to_string(),
                 format!("{:.3}", fmore_numerics::stats::mean(scores)),
-                format!("{:.3}", fmore_numerics::stats::percentile(scores, 50.0).unwrap_or(0.0)),
+                format!(
+                    "{:.3}",
+                    fmore_numerics::stats::percentile(scores, 50.0).unwrap_or(0.0)
+                ),
                 scores.len().to_string(),
             ]);
         };
@@ -92,7 +109,11 @@ fn winner_quality_score(
     num_classes: usize,
 ) -> f64 {
     let q1 = (data_size as f64 / max_data).clamp(0.0, 1.0);
-    let q2 = if num_classes > 0 { categories as f64 / num_classes as f64 } else { 0.0 };
+    let q2 = if num_classes > 0 {
+        categories as f64 / num_classes as f64
+    } else {
+        0.0
+    };
     scoring.value(&[q1, q2])
 }
 
@@ -102,41 +123,78 @@ fn winner_quality_score(
 ///
 /// # Errors
 ///
-/// Propagates configuration and auction errors from the trainer.
-pub fn run(config: &AccuracyConfig) -> Result<ScoreDistribution, FlError> {
-    let scoring = CobbDouglas::with_scale(25.0, vec![1.0, 1.0])
-        .expect("static scoring parameters are valid");
+/// Propagates configuration and auction errors from the scenario engine.
+pub fn run(
+    runner: &ScenarioRunner,
+    config: &AccuracyConfig,
+) -> Result<ScoreDistribution, SimError> {
+    let scoring =
+        CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).expect("static scoring parameters are valid");
     let max_data = config.fl.partition.size_range.1 as f64;
 
     // Population scores: what every client could offer at full availability.
-    let probe = FederatedTrainer::new(config.fl.clone(), SelectionStrategy::random(), config.seed)?;
+    let probe_spec = ScenarioSpec::new(
+        "population probe",
+        config.fl.clone(),
+        SelectionStrategy::random(),
+        0,
+        config.seed,
+    );
+    let probe = runner.trainer(&probe_spec)?;
     let num_classes = 10;
     let population_scores: Vec<f64> = probe
         .clients()
         .iter()
         .map(|c| {
-            winner_quality_score(&scoring, c.shard().size(), c.shard().categories, max_data, num_classes)
+            winner_quality_score(
+                &scoring,
+                c.shard().size(),
+                c.shard().categories,
+                max_data,
+                num_classes,
+            )
         })
         .collect();
 
-    let strategies = [
+    // One scenario per scheme, run in parallel on the runner's pool (same seeds as the
+    // former sequential loop, so histories are unchanged).
+    let specs: Vec<ScenarioSpec> = [
         SelectionStrategy::fmore(),
         SelectionStrategy::random(),
         SelectionStrategy::fixed_first(config.fl.winners_per_round),
-    ];
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, strategy)| {
+        ScenarioSpec::new(
+            strategy.name(),
+            config.fl.clone(),
+            strategy,
+            config.rounds,
+            config.seed + 100 + i as u64,
+        )
+    })
+    .collect();
     let mut schemes = Vec::new();
-    for (i, strategy) in strategies.into_iter().enumerate() {
-        let curve = run_strategy(config, strategy, config.seed + 100 + i as u64)?;
-        let winner_scores: Vec<f64> = curve
+    for outcome in runner.run_all(&specs)? {
+        let winner_scores: Vec<f64> = outcome
             .history
             .rounds
             .iter()
             .flat_map(|r| r.winners.iter())
-            .map(|w| winner_quality_score(&scoring, w.data_size, w.categories, max_data, num_classes))
+            .map(|w| {
+                winner_quality_score(&scoring, w.data_size, w.categories, max_data, num_classes)
+            })
             .collect();
-        schemes.push(SchemeScores { strategy: curve.strategy, winner_scores });
+        schemes.push(SchemeScores {
+            strategy: outcome.strategy,
+            winner_scores,
+        });
     }
-    Ok(ScoreDistribution { population_scores, schemes })
+    Ok(ScoreDistribution {
+        population_scores,
+        schemes,
+    })
 }
 
 #[cfg(test)]
@@ -147,7 +205,7 @@ mod tests {
     #[test]
     fn fmore_selects_higher_scores_than_random() {
         let config = AccuracyConfig::quick(TaskKind::MnistO);
-        let dist = run(&config).unwrap();
+        let dist = run(&ScenarioRunner::new(), &config).unwrap();
         assert_eq!(dist.schemes.len(), 3);
         let fmore = dist.mean_winner_score("FMore");
         let rand = dist.mean_winner_score("RandFL");
@@ -162,7 +220,7 @@ mod tests {
     #[test]
     fn cumulative_proportions_reach_one() {
         let config = AccuracyConfig::quick(TaskKind::MnistO);
-        let dist = run(&config).unwrap();
+        let dist = run(&ScenarioRunner::new(), &config).unwrap();
         let series = dist.cumulative_proportions(&dist.population_scores, 8);
         assert_eq!(series.len(), 8);
         assert!((series.last().unwrap() - 1.0).abs() < 1e-9);
@@ -175,7 +233,7 @@ mod tests {
     #[test]
     fn table_lists_population_and_all_schemes() {
         let config = AccuracyConfig::quick(TaskKind::MnistO);
-        let dist = run(&config).unwrap();
+        let dist = run(&ScenarioRunner::new(), &config).unwrap();
         let md = dist.to_table().to_markdown();
         assert!(md.contains("Total population"));
         assert!(md.contains("FMore"));

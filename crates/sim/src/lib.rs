@@ -1,7 +1,16 @@
-//! Experiment harness reproducing every figure of the FMore paper's evaluation (Section V).
+//! Experiment harness reproducing every figure of the FMore paper's evaluation (Section V),
+//! built on a unified **scenario engine**.
 //!
-//! Each module in [`experiments`] corresponds to one figure (or pair of figures) of the
-//! paper and produces plain data series that can be printed as Markdown tables or CSV:
+//! The crate has three layers:
+//!
+//! * [`scenario`] — the engine: a [`scenario::ScenarioSpec`] declaratively describes one
+//!   training run (task, strategy, rounds, seed) and a [`scenario::ScenarioRunner`] executes
+//!   specs on the shared worker pool of [`fmore_fl::engine`], with independent scenarios
+//!   (sweep points, scheme comparisons) running in parallel;
+//! * [`experiments`] — one thin presentation module per paper figure, each of which declares
+//!   specs, hands them to the runner, and formats the returned histories;
+//! * [`experiments::registry`] — the declarative catalogue of all seven experiments, so
+//!   drivers iterate the registry instead of hard-coding module calls.
 //!
 //! | Module | Paper figure | What it reports |
 //! |---|---|---|
@@ -14,13 +23,32 @@
 //! | [`experiments::headline`] | §I / §V text | the headline round-reduction and accuracy-improvement percentages |
 //!
 //! Every experiment has a `quick()` configuration (seconds, used by tests and CI) and a
-//! `paper()` configuration (the full parameters of Section V). Results carry enough data for
-//! EXPERIMENTS.md to record paper-vs-measured comparisons.
+//! `paper()` configuration (the full parameters of Section V). The stand-alone auction games
+//! behind the Fig. 9b/10b/11b sweeps live in [`fmore_auction::game`]; no experiment module
+//! constructs an auction or an equilibrium solver of its own.
+//!
+//! # Example
+//!
+//! ```
+//! use fmore_sim::experiments::registry::{self, Fidelity};
+//! use fmore_sim::scenario::ScenarioRunner;
+//!
+//! let runner = ScenarioRunner::new();
+//! let report = registry::find("scores")?.run(&runner, Fidelity::Quick)?;
+//! assert!(report.to_markdown().contains("FMore"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod error;
 pub mod experiments;
+pub mod scenario;
 pub mod series;
 
+pub use error::SimError;
+pub use scenario::{
+    ClusterOutcome, ClusterScenarioSpec, ScenarioOutcome, ScenarioRunner, ScenarioSpec,
+};
 pub use series::{Series, Table};

@@ -1,9 +1,7 @@
 //! Plain data series and tables used to emit experiment results.
 
-use serde::{Deserialize, Serialize};
-
 /// One named (x, y) series — e.g. "FMore accuracy" over training rounds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series name as it would appear in a figure legend.
     pub name: String,
@@ -17,13 +15,21 @@ impl Series {
     /// Creates a series, truncating to the shorter of the two vectors.
     pub fn new(name: impl Into<String>, xs: Vec<f64>, ys: Vec<f64>) -> Self {
         let n = xs.len().min(ys.len());
-        Self { name: name.into(), xs: xs[..n].to_vec(), ys: ys[..n].to_vec() }
+        Self {
+            name: name.into(),
+            xs: xs[..n].to_vec(),
+            ys: ys[..n].to_vec(),
+        }
     }
 
     /// Creates a series with implicit x = 1, 2, 3, … (training rounds).
     pub fn from_rounds(name: impl Into<String>, ys: Vec<f64>) -> Self {
         let xs = (1..=ys.len()).map(|i| i as f64).collect();
-        Self { name: name.into(), xs, ys }
+        Self {
+            name: name.into(),
+            xs,
+            ys,
+        }
     }
 
     /// Number of points.
@@ -52,7 +58,7 @@ impl Series {
 }
 
 /// A small table rendered as Markdown (the "rows the paper reports").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -79,7 +85,8 @@ impl Table {
 
     /// Convenience: appends a row of mixed display values.
     pub fn push_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders the table as GitHub-flavoured Markdown.

@@ -7,6 +7,7 @@
 
 use fmore::ml::dataset::TaskKind;
 use fmore::sim::experiments::accuracy::{run, AccuracyConfig};
+use fmore::sim::ScenarioRunner;
 
 fn task_from_arg(arg: Option<String>) -> TaskKind {
     match arg.as_deref() {
@@ -30,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.fl.test_samples = 500;
 
     println!("Reproducing the accuracy/loss figure for {} …", task.name());
-    let figure = run(&config)?;
+    // The three schemes run in parallel on the shared worker pool.
+    let figure = run(&ScenarioRunner::new(), &config)?;
     println!("{}", figure.to_table().to_markdown());
 
     for curve in &figure.curves {

@@ -12,24 +12,40 @@ use fmore::sim::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 9b: payment and score versus N (K = 20).
-    let mut n_table = Table::new("Payment and score vs N (Fig. 9b)", &["N", "mean payment", "mean score"]);
+    let mut n_table = Table::new(
+        "Payment and score vs N (Fig. 9b)",
+        &["N", "mean payment", "mean score"],
+    );
     for n in [50, 80, 110, 140, 170, 200] {
         let (payment, score) = auction_game_statistics(n, 20, 5, 100 + n as u64)?;
-        n_table.push_row(&[n.to_string(), format!("{payment:.4}"), format!("{score:.4}")]);
+        n_table.push_row(&[
+            n.to_string(),
+            format!("{payment:.4}"),
+            format!("{score:.4}"),
+        ]);
     }
     println!("{}", n_table.to_markdown());
 
     // Fig. 10b: payment and score versus K (N = 100).
-    let mut k_table = Table::new("Payment and score vs K (Fig. 10b)", &["K", "mean payment", "mean score"]);
+    let mut k_table = Table::new(
+        "Payment and score vs K (Fig. 10b)",
+        &["K", "mean payment", "mean score"],
+    );
     for k in [5, 10, 15, 20, 25, 30, 35] {
         let (payment, score) = auction_game_statistics(100, k, 5, 200 + k as u64)?;
-        k_table.push_row(&[k.to_string(), format!("{payment:.4}"), format!("{score:.4}")]);
+        k_table.push_row(&[
+            k.to_string(),
+            format!("{payment:.4}"),
+            format!("{score:.4}"),
+        ]);
     }
     println!("{}", k_table.to_markdown());
 
     // Fig. 11b: how many winners come from the top score ranks as ψ varies.
-    let mut psi_table =
-        Table::new("Winner rank spread vs ψ (Fig. 11b)", &["ψ", "top-10", "top-20", "top-30"]);
+    let mut psi_table = Table::new(
+        "Winner rank spread vs ψ (Fig. 11b)",
+        &["ψ", "top-10", "top-20", "top-30"],
+    );
     for psi in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let spread = rank_spread_for_psi(psi, 100, 20, 300, 7);
         psi_table.push_row(&[

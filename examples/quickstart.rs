@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.train_samples = 2_000;
     config.test_samples = 400;
 
-    println!("FMore quickstart — task {}, N = {}, K = {}, {} rounds", config.task.name(), config.clients, config.winners_per_round, rounds);
+    println!(
+        "FMore quickstart — task {}, N = {}, K = {}, {} rounds",
+        config.task.name(),
+        config.clients,
+        config.winners_per_round,
+        rounds
+    );
 
     for strategy in [SelectionStrategy::fmore(), SelectionStrategy::random()] {
         let name = strategy.name();

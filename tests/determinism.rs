@@ -1,0 +1,123 @@
+//! Determinism guarantees of the round engine: for every selection scheme, the same seed
+//! produces a bit-identical `TrainingHistory` across repeated runs — and across execution
+//! substrates (inline, spawn-per-round, 1-thread pool, N-thread pool).
+//!
+//! This is the contract the pooled engine was built around: results are collected into
+//! pre-sized slots indexed by submission order and every training job owns a seed derived
+//! from `(run seed, round, client)`, so thread scheduling can never leak into the output.
+
+use fmore::fl::config::FlConfig;
+use fmore::fl::engine::RoundEngine;
+use fmore::fl::metrics::TrainingHistory;
+use fmore::fl::selection::SelectionStrategy;
+use fmore::fl::trainer::FederatedTrainer;
+use fmore::mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
+use fmore::ml::dataset::TaskKind;
+use fmore::sim::{ScenarioRunner, ScenarioSpec};
+
+const ROUNDS: usize = 3;
+const SEED: u64 = 2024;
+
+fn strategies() -> Vec<(&'static str, SelectionStrategy)> {
+    vec![
+        ("RandFL", SelectionStrategy::random()),
+        ("FixFL", SelectionStrategy::fixed_first(4)),
+        ("FMore", SelectionStrategy::fmore()),
+        ("psi-FMore", SelectionStrategy::psi_fmore(0.6)),
+    ]
+}
+
+fn history_with(strategy: SelectionStrategy, engine: RoundEngine, seed: u64) -> TrainingHistory {
+    let mut trainer = FederatedTrainer::with_engine(
+        FlConfig::fast_test(TaskKind::MnistO),
+        strategy,
+        seed,
+        engine,
+    )
+    .expect("fast config is valid");
+    trainer.run(ROUNDS).expect("training runs")
+}
+
+/// Same seed ⇒ bit-identical history on repeated runs; different seed ⇒ different history.
+#[test]
+fn repeated_runs_are_bit_identical_per_scheme() {
+    for (name, strategy) in strategies() {
+        let a = history_with(strategy.clone(), RoundEngine::default(), SEED);
+        let b = history_with(strategy.clone(), RoundEngine::default(), SEED);
+        assert_eq!(
+            a, b,
+            "{name}: same seed must reproduce the identical history"
+        );
+        let c = history_with(strategy, RoundEngine::default(), SEED + 1);
+        assert_ne!(a, c, "{name}: a different seed must change the history");
+    }
+}
+
+/// A 1-thread pool and an N-thread pool produce bit-identical histories for every scheme —
+/// worker count is a pure wall-clock knob.
+#[test]
+fn pool_size_one_and_n_agree_per_scheme() {
+    for (name, strategy) in strategies() {
+        let one = history_with(strategy.clone(), RoundEngine::pooled(1), SEED);
+        let many = history_with(strategy.clone(), RoundEngine::pooled(4), SEED);
+        assert_eq!(one, many, "{name}: pool size must not affect results");
+    }
+}
+
+/// All four execution substrates agree: inline, the seed's spawn-per-round path, and pools.
+#[test]
+fn every_execution_mode_agrees_per_scheme() {
+    for (name, strategy) in strategies() {
+        let inline = history_with(strategy.clone(), RoundEngine::inline(), SEED);
+        let spawned = history_with(strategy.clone(), RoundEngine::spawn_per_round(), SEED);
+        let pooled = history_with(strategy.clone(), RoundEngine::pooled(3), SEED);
+        assert_eq!(inline, spawned, "{name}: spawn-per-round must match inline");
+        assert_eq!(inline, pooled, "{name}: pooled must match inline");
+    }
+}
+
+/// The scenario runner inherits the guarantee: running specs through differently sized
+/// runner pools — and in parallel vs sequentially — changes nothing.
+#[test]
+fn scenario_runner_is_deterministic_across_pool_sizes() {
+    let specs: Vec<ScenarioSpec> = strategies()
+        .into_iter()
+        .map(|(name, strategy)| {
+            ScenarioSpec::new(
+                name,
+                FlConfig::fast_test(TaskKind::MnistO),
+                strategy,
+                ROUNDS,
+                SEED,
+            )
+        })
+        .collect();
+    let one = ScenarioRunner::with_threads(1).run_all(&specs).unwrap();
+    let many = ScenarioRunner::with_threads(4).run_all(&specs).unwrap();
+    assert_eq!(one, many);
+    let sequential: Vec<_> = specs
+        .iter()
+        .map(|s| ScenarioRunner::with_threads(2).run(s).unwrap())
+        .collect();
+    assert_eq!(one, sequential);
+}
+
+/// The MEC cluster — which funnels its auction through the same engine — is deterministic
+/// across engine substrates too.
+#[test]
+fn cluster_is_deterministic_across_engines() {
+    let run = |engine: RoundEngine| {
+        let mut cluster = MecCluster::with_engine(
+            ClusterConfig::fast_test(),
+            ClusterStrategy::FMore,
+            SEED,
+            engine,
+        )
+        .expect("fast cluster config is valid");
+        cluster.run(ROUNDS).expect("cluster runs")
+    };
+    let inline = run(RoundEngine::inline());
+    assert_eq!(inline, run(RoundEngine::pooled(1)));
+    assert_eq!(inline, run(RoundEngine::pooled(4)));
+    assert_eq!(inline, run(RoundEngine::spawn_per_round()));
+}

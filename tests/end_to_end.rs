@@ -10,6 +10,7 @@ use fmore::mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
 use fmore::ml::dataset::TaskKind;
 use fmore::numerics::{seeded_rng, UniformDist};
 use fmore::sim::experiments::{accuracy, headline, scores};
+use fmore::sim::ScenarioRunner;
 
 /// The full FMore pipeline on a small task: equilibrium bidding, auction-based selection,
 /// local training, aggregation — and the selection advantage it is supposed to deliver.
@@ -81,7 +82,9 @@ fn equilibrium_theory_holds_through_the_facade() {
 
     let solver = build(30, 6);
     let scoring = Additive::new(vec![1.0]).unwrap();
-    assert!(properties::incentive_compatibility_holds(&solver, &scoring, 0.5, &[0.5, 0.9]).unwrap());
+    assert!(
+        properties::incentive_compatibility_holds(&solver, &scoring, 0.5, &[0.5, 0.9]).unwrap()
+    );
 }
 
 /// One auction round run end-to-end through the facade: bids in, ranked outcome and
@@ -128,12 +131,15 @@ fn mec_cluster_round_trip() {
 /// The experiment harness produces the figures and the headline table end to end.
 #[test]
 fn experiment_harness_produces_figures_and_headline() {
-    let figure = accuracy::run(&accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+    let runner = ScenarioRunner::new();
+    let figure =
+        accuracy::run(&runner, &accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
     assert_eq!(figure.curves.len(), 3);
     let table = figure.to_table().to_markdown();
     assert!(table.contains("FMore accuracy"));
 
-    let score_dist = scores::run(&accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
+    let score_dist =
+        scores::run(&runner, &accuracy::AccuracyConfig::quick(TaskKind::MnistO)).unwrap();
     assert!(score_dist.mean_winner_score("FMore") >= score_dist.mean_winner_score("RandFL"));
 
     let sim_headline = headline::simulation_headline(&figure, 0.3);

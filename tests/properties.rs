@@ -1,40 +1,48 @@
-//! Property-based tests (proptest) on the core mechanism invariants, run against the public
+//! Randomised property tests on the core mechanism invariants, run against the public
 //! facade crate.
+//!
+//! The build environment has no registry access, so instead of `proptest` these properties
+//! are exercised over seeded random samples drawn from the same vendored RNG the simulators
+//! use — 64 cases per property, deterministic across runs.
 
 use fmore::auction::prelude::*;
 use fmore::numerics::normalize::MinMaxNormalizer;
 use fmore::numerics::{seeded_rng, Distribution1D, UniformDist};
-use proptest::prelude::*;
+use rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The quasi-linear scoring rule is monotone: more quality or a lower ask never lowers
-    /// the score.
-    #[test]
-    fn score_is_monotone_in_quality_and_antitone_in_ask(
-        q1 in 0.0..1.0f64,
-        q2 in 0.0..1.0f64,
-        bump in 0.0..0.5f64,
-        ask in 0.0..1.0f64,
-        discount in 0.0..0.5f64,
-    ) {
-        let rule = ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap());
+/// The quasi-linear scoring rule is monotone: more quality or a lower ask never lowers the
+/// score.
+#[test]
+fn score_is_monotone_in_quality_and_antitone_in_ask() {
+    let mut rng = seeded_rng(0xA1);
+    let rule = ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap());
+    for _ in 0..CASES {
+        let q1 = rng.gen_range(0.0..1.0);
+        let q2 = rng.gen_range(0.0..1.0);
+        let bump = rng.gen_range(0.0..0.5);
+        let ask = rng.gen_range(0.0..1.0);
+        let discount = rng.gen_range(0.0..0.5);
         let base = rule.score(&Quality::new(vec![q1, q2]), ask).unwrap();
         let better_quality = rule.score(&Quality::new(vec![q1 + bump, q2]), ask).unwrap();
-        let cheaper = rule.score(&Quality::new(vec![q1, q2]), (ask - discount).max(0.0)).unwrap();
-        prop_assert!(better_quality >= base - 1e-12);
-        prop_assert!(cheaper >= base - 1e-12);
+        let cheaper = rule
+            .score(&Quality::new(vec![q1, q2]), (ask - discount).max(0.0))
+            .unwrap();
+        assert!(better_quality >= base - 1e-12);
+        assert!(cheaper >= base - 1e-12);
     }
+}
 
-    /// First-price auctions always pay winners exactly their ask, and the winner set is never
-    /// larger than K or the number of bidders.
-    #[test]
-    fn auction_awards_are_consistent(
-        asks in proptest::collection::vec(0.0..2.0f64, 1..40),
-        k in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+/// First-price auctions always pay winners exactly their ask, and the winner set is never
+/// larger than K or the number of bidders.
+#[test]
+fn auction_awards_are_consistent() {
+    let mut rng = seeded_rng(0xA2);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..40usize);
+        let asks: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..2.0)).collect();
+        let k = rng.gen_range(1..10usize);
         let rule = ScoringRule::new(Additive::new(vec![1.0]).unwrap());
         let auction = Auction::new(rule, k, SelectionRule::TopK, PricingRule::FirstPrice);
         let bids: Vec<SubmittedBid> = asks
@@ -42,11 +50,11 @@ proptest! {
             .enumerate()
             .map(|(i, &ask)| SubmittedBid::new(NodeId(i as u64), Quality::new(vec![1.0]), ask))
             .collect();
-        let outcome = auction.run(bids, &mut seeded_rng(seed)).unwrap();
-        prop_assert_eq!(outcome.winners.len(), k.min(asks.len()));
+        let outcome = auction.run(bids, &mut seeded_rng(case as u64)).unwrap();
+        assert_eq!(outcome.winners.len(), k.min(asks.len()));
         for award in &outcome.winners {
             let original = asks[award.node.0 as usize];
-            prop_assert!((award.payment - original).abs() < 1e-12);
+            assert!((award.payment - original).abs() < 1e-12);
         }
         // Every winner's score is at least as good as every non-winner's score.
         let winner_ids = outcome.winner_ids();
@@ -57,42 +65,47 @@ proptest! {
             .fold(f64::INFINITY, f64::min);
         for bid in &outcome.ranked {
             if !winner_ids.contains(&bid.node) {
-                prop_assert!(bid.score <= min_winner + 1e-9);
+                assert!(bid.score <= min_winner + 1e-9);
             }
         }
     }
+}
 
-    /// Equilibrium bids are individually rational and their expected profit is non-negative
-    /// for every type in the support.
-    #[test]
-    fn equilibrium_bids_are_individually_rational(theta in 0.21f64..0.99) {
-        let cost = QuadraticCost::new(vec![1.0]).unwrap();
-        let solver = EquilibriumSolver::builder()
-            .scoring(Additive::new(vec![1.0]).unwrap())
-            .cost(cost.clone())
-            .theta(UniformDist::new(0.2, 1.0).unwrap())
-            .bounds(vec![(0.0, 4.0)])
-            .population(25)
-            .winners(5)
-            .grid_size(64)
-            .build()
-            .unwrap();
+/// Equilibrium bids are individually rational and their expected profit is non-negative for
+/// every type in the support.
+#[test]
+fn equilibrium_bids_are_individually_rational() {
+    let cost = QuadraticCost::new(vec![1.0]).unwrap();
+    let solver = EquilibriumSolver::builder()
+        .scoring(Additive::new(vec![1.0]).unwrap())
+        .cost(cost.clone())
+        .theta(UniformDist::new(0.2, 1.0).unwrap())
+        .bounds(vec![(0.0, 4.0)])
+        .population(25)
+        .winners(5)
+        .grid_size(64)
+        .build()
+        .unwrap();
+    let mut rng = seeded_rng(0xA3);
+    for _ in 0..CASES {
+        let theta = rng.gen_range(0.21..0.99);
         let bid = solver.bid_for(theta).unwrap();
         let c = cost.value(bid.quality.as_slice(), theta);
-        prop_assert!(bid.ask >= c - 1e-6);
-        prop_assert!(bid.expected_profit >= -1e-9);
-        prop_assert!((0.0..=1.0).contains(&bid.win_probability));
+        assert!(bid.ask >= c - 1e-6);
+        assert!(bid.expected_profit >= -1e-9);
+        assert!((0.0..=1.0).contains(&bid.win_probability));
     }
+}
 
-    /// ψ-FMore always returns exactly `min(K, N)` distinct winners regardless of ψ.
-    #[test]
-    fn psi_selection_always_fills_the_winner_set(
-        n in 1usize..60,
-        k in 1usize..30,
-        psi in 0.01f64..1.0,
-        seed in 0u64..500,
-    ) {
-        use fmore::auction::types::ScoredBid;
+/// ψ-FMore always returns exactly `min(K, N)` distinct winners regardless of ψ.
+#[test]
+fn psi_selection_always_fills_the_winner_set() {
+    use fmore::auction::types::ScoredBid;
+    let mut rng = seeded_rng(0xA4);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..60usize);
+        let k = rng.gen_range(1..30usize);
+        let psi = rng.gen_range(0.01..1.0);
         let bids: Vec<ScoredBid> = (0..n)
             .map(|i| ScoredBid {
                 node: NodeId(i as u64),
@@ -101,57 +114,72 @@ proptest! {
                 score: i as f64,
             })
             .collect();
-        let winners = SelectionRule::PsiFMore { psi }.select(&bids, k, &mut seeded_rng(seed));
-        prop_assert_eq!(winners.len(), k.min(n));
+        let winners =
+            SelectionRule::PsiFMore { psi }.select(&bids, k, &mut seeded_rng(500 + case as u64));
+        assert_eq!(winners.len(), k.min(n));
         let mut dedup = winners.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), winners.len());
+        assert_eq!(dedup.len(), winners.len());
     }
+}
 
-    /// Min–max normalisation always lands in [0, 1] and round-trips within the range.
-    #[test]
-    fn normalizer_round_trips(lo in -100.0..100.0f64, width in 0.1..100.0f64, x in -200.0..200.0f64) {
+/// Min–max normalisation always lands in [0, 1] and round-trips within the range.
+#[test]
+fn normalizer_round_trips() {
+    let mut rng = seeded_rng(0xA5);
+    for _ in 0..CASES {
+        let lo = rng.gen_range(-100.0..100.0);
+        let width = rng.gen_range(0.1..100.0);
+        let x = rng.gen_range(-200.0..200.0);
         let n = MinMaxNormalizer::new(lo, lo + width);
         let y = n.normalize(x);
-        prop_assert!((0.0..=1.0).contains(&y));
+        assert!((0.0..=1.0).contains(&y));
         let back = n.denormalize(y);
-        prop_assert!(back >= lo - 1e-9 && back <= lo + width + 1e-9);
+        assert!(back >= lo - 1e-9 && back <= lo + width + 1e-9);
         // Values inside the range round-trip exactly (up to float error).
         if x >= lo && x <= lo + width {
-            prop_assert!((back - x).abs() < 1e-6);
+            assert!((back - x).abs() < 1e-6);
         }
     }
+}
 
-    /// The uniform θ distribution's quantile inverts its CDF everywhere.
-    #[test]
-    fn uniform_quantile_inverts_cdf(lo in 0.01f64..1.0, width in 0.1f64..2.0, p in 0.0f64..1.0) {
+/// The uniform θ distribution's quantile inverts its CDF everywhere.
+#[test]
+fn uniform_quantile_inverts_cdf() {
+    let mut rng = seeded_rng(0xA6);
+    for _ in 0..CASES {
+        let lo = rng.gen_range(0.01..1.0);
+        let width = rng.gen_range(0.1..2.0);
+        let p = rng.gen_range(0.0..1.0);
         let d = UniformDist::new(lo, lo + width).unwrap();
         let q = d.quantile(p).unwrap();
-        prop_assert!((d.cdf(q) - p).abs() < 1e-4);
+        assert!((d.cdf(q) - p).abs() < 1e-4);
     }
+}
 
-    /// FedAvg with identical updates returns that update unchanged, and its output always
-    /// lies inside the per-coordinate envelope of the inputs.
-    #[test]
-    fn federated_average_stays_in_envelope(
-        a in proptest::collection::vec(-5.0..5.0f64, 1..20),
-        weight_a in 0.1..10.0f64,
-        weight_b in 0.1..10.0f64,
-        delta in proptest::collection::vec(-1.0..1.0f64, 1..20),
-    ) {
-        let dim = a.len().min(delta.len());
-        let a: Vec<f64> = a[..dim].to_vec();
-        let b: Vec<f64> = a.iter().zip(&delta[..dim]).map(|(x, d)| x + d).collect();
-        let avg = fmore::fl::federated_average(&[(a.clone(), weight_a), (b.clone(), weight_b)]).unwrap();
+/// FedAvg with identical updates returns that update unchanged, and its output always lies
+/// inside the per-coordinate envelope of the inputs.
+#[test]
+fn federated_average_stays_in_envelope() {
+    let mut rng = seeded_rng(0xA7);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..20usize);
+        let a: Vec<f64> = (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let weight_a = rng.gen_range(0.1..10.0);
+        let weight_b = rng.gen_range(0.1..10.0);
+        let b: Vec<f64> = a.iter().map(|x| x + rng.gen_range(-1.0..1.0)).collect();
+        let avg =
+            fmore::fl::federated_average(&[(a.clone(), weight_a), (b.clone(), weight_b)]).unwrap();
         for i in 0..dim {
             let lo = a[i].min(b[i]) - 1e-9;
             let hi = a[i].max(b[i]) + 1e-9;
-            prop_assert!(avg[i] >= lo && avg[i] <= hi);
+            assert!(avg[i] >= lo && avg[i] <= hi);
         }
-        let same = fmore::fl::federated_average(&[(a.clone(), weight_a), (a.clone(), weight_b)]).unwrap();
+        let same =
+            fmore::fl::federated_average(&[(a.clone(), weight_a), (a.clone(), weight_b)]).unwrap();
         for (x, y) in same.iter().zip(&a) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
     }
 }

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate provides the
+//! subset of the criterion 0.5 API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is warmed up for `warm_up_time`, then run for up to
+//! `measurement_time` (at least `sample_size` samples), and the mean, minimum, and maximum
+//! per-iteration wall-clock times are printed to stdout. There is no statistical analysis,
+//! HTML report, or baseline comparison — the point is relative numbers on one machine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. All variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Measurement settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Passed to every benchmark closure; drives the timed iterations.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// (mean, min, max) per-iteration time recorded by the last `iter` call.
+    result: Option<(Duration, Duration, Duration, usize)>,
+}
+
+/// Running per-iteration statistics, accumulated without storing individual samples so a
+/// nanosecond-scale routine can be measured for the full `measurement_time` in constant
+/// memory.
+#[derive(Default)]
+struct RunningStats {
+    total: Duration,
+    min: Option<Duration>,
+    max: Duration,
+    count: usize,
+}
+
+impl RunningStats {
+    fn record(&mut self, sample: Duration) {
+        self.total += sample;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = self.max.max(sample);
+        self.count += 1;
+    }
+
+    fn finish(self) -> (Duration, Duration, Duration, usize) {
+        let mean = self.total / self.count.max(1) as u32;
+        (mean, self.min.unwrap_or_default(), self.max, self.count)
+    }
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly and records per-iteration statistics: at least
+    /// `sample_size` iterations, continuing until `measurement_time` has elapsed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+        }
+
+        let mut stats = RunningStats::default();
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            stats.record(t.elapsed());
+            if stats.count >= self.settings.sample_size
+                && measure_start.elapsed() >= self.settings.measurement_time
+            {
+                break;
+            }
+        }
+        self.result = Some(stats.finish());
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut stats = RunningStats::default();
+        let measure_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            stats.record(t.elapsed());
+            if stats.count >= self.settings.sample_size
+                && measure_start.elapsed() >= self.settings.measurement_time
+            {
+                break;
+            }
+        }
+        self.result = Some(stats.finish());
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut bencher = Bencher {
+        settings,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max, n)) => println!(
+            "bench {name:<48} mean {:>12}  min {:>12}  max {:>12}  ({n} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+        ),
+        None => println!("bench {name:<48} (no measurement recorded)"),
+    }
+}
+
+/// Identifier of a parameterised benchmark: a function name plus a parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        run_one(&name, &self.settings, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id.full);
+        run_one(&name, &self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs one top-level benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let settings = Settings {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        let (_, min, max, n) = b.result.expect("iter records a result");
+        assert!(n >= 3);
+        assert!(min <= max);
+        assert!(count as usize >= n);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let settings = Settings {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn groups_chain_settings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.sample_size(1)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1));
+            g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+            g.finish();
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

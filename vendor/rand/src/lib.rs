@@ -1,0 +1,323 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate provides the
+//! subset of the `rand` 0.8 API the workspace actually uses — [`Rng`], [`SeedableRng`], and
+//! [`rngs::StdRng`] — with a deterministic xoshiro256++ generator behind it. Seeding goes
+//! through SplitMix64 exactly once, so streams derived from nearby seeds are decorrelated.
+//!
+//! The statistical quality is more than sufficient for the simulations in this repository,
+//! and determinism per seed (the property every experiment depends on) is guaranteed on all
+//! platforms. The bit streams do **not** match the upstream `rand` crate.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's full output range.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+mod sealed {
+    /// Scalar types [`super::SampleRange`] is implemented over.
+    pub trait UniformScalar: Copy + PartialOrd {
+        fn sample_below_inclusive<R: super::RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            rng: &mut R,
+        ) -> Self;
+        fn sample_below_exclusive<R: super::RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+}
+use sealed::UniformScalar;
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformScalar for $t {
+            fn sample_below_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Widening multiply maps a 64-bit draw onto the span with negligible bias.
+                let offset = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                (lo as i128 + offset) as $t
+            }
+            fn sample_below_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                Self::sample_below_inclusive(lo, hi - 1, rng)
+            }
+        }
+    )*};
+}
+uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformScalar for $t {
+            fn sample_below_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo <= hi);
+                let unit = <$t as Standard>::sample(rng);
+                let v = lo + (hi - lo) * unit;
+                if v > hi { hi } else { v }
+            }
+            fn sample_below_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                // `unit` < 1, so the result stays strictly below `hi` except for rounding at
+                // the top of very narrow ranges, which we clamp back inside.
+                let unit = <$t as Standard>::sample(rng);
+                let v = lo + (hi - lo) * unit;
+                if v >= hi { <$t>::max(lo, hi - (hi - lo) * <$t>::EPSILON) } else { v }
+            }
+        }
+    )*};
+}
+uniform_float!(f64, f32);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformScalar> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_below_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformScalar> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_below_inclusive(lo, hi, rng)
+    }
+}
+
+/// The user-facing generator interface (blanket-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its full uniform range (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [a, b, c, d] = self.s;
+            let result = a.wrapping_add(d).rotate_left(23).wrapping_add(a);
+            let t = b << 17;
+            let mut s = [a, b, c, d];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "exclusive range should hit every value: {seen:?}"
+        );
+        let mut hit_hi = false;
+        for _ in 0..1_000 {
+            if rng.gen_range(0..=4usize) == 4 {
+                hit_hi = true;
+            }
+        }
+        assert!(hit_hi, "inclusive range should reach its upper endpoint");
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&x));
+            let y = rng.gen_range(0.25..=0.75f64);
+            assert!((0.25..=0.75).contains(&y));
+        }
+        // Degenerate inclusive range yields the single point.
+        assert_eq!(rng.gen_range(3.0..=3.0f64), 3.0);
+        assert_eq!(rng.gen_range(9..=9usize), 9);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "p=0.25 over 10k draws: {hits}"
+        );
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (4_500..5_500).contains(&c),
+                "bucket count {c} outside tolerance"
+            );
+        }
+    }
+}
