@@ -255,6 +255,68 @@ impl Auction {
             winners,
         })
     }
+
+    /// Re-runs winner determination over a **standing bid pool** — the ranked bids of a round
+    /// whose winner set came up short (dropouts, departures, deadline misses in a dynamic MEC
+    /// deployment).
+    ///
+    /// The paper's dynamic-environment discussion (§I, §VI) motivates exactly this: nodes
+    /// "may join or leave anytime", so the aggregator must be able to recruit replacements
+    /// without re-broadcasting the scoring rule and waiting for a fresh sealed-bid phase.
+    /// Because every standing bid is already a sealed equilibrium bid for *this* round's
+    /// rule, re-running selection over the not-yet-awarded remainder is incentive-neutral:
+    /// no node can improve its outcome by withholding in the first phase, since the same
+    /// bid competes under the same rule in every wave.
+    ///
+    /// `exclude` lists nodes that must not be awarded again (prior winners — including the
+    /// ones that dropped out — and nodes that have since departed). Up to `quota`
+    /// replacements are selected from the remaining pool under the auction's own selection
+    /// and pricing rules; fewer (possibly zero) awards are returned when the pool is too
+    /// small. `ranked` must be in descending score order, as produced by
+    /// [`Auction::rank_bids`] / [`AuctionOutcome::ranked`].
+    pub fn reauction<R: Rng + ?Sized>(
+        &self,
+        ranked: &[ScoredBid],
+        exclude: &[NodeId],
+        quota: usize,
+        rng: &mut R,
+    ) -> Vec<Award> {
+        if quota == 0 {
+            return Vec::new();
+        }
+        let pool: Vec<ScoredBid> = ranked
+            .iter()
+            .filter(|b| !exclude.contains(&b.node))
+            .cloned()
+            .collect();
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let winner_indices = self.selection.select(&pool, quota, rng);
+        let best_losing_score = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !winner_indices.contains(i))
+            .map(|(_, b)| b.score)
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
+        winner_indices
+            .iter()
+            .map(|&idx| {
+                let payment = self
+                    .pricing
+                    .payment(&self.scoring, &pool, idx, best_losing_score);
+                let b = &pool[idx];
+                Award {
+                    node: b.node,
+                    quality: b.quality.clone(),
+                    score: b.score,
+                    payment,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +481,56 @@ mod tests {
                 .ask;
             assert!(w.payment >= ask - 1e-12);
         }
+    }
+
+    #[test]
+    fn reauction_refills_from_the_standing_pool() {
+        let auction = simple_auction(2);
+        let mut rng = seeded_rng(11);
+        let outcome = auction
+            .run(
+                vec![
+                    bid(0, 1.0, 0.1),
+                    bid(1, 0.9, 0.1),
+                    bid(2, 0.8, 0.1),
+                    bid(3, 0.7, 0.1),
+                ],
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(outcome.winner_ids(), vec![NodeId(0), NodeId(1)]);
+        // Node 1 dropped out: recruit one replacement, excluding both original winners.
+        let replacements = auction.reauction(
+            &outcome.ranked,
+            &[NodeId(0), NodeId(1)],
+            1,
+            &mut seeded_rng(12),
+        );
+        assert_eq!(replacements.len(), 1);
+        assert_eq!(replacements[0].node, NodeId(2));
+        // First-price: the replacement is paid its standing ask.
+        assert!((replacements[0].payment - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reauction_handles_exhausted_pools_and_zero_quota() {
+        let auction = simple_auction(1);
+        let mut rng = seeded_rng(13);
+        let outcome = auction
+            .run(vec![bid(0, 1.0, 0.1), bid(1, 0.5, 0.2)], &mut rng)
+            .unwrap();
+        // Everyone excluded: nothing to award.
+        assert!(auction
+            .reauction(&outcome.ranked, &[NodeId(0), NodeId(1)], 3, &mut rng)
+            .is_empty());
+        // Zero quota: nothing to award even with a full pool.
+        assert!(auction
+            .reauction(&outcome.ranked, &[], 0, &mut rng)
+            .is_empty());
+        // Quota larger than the remaining pool: awards are capped by the pool.
+        let all = auction.reauction(&outcome.ranked, &[NodeId(0)], 5, &mut rng);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].node, NodeId(1));
     }
 
     #[test]

@@ -13,6 +13,8 @@ use fmore_fl::config::FlConfig;
 use fmore_fl::engine::RoundEngine;
 use fmore_fl::selection::SelectionStrategy;
 use fmore_fl::trainer::FederatedTrainer;
+use fmore_mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
+use fmore_mec::dynamics::{ChurnModel, DynamicsConfig};
 use fmore_ml::dataset::TaskKind;
 use std::time::Duration;
 
@@ -51,6 +53,35 @@ fn bench_round(c: &mut Criterion) {
     group.bench_function("inline_round", |b| {
         let mut trainer = trainer_with(RoundEngine::inline());
         b.iter(|| trainer.run_round().expect("round runs"))
+    });
+
+    // The churn-capable cluster round: membership churn, fate draws, the deadline gate, and
+    // re-auction waves on top of the same pooled pipeline — what the dynamics subsystem adds
+    // over a static round.
+    group.bench_function("churn_round", |b| {
+        let mut cluster_config = ClusterConfig::fast_test();
+        cluster_config.nodes = 24;
+        cluster_config.winners_per_round = 12;
+        cluster_config.fl.clients = 24;
+        cluster_config.fl.winners_per_round = 12;
+        cluster_config.fl.partition.clients = 24;
+        cluster_config.fl.train_samples = 1_200;
+        let cluster_config = cluster_config.with_dynamics(
+            DynamicsConfig::new(
+                ChurnModel::edge_default()
+                    .with_dropout(0.2)
+                    .with_stragglers(0.2, 4.0),
+            )
+            .with_deadline(60.0),
+        );
+        let mut cluster = MecCluster::with_engine(
+            cluster_config,
+            ClusterStrategy::FMore,
+            42,
+            RoundEngine::pooled(0),
+        )
+        .expect("bench cluster config is valid");
+        b.iter(|| cluster.run_round().expect("churn round runs"))
     });
 
     group.finish();

@@ -27,7 +27,7 @@ use crate::client::EdgeClient;
 use crate::error::FlError;
 use crate::metrics::WinnerInfo;
 use fmore_auction::mechanism::Award;
-use fmore_auction::{Auction, AuctionError, EquilibriumSolver, SubmittedBid};
+use fmore_auction::{Auction, AuctionError, EquilibriumSolver, ScoredBid, SubmittedBid};
 use fmore_ml::dataset::Dataset;
 use fmore_ml::model::{Model, Sequential};
 use fmore_numerics::seeded_rng;
@@ -320,8 +320,44 @@ pub fn auction_select<R, F>(
     auction: &Auction,
     bids: Vec<SubmittedBid>,
     rng: &mut R,
-    mut map_award: F,
+    map_award: F,
 ) -> Result<(Vec<WinnerInfo>, Vec<f64>), AuctionError>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Award) -> WinnerInfo,
+{
+    let stage = auction_select_standing(auction, bids, rng, map_award)?;
+    Ok((stage.winners, stage.all_scores))
+}
+
+/// The result of the winner-determination stage when the caller also needs the **standing
+/// bid pool** — the full ranked population of the round, kept so that a dynamic round can
+/// recruit replacements through [`Auction::reauction`] without a fresh bid-collection phase.
+///
+/// The default value is the empty stage (no winners, no scores, no pool) — what a round
+/// with nobody eligible produces.
+#[derive(Debug, Clone, Default)]
+pub struct AuctionStage {
+    /// The mapped winners, in selection order.
+    pub winners: Vec<WinnerInfo>,
+    /// Every score computed this round, in rank order.
+    pub all_scores: Vec<f64>,
+    /// The full ranked bid population (descending score), valid for re-auction this round.
+    pub standing: Vec<ScoredBid>,
+}
+
+/// Like [`auction_select`], but additionally returns the ranked standing pool for dynamic
+/// rounds that may need re-auction waves.
+///
+/// # Errors
+///
+/// Propagates auction failures ([`AuctionError::NoBids`], malformed bids, invalid games).
+pub fn auction_select_standing<R, F>(
+    auction: &Auction,
+    bids: Vec<SubmittedBid>,
+    rng: &mut R,
+    mut map_award: F,
+) -> Result<AuctionStage, AuctionError>
 where
     R: Rng + ?Sized,
     F: FnMut(&Award) -> WinnerInfo,
@@ -329,7 +365,73 @@ where
     let outcome = auction.run(bids, rng)?;
     let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
     let winners = outcome.winners.iter().map(&mut map_award).collect();
-    Ok((winners, all_scores))
+    Ok(AuctionStage {
+        winners,
+        all_scores,
+        standing: outcome.ranked,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3b (dynamic rounds): the deadline gate.
+// ---------------------------------------------------------------------------
+
+/// The simulated fate of one assigned winner in a dynamic round, produced by the caller's
+/// churn and time models *before* any training work is scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipantTiming {
+    /// Position in the round's winner list.
+    pub slot: usize,
+    /// Simulated seconds until this winner's update reaches the server
+    /// ([`f64::INFINITY`] for a dropout, which never delivers).
+    pub completion_secs: f64,
+    /// Whether a straggler event slowed this winner this round.
+    pub straggler: bool,
+    /// Whether the winner vanished mid-round.
+    pub dropped_out: bool,
+}
+
+/// The deadline partition of one wave of assigned winners.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeadlineVerdict {
+    /// Slots whose update arrived within the deadline, in slot order.
+    pub survivors: Vec<usize>,
+    /// Slots that delivered late (excluded from aggregation, payment honoured).
+    pub missed: Vec<usize>,
+    /// Slots that vanished mid-round (no update, payment forfeited).
+    pub dropouts: Vec<usize>,
+    /// Simulated seconds the server spent on this wave: the slowest on-time delivery, or the
+    /// full deadline when anyone failed to deliver on time (a synchronous server cannot know
+    /// a straggler is late until the deadline expires).
+    pub wave_secs: f64,
+}
+
+/// Applies the server deadline to one wave of assigned winners (the deadline-aware stage of
+/// a dynamic round): on-time winners survive into aggregation, late winners and dropouts are
+/// excluded, and the wave's simulated duration is the slowest on-time delivery — or the full
+/// deadline whenever any assigned winner failed to deliver in time.
+///
+/// Monotone in the deadline: a larger deadline never shrinks the survivor set and never
+/// shortens the wave (pinned by the property suite).
+pub fn apply_deadline(timings: &[ParticipantTiming], deadline_secs: f64) -> DeadlineVerdict {
+    let mut verdict = DeadlineVerdict::default();
+    let mut slowest_on_time: f64 = 0.0;
+    for t in timings {
+        if t.dropped_out {
+            verdict.dropouts.push(t.slot);
+        } else if t.completion_secs <= deadline_secs {
+            verdict.survivors.push(t.slot);
+            slowest_on_time = slowest_on_time.max(t.completion_secs);
+        } else {
+            verdict.missed.push(t.slot);
+        }
+    }
+    verdict.wave_secs = if verdict.missed.is_empty() && verdict.dropouts.is_empty() {
+        slowest_on_time
+    } else {
+        deadline_secs
+    };
+    verdict
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +606,58 @@ mod tests {
     #[test]
     fn shared_pool_is_a_singleton() {
         assert!(Arc::ptr_eq(&shared_pool(), &shared_pool()));
+    }
+
+    fn timing(slot: usize, secs: f64, straggler: bool, dropped: bool) -> ParticipantTiming {
+        ParticipantTiming {
+            slot,
+            completion_secs: secs,
+            straggler,
+            dropped_out: dropped,
+        }
+    }
+
+    #[test]
+    fn deadline_partitions_survivors_late_and_dropouts() {
+        let timings = vec![
+            timing(0, 10.0, false, false),
+            timing(1, 25.0, true, false),
+            timing(2, f64::INFINITY, false, true),
+            timing(3, 5.0, false, false),
+        ];
+        let verdict = apply_deadline(&timings, 20.0);
+        assert_eq!(verdict.survivors, vec![0, 3]);
+        assert_eq!(verdict.missed, vec![1]);
+        assert_eq!(verdict.dropouts, vec![2]);
+        // Someone failed to deliver: the server waits out the full deadline.
+        assert_eq!(verdict.wave_secs, 20.0);
+    }
+
+    #[test]
+    fn deadline_wave_time_is_slowest_on_time_delivery_when_everyone_delivers() {
+        let timings = vec![timing(0, 10.0, false, false), timing(1, 14.5, true, false)];
+        let verdict = apply_deadline(&timings, 20.0);
+        assert_eq!(verdict.survivors, vec![0, 1]);
+        assert!(verdict.missed.is_empty() && verdict.dropouts.is_empty());
+        assert_eq!(verdict.wave_secs, 14.5);
+        // An empty wave costs nothing.
+        assert_eq!(apply_deadline(&[], 20.0), DeadlineVerdict::default());
+    }
+
+    #[test]
+    fn deadline_gate_is_monotone_in_the_deadline() {
+        let timings = vec![
+            timing(0, 8.0, false, false),
+            timing(1, 18.0, false, false),
+            timing(2, 30.0, true, false),
+        ];
+        let tight = apply_deadline(&timings, 10.0);
+        let loose = apply_deadline(&timings, 20.0);
+        let looser = apply_deadline(&timings, 40.0);
+        assert!(tight.survivors.len() <= loose.survivors.len());
+        assert!(loose.survivors.len() <= looser.survivors.len());
+        assert!(tight.wave_secs <= loose.wave_secs);
+        assert!(loose.wave_secs <= looser.wave_secs);
     }
 
     #[test]

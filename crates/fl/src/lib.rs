@@ -47,6 +47,6 @@ pub use client::EdgeClient;
 pub use config::FlConfig;
 pub use engine::{shared_pool, ExecutionMode, RoundEngine, WorkerPool};
 pub use error::FlError;
-pub use metrics::{RoundMetrics, TrainingHistory, WinnerInfo};
+pub use metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;
 pub use trainer::FederatedTrainer;

@@ -19,6 +19,85 @@ pub struct WinnerInfo {
     pub payment: f64,
 }
 
+/// Dynamic-environment accounting of one round: what churn did to the winner set.
+///
+/// In a static run every selected winner finishes and aggregates, so the outcome is the
+/// trivial `selected == completed` record. Under a churn model (see `fmore_mec::dynamics`)
+/// winners can vanish mid-round (**dropouts**), finish late (**stragglers**, which may then
+/// miss the server **deadline** and be excluded from aggregation), and under-quota rounds
+/// recruit **replacements** through re-auction waves over the standing bid pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundOutcome {
+    /// Total winners assigned this round, including re-auction replacements.
+    pub selected: usize,
+    /// Assigned winners whose update reached aggregation.
+    pub completed: usize,
+    /// Assigned winners that vanished mid-round; their update is lost and they forfeit
+    /// payment (work was never delivered).
+    pub dropouts: usize,
+    /// Assigned winners slowed by a straggler event this round (whether or not they still
+    /// made the deadline).
+    pub stragglers: usize,
+    /// Assigned winners that delivered their update after the server deadline; the late
+    /// update is excluded from aggregation but the payment is honoured (and wasted).
+    pub deadline_misses: usize,
+    /// Re-auction waves run to refill an under-quota winner set.
+    pub reauction_waves: usize,
+    /// Winners recruited by re-auction (a subset of `selected`).
+    pub replacements: usize,
+    /// Payment promised to winners whose update never aggregated (deadline misses pay for
+    /// discarded work).
+    pub wasted_payment: f64,
+}
+
+impl RoundOutcome {
+    /// The trivial outcome of a static round: everyone selected completes.
+    pub fn all_completed(selected: usize) -> Self {
+        Self {
+            selected,
+            completed: selected,
+            ..Self::default()
+        }
+    }
+
+    /// Fraction of assigned winners whose update reached aggregation (1.0 for an empty
+    /// round).
+    pub fn completion_rate(&self) -> f64 {
+        if self.selected == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.selected as f64
+    }
+
+    /// Element-wise sum of many per-round outcomes into run totals — the single aggregation
+    /// behind both `TrainingHistory` and `ClusterHistory` churn accounting.
+    pub fn accumulate<'a, I: IntoIterator<Item = &'a RoundOutcome>>(outcomes: I) -> RoundOutcome {
+        outcomes
+            .into_iter()
+            .fold(RoundOutcome::default(), |acc, o| RoundOutcome {
+                selected: acc.selected + o.selected,
+                completed: acc.completed + o.completed,
+                dropouts: acc.dropouts + o.dropouts,
+                stragglers: acc.stragglers + o.stragglers,
+                deadline_misses: acc.deadline_misses + o.deadline_misses,
+                reauction_waves: acc.reauction_waves + o.reauction_waves,
+                replacements: acc.replacements + o.replacements,
+                wasted_payment: acc.wasted_payment + o.wasted_payment,
+            })
+    }
+
+    /// Mean completion rate over many per-round outcomes (1.0 when there are none).
+    pub fn mean_completion_rate<'a, I: IntoIterator<Item = &'a RoundOutcome>>(outcomes: I) -> f64 {
+        let (sum, count) = outcomes
+            .into_iter()
+            .fold((0.0, 0usize), |(s, n), o| (s + o.completion_rate(), n + 1));
+        if count == 0 {
+            return 1.0;
+        }
+        sum / count as f64
+    }
+}
+
 /// Everything recorded about one federated-learning round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundMetrics {
@@ -28,11 +107,13 @@ pub struct RoundMetrics {
     pub accuracy: f64,
     /// Global-model loss on the held-out test set after aggregation.
     pub loss: f64,
-    /// The selected clients.
+    /// The selected clients whose updates reached aggregation.
     pub winners: Vec<WinnerInfo>,
     /// All scores computed in this round's auction (empty for RandFL / FixFL); used by the
     /// score-distribution analysis of Fig. 8.
     pub all_scores: Vec<f64>,
+    /// Churn accounting of the round (trivial in static runs).
+    pub outcome: RoundOutcome,
 }
 
 impl RoundMetrics {
@@ -125,6 +206,46 @@ impl TrainingHistory {
             .flat_map(|r| r.all_scores.iter().copied())
             .collect()
     }
+
+    /// Element-wise run totals of the per-round churn accounting.
+    pub fn churn_totals(&self) -> RoundOutcome {
+        RoundOutcome::accumulate(self.rounds.iter().map(|r| &r.outcome))
+    }
+
+    /// Total winners that vanished mid-round over the whole run.
+    pub fn total_dropouts(&self) -> usize {
+        self.churn_totals().dropouts
+    }
+
+    /// Total straggler events over the whole run.
+    pub fn total_stragglers(&self) -> usize {
+        self.churn_totals().stragglers
+    }
+
+    /// Total deadline misses over the whole run.
+    pub fn total_deadline_misses(&self) -> usize {
+        self.churn_totals().deadline_misses
+    }
+
+    /// Total re-auction waves over the whole run.
+    pub fn total_reauction_waves(&self) -> usize {
+        self.churn_totals().reauction_waves
+    }
+
+    /// Total winners recruited by re-auction over the whole run.
+    pub fn total_replacements(&self) -> usize {
+        self.churn_totals().replacements
+    }
+
+    /// Total payment promised for updates that never aggregated.
+    pub fn total_wasted_payment(&self) -> f64 {
+        self.churn_totals().wasted_payment
+    }
+
+    /// Mean per-round completion rate (1.0 for an empty history).
+    pub fn mean_completion_rate(&self) -> f64 {
+        RoundOutcome::mean_completion_rate(self.rounds.iter().map(|r| &r.outcome))
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +270,16 @@ mod tests {
             loss,
             winners: vec![winner(0, 1.0, 0.2, 100), winner(1, 0.8, 0.3, 50)],
             all_scores: vec![1.0, 0.8, 0.1],
+            outcome: RoundOutcome {
+                selected: 3,
+                completed: 2,
+                dropouts: 1,
+                stragglers: 1,
+                deadline_misses: 0,
+                reauction_waves: 1,
+                replacements: 1,
+                wasted_payment: 0.25,
+            },
         }
     }
 
@@ -166,9 +297,32 @@ mod tests {
             loss: 0.0,
             winners: vec![],
             all_scores: vec![],
+            outcome: RoundOutcome::default(),
         };
         assert_eq!(empty.mean_winner_score(), 0.0);
         assert_eq!(empty.mean_winner_payment(), 0.0);
+    }
+
+    #[test]
+    fn outcome_accounting_aggregates_over_the_run() {
+        let h = TrainingHistory {
+            rounds: vec![round(1, 0.3, 2.0), round(2, 0.55, 1.5)],
+        };
+        assert_eq!(h.total_dropouts(), 2);
+        assert_eq!(h.total_stragglers(), 2);
+        assert_eq!(h.total_deadline_misses(), 0);
+        assert_eq!(h.total_reauction_waves(), 2);
+        assert_eq!(h.total_replacements(), 2);
+        assert!((h.total_wasted_payment() - 0.5).abs() < 1e-12);
+        assert!((h.mean_completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Empty histories and rounds default to a perfect completion rate.
+        assert_eq!(TrainingHistory::default().mean_completion_rate(), 1.0);
+        assert_eq!(RoundOutcome::default().completion_rate(), 1.0);
+        let trivial = RoundOutcome::all_completed(5);
+        assert_eq!(trivial.selected, 5);
+        assert_eq!(trivial.completed, 5);
+        assert_eq!(trivial.completion_rate(), 1.0);
+        assert_eq!(trivial.dropouts, 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::client::EdgeClient;
 use crate::config::{FlConfig, ModelChoice};
 use crate::engine::{self, RoundEngine, TrainingJob};
 use crate::error::FlError;
-use crate::metrics::{RoundMetrics, TrainingHistory, WinnerInfo};
+use crate::metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 use crate::selection::SelectionStrategy;
 use fmore_auction::{Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, ScoringRule};
 use fmore_ml::dataset::{image_spec_for, Dataset, SyntheticTextSpec, TaskKind};
@@ -323,11 +323,28 @@ impl FederatedTrainer {
 
     /// Runs the task-assignment / local-training / global-aggregation steps for an externally
     /// determined winner set (used by the MEC cluster simulator, which performs its own
-    /// three-dimensional auction before delegating the learning to this trainer).
+    /// three-dimensional auction before delegating the learning to this trainer). The round's
+    /// churn accounting is the trivial static one: every winner completes.
     pub fn run_round_with(
         &mut self,
         winners: Vec<WinnerInfo>,
         all_scores: Vec<f64>,
+    ) -> RoundMetrics {
+        let outcome = RoundOutcome::all_completed(winners.len());
+        self.run_round_with_outcome(winners, all_scores, outcome)
+    }
+
+    /// Like [`FederatedTrainer::run_round_with`], but attaches a caller-supplied
+    /// [`RoundOutcome`] — the entry point for dynamic drivers whose churn model dropped,
+    /// delayed, or replaced winners before the surviving set reaches local training.
+    ///
+    /// `winners` must already be the post-deadline survivor set: only their updates are
+    /// trained and aggregated.
+    pub fn run_round_with_outcome(
+        &mut self,
+        winners: Vec<WinnerInfo>,
+        all_scores: Vec<f64>,
+        outcome: RoundOutcome,
     ) -> RoundMetrics {
         self.round += 1;
         let jobs = self.training_jobs(&winners);
@@ -342,6 +359,7 @@ impl FederatedTrainer {
             loss: eval.loss,
             winners,
             all_scores,
+            outcome,
         }
     }
 

@@ -9,6 +9,7 @@
 //! cluster-specific parts left are the three-dimensional resource model and the wall-clock
 //! accounting.
 
+use crate::dynamics::{ChurnState, DynamicsConfig};
 use crate::error::MecError;
 use crate::ledger::PaymentLedger;
 use crate::node::{MecNode, ResourceRanges};
@@ -18,8 +19,8 @@ use fmore_auction::{
     SelectionRule,
 };
 use fmore_fl::config::{FlConfig, ModelChoice};
-use fmore_fl::engine::{self, RoundEngine};
-use fmore_fl::metrics::{RoundMetrics, WinnerInfo};
+use fmore_fl::engine::{self, apply_deadline, AuctionStage, ParticipantTiming, RoundEngine};
+use fmore_fl::metrics::{RoundMetrics, RoundOutcome, WinnerInfo};
 use fmore_fl::selection::SelectionStrategy;
 use fmore_fl::trainer::FederatedTrainer;
 use fmore_ml::dataset::TaskKind;
@@ -65,6 +66,8 @@ pub struct ClusterConfig {
     pub cost_coefficients: Vec<f64>,
     /// Wall-clock time model.
     pub time_model: TimeModel,
+    /// Churn + deadline dynamics; `None` runs the static loop (every winner finishes).
+    pub dynamics: Option<DynamicsConfig>,
 }
 
 impl ClusterConfig {
@@ -88,6 +91,7 @@ impl ClusterConfig {
             scoring_weights: vec![0.4, 0.3, 0.3],
             cost_coefficients: vec![0.3, 0.3, 0.4],
             time_model: TimeModel::paper_cluster(),
+            dynamics: None,
         }
     }
 
@@ -109,7 +113,16 @@ impl ClusterConfig {
             scoring_weights: vec![0.4, 0.3, 0.3],
             cost_coefficients: vec![0.3, 0.3, 0.4],
             time_model: TimeModel::paper_cluster(),
+            dynamics: None,
         }
+    }
+
+    /// Returns the configuration with churn/deadline dynamics attached — the switch that
+    /// turns the static round loop into the dynamic one described in
+    /// [`crate::dynamics`].
+    pub fn with_dynamics(mut self, dynamics: DynamicsConfig) -> Self {
+        self.dynamics = Some(dynamics);
+        self
     }
 
     /// Checks internal consistency.
@@ -140,6 +153,9 @@ impl ClusterConfig {
         }
         if !self.resources.is_valid() {
             return Err(MecError::InvalidConfig("invalid resource ranges".into()));
+        }
+        if let Some(dynamics) = &self.dynamics {
+            dynamics.validate()?;
         }
         self.fl.validate()?;
         Ok(())
@@ -198,6 +214,47 @@ impl ClusterHistory {
             .find(|r| r.learning.accuracy >= target)
             .map(|r| r.cumulative_secs)
     }
+
+    /// Element-wise run totals of the per-round churn accounting (all zeros for static
+    /// runs).
+    pub fn churn_totals(&self) -> RoundOutcome {
+        RoundOutcome::accumulate(self.rounds.iter().map(|r| &r.learning.outcome))
+    }
+
+    /// Total mid-round dropouts over the run (0 for static runs).
+    pub fn total_dropouts(&self) -> usize {
+        self.churn_totals().dropouts
+    }
+
+    /// Total straggler events over the run.
+    pub fn total_stragglers(&self) -> usize {
+        self.churn_totals().stragglers
+    }
+
+    /// Total deadline misses over the run.
+    pub fn total_deadline_misses(&self) -> usize {
+        self.churn_totals().deadline_misses
+    }
+
+    /// Total re-auction waves over the run.
+    pub fn total_reauction_waves(&self) -> usize {
+        self.churn_totals().reauction_waves
+    }
+
+    /// Total winners recruited by re-auction over the run.
+    pub fn total_replacements(&self) -> usize {
+        self.churn_totals().replacements
+    }
+
+    /// Total payment promised for updates that never aggregated.
+    pub fn total_wasted_payment(&self) -> f64 {
+        self.churn_totals().wasted_payment
+    }
+
+    /// Mean per-round completion rate (1.0 for static runs and empty histories).
+    pub fn mean_completion_rate(&self) -> f64 {
+        RoundOutcome::mean_completion_rate(self.rounds.iter().map(|r| &r.learning.outcome))
+    }
 }
 
 /// The simulated MEC deployment.
@@ -209,6 +266,7 @@ pub struct MecCluster {
     solver: Option<EquilibriumSolver>,
     auction: Option<Auction>,
     ledger: PaymentLedger,
+    churn: Option<ChurnState>,
     rng: StdRng,
     elapsed_secs: f64,
 }
@@ -306,6 +364,13 @@ impl MecCluster {
             ClusterStrategy::RandFL => (None, None),
         };
 
+        // The churn stream is seeded independently of the node, trainer, and auction RNGs,
+        // so attaching a zero-probability churn model perturbs nothing else.
+        let churn = config
+            .dynamics
+            .as_ref()
+            .map(|_| ChurnState::new(config.nodes, derive_seed(seed, 0x3000)));
+
         Ok(Self {
             config,
             strategy,
@@ -314,9 +379,15 @@ impl MecCluster {
             solver,
             auction,
             ledger: PaymentLedger::new(),
+            churn,
             rng,
             elapsed_secs: 0.0,
         })
+    }
+
+    /// The churn state, if dynamics are enabled.
+    pub fn churn(&self) -> Option<&ChurnState> {
+        self.churn.as_ref()
     }
 
     /// The nodes of the cluster.
@@ -353,23 +424,36 @@ impl MecCluster {
     }
 
     /// Runs one cluster round: resource refresh, selection (auction or random), local
-    /// training, aggregation, and time accounting.
+    /// training, aggregation, and time accounting. With [`ClusterConfig::dynamics`] attached
+    /// the round is churn-capable: nodes depart/arrive between rounds, winners can drop out
+    /// or straggle past the server deadline, and under-quota rounds refill through
+    /// re-auction waves over the standing bid pool.
     ///
     /// # Errors
     ///
     /// Propagates auction and training failures.
     pub fn run_round(&mut self) -> Result<ClusterRound, MecError> {
-        for node in &mut self.nodes {
-            node.refresh();
+        match self.config.dynamics {
+            Some(dynamics) => self.run_dynamic_round(dynamics),
+            None => self.run_static_round(),
         }
-        self.trainer.refresh_clients();
+    }
 
+    /// Stage 1–2 of any round: winner determination over the `eligible` node indices — an
+    /// FMore auction over their capacity-capped equilibrium bids (keeping the ranked
+    /// population as the round's standing pool) or a uniform RandFL draw. Shared by the
+    /// static and dynamic loops so their selection semantics can never drift apart.
+    fn select_winners(&mut self, eligible: &[usize]) -> Result<AuctionStage, MecError> {
         let maxima = self.config.resources.maxima();
-        let (winners, all_scores) = match self.strategy {
+        let quota = self.config.winners_per_round.min(eligible.len());
+        if quota == 0 {
+            return Ok(AuctionStage::default());
+        }
+        match self.strategy {
             ClusterStrategy::FMore => {
-                // Bid collection: one capacity-capped equilibrium bid per node, then the
-                // shared batched auction stage — the same pipeline the trainer runs, with the
-                // cluster's own award-to-winner mapping plugged in.
+                // Bid collection: one capacity-capped equilibrium bid per eligible node,
+                // then the shared batched auction stage — the same pipeline the trainer
+                // runs, with the cluster's own award-to-winner mapping plugged in.
                 let solver = self
                     .solver
                     .as_ref()
@@ -378,46 +462,63 @@ impl MecCluster {
                     .auction
                     .as_ref()
                     .expect("FMore cluster always has an auction");
-                let mut bids = Vec::with_capacity(self.nodes.len());
-                for node in &self.nodes {
+                let mut bids = Vec::with_capacity(eligible.len());
+                for &idx in eligible {
+                    let node = &self.nodes[idx];
                     let capacity = node.quality(&maxima);
                     bids.push(solver.capped_bid(node.id(), node.theta(), capacity.as_slice())?);
                 }
                 let nodes = &self.nodes;
                 let clients = self.trainer.clients();
-                engine::auction_select(auction, bids, &mut self.rng, |award| {
-                    winner_from_award(
-                        nodes,
-                        clients,
-                        maxima.data_size,
-                        award.node,
-                        award.score,
-                        award.payment,
-                    )
-                })?
+                let stage =
+                    engine::auction_select_standing(auction, bids, &mut self.rng, |award| {
+                        winner_from_award(
+                            nodes,
+                            clients,
+                            maxima.data_size,
+                            award.node,
+                            award.score,
+                            award.payment,
+                        )
+                    })?;
+                Ok(stage)
             }
             ClusterStrategy::RandFL => {
-                let selected = sample_indices(
-                    self.nodes.len(),
-                    self.config.winners_per_round,
-                    &mut self.rng,
-                );
-                let winners: Vec<WinnerInfo> = selected
+                let picked = sample_indices(eligible.len(), quota, &mut self.rng);
+                let winners: Vec<WinnerInfo> = picked
                     .into_iter()
-                    .map(|idx| {
+                    .map(|i| {
                         winner_from_award(
                             &self.nodes,
                             self.trainer.clients(),
                             maxima.data_size,
-                            NodeId(idx as u64),
+                            NodeId(eligible[i] as u64),
                             0.0,
                             0.0,
                         )
                     })
                     .collect();
-                (winners, Vec::new())
+                Ok(AuctionStage {
+                    winners,
+                    ..AuctionStage::default()
+                })
             }
-        };
+        }
+    }
+
+    /// The static round loop: every selected winner finishes and aggregates.
+    fn run_static_round(&mut self) -> Result<ClusterRound, MecError> {
+        for node in &mut self.nodes {
+            node.refresh();
+        }
+        self.trainer.refresh_clients();
+
+        let all_nodes: Vec<usize> = (0..self.nodes.len()).collect();
+        let AuctionStage {
+            winners,
+            all_scores,
+            ..
+        } = self.select_winners(&all_nodes)?;
 
         // Wall-clock accounting: the declared data size of each winner trains on its node.
         let participants: Vec<(crate::node::ResourceProfile, f64)> = winners
@@ -440,6 +541,184 @@ impl MecCluster {
         }
 
         let learning = self.trainer.run_round_with(winners, all_scores);
+        Ok(ClusterRound {
+            learning,
+            round_secs,
+            cumulative_secs: self.elapsed_secs,
+        })
+    }
+
+    /// The churn-capable round loop (see [`crate::dynamics`] for the semantics):
+    ///
+    /// 1. membership churn (departures/arrivals), then resource refresh and bid collection
+    ///    from the **present** nodes only;
+    /// 2. winner determination (auction or random) with the ranked population kept as the
+    ///    round's standing bid pool;
+    /// 3. per-winner fate draws (dropout, straggler, resource jitter) and the deadline gate
+    ///    of [`fmore_fl::engine::apply_deadline`];
+    /// 4. re-auction waves from the standing pool while the surviving set is under quota;
+    /// 5. training and aggregation of the survivors, with the full [`RoundOutcome`]
+    ///    accounting attached.
+    ///
+    /// Every draw happens on the control thread in node/slot order, so the result is
+    /// bit-identical across execution engines and pool sizes.
+    fn run_dynamic_round(&mut self, dynamics: DynamicsConfig) -> Result<ClusterRound, MecError> {
+        for node in &mut self.nodes {
+            node.refresh();
+        }
+        self.trainer.refresh_clients();
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("dynamics always come with churn state");
+        churn.begin_round(&dynamics.churn);
+        let present = churn.present_indices();
+
+        let maxima = self.config.resources.maxima();
+        let quota = self.config.winners_per_round.min(present.len());
+        let mut outcome = RoundOutcome::default();
+        let mut round_secs = 0.0;
+
+        // Stage 1-2: selection over the present population, keeping the ranked pool.
+        let AuctionStage {
+            winners: mut wave_winners,
+            all_scores,
+            standing,
+        } = self.select_winners(&present)?;
+
+        // Stages 3-4: fate draws, deadline gate, re-auction waves.
+        let mut assigned: Vec<NodeId> = wave_winners.iter().map(|w| w.node).collect();
+        let mut survivors: Vec<WinnerInfo> = Vec::new();
+        while !wave_winners.is_empty() {
+            outcome.selected += wave_winners.len();
+            let churn = self
+                .churn
+                .as_mut()
+                .expect("dynamics always come with churn state");
+            let timings: Vec<ParticipantTiming> = wave_winners
+                .iter()
+                .enumerate()
+                .map(|(slot, w)| {
+                    let fate = churn.draw_fate(&dynamics.churn);
+                    let node = &self.nodes[w.client];
+                    let mut profile = node.current();
+                    profile.cpu_cores = (profile.cpu_cores * fate.resource_factor).max(0.25);
+                    profile.bandwidth_mbps *= fate.resource_factor;
+                    let mut secs = self.config.time_model.node_round_secs(
+                        &profile,
+                        node.current().data_size,
+                        self.config.fl.local_epochs,
+                    );
+                    if fate.straggler {
+                        outcome.stragglers += 1;
+                        secs *= dynamics.churn.straggler_slowdown;
+                    }
+                    if fate.dropped_out {
+                        churn.mark_departed(w.client);
+                    }
+                    ParticipantTiming {
+                        slot,
+                        completion_secs: if fate.dropped_out {
+                            f64::INFINITY
+                        } else {
+                            secs
+                        },
+                        straggler: fate.straggler,
+                        dropped_out: fate.dropped_out,
+                    }
+                })
+                .collect();
+
+            let verdict = apply_deadline(&timings, dynamics.deadline_secs);
+            round_secs += verdict.wave_secs;
+            outcome.dropouts += verdict.dropouts.len();
+            outcome.deadline_misses += verdict.missed.len();
+            // Late deliveries are paid for discarded work; dropouts forfeit payment.
+            for &slot in &verdict.missed {
+                let w = &wave_winners[slot];
+                outcome.wasted_payment += w.payment;
+                if w.payment > 0.0 {
+                    self.ledger.record(w.node, w.payment);
+                }
+            }
+            for &slot in &verdict.survivors {
+                let w = &wave_winners[slot];
+                if w.payment > 0.0 {
+                    self.ledger.record(w.node, w.payment);
+                }
+            }
+            survivors.extend(verdict.survivors.iter().map(|&s| wave_winners[s].clone()));
+
+            if survivors.len() >= quota || outcome.reauction_waves >= dynamics.max_reauction_waves {
+                break;
+            }
+            let need = quota - survivors.len();
+            let replacements: Vec<WinnerInfo> = match self.strategy {
+                ClusterStrategy::FMore => {
+                    let auction = self
+                        .auction
+                        .as_ref()
+                        .expect("FMore cluster always has an auction");
+                    let awards = auction.reauction(&standing, &assigned, need, &mut self.rng);
+                    let nodes = &self.nodes;
+                    let clients = self.trainer.clients();
+                    awards
+                        .iter()
+                        .map(|award| {
+                            winner_from_award(
+                                nodes,
+                                clients,
+                                maxima.data_size,
+                                award.node,
+                                award.score,
+                                award.payment,
+                            )
+                        })
+                        .collect()
+                }
+                ClusterStrategy::RandFL => {
+                    let churn = self
+                        .churn
+                        .as_ref()
+                        .expect("dynamics always come with churn state");
+                    let candidates: Vec<usize> = churn
+                        .present_indices()
+                        .into_iter()
+                        .filter(|&i| !assigned.contains(&NodeId(i as u64)))
+                        .collect();
+                    let picked = sample_indices(candidates.len(), need, &mut self.rng);
+                    picked
+                        .into_iter()
+                        .map(|i| {
+                            winner_from_award(
+                                &self.nodes,
+                                self.trainer.clients(),
+                                maxima.data_size,
+                                NodeId(candidates[i] as u64),
+                                0.0,
+                                0.0,
+                            )
+                        })
+                        .collect()
+                }
+            };
+            if replacements.is_empty() {
+                break;
+            }
+            outcome.reauction_waves += 1;
+            outcome.replacements += replacements.len();
+            assigned.extend(replacements.iter().map(|w| w.node));
+            wave_winners = replacements;
+        }
+        outcome.completed = survivors.len();
+
+        round_secs += self.config.time_model.aggregation_overhead_secs;
+        self.elapsed_secs += round_secs;
+
+        // Stage 5: the surviving updates train and aggregate.
+        let learning = self
+            .trainer
+            .run_round_with_outcome(survivors, all_scores, outcome);
         Ok(ClusterRound {
             learning,
             round_secs,
@@ -598,5 +877,128 @@ mod tests {
     fn strategy_names() {
         assert_eq!(ClusterStrategy::FMore.name(), "FMore");
         assert_eq!(ClusterStrategy::RandFL.name(), "RandFL");
+    }
+
+    use crate::dynamics::ChurnModel;
+
+    #[test]
+    fn stable_dynamics_with_generous_deadline_matches_static_run() {
+        // The dynamic loop with a zero-probability churn model and an unmissable deadline is
+        // the static loop: same auction draws, same winners, same times, same history.
+        for strategy in [ClusterStrategy::FMore, ClusterStrategy::RandFL] {
+            let static_run = {
+                let mut c = MecCluster::new(ClusterConfig::fast_test(), strategy, 7).unwrap();
+                c.run(3).unwrap()
+            };
+            let dynamic_run = {
+                let config = ClusterConfig::fast_test()
+                    .with_dynamics(DynamicsConfig::new(ChurnModel::stable()).with_deadline(1e9));
+                let mut c = MecCluster::new(config, strategy, 7).unwrap();
+                c.run(3).unwrap()
+            };
+            assert_eq!(
+                static_run,
+                dynamic_run,
+                "{}: stable dynamics must reproduce the static history",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn certain_dropouts_forfeit_payment_and_empty_the_round() {
+        let config = ClusterConfig::fast_test().with_dynamics(
+            DynamicsConfig::new(ChurnModel::stable().with_dropout(1.0))
+                .with_deadline(1e9)
+                .with_reauction_waves(2),
+        );
+        let mut cluster = MecCluster::new(config, ClusterStrategy::FMore, 5).unwrap();
+        let round = cluster.run_round().unwrap();
+        let outcome = &round.learning.outcome;
+        assert_eq!(outcome.completed, 0);
+        assert_eq!(outcome.dropouts, outcome.selected);
+        assert!(outcome.selected >= 3, "re-auction waves kept recruiting");
+        assert!(outcome.reauction_waves >= 1);
+        assert_eq!(outcome.replacements, outcome.selected - 3);
+        // Dropouts forfeit payment: nothing disbursed, nothing wasted.
+        assert_eq!(outcome.wasted_payment, 0.0);
+        assert_eq!(cluster.ledger().total(), 0.0);
+        assert!(round.learning.winners.is_empty());
+        // Each failed wave costs the full deadline window.
+        assert!(round.round_secs >= 1e9);
+    }
+
+    #[test]
+    fn certain_stragglers_missing_the_deadline_waste_their_payments() {
+        let config = ClusterConfig::fast_test().with_dynamics(
+            DynamicsConfig::new(ChurnModel::stable().with_stragglers(1.0, 1e9))
+                .with_deadline(30.0)
+                .with_reauction_waves(1),
+        );
+        let mut cluster = MecCluster::new(config, ClusterStrategy::FMore, 5).unwrap();
+        let round = cluster.run_round().unwrap();
+        let outcome = &round.learning.outcome;
+        assert_eq!(outcome.completed, 0);
+        assert_eq!(outcome.stragglers, outcome.selected);
+        assert_eq!(outcome.deadline_misses, outcome.selected);
+        // Late work is paid for and wasted — the ledger and the waste account agree.
+        assert!(outcome.wasted_payment > 0.0);
+        assert!((cluster.ledger().total() - outcome.wasted_payment).abs() < 1e-9);
+        assert_eq!(round.learning.winners.len(), 0);
+    }
+
+    #[test]
+    fn dynamic_histories_expose_churn_accounting() {
+        let config = ClusterConfig::fast_test().with_dynamics(
+            DynamicsConfig::new(ChurnModel::edge_default().with_dropout(0.5)).with_deadline(120.0),
+        );
+        let mut cluster = MecCluster::new(config, ClusterStrategy::FMore, 9).unwrap();
+        let history = cluster.run(4).unwrap();
+        assert_eq!(history.rounds.len(), 4);
+        assert!(
+            history.total_dropouts() > 0,
+            "dropout rate 0.5 over 4 rounds"
+        );
+        assert!(history.mean_completion_rate() < 1.0);
+        assert!(history.mean_completion_rate() >= 0.0);
+        let totals = [
+            history.total_stragglers(),
+            history.total_deadline_misses(),
+            history.total_reauction_waves(),
+            history.total_replacements(),
+        ];
+        assert!(totals.iter().all(|&t| t < 1000));
+        assert!(history.total_wasted_payment() >= 0.0);
+        assert!(cluster.churn().is_some());
+        // Static clusters report trivial accounting.
+        let mut static_cluster =
+            MecCluster::new(ClusterConfig::fast_test(), ClusterStrategy::FMore, 9).unwrap();
+        let static_history = static_cluster.run(2).unwrap();
+        assert_eq!(static_history.total_dropouts(), 0);
+        assert_eq!(static_history.mean_completion_rate(), 1.0);
+        assert!(static_cluster.churn().is_none());
+    }
+
+    #[test]
+    fn dynamic_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let config = ClusterConfig::fast_test()
+                .with_dynamics(DynamicsConfig::new(ChurnModel::edge_default()).with_deadline(90.0));
+            let mut c = MecCluster::new(config, ClusterStrategy::FMore, seed).unwrap();
+            c.run(3).unwrap()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn invalid_dynamics_are_rejected_at_construction() {
+        let config = ClusterConfig::fast_test()
+            .with_dynamics(DynamicsConfig::new(ChurnModel::stable()).with_deadline(-1.0));
+        assert!(MecCluster::new(config, ClusterStrategy::FMore, 1).is_err());
+        let mut bad_churn = ChurnModel::stable();
+        bad_churn.dropout_prob = 2.0;
+        let config = ClusterConfig::fast_test().with_dynamics(DynamicsConfig::new(bad_churn));
+        assert!(config.validate().is_err());
     }
 }

@@ -9,9 +9,13 @@
 //! * [`node`] — edge nodes with dynamic per-round resource draws and a private cost θ,
 //! * [`time_model`] — analytic computation- and communication-time models calibrated to the
 //!   paper's hardware class, producing per-round wall-clock times,
+//! * [`dynamics`] — the churn layer of a *dynamic* MEC environment (§I/§VI): seeded
+//!   arrival/departure processes, mid-round dropouts, stragglers, resource jitter, and the
+//!   server-deadline / re-auction semantics that make the static round loop churn-capable,
 //! * [`cluster`] — the full deployment: a three-dimensional FMore auction (or RandFL) per
 //!   round, delegation of the actual learning to [`fmore_fl::FederatedTrainer`], and
-//!   accumulation of simulated training time,
+//!   accumulation of simulated training time (including deadline waits and re-auction waves
+//!   when dynamics are enabled),
 //! * [`ledger`] — per-node payment accounting over the run.
 //!
 //! # Example
@@ -31,12 +35,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod dynamics;
 pub mod error;
 pub mod ledger;
 pub mod node;
 pub mod time_model;
 
 pub use cluster::{ClusterConfig, ClusterHistory, ClusterRound, ClusterStrategy, MecCluster};
+pub use dynamics::{ChurnModel, ChurnState, DynamicsConfig, MembershipChange, ParticipantFate};
 pub use error::MecError;
 pub use ledger::PaymentLedger;
 pub use node::{MecNode, ResourceProfile, ResourceRanges};

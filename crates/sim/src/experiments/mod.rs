@@ -4,6 +4,7 @@
 
 pub mod accuracy;
 pub mod cluster;
+pub mod dynamics;
 pub mod headline;
 pub mod impact_k;
 pub mod impact_n;

@@ -8,7 +8,9 @@
 //! driver code.
 
 use crate::error::SimError;
-use crate::experiments::{accuracy, cluster, headline, impact_k, impact_n, impact_psi, scores};
+use crate::experiments::{
+    accuracy, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scores,
+};
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
 use fmore_ml::dataset::TaskKind;
@@ -186,6 +188,46 @@ fn run_headline(runner: &ScenarioRunner, fidelity: Fidelity) -> Result<Experimen
     Ok(headline_report(&figure, &cluster_figure, fidelity))
 }
 
+fn dynamics_config(fidelity: Fidelity) -> dynamics::DynamicsExperimentConfig {
+    match fidelity {
+        Fidelity::Quick => dynamics::DynamicsExperimentConfig::quick(),
+        Fidelity::Paper => dynamics::DynamicsExperimentConfig::paper(),
+    }
+}
+
+fn run_churn_dropout(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let sweep = dynamics::run_dropout_sweep(runner, &dynamics_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "churn-dropout",
+        tables: vec![sweep.to_table()],
+    })
+}
+
+fn run_churn_time(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let curves = dynamics::run_churn_curves(runner, &dynamics_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "churn-time",
+        tables: vec![curves.to_table()],
+    })
+}
+
+fn run_churn_waste(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let sweep = dynamics::run_waste_sweep(runner, &dynamics_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "churn-waste",
+        tables: vec![sweep.to_table()],
+    })
+}
+
 /// Every experiment of the paper's evaluation, in figure order.
 pub const REGISTRY: &[ExperimentDef] = &[
     ExperimentDef {
@@ -229,6 +271,24 @@ pub const REGISTRY: &[ExperimentDef] = &[
         figure: "SS I / SS V text",
         summary: "headline round-reduction and accuracy-improvement percentages",
         run: run_headline,
+    },
+    ExperimentDef {
+        name: "churn-dropout",
+        figure: "new (SS I / SS VI dynamics)",
+        summary: "final accuracy and time-to-accuracy as the winner dropout rate grows",
+        run: run_churn_dropout,
+    },
+    ExperimentDef {
+        name: "churn-time",
+        figure: "Figs. 12-13 under churn",
+        summary: "accuracy and cumulative time on the cluster under a dynamic environment",
+        run: run_churn_time,
+    },
+    ExperimentDef {
+        name: "churn-waste",
+        figure: "new (SS I / SS VI dynamics)",
+        summary: "payment waste and deadline misses as the straggler rate grows",
+        run: run_churn_waste,
     },
 ];
 
@@ -275,8 +335,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_seven_experiments() {
-        assert_eq!(REGISTRY.len(), 7);
+    fn registry_lists_all_ten_experiments() {
+        assert_eq!(REGISTRY.len(), 10);
         let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
         for expected in [
             "accuracy",
@@ -286,6 +346,9 @@ mod tests {
             "impact-psi",
             "cluster",
             "headline",
+            "churn-dropout",
+            "churn-time",
+            "churn-waste",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -9,8 +9,9 @@
 //!   (sweep points, scheme comparisons) running in parallel;
 //! * [`experiments`] — one thin presentation module per paper figure, each of which declares
 //!   specs, hands them to the runner, and formats the returned histories;
-//! * [`experiments::registry`] — the declarative catalogue of all seven experiments, so
-//!   drivers iterate the registry instead of hard-coding module calls.
+//! * [`experiments::registry`] — the declarative catalogue of every experiment (the seven
+//!   paper figures plus the dynamic-MEC robustness suite), so drivers iterate the registry
+//!   instead of hard-coding module calls.
 //!
 //! | Module | Paper figure | What it reports |
 //! |---|---|---|
@@ -21,6 +22,7 @@
 //! | [`experiments::impact_psi`] | Fig. 11 | training speed and winner-rank spread as ψ varies |
 //! | [`experiments::cluster`] | Figs. 12–13 | accuracy and cumulative time on the simulated 32-node cluster |
 //! | [`experiments::headline`] | §I / §V text | the headline round-reduction and accuracy-improvement percentages |
+//! | [`experiments::dynamics`] | §I / §VI dynamics | churn robustness: dropout sweep, curves under churn, payment waste |
 //!
 //! Every experiment has a `quick()` configuration (seconds, used by tests and CI) and a
 //! `paper()` configuration (the full parameters of Section V). The stand-alone auction games

@@ -20,6 +20,7 @@ use fmore_fl::selection::SelectionStrategy;
 use fmore_fl::trainer::FederatedTrainer;
 use fmore_fl::FlConfig;
 use fmore_mec::cluster::{ClusterConfig, ClusterHistory, ClusterStrategy, MecCluster};
+use fmore_mec::dynamics::DynamicsConfig;
 use std::sync::Arc;
 
 /// A declarative description of one federated-learning run.
@@ -127,6 +128,26 @@ impl ClusterScenarioSpec {
             rounds,
             seed,
         }
+    }
+
+    /// Returns the spec with churn/deadline dynamics attached (see
+    /// [`fmore_mec::dynamics`]) — the knob that turns a static cluster scenario into a
+    /// dynamic-MEC one.
+    pub fn with_dynamics(mut self, dynamics: DynamicsConfig) -> Self {
+        self.cluster.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Returns the spec with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the spec relabelled.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 }
 
@@ -384,6 +405,30 @@ mod tests {
         assert_eq!(outcomes[0].history.rounds.len(), 2);
         // Parallel matches sequential.
         assert_eq!(outcomes[0], runner.run_cluster(&specs[0]).unwrap());
+    }
+
+    #[test]
+    fn cluster_spec_dynamics_knob_enables_churn() {
+        use fmore_mec::cluster::ClusterConfig;
+        use fmore_mec::dynamics::{ChurnModel, DynamicsConfig};
+        let spec = ClusterScenarioSpec::new(
+            "dynamic",
+            ClusterConfig::fast_test(),
+            ClusterStrategy::FMore,
+            2,
+            44,
+        )
+        .with_dynamics(DynamicsConfig::new(ChurnModel::edge_default()).with_deadline(90.0))
+        .with_seed(45)
+        .with_label("churny");
+        assert!(spec.cluster.dynamics.is_some());
+        assert_eq!(spec.seed, 45);
+        assert_eq!(spec.label, "churny");
+        let outcome = ScenarioRunner::new().run_cluster(&spec).unwrap();
+        assert_eq!(outcome.history.rounds.len(), 2);
+        // Pool size does not change a dynamic outcome either.
+        let one = ScenarioRunner::with_threads(1).run_cluster(&spec).unwrap();
+        assert_eq!(outcome, one);
     }
 
     #[test]

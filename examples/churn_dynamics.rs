@@ -1,0 +1,28 @@
+//! Runs the dynamic-MEC robustness experiments: the dropout sweep, the Figs. 12–13
+//! comparison under churn, and the straggler/payment-waste sweep — all through the
+//! experiment registry on the shared worker pool.
+//!
+//! ```bash
+//! cargo run --release --example churn_dynamics [quick|paper]
+//! ```
+//!
+//! `quick` (the default) finishes in seconds; `paper` runs the 31-node cluster over 20
+//! rounds per scenario.
+
+use fmore::sim::experiments::registry::{self, Fidelity};
+use fmore::sim::ScenarioRunner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Fidelity::Paper,
+        _ => Fidelity::Quick,
+    };
+    let runner = ScenarioRunner::new();
+    for name in ["churn-dropout", "churn-time", "churn-waste"] {
+        let def = registry::find(name)?;
+        let report = def.run(&runner, fidelity)?;
+        println!("## {} ({})\n", def.name, def.figure);
+        println!("{}\n", report.to_markdown());
+    }
+    Ok(())
+}

@@ -7,13 +7,14 @@
 //! from `(run seed, round, client)`, so thread scheduling can never leak into the output.
 
 use fmore::fl::config::FlConfig;
-use fmore::fl::engine::RoundEngine;
+use fmore::fl::engine::{RoundEngine, Task, WorkerPool};
 use fmore::fl::metrics::TrainingHistory;
 use fmore::fl::selection::SelectionStrategy;
 use fmore::fl::trainer::FederatedTrainer;
 use fmore::mec::cluster::{ClusterConfig, ClusterStrategy, MecCluster};
+use fmore::mec::dynamics::{ChurnModel, DynamicsConfig};
 use fmore::ml::dataset::TaskKind;
-use fmore::sim::{ScenarioRunner, ScenarioSpec};
+use fmore::sim::{ClusterScenarioSpec, ScenarioRunner, ScenarioSpec};
 
 const ROUNDS: usize = 3;
 const SEED: u64 = 2024;
@@ -120,4 +121,137 @@ fn cluster_is_deterministic_across_engines() {
     assert_eq!(inline, run(RoundEngine::pooled(1)));
     assert_eq!(inline, run(RoundEngine::pooled(4)));
     assert_eq!(inline, run(RoundEngine::spawn_per_round()));
+}
+
+/// The churn-capable cluster inherits the full guarantee: dropouts, stragglers, deadline
+/// misses, and re-auction waves are drawn on the control thread, so a dynamic run is
+/// bit-identical across inline, spawn-per-round, and 1-vs-N-thread pooled execution — for
+/// both schemes.
+#[test]
+fn dynamic_cluster_is_deterministic_across_engines() {
+    let dynamics = DynamicsConfig::new(
+        ChurnModel::edge_default()
+            .with_dropout(0.3)
+            .with_stragglers(0.3, 5.0),
+    )
+    .with_deadline(70.0);
+    for strategy in [ClusterStrategy::FMore, ClusterStrategy::RandFL] {
+        let run = |engine: RoundEngine| {
+            let config = ClusterConfig::fast_test().with_dynamics(dynamics);
+            let mut cluster = MecCluster::with_engine(config, strategy, SEED, engine)
+                .expect("dynamic cluster config is valid");
+            cluster.run(ROUNDS).expect("dynamic cluster runs")
+        };
+        let inline = run(RoundEngine::inline());
+        assert_eq!(inline, run(RoundEngine::pooled(1)), "{strategy:?}");
+        assert_eq!(inline, run(RoundEngine::pooled(4)), "{strategy:?}");
+        assert_eq!(inline, run(RoundEngine::spawn_per_round()), "{strategy:?}");
+        // Churn actually fired — the guarantee is not vacuous.
+        assert!(
+            inline.total_dropouts() + inline.total_stragglers() > 0,
+            "{strategy:?}: churn model produced no events"
+        );
+    }
+}
+
+/// The registry-facing path of the acceptance criterion: a dropout-sweep scenario pair runs
+/// bit-identically through 1-thread and N-thread scenario runners.
+#[test]
+fn dropout_sweep_scenarios_agree_across_runner_pool_sizes() {
+    let dynamics = DynamicsConfig::new(ChurnModel::stable().with_dropout(0.5)).with_deadline(60.0);
+    let specs: Vec<ClusterScenarioSpec> = [ClusterStrategy::FMore, ClusterStrategy::RandFL]
+        .into_iter()
+        .map(|strategy| {
+            ClusterScenarioSpec::new(
+                strategy.name(),
+                ClusterConfig::fast_test(),
+                strategy,
+                ROUNDS,
+                SEED,
+            )
+            .with_dynamics(dynamics)
+        })
+        .collect();
+    let one = ScenarioRunner::with_threads(1)
+        .run_clusters(&specs)
+        .unwrap();
+    let many = ScenarioRunner::with_threads(4)
+        .run_clusters(&specs)
+        .unwrap();
+    assert_eq!(one, many);
+    let sequential: Vec<_> = specs
+        .iter()
+        .map(|s| ScenarioRunner::with_threads(2).run_cluster(s).unwrap())
+        .collect();
+    assert_eq!(one, sequential);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool stress: churn-sized fan-outs and panic recovery.
+// ---------------------------------------------------------------------------
+
+/// A churn-sized fan-out (hundreds of tasks, uneven durations) returns bit-identical results
+/// across 1/2/N-thread pools and inline execution.
+#[test]
+fn churn_sized_fanout_is_deterministic_across_thread_counts() {
+    let make_tasks = || -> Vec<Task<u64>> {
+        (0..512u64)
+            .map(|i| {
+                Box::new(move || {
+                    // Seeded per-task computation with uneven cost, like a round whose
+                    // stragglers run long.
+                    let mut rng = fmore::numerics::seeded_rng(i);
+                    let spins = 1 + (i % 17) as usize * 50;
+                    let mut acc = 0u64;
+                    for _ in 0..spins {
+                        acc = acc
+                            .wrapping_add(rand::Rng::gen::<u64>(&mut rng))
+                            .rotate_left(7);
+                    }
+                    acc
+                }) as Task<u64>
+            })
+            .collect()
+    };
+    let inline: Vec<u64> = make_tasks().into_iter().map(|t| t()).collect();
+    for threads in [1usize, 2, 8] {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(
+            pool.run_indexed(make_tasks()),
+            inline,
+            "{threads}-thread pool diverged from inline"
+        );
+        // A second wave on the same pool stays correct (no leftover state).
+        assert_eq!(pool.run_indexed(make_tasks()), inline);
+    }
+}
+
+/// A panicking task propagates to the submitter but must not kill the worker: the pool keeps
+/// its full capacity and stays deterministic for subsequent churn-sized waves.
+#[test]
+fn pool_recovers_from_panicking_tasks_under_load() {
+    let pool = WorkerPool::new(4);
+    for wave in 0..3 {
+        // Wave with one poisoned task among many.
+        let mut tasks: Vec<Task<usize>> = (0..128usize)
+            .map(|i| Box::new(move || i * 3) as Task<usize>)
+            .collect();
+        tasks[64] = Box::new(|| panic!("poisoned task"));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run_indexed(tasks)));
+        assert!(
+            result.is_err(),
+            "wave {wave}: the panic must reach the submitter"
+        );
+
+        // The pool is still fully usable and ordered afterwards.
+        let clean: Vec<Task<usize>> = (0..256usize)
+            .map(|i| Box::new(move || i + wave) as Task<usize>)
+            .collect();
+        assert_eq!(
+            pool.run_indexed(clean),
+            (0..256).map(|i| i + wave).collect::<Vec<_>>(),
+            "wave {wave}: pool lost capacity or ordering after a panic"
+        );
+    }
 }

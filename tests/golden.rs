@@ -1,0 +1,106 @@
+//! Golden regression tests over the experiment registry.
+//!
+//! Every registry entry's quick-fidelity report is reduced to a **fingerprint** — per table:
+//! the title, the row count, and the final row (the headline numbers a figure would plot
+//! last) — and compared against the committed expectations below. The whole pipeline is
+//! seeded and bit-deterministic across pool sizes and execution modes, so any drift in these
+//! strings is a real behavioural change in auction, training, churn, or accounting code —
+//! it must be reviewed and, if intended, re-committed here, instead of silently shifting the
+//! figures.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```bash
+//! cargo test --test golden -- --nocapture 2>&1 | grep -A2 'fingerprint\['
+//! ```
+//! (the failure output prints the actual fingerprint of every drifted entry).
+
+use fmore::sim::experiments::registry::{self, ExperimentReport, Fidelity};
+use fmore::sim::ScenarioRunner;
+
+/// Reduces a report to its committed-comparable form.
+fn fingerprint(report: &ExperimentReport) -> String {
+    report
+        .tables
+        .iter()
+        .map(|t| {
+            let last = t
+                .rows
+                .last()
+                .map_or_else(|| "<empty>".to_string(), |r| r.join(";"));
+            format!("{} [rows={}] last: {}", t.title, t.rows.len(), last)
+        })
+        .collect::<Vec<_>>()
+        .join(" || ")
+}
+
+/// The committed quick-fidelity fingerprints, in registry order.
+const EXPECTED: &[(&str, &str)] = &[
+    (
+        "accuracy",
+        "Accuracy and loss per round — MNIST-O [rows=3] last: \
+         3;0.4917;0.5417;0.4500;1.5406;1.4950;1.6426",
+    ),
+    (
+        "scores",
+        "Winner score distribution (Fig. 8) [rows=4] last: FixFL;9.257;7.417;12",
+    ),
+    (
+        "impact-n",
+        "Impact of N (Fig. 9) [rows=2] last: 70%;not reached;not reached",
+    ),
+    (
+        "impact-k",
+        "Impact of K (Fig. 10) [rows=2] last: 70%;not reached;4",
+    ),
+    (
+        "impact-psi",
+        "Impact of ψ (Fig. 11) [rows=3] last: 0.9;9.1;18.2;20.0",
+    ),
+    (
+        "cluster",
+        "Cluster deployment: accuracy and training time (Figs. 12-13) [rows=3] last: \
+         3;0.3583;40.6;0.3917;47.7",
+    ),
+    (
+        "headline",
+        "Headline metrics: FMore vs RandFL [rows=2] last: \
+         cluster CIFAR-10 (target 0%);40.4%;-8.5%",
+    ),
+    (
+        "churn-dropout",
+        "Dropout sweep: graceful degradation under churn (dynamic MEC) [rows=3] last: \
+         0.50;0.3675;0.3650;0.417;0.417;302.0;302.0",
+    ),
+    (
+        "churn-time",
+        "Cluster comparison under churn: accuracy and training time (dynamic MEC) [rows=6] \
+         last: t-to-acc 0.30 (s);68.5;;182.5;",
+    ),
+    (
+        "churn-waste",
+        "Straggler sweep: payment waste under deadline pressure (dynamic MEC) [rows=3] last: \
+         0.80;6.796;0.947;17;2;0.900",
+    ),
+];
+
+#[test]
+fn every_registry_entry_matches_its_committed_fingerprint() {
+    let runner = ScenarioRunner::new();
+    let reports = registry::run_all(&runner, Fidelity::Quick).expect("registry runs");
+    assert_eq!(reports.len(), EXPECTED.len(), "registry size drifted");
+    let mut drifted = Vec::new();
+    for (report, (name, expected)) in reports.iter().zip(EXPECTED) {
+        assert_eq!(&report.name, name, "registry order drifted");
+        let actual = fingerprint(report);
+        if actual != *expected {
+            println!("fingerprint[{name}]\n  expected: {expected}\n  actual:   {actual}");
+            drifted.push(*name);
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "golden fingerprints drifted for {drifted:?} — see the printed actual values; if the \
+         change is intended, update EXPECTED in tests/golden.rs"
+    );
+}

@@ -1,62 +1,85 @@
 //! Randomised property tests on the core mechanism invariants, run against the public
-//! facade crate.
+//! facade crate through the vendored `minicheck` harness (seeded generation + shrinking over
+//! the same `fmore_numerics` RNG the simulators use — the build environment has no registry
+//! access, so `proptest` is unavailable).
 //!
-//! The build environment has no registry access, so instead of `proptest` these properties
-//! are exercised over seeded random samples drawn from the same vendored RNG the simulators
-//! use — 64 cases per property, deterministic across runs.
+//! Every property runs 64 deterministic cases; a failure panics with the shrunk minimal
+//! counterexample and the seed to replay it.
 
 use fmore::auction::prelude::*;
+use fmore::fl::engine::{apply_deadline, ParticipantTiming};
+use fmore::mec::{ResourceProfile, TimeModel};
 use fmore::numerics::normalize::MinMaxNormalizer;
-use fmore::numerics::{seeded_rng, Distribution1D, UniformDist};
-use rand::Rng;
-
-const CASES: usize = 64;
+use fmore::numerics::{Distribution1D, UniformDist};
+use minicheck::{check, ensure, Config, F64Range, Tuple2, Tuple3, UsizeRange, VecOf};
 
 /// The quasi-linear scoring rule is monotone: more quality or a lower ask never lowers the
 /// score.
 #[test]
 fn score_is_monotone_in_quality_and_antitone_in_ask() {
-    let mut rng = seeded_rng(0xA1);
     let rule = ScoringRule::new(CobbDouglas::with_scale(25.0, vec![1.0, 1.0]).unwrap());
-    for _ in 0..CASES {
-        let q1 = rng.gen_range(0.0..1.0);
-        let q2 = rng.gen_range(0.0..1.0);
-        let bump = rng.gen_range(0.0..0.5);
-        let ask = rng.gen_range(0.0..1.0);
-        let discount = rng.gen_range(0.0..0.5);
-        let base = rule.score(&Quality::new(vec![q1, q2]), ask).unwrap();
-        let better_quality = rule.score(&Quality::new(vec![q1 + bump, q2]), ask).unwrap();
-        let cheaper = rule
-            .score(&Quality::new(vec![q1, q2]), (ask - discount).max(0.0))
-            .unwrap();
-        assert!(better_quality >= base - 1e-12);
-        assert!(cheaper >= base - 1e-12);
-    }
+    let strategy = Tuple2(
+        Tuple2(F64Range::new(0.0, 1.0), F64Range::new(0.0, 1.0)),
+        Tuple3(
+            F64Range::new(0.0, 0.5),
+            F64Range::new(0.0, 1.0),
+            F64Range::new(0.0, 0.5),
+        ),
+    );
+    check(
+        &Config::seeded(0xA1),
+        &strategy,
+        |((q1, q2), (bump, ask, discount))| {
+            let base = rule.score(&Quality::new(vec![*q1, *q2]), *ask).unwrap();
+            let better_quality = rule
+                .score(&Quality::new(vec![q1 + bump, *q2]), *ask)
+                .unwrap();
+            let cheaper = rule
+                .score(&Quality::new(vec![*q1, *q2]), (ask - discount).max(0.0))
+                .unwrap();
+            ensure(better_quality >= base - 1e-12, || {
+                format!("quality bump lowered the score: {better_quality} < {base}")
+            })?;
+            ensure(cheaper >= base - 1e-12, || {
+                format!("ask discount lowered the score: {cheaper} < {base}")
+            })
+        },
+    );
 }
 
 /// First-price auctions always pay winners exactly their ask, and the winner set is never
-/// larger than K or the number of bidders.
+/// larger than K or the number of bidders; every winner's score weakly beats every loser's.
 #[test]
 fn auction_awards_are_consistent() {
-    let mut rng = seeded_rng(0xA2);
-    for case in 0..CASES {
-        let n = rng.gen_range(1..40usize);
-        let asks: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..2.0)).collect();
-        let k = rng.gen_range(1..10usize);
+    let strategy = Tuple3(
+        VecOf::new(F64Range::new(0.0, 2.0), 1, 40),
+        UsizeRange::new(1, 10),
+        UsizeRange::new(0, 1_000),
+    );
+    check(&Config::seeded(0xA2), &strategy, |(asks, k, tie_seed)| {
         let rule = ScoringRule::new(Additive::new(vec![1.0]).unwrap());
-        let auction = Auction::new(rule, k, SelectionRule::TopK, PricingRule::FirstPrice);
+        let auction = Auction::new(rule, *k, SelectionRule::TopK, PricingRule::FirstPrice);
         let bids: Vec<SubmittedBid> = asks
             .iter()
             .enumerate()
             .map(|(i, &ask)| SubmittedBid::new(NodeId(i as u64), Quality::new(vec![1.0]), ask))
             .collect();
-        let outcome = auction.run(bids, &mut seeded_rng(case as u64)).unwrap();
-        assert_eq!(outcome.winners.len(), k.min(asks.len()));
+        let outcome = auction
+            .run(bids, &mut fmore::numerics::seeded_rng(*tie_seed as u64))
+            .map_err(|e| e.to_string())?;
+        ensure(outcome.winners.len() == (*k).min(asks.len()), || {
+            format!(
+                "{} winners for K={k}, N={}",
+                outcome.winners.len(),
+                asks.len()
+            )
+        })?;
         for award in &outcome.winners {
             let original = asks[award.node.0 as usize];
-            assert!((award.payment - original).abs() < 1e-12);
+            ensure((award.payment - original).abs() < 1e-12, || {
+                format!("first price paid {} for ask {original}", award.payment)
+            })?;
         }
-        // Every winner's score is at least as good as every non-winner's score.
         let winner_ids = outcome.winner_ids();
         let min_winner = outcome
             .winners
@@ -65,16 +88,16 @@ fn auction_awards_are_consistent() {
             .fold(f64::INFINITY, f64::min);
         for bid in &outcome.ranked {
             if !winner_ids.contains(&bid.node) {
-                assert!(bid.score <= min_winner + 1e-9);
+                ensure(bid.score <= min_winner + 1e-9, || {
+                    format!("loser score {} beats worst winner {min_winner}", bid.score)
+                })?;
             }
         }
-    }
+        Ok(())
+    });
 }
 
-/// Equilibrium bids are individually rational and their expected profit is non-negative for
-/// every type in the support.
-#[test]
-fn equilibrium_bids_are_individually_rational() {
+fn quadratic_solver() -> (EquilibriumSolver, QuadraticCost) {
     let cost = QuadraticCost::new(vec![1.0]).unwrap();
     let solver = EquilibriumSolver::builder()
         .scoring(Additive::new(vec![1.0]).unwrap())
@@ -86,26 +109,112 @@ fn equilibrium_bids_are_individually_rational() {
         .grid_size(64)
         .build()
         .unwrap();
-    let mut rng = seeded_rng(0xA3);
-    for _ in 0..CASES {
-        let theta = rng.gen_range(0.21..0.99);
-        let bid = solver.bid_for(theta).unwrap();
-        let c = cost.value(bid.quality.as_slice(), theta);
-        assert!(bid.ask >= c - 1e-6);
-        assert!(bid.expected_profit >= -1e-9);
-        assert!((0.0..=1.0).contains(&bid.win_probability));
-    }
+    (solver, cost)
+}
+
+/// Individual rationality: every equilibrium bid asks at least its private cost (a positive
+/// margin), expects non-negative profit, and carries a valid win probability — so a
+/// first-price winner is never paid below cost.
+#[test]
+fn equilibrium_bids_are_individually_rational() {
+    let (solver, cost) = quadratic_solver();
+    check(
+        &Config::seeded(0xA3),
+        &F64Range::new(0.21, 0.99),
+        |&theta| {
+            let bid = solver.bid_for(theta).map_err(|e| e.to_string())?;
+            let c = cost.value(bid.quality.as_slice(), theta);
+            ensure(bid.ask >= c - 1e-6, || {
+                format!(
+                    "IR margin violated: ask {} < cost {c} at theta {theta}",
+                    bid.ask
+                )
+            })?;
+            ensure(bid.expected_profit >= -1e-9, || {
+                format!("negative expected profit {}", bid.expected_profit)
+            })?;
+            ensure((0.0..=1.0).contains(&bid.win_probability), || {
+                format!("win probability {} outside [0, 1]", bid.win_probability)
+            })
+        },
+    );
+}
+
+/// Truthfulness margin: playing the equilibrium bid of one's **true** type is (up to grid
+/// discretisation) at least as profitable as submitting the equilibrium bid of any other
+/// type — the expected-utility deviation test behind the paper's Theorem 2 incentive claim.
+#[test]
+fn equilibrium_bidding_is_truthful_up_to_discretisation() {
+    let (solver, cost) = quadratic_solver();
+    let strategy = Tuple2(F64Range::new(0.21, 0.99), F64Range::new(0.21, 0.99));
+    check(&Config::seeded(0xA8), &strategy, |&(theta, deviation)| {
+        let truthful = solver.bid_for(theta).map_err(|e| e.to_string())?;
+        let deviant = solver.bid_for(deviation).map_err(|e| e.to_string())?;
+        let profit = |bid: &EquilibriumBid| {
+            bid.win_probability * (bid.ask - cost.value(bid.quality.as_slice(), theta))
+        };
+        let honest = profit(&truthful);
+        let dishonest = profit(&deviant);
+        // The 64-point value grid discretises both the quality choice and the win
+        // probability, so allow a small absolute slack.
+        ensure(honest >= dishonest - 5e-3, || {
+            format!(
+                "type {theta} gains {:.6} by imitating type {deviation} \
+                 (honest {honest:.6} < deviant {dishonest:.6})",
+                dishonest - honest
+            )
+        })
+    });
+}
+
+/// Realised first-price auctions over equilibrium bids never pay a winner below its private
+/// cost — individual rationality end-to-end, not just at the bidding stage.
+#[test]
+fn first_price_auctions_over_equilibrium_bids_are_individually_rational() {
+    let (solver, cost) = quadratic_solver();
+    let strategy = Tuple2(
+        VecOf::new(F64Range::new(0.21, 0.99), 1, 25),
+        UsizeRange::new(0, 1_000),
+    );
+    check(&Config::seeded(0xA9), &strategy, |(thetas, tie_seed)| {
+        let auction = Auction::new(
+            ScoringRule::new(Additive::new(vec![1.0]).unwrap()),
+            5,
+            SelectionRule::TopK,
+            PricingRule::FirstPrice,
+        );
+        let mut bids = Vec::new();
+        for (i, &theta) in thetas.iter().enumerate() {
+            let bid = solver.bid_for(theta).map_err(|e| e.to_string())?;
+            bids.push(SubmittedBid::new(NodeId(i as u64), bid.quality, bid.ask));
+        }
+        let outcome = auction
+            .run(bids, &mut fmore::numerics::seeded_rng(*tie_seed as u64))
+            .map_err(|e| e.to_string())?;
+        for award in &outcome.winners {
+            let theta = thetas[award.node.0 as usize];
+            let c = cost.value(award.quality.as_slice(), theta);
+            ensure(award.payment >= c - 1e-6, || {
+                format!(
+                    "winner {} paid {} below its cost {c} (theta {theta})",
+                    award.node, award.payment
+                )
+            })?;
+        }
+        Ok(())
+    });
 }
 
 /// ψ-FMore always returns exactly `min(K, N)` distinct winners regardless of ψ.
 #[test]
 fn psi_selection_always_fills_the_winner_set() {
     use fmore::auction::types::ScoredBid;
-    let mut rng = seeded_rng(0xA4);
-    for case in 0..CASES {
-        let n = rng.gen_range(1..60usize);
-        let k = rng.gen_range(1..30usize);
-        let psi = rng.gen_range(0.01..1.0);
+    let strategy = Tuple3(
+        UsizeRange::new(1, 60),
+        UsizeRange::new(1, 30),
+        F64Range::new(0.01, 1.0),
+    );
+    check(&Config::seeded(0xA4), &strategy, |&(n, k, psi)| {
         let bids: Vec<ScoredBid> = (0..n)
             .map(|i| ScoredBid {
                 node: NodeId(i as u64),
@@ -114,72 +223,242 @@ fn psi_selection_always_fills_the_winner_set() {
                 score: i as f64,
             })
             .collect();
-        let winners =
-            SelectionRule::PsiFMore { psi }.select(&bids, k, &mut seeded_rng(500 + case as u64));
-        assert_eq!(winners.len(), k.min(n));
+        let mut rng = fmore::numerics::seeded_rng((n * 31 + k) as u64);
+        let winners = SelectionRule::PsiFMore { psi }.select(&bids, k, &mut rng);
+        ensure(winners.len() == k.min(n), || {
+            format!("{} winners for K={k}, N={n}, psi={psi}", winners.len())
+        })?;
         let mut dedup = winners.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), winners.len());
-    }
+        ensure(dedup.len() == winners.len(), || {
+            format!("duplicate winners at K={k}, N={n}, psi={psi}")
+        })
+    });
 }
 
 /// Min–max normalisation always lands in [0, 1] and round-trips within the range.
 #[test]
 fn normalizer_round_trips() {
-    let mut rng = seeded_rng(0xA5);
-    for _ in 0..CASES {
-        let lo = rng.gen_range(-100.0..100.0);
-        let width = rng.gen_range(0.1..100.0);
-        let x = rng.gen_range(-200.0..200.0);
+    let strategy = Tuple3(
+        F64Range::new(-100.0, 100.0),
+        F64Range::new(0.1, 100.0),
+        F64Range::new(-200.0, 200.0),
+    );
+    check(&Config::seeded(0xA5), &strategy, |&(lo, width, x)| {
         let n = MinMaxNormalizer::new(lo, lo + width);
         let y = n.normalize(x);
-        assert!((0.0..=1.0).contains(&y));
+        ensure((0.0..=1.0).contains(&y), || {
+            format!("normalized {y} outside [0, 1]")
+        })?;
         let back = n.denormalize(y);
-        assert!(back >= lo - 1e-9 && back <= lo + width + 1e-9);
-        // Values inside the range round-trip exactly (up to float error).
+        ensure(back >= lo - 1e-9 && back <= lo + width + 1e-9, || {
+            format!("denormalized {back} escaped [{lo}, {}]", lo + width)
+        })?;
         if x >= lo && x <= lo + width {
-            assert!((back - x).abs() < 1e-6);
+            ensure((back - x).abs() < 1e-6, || {
+                format!("in-range value {x} round-tripped to {back}")
+            })?;
         }
-    }
+        Ok(())
+    });
 }
 
 /// The uniform θ distribution's quantile inverts its CDF everywhere.
 #[test]
 fn uniform_quantile_inverts_cdf() {
-    let mut rng = seeded_rng(0xA6);
-    for _ in 0..CASES {
-        let lo = rng.gen_range(0.01..1.0);
-        let width = rng.gen_range(0.1..2.0);
-        let p = rng.gen_range(0.0..1.0);
-        let d = UniformDist::new(lo, lo + width).unwrap();
-        let q = d.quantile(p).unwrap();
-        assert!((d.cdf(q) - p).abs() < 1e-4);
-    }
+    let strategy = Tuple3(
+        F64Range::new(0.01, 1.0),
+        F64Range::new(0.1, 2.0),
+        F64Range::new(0.0, 1.0),
+    );
+    check(&Config::seeded(0xA6), &strategy, |&(lo, width, p)| {
+        let d = UniformDist::new(lo, lo + width).map_err(|e| e.to_string())?;
+        let q = d.quantile(p).map_err(|e| e.to_string())?;
+        ensure((d.cdf(q) - p).abs() < 1e-4, || {
+            format!("cdf(quantile({p})) = {} drifted", d.cdf(q))
+        })
+    });
 }
 
-/// FedAvg with identical updates returns that update unchanged, and its output always lies
-/// inside the per-coordinate envelope of the inputs.
+/// FedAvg output always lies inside the per-coordinate envelope of its inputs, and averaging
+/// identical updates returns them unchanged.
 #[test]
 fn federated_average_stays_in_envelope() {
-    let mut rng = seeded_rng(0xA7);
-    for _ in 0..CASES {
-        let dim = rng.gen_range(1..20usize);
-        let a: Vec<f64> = (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect();
-        let weight_a = rng.gen_range(0.1..10.0);
-        let weight_b = rng.gen_range(0.1..10.0);
-        let b: Vec<f64> = a.iter().map(|x| x + rng.gen_range(-1.0..1.0)).collect();
-        let avg =
-            fmore::fl::federated_average(&[(a.clone(), weight_a), (b.clone(), weight_b)]).unwrap();
-        for i in 0..dim {
-            let lo = a[i].min(b[i]) - 1e-9;
-            let hi = a[i].max(b[i]) + 1e-9;
-            assert!(avg[i] >= lo && avg[i] <= hi);
+    let strategy = Tuple2(
+        VecOf::new(
+            Tuple2(F64Range::new(-5.0, 5.0), F64Range::new(-1.0, 1.0)),
+            1,
+            20,
+        ),
+        Tuple2(F64Range::new(0.1, 10.0), F64Range::new(0.1, 10.0)),
+    );
+    check(
+        &Config::seeded(0xA7),
+        &strategy,
+        |(coords, (weight_a, weight_b))| {
+            let a: Vec<f64> = coords.iter().map(|(base, _)| *base).collect();
+            let b: Vec<f64> = coords.iter().map(|(base, delta)| base + delta).collect();
+            let avg =
+                fmore::fl::federated_average(&[(a.clone(), *weight_a), (b.clone(), *weight_b)])
+                    .ok_or("average of two updates must exist")?;
+            for i in 0..a.len() {
+                let lo = a[i].min(b[i]) - 1e-9;
+                let hi = a[i].max(b[i]) + 1e-9;
+                ensure(avg[i] >= lo && avg[i] <= hi, || {
+                    format!("coordinate {i}: {} escaped [{lo}, {hi}]", avg[i])
+                })?;
+            }
+            let same =
+                fmore::fl::federated_average(&[(a.clone(), *weight_a), (a.clone(), *weight_b)])
+                    .ok_or("average of identical updates must exist")?;
+            for (x, y) in same.iter().zip(&a) {
+                ensure((x - y).abs() < 1e-9, || {
+                    format!("identical updates averaged to {x} != {y}")
+                })?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// FedAvg weight-sum invariance (Eq. 3 is a convex combination): scaling every weight by the
+/// same positive factor leaves the aggregate bit-for-bit meaningful — i.e. unchanged up to
+/// floating-point tolerance.
+#[test]
+fn federated_average_is_invariant_under_weight_scaling() {
+    let strategy = Tuple2(
+        VecOf::new(
+            Tuple2(F64Range::new(-5.0, 5.0), F64Range::new(0.1, 10.0)),
+            1,
+            12,
+        ),
+        F64Range::new(0.05, 50.0),
+    );
+    check(&Config::seeded(0xAA), &strategy, |(updates, scale)| {
+        // Each generated pair is a one-dimensional update with its weight; widen to three
+        // dimensions so the invariance is exercised across coordinates.
+        let plain: Vec<(Vec<f64>, f64)> = updates
+            .iter()
+            .map(|(v, w)| (vec![*v, v * 2.0, v - 1.0], *w))
+            .collect();
+        let scaled: Vec<(Vec<f64>, f64)> =
+            plain.iter().map(|(v, w)| (v.clone(), w * scale)).collect();
+        let base = fmore::fl::federated_average(&plain).ok_or("non-empty average")?;
+        let rescaled = fmore::fl::federated_average(&scaled).ok_or("non-empty average")?;
+        for (x, y) in base.iter().zip(&rescaled) {
+            ensure((x - y).abs() < 1e-9, || {
+                format!("weight scaling by {scale} moved a coordinate: {x} -> {y}")
+            })?;
         }
-        let same =
-            fmore::fl::federated_average(&[(a.clone(), weight_a), (a.clone(), weight_b)]).unwrap();
-        for (x, y) in same.iter().zip(&a) {
-            assert!((x - y).abs() < 1e-9);
+        Ok(())
+    });
+}
+
+/// TimeModel monotonicity: more cores or bandwidth never slows a node down; more data or
+/// epochs never speeds it up; a synchronous round is never faster than its slowest
+/// participant.
+#[test]
+fn time_model_is_monotone_in_resources_and_work() {
+    let model = TimeModel::paper_cluster();
+    let strategy = Tuple3(
+        Tuple2(F64Range::new(1.0, 8.0), F64Range::new(100.0, 1000.0)),
+        Tuple2(F64Range::new(1.0, 10_000.0), UsizeRange::new(1, 3)),
+        Tuple2(F64Range::new(0.1, 4.0), F64Range::new(1.0, 500.0)),
+    );
+    check(
+        &Config::seeded(0xAB),
+        &strategy,
+        |&((cores, bandwidth), (data, epochs), (core_bump, bandwidth_bump))| {
+            let profile = |c: f64, b: f64| ResourceProfile {
+                cpu_cores: c,
+                bandwidth_mbps: b,
+                data_size: data,
+            };
+            let base = profile(cores, bandwidth);
+            let faster_cpu = profile(cores + core_bump, bandwidth);
+            let faster_net = profile(cores, bandwidth + bandwidth_bump);
+            ensure(
+                model.computation_secs(&faster_cpu, data, epochs)
+                    <= model.computation_secs(&base, data, epochs) + 1e-12,
+                || "more cores slowed computation down".to_string(),
+            )?;
+            ensure(
+                model.communication_secs(&faster_net) <= model.communication_secs(&base) + 1e-12,
+                || "more bandwidth slowed communication down".to_string(),
+            )?;
+            ensure(
+                model.computation_secs(&base, data * 2.0, epochs)
+                    >= model.computation_secs(&base, data, epochs) - 1e-12,
+                || "more data sped computation up".to_string(),
+            )?;
+            ensure(
+                model.computation_secs(&base, data, epochs + 1)
+                    >= model.computation_secs(&base, data, epochs) - 1e-12,
+                || "more epochs sped computation up".to_string(),
+            )?;
+            let participants = [(base, data), (faster_cpu, data)];
+            let round = model.round_secs(&participants, epochs);
+            for (p, d) in &participants {
+                ensure(
+                    round >= model.node_round_secs(p, *d, epochs) - 1e-12,
+                    || "synchronous round finished before its slowest participant".to_string(),
+                )?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The deadline gate is monotone in the deadline: a larger deadline never shrinks the
+/// survivor set and never shortens the server's wave time.
+#[test]
+fn deadline_gate_is_monotone_in_the_deadline() {
+    let strategy = Tuple3(
+        VecOf::new(
+            Tuple2(F64Range::new(0.0, 100.0), UsizeRange::new(0, 9)),
+            0,
+            12,
+        ),
+        F64Range::new(1.0, 80.0),
+        F64Range::new(0.0, 80.0),
+    );
+    check(&Config::seeded(0xAC), &strategy, |(fates, d1, extra)| {
+        let timings: Vec<ParticipantTiming> = fates
+            .iter()
+            .enumerate()
+            .map(|(slot, (secs, tag))| ParticipantTiming {
+                slot,
+                // Tag 0 marks a dropout (infinite completion), tags 1-2 a straggler.
+                completion_secs: if *tag == 0 { f64::INFINITY } else { *secs },
+                straggler: (1..=2).contains(tag),
+                dropped_out: *tag == 0,
+            })
+            .collect();
+        let d2 = d1 + extra;
+        let tight = apply_deadline(&timings, *d1);
+        let loose = apply_deadline(&timings, d2);
+        ensure(tight.survivors.len() <= loose.survivors.len(), || {
+            format!(
+                "raising the deadline {d1} -> {d2} lost survivors: {:?} -> {:?}",
+                tight.survivors, loose.survivors
+            )
+        })?;
+        for slot in &tight.survivors {
+            ensure(loose.survivors.contains(slot), || {
+                format!("survivor {slot} at deadline {d1} vanished at {d2}")
+            })?;
         }
-    }
+        ensure(tight.wave_secs <= loose.wave_secs + 1e-12, || {
+            format!(
+                "raising the deadline shortened the wave: {} -> {}",
+                tight.wave_secs, loose.wave_secs
+            )
+        })?;
+        // Dropouts never survive any deadline.
+        ensure(
+            loose.dropouts.len() == timings.iter().filter(|t| t.dropped_out).count(),
+            || "a dropout survived the deadline gate".to_string(),
+        )
+    });
 }

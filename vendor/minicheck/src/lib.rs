@@ -1,0 +1,509 @@
+//! Minimal property-testing harness: seeded generation plus greedy shrinking.
+//!
+//! The build environment has no registry access, so `proptest` is unavailable; this crate
+//! provides the small subset the workspace needs, built directly on the deterministic RNG of
+//! `fmore_numerics` ([`fmore_numerics::seeded_rng`] / [`fmore_numerics::rng::derive_seed`]),
+//! so every property run is reproducible bit-for-bit from its configured seed.
+//!
+//! * a [`Strategy`] describes how to **generate** a random value and how to **shrink** a
+//!   failing one toward simpler candidates,
+//! * [`check`] runs a property over `cases` generated values; on failure it greedily walks
+//!   the shrink tree (first failing candidate wins, repeat) and panics with the **minimal**
+//!   counterexample it reached, the case index, and the seed needed to replay it,
+//! * combinators cover the workspace's needs: scalar ranges, vectors, tuples, and constants.
+//!
+//! # Example
+//!
+//! ```should_panic
+//! use minicheck::{check, Config, F64Range};
+//!
+//! // Fails for values >= 0.5; the reported counterexample shrinks toward 0.5.
+//! check(&Config::default(), &F64Range::new(0.0, 1.0), |&x| {
+//!     if x < 0.5 { Ok(()) } else { Err(format!("{x} is too large")) }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+use fmore_numerics::rng::{derive_seed, seeded_rng};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// How a [`check`] run is sized and seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Base seed; case `i` generates from `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Upper bound on shrink attempts once a counterexample is found.
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    /// 64 cases — the count the hand-rolled predecessor of this harness used — under a fixed
+    /// seed.
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            seed: 0x5EED_CA5E,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with a property-specific seed (so two properties never share a
+    /// generation stream).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the configuration with the case count replaced.
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+}
+
+/// A value generator with optional shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly "simpler" candidates for a failing value, most aggressive first.
+    /// The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Convenience for writing properties: `ensure(cond, || "message")`.
+///
+/// # Errors
+///
+/// Returns the rendered message when `cond` is false.
+pub fn ensure<M: FnOnce() -> String>(cond: bool, msg: M) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg())
+    }
+}
+
+/// Runs `property` over `config.cases` generated values.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting the shrunk (minimal) counterexample, the
+/// original failure, the case index, and the seed to replay the run.
+pub fn check<S, P>(config: &Config, strategy: &S, property: P)
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let mut rng = seeded_rng(derive_seed(config.seed, case as u64));
+        let value = strategy.generate(&mut rng);
+        if let Err(message) = property(&value) {
+            let (minimal, minimal_message, steps) =
+                shrink_failure(config, strategy, value.clone(), message.clone(), &property);
+            panic!(
+                "property failed at case {case}/{} (seed {:#x})\n  \
+                 original counterexample: {value:?}\n    {message}\n  \
+                 minimal counterexample ({steps} shrink steps): {minimal:?}\n    \
+                 {minimal_message}",
+                config.cases, config.seed
+            );
+        }
+    }
+}
+
+/// Greedy shrink walk: repeatedly replace the counterexample with its first still-failing
+/// shrink candidate until no candidate fails or the step budget runs out.
+fn shrink_failure<S, P>(
+    config: &Config,
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    property: &P,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> Result<(), String>,
+{
+    let mut steps = 0usize;
+    'outer: while steps < config.max_shrink_steps {
+        for candidate in strategy.shrink(&value) {
+            steps += 1;
+            if let Err(m) = property(&candidate) {
+                value = candidate;
+                message = m;
+                continue 'outer;
+            }
+            if steps >= config.max_shrink_steps {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar strategies.
+// ---------------------------------------------------------------------------
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward `lo` by halving the distance.
+#[derive(Debug, Clone, Copy)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+impl F64Range {
+    /// Creates the range strategy; requires `lo < hi` and finite bounds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite());
+        Self { lo, hi }
+    }
+}
+
+impl Strategy for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn shrink(&self, &value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if value > self.lo {
+            // A geometric ladder toward `lo`: aggressive cuts first, tiny nudges last, so
+            // the greedy walk converges on the failure boundary instead of stalling once the
+            // halfway candidate passes.
+            out.push(self.lo);
+            let distance = value - self.lo;
+            let mut fraction = 0.5;
+            for _ in 0..10 {
+                let candidate = value - distance * fraction;
+                if candidate > self.lo && candidate < value {
+                    out.push(candidate);
+                }
+                fraction /= 2.0;
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `usize` in `lo..=hi`, shrinking toward `lo` by halving.
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl UsizeRange {
+    /// Creates the inclusive range strategy; requires `lo <= hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi);
+        Self { lo, hi }
+    }
+}
+
+impl Strategy for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, &value: &usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if value > self.lo {
+            // Same geometric ladder as `F64Range`, ending in a single decrement so the walk
+            // can always reach the exact integer boundary.
+            out.push(self.lo);
+            let distance = value - self.lo;
+            let mut cut = distance / 2;
+            while cut > 1 {
+                out.push(value - cut);
+                cut /= 2;
+            }
+            out.push(value - 1);
+            out.dedup();
+        }
+        out
+    }
+}
+
+/// Always produces the same value; never shrinks.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound strategies.
+// ---------------------------------------------------------------------------
+
+/// Vectors of an element strategy with a length range. Shrinks by removing elements (down to
+/// the minimum length), then by shrinking individual elements.
+#[derive(Debug, Clone, Copy)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S> VecOf<S> {
+    /// Creates the vector strategy; requires `min_len <= max_len`.
+    pub fn new(elem: S, min_len: usize, max_len: usize) -> Self {
+        assert!(min_len <= max_len);
+        Self {
+            elem,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop the back half, then drop single elements.
+        if value.len() > self.min_len {
+            let half_len = (value.len() / 2).max(self.min_len);
+            if half_len < value.len() {
+                out.push(value[..half_len].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks, one position at a time.
+        for (i, v) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(v) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// Pairs of two independent strategies; shrinks one side at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuple2<A, B>(pub A, pub B);
+
+impl<A: Strategy, B: Strategy> Strategy for Tuple2<A, B> {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, (a, b): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone()))
+            .collect();
+        out.extend(self.1.shrink(b).into_iter().map(|sb| (a.clone(), sb)));
+        out
+    }
+}
+
+/// Triples of three independent strategies; shrinks one side at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuple3<A, B, C>(pub A, pub B, pub C);
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for Tuple3<A, B, C> {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, (a, b, c): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone(), c.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|sb| (a.clone(), sb, c.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|sc| (a.clone(), b.clone(), sc)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn passing_properties_run_all_cases() {
+        use std::cell::Cell;
+        let seen = Cell::new(0usize);
+        check(
+            &Config::seeded(1).with_cases(32),
+            &F64Range::new(0.0, 1.0),
+            |&x| {
+                seen.set(seen.get() + 1);
+                ensure((0.0..1.0).contains(&x), || format!("{x} out of range"))
+            },
+        );
+        assert_eq!(seen.get(), 32);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let draw = |seed: u64| {
+            let mut rng = seeded_rng(seed);
+            let strat = VecOf::new(F64Range::new(-1.0, 1.0), 0, 8);
+            (0..8).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn failures_shrink_to_a_minimal_counterexample() {
+        // Property fails for x >= 0.5: the shrunk counterexample must be near the boundary,
+        // far below typical originals.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(&Config::seeded(2), &F64Range::new(0.0, 4.0), |&x| {
+                ensure(x < 0.5, || format!("{x} >= 0.5"))
+            });
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("minimal counterexample"), "{message}");
+        // Parse the shrunk value out of the report: it follows the "shrink steps): " marker.
+        let tail = message.split("shrink steps): ").nth(1).unwrap();
+        let value: f64 = tail.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(
+            (0.5..0.6).contains(&value),
+            "shrunk value {value} should be close to the 0.5 boundary"
+        );
+    }
+
+    #[test]
+    fn usize_shrinking_reaches_the_boundary() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(&Config::seeded(3), &UsizeRange::new(0, 1000), |&n| {
+                ensure(n < 17, || format!("{n} >= 17"))
+            });
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        let tail = message.split("shrink steps): ").nth(1).unwrap();
+        let value: usize = tail.split_whitespace().next().unwrap().parse().unwrap();
+        assert_eq!(
+            value, 17,
+            "greedy halving + decrement finds the exact boundary"
+        );
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements() {
+        // Fails whenever the vector contains an element >= 100: minimal counterexample is a
+        // single-element vector.
+        let strat = VecOf::new(UsizeRange::new(0, 500), 0, 16);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(&Config::seeded(4), &strat, |v| {
+                ensure(v.iter().all(|&x| x < 100), || {
+                    format!("{v:?} has a big element")
+                })
+            });
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        let tail = message.split("shrink steps): ").nth(1).unwrap();
+        let open = tail.find('[').unwrap();
+        let close = tail.find(']').unwrap();
+        let elems: Vec<usize> = tail[open + 1..close]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().unwrap())
+            .collect();
+        assert_eq!(elems.len(), 1, "minimal vector keeps only the offender");
+        assert_eq!(elems[0], 100, "and shrinks the offender to the boundary");
+    }
+
+    #[test]
+    fn tuples_shrink_one_side_at_a_time() {
+        let strat = Tuple2(UsizeRange::new(0, 50), UsizeRange::new(0, 50));
+        let shrinks = strat.shrink(&(10, 20));
+        assert!(shrinks.iter().all(|&(a, b)| a == 10 || b == 20));
+        assert!(shrinks.contains(&(0, 20)));
+        assert!(shrinks.contains(&(10, 0)));
+        let strat3 = Tuple3(
+            UsizeRange::new(0, 5),
+            UsizeRange::new(0, 5),
+            UsizeRange::new(0, 5),
+        );
+        assert!(strat3.shrink(&(1, 1, 1)).contains(&(0, 1, 1)));
+        assert!(strat3.shrink(&(1, 1, 1)).contains(&(1, 1, 0)));
+        // Generation stays within bounds.
+        let mut rng = seeded_rng(5);
+        for _ in 0..32 {
+            let (a, b, c) = strat3.generate(&mut rng);
+            assert!(a <= 5 && b <= 5 && c <= 5);
+        }
+    }
+
+    #[test]
+    fn just_produces_its_constant_and_never_shrinks() {
+        let strat = Just(42u64);
+        let mut rng = seeded_rng(6);
+        assert_eq!(strat.generate(&mut rng), 42);
+        assert!(strat.shrink(&42).is_empty());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = Config::seeded(7).with_cases(10);
+        assert_eq!(c.cases, 10);
+        assert_eq!(c.seed, 7);
+        assert_eq!(Config::default().cases, 64);
+    }
+}
