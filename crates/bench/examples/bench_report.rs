@@ -1,0 +1,175 @@
+//! Emits `BENCH_hot_path.json` — the committed perf-trajectory record of the training hot
+//! path. Re-times the same suite as `benches/hot_path.rs` with plain `Instant` loops
+//! (min-of-N, which is far more stable across CI machines than means) and writes one JSON
+//! document with kernel, train-epoch, and round throughput numbers.
+//!
+//! ```bash
+//! cargo run --release -p fmore-bench --example bench_report -- BENCH_hot_path.json
+//! ```
+//!
+//! Regenerate (and re-commit) after any change to the matrix kernels, the arena path, or
+//! the round engine, so the repository tracks how each PR moved the hot path.
+
+use fmore_bench::baseline::NaiveMlp;
+use fmore_fl::config::FlConfig;
+use fmore_fl::engine::RoundEngine;
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_ml::arena::ScratchArena;
+use fmore_ml::dataset::SyntheticImageSpec;
+use fmore_ml::layers::{Activation, Dense, Layer};
+use fmore_ml::model::Model;
+use fmore_ml::{Matrix, Sequential, TaskKind};
+use fmore_numerics::seeded_rng;
+use std::time::Instant;
+
+/// Minimum wall-clock time of one invocation of `f`, over `samples` timed runs after
+/// `warmup` untimed ones.
+fn time_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = u128::MAX;
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hot_path.json".to_string());
+
+    // --- Kernels: layer-sized operands (32-sample batch, 64x64 weight block). ---
+    let mut rng = seeded_rng(51);
+    let a = Matrix::random_uniform(32, 64, 1.0, &mut rng);
+    let w = Matrix::random_uniform(64, 64, 1.0, &mut rng);
+    let g = Matrix::random_uniform(32, 64, 1.0, &mut rng);
+    let mut out = Matrix::default();
+    let kernels = [
+        (
+            "matmul_alloc",
+            time_ns(50, 400, || {
+                std::hint::black_box(a.matmul(&w));
+            }),
+        ),
+        (
+            "matmul_into",
+            time_ns(50, 400, || a.matmul_into(&w, &mut out)),
+        ),
+        (
+            "transpose_a_alloc",
+            time_ns(50, 400, || {
+                std::hint::black_box(a.transpose().matmul(&g));
+            }),
+        ),
+        (
+            "transpose_a_into",
+            time_ns(50, 400, || a.matmul_transpose_a_into(&g, &mut out)),
+        ),
+        (
+            "transpose_b_alloc",
+            time_ns(50, 400, || {
+                std::hint::black_box(g.matmul(&w.transpose()));
+            }),
+        ),
+        (
+            "transpose_b_into",
+            time_ns(50, 400, || g.matmul_transpose_b_into(&w, &mut out)),
+        ),
+    ];
+
+    // --- train_epoch on the quick-fidelity MLP: arena path vs the seed replica. ---
+    let mut data_rng = seeded_rng(52);
+    let data = SyntheticImageSpec::mnist_like().generate(400, &mut data_rng);
+    let all: Vec<usize> = (0..data.len()).collect();
+    let mut build_rng = seeded_rng(50);
+    let mut model = Sequential::new(vec![
+        Box::new(Dense::new(data.feature_dim(), 32, &mut build_rng)) as Box<dyn Layer>,
+        Box::new(Activation::relu()),
+        Box::new(Dense::new(32, data.num_classes(), &mut build_rng)),
+    ]);
+    let mut naive = NaiveMlp::from_params(
+        data.feature_dim(),
+        32,
+        data.num_classes(),
+        &model.parameters(),
+    );
+    let mut arena = ScratchArena::new();
+    let mut epoch_rng = seeded_rng(53);
+    let arena_ns = time_ns(5, 40, || {
+        std::hint::black_box(model.train_epoch_in(
+            &mut arena,
+            &data,
+            &all,
+            0.1,
+            16,
+            &mut epoch_rng,
+        ));
+    });
+    let mut naive_rng = seeded_rng(53);
+    let naive_ns = time_ns(5, 40, || {
+        std::hint::black_box(naive.train_epoch(&data, &all, 0.1, 16, &mut naive_rng));
+    });
+    let speedup = naive_ns as f64 / arena_ns as f64;
+
+    // --- One full FMore round (24 clients, 12 winners) at 1/2/8 pool threads. ---
+    let mut rounds = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut config = FlConfig::fast_test(TaskKind::MnistO);
+        config.clients = 24;
+        config.winners_per_round = 12;
+        config.partition.clients = 24;
+        config.train_samples = 1_200;
+        let mut trainer = FederatedTrainer::with_engine(
+            config,
+            SelectionStrategy::fmore(),
+            54,
+            RoundEngine::pooled(threads),
+        )
+        .expect("bench config is valid");
+        let ns = time_ns(3, 30, || {
+            trainer.run_round().expect("round runs");
+        });
+        rounds.push((threads, ns));
+    }
+
+    // --- Emit the JSON document (no serde in the offline workspace; hand-formatted). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"fmore-hot-path-bench/v1\",\n");
+    json.push_str(
+        "  \"note\": \"min-of-N wall-clock; regenerate with `cargo run --release -p fmore-bench --example bench_report`\",\n",
+    );
+    json.push_str("  \"kernels_ns\": {\n");
+    for (i, (name, ns)) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"train_epoch\": {\n");
+    json.push_str(&format!("    \"arena_ns\": {arena_ns},\n"));
+    json.push_str(&format!("    \"seed_baseline_ns\": {naive_ns},\n"));
+    json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"pooled_round_ns\": {\n");
+    for (i, (threads, ns)) in rounds.iter().enumerate() {
+        let comma = if i + 1 < rounds.len() { "," } else { "" };
+        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    print!("{json}");
+    eprintln!("wrote {out_path} (train_epoch speedup over seed baseline: {speedup:.2}x)");
+    // Loose gate: this runs on shared CI machines where wall-clock is noisy, so only a
+    // drastic regression (arena path at half the seed baseline) should fail the step.
+    assert!(
+        speedup >= 0.5,
+        "arena path drastically regressed below the seed baseline ({speedup:.2}x)"
+    );
+}

@@ -1,8 +1,7 @@
 //! Benchmark harness for the FMore reproduction.
 //!
-//! The crate contains no library code — the interesting parts are its Criterion benches,
-//! each of which regenerates the data behind one or more paper figures before timing the
-//! underlying computation:
+//! The interesting parts are the Criterion benches, each of which regenerates the data
+//! behind one or more paper figures before timing the underlying computation:
 //!
 //! * `mechanism` — micro-benchmarks and ablations of the auction core (equilibrium solving
 //!   via quadrature vs the paper's Euler route vs Che's closed form, first- vs second-price
@@ -10,11 +9,22 @@
 //! * `figures_accuracy` — Figs. 4–8 (accuracy/loss curves per scheme, winner-score
 //!   distribution),
 //! * `figures_parameters` — Figs. 9–11 (impact of `N`, `K`, and ψ),
-//! * `figures_cluster` — Figs. 12–13 and the headline table (the simulated MEC cluster).
+//! * `figures_cluster` — Figs. 12–13 and the headline table (the simulated MEC cluster),
+//! * `round_engine` — the pooled round pipeline vs the seed's spawn-per-round path,
+//! * `hot_path` — the allocation-free training kernels: in-place matmul family vs the
+//!   allocating composition, arena-backed `train_epoch` vs the [`baseline`] replica of the
+//!   pre-refactor path, and a full pooled round at 1/2/8 worker threads.
 //!
-//! Run everything with `cargo bench --workspace`; each bench prints the regenerated
-//! rows/series to stdout so the numbers can be compared against the paper (see
-//! EXPERIMENTS.md).
+//! Run everything with `cargo bench --workspace`; append `-- --test` for the quick smoke
+//! mode CI uses. The `bench_report` example re-times the hot-path suite with plain
+//! `Instant` loops and emits `BENCH_hot_path.json`, the committed perf-trajectory record —
+//! regenerate it after any kernel change:
+//!
+//! ```bash
+//! cargo run --release -p fmore-bench --example bench_report -- BENCH_hot_path.json
+//! ```
 
-/// Marker constant so the crate has at least one documented item.
+pub mod baseline;
+
+/// Marker constant so the crate root has at least one documented item.
 pub const BENCH_CRATE: &str = "fmore-bench";

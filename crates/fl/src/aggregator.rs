@@ -20,35 +20,47 @@ pub fn federated_average_slices<'a, I>(updates: I) -> Option<Vec<f64>>
 where
     I: IntoIterator<Item = (&'a [f64], f64)>,
 {
-    let mut acc: Option<Vec<f64>> = None;
+    let mut out = Vec::new();
+    federated_average_into(updates, &mut out).then_some(out)
+}
+
+/// Accumulating form of [`federated_average_slices`]: writes the weighted average into `out`
+/// (cleared first, capacity reused), so a driver that averages every round reuses one buffer
+/// instead of allocating per round. Returns `false` — leaving `out` empty — when there are
+/// no usable updates or the parameter vectors disagree in length.
+pub fn federated_average_into<'a, I>(updates: I, out: &mut Vec<f64>) -> bool
+where
+    I: IntoIterator<Item = (&'a [f64], f64)>,
+{
+    out.clear();
+    let mut initialised = false;
     let mut total_weight = 0.0;
     for (params, weight) in updates {
         if weight <= 0.0 {
             continue;
         }
-        match &mut acc {
-            None => {
-                acc = Some(params.iter().map(|p| p * weight).collect());
+        if !initialised {
+            out.extend(params.iter().map(|p| p * weight));
+            initialised = true;
+        } else {
+            if params.len() != out.len() {
+                out.clear();
+                return false;
             }
-            Some(acc) => {
-                if params.len() != acc.len() {
-                    return None;
-                }
-                for (a, p) in acc.iter_mut().zip(params) {
-                    *a += p * weight;
-                }
+            for (a, p) in out.iter_mut().zip(params) {
+                *a += p * weight;
             }
         }
         total_weight += weight;
     }
-    let mut acc = acc?;
-    if total_weight <= 0.0 {
-        return None;
+    if !initialised || total_weight <= 0.0 {
+        out.clear();
+        return false;
     }
-    for a in &mut acc {
+    for a in out.iter_mut() {
         *a /= total_weight;
     }
-    Some(acc)
+    true
 }
 
 #[cfg(test)]

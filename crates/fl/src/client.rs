@@ -102,12 +102,25 @@ impl EdgeClient {
     /// (The pre-refactor trainer took the first `take` indices, silently biasing every
     /// non-full-data round toward the front of the shard.)
     pub fn draw_training_subset(&mut self, take: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.draw_training_subset_into(take, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`EdgeClient::draw_training_subset`]: writes the drawn sample
+    /// indices into `out` (cleared first, capacity reused). Consumes the identical RNG
+    /// stream, so the two forms are interchangeable mid-run.
+    pub fn draw_training_subset_into(&mut self, take: usize, out: &mut Vec<usize>) {
         let take = take.min(self.available.len()).max(1);
         if take >= self.available.len() {
-            return self.available.clone();
+            out.clear();
+            out.extend_from_slice(&self.available);
+            return;
         }
-        let picked = fmore_numerics::rng::sample_indices(self.available.len(), take, &mut self.rng);
-        picked.iter().map(|&i| self.available[i]).collect()
+        fmore_numerics::rng::sample_indices_into(self.available.len(), take, &mut self.rng, out);
+        for slot in out.iter_mut() {
+            *slot = self.available[*slot];
+        }
     }
 
     /// The client's currently offered resource quality `(q1, q2)` =

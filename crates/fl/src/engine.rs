@@ -16,18 +16,25 @@
 //! [`shared_pool`]), and collects results into pre-sized slots indexed by submission order —
 //! deterministic by construction, no lock contention, no per-round thread churn.
 //!
-//! Parallelism never affects results: a training job owns its model clone, its data handle,
-//! its sample indices, and a seed derived from `(run seed, round, client)`, so the outcome of
-//! a round is a pure function of the submitted jobs regardless of worker count or execution
-//! mode. The determinism tests in `tests/determinism.rs` pin this property for every
-//! selection scheme at pool sizes 1 and N.
+//! Parallelism never affects results: a training job owns its slot's reusable model instance
+//! and scratch arena ([`SlotState`]), a shared snapshot of the global parameters, its sample
+//! indices, and a seed derived from `(run seed, round, client)`, so the outcome of a round
+//! is a pure function of the submitted jobs regardless of worker count or execution mode.
+//! The determinism tests in `tests/determinism.rs` pin this property for every selection
+//! scheme at pool sizes 1 and N.
+//!
+//! Slot states are the allocation-free backbone of the training stage: instead of cloning
+//! the global model (and allocating fresh activations) per client per round, each winner
+//! slot keeps one model + arena for the life of the trainer, re-pointed at the new global
+//! parameters each round; see `crates/README.md` ("The allocation-free hot path").
 
-use crate::aggregator::federated_average_slices;
+use crate::aggregator::{federated_average_into, federated_average_slices};
 use crate::client::EdgeClient;
 use crate::error::FlError;
 use crate::metrics::WinnerInfo;
 use fmore_auction::mechanism::Award;
 use fmore_auction::{Auction, AuctionError, EquilibriumSolver, ScoredBid, SubmittedBid};
+use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::Dataset;
 use fmore_ml::model::{Model, Sequential};
 use fmore_numerics::seeded_rng;
@@ -438,8 +445,42 @@ pub fn apply_deadline(timings: &[ParticipantTiming], deadline_secs: f64) -> Dead
 // Stage 4: local training.
 // ---------------------------------------------------------------------------
 
-/// One client's local-training work item: fully self-contained (model clone, shared dataset
-/// handle, sample indices, derived seed), so it can run on any thread — or any machine —
+/// Reusable per-slot training state: one model instance, one scratch arena, and the
+/// parameter/index buffers a slot's jobs cycle through.
+///
+/// The driver (e.g. `FederatedTrainer`) owns one `SlotState` per winner slot and lends it to
+/// that slot's [`TrainingJob`] each round; the job returns it together with the update. The
+/// model is re-pointed at the round's global parameters with
+/// [`fmore_ml::model::Model::apply_parameters`] and its dropout stream is reset, so reusing
+/// the instance is bit-identical to the old clone-the-global-every-round path — but without
+/// re-allocating the model, its layer caches, or any training scratch.
+#[derive(Debug, Clone)]
+pub struct SlotState {
+    /// The slot's persistent model instance (same architecture as the global model).
+    pub model: Sequential,
+    /// The slot's training scratch arena (activations, gradients, batch buffers).
+    pub arena: ScratchArena,
+    /// Reusable parameter export buffer (cycled through [`LocalUpdate::parameters`]).
+    pub params: Vec<f64>,
+    /// Reusable buffer holding the sample indices this slot trains on this round.
+    pub indices: Vec<usize>,
+}
+
+impl SlotState {
+    /// Creates a slot around a model instance (typically a one-time clone of the global
+    /// model); all buffers start empty and are sized by the first round.
+    pub fn new(model: Sequential) -> Self {
+        Self {
+            model,
+            arena: ScratchArena::new(),
+            params: Vec::new(),
+            indices: Vec::new(),
+        }
+    }
+}
+
+/// One client's local-training work item: fully self-contained (slot-local model + scratch,
+/// shared global parameters and dataset handle, derived seed), so it can run on any thread
 /// without touching trainer state.
 #[derive(Debug, Clone)]
 pub struct TrainingJob {
@@ -447,12 +488,13 @@ pub struct TrainingJob {
     pub slot: usize,
     /// Index of the client in the trainer's client list.
     pub client: usize,
-    /// The global model parameters at the start of the round.
-    pub model: Sequential,
+    /// Slot-local reusable state; `state.indices` holds the samples to train on. Returned
+    /// to the driver alongside the update.
+    pub state: SlotState,
+    /// The global model parameters at the start of the round (shared snapshot).
+    pub global_params: Arc<Vec<f64>>,
     /// The shared training pool.
     pub data: Arc<Dataset>,
-    /// Indices (into `data`) this client trains on.
-    pub indices: Vec<usize>,
     /// Local SGD epochs.
     pub epochs: usize,
     /// SGD learning rate.
@@ -470,40 +512,51 @@ pub struct LocalUpdate {
     pub slot: usize,
     /// Index of the client that trained.
     pub client: usize,
-    /// The locally trained model parameters.
+    /// The locally trained model parameters (the slot's cycling buffer; drivers hand it
+    /// back to the slot after aggregation so steady-state rounds allocate nothing).
     pub parameters: Vec<f64>,
     /// FedAvg weight `D_i` — the number of samples trained on (Eq. 3).
     pub weight: f64,
 }
 
 impl TrainingJob {
-    /// Runs the local SGD epochs and returns the update.
-    pub fn run(mut self) -> LocalUpdate {
+    /// Runs the local SGD epochs and returns the update together with the slot state for
+    /// the driver to reclaim.
+    pub fn run(mut self) -> (LocalUpdate, SlotState) {
         let mut rng = seeded_rng(self.seed);
+        let state = &mut self.state;
+        state.model.apply_parameters(&self.global_params);
+        state.model.reset_scratch_rng();
         for _ in 0..self.epochs {
-            self.model.train_epoch(
+            state.model.train_epoch_in(
+                &mut state.arena,
                 &self.data,
-                &self.indices,
+                &state.indices,
                 self.learning_rate,
                 self.batch_size,
                 &mut rng,
             );
         }
-        LocalUpdate {
+        state.model.parameters_into(&mut state.params);
+        let update = LocalUpdate {
             slot: self.slot,
             client: self.client,
-            parameters: self.model.parameters(),
-            weight: self.indices.len() as f64,
-        }
+            parameters: std::mem::take(&mut state.params),
+            weight: state.indices.len() as f64,
+        };
+        (update, self.state)
     }
 }
 
-/// Trains every job on the engine (steps 4–5 of Algorithm 1), returning updates in slot
-/// order regardless of execution mode or completion order.
-pub fn local_training(engine: &RoundEngine, jobs: Vec<TrainingJob>) -> Vec<LocalUpdate> {
-    let tasks: Vec<Task<LocalUpdate>> = jobs
+/// Trains every job on the engine (steps 4–5 of Algorithm 1), returning updates and their
+/// reclaimed slot states in slot order regardless of execution mode or completion order.
+pub fn local_training(
+    engine: &RoundEngine,
+    jobs: Vec<TrainingJob>,
+) -> Vec<(LocalUpdate, SlotState)> {
+    let tasks: Vec<Task<(LocalUpdate, SlotState)>> = jobs
         .into_iter()
-        .map(|job| Box::new(move || job.run()) as Task<LocalUpdate>)
+        .map(|job| Box::new(move || job.run()) as Task<(LocalUpdate, SlotState)>)
         .collect();
     engine.run_tasks(tasks)
 }
@@ -516,6 +569,16 @@ pub fn local_training(engine: &RoundEngine, jobs: Vec<TrainingJob>) -> Vec<Local
 /// Algorithm 1). Returns `None` when there are no updates.
 pub fn aggregate(updates: &[LocalUpdate]) -> Option<Vec<f64>> {
     federated_average_slices(updates.iter().map(|u| (u.parameters.as_slice(), u.weight)))
+}
+
+/// Allocation-free form of [`aggregate`]: accumulates the weighted average into `out`
+/// (capacity reused). Returns `false` — leaving `out` empty — when there is nothing to
+/// aggregate.
+pub fn aggregate_into(updates: &[LocalUpdate], out: &mut Vec<f64>) -> bool {
+    federated_average_into(
+        updates.iter().map(|u| (u.parameters.as_slice(), u.weight)),
+        out,
+    )
 }
 
 #[cfg(test)]

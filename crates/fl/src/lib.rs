@@ -42,10 +42,10 @@ pub mod metrics;
 pub mod selection;
 pub mod trainer;
 
-pub use aggregator::federated_average;
+pub use aggregator::{federated_average, federated_average_into};
 pub use client::EdgeClient;
 pub use config::FlConfig;
-pub use engine::{shared_pool, ExecutionMode, RoundEngine, WorkerPool};
+pub use engine::{shared_pool, ExecutionMode, RoundEngine, SlotState, WorkerPool};
 pub use error::FlError;
 pub use metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;

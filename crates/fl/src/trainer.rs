@@ -3,11 +3,12 @@
 
 use crate::client::EdgeClient;
 use crate::config::{FlConfig, ModelChoice};
-use crate::engine::{self, RoundEngine, TrainingJob};
+use crate::engine::{self, RoundEngine, SlotState, TrainingJob};
 use crate::error::FlError;
 use crate::metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 use crate::selection::SelectionStrategy;
 use fmore_auction::{Auction, CobbDouglas, EquilibriumSolver, LinearCost, NodeId, ScoringRule};
+use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::{image_spec_for, Dataset, SyntheticTextSpec, TaskKind};
 use fmore_ml::model::{Model, Sequential};
 use fmore_ml::models;
@@ -38,6 +39,15 @@ pub struct FederatedTrainer {
     rng: StdRng,
     seed: u64,
     round: usize,
+    /// Reusable per-winner-slot training state (model + arena + buffers); grown on demand,
+    /// lent to the slot's job each round and reclaimed with the update.
+    slots: Vec<Option<SlotState>>,
+    /// Reusable snapshot of the global parameters shared with the round's jobs.
+    global_params: Arc<Vec<f64>>,
+    /// Scratch arena for the per-round global evaluation.
+    eval_arena: ScratchArena,
+    /// Reusable FedAvg accumulator.
+    avg_buf: Vec<f64>,
 }
 
 impl std::fmt::Debug for FederatedTrainer {
@@ -187,6 +197,10 @@ impl FederatedTrainer {
             rng,
             seed,
             round: 0,
+            slots: Vec::new(),
+            global_params: Arc::new(Vec::new()),
+            eval_arena: ScratchArena::new(),
+            avg_buf: Vec::new(),
         })
     }
 
@@ -348,11 +362,24 @@ impl FederatedTrainer {
     ) -> RoundMetrics {
         self.round += 1;
         let jobs = self.training_jobs(&winners);
-        let updates = engine::local_training(&self.engine, jobs);
-        if let Some(average) = engine::aggregate(&updates) {
-            self.global.set_parameters(&average);
+        let results = engine::local_training(&self.engine, jobs);
+        let mut updates = Vec::with_capacity(results.len());
+        for (update, state) in results {
+            self.slots[update.slot] = Some(state);
+            updates.push(update);
         }
-        let eval = self.global.evaluate(&self.test_data, &self.test_indices);
+        if engine::aggregate_into(&updates, &mut self.avg_buf) {
+            self.global.set_parameters(&self.avg_buf);
+        }
+        // Hand each parameter buffer back to its slot so next round exports into it again.
+        for update in updates {
+            if let Some(state) = self.slots[update.slot].as_mut() {
+                state.params = update.parameters;
+            }
+        }
+        let eval =
+            self.global
+                .evaluate_in(&mut self.eval_arena, &self.test_data, &self.test_indices);
         RoundMetrics {
             round: self.round,
             accuracy: eval.accuracy,
@@ -363,23 +390,47 @@ impl FederatedTrainer {
         }
     }
 
+    /// Drops all per-slot reusable training state (models, arenas, buffers).
+    ///
+    /// Never changes results — the next round simply re-creates its slots from the global
+    /// model, paying the warm-up allocations again. Exposed so tests can pin that slot reuse
+    /// leaks no state between rounds, and for drivers that want to release memory between
+    /// phases of a long experiment.
+    pub fn clear_slot_state(&mut self) {
+        self.slots.clear();
+    }
+
     /// Prepares one self-contained [`TrainingJob`] per winner. This is the serial part of the
     /// local-training stage: drawing each winner's training subset through the client's own
     /// seeded RNG (in slot order, so the draw is deterministic) and snapshotting the global
-    /// model. The jobs then run on the engine in any order.
+    /// parameters once for all jobs to share. Each job carries its slot's reusable state
+    /// (created on first use by cloning the global model); the jobs then run on the engine
+    /// in any order.
     fn training_jobs(&mut self, winners: &[WinnerInfo]) -> Vec<TrainingJob> {
+        // Refresh the shared parameter snapshot in place when no job from a previous round
+        // still holds it (always true once a round has finished).
+        match Arc::get_mut(&mut self.global_params) {
+            Some(buf) => self.global.parameters_into(buf),
+            None => self.global_params = Arc::new(self.global.parameters()),
+        }
+        if self.slots.len() < winners.len() {
+            self.slots.resize_with(winners.len(), || None);
+        }
         winners
             .iter()
             .enumerate()
             .map(|(slot, winner)| {
+                let mut state = self.slots[slot]
+                    .take()
+                    .unwrap_or_else(|| SlotState::new(self.global.clone()));
                 let client = &mut self.clients[winner.client];
-                let indices = client.draw_training_subset(winner.data_size);
+                client.draw_training_subset_into(winner.data_size, &mut state.indices);
                 TrainingJob {
                     slot,
                     client: winner.client,
-                    model: self.global.clone(),
+                    state,
+                    global_params: Arc::clone(&self.global_params),
                     data: Arc::clone(&self.train_data),
-                    indices,
                     epochs: self.config.local_epochs,
                     learning_rate: self.config.learning_rate,
                     batch_size: self.config.batch_size,

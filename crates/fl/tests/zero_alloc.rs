@@ -1,0 +1,78 @@
+//! The zero-allocation guarantee of the training hot path, asserted at the level of a full
+//! federated round.
+//!
+//! Runs only with the `alloc-count` feature, which compiles in fmore-ml's thread-local
+//! matrix-allocation counter:
+//!
+//! ```bash
+//! cargo test -p fmore-fl --features alloc-count
+//! ```
+//!
+//! The rounds run on the inline engine so every matrix allocation lands on this test's
+//! thread (the counter is thread-local precisely so concurrently running tests cannot
+//! pollute it). Inline and pooled execution share the identical slot-state code path — the
+//! determinism suite pins that their histories are bit-identical — so the inline assertion
+//! covers the pooled round too.
+
+#![cfg(feature = "alloc-count")]
+
+use fmore_fl::config::FlConfig;
+use fmore_fl::engine::RoundEngine;
+use fmore_fl::selection::SelectionStrategy;
+use fmore_fl::trainer::FederatedTrainer;
+use fmore_ml::dataset::TaskKind;
+use fmore_ml::matrix::alloc_count;
+
+/// After the warm-up rounds have sized every slot arena, further rounds — selection, local
+/// training across all winners, FedAvg, and the global evaluation — allocate no matrices.
+#[test]
+fn steady_state_round_is_matrix_allocation_free() {
+    for strategy in [SelectionStrategy::random(), SelectionStrategy::fmore()] {
+        let mut trainer = FederatedTrainer::with_engine(
+            FlConfig::fast_test(TaskKind::MnistO),
+            strategy.clone(),
+            7,
+            RoundEngine::inline(),
+        )
+        .expect("fast config is valid");
+        // Warm-up: the first rounds size slot models, arenas, and parameter buffers (batch
+        // shapes vary with the drawn subsets, so give every buffer a chance to reach its
+        // steady-state capacity).
+        for _ in 0..3 {
+            trainer.run_round().expect("warm-up round runs");
+        }
+        alloc_count::reset();
+        for _ in 0..3 {
+            trainer.run_round().expect("steady-state round runs");
+        }
+        assert_eq!(
+            alloc_count::count(),
+            0,
+            "{}: steady-state rounds must perform zero matrix allocations",
+            strategy.name()
+        );
+    }
+}
+
+/// Clearing the slot state forces the warm-up allocations again — demonstrating the counter
+/// actually observes this workload (the zero above is not vacuous).
+#[test]
+fn cleared_slots_pay_warmup_allocations_again() {
+    let mut trainer = FederatedTrainer::with_engine(
+        FlConfig::fast_test(TaskKind::MnistO),
+        SelectionStrategy::random(),
+        8,
+        RoundEngine::inline(),
+    )
+    .expect("fast config is valid");
+    for _ in 0..3 {
+        trainer.run_round().expect("warm-up round runs");
+    }
+    trainer.clear_slot_state();
+    alloc_count::reset();
+    trainer.run_round().expect("post-clear round runs");
+    assert!(
+        alloc_count::count() > 0,
+        "recreating slot state must be visible to the allocation counter"
+    );
+}

@@ -123,9 +123,22 @@ impl Dataset {
     ///
     /// Panics if an index is out of bounds.
     pub fn batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
-        let x = self.features.select_rows(indices);
-        let y = indices.iter().map(|&i| self.labels[i]).collect();
+        let mut x = Matrix::default();
+        let mut y = Vec::new();
+        self.batch_into(indices, &mut x, &mut y);
         (x, y)
+    }
+
+    /// Gathers a mini-batch into caller-owned buffers (the allocation-free form of
+    /// [`Dataset::batch`] used by the scratch-arena training loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn batch_into(&self, indices: &[usize], x: &mut Matrix, y: &mut Vec<usize>) {
+        self.features.batch_gather_into(indices, x);
+        y.clear();
+        y.extend(indices.iter().map(|&i| self.labels[i]));
     }
 
     /// Number of distinct classes present among the given sample indices (the "data

@@ -73,19 +73,41 @@ impl Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
-        let out = input.map(|x| self.kind.apply(x));
-        self.cached_output = Some(out.clone());
-        out
+    fn forward_into(
+        &mut self,
+        input: &Matrix,
+        out: &mut Matrix,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) {
+        out.resize(input.rows(), input.cols());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = self.kind.apply(x);
+        }
+        let mut cache = self.cached_output.take().unwrap_or_default();
+        cache.copy_from(out);
+        self.cached_output = Some(cache);
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let out = self
             .cached_output
             .as_ref()
             .expect("backward called before forward on Activation layer");
-        let deriv = out.map(|y| self.kind.derivative_from_output(y));
-        grad_output.hadamard(&deriv)
+        assert_eq!(
+            (grad_output.rows(), grad_output.cols()),
+            (out.rows(), out.cols()),
+            "activation gradient shape mismatch"
+        );
+        grad_input.resize(grad_output.rows(), grad_output.cols());
+        for ((gi, &go), &y) in grad_input
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(out.data())
+        {
+            *gi = go * self.kind.derivative_from_output(y);
+        }
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {

@@ -91,16 +91,25 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+    fn forward_into(
+        &mut self,
+        input: &Matrix,
+        out: &mut Matrix,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) {
         assert_eq!(
             input.cols(),
             self.input_shape.flat_len(),
             "Conv2d input width mismatch"
         );
-        self.cached_input = Some(input.clone());
+        let mut cache = self.cached_input.take().unwrap_or_default();
+        cache.copy_from(input);
+        self.cached_input = Some(cache);
         let out_shape = self.output_shape();
         let (oh, ow) = (out_shape.height, out_shape.width);
-        let mut out = Matrix::zeros(input.rows(), out_shape.flat_len());
+        // Every output element is written below, so stale contents need no zero-fill.
+        out.resize(input.rows(), out_shape.flat_len());
         let k = self.kernel;
         let in_shape = self.input_shape;
         for b in 0..input.rows() {
@@ -125,10 +134,9 @@ impl Layer for Conv2d {
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let input = self
             .cached_input
             .as_ref()
@@ -137,7 +145,8 @@ impl Layer for Conv2d {
         let (oh, ow) = (out_shape.height, out_shape.width);
         let k = self.kernel;
         let in_shape = self.input_shape;
-        let mut grad_input = Matrix::zeros(input.rows(), in_shape.flat_len());
+        grad_input.resize(input.rows(), in_shape.flat_len());
+        grad_input.fill(0.0);
         for b in 0..input.rows() {
             let in_row = input.row(b);
             let go_row = grad_output.row(b);
@@ -167,7 +176,6 @@ impl Layer for Conv2d {
                 }
             }
         }
-        grad_input
     }
 
     fn param_count(&self) -> usize {
@@ -235,15 +243,23 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+    fn forward_into(
+        &mut self,
+        input: &Matrix,
+        out: &mut Matrix,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) {
         assert_eq!(
             input.cols(),
             self.input_shape.flat_len(),
             "MaxPool2d input width mismatch"
         );
         let out_shape = self.output_shape();
-        let mut out = Matrix::zeros(input.rows(), out_shape.flat_len());
-        let mut argmax = vec![0usize; input.rows() * out_shape.flat_len()];
+        // Every output element and argmax slot is written below.
+        out.resize(input.rows(), out_shape.flat_len());
+        let mut argmax = self.cached_argmax.take().unwrap_or_default();
+        argmax.resize(input.rows() * out_shape.flat_len(), 0);
         let in_shape = self.input_shape;
         for b in 0..input.rows() {
             let row = input.row(b);
@@ -270,16 +286,16 @@ impl Layer for MaxPool2d {
         }
         self.cached_argmax = Some(argmax);
         self.cached_batch = input.rows();
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let argmax = self
             .cached_argmax
             .as_ref()
             .expect("backward called before forward on MaxPool2d layer");
         let out_flat = self.output_shape().flat_len();
-        let mut grad_input = Matrix::zeros(self.cached_batch, self.input_shape.flat_len());
+        grad_input.resize(self.cached_batch, self.input_shape.flat_len());
+        grad_input.fill(0.0);
         for b in 0..self.cached_batch {
             for o in 0..out_flat {
                 let in_idx = argmax[b * out_flat + o];
@@ -287,7 +303,6 @@ impl Layer for MaxPool2d {
                     grad_output.get(b, o);
             }
         }
-        grad_input
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {

@@ -38,19 +38,29 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
-        self.cached_input = Some(input.clone());
-        input.matmul(&self.weights).add_row_broadcast(&self.bias)
+    fn forward_into(
+        &mut self,
+        input: &Matrix,
+        out: &mut Matrix,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) {
+        // Reuse the cache buffer from the previous batch instead of cloning the input.
+        let mut cache = self.cached_input.take().unwrap_or_default();
+        cache.copy_from(input);
+        self.cached_input = Some(cache);
+        input.matmul_into(&self.weights, out);
+        out.add_row_inplace(&self.bias);
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let input = self
             .cached_input
             .as_ref()
             .expect("backward called before forward on Dense layer");
-        self.grad_w = input.transpose().matmul(grad_output);
-        self.grad_b = grad_output.sum_rows();
-        grad_output.matmul(&self.weights.transpose())
+        input.matmul_transpose_a_into(grad_output, &mut self.grad_w);
+        grad_output.sum_rows_into(&mut self.grad_b);
+        grad_output.matmul_transpose_b_into(&self.weights, grad_input);
     }
 
     fn param_count(&self) -> usize {

@@ -10,7 +10,10 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Dropout {
     rate: f64,
-    mask: Option<Matrix>,
+    /// Reusable mask buffer; only meaningful while `mask_active` is set.
+    mask: Matrix,
+    /// Whether the last forward pass applied the mask (i.e. ran in training mode).
+    mask_active: bool,
 }
 
 impl Dropout {
@@ -18,7 +21,8 @@ impl Dropout {
     pub fn new(rate: f64) -> Self {
         Self {
             rate: rate.clamp(0.0, 0.95),
-            mask: None,
+            mask: Matrix::default(),
+            mask_active: false,
         }
     }
 
@@ -29,35 +33,59 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Matrix, training: bool, rng: &mut StdRng) -> Matrix {
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix, training: bool, rng: &mut StdRng) {
         if !training || self.rate == 0.0 {
-            self.mask = None;
-            return input.clone();
+            self.mask_active = false;
+            out.copy_from(input);
+            return;
         }
         let keep = 1.0 - self.rate;
-        let mut mask = Matrix::zeros(input.rows(), input.cols());
-        for v in mask.data_mut() {
+        self.mask.resize(input.rows(), input.cols());
+        for v in self.mask.data_mut() {
             *v = if rng.gen::<f64>() < keep {
                 1.0 / keep
             } else {
                 0.0
             };
         }
-        self.mask = Some(mask.clone());
-        input.hadamard(&mask)
+        self.mask_active = true;
+        out.resize(input.rows(), input.cols());
+        for ((o, &x), &m) in out
+            .data_mut()
+            .iter_mut()
+            .zip(input.data())
+            .zip(self.mask.data())
+        {
+            *o = x * m;
+        }
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        match &self.mask {
-            Some(mask) => grad_output.hadamard(mask),
-            None => grad_output.clone(),
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        if self.mask_active {
+            assert_eq!(
+                (grad_output.rows(), grad_output.cols()),
+                (self.mask.rows(), self.mask.cols()),
+                "dropout gradient shape mismatch"
+            );
+            grad_input.resize(grad_output.rows(), grad_output.cols());
+            for ((gi, &go), &m) in grad_input
+                .data_mut()
+                .iter_mut()
+                .zip(grad_output.data())
+                .zip(self.mask.data())
+            {
+                *gi = go * m;
+            }
+        } else {
+            grad_input.copy_from(grad_output);
         }
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Self {
             rate: self.rate,
-            mask: None,
+            mask: Matrix::default(),
+            mask_active: false,
         })
     }
 

@@ -4,6 +4,12 @@
 //! the input row is a flattened sequence `x_1 … x_T` (each `x_t` of width `input_dim`), the
 //! layer runs the standard LSTM recurrence and outputs `h_T`, which downstream dense layers
 //! turn into class logits. The backward pass is full back-propagation through time.
+//!
+//! All per-timestep state (input slices, hidden/cell states, gate activations) and every
+//! intermediate of the recurrence live in reusable buffers owned by the layer, so repeated
+//! forward/backward passes allocate nothing once the largest batch size has been seen. The
+//! fused element-wise loops evaluate exactly the same expression trees as the original
+//! `map`/`hadamard`/`add` compositions, keeping results bit-identical.
 
 use super::Layer;
 use crate::matrix::Matrix;
@@ -25,9 +31,12 @@ pub struct Lstm {
     grad_wh: Matrix,
     grad_b: Matrix,
     cache: Option<Cache>,
+    scratch: Scratch,
 }
 
-#[derive(Debug, Clone)]
+/// Per-timestep state kept for back-propagation through time; buffers are reused across
+/// forward passes.
+#[derive(Debug, Clone, Default)]
 struct Cache {
     /// Per-timestep input slices `(batch, input_dim)`.
     xs: Vec<Matrix>,
@@ -37,6 +46,41 @@ struct Cache {
     cs: Vec<Matrix>,
     /// Gate activations per timestep: `(i, f, g, o)`.
     gates: Vec<(Matrix, Matrix, Matrix, Matrix)>,
+}
+
+impl Cache {
+    fn ensure(&mut self, seq_len: usize) {
+        if self.xs.len() < seq_len {
+            self.xs.resize_with(seq_len, Matrix::default);
+            self.gates.resize_with(seq_len, Default::default);
+            self.hs.resize_with(seq_len + 1, Matrix::default);
+            self.cs.resize_with(seq_len + 1, Matrix::default);
+        }
+    }
+}
+
+/// Reusable intermediates of the recurrence (pre-activations, running gradients, product
+/// buffers); one set per layer instance.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Pre-activation `(batch, 4H)` in forward; gate gradient `dz` in backward.
+    z: Matrix,
+    /// `h_prev · w_h` forward partial.
+    zh: Matrix,
+    /// Running hidden-state gradient.
+    dh: Matrix,
+    /// Next iteration's hidden-state gradient (swapped with `dh`).
+    dh_next: Matrix,
+    /// Running cell-state gradient.
+    dc: Matrix,
+    /// Cell gradient through the tanh gate.
+    dct: Matrix,
+    /// Timestep input gradient `dz · w_xᵀ`.
+    dx: Matrix,
+    /// Weight-gradient product buffer.
+    prod: Matrix,
+    /// Bias-gradient row buffer.
+    bsum: Matrix,
 }
 
 fn sigmoid(x: f64) -> f64 {
@@ -66,6 +110,7 @@ impl Lstm {
             grad_wh: Matrix::zeros(hidden_dim, 4 * hidden_dim),
             grad_b: Matrix::zeros(1, 4 * hidden_dim),
             cache: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -78,127 +123,172 @@ impl Lstm {
     pub fn input_width(&self) -> usize {
         self.seq_len * self.input_dim
     }
-
-    fn slice_timestep(&self, input: &Matrix, t: usize) -> Matrix {
-        let mut out = Matrix::zeros(input.rows(), self.input_dim);
-        for b in 0..input.rows() {
-            let row = input.row(b);
-            out.row_mut(b)
-                .copy_from_slice(&row[t * self.input_dim..(t + 1) * self.input_dim]);
-        }
-        out
-    }
-
-    /// Splits a `(batch, 4H)` pre-activation into activated gates `(i, f, g, o)`.
-    fn activate_gates(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
-        let h = self.hidden_dim;
-        let batch = z.rows();
-        let mut i = Matrix::zeros(batch, h);
-        let mut f = Matrix::zeros(batch, h);
-        let mut g = Matrix::zeros(batch, h);
-        let mut o = Matrix::zeros(batch, h);
-        for b in 0..batch {
-            let row = z.row(b);
-            for j in 0..h {
-                i.set(b, j, sigmoid(row[j]));
-                f.set(b, j, sigmoid(row[h + j]));
-                g.set(b, j, row[2 * h + j].tanh());
-                o.set(b, j, sigmoid(row[3 * h + j]));
-            }
-        }
-        (i, f, g, o)
-    }
 }
 
 impl Layer for Lstm {
-    fn forward(&mut self, input: &Matrix, _training: bool, _rng: &mut StdRng) -> Matrix {
+    fn forward_into(
+        &mut self,
+        input: &Matrix,
+        out: &mut Matrix,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) {
         assert_eq!(
             input.cols(),
             self.input_width(),
             "LSTM input width mismatch"
         );
         let batch = input.rows();
-        let mut hs = vec![Matrix::zeros(batch, self.hidden_dim)];
-        let mut cs = vec![Matrix::zeros(batch, self.hidden_dim)];
-        let mut xs = Vec::with_capacity(self.seq_len);
-        let mut gates = Vec::with_capacity(self.seq_len);
+        let h_dim = self.hidden_dim;
+        let mut cache = self.cache.take().unwrap_or_default();
+        cache.ensure(self.seq_len);
+        // Initial hidden/cell state is zero.
+        cache.hs[0].resize(batch, h_dim);
+        cache.hs[0].fill(0.0);
+        cache.cs[0].resize(batch, h_dim);
+        cache.cs[0].fill(0.0);
 
         for t in 0..self.seq_len {
-            let x_t = self.slice_timestep(input, t);
-            let z = x_t
-                .matmul(&self.w_x)
-                .add(&hs[t].matmul(&self.w_h))
-                .add_row_broadcast(&self.bias);
-            let (i, f, g, o) = self.activate_gates(&z);
-            let c_t = f.hadamard(&cs[t]).add(&i.hadamard(&g));
-            let h_t = o.hadamard(&c_t.map(f64::tanh));
-            xs.push(x_t);
-            gates.push((i, f, g, o));
-            cs.push(c_t);
-            hs.push(h_t);
+            // Slice timestep t of the flattened input into the reusable x_t buffer.
+            let x_t = &mut cache.xs[t];
+            x_t.resize(batch, self.input_dim);
+            for b in 0..batch {
+                x_t.row_mut(b)
+                    .copy_from_slice(&input.row(b)[t * self.input_dim..(t + 1) * self.input_dim]);
+            }
+
+            // Pre-activation z = x_t·w_x + h_prev·w_h + bias.
+            let z = &mut self.scratch.z;
+            cache.xs[t].matmul_into(&self.w_x, z);
+            cache.hs[t].matmul_into(&self.w_h, &mut self.scratch.zh);
+            for (a, &b) in z.data_mut().iter_mut().zip(self.scratch.zh.data()) {
+                *a += b;
+            }
+            z.add_row_inplace(&self.bias);
+
+            // Gate activations, order [i, f, g, o].
+            let (gi, gf, gg, go) = &mut cache.gates[t];
+            gi.resize(batch, h_dim);
+            gf.resize(batch, h_dim);
+            gg.resize(batch, h_dim);
+            go.resize(batch, h_dim);
+            for b in 0..batch {
+                let row = z.row(b);
+                for j in 0..h_dim {
+                    gi.set(b, j, sigmoid(row[j]));
+                    gf.set(b, j, sigmoid(row[h_dim + j]));
+                    gg.set(b, j, row[2 * h_dim + j].tanh());
+                    go.set(b, j, sigmoid(row[3 * h_dim + j]));
+                }
+            }
+
+            // c_t = f ⊙ c_prev + i ⊙ g and h_t = o ⊙ tanh(c_t).
+            let (c_head, c_tail) = cache.cs.split_at_mut(t + 1);
+            let c_prev = &c_head[t];
+            let c_t = &mut c_tail[0];
+            c_t.resize(batch, h_dim);
+            let h_t = &mut cache.hs[t + 1];
+            h_t.resize(batch, h_dim);
+            for ((((((c, &cp), &i), &f), &g), &o), h) in c_t
+                .data_mut()
+                .iter_mut()
+                .zip(c_prev.data())
+                .zip(gi.data())
+                .zip(gf.data())
+                .zip(gg.data())
+                .zip(go.data())
+                .zip(h_t.data_mut())
+            {
+                *c = f * cp + i * g;
+                *h = o * c.tanh();
+            }
         }
-        let out = hs.last().unwrap().clone();
-        self.cache = Some(Cache { xs, hs, cs, gates });
-        out
+        out.copy_from(&cache.hs[self.seq_len]);
+        self.cache = Some(cache);
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         let cache = self
             .cache
             .as_ref()
             .expect("backward called before forward on LSTM layer");
         let batch = grad_output.rows();
         let h_dim = self.hidden_dim;
-        let mut grad_input = Matrix::zeros(batch, self.input_width());
-        let mut dh = grad_output.clone();
-        let mut dc = Matrix::zeros(batch, h_dim);
+        let scratch = &mut self.scratch;
+        grad_input.resize(batch, self.seq_len * self.input_dim);
+        grad_input.fill(0.0);
+        scratch.dh.copy_from(grad_output);
+        scratch.dc.resize(batch, h_dim);
+        scratch.dc.fill(0.0);
 
         for t in (0..self.seq_len).rev() {
-            let (i, f, g, o) = &cache.gates[t];
+            let (gi, gf, gg, go) = &cache.gates[t];
             let c_t = &cache.cs[t + 1];
             let c_prev = &cache.cs[t];
             let h_prev = &cache.hs[t];
             let x_t = &cache.xs[t];
 
-            let tanh_c = c_t.map(f64::tanh);
-            let d_o = dh.hadamard(&tanh_c);
-            let dct = dc.add(&dh.hadamard(o).hadamard(&tanh_c.map(|y| 1.0 - y * y)));
-            let d_i = dct.hadamard(g);
-            let d_g = dct.hadamard(i);
-            let d_f = dct.hadamard(c_prev);
-
-            // Pre-activation gradients.
-            let dz_i = d_i.hadamard(&i.map(|y| y * (1.0 - y)));
-            let dz_f = d_f.hadamard(&f.map(|y| y * (1.0 - y)));
-            let dz_g = d_g.hadamard(&g.map(|y| 1.0 - y * y));
-            let dz_o = d_o.hadamard(&o.map(|y| y * (1.0 - y)));
-
-            // Assemble (batch, 4H).
-            let mut dz = Matrix::zeros(batch, 4 * h_dim);
+            // Gate-gradient assembly, fused: for every (b, j) compute the cell gradient
+            // dct = dc + (dh ⊙ o) ⊙ (1 − tanh(c)²) and the four pre-activation gradients
+            //   dz_i = (dct ⊙ g) ⊙ i(1−i)      dz_f = (dct ⊙ c_prev) ⊙ f(1−f)
+            //   dz_g = (dct ⊙ i) ⊙ (1−g²)      dz_o = (dh ⊙ tanh c) ⊙ o(1−o)
+            // — the exact expression trees of the original map/hadamard composition.
+            let dz = &mut scratch.z;
+            dz.resize(batch, 4 * h_dim);
+            scratch.dct.resize(batch, h_dim);
             for b in 0..batch {
+                let dh_row = scratch.dh.row(b);
+                let dc_row = scratch.dc.row(b);
+                let i_row = gi.row(b);
+                let f_row = gf.row(b);
+                let g_row = gg.row(b);
+                let o_row = go.row(b);
+                let ct_row = c_t.row(b);
+                let cp_row = c_prev.row(b);
                 for j in 0..h_dim {
-                    dz.set(b, j, dz_i.get(b, j));
-                    dz.set(b, h_dim + j, dz_f.get(b, j));
-                    dz.set(b, 2 * h_dim + j, dz_g.get(b, j));
-                    dz.set(b, 3 * h_dim + j, dz_o.get(b, j));
+                    let tanh_c = ct_row[j].tanh();
+                    let dct = dc_row[j] + (dh_row[j] * o_row[j]) * (1.0 - tanh_c * tanh_c);
+                    scratch.dct.set(b, j, dct);
+                    let dz_row = dz.row_mut(b);
+                    dz_row[j] = (dct * g_row[j]) * (i_row[j] * (1.0 - i_row[j]));
+                    dz_row[h_dim + j] = (dct * cp_row[j]) * (f_row[j] * (1.0 - f_row[j]));
+                    dz_row[2 * h_dim + j] = (dct * i_row[j]) * (1.0 - g_row[j] * g_row[j]);
+                    dz_row[3 * h_dim + j] = (dh_row[j] * tanh_c) * (o_row[j] * (1.0 - o_row[j]));
                 }
             }
 
-            self.grad_wx = self.grad_wx.add(&x_t.transpose().matmul(&dz));
-            self.grad_wh = self.grad_wh.add(&h_prev.transpose().matmul(&dz));
-            self.grad_b = self.grad_b.add(&dz.sum_rows());
+            // Parameter gradients accumulate across timesteps; the products are formed in
+            // their own buffer first so the accumulation order matches the original
+            // `grad += product` composition.
+            x_t.matmul_transpose_a_into(dz, &mut scratch.prod);
+            self.grad_wx.add_scaled_in_place(&scratch.prod, 1.0);
+            h_prev.matmul_transpose_a_into(dz, &mut scratch.prod);
+            self.grad_wh.add_scaled_in_place(&scratch.prod, 1.0);
+            dz.sum_rows_into(&mut scratch.bsum);
+            self.grad_b.add_scaled_in_place(&scratch.bsum, 1.0);
 
-            let dx = dz.matmul(&self.w_x.transpose());
+            // Input gradient of this timestep, scattered into the flattened layout.
+            dz.matmul_transpose_b_into(&self.w_x, &mut scratch.dx);
             for b in 0..batch {
                 let dst = &mut grad_input.row_mut(b)[t * self.input_dim..(t + 1) * self.input_dim];
-                for (d, s) in dst.iter_mut().zip(dx.row(b)) {
+                for (d, s) in dst.iter_mut().zip(scratch.dx.row(b)) {
                     *d += s;
                 }
             }
-            dh = dz.matmul(&self.w_h.transpose());
-            dc = dct.hadamard(f);
+
+            // Recurrent gradients for timestep t − 1.
+            dz.matmul_transpose_b_into(&self.w_h, &mut scratch.dh_next);
+            std::mem::swap(&mut scratch.dh, &mut scratch.dh_next);
+            for ((dc, &dct), &f) in scratch
+                .dc
+                .data_mut()
+                .iter_mut()
+                .zip(scratch.dct.data())
+                .zip(gf.data())
+            {
+                *dc = dct * f;
+            }
         }
-        grad_input
     }
 
     fn param_count(&self) -> usize {
@@ -320,6 +410,32 @@ mod tests {
             initial,
             loss(&h_final)
         );
+    }
+
+    #[test]
+    fn repeated_passes_reuse_buffers_without_allocating() {
+        let mut rng = seeded_rng(9);
+        let mut lstm = Lstm::new(4, 3, 5, &mut rng);
+        let x = Matrix::random_uniform(3, 12, 1.0, &mut rng);
+        let mut out = Matrix::default();
+        let mut grad = Matrix::default();
+        // Warm up all internal buffers at this batch size.
+        lstm.forward_into(&x, &mut out, true, &mut rng);
+        let ones = out.map(|_| 1.0);
+        lstm.backward_into(&ones, &mut grad);
+        let first_out = out.clone();
+        let first_grad = grad.clone();
+        lstm.apply_gradients(0.0); // lr 0: parameters unchanged, gradients cleared
+        crate::matrix::alloc_count::reset();
+        lstm.forward_into(&x, &mut out, true, &mut rng);
+        lstm.backward_into(&ones, &mut grad);
+        assert_eq!(
+            crate::matrix::alloc_count::count(),
+            0,
+            "steady-state LSTM passes must not allocate"
+        );
+        assert_eq!(out, first_out);
+        assert_eq!(grad, first_grad);
     }
 
     #[test]

@@ -23,22 +23,45 @@ use rand::rngs::StdRng;
 ///
 /// The contract mirrors classic define-by-run frameworks:
 ///
-/// 1. [`Layer::forward`] consumes a mini-batch and caches whatever it needs for the backward
-///    pass;
-/// 2. [`Layer::backward`] consumes `∂L/∂output`, accumulates parameter gradients internally,
-///    and returns `∂L/∂input`;
+/// 1. [`Layer::forward_into`] consumes a mini-batch, writes the output into a caller-owned
+///    matrix, and caches whatever it needs for the backward pass;
+/// 2. [`Layer::backward_into`] consumes `∂L/∂output`, accumulates parameter gradients
+///    internally, and writes `∂L/∂input` into a caller-owned matrix;
 /// 3. [`Layer::apply_gradients`] performs one SGD step (`w ← w − lr · ∇w`) and clears the
 ///    accumulated gradients.
+///
+/// The `_into` forms are the hot path: output and gradient matrices live in a
+/// [`crate::arena::ScratchArena`] (or any caller buffer) and are reshaped in place, so
+/// steady-state training allocates nothing. Internal caches (saved inputs, dropout masks,
+/// LSTM state) are likewise reused across calls. The allocating [`Layer::forward`] /
+/// [`Layer::backward`] wrappers delegate to the `_into` forms — one code path, bit-identical
+/// results.
 ///
 /// Parameters can be exported and imported as flat `f64` slices so the federated-learning
 /// crate can average models across clients (FedAvg, Eq. 3 of the paper).
 pub trait Layer: Send + Sync {
-    /// Forward pass over a `(batch, in_features)` matrix. `training` enables stochastic
-    /// behaviour such as dropout.
-    fn forward(&mut self, input: &Matrix, training: bool, rng: &mut StdRng) -> Matrix;
+    /// Forward pass over a `(batch, in_features)` matrix, written into `out` (reshaped as
+    /// needed; must not alias `input`). `training` enables stochastic behaviour such as
+    /// dropout.
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix, training: bool, rng: &mut StdRng);
 
-    /// Backward pass: receives `∂L/∂output`, returns `∂L/∂input`.
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// Backward pass: receives `∂L/∂output`, writes `∂L/∂input` into `grad_input` (reshaped
+    /// as needed; must not alias `grad_output`).
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix);
+
+    /// Allocating convenience wrapper over [`Layer::forward_into`].
+    fn forward(&mut self, input: &Matrix, training: bool, rng: &mut StdRng) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out, training, rng);
+        out
+    }
+
+    /// Allocating convenience wrapper over [`Layer::backward_into`].
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
 
     /// Number of trainable parameters.
     fn param_count(&self) -> usize {

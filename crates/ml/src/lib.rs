@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod dataset;
 pub mod layers;
 pub mod loss;
@@ -49,6 +50,7 @@ pub mod model;
 pub mod models;
 pub mod partition;
 
+pub use arena::ScratchArena;
 pub use dataset::{Dataset, SyntheticImageSpec, SyntheticTextSpec, TaskKind};
 pub use matrix::Matrix;
 pub use model::{Evaluation, Model, Sequential};

@@ -5,6 +5,12 @@ use crate::matrix::Matrix;
 /// Numerically stable row-wise softmax.
 pub fn softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax applied in place.
+fn softmax_inplace(out: &mut Matrix) {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -17,7 +23,6 @@ pub fn softmax(logits: &Matrix) -> Matrix {
             *v /= sum.max(1e-300);
         }
     }
-    out
 }
 
 /// Mean softmax cross-entropy loss and its gradient with respect to the logits.
@@ -29,41 +34,69 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 ///
 /// Panics if `labels.len() != logits.rows()` or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free form of [`softmax_cross_entropy`]: writes the logit gradient into `grad`
+/// (reshaped to match `logits`, reusing its buffer) and returns the mean loss.
+///
+/// The probabilities are computed directly inside `grad`, so the hot path needs no
+/// intermediate matrix at all; results are bit-identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> f64 {
     assert_eq!(
         labels.len(),
         logits.rows(),
         "one label per logit row is required"
     );
-    let probs = softmax(logits);
+    grad.copy_from(logits);
+    softmax_inplace(grad);
     let batch = logits.rows() as f64;
     let mut loss = 0.0;
-    let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
         assert!(
             label < logits.cols(),
             "label {label} out of range for {} classes",
             logits.cols()
         );
-        let p = probs.get(r, label).max(1e-12);
+        let p = grad.get(r, label).max(1e-12);
         loss -= p.ln();
         grad.set(r, label, grad.get(r, label) - 1.0);
     }
     grad.scale_in_place(1.0 / batch);
-    (loss / batch, grad)
+    loss / batch
+}
+
+/// Index of a row's maximum element; among equal maxima the **last** index wins (matching
+/// `Iterator::max_by`), and an empty row yields `0`.
+///
+/// # Panics
+///
+/// Panics on a NaN entry — a NaN logit means training diverged, and silently picking an
+/// index would fabricate accuracy numbers (the historical `partial_cmp().unwrap()` path
+/// panicked here too).
+pub(crate) fn row_argmax(row: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_value = f64::NEG_INFINITY;
+    for (j, &v) in row.iter().enumerate() {
+        assert!(!v.is_nan(), "NaN logit at column {j} — training diverged");
+        if v >= best_value {
+            best_value = v;
+            best = j;
+        }
+    }
+    best
 }
 
 /// Row-wise argmax: the predicted class for every sample.
 pub fn predictions(logits: &Matrix) -> Vec<usize> {
     (0..logits.rows())
-        .map(|r| {
-            logits
-                .row(r)
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        })
+        .map(|r| row_argmax(logits.row(r)))
         .collect()
 }
 
@@ -109,6 +142,18 @@ mod tests {
     }
 
     #[test]
+    fn into_form_matches_allocating_form_and_reuses_buffers() {
+        let logits = Matrix::from_vec(2, 3, vec![0.2, -0.1, 0.5, 1.0, 0.3, -0.7]);
+        let labels = [2, 0];
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        // Start from a stale, wrongly-shaped buffer.
+        let mut buf = Matrix::from_vec(1, 1, vec![42.0]);
+        let loss_into = softmax_cross_entropy_into(&logits, &labels, &mut buf);
+        assert_eq!(loss.to_bits(), loss_into.to_bits());
+        assert_eq!(grad, buf);
+    }
+
+    #[test]
     fn gradient_matches_finite_differences() {
         let logits = Matrix::from_vec(2, 3, vec![0.2, -0.1, 0.5, 1.0, 0.3, -0.7]);
         let labels = [2, 0];
@@ -134,6 +179,9 @@ mod tests {
     fn predictions_take_row_argmax() {
         let logits = Matrix::from_vec(3, 3, vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0, 0.0, 0.1, 0.2]);
         assert_eq!(predictions(&logits), vec![1, 0, 2]);
+        // Ties resolve to the last maximal index, matching `Iterator::max_by`.
+        let tied = Matrix::from_vec(1, 3, vec![4.0, 4.0, 1.0]);
+        assert_eq!(predictions(&tied), vec![1]);
     }
 
     #[test]

@@ -3,21 +3,250 @@
 //! The simulation only needs small matrices (thousands of elements), so a straightforward
 //! `Vec<f64>`-backed implementation with cache-friendly row-major loops is sufficient and
 //! keeps the crate free of external linear-algebra dependencies.
+//!
+//! # In-place kernels
+//!
+//! The training hot path runs thousands of small matrix products per federated round, so
+//! every operation that a layer's forward/backward pass needs exists in an **`_into` form**
+//! that writes into a caller-owned output matrix instead of allocating a fresh one:
+//!
+//! * [`Matrix::matmul_into`] — `out = self · other`, cache-blocked over the shared dimension,
+//! * [`Matrix::matmul_transpose_a_into`] — `out = selfᵀ · other` without materialising the
+//!   transpose (the dense/LSTM weight-gradient product),
+//! * [`Matrix::matmul_transpose_b_into`] — `out = self · otherᵀ` without materialising the
+//!   transpose (the dense/LSTM input-gradient product),
+//! * [`Matrix::map_inplace`], [`Matrix::add_row_inplace`], [`Matrix::sum_rows_into`],
+//!   [`Matrix::batch_gather_into`] — the element-wise / broadcast / reduction / batch-extract
+//!   counterparts.
+//!
+//! Output matrices are reshaped with [`Matrix::resize`], which reuses the existing buffer
+//! capacity: after a warm-up pass at the largest shape, the `_into` kernels perform **zero
+//! allocations**. Every `_into` kernel accumulates in exactly the same per-element order as
+//! its allocating counterpart, so the two forms are bit-identical — the allocating methods
+//! are thin wrappers over the `_into` forms, and the property suite pins the equivalence.
 
 use rand::Rng;
 use std::fmt;
 
+/// Thread-local accounting of `Matrix` buffer allocations, used to assert that the training
+/// hot path is allocation-free in steady state.
+///
+/// Only matrix-buffer events on the **current thread** are counted: fresh buffer creation
+/// ([`Matrix::zeros`], [`Matrix::from_vec`], clones) and capacity growth inside
+/// [`Matrix::resize`]. Compiled in only for tests and the `alloc-count` feature, so release
+/// builds carry no bookkeeping.
+#[cfg(any(test, feature = "alloc-count"))]
+pub mod alloc_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static MATRIX_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Resets the current thread's allocation counter to zero.
+    pub fn reset() {
+        MATRIX_ALLOCS.with(|c| c.set(0));
+    }
+
+    /// Number of matrix-buffer allocations on the current thread since the last
+    /// [`reset`].
+    pub fn count() -> u64 {
+        MATRIX_ALLOCS.with(|c| c.get())
+    }
+
+    pub(super) fn note() {
+        MATRIX_ALLOCS.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// Records one matrix-buffer allocation (no-op unless the counter is compiled in).
+#[inline]
+fn note_alloc(len: usize) {
+    #[cfg(any(test, feature = "alloc-count"))]
+    if len > 0 {
+        alloc_count::note();
+    }
+    #[cfg(not(any(test, feature = "alloc-count")))]
+    let _ = len;
+}
+
+/// Block size (in rows of the right-hand operand) for the cache-blocked matmul family: a
+/// 64 × 64 `f64` panel is 32 KiB, sized to stay resident in a typical L1d cache while every
+/// left-hand row streams against it.
+const MATMUL_BLOCK: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Kernel cores.
+//
+// The matmul family shares two loop-nest cores operating on raw row-major slices. Each core
+// accumulates every output element in strict ascending shared-dimension order, so the
+// result is bit-identical to the historical scalar kernels for finite operands (the old
+// kernels skipped `a == 0.0` terms; those terms are all `±0.0`, and adding `±0.0` never
+// changes a finite accumulator that started at `+0.0` — IEEE-754 round-to-nearest sums
+// never produce `−0.0`).
+//
+// On x86-64 the cores are additionally compiled with AVX enabled and selected at runtime.
+// This only widens the auto-vectorised lanes across *independent* output elements — no
+// per-element reassociation — so the AVX and scalar paths produce identical bits and
+// results stay reproducible across machines with and without AVX.
+// ---------------------------------------------------------------------------
+
+/// `out[i][j] += Σ_k a[i][k] · b[k][j]` for `a: (m, kd)`, `b: (kd, n)`, `out: (m, n)`.
+/// `out` must be zero-initialised by the caller. Panel-blocked over `k` with a four-wide
+/// register block: each output value is loaded once, updated by four consecutive `k` terms
+/// in order, and stored once.
+#[inline(always)]
+fn matmul_core(m: usize, kd: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    for kb in (0..kd).step_by(MATMUL_BLOCK) {
+        let kend = (kb + MATMUL_BLOCK).min(kd);
+        for i in 0..m {
+            let a_row = &a[i * kd..(i + 1) * kd];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut k = kb;
+            while k + 4 <= kend {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let panel = &b[k * n..(k + 4) * n];
+                let (b0, rest) = panel.split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, b3) = rest.split_at(n);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += a0 * b0[j];
+                    acc += a1 * b1[j];
+                    acc += a2 * b2[j];
+                    acc += a3 * b3[j];
+                    *o = acc;
+                }
+                k += 4;
+            }
+            while k < kend {
+                let a_k = a_row[k];
+                let b_row = &b[k * n..(k + 1) * n];
+                for (o, bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_k * bv;
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// `out[i][j] += Σ_k a[k][i] · b[k][j]` for `a: (rows, m)`, `b: (rows, n)`, `out: (m, n)`
+/// — the `aᵀ · b` product without materialising the transpose. `out` must be
+/// zero-initialised by the caller.
+#[inline(always)]
+fn matmul_ta_core(rows: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    let mut k = 0;
+    while k + 4 <= rows {
+        let a_panel = &a[k * m..(k + 4) * m];
+        let (a0, rest) = a_panel.split_at(m);
+        let (a1, rest) = rest.split_at(m);
+        let (a2, a3) = rest.split_at(m);
+        let b_panel = &b[k * n..(k + 4) * n];
+        let (b0, rest) = b_panel.split_at(n);
+        let (b1, rest) = rest.split_at(n);
+        let (b2, b3) = rest.split_at(n);
+        for i in 0..m {
+            let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += c0 * b0[j];
+                acc += c1 * b1[j];
+                acc += c2 * b2[j];
+                acc += c3 * b3[j];
+                *o = acc;
+            }
+        }
+        k += 4;
+    }
+    while k < rows {
+        let a_row = &a[k * m..(k + 1) * m];
+        let b_row = &b[k * n..(k + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn matmul_core_avx(m: usize, kd: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    matmul_core(m, kd, n, a, b, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn matmul_ta_core_avx(
+    rows: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+) {
+    matmul_ta_core(rows, m, n, a, b, out);
+}
+
+fn run_matmul_core(m: usize, kd: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx") {
+        // SAFETY: guarded by the runtime feature check above.
+        unsafe { matmul_core_avx(m, kd, n, a, b, out) };
+        return;
+    }
+    matmul_core(m, kd, n, a, b, out);
+}
+
+fn run_matmul_ta_core(rows: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx") {
+        // SAFETY: guarded by the runtime feature check above.
+        unsafe { matmul_ta_core_avx(rows, m, n, a, b, out) };
+        return;
+    }
+    matmul_ta_core(rows, m, n, a, b, out);
+}
+
+std::thread_local! {
+    /// Per-thread scratch for [`Matrix::matmul_transpose_b_into`]'s operand re-pack; sized
+    /// once per thread and reused, so steady-state backward passes stay allocation-free.
+    static TRANSPOSE_SCRATCH: std::cell::RefCell<Matrix> =
+        std::cell::RefCell::new(Matrix::default());
+}
+
 /// A dense row-major matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        note_alloc(self.data.len());
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuses the existing buffer when its capacity suffices.
+        self.copy_from(source);
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        note_alloc(rows * cols);
         Self {
             rows,
             cols,
@@ -32,6 +261,7 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        note_alloc(data.len());
         Self { rows, cols, data }
     }
 
@@ -42,10 +272,11 @@ impl Matrix {
         scale: f64,
         rng: &mut R,
     ) -> Self {
-        let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-scale..=scale))
-            .collect();
-        Self { rows, cols, data }
+        let mut out = Self::zeros(rows, cols);
+        for v in out.data.iter_mut() {
+            *v = rng.gen_range(-scale..=scale);
+        }
+        out
     }
 
     /// He-style initialisation for a layer with `fan_in` inputs: uniform on
@@ -73,6 +304,33 @@ impl Matrix {
     /// Mutably borrow the raw row-major data.
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the existing buffer.
+    ///
+    /// The contents after the call are unspecified (a mix of stale values and zeros); every
+    /// `_into` kernel overwrites or zero-fills as needed. No allocation happens unless the
+    /// new element count exceeds the buffer's current capacity, so scratch matrices reach a
+    /// steady state after one pass at their largest shape.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let needed = rows * cols;
+        if needed > self.data.capacity() {
+            note_alloc(needed);
+        }
+        self.data.resize(needed, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an element-wise copy of `src`, reusing the existing buffer.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Element accessor.
@@ -109,11 +367,22 @@ impl Matrix {
 
     /// Builds a matrix by stacking the given rows of `self` (used to assemble mini-batches).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::default();
+        self.batch_gather_into(indices, &mut out);
+        out
+    }
+
+    /// Stacks the given rows of `self` into `out` (the allocation-free form of
+    /// [`Matrix::select_rows`] used to assemble mini-batches from a scratch arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn batch_gather_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
-        out
     }
 
     /// Matrix product `self · other`.
@@ -122,33 +391,111 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, b) in row_out.iter_mut().zip(row_b) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// Matrix product `out = self · other`, written into a caller-owned matrix.
+    ///
+    /// The loop nest is blocked twice: a panel of [`MATMUL_BLOCK`] rows of `other` stays in
+    /// cache while every row of `self` streams against it, and within a panel the shared
+    /// dimension is register-blocked four-wide — each output value is loaded once, updated
+    /// by four consecutive `k` terms in a register, and stored once. Per output element the
+    /// partial products still accumulate in strict ascending `k` order, so for finite
+    /// operands the result is bit-identical to the historical skip-zero scalar kernel (the
+    /// skipped terms were all `±0.0`, and adding `±0.0` never changes a finite accumulator
+    /// that started at `+0.0` — IEEE-754 round-to-nearest sums never produce `−0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
+        run_matmul_core(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// Product with the left operand transposed: `out = selfᵀ · other`, without ever
+    /// materialising `selfᵀ`.
+    ///
+    /// This is the weight-gradient product of the backward pass (`∇W = xᵀ · ∂L/∂y`). The
+    /// loop nest walks both operands row-by-row (contiguously), register-blocking the
+    /// shared dimension four-wide, and accumulates each output element in strict ascending
+    /// shared-dimension order — bit-identical to `self.transpose().matmul(other)` for
+    /// finite operands (see [`Matrix::matmul_into`] on why dropping the historical
+    /// zero-skip is a bitwise no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_transpose_a_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a dimension mismatch"
+        );
+        out.resize(self.cols, other.cols);
+        out.fill(0.0);
+        run_matmul_ta_core(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// Product with the right operand transposed: `out = self · otherᵀ`, without the
+    /// allocation of a `transpose()` call.
+    ///
+    /// This is the input-gradient product of the backward pass (`∂L/∂x = ∂L/∂y · Wᵀ`).
+    /// Row-major `A · Bᵀ` admits no loop order that is both contiguous and axpy-shaped, and
+    /// a strict-order dot product cannot be vectorised, so the kernel re-packs `otherᵀ`
+    /// into a per-thread scratch buffer (reused across calls — no steady-state allocation)
+    /// and runs the fast matmul core over it. By construction the result is bit-identical
+    /// to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b dimension mismatch"
+        );
+        TRANSPOSE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            other.transpose_into(&mut scratch);
+            self.matmul_into(&scratch, out);
+        });
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-owned matrix (the allocation-free form of
+    /// [`Matrix::transpose`]).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.set(j, i, self.get(i, j));
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
             }
         }
-        out
     }
 
     /// Element-wise addition.
@@ -162,17 +509,11 @@ impl Matrix {
             (other.rows, other.cols),
             "add shape mismatch"
         );
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
         }
+        out
     }
 
     /// Element-wise subtraction `self − other`.
@@ -186,17 +527,11 @@ impl Matrix {
             (other.rows, other.cols),
             "sub shape mismatch"
         );
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
         }
+        out
     }
 
     /// Element-wise (Hadamard) product.
@@ -210,25 +545,24 @@ impl Matrix {
             (other.rows, other.cols),
             "hadamard shape mismatch"
         );
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a *= b;
         }
+        out
     }
 
     /// Returns a copy with `f` applied to every element.
     pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Applies `f` to every element in place (the allocation-free form of [`Matrix::map`]).
+    pub fn map_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
         }
     }
 
@@ -261,26 +595,44 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 × self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_inplace(bias);
+        out
+    }
+
+    /// Adds a row vector (1 × cols) to every row in place (the allocation-free form of
+    /// [`Matrix::add_row_broadcast`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_inplace(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out.data[i * self.cols + j] += bias.data[j];
+                self.data[i * self.cols + j] += bias.data[j];
             }
         }
-        out
     }
 
     /// Sums over rows, producing a `1 × cols` row vector (used for bias gradients).
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums over rows into a caller-owned `1 × cols` row vector (the allocation-free form of
+    /// [`Matrix::sum_rows`]).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize(1, self.cols);
+        out.fill(0.0);
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out.data[j] += self.get(i, j);
             }
         }
-        out
     }
 
     /// Mean of all elements; `0.0` for empty matrices.
@@ -359,6 +711,76 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_reuses_and_reshapes_the_output() {
+        let mut rng = seeded_rng(20);
+        let a = Matrix::random_uniform(7, 5, 1.0, &mut rng);
+        let b = Matrix::random_uniform(5, 9, 1.0, &mut rng);
+        // Start from a stale, wrongly-shaped output buffer.
+        let mut out = Matrix::from_vec(2, 2, vec![9.0; 4]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Re-run with different shapes into the same buffer.
+        let c = Matrix::random_uniform(3, 7, 1.0, &mut rng);
+        c.matmul_into(&a, &mut out);
+        assert_eq!(out, c.matmul(&a));
+    }
+
+    #[test]
+    fn matmul_blocking_crosses_block_boundaries() {
+        // Shared dimension larger than one block exercises the k-panel loop.
+        let k = MATMUL_BLOCK + 17;
+        let mut rng = seeded_rng(21);
+        let a = Matrix::random_uniform(3, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, 4, 1.0, &mut rng);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        // Reference: plain per-element dot products in ascending k order.
+        for i in 0..3 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    let v = a.get(i, kk);
+                    if v == 0.0 {
+                        continue;
+                    }
+                    acc += v * b.get(kk, j);
+                }
+                assert_eq!(out.get(i, j), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_match_allocating_composition() {
+        let mut rng = seeded_rng(22);
+        // Include exact zeros so the zero-skip path is exercised.
+        let a = Matrix::random_uniform(6, 4, 1.0, &mut rng).map(|v| if v < 0.0 { 0.0 } else { v });
+        let b = Matrix::random_uniform(6, 5, 1.0, &mut rng);
+        let mut out = Matrix::default();
+        a.matmul_transpose_a_into(&b, &mut out);
+        assert_eq!(out, a.transpose().matmul(&b));
+
+        let c = Matrix::random_uniform(3, 4, 1.0, &mut rng);
+        let d = Matrix::random_uniform(7, 4, 1.0, &mut rng);
+        c.matmul_transpose_b_into(&d, &mut out);
+        assert_eq!(out, c.matmul(&d.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_a dimension mismatch")]
+    fn transpose_a_kernel_rejects_bad_shapes() {
+        let mut out = Matrix::default();
+        Matrix::zeros(2, 3).matmul_transpose_a_into(&Matrix::zeros(3, 2), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_b dimension mismatch")]
+    fn transpose_b_kernel_rejects_bad_shapes() {
+        let mut out = Matrix::default();
+        Matrix::zeros(2, 3).matmul_transpose_b_into(&Matrix::zeros(3, 2), &mut out);
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let t = a.transpose();
@@ -381,6 +803,9 @@ mod tests {
         let mut d = a.clone();
         d.add_scaled_in_place(&b, 0.5);
         assert_eq!(d.data(), &[3.0, 4.5, 6.0]);
+        let mut e = a.clone();
+        e.map_inplace(|x| x + 1.0);
+        assert_eq!(e.data(), &[2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -388,7 +813,13 @@ mod tests {
         let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let bias = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
         assert_eq!(x.add_row_broadcast(&bias).data(), &[11.0, 22.0, 13.0, 24.0]);
+        let mut y = x.clone();
+        y.add_row_inplace(&bias);
+        assert_eq!(y.data(), &[11.0, 22.0, 13.0, 24.0]);
         assert_eq!(x.sum_rows().data(), &[4.0, 6.0]);
+        let mut sums = Matrix::default();
+        x.sum_rows_into(&mut sums);
+        assert_eq!(sums.data(), &[4.0, 6.0]);
         assert!((x.mean() - 2.5).abs() < 1e-12);
         assert!((x.norm() - 30.0_f64.sqrt()).abs() < 1e-12);
         assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
@@ -401,6 +832,56 @@ mod tests {
         assert_eq!(batch.rows(), 2);
         assert_eq!(batch.row(0), &[5.0, 6.0]);
         assert_eq!(batch.row(1), &[1.0, 2.0]);
+        // The gather form reuses a caller buffer.
+        let mut buf = Matrix::default();
+        x.batch_gather_into(&[1, 1, 0], &mut buf);
+        assert_eq!(buf.rows(), 3);
+        assert_eq!(buf.row(0), &[3.0, 4.0]);
+        assert_eq!(buf.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_and_copy_reuse_capacity() {
+        let mut m = Matrix::zeros(4, 4);
+        alloc_count::reset();
+        m.resize(2, 3);
+        m.fill(7.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.data(), &[7.0; 6]);
+        m.resize(4, 4); // back within the original capacity
+        let src = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        m.copy_from(&src);
+        assert_eq!(m.data(), &[1.0, 2.0]);
+        // None of the reshapes above exceeded the original 16-element capacity, and
+        // `from_vec` of `src` is the only fresh buffer.
+        assert_eq!(alloc_count::count(), 1);
+        // Growing past capacity is counted.
+        m.resize(10, 10);
+        assert_eq!(alloc_count::count(), 2);
+    }
+
+    #[test]
+    fn alloc_counter_sees_steady_state_kernels() {
+        let mut rng = seeded_rng(23);
+        let a = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let b = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let mut out = Matrix::default();
+        // Warm up every kernel (including the transpose-b re-pack scratch).
+        a.matmul_into(&b, &mut out);
+        a.matmul_transpose_a_into(&b, &mut out);
+        a.matmul_transpose_b_into(&b, &mut out);
+        alloc_count::reset();
+        for _ in 0..10 {
+            a.matmul_into(&b, &mut out);
+            a.matmul_transpose_a_into(&b, &mut out);
+            a.matmul_transpose_b_into(&b, &mut out);
+        }
+        assert_eq!(
+            alloc_count::count(),
+            0,
+            "warmed-up kernels must not allocate"
+        );
     }
 
     #[test]

@@ -5,12 +5,28 @@
 //! perform local SGD epochs on a data shard (Eq. 2). The [`Model`] trait captures exactly
 //! that, and [`Sequential`] implements it for a stack of [`Layer`]s trained with softmax
 //! cross-entropy.
+//!
+//! # The allocation-free hot path
+//!
+//! [`Sequential::train_epoch_in`] and [`Sequential::evaluate_in`] run against a caller-owned
+//! [`ScratchArena`]: mini-batches are gathered into the arena's input buffer, each layer
+//! writes into its per-layer activation matrix, and gradients ping-pong between two reusable
+//! buffers. After one pass at the largest batch shape the whole loop performs zero matrix
+//! allocations (pinned by the alloc-counter tests), and the results are bit-identical to the
+//! allocating [`Model::train_epoch`] / [`Model::evaluate`], which delegate to the arena
+//! forms with a throwaway arena.
 
+use crate::arena::ScratchArena;
 use crate::dataset::Dataset;
 use crate::layers::Layer;
-use crate::loss::{predictions, softmax_cross_entropy};
+use crate::loss::{row_argmax, softmax_cross_entropy_into};
 use crate::matrix::Matrix;
 use rand::rngs::StdRng;
+
+/// Seed of the scratch RNG driving stochastic layers (dropout). Fixed so that a freshly
+/// constructed model, a clone of an untrained model, and a slot-reused model after
+/// [`Sequential::reset_scratch_rng`] all see the identical stream.
+const SCRATCH_RNG_SEED: u64 = 0xF00D;
 
 /// Accuracy and loss of a model on a data shard.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -26,6 +42,13 @@ pub trait Model: Send + Sync {
     /// Exports all trainable parameters as one flat vector (stable order).
     fn parameters(&self) -> Vec<f64>;
 
+    /// Writes all trainable parameters into `out` (cleared first), reusing its capacity —
+    /// the allocation-free form of [`Model::parameters`].
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.parameters());
+    }
+
     /// Imports parameters previously produced by [`Model::parameters`] (or an average of
     /// several such vectors).
     ///
@@ -33,6 +56,17 @@ pub trait Model: Send + Sync {
     ///
     /// Panics if `params` has the wrong length.
     fn set_parameters(&mut self, params: &[f64]);
+
+    /// Copies a borrowed parameter view into the model in place — the zero-copy counterpart
+    /// of [`Model::set_parameters`] used by the federated round engine (the two are
+    /// synonyms; this name documents that no buffer changes hands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has the wrong length.
+    fn apply_parameters(&mut self, params: &[f64]) {
+        self.set_parameters(params);
+    }
 
     /// Total number of trainable parameters.
     fn num_parameters(&self) -> usize;
@@ -92,13 +126,22 @@ impl Sequential {
         );
         Self {
             layers,
-            rng: fmore_numerics::seeded_rng(0xF00D),
+            rng: fmore_numerics::seeded_rng(SCRATCH_RNG_SEED),
         }
     }
 
     /// Layer names in order, useful for summaries and tests.
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Reseeds the scratch RNG driving stochastic layers back to its construction state.
+    ///
+    /// A worker slot that reuses one model instance across rounds calls this before every
+    /// round so its dropout stream matches what a fresh clone of the (never-trained) global
+    /// model would see — keeping slot reuse bit-identical to the clone-per-round path.
+    pub fn reset_scratch_rng(&mut self) {
+        self.rng = fmore_numerics::seeded_rng(SCRATCH_RNG_SEED);
     }
 
     /// Runs the forward pass and returns the logits for a feature batch.
@@ -110,13 +153,114 @@ impl Sequential {
         out
     }
 
-    fn backward_and_step(&mut self, grad_logits: &Matrix, lr: f64) {
-        let mut grad = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+    /// Runs the forward pass over the batch already gathered into `arena.activations[0]`,
+    /// writing each layer's output into its arena slot. The logits end up in the last
+    /// activation buffer.
+    fn forward_arena(&mut self, arena: &mut ScratchArena, training: bool) {
+        arena.ensure_layers(self.layers.len());
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (inputs, outputs) = arena.activations.split_at_mut(i + 1);
+            layer.forward_into(&inputs[i], &mut outputs[0], training, &mut self.rng);
         }
-        for layer in &mut self.layers {
-            layer.apply_gradients(lr);
+    }
+
+    /// Runs one epoch of mini-batch SGD against a caller-owned scratch arena — the
+    /// allocation-free form of [`Model::train_epoch`], bit-identical to it.
+    ///
+    /// The arena only decides where intermediates live; after a warm-up pass at the largest
+    /// batch shape the epoch performs zero matrix allocations.
+    pub fn train_epoch_in(
+        &mut self,
+        arena: &mut ScratchArena,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let batch_size = batch_size.max(1);
+        arena.order.clear();
+        arena.order.extend_from_slice(indices);
+        fmore_numerics::rng::shuffle(&mut arena.order, rng);
+        arena.ensure_layers(self.layers.len());
+        let mut total_loss = 0.0;
+        let mut batches = 0;
+        let mut start = 0;
+        while start < arena.order.len() {
+            let end = (start + batch_size).min(arena.order.len());
+            // Gather the mini-batch into the arena (the chunk is copied out of `order`
+            // borrow-free by splitting the borrow below).
+            {
+                let ScratchArena {
+                    activations,
+                    labels,
+                    order,
+                    ..
+                } = arena;
+                data.batch_into(&order[start..end], &mut activations[0], labels);
+            }
+            self.forward_arena(arena, true);
+            let logits = &arena.activations[self.layers.len()];
+            let loss = softmax_cross_entropy_into(logits, &arena.labels, &mut arena.grad_a);
+            // Backward: ping-pong the gradient between the two arena buffers.
+            for layer in self.layers.iter_mut().rev() {
+                layer.backward_into(&arena.grad_a, &mut arena.grad_b);
+                std::mem::swap(&mut arena.grad_a, &mut arena.grad_b);
+            }
+            for layer in &mut self.layers {
+                layer.apply_gradients(learning_rate);
+            }
+            total_loss += loss;
+            batches += 1;
+            start = end;
+        }
+        total_loss / batches as f64
+    }
+
+    /// Evaluates loss and accuracy against a caller-owned scratch arena — the
+    /// allocation-free form of [`Model::evaluate`], bit-identical to it.
+    ///
+    /// Takes `&mut self` because layer caches (scratch state, not parameters) are written
+    /// during the forward pass; parameters and the dropout RNG are untouched.
+    pub fn evaluate_in(
+        &mut self,
+        arena: &mut ScratchArena,
+        data: &Dataset,
+        indices: &[usize],
+    ) -> Evaluation {
+        if indices.is_empty() {
+            return Evaluation::default();
+        }
+        arena.ensure_layers(self.layers.len());
+        let mut total_loss = 0.0;
+        let mut correct = 0usize;
+        let mut count = 0usize;
+        for chunk in indices.chunks(256) {
+            {
+                let ScratchArena {
+                    activations,
+                    labels,
+                    ..
+                } = arena;
+                data.batch_into(chunk, &mut activations[0], labels);
+            }
+            self.forward_arena(arena, false);
+            let logits = &arena.activations[self.layers.len()];
+            let loss = softmax_cross_entropy_into(logits, &arena.labels, &mut arena.grad_a);
+            total_loss += loss * chunk.len() as f64;
+            for (r, &label) in arena.labels.iter().enumerate() {
+                if row_argmax(logits.row(r)) == label {
+                    correct += 1;
+                }
+            }
+            count += chunk.len();
+        }
+        Evaluation {
+            loss: total_loss / count as f64,
+            accuracy: correct as f64 / count as f64,
         }
     }
 }
@@ -124,10 +268,15 @@ impl Sequential {
 impl Model for Sequential {
     fn parameters(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_parameters());
-        for layer in &self.layers {
-            layer.write_params(&mut out);
-        }
+        self.parameters_into(&mut out);
         out
+    }
+
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.write_params(out);
+        }
     }
 
     fn set_parameters(&mut self, params: &[f64]) {
@@ -155,48 +304,16 @@ impl Model for Sequential {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> f64 {
-        if indices.is_empty() {
-            return 0.0;
-        }
-        let batch_size = batch_size.max(1);
-        let mut order = indices.to_vec();
-        fmore_numerics::rng::shuffle(&mut order, rng);
-        let mut total_loss = 0.0;
-        let mut batches = 0;
-        for chunk in order.chunks(batch_size) {
-            let (x, y) = data.batch(chunk);
-            let logits = self.forward(&x, true);
-            let (loss, grad) = softmax_cross_entropy(&logits, &y);
-            self.backward_and_step(&grad, learning_rate);
-            total_loss += loss;
-            batches += 1;
-        }
-        total_loss / batches as f64
+        let mut arena = ScratchArena::default();
+        self.train_epoch_in(&mut arena, data, indices, learning_rate, batch_size, rng)
     }
 
     fn evaluate(&self, data: &Dataset, indices: &[usize]) -> Evaluation {
-        if indices.is_empty() {
-            return Evaluation::default();
-        }
-        // Evaluation must not mutate the model; run on a scratch clone so layer caches and the
-        // dropout RNG stay untouched.
+        // Evaluation must not mutate the model; run on a scratch clone so layer caches stay
+        // untouched for callers holding `&self`.
         let mut scratch = self.clone();
-        let mut total_loss = 0.0;
-        let mut correct = 0usize;
-        let mut count = 0usize;
-        for chunk in indices.chunks(256) {
-            let (x, y) = data.batch(chunk);
-            let logits = scratch.forward(&x, false);
-            let (loss, _) = softmax_cross_entropy(&logits, &y);
-            total_loss += loss * chunk.len() as f64;
-            let preds = predictions(&logits);
-            correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
-            count += chunk.len();
-        }
-        Evaluation {
-            loss: total_loss / count as f64,
-            accuracy: correct as f64 / count as f64,
-        }
+        let mut arena = ScratchArena::default();
+        scratch.evaluate_in(&mut arena, data, indices)
     }
 
     fn clone_model(&self) -> Box<dyn Model> {
@@ -232,6 +349,13 @@ mod tests {
         assert_eq!(other.parameters(), params);
         assert_eq!(model.layer_names(), vec!["dense", "relu", "dense"]);
         assert!(format!("{model:?}").contains("dense"));
+        // The borrowed-view forms agree with the owning forms.
+        let mut buf = vec![42.0; 3];
+        model.parameters_into(&mut buf);
+        assert_eq!(buf, params);
+        let mut third = tiny_mlp(8, 4, 3);
+        third.apply_parameters(&buf);
+        assert_eq!(third.parameters(), params);
     }
 
     #[test]
@@ -270,6 +394,77 @@ mod tests {
     }
 
     #[test]
+    fn arena_and_allocating_paths_agree_bit_for_bit() {
+        let mut data_rng = seeded_rng(30);
+        let data = SyntheticImageSpec::mnist_like().generate(120, &mut data_rng);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let mut a = tiny_mlp(data.feature_dim(), data.num_classes(), 31);
+        let mut b = a.clone();
+        let mut arena = ScratchArena::new();
+        let mut rng_a = seeded_rng(32);
+        let mut rng_b = seeded_rng(32);
+        for _ in 0..3 {
+            let la = a.train_epoch(&data, &all, 0.1, 17, &mut rng_a);
+            let lb = b.train_epoch_in(&mut arena, &data, &all, 0.1, 17, &mut rng_b);
+            assert_eq!(la.to_bits(), lb.to_bits());
+            assert_eq!(a.parameters(), b.parameters());
+        }
+        let ea = a.evaluate(&data, &all);
+        let eb = b.evaluate_in(&mut arena, &data, &all);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn steady_state_epoch_is_allocation_free() {
+        let mut rng = seeded_rng(33);
+        let data = SyntheticImageSpec::mnist_like().generate(200, &mut rng);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let mut model = tiny_mlp(data.feature_dim(), data.num_classes(), 34);
+        let mut arena = ScratchArena::new();
+        // Warm-up epoch sizes every buffer (including the smaller trailing batch).
+        model.train_epoch_in(&mut arena, &data, &all, 0.1, 32, &mut rng);
+        model.evaluate_in(&mut arena, &data, &all);
+        crate::matrix::alloc_count::reset();
+        for _ in 0..3 {
+            model.train_epoch_in(&mut arena, &data, &all, 0.1, 32, &mut rng);
+        }
+        let eval = model.evaluate_in(&mut arena, &data, &all);
+        assert_eq!(
+            crate::matrix::alloc_count::count(),
+            0,
+            "steady-state training and evaluation must perform zero matrix allocations"
+        );
+        assert!(eval.accuracy > 0.0);
+    }
+
+    #[test]
+    fn scratch_rng_reset_restores_the_construction_stream() {
+        use crate::layers::Dropout;
+        let mut rng = seeded_rng(35);
+        let mut data_rng = seeded_rng(36);
+        let data = SyntheticImageSpec::mnist_like().generate(40, &mut data_rng);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let build = |rng: &mut StdRng| {
+            Sequential::new(vec![
+                Box::new(Dense::new(64, 16, rng)) as Box<dyn Layer>,
+                Box::new(Dropout::new(0.5)),
+                Box::new(Dense::new(16, 10, rng)),
+            ])
+        };
+        let template = build(&mut rng);
+        // Path A: fresh clone per round (the pre-refactor behaviour).
+        let mut cloned = template.clone();
+        cloned.train_epoch(&data, &all, 0.1, 16, &mut seeded_rng(37));
+        // Path B: reused instance, trained once already, then reset.
+        let mut reused = template.clone();
+        reused.train_epoch(&data, &all, 0.1, 16, &mut seeded_rng(99));
+        reused.set_parameters(&template.parameters());
+        reused.reset_scratch_rng();
+        reused.train_epoch(&data, &all, 0.1, 16, &mut seeded_rng(37));
+        assert_eq!(cloned.parameters(), reused.parameters());
+    }
+
+    #[test]
     fn evaluate_does_not_change_parameters() {
         let mut rng = seeded_rng(5);
         let data = SyntheticImageSpec::mnist_like().generate(50, &mut rng);
@@ -287,6 +482,15 @@ mod tests {
         assert_eq!(model.train_epoch(&data, &[], 0.1, 8, &mut rng), 0.0);
         let eval = model.evaluate(&data, &[]);
         assert_eq!(eval, Evaluation::default());
+        let mut arena = ScratchArena::new();
+        assert_eq!(
+            model.train_epoch_in(&mut arena, &data, &[], 0.1, 8, &mut rng),
+            0.0
+        );
+        assert_eq!(
+            model.evaluate_in(&mut arena, &data, &[]),
+            Evaluation::default()
+        );
     }
 
     #[test]

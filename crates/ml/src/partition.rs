@@ -95,11 +95,11 @@ pub fn partition_non_iid(
     let cat_lo = config.category_range.0.clamp(1, num_classes);
     let cat_hi = config.category_range.1.clamp(cat_lo, num_classes);
 
-    // Pre-compute per-class index pools.
-    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
-    for (i, &label) in data.labels().iter().enumerate() {
-        by_class[label].push(i);
-    }
+    // Pre-compute per-class index pools in one flat counting-sort layout (one buffer plus
+    // per-class offsets) instead of `num_classes` separately allocated vectors. Within each
+    // class the sample indices appear in ascending order, exactly as the per-class `push`
+    // layout produced.
+    let buckets = ClassBuckets::build(data.labels(), num_classes);
 
     (0..config.clients)
         .map(|_| {
@@ -110,7 +110,7 @@ pub fn partition_non_iid(
             fmore_numerics::rng::shuffle(&mut classes, rng);
             let chosen: Vec<usize> = classes
                 .into_iter()
-                .filter(|&c| !by_class[c].is_empty())
+                .filter(|&c| !buckets.class(c).is_empty())
                 .take(n_categories)
                 .collect();
             // Sample the shard from the chosen classes only.
@@ -118,7 +118,7 @@ pub fn partition_non_iid(
             if !chosen.is_empty() {
                 for _ in 0..size {
                     let class = chosen[rng.gen_range(0..chosen.len())];
-                    let pool = &by_class[class];
+                    let pool = buckets.class(class);
                     indices.push(pool[rng.gen_range(0..pool.len())]);
                 }
             }
@@ -129,6 +129,38 @@ pub fn partition_non_iid(
             }
         })
         .collect()
+}
+
+/// Per-class sample-index pools stored as one flat buffer plus offsets — two allocations
+/// for the whole dataset instead of one `Vec` per class.
+struct ClassBuckets {
+    /// All sample indices, grouped by class; within a class, ascending.
+    flat: Vec<usize>,
+    /// `offsets[c]..offsets[c + 1]` is class `c`'s slice of `flat`.
+    offsets: Vec<usize>,
+}
+
+impl ClassBuckets {
+    fn build(labels: &[usize], num_classes: usize) -> Self {
+        let mut offsets = vec![0usize; num_classes + 1];
+        for &label in labels {
+            offsets[label + 1] += 1;
+        }
+        for c in 0..num_classes {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut flat = vec![0usize; labels.len()];
+        let mut cursor = offsets.clone();
+        for (i, &label) in labels.iter().enumerate() {
+            flat[cursor[label]] = i;
+            cursor[label] += 1;
+        }
+        Self { flat, offsets }
+    }
+
+    fn class(&self, c: usize) -> &[usize] {
+        &self.flat[self.offsets[c]..self.offsets[c + 1]]
+    }
 }
 
 fn normalized_size_range(range: (usize, usize), dataset_len: usize) -> (usize, usize) {

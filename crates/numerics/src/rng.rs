@@ -47,17 +47,26 @@ pub fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
 /// Samples `k` distinct indices uniformly at random from `0..n` (reservoir sampling).
 /// Returns all indices when `k >= n`.
 pub fn sample_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut out = Vec::new();
+    sample_indices_into(n, k, rng, &mut out);
+    out
+}
+
+/// Allocation-free form of [`sample_indices`]: writes the sampled indices into `out`
+/// (cleared first, capacity reused), consuming the identical RNG stream.
+pub fn sample_indices_into<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R, out: &mut Vec<usize>) {
+    out.clear();
     if k >= n {
-        return (0..n).collect();
+        out.extend(0..n);
+        return;
     }
-    let mut reservoir: Vec<usize> = (0..k).collect();
+    out.extend(0..k);
     for i in k..n {
         let j = rng.gen_range(0..=i);
         if j < k {
-            reservoir[j] = i;
+            out[j] = i;
         }
     }
-    reservoir
 }
 
 #[cfg(test)]

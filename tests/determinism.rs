@@ -255,3 +255,53 @@ fn pool_recovers_from_panicking_tasks_under_load() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Slot-state reuse: scratch arenas must not bleed between rounds.
+// ---------------------------------------------------------------------------
+
+/// Reusing per-slot training state (model instances + scratch arenas) across consecutive
+/// `run_round` calls on the same pool is bit-identical to paying the warm-up again with
+/// fresh state every round — and to a second trainer running on its own fresh pool. Any
+/// scratch value leaking from round N into round N+1 would break this equality.
+#[test]
+fn arena_reuse_does_not_bleed_between_rounds() {
+    for (name, strategy) in strategies() {
+        // Reference: slots reused across all rounds on a shared pool.
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let mut reused = FederatedTrainer::with_engine(
+            FlConfig::fast_test(TaskKind::MnistO),
+            strategy.clone(),
+            SEED,
+            RoundEngine::with_pool(std::sync::Arc::clone(&pool)),
+        )
+        .expect("fast config is valid");
+        let reference: Vec<_> = (0..ROUNDS)
+            .map(|_| reused.run_round().expect("round runs"))
+            .collect();
+
+        // Same pool, but per-slot scratch state dropped between every round.
+        let mut cleared = FederatedTrainer::with_engine(
+            FlConfig::fast_test(TaskKind::MnistO),
+            strategy.clone(),
+            SEED,
+            RoundEngine::with_pool(pool),
+        )
+        .expect("fast config is valid");
+        for (round, expected) in reference.iter().enumerate() {
+            let metrics = cleared.run_round().expect("round runs");
+            assert_eq!(
+                &metrics, expected,
+                "{name}: round {round} diverged when slot state was cleared between rounds"
+            );
+            cleared.clear_slot_state();
+        }
+
+        // A fresh trainer on a fresh pool agrees too.
+        let fresh = history_with(strategy, RoundEngine::pooled(2), SEED);
+        assert_eq!(
+            fresh.rounds, reference,
+            "{name}: fresh-pool run diverged from the slot-reusing run"
+        );
+    }
+}

@@ -462,3 +462,148 @@ fn deadline_gate_is_monotone_in_the_deadline() {
         )
     });
 }
+
+// ---------------------------------------------------------------------------
+// The allocation-free training hot path: in-place kernels and arena-backed epochs.
+// ---------------------------------------------------------------------------
+
+/// The seed's scalar matmul (i/k/j loop order, skip-zero), kept here as the independent
+/// ground truth the in-place kernel family is checked against bit-for-bit.
+fn scalar_matmul(a: &fmore::ml::Matrix, b: &fmore::ml::Matrix) -> fmore::ml::Matrix {
+    let mut out = fmore::ml::Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let v = a.get(i, k);
+            if v == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + v * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// A random matrix with exact zeros sprinkled in (to exercise the historical skip-zero
+/// path) whose entries are deterministic in `seed`.
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> fmore::ml::Matrix {
+    let mut rng = fmore::numerics::seeded_rng(seed);
+    let mut m = fmore::ml::Matrix::random_uniform(rows, cols, 1.0, &mut rng);
+    m.map_inplace(|v| if v.abs() < 0.25 { 0.0 } else { v });
+    m
+}
+
+/// Every member of the in-place matmul family is **bit-identical** to the scalar seed
+/// kernel composed with explicit transposes, across random shapes (blocked and remainder
+/// paths included) and into stale, wrongly-shaped output buffers.
+#[test]
+fn inplace_matmul_family_matches_allocating_composition_bitwise() {
+    use fmore::ml::Matrix;
+    let strategy = Tuple3(
+        Tuple3(
+            UsizeRange::new(1, 9),
+            UsizeRange::new(1, 70),
+            UsizeRange::new(1, 9),
+        ),
+        UsizeRange::new(0, 10_000),
+        UsizeRange::new(0, 10_000),
+    );
+    check(
+        &Config::seeded(0xB1),
+        &strategy,
+        |((m, k, n), seed_a, seed_b)| {
+            let a = random_matrix(*m, *k, *seed_a as u64);
+            let b = random_matrix(*k, *n, *seed_b as u64 + 1);
+            let reference = scalar_matmul(&a, &b);
+            // Stale, wrongly-shaped reused buffer.
+            let mut out = Matrix::from_vec(1, 2, vec![9.0, -9.0]);
+            a.matmul_into(&b, &mut out);
+            ensure(out.data() == reference.data(), || {
+                format!("matmul_into diverged from the scalar kernel at {m}x{k}x{n}")
+            })?;
+            ensure(a.matmul(&b).data() == reference.data(), || {
+                "allocating matmul diverged from the scalar kernel".to_string()
+            })?;
+            // aᵀ·b without materialising the transpose.
+            let at = random_matrix(*k, *m, *seed_a as u64 + 2);
+            at.matmul_transpose_a_into(&b, &mut out);
+            let ta_reference = scalar_matmul(&at.transpose(), &b);
+            ensure(out.data() == ta_reference.data(), || {
+                format!("matmul_transpose_a_into diverged at {k}x{m} vs {k}x{n}")
+            })?;
+            // a·bᵀ without an allocating transpose.
+            let bt = random_matrix(*n, *k, *seed_b as u64 + 3);
+            a.matmul_transpose_b_into(&bt, &mut out);
+            let tb_reference = scalar_matmul(&a, &bt.transpose());
+            ensure(out.data() == tb_reference.data(), || {
+                format!("matmul_transpose_b_into diverged at {m}x{k} vs {n}x{k}")
+            })
+        },
+    );
+}
+
+/// The arena-backed `train_epoch` follows the **pre-refactor parameter trajectory**
+/// bit-for-bit on a seeded tiny MLP: `fmore_bench::baseline::NaiveMlp` replays the seed's
+/// allocating kernels (skip-zero matmul, materialised transposes, clone-per-stage caches),
+/// and every epoch must leave both models with identical parameters and losses.
+#[test]
+fn arena_train_epoch_matches_seed_trajectory_bitwise() {
+    use fmore::ml::dataset::SyntheticImageSpec;
+    use fmore::ml::layers::{Activation, Dense, Layer};
+    use fmore::ml::model::Model;
+    use fmore::ml::{ScratchArena, Sequential};
+    use fmore_bench::baseline::NaiveMlp;
+    let strategy = Tuple3(
+        Tuple2(UsizeRange::new(4, 24), UsizeRange::new(1, 40)),
+        UsizeRange::new(0, 10_000),
+        UsizeRange::new(1, 30),
+    );
+    check(
+        &Config::seeded(0xB2).with_cases(16),
+        &strategy,
+        |((hidden, batch), seed, lr_steps)| {
+            let seed = *seed as u64;
+            let learning_rate = *lr_steps as f64 * 0.01;
+            let mut data_rng = fmore::numerics::seeded_rng(seed);
+            let data = SyntheticImageSpec::mnist_like().generate(60, &mut data_rng);
+            let all: Vec<usize> = (0..data.len()).collect();
+            let mut build_rng = fmore::numerics::seeded_rng(seed + 1);
+            let mut model = Sequential::new(vec![
+                Box::new(Dense::new(data.feature_dim(), *hidden, &mut build_rng)) as Box<dyn Layer>,
+                Box::new(Activation::relu()),
+                Box::new(Dense::new(*hidden, data.num_classes(), &mut build_rng)),
+            ]);
+            let mut naive = NaiveMlp::from_params(
+                data.feature_dim(),
+                *hidden,
+                data.num_classes(),
+                &model.parameters(),
+            );
+            let mut arena = ScratchArena::new();
+            let mut rng_arena = fmore::numerics::seeded_rng(seed + 2);
+            let mut rng_naive = fmore::numerics::seeded_rng(seed + 2);
+            for epoch in 0..2 {
+                let la = model.train_epoch_in(
+                    &mut arena,
+                    &data,
+                    &all,
+                    learning_rate,
+                    *batch,
+                    &mut rng_arena,
+                );
+                let lb = naive.train_epoch(&data, &all, learning_rate, *batch, &mut rng_naive);
+                ensure(la.to_bits() == lb.to_bits(), || {
+                    format!("epoch {epoch} loss diverged: {la} vs {lb}")
+                })?;
+                ensure(model.parameters() == naive.parameters(), || {
+                    format!(
+                        "epoch {epoch} parameter trajectory diverged (hidden {hidden}, \
+                         batch {batch}, lr {learning_rate})"
+                    )
+                })?;
+            }
+            Ok(())
+        },
+    );
+}

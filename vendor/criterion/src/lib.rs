@@ -9,10 +9,30 @@
 //! `measurement_time` (at least `sample_size` samples), and the mean, minimum, and maximum
 //! per-iteration wall-clock times are printed to stdout. There is no statistical analysis,
 //! HTML report, or baseline comparison — the point is relative numbers on one machine.
+//!
+//! # Quick mode (`--test`)
+//!
+//! Passing `--test` on the bench command line (`cargo bench --bench foo -- --test`) or
+//! setting `FMORE_BENCH_QUICK=1` switches every benchmark to a single untimed-warm-up,
+//! single-sample smoke run, mirroring real criterion's `--test` flag. In quick mode the
+//! per-group `sample_size` / `warm_up_time` / `measurement_time` overrides are ignored, so
+//! CI can execute a whole bench binary in milliseconds purely to catch panics and
+//! result-changing regressions.
 
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether quick (smoke) mode is active: `--test` among the process arguments or the
+/// `FMORE_BENCH_QUICK` environment variable set to anything but `0`.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--test")
+            || std::env::var("FMORE_BENCH_QUICK").is_ok_and(|v| v != "0")
+    })
+}
 
 /// Opaque value sink preventing the optimizer from deleting a computation.
 pub fn black_box<T>(x: T) -> T {
@@ -40,6 +60,13 @@ struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
+        if quick_mode() {
+            return Self {
+                sample_size: 1,
+                warm_up_time: Duration::ZERO,
+                measurement_time: Duration::ZERO,
+            };
+        }
         Self {
             sample_size: 20,
             warm_up_time: Duration::from_millis(300),
@@ -194,21 +221,27 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of samples collected per benchmark.
+    /// Sets the number of samples collected per benchmark (ignored in quick mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.settings.sample_size = n.max(1);
+        if !quick_mode() {
+            self.settings.sample_size = n.max(1);
+        }
         self
     }
 
-    /// Sets the warm-up duration.
+    /// Sets the warm-up duration (ignored in quick mode).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.settings.warm_up_time = d;
+        if !quick_mode() {
+            self.settings.warm_up_time = d;
+        }
         self
     }
 
-    /// Sets the measurement duration.
+    /// Sets the measurement duration (ignored in quick mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.settings.measurement_time = d;
+        if !quick_mode() {
+            self.settings.measurement_time = d;
+        }
         self
     }
 
