@@ -295,6 +295,7 @@ impl EquilibriumSolverBuilder {
             u_grid: Vec::new(),
             g_grid: Vec::new(),
             g_cumulative: Vec::new(),
+            payments: Vec::new(),
         };
         solver.tabulate(self.grid)?;
         Ok(solver)
@@ -328,6 +329,9 @@ pub struct EquilibriumSolver {
     g_grid: Vec<f64>,
     /// `∫_{u_min}^{u} g(x) dx` on the score grid.
     g_cumulative: Vec<f64>,
+    /// `p*(θ_i)` for every θ grid point — the equilibrium ask table behind the O(1)
+    /// population-scale bid path ([`EquilibriumSolver::tabulated_ask`]).
+    payments: Vec<f64>,
 }
 
 impl std::fmt::Debug for EquilibriumSolver {
@@ -403,7 +407,7 @@ impl EquilibriumSolver {
             self.u_grid = vec![u_min, u_max + 1e-12];
             self.g_grid = vec![1.0, 1.0];
             self.g_cumulative = vec![0.0, 0.0];
-            return Ok(());
+            return self.tabulate_payments();
         }
         self.u_grid = (0..points)
             .map(|i| u_min + (u_max - u_min) * i as f64 / (points - 1) as f64)
@@ -414,6 +418,22 @@ impl EquilibriumSolver {
             .map(|&u| self.win_probability_at(u))
             .collect();
         self.g_cumulative = cumulative_trapezoid(&self.u_grid, &self.g_grid)?;
+        self.tabulate_payments()
+    }
+
+    /// Fills the `p*(θ_i)` table once the rent machinery exists. At grid points the tabled
+    /// value equals [`EquilibriumSolver::payment_for`] exactly (same `q*(θ_i)` and the same
+    /// rent); between grid points [`EquilibriumSolver::tabulated_ask`] interpolates
+    /// linearly.
+    fn tabulate_payments(&mut self) -> Result<(), AuctionError> {
+        let mut payments = Vec::with_capacity(self.thetas.len());
+        for i in 0..self.thetas.len() {
+            let theta = self.thetas[i];
+            let u = self.u_values[i];
+            let c = self.cost.value(&self.qualities[i], theta);
+            payments.push(c + self.rent_for(theta, u)?);
+        }
+        self.payments = payments;
         Ok(())
     }
 
@@ -449,12 +469,66 @@ impl EquilibriumSolver {
     }
 
     fn interp_theta(&self, values: &[f64], theta: f64) -> f64 {
+        let (idx, frac) = self.theta_grid_pos(theta);
+        values[idx] + frac * (values[idx + 1] - values[idx])
+    }
+
+    /// Grid cell and interpolation fraction of θ on the tabulated grid.
+    fn theta_grid_pos(&self, theta: f64) -> (usize, f64) {
         let (lo, hi) = (self.theta.lo, self.theta.hi);
         let theta = theta.clamp(lo, hi);
         let t = (theta - lo) / (hi - lo) * (self.thetas.len() - 1) as f64;
         let idx = (t.floor() as usize).min(self.thetas.len() - 2);
-        let frac = t - idx as f64;
-        values[idx] + frac * (values[idx + 1] - values[idx])
+        (idx, t - idx as f64)
+    }
+
+    /// The equilibrium ask `p*(θ)` interpolated from the precomputed θ grid — `O(1)` per
+    /// call, no optimisation and no quadrature.
+    ///
+    /// This is the population-scale twin of [`EquilibriumSolver::payment_for`]: exact at
+    /// grid points, linear in between (error `O(grid⁻²)`), and cheap enough to price a
+    /// million bidders per round. The exact path stays the default for the paper-fidelity
+    /// simulators; the scale experiments and benches use this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside `[θ̲, θ̄]`.
+    pub fn tabulated_ask(&self, theta: f64) -> Result<f64, AuctionError> {
+        self.check_theta(theta)?;
+        Ok(self.interp_theta(&self.payments, theta))
+    }
+
+    /// The equilibrium quality `q*(θ)` interpolated from the precomputed θ grid and clipped
+    /// component-wise to `capacity`, written into `out` (cleared first, capacity reused) —
+    /// `O(m)` per call and allocation-free in steady state.
+    ///
+    /// The population-scale twin of [`EquilibriumSolver::capped_bid`]'s quality choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside the support and
+    /// [`AuctionError::DimensionMismatch`] when `capacity` has the wrong dimension.
+    pub fn tabulated_quality_into(
+        &self,
+        theta: f64,
+        capacity: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), AuctionError> {
+        self.check_theta(theta)?;
+        if capacity.len() != self.bounds.len() {
+            return Err(AuctionError::DimensionMismatch {
+                expected: self.bounds.len(),
+                actual: capacity.len(),
+            });
+        }
+        let (idx, frac) = self.theta_grid_pos(theta);
+        let (lo_q, hi_q) = (&self.qualities[idx], &self.qualities[idx + 1]);
+        out.clear();
+        for d in 0..capacity.len() {
+            let want = lo_q[d] + frac * (hi_q[d] - lo_q[d]);
+            out.push(want.min(capacity[d]).max(0.0));
+        }
+        Ok(())
     }
 
     /// The opponent-score CDF `H(x) = 1 − F(u⁻¹(x))`.
@@ -553,12 +627,16 @@ impl EquilibriumSolver {
         self.check_theta(theta)?;
         let (q, u) = self.quality_choice(theta);
         let c = self.cost.value(&q, theta);
-        let rent = match self.payment_method {
+        Ok(c + self.rent_for(theta, u)?)
+    }
+
+    /// Information rent at `(θ, u(θ))` under the configured [`PaymentMethod`].
+    fn rent_for(&self, theta: f64, u: f64) -> Result<f64, AuctionError> {
+        Ok(match self.payment_method {
             PaymentMethod::Quadrature => self.information_rent(u),
             PaymentMethod::Euler { steps } => self.information_rent_euler(u, steps),
             PaymentMethod::CheClosedForm => self.che_closed_form_rent(theta)?,
-        };
-        Ok(c + rent)
+        })
     }
 
     /// Information rent via the Euler ODE route of the paper (Algorithm 1, line 7):

@@ -54,7 +54,7 @@
 //!     vec![SubmittedBid::new(NodeId(0), bid.quality.clone(), bid.ask)],
 //!     &mut fmore_numerics::seeded_rng(1),
 //! )?;
-//! assert_eq!(outcome.winners.len(), 1);
+//! assert_eq!(outcome.winners().len(), 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -69,6 +69,7 @@ pub mod mechanism;
 pub mod pricing;
 pub mod properties;
 pub mod scoring;
+pub mod store;
 pub mod types;
 pub mod walkthrough;
 pub mod winner;
@@ -82,6 +83,7 @@ pub use pricing::PricingRule;
 pub use scoring::{
     Additive, CobbDouglas, NormalizedScoring, PerfectComplementary, ScoringFunction, ScoringRule,
 };
+pub use store::{BidSelector, BidStore, Candidate, StandingPool, TieBreak};
 pub use types::{NodeId, Quality, ScoredBid};
 pub use winner::SelectionRule;
 

@@ -8,9 +8,9 @@
 use crate::error::AuctionError;
 use crate::pricing::PricingRule;
 use crate::scoring::{ScoringFunction, ScoringRule};
+use crate::store::{rank_order, BidSelector, StandingPool, TieBreak};
 use crate::types::{NodeId, Quality, ScoredBid};
 use crate::winner::SelectionRule;
-use fmore_numerics::rng::shuffle;
 use rand::Rng;
 
 /// A sealed bid `(q, p)` submitted by an edge node.
@@ -45,23 +45,61 @@ pub struct Award {
 }
 
 /// The result of one auction round.
+///
+/// The fields are private and the outcome is immutable after [`AuctionOutcome::new`]: the
+/// winner-id slice and total payment are computed once at construction, so per-round
+/// consumers read cached values instead of rebuilding a `Vec<NodeId>` or re-summing
+/// payments every time they are asked — and nothing can desynchronise the caches from the
+/// award list they summarise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuctionOutcome {
     /// All bids, scored and sorted in descending score order.
-    pub ranked: Vec<ScoredBid>,
+    ranked: Vec<ScoredBid>,
     /// Awards for the selected winners, in selection order.
-    pub winners: Vec<Award>,
+    winners: Vec<Award>,
+    /// Cached winner ids, in selection order.
+    winner_ids: Vec<NodeId>,
+    /// Cached total payment promised to the winners.
+    total_payment: f64,
 }
 
 impl AuctionOutcome {
-    /// Node ids of the winners, in selection order.
-    pub fn winner_ids(&self) -> Vec<NodeId> {
-        self.winners.iter().map(|w| w.node).collect()
+    /// Builds an outcome, caching the winner-id slice and the total payment.
+    pub fn new(ranked: Vec<ScoredBid>, winners: Vec<Award>) -> Self {
+        let winner_ids = winners.iter().map(|w| w.node).collect();
+        let total_payment = winners.iter().map(|w| w.payment).sum();
+        Self {
+            ranked,
+            winners,
+            winner_ids,
+            total_payment,
+        }
     }
 
-    /// Total payment promised to the winners.
+    /// All bids, scored and sorted in descending score order.
+    pub fn ranked(&self) -> &[ScoredBid] {
+        &self.ranked
+    }
+
+    /// Awards for the selected winners, in selection order.
+    pub fn winners(&self) -> &[Award] {
+        &self.winners
+    }
+
+    /// Consumes the outcome, returning the ranked population (the round's standing bid
+    /// pool, kept by dynamic drivers for re-auction waves).
+    pub fn into_ranked(self) -> Vec<ScoredBid> {
+        self.ranked
+    }
+
+    /// Node ids of the winners, in selection order (cached at construction).
+    pub fn winner_ids(&self) -> &[NodeId] {
+        &self.winner_ids
+    }
+
+    /// Total payment promised to the winners (cached at construction).
     pub fn total_payment(&self) -> f64 {
-        self.winners.iter().map(|w| w.payment).sum()
+        self.total_payment
     }
 
     /// Aggregator profit `V = Σ_{i ∈ W} (U(q_i) − p_i)` under utility `U` (Eq. 6).
@@ -180,9 +218,14 @@ impl Auction {
         Ok(scored)
     }
 
-    /// Scores and ranks a full bid population: one batched scoring pass, then a descending
-    /// sort by score with ties resolved by the flip of a coin (Section V-A) — the population
-    /// is shuffled before the stable sort so equal scores end up in random relative order.
+    /// Scores and ranks a full bid population: one batched scoring pass, then a sort under
+    /// the strict rank order *(score descending, tie-break key ascending)* shared with the
+    /// streaming selector. Ties are still resolved "by the flip of a coin" (Section V-A) —
+    /// the keys are derived from one random salt word per round ([`TieBreak`]) — but the
+    /// coin is now deterministic per bid index, so a bounded streaming selection over the
+    /// same population reproduces this ranking bit-for-bit without materialising it. The
+    /// RNG consumption (`max(n−1, 0)` words) matches the historical shuffle exactly, so
+    /// seeded histories are unchanged.
     ///
     /// # Errors
     ///
@@ -192,10 +235,19 @@ impl Auction {
         bids: Vec<SubmittedBid>,
         rng: &mut R,
     ) -> Result<Vec<ScoredBid>, AuctionError> {
-        let mut scored = self.score_bids(bids)?;
-        shuffle(&mut scored, rng);
-        scored.sort_by(ScoredBid::by_descending_score);
-        Ok(scored)
+        let scored = self.score_bids(bids)?;
+        let mut tie = TieBreak::new();
+        let mut keyed: Vec<(u64, ScoredBid)> = scored
+            .into_iter()
+            .map(|bid| (tie.next_key(rng), bid))
+            .collect();
+        if let Some(first) = keyed.first_mut() {
+            // The salt exists once a second bid was keyed; re-key the provisional first.
+            first.0 = tie.key_of(0);
+        }
+        tie.finish(rng);
+        keyed.sort_unstable_by(|a, b| rank_order(a.1.score, a.0, b.1.score, b.0));
+        Ok(keyed.into_iter().map(|(_, bid)| bid).collect())
     }
 
     /// Runs one auction round over the submitted sealed bids: batched scoring and ranking
@@ -237,10 +289,14 @@ impl Auction {
         let winners = winner_indices
             .iter()
             .map(|&idx| {
-                let payment = self
-                    .pricing
-                    .payment(&self.scoring, &scored, idx, best_losing_score);
                 let b = &scored[idx];
+                let payment = self.pricing.payment_from_parts(
+                    &self.scoring,
+                    b.quality.as_slice(),
+                    b.ask,
+                    b.score,
+                    best_losing_score,
+                );
                 Award {
                     node: b.node,
                     quality: b.quality.clone(),
@@ -250,10 +306,75 @@ impl Auction {
             })
             .collect();
 
-        Ok(AuctionOutcome {
-            ranked: scored,
-            winners,
-        })
+        Ok(AuctionOutcome::new(scored, winners))
+    }
+
+    /// A bounded streaming selector configured for this auction: it keeps the best
+    /// `K + reserve` candidates of the population streamed through it (`reserve` extra
+    /// standing candidates fund pricing look-back and re-auction refills). Feed it scored
+    /// [`crate::store::BidStore`] shards, [`crate::store::BidSelector::finish`] it, and
+    /// award winners with [`Auction::award_standing`] — bit-identical to [`Auction::run`]
+    /// over the same bids for top-K selection at any `reserve` (and for ψ-FMore whenever
+    /// `reserve` covers the whole population, which the dense sizes always do).
+    pub fn selector(&self, reserve: usize) -> BidSelector {
+        BidSelector::new(self.scoring.dims(), self.k.saturating_add(reserve))
+    }
+
+    /// Winner determination and pricing over a streamed [`StandingPool`]: selects up to
+    /// `quota` winners among the standing candidates not listed in `exclude`, under the
+    /// auction's own selection and pricing rules. With an empty `exclude` and
+    /// `quota = K` this is the winner/payment stage of [`Auction::run`]; with exclusions it
+    /// is the re-auction refill of a dynamic round, reading from the standing store without
+    /// re-scoring a single bid.
+    ///
+    /// Second-score pricing reads the best losing score as the best standing non-winner
+    /// merged with the best score the bounded selector dropped — exactly the dense value as
+    /// long as every excluded node is a standing candidate (always true for prior winners,
+    /// which are kept by construction).
+    pub fn award_standing<R: Rng + ?Sized>(
+        &self,
+        pool: &StandingPool,
+        quota: usize,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<Award> {
+        if quota == 0 {
+            return Vec::new();
+        }
+        let avail: Vec<usize> = (0..pool.len())
+            .filter(|&i| !exclude.contains(&pool.candidates()[i].node))
+            .collect();
+        if avail.is_empty() {
+            return Vec::new();
+        }
+        let picked = self.selection.select_indices(avail.len(), quota, rng);
+        let mut best_losing = pool.best_dropped_score();
+        for (pos, &idx) in avail.iter().enumerate() {
+            if picked.contains(&pos) {
+                continue;
+            }
+            let s = pool.candidates()[idx].score;
+            best_losing = Some(best_losing.map_or(s, |b| b.max(s)));
+        }
+        picked
+            .iter()
+            .map(|&pos| {
+                let c = &pool.candidates()[avail[pos]];
+                let payment = self.pricing.payment_from_parts(
+                    &self.scoring,
+                    &c.quality,
+                    c.ask,
+                    c.score,
+                    best_losing,
+                );
+                Award {
+                    node: c.node,
+                    quality: Quality::new(c.quality.clone()),
+                    score: c.score,
+                    payment,
+                }
+            })
+            .collect()
     }
 
     /// Re-runs winner determination over a **standing bid pool** — the ranked bids of a round
@@ -284,30 +405,34 @@ impl Auction {
         if quota == 0 {
             return Vec::new();
         }
-        let pool: Vec<ScoredBid> = ranked
-            .iter()
-            .filter(|b| !exclude.contains(&b.node))
-            .cloned()
+        // Index into the standing bids instead of cloning the eligible remainder: a refill
+        // wave reads the pool, it does not rebuild it.
+        let avail: Vec<usize> = (0..ranked.len())
+            .filter(|&i| !exclude.contains(&ranked[i].node))
             .collect();
-        if pool.is_empty() {
+        if avail.is_empty() {
             return Vec::new();
         }
-        let winner_indices = self.selection.select(&pool, quota, rng);
-        let best_losing_score = pool
+        let picked = self.selection.select_indices(avail.len(), quota, rng);
+        let best_losing_score = avail
             .iter()
             .enumerate()
-            .filter(|(i, _)| !winner_indices.contains(i))
-            .map(|(_, b)| b.score)
+            .filter(|(pos, _)| !picked.contains(pos))
+            .map(|(_, &idx)| ranked[idx].score)
             .fold(None, |acc: Option<f64>, s| {
                 Some(acc.map_or(s, |a| a.max(s)))
             });
-        winner_indices
+        picked
             .iter()
-            .map(|&idx| {
-                let payment = self
-                    .pricing
-                    .payment(&self.scoring, &pool, idx, best_losing_score);
-                let b = &pool[idx];
+            .map(|&pos| {
+                let b = &ranked[avail[pos]];
+                let payment = self.pricing.payment_from_parts(
+                    &self.scoring,
+                    b.quality.as_slice(),
+                    b.ask,
+                    b.score,
+                    best_losing_score,
+                );
                 Award {
                     node: b.node,
                     quality: b.quality.clone(),
@@ -354,7 +479,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(outcome.winner_ids(), vec![NodeId(1), NodeId(2)]);
-        assert_eq!(outcome.ranked.len(), 4);
+        assert_eq!(outcome.ranked().len(), 4);
         assert!((outcome.total_payment() - 0.3).abs() < 1e-12);
         assert!((outcome.mean_winner_payment() - 0.15).abs() < 1e-12);
         assert!(outcome.mean_winner_score() > 0.0);
@@ -386,7 +511,7 @@ mod tests {
         let outcome = auction
             .run(vec![bid(0, 1.0, 0.1), bid(1, 0.5, 0.1)], &mut rng)
             .unwrap();
-        assert_eq!(outcome.winners.len(), 2);
+        assert_eq!(outcome.winners().len(), 2);
     }
 
     #[test]
@@ -440,18 +565,21 @@ mod tests {
         let w1 = auction
             .run(bids.clone(), &mut seeded_rng(7))
             .unwrap()
-            .winner_ids();
+            .winner_ids()
+            .to_vec();
         let w2 = auction
             .run(bids.clone(), &mut seeded_rng(7))
             .unwrap()
-            .winner_ids();
+            .winner_ids()
+            .to_vec();
         assert_eq!(w1, w2);
         let mut seen = std::collections::HashSet::new();
         for seed in 0..32 {
             let w = auction
                 .run(bids.clone(), &mut seeded_rng(seed))
                 .unwrap()
-                .winner_ids();
+                .winner_ids()
+                .to_vec();
             seen.insert(w[0]);
         }
         assert_eq!(seen.len(), 2, "both tied nodes should win under some seed");
@@ -472,7 +600,7 @@ mod tests {
             SubmittedBid::new(NodeId(2), Quality::new(vec![0.4, 0.5]), 1.0),
         ];
         let outcome = auction.run(bids, &mut rng).unwrap();
-        for w in &outcome.winners {
+        for w in outcome.winners() {
             let ask = outcome
                 .ranked
                 .iter()
@@ -501,7 +629,7 @@ mod tests {
         assert_eq!(outcome.winner_ids(), vec![NodeId(0), NodeId(1)]);
         // Node 1 dropped out: recruit one replacement, excluding both original winners.
         let replacements = auction.reauction(
-            &outcome.ranked,
+            outcome.ranked(),
             &[NodeId(0), NodeId(1)],
             1,
             &mut seeded_rng(12),
@@ -521,14 +649,14 @@ mod tests {
             .unwrap();
         // Everyone excluded: nothing to award.
         assert!(auction
-            .reauction(&outcome.ranked, &[NodeId(0), NodeId(1)], 3, &mut rng)
+            .reauction(outcome.ranked(), &[NodeId(0), NodeId(1)], 3, &mut rng)
             .is_empty());
         // Zero quota: nothing to award even with a full pool.
         assert!(auction
-            .reauction(&outcome.ranked, &[], 0, &mut rng)
+            .reauction(outcome.ranked(), &[], 0, &mut rng)
             .is_empty());
         // Quota larger than the remaining pool: awards are capped by the pool.
-        let all = auction.reauction(&outcome.ranked, &[NodeId(0)], 5, &mut rng);
+        let all = auction.reauction(outcome.ranked(), &[NodeId(0)], 5, &mut rng);
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].node, NodeId(1));
     }

@@ -34,19 +34,38 @@ impl PricingRule {
         best_losing_score: Option<f64>,
     ) -> f64 {
         let bid = &sorted[winner_idx];
+        self.payment_from_parts(
+            rule,
+            bid.quality.as_slice(),
+            bid.ask,
+            bid.score,
+            best_losing_score,
+        )
+    }
+
+    /// The payment of one winner from its raw bid parts — the single pricing implementation
+    /// shared by the dense [`crate::mechanism::Auction::run`] path and the streaming
+    /// [`crate::store::StandingPool`] path (which holds columnar candidates, not
+    /// [`ScoredBid`]s).
+    pub fn payment_from_parts(
+        &self,
+        rule: &ScoringRule,
+        quality: &[f64],
+        ask: f64,
+        score: f64,
+        best_losing_score: Option<f64>,
+    ) -> f64 {
         match self {
-            PricingRule::FirstPrice => bid.ask,
+            PricingRule::FirstPrice => ask,
             PricingRule::SecondPrice => match best_losing_score {
                 Some(threshold) => {
-                    let s_q = rule
-                        .resource_value(&bid.quality)
-                        .unwrap_or(bid.score + bid.ask);
+                    let s_q = rule.function().evaluate(quality).unwrap_or(score + ask);
                     // Pay the winner up to the point where its score equals the threshold,
                     // but never less than it asked for (a winner is never punished for
                     // bidding aggressively).
-                    (s_q - threshold).max(bid.ask)
+                    (s_q - threshold).max(ask)
                 }
-                None => bid.ask,
+                None => ask,
             },
         }
     }

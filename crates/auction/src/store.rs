@@ -1,0 +1,683 @@
+//! The population-scale bid path: a columnar bid store, deterministic tie-break keys, and a
+//! bounded streaming top-K selector.
+//!
+//! The dense path of [`crate::mechanism::Auction::run`] materialises every submitted bid,
+//! scores them, and full-sorts the population — fine for the paper's toy sizes (tens of
+//! nodes), hopeless for the MEC populations the mechanism is actually pitched at (related
+//! work frames winner determination at 10⁵–10⁶ bidders). This module holds the pieces that
+//! make a million-bidder round routine:
+//!
+//! * [`BidStore`] — a struct-of-arrays bid buffer (flattened quality dims, asks, node ids,
+//!   scores). One shard-sized store is filled, scored in one pass, fed to the selector, and
+//!   reused for the next shard, so the resident bid bytes of a round are `O(shard)`, not
+//!   `O(N)`.
+//! * [`TieBreak`] — the deterministic tie-break keys that replace the historical
+//!   shuffle-before-sort. Ranking is the strict total order *(score descending, key
+//!   ascending)*; keys are derived per bid index from one salt word, so any two bids compare
+//!   the same way no matter how the population was sharded. The generator consumes **exactly
+//!   `max(n−1, 0)` RNG words per round** — the same count the Fisher–Yates shuffle used —
+//!   so every seeded history recorded before the dense→streaming migration replays
+//!   bit-for-bit.
+//! * [`BidSelector`] — a bounded worst-first heap keeping the best `K + reserve` candidates
+//!   seen so far (plus the best dropped score, which is all pricing needs from the losers).
+//!   Offering a bid that does not beat the current worst allocates nothing; offering a
+//!   better one reuses the evicted candidate's quality buffer. Transient memory is
+//!   `O(K + reserve)` regardless of `N`.
+//! * [`StandingPool`] — the selector's output: the kept candidates in rank order, valid as
+//!   the round's standing store for re-auction refills without re-scoring
+//!   ([`crate::mechanism::Auction::award_standing`]).
+//!
+//! The streaming selection is pinned **bit-identical** to the full-sort
+//! [`crate::mechanism::Auction::rank_bids`] path (same keys, same order, same selection
+//! draws, same payments) by `tests/properties.rs`; ψ-FMore needs the full ranking to walk,
+//! so exact ψ parity requires `reserve ≥ N` (the dense sizes), while plain top-K is exact at
+//! any `reserve`.
+
+use crate::error::AuctionError;
+use crate::scoring::ScoringRule;
+use crate::types::NodeId;
+use fmore_numerics::rng::derive_seed;
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// The strict rank order of the aggregator: descending score, ties by ascending tie-break
+/// key. Keys are distinct per round (a bijection of the bid index), so the order is total —
+/// two independent rankings of the same population can never disagree.
+pub fn rank_order(score_a: f64, key_a: u64, score_b: f64, key_b: u64) -> Ordering {
+    match score_b.partial_cmp(&score_a) {
+        Some(Ordering::Equal) | None => key_a.cmp(&key_b),
+        Some(order) => order,
+    }
+}
+
+/// Deterministic tie-break key stream for one auction round.
+///
+/// The `i`-th offered bid gets the key `derive_seed(salt, i)` (the workspace's SplitMix64
+/// stream derivation) where `salt` is a single word drawn from the round RNG. The
+/// derivation is a bijection of `i` for a fixed salt, so keys are pairwise distinct within
+/// a round; because the key depends only on `(salt, i)`, the ranking is independent of how
+/// the population was sharded or on which thread a shard was scored.
+///
+/// # RNG contract
+///
+/// Exactly `max(n−1, 0)` words are consumed per round, matching the Fisher–Yates shuffle
+/// this replaces: the salt is drawn on the **second** [`TieBreak::next_key`] call (a
+/// single-bid round consumes nothing) and [`TieBreak::finish`] burns the remaining `n−2`.
+/// Seeded experiment histories recorded under the shuffle therefore replay bit-for-bit —
+/// the ψ-participation draws and every later consumer of the round RNG see an unchanged
+/// stream position.
+#[derive(Debug, Clone, Default)]
+pub struct TieBreak {
+    salt: Option<u64>,
+    count: usize,
+}
+
+impl TieBreak {
+    /// A fresh key stream for one round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys handed out so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The key of the `i`-th offered bid (0 until the salt exists — callers re-key bid 0
+    /// once a second bid arrives; a single-bid round never compares keys).
+    pub fn key_of(&self, i: usize) -> u64 {
+        match self.salt {
+            Some(salt) => derive_seed(salt, i as u64),
+            None => 0,
+        }
+    }
+
+    /// Returns the key for the next offered bid, drawing the round salt on the second call.
+    pub fn next_key<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let i = self.count;
+        self.count += 1;
+        if i == 1 && self.salt.is_none() {
+            self.salt = Some(rng.gen::<u64>());
+        }
+        self.key_of(i)
+    }
+
+    /// Burns the remainder of the round's RNG budget (`n−2` words for `n ≥ 2`), pinning the
+    /// stream position to what the historical shuffle consumed. Call exactly once, after the
+    /// last bid of the round.
+    pub fn finish<R: Rng + ?Sized>(&self, rng: &mut R) {
+        for _ in 0..self.count.saturating_sub(2) {
+            let _ = rng.gen::<u64>();
+        }
+    }
+}
+
+/// A columnar (struct-of-arrays) bid buffer: node ids, flattened quality dimensions, asks,
+/// and scores live in four dense arrays instead of one `Vec<SubmittedBid>` of heap-owning
+/// structs. A shard-sized store is reused across shards and rounds, so steady-state bid
+/// collection allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BidStore {
+    dims: usize,
+    nodes: Vec<u64>,
+    qualities: Vec<f64>,
+    asks: Vec<f64>,
+    scores: Vec<f64>,
+}
+
+impl BidStore {
+    /// An empty store for `dims`-dimensional bids.
+    pub fn with_dims(dims: usize) -> Self {
+        Self {
+            dims,
+            ..Self::default()
+        }
+    }
+
+    /// An empty store with capacity for `bids` bids (one allocation up front).
+    pub fn with_capacity(dims: usize, bids: usize) -> Self {
+        Self {
+            dims,
+            nodes: Vec::with_capacity(bids),
+            qualities: Vec::with_capacity(bids * dims),
+            asks: Vec::with_capacity(bids),
+            scores: Vec::with_capacity(bids),
+        }
+    }
+
+    /// Number of resource dimensions per bid.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored bids.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Clears the store, keeping every column's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.qualities.clear();
+        self.asks.clear();
+        self.scores.clear();
+    }
+
+    /// Appends one sealed bid after validating it (same rules as the dense
+    /// [`crate::mechanism::Auction::score_bids`]: finite non-negative quality of the right
+    /// dimension, finite non-negative ask).
+    ///
+    /// # Errors
+    ///
+    /// [`AuctionError::DimensionMismatch`] / [`AuctionError::InvalidParameter`] for
+    /// malformed bids.
+    pub fn push(&mut self, node: NodeId, quality: &[f64], ask: f64) -> Result<(), AuctionError> {
+        if quality.len() != self.dims {
+            return Err(AuctionError::DimensionMismatch {
+                expected: self.dims,
+                actual: quality.len(),
+            });
+        }
+        if quality.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(AuctionError::InvalidParameter(format!(
+                "bid from {node} has an invalid quality vector"
+            )));
+        }
+        if !ask.is_finite() || ask < 0.0 {
+            return Err(AuctionError::InvalidParameter(format!(
+                "bid from {node} has an invalid payment ask {ask}"
+            )));
+        }
+        self.nodes.push(node.0);
+        self.qualities.extend_from_slice(quality);
+        self.asks.push(ask);
+        self.scores.push(0.0);
+        Ok(())
+    }
+
+    /// The `i`-th bidder.
+    pub fn node(&self, i: usize) -> NodeId {
+        NodeId(self.nodes[i])
+    }
+
+    /// The `i`-th quality vector.
+    pub fn quality(&self, i: usize) -> &[f64] {
+        &self.qualities[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The `i`-th payment ask.
+    pub fn ask(&self, i: usize) -> f64 {
+        self.asks[i]
+    }
+
+    /// The `i`-th score (0 until [`BidStore::score_with`] ran).
+    pub fn score(&self, i: usize) -> f64 {
+        self.scores[i]
+    }
+
+    /// Scores every stored bid in one pass under the broadcast rule
+    /// (`S(q, p) = s(q) − p`), filling the score column. Pure — safe to run shard-by-shard
+    /// on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`AuctionError::DimensionMismatch`] when the rule expects a different dimension than
+    /// the store holds.
+    pub fn score_with(&mut self, rule: &ScoringRule) -> Result<(), AuctionError> {
+        if self.dims != rule.dims() {
+            return Err(AuctionError::DimensionMismatch {
+                expected: rule.dims(),
+                actual: self.dims,
+            });
+        }
+        let s = rule.function();
+        for (i, (score, ask)) in self.scores.iter_mut().zip(&self.asks).enumerate() {
+            *score = s.value(&self.qualities[i * self.dims..(i + 1) * self.dims]) - ask;
+        }
+        Ok(())
+    }
+
+    /// Resident bytes of the stored bids (column lengths, not capacities — deterministic
+    /// across allocators, which lets the scale experiments fingerprint it).
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<u64>()
+            + (self.qualities.len() + self.asks.len() + self.scores.len())
+                * std::mem::size_of::<f64>()
+    }
+}
+
+/// One kept candidate of a streaming selection: everything pricing and award construction
+/// need, and nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The bidder.
+    pub node: NodeId,
+    /// Score under the broadcast rule.
+    pub score: f64,
+    /// Deterministic tie-break key (see [`TieBreak`]).
+    pub key: u64,
+    /// Payment ask.
+    pub ask: f64,
+    /// Declared quality (owned copy; only kept candidates hold one).
+    pub quality: Vec<f64>,
+}
+
+impl Candidate {
+    fn ranks_before(&self, other: &Candidate) -> bool {
+        rank_order(self.score, self.key, other.score, other.key) == Ordering::Less
+    }
+}
+
+/// A bounded streaming top-K selector: keeps the `capacity` best candidates seen so far in a
+/// worst-first binary heap, plus the best score among everything it dropped (which is all
+/// the pricing rules need from the losers). Feeding the whole population through it and
+/// sorting the kept set reproduces the head of the dense full-sort ranking bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct BidSelector {
+    dims: usize,
+    capacity: usize,
+    tie: TieBreak,
+    /// Worst-first heap: `heap[0]` is the weakest kept candidate.
+    heap: Vec<Candidate>,
+    best_dropped: Option<f64>,
+}
+
+impl BidSelector {
+    /// A selector keeping the best `capacity` of the `dims`-dimensional bids offered to it.
+    pub fn new(dims: usize, capacity: usize) -> Self {
+        Self {
+            dims,
+            capacity: capacity.max(1),
+            tie: TieBreak::new(),
+            heap: Vec::new(),
+            best_dropped: None,
+        }
+    }
+
+    /// Number of bids offered so far.
+    pub fn offered(&self) -> usize {
+        self.tie.count()
+    }
+
+    /// Number of candidates currently kept.
+    pub fn kept(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Resident bytes of the kept candidates (len-based, deterministic).
+    pub fn resident_bytes(&self) -> usize {
+        self.heap.len()
+            * (std::mem::size_of::<Candidate>() + self.dims * std::mem::size_of::<f64>())
+    }
+
+    /// Offers one scored bid. Draws exactly one tie-break key from the round stream (see
+    /// [`TieBreak`] for the RNG contract); a bid that does not beat the weakest kept
+    /// candidate only updates the best-dropped score.
+    pub fn offer<R: Rng + ?Sized>(
+        &mut self,
+        node: NodeId,
+        quality: &[f64],
+        ask: f64,
+        score: f64,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(quality.len(), self.dims);
+        let seq = self.tie.count();
+        let key = self.tie.next_key(rng);
+        if seq == 1 {
+            // The salt now exists: re-key the provisional first candidate (if still kept).
+            if let Some(first) = self.heap.first_mut() {
+                first.key = self.tie.key_of(0);
+            }
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(Candidate {
+                node,
+                score,
+                key,
+                ask,
+                quality: quality.to_vec(),
+            });
+            self.sift_up(self.heap.len() - 1);
+            return;
+        }
+        let weakest = &self.heap[0];
+        if rank_order(score, key, weakest.score, weakest.key) == Ordering::Less {
+            // The newcomer ranks before the weakest kept candidate: evict it, reusing its
+            // quality buffer so steady-state offers allocate nothing.
+            self.note_dropped(self.heap[0].score);
+            let slot = &mut self.heap[0];
+            slot.node = node;
+            slot.score = score;
+            slot.key = key;
+            slot.ask = ask;
+            slot.quality.clear();
+            slot.quality.extend_from_slice(quality);
+            self.sift_down(0);
+        } else {
+            self.note_dropped(score);
+        }
+    }
+
+    /// Offers every bid of a scored store, in store order.
+    pub fn offer_store<R: Rng + ?Sized>(&mut self, store: &BidStore, rng: &mut R) {
+        debug_assert_eq!(store.dims(), self.dims);
+        for i in 0..store.len() {
+            self.offer(
+                store.node(i),
+                store.quality(i),
+                store.ask(i),
+                store.score(i),
+                rng,
+            );
+        }
+    }
+
+    fn note_dropped(&mut self, score: f64) {
+        self.best_dropped = Some(match self.best_dropped {
+            Some(best) => best.max(score),
+            None => score,
+        });
+    }
+
+    /// `true` when `a` should sit above `b` in the worst-first heap (i.e. `a` ranks after).
+    fn heap_before(a: &Candidate, b: &Candidate) -> bool {
+        b.ranks_before(a)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::heap_before(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut top = i;
+            if l < self.heap.len() && Self::heap_before(&self.heap[l], &self.heap[top]) {
+                top = l;
+            }
+            if r < self.heap.len() && Self::heap_before(&self.heap[r], &self.heap[top]) {
+                top = r;
+            }
+            if top == i {
+                break;
+            }
+            self.heap.swap(i, top);
+            i = top;
+        }
+    }
+
+    /// Ends the round: burns the tie-break stream's remaining RNG budget (so downstream
+    /// consumers see the historical stream position) and returns the kept candidates in
+    /// rank order as the round's standing pool.
+    pub fn finish<R: Rng + ?Sized>(self, rng: &mut R) -> StandingPool {
+        self.tie.finish(rng);
+        let offered = self.tie.count();
+        let mut candidates = self.heap;
+        candidates.sort_unstable_by(|a, b| rank_order(a.score, a.key, b.score, b.key));
+        StandingPool {
+            candidates,
+            offered,
+            best_dropped: self.best_dropped,
+        }
+    }
+}
+
+/// The standing bid store of one round: the kept candidates in rank order (best first) plus
+/// the best score the bounded selector dropped. Winner selection, pricing, and re-auction
+/// refills all read from here without re-scoring
+/// ([`crate::mechanism::Auction::award_standing`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StandingPool {
+    candidates: Vec<Candidate>,
+    offered: usize,
+    best_dropped: Option<f64>,
+}
+
+impl StandingPool {
+    /// The kept candidates, best rank first.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Number of kept candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether nothing was kept.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Total number of bids offered to the selector this round.
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Best score among the bids the bounded selector dropped, if any were dropped.
+    pub fn best_dropped_score(&self) -> Option<f64> {
+        self.best_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmore_numerics::seeded_rng;
+
+    fn store_of(rows: &[(u64, [f64; 2], f64)]) -> BidStore {
+        let mut store = BidStore::with_dims(2);
+        for &(node, q, ask) in rows {
+            store.push(NodeId(node), &q, ask).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn store_is_columnar_and_reusable() {
+        let mut store = store_of(&[(0, [0.5, 0.5], 0.1), (1, [0.9, 0.2], 0.3)]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dims(), 2);
+        assert!(!store.is_empty());
+        assert_eq!(store.node(1), NodeId(1));
+        assert_eq!(store.quality(0), &[0.5, 0.5]);
+        assert_eq!(store.ask(1), 0.3);
+        let bytes = store.resident_bytes();
+        assert_eq!(bytes, 2 * 8 + (4 + 2 + 2) * 8);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn store_validates_bids_like_the_dense_path() {
+        let mut store = BidStore::with_dims(2);
+        assert!(matches!(
+            store.push(NodeId(0), &[0.5], 0.1),
+            Err(AuctionError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            store.push(NodeId(0), &[0.5, -0.1], 0.1),
+            Err(AuctionError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            store.push(NodeId(0), &[0.5, 0.5], f64::NAN),
+            Err(AuctionError::InvalidParameter(_))
+        ));
+        assert!(store.push(NodeId(0), &[0.5, 0.5], 0.1).is_ok());
+    }
+
+    #[test]
+    fn scoring_fills_the_score_column() {
+        use crate::scoring::Additive;
+        let mut store = store_of(&[(0, [1.0, 0.0], 0.25), (1, [0.0, 1.0], 0.5)]);
+        let rule = ScoringRule::new(Additive::new(vec![1.0, 2.0]).unwrap());
+        store.score_with(&rule).unwrap();
+        assert!((store.score(0) - 0.75).abs() < 1e-12);
+        assert!((store.score(1) - 1.5).abs() < 1e-12);
+        // Wrong dimension is rejected.
+        let bad = ScoringRule::new(Additive::new(vec![1.0]).unwrap());
+        assert!(store.score_with(&bad).is_err());
+    }
+
+    #[test]
+    fn tie_break_consumes_exactly_n_minus_one_words() {
+        for n in [0usize, 1, 2, 3, 17] {
+            let mut rng = seeded_rng(7);
+            let mut tie = TieBreak::new();
+            for _ in 0..n {
+                tie.next_key(&mut rng);
+            }
+            tie.finish(&mut rng);
+            let mut reference = seeded_rng(7);
+            for _ in 0..n.saturating_sub(1) {
+                let _ = rand::Rng::gen::<u64>(&mut reference);
+            }
+            assert_eq!(
+                rand::Rng::gen::<u64>(&mut rng),
+                rand::Rng::gen::<u64>(&mut reference),
+                "n={n} draw count drifted from the historical shuffle"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_keys_are_distinct_and_shard_independent() {
+        let mut rng = seeded_rng(3);
+        let mut tie = TieBreak::new();
+        let keys: Vec<u64> = (0..64).map(|_| tie.next_key(&mut rng)).collect();
+        // Re-key index 0 the way a selector does once the salt exists.
+        let mut keys = keys;
+        keys[0] = tie.key_of(0);
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "keys must be pairwise distinct");
+        // key_of is a pure function of (salt, i): recomputing matches.
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(tie.key_of(i), k);
+        }
+    }
+
+    #[test]
+    fn selector_keeps_the_best_k_and_best_dropped_score() {
+        let mut selector = BidSelector::new(1, 3);
+        let mut rng = seeded_rng(11);
+        let scores = [0.1, 0.9, 0.4, 0.8, 0.2, 0.7, 0.95];
+        for (i, &s) in scores.iter().enumerate() {
+            selector.offer(NodeId(i as u64), &[s], 0.0, s, &mut rng);
+        }
+        assert_eq!(selector.offered(), scores.len());
+        assert_eq!(selector.kept(), 3);
+        assert!(selector.resident_bytes() > 0);
+        let pool = selector.finish(&mut rng);
+        let kept: Vec<u64> = pool.candidates().iter().map(|c| c.node.0).collect();
+        assert_eq!(kept, vec![6, 1, 3], "best three scores in rank order");
+        // Best dropped is the fourth-best score overall.
+        assert!((pool.best_dropped_score().unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(pool.offered(), scores.len());
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn selector_matches_full_sort_under_duplicate_scores() {
+        // Stream vs sort over a population full of exact ties: both must produce the same
+        // order because they share the same (score, key) total order.
+        let scores = [0.5, 0.5, 0.9, 0.5, 0.9, 0.1, 0.5];
+        let mut selector = BidSelector::new(1, scores.len());
+        let mut rng = seeded_rng(21);
+        for (i, &s) in scores.iter().enumerate() {
+            selector.offer(NodeId(i as u64), &[s], 0.0, s, &mut rng);
+        }
+        let pool = selector.finish(&mut rng);
+
+        let mut rng2 = seeded_rng(21);
+        let mut tie = TieBreak::new();
+        let mut keyed: Vec<(usize, f64, u64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i, s, tie.next_key(&mut rng2)))
+            .collect();
+        keyed[0].2 = tie.key_of(0);
+        tie.finish(&mut rng2);
+        keyed.sort_by(|a, b| rank_order(a.1, a.2, b.1, b.2));
+
+        let streamed: Vec<u64> = pool.candidates().iter().map(|c| c.node.0).collect();
+        let sorted: Vec<u64> = keyed.iter().map(|&(i, _, _)| i as u64).collect();
+        assert_eq!(streamed, sorted);
+        // And the RNG streams end at the same position.
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng),
+            rand::Rng::gen::<u64>(&mut rng2)
+        );
+    }
+
+    #[test]
+    fn selection_is_independent_of_sharding() {
+        use crate::scoring::Additive;
+        let rule = ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap());
+        let rows: Vec<(u64, [f64; 2], f64)> = (0..40)
+            .map(|i| {
+                let q = [((i * 7) % 11) as f64 / 11.0, ((i * 5) % 13) as f64 / 13.0];
+                (i, q, ((i * 3) % 7) as f64 / 10.0)
+            })
+            .collect();
+        let run = |chunk: usize| {
+            let mut selector = BidSelector::new(2, 8);
+            let mut rng = seeded_rng(5);
+            for shard in rows.chunks(chunk) {
+                let mut store = store_of(shard);
+                store.score_with(&rule).unwrap();
+                selector.offer_store(&store, &mut rng);
+            }
+            let pool = selector.finish(&mut rng);
+            pool.candidates()
+                .iter()
+                .map(|c| (c.node.0, c.score.to_bits(), c.key))
+                .collect::<Vec<_>>()
+        };
+        let whole = run(40);
+        assert_eq!(whole, run(1));
+        assert_eq!(whole, run(7));
+        assert_eq!(whole, run(13));
+    }
+
+    #[test]
+    fn single_bid_round_consumes_no_rng() {
+        let mut selector = BidSelector::new(1, 4);
+        let mut rng = seeded_rng(9);
+        selector.offer(NodeId(0), &[1.0], 0.5, 0.5, &mut rng);
+        let pool = selector.finish(&mut rng);
+        assert_eq!(pool.len(), 1);
+        let mut untouched = seeded_rng(9);
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng),
+            rand::Rng::gen::<u64>(&mut untouched)
+        );
+    }
+
+    #[test]
+    fn rank_order_is_a_strict_total_order_on_distinct_keys() {
+        assert_eq!(rank_order(1.0, 5, 0.5, 1), Ordering::Less);
+        assert_eq!(rank_order(0.5, 1, 1.0, 5), Ordering::Greater);
+        assert_eq!(rank_order(0.5, 1, 0.5, 2), Ordering::Less);
+        assert_eq!(rank_order(0.5, 2, 0.5, 1), Ordering::Greater);
+        // NaN scores fall back to the key order instead of panicking.
+        assert_eq!(rank_order(f64::NAN, 1, f64::NAN, 2), Ordering::Less);
+    }
+}

@@ -142,7 +142,7 @@ mod tests {
         let mut rng = seeded_rng(1);
         let (round1, round2) = run_walkthrough(&mut rng).unwrap();
 
-        let mut w1: Vec<char> = round1.winner_ids().into_iter().map(label_of).collect();
+        let mut w1: Vec<char> = round1.winner_ids().iter().copied().map(label_of).collect();
         w1.sort_unstable();
         assert_eq!(
             w1,
@@ -150,7 +150,7 @@ mod tests {
             "round 1 winners should be {{A, D, E}}"
         );
 
-        let mut w2: Vec<char> = round2.winner_ids().into_iter().map(label_of).collect();
+        let mut w2: Vec<char> = round2.winner_ids().iter().copied().map(label_of).collect();
         w2.sort_unstable();
         assert_eq!(
             w2,
@@ -164,11 +164,11 @@ mod tests {
         let mut rng = seeded_rng(2);
         let (round1, round2) = run_walkthrough(&mut rng).unwrap();
         // Round 1: winners are paid what they asked (first price): A 0.20, D 0.20, E 0.20.
-        for award in &round1.winners {
+        for award in round1.winners() {
             assert!((award.payment - 0.20).abs() < 1e-9);
         }
         // Round 2: A 0.16, C 0.15, E 0.30.
-        for award in &round2.winners {
+        for award in round2.winners() {
             let expected = match label_of(award.node) {
                 'A' => 0.16,
                 'C' => 0.15,
@@ -185,7 +185,7 @@ mod tests {
         let (round1, round2) = run_walkthrough(&mut rng).unwrap();
         let rank_of_c = |outcome: &AuctionOutcome| {
             outcome
-                .ranked
+                .ranked()
                 .iter()
                 .position(|b| label_of(b.node) == 'C')
                 .unwrap()

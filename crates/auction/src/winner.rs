@@ -36,14 +36,24 @@ impl SelectionRule {
     ///
     /// `sorted` must already be in descending score order; at most `k` indices are returned
     /// and each index appears at most once. Tie-breaking among equal scores is performed by
-    /// the caller via a random shuffle before sorting (see [`crate::mechanism::Auction`]).
+    /// the caller via the deterministic tie-break keys of [`crate::store::TieBreak`] before
+    /// sorting (see [`crate::mechanism::Auction`]).
     pub fn select<R: Rng + ?Sized>(
         &self,
         sorted: &[ScoredBid],
         k: usize,
         rng: &mut R,
     ) -> Vec<usize> {
-        let k = k.min(sorted.len());
+        self.select_indices(sorted.len(), k, rng)
+    }
+
+    /// Rank-based core of [`SelectionRule::select`]: selects winner positions out of `n`
+    /// candidates already in descending rank order. The rule never inspects bid contents —
+    /// only ranks — so the dense full-sort path and the streaming
+    /// [`crate::store::StandingPool`] path share this exact implementation (and therefore
+    /// the exact RNG draw sequence).
+    pub fn select_indices<R: Rng + ?Sized>(&self, n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+        let k = k.min(n);
         if k == 0 {
             return Vec::new();
         }
@@ -52,21 +62,21 @@ impl SelectionRule {
             SelectionRule::PsiFMore { psi } => {
                 let psi = psi.clamp(0.0, 1.0);
                 let mut winners = Vec::with_capacity(k);
-                let mut admitted = vec![false; sorted.len()];
-                // Walk the sorted list repeatedly until K nodes are admitted. With ψ = 1 the
+                let mut admitted = vec![false; n];
+                // Walk the rank order repeatedly until K nodes are admitted. With ψ = 1 the
                 // first pass admits exactly the top K; with ψ < 1 later-ranked nodes get a
                 // chance. A final deterministic pass guarantees termination even for tiny ψ.
                 let mut passes = 0;
                 while winners.len() < k && passes < 64 {
-                    for (idx, _) in sorted.iter().enumerate() {
+                    for (idx, taken) in admitted.iter_mut().enumerate() {
                         if winners.len() >= k {
                             break;
                         }
-                        if admitted[idx] {
+                        if *taken {
                             continue;
                         }
                         if rng.gen::<f64>() < psi {
-                            admitted[idx] = true;
+                            *taken = true;
                             winners.push(idx);
                         }
                     }
@@ -92,6 +102,15 @@ impl SelectionRule {
 /// Probability that ψ-FMore fills a winner set of size `K` from `N` candidates within one
 /// sweep of the candidate list: `Pr(ψ) = Σ_{i=0}^{N−K} C(i+K−1, i) (1−ψ)^i ψ^K` (Section
 /// III-C). Approaches 1 for moderate ψ.
+///
+/// The sum is accumulated in **log space**: the direct product form overflows the binomial
+/// factor (and underflows `ψ^K`) already for populations in the hundreds, whereas the
+/// population-scale selection path asks about `N` in the millions. Each term is evaluated as
+/// `exp(ln C(i+K−1, i) + i·ln(1−ψ) + K·ln ψ)` with the log-binomial built by the same
+/// incremental recurrence; on small inputs this agrees with the direct form to ~1e-12
+/// (pinned by the property suite). Terms are unimodal in `i`, so accumulation stops early
+/// once past the peak they stop contributing at `f64` precision — the large-`N` cost is
+/// bounded by where the mass lives, not by `N`.
 pub fn psi_fill_probability(n: usize, k: usize, psi: f64) -> f64 {
     if k == 0 || k > n || !(0.0..=1.0).contains(&psi) {
         return 0.0;
@@ -99,14 +118,42 @@ pub fn psi_fill_probability(n: usize, k: usize, psi: f64) -> f64 {
     if psi == 1.0 {
         return 1.0;
     }
-    let mut total = 0.0;
-    // C(i + K - 1, i), built incrementally.
-    let mut binom = 1.0_f64;
+    if psi == 0.0 {
+        return 0.0;
+    }
+    let ln_miss = (1.0 - psi).ln();
+    let ln_hit_k = k as f64 * psi.ln();
+    // Terms are unimodal in i: the ratio term_{i+1}/term_i = (i+K)/(i+1)·(1−ψ) falls below
+    // one once i exceeds this peak. Past it the tail is geometric with ratio < 1−ψ, so it
+    // is bounded by term_i/ψ — comparison happens in log space, because individual terms
+    // can underflow to 0.0 while the running total (or a later un-underflowed region on the
+    // way up to the peak) is still meaningful.
+    let i_peak = (k as f64 * (1.0 - psi) - 1.0) / psi;
+    let mut total = 0.0_f64;
+    // ln C(i + K - 1, i), built incrementally — same recurrence as the product form.
+    let mut ln_binom = 0.0_f64;
     for i in 0..=(n - k) {
         if i > 0 {
-            binom *= (i + k - 1) as f64 / i as f64;
+            ln_binom += ((i + k - 1) as f64 / i as f64).ln();
         }
-        total += binom * (1.0 - psi).powi(i as i32) * psi.powi(k as i32);
+        let ln_term = ln_binom + i as f64 * ln_miss + ln_hit_k;
+        total += ln_term.exp();
+        if total >= 1.0 {
+            return 1.0;
+        }
+        if i as f64 > i_peak {
+            let ln_tail_bound = ln_term - psi.ln();
+            // Invisible next to the total at f64 precision — or, when everything so far
+            // underflowed, below the smallest subnormal (the sum is exactly 0).
+            let negligible = if total > 0.0 {
+                ln_tail_bound < total.ln() - 42.0
+            } else {
+                ln_tail_bound < -745.0
+            };
+            if negligible {
+                break;
+            }
+        }
     }
     total.min(1.0)
 }

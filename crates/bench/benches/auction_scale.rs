@@ -1,0 +1,62 @@
+//! The population-scale auction core: streamed bid generation, sharded scoring, and bounded
+//! top-K selection as `N` sweeps from 10⁴ to 10⁶.
+//!
+//! Two groups:
+//!
+//! * `auction_scale_streamed` — one full selection round (lazily derived bids → columnar
+//!   shard scoring → bounded selector → payments, K = 64) per population size, on the
+//!   **inline** engine so the number is the single-threaded bound the ISSUE's sub-2 s
+//!   million-bidder acceptance target is stated against,
+//! * `auction_scale_dense` — the dense full-sort [`fmore_auction::Auction::run`] twin at
+//!   the largest size it is still reasonable to materialise, for the crossover picture.
+//!
+//! CI runs this bench in quick mode (`cargo bench -p fmore-bench --bench auction_scale --
+//! --test`) as a panic/regression smoke; `examples/auction_scale_report.rs` re-times the
+//! same rounds and emits the committed `BENCH_auction_scale.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmore_fl::engine::RoundEngine;
+use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
+use std::time::Duration;
+
+fn config() -> ScaleConfig {
+    ScaleConfig::paper()
+}
+
+fn bench_streamed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auction_scale_streamed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let config = config();
+    let engine = RoundEngine::inline();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let game = ScaleGame::new(n, &config).expect("scale game builds");
+        group.bench_function(&format!("streamed_round_n{n}"), |b| {
+            b.iter(|| game.run_streamed(&engine, &config).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auction_scale_dense");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let config = config();
+    for n in [10_000usize, 100_000] {
+        let game = ScaleGame::new(n, &config).expect("scale game builds");
+        group.bench_function(&format!("dense_round_n{n}"), |b| {
+            b.iter(|| game.run_dense().expect("dense round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streamed, bench_dense);
+criterion_main!(benches);

@@ -33,7 +33,9 @@ use crate::client::EdgeClient;
 use crate::error::FlError;
 use crate::metrics::WinnerInfo;
 use fmore_auction::mechanism::Award;
-use fmore_auction::{Auction, AuctionError, EquilibriumSolver, ScoredBid, SubmittedBid};
+use fmore_auction::{
+    Auction, AuctionError, BidStore, EquilibriumSolver, ScoredBid, StandingPool, SubmittedBid,
+};
 use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::Dataset;
 use fmore_ml::model::{Model, Sequential};
@@ -257,6 +259,23 @@ impl RoundEngine {
         self.pool.as_ref()
     }
 
+    /// How many tasks this engine can usefully keep in flight at once — the wave width of
+    /// the streaming bid-collection stage (1 for inline execution, the pool width for
+    /// pooled engines). Bounding in-flight shards by this keeps the stage's transient
+    /// memory at `O(width · shard)` instead of `O(N)`.
+    pub fn parallel_width(&self) -> usize {
+        match self.mode {
+            ExecutionMode::Inline => 1,
+            ExecutionMode::SpawnPerRound => default_threads(),
+            ExecutionMode::Pooled => self
+                .pool
+                .as_ref()
+                .expect("pooled engine always has a pool")
+                .threads()
+                .max(1),
+        }
+    }
+
     /// Runs the tasks under the configured mode, returning results in submission order in
     /// every mode.
     ///
@@ -370,12 +389,142 @@ where
     F: FnMut(&Award) -> WinnerInfo,
 {
     let outcome = auction.run(bids, rng)?;
-    let all_scores: Vec<f64> = outcome.ranked.iter().map(|b| b.score).collect();
-    let winners = outcome.winners.iter().map(&mut map_award).collect();
+    let all_scores: Vec<f64> = outcome.ranked().iter().map(|b| b.score).collect();
+    let winners = outcome.winners().iter().map(&mut map_award).collect();
     Ok(AuctionStage {
         winners,
         all_scores,
-        standing: outcome.ranked,
+        standing: outcome.into_ranked(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1–3, population scale: streamed bid collection + bounded selection.
+// ---------------------------------------------------------------------------
+
+/// The result of the population-scale winner-determination stage: winners plus the bounded
+/// standing store — never the `O(N)` ranked population the dense stage carries.
+#[derive(Debug, Clone)]
+pub struct StreamedAuction {
+    /// The mapped winners, in selection order.
+    pub winners: Vec<WinnerInfo>,
+    /// Number of bids streamed through the selector.
+    pub offered: usize,
+    /// The bounded standing store (best `K + reserve` candidates in rank order), valid for
+    /// re-auction refills this round via [`Auction::award_standing`].
+    pub standing: StandingPool,
+    /// Peak resident bid bytes of the stage: the widest wave of shard stores plus the
+    /// selector's kept candidates (len-based, deterministic). `O(width · shard + K)`, never
+    /// `O(N)`.
+    pub peak_bid_bytes: usize,
+}
+
+/// Population-scale twin of [`auction_select`]: streams a bidder population through the
+/// engine **in shards** instead of collecting an all-bids `Vec`.
+///
+/// `fill` is called once per shard — on a worker thread for pooled engines — with the
+/// shard's index range and a reusable columnar [`BidStore`] to push sealed bids into
+/// (absent or ineligible indices are simply skipped). Each filled store is scored on its
+/// worker in one pass; the control thread then feeds the scored shards, in shard order,
+/// into the auction's bounded selector. At most [`RoundEngine::parallel_width`] shard
+/// stores exist at any moment and they are recycled across waves, so the stage's transient
+/// memory is `O(width · shard + K)` regardless of the population size.
+///
+/// Winner sets are **bit-identical** to [`Auction::run`] over the same bids — for top-K at
+/// any `reserve`, and for ψ-FMore because the stage widens the standing pool to the full
+/// population (the ψ walk needs the whole ranking; a bounded pool would silently change the
+/// mechanism, so ψ trades the `O(K)` pool for exactness). Results are independent of both
+/// the shard size and the engine width — tie-break keys depend only on the bid's global
+/// stream position. Winners materialise
+/// through `map_award` exactly as in [`auction_select`]: nothing beyond the `K` awards ever
+/// becomes a full client object.
+///
+/// # Errors
+///
+/// Propagates malformed-bid and invalid-game failures, and [`AuctionError::NoBids`] when
+/// the population streamed zero bids.
+#[allow(clippy::too_many_arguments)]
+pub fn auction_select_streamed<R, F, G>(
+    auction: &Auction,
+    population: usize,
+    shard_size: usize,
+    reserve: usize,
+    engine: &RoundEngine,
+    fill: Arc<G>,
+    rng: &mut R,
+    mut map_award: F,
+) -> Result<StreamedAuction, AuctionError>
+where
+    R: Rng + ?Sized,
+    G: Fn(std::ops::Range<usize>, &mut BidStore) -> Result<(), AuctionError>
+        + Send
+        + Sync
+        + ?Sized
+        + 'static,
+    F: FnMut(&Award) -> WinnerInfo,
+{
+    let k = auction.winners_per_round();
+    if k == 0 || !auction.selection_rule().is_valid() {
+        return Err(AuctionError::InvalidGame { n: population, k });
+    }
+    let shard_size = shard_size.max(1);
+    let dims = auction.scoring_rule().dims();
+    // ψ-FMore's admission walk must see the full ranking — truncating it to a bounded pool
+    // would silently change the mechanism (deep candidates lose their geometric admission
+    // tail and the draw sequence diverges from `Auction::run`). The selector therefore
+    // keeps the whole population for ψ selections; only top-K earns the bounded pool.
+    let reserve = match auction.selection_rule() {
+        fmore_auction::SelectionRule::PsiFMore { .. } => reserve.max(population),
+        fmore_auction::SelectionRule::TopK => reserve,
+    };
+    let mut selector = auction.selector(reserve);
+    let width = engine.parallel_width();
+    let mut free: Vec<BidStore> = Vec::new();
+    let mut peak_bid_bytes = 0usize;
+
+    let shards: Vec<std::ops::Range<usize>> = (0..population)
+        .step_by(shard_size)
+        .map(|lo| lo..(lo + shard_size).min(population))
+        .collect();
+    for wave in shards.chunks(width.max(1)) {
+        let tasks: Vec<Task<Result<BidStore, AuctionError>>> = wave
+            .iter()
+            .map(|range| {
+                let mut store = free
+                    .pop()
+                    .unwrap_or_else(|| BidStore::with_capacity(dims, shard_size));
+                store.clear();
+                let fill = Arc::clone(&fill);
+                let rule = auction.scoring_rule().clone();
+                let range = range.clone();
+                Box::new(move || {
+                    fill(range, &mut store)?;
+                    store.score_with(&rule)?;
+                    Ok(store)
+                }) as Task<Result<BidStore, AuctionError>>
+            })
+            .collect();
+        let mut wave_bytes = 0usize;
+        for result in engine.run_tasks(tasks) {
+            let store = result?;
+            selector.offer_store(&store, rng);
+            wave_bytes += store.resident_bytes();
+            free.push(store);
+        }
+        peak_bid_bytes = peak_bid_bytes.max(wave_bytes + selector.resident_bytes());
+    }
+
+    let standing = selector.finish(rng);
+    if standing.offered() == 0 {
+        return Err(AuctionError::NoBids);
+    }
+    let awards = auction.award_standing(&standing, k, &[], rng);
+    let winners = awards.iter().map(&mut map_award).collect();
+    Ok(StreamedAuction {
+        winners,
+        offered: standing.offered(),
+        standing,
+        peak_bid_bytes,
     })
 }
 
@@ -721,6 +870,144 @@ mod tests {
         assert!(loose.survivors.len() <= looser.survivors.len());
         assert!(tight.wave_secs <= loose.wave_secs);
         assert!(loose.wave_secs <= looser.wave_secs);
+    }
+
+    fn scale_auction(k: usize) -> Auction {
+        use fmore_auction::{Additive, PricingRule, ScoringRule, SelectionRule};
+        Auction::new(
+            ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap()),
+            k,
+            SelectionRule::TopK,
+            PricingRule::FirstPrice,
+        )
+    }
+
+    fn synthetic_bid(i: usize) -> (fmore_auction::NodeId, [f64; 2], f64) {
+        let q = [
+            ((i * 7) % 101) as f64 / 101.0,
+            ((i * 13) % 97) as f64 / 97.0,
+        ];
+        let ask = ((i * 3) % 31) as f64 / 100.0;
+        (fmore_auction::NodeId(i as u64), q, ask)
+    }
+
+    fn streamed_winners(
+        auction: &Auction,
+        n: usize,
+        shard: usize,
+        engine: &RoundEngine,
+        seed: u64,
+    ) -> StreamedAuction {
+        let fill = Arc::new(move |range: std::ops::Range<usize>, store: &mut BidStore| {
+            for i in range {
+                let (node, q, ask) = synthetic_bid(i);
+                store.push(node, &q, ask)?;
+            }
+            Ok(())
+        });
+        auction_select_streamed(
+            auction,
+            n,
+            shard,
+            auction.winners_per_round(),
+            engine,
+            fill,
+            &mut seeded_rng(seed),
+            |award| WinnerInfo {
+                client: award.node.0 as usize,
+                node: award.node,
+                data_size: 1,
+                categories: 1,
+                score: award.score,
+                payment: award.payment,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_selection_matches_the_dense_auction() {
+        let auction = scale_auction(8);
+        let n = 500;
+        let dense_bids: Vec<SubmittedBid> = (0..n)
+            .map(|i| {
+                let (node, q, ask) = synthetic_bid(i);
+                SubmittedBid::new(node, fmore_auction::Quality::new(q.to_vec()), ask)
+            })
+            .collect();
+        let dense = auction.run(dense_bids, &mut seeded_rng(77)).unwrap();
+        let streamed = streamed_winners(&auction, n, 64, &RoundEngine::inline(), 77);
+        assert_eq!(streamed.offered, n);
+        let dense_pairs: Vec<(u64, u64)> = dense
+            .winners()
+            .iter()
+            .map(|w| (w.node.0, w.payment.to_bits()))
+            .collect();
+        let streamed_pairs: Vec<(u64, u64)> = streamed
+            .winners
+            .iter()
+            .map(|w| (w.node.0, w.payment.to_bits()))
+            .collect();
+        assert_eq!(dense_pairs, streamed_pairs, "winners and payments drifted");
+        // The bounded standing store never grows past K + reserve, and peak memory is
+        // shard-scale, not population-scale.
+        assert!(streamed.standing.len() <= 16);
+        let full_store_bytes = n * (8 + 8 * 4);
+        assert!(streamed.peak_bid_bytes < full_store_bytes);
+    }
+
+    #[test]
+    fn streamed_selection_is_shard_and_width_independent() {
+        let auction = scale_auction(5);
+        let reference = streamed_winners(&auction, 300, 300, &RoundEngine::inline(), 3);
+        for shard in [1usize, 7, 64] {
+            for engine in [RoundEngine::inline(), RoundEngine::pooled(4)] {
+                let other = streamed_winners(&auction, 300, shard, &engine, 3);
+                assert_eq!(
+                    reference.winners, other.winners,
+                    "shard={shard} changed the winner set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_selection_rejects_empty_and_invalid_games() {
+        let auction = scale_auction(0);
+        let fill = Arc::new(|_: std::ops::Range<usize>, _: &mut BidStore| Ok(()));
+        let err = auction_select_streamed(
+            &auction,
+            10,
+            4,
+            0,
+            &RoundEngine::inline(),
+            Arc::clone(&fill),
+            &mut seeded_rng(1),
+            |_| unreachable!(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AuctionError::InvalidGame { .. }));
+        // A population that streams zero bids is NoBids, like the dense stage.
+        let auction = scale_auction(2);
+        let err = auction_select_streamed(
+            &auction,
+            10,
+            4,
+            0,
+            &RoundEngine::inline(),
+            fill,
+            &mut seeded_rng(1),
+            |_| unreachable!(),
+        )
+        .unwrap_err();
+        assert_eq!(err, AuctionError::NoBids);
+    }
+
+    #[test]
+    fn engine_parallel_width_matches_the_substrate() {
+        assert_eq!(RoundEngine::inline().parallel_width(), 1);
+        assert_eq!(RoundEngine::pooled(3).parallel_width(), 3);
+        assert!(RoundEngine::spawn_per_round().parallel_width() >= 1);
     }
 
     #[test]

@@ -534,11 +534,8 @@ impl MecCluster {
             .round_secs(&participants, self.config.fl.local_epochs);
         self.elapsed_secs += round_secs;
 
-        for w in &winners {
-            if w.payment > 0.0 {
-                self.ledger.record(w.node, w.payment);
-            }
-        }
+        self.ledger
+            .record_round(winners.iter().map(|w| (w.node, w.payment)));
 
         let learning = self.trainer.run_round_with(winners, all_scores);
         Ok(ClusterRound {
@@ -635,18 +632,19 @@ impl MecCluster {
             outcome.deadline_misses += verdict.missed.len();
             // Late deliveries are paid for discarded work; dropouts forfeit payment.
             for &slot in &verdict.missed {
-                let w = &wave_winners[slot];
-                outcome.wasted_payment += w.payment;
-                if w.payment > 0.0 {
-                    self.ledger.record(w.node, w.payment);
-                }
+                outcome.wasted_payment += wave_winners[slot].payment;
             }
-            for &slot in &verdict.survivors {
-                let w = &wave_winners[slot];
-                if w.payment > 0.0 {
-                    self.ledger.record(w.node, w.payment);
-                }
-            }
+            self.ledger
+                .record_round(
+                    verdict
+                        .missed
+                        .iter()
+                        .chain(verdict.survivors.iter())
+                        .map(|&slot| {
+                            let w = &wave_winners[slot];
+                            (w.node, w.payment)
+                        }),
+                );
             survivors.extend(verdict.survivors.iter().map(|&s| wave_winners[s].clone()));
 
             if survivors.len() >= quota || outcome.reauction_waves >= dynamics.max_reauction_waves {

@@ -23,6 +23,17 @@ impl PaymentLedger {
         entry.1 += 1;
     }
 
+    /// Records one round's winners in a single pass, reading `(node, payment)` pairs
+    /// straight from the stored winner list — zero-payment entries (RandFL picks) are
+    /// skipped, so callers no longer filter and re-collect ids per round.
+    pub fn record_round<I: IntoIterator<Item = (NodeId, f64)>>(&mut self, winners: I) {
+        for (node, payment) in winners {
+            if payment > 0.0 {
+                self.record(node, payment);
+            }
+        }
+    }
+
     /// Total payment promised to `node` so far.
     pub fn total_for(&self, node: NodeId) -> f64 {
         self.entries.get(&node).map_or(0.0, |(p, _)| *p)
@@ -81,5 +92,18 @@ mod tests {
         let ledger = PaymentLedger::default();
         assert_eq!(ledger.total(), 0.0);
         assert_eq!(ledger.distinct_winners(), 0);
+    }
+
+    #[test]
+    fn record_round_skips_zero_payments() {
+        let mut ledger = PaymentLedger::new();
+        ledger.record_round([
+            (NodeId(1), 0.5),
+            (NodeId(2), 0.0), // RandFL pick: no payment, no ledger entry
+            (NodeId(3), 0.25),
+        ]);
+        assert_eq!(ledger.distinct_winners(), 2);
+        assert!((ledger.total() - 0.75).abs() < 1e-12);
+        assert_eq!(ledger.wins_for(NodeId(2)), 0);
     }
 }

@@ -16,7 +16,10 @@
 //!   round, delegation of the actual learning to [`fmore_fl::FederatedTrainer`], and
 //!   accumulation of simulated training time (including deadline waits and re-auction waves
 //!   when dynamics are enabled),
-//! * [`ledger`] — per-node payment accounting over the run.
+//! * [`ledger`] — per-node payment accounting over the run,
+//! * [`population`] — lazily materialised node populations for million-bidder rounds:
+//!   per-node attributes derived O(1) from `(seed, i)` streams, packed-bitmap membership
+//!   churn over index sets, and on-demand materialisation of auction winners.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod dynamics;
 pub mod error;
 pub mod ledger;
 pub mod node;
+pub mod population;
 pub mod time_model;
 
 pub use cluster::{ClusterConfig, ClusterHistory, ClusterRound, ClusterStrategy, MecCluster};
@@ -46,4 +50,5 @@ pub use dynamics::{ChurnModel, ChurnState, DynamicsConfig, MembershipChange, Par
 pub use error::MecError;
 pub use ledger::PaymentLedger;
 pub use node::{MecNode, ResourceProfile, ResourceRanges};
+pub use population::{NodePopulation, PopulationChurn, PopulationSpec};
 pub use time_model::TimeModel;

@@ -20,6 +20,15 @@ impl ResourceProfile {
     /// Normalises the profile against per-dimension maxima into a quality vector
     /// `(q1, q2, q3) ∈ [0, 1]³` in the paper's order (computing power, bandwidth, data size).
     pub fn to_quality(&self, max: &ResourceProfile) -> Quality {
+        let mut out = Vec::with_capacity(3);
+        self.quality_into(max, &mut out);
+        Quality::new(out)
+    }
+
+    /// Allocation-free form of [`ResourceProfile::to_quality`]: writes the normalised
+    /// components into `out` (cleared first, capacity reused) — the form the
+    /// population-scale bid path cycles through per node.
+    pub fn quality_into(&self, max: &ResourceProfile, out: &mut Vec<f64>) {
         let norm = |v: f64, m: f64| {
             if m > 0.0 {
                 (v / m).clamp(0.0, 1.0)
@@ -27,11 +36,10 @@ impl ResourceProfile {
                 0.0
             }
         };
-        Quality::new(vec![
-            norm(self.cpu_cores, max.cpu_cores),
-            norm(self.bandwidth_mbps, max.bandwidth_mbps),
-            norm(self.data_size, max.data_size),
-        ])
+        out.clear();
+        out.push(norm(self.cpu_cores, max.cpu_cores));
+        out.push(norm(self.bandwidth_mbps, max.bandwidth_mbps));
+        out.push(norm(self.data_size, max.data_size));
     }
 }
 
@@ -66,7 +74,7 @@ impl ResourceRanges {
         }
     }
 
-    fn draw(&self, rng: &mut StdRng) -> ResourceProfile {
+    pub(crate) fn draw(&self, rng: &mut StdRng) -> ResourceProfile {
         let sample = |(lo, hi): (f64, f64), rng: &mut StdRng| {
             if hi > lo {
                 rng.gen_range(lo..=hi)

@@ -1,0 +1,449 @@
+//! Lazily materialised node populations: million-node MEC fleets whose per-node state is
+//! derived, not stored.
+//!
+//! The cluster simulator of [`crate::cluster`] materialises every [`MecNode`] up front —
+//! fine for the paper's 31 machines, impossible for the populations the mechanism is
+//! actually pitched at (related work frames winner determination at 10⁵–10⁶ edge bidders).
+//! A [`NodePopulation`] stores **only its spec**: node `i`'s private cost parameter θ and
+//! its per-round resource provision are pure functions of `(seed, i)` through
+//! [`fmore_numerics::rng::derive_stream`], computed in O(1) when asked and never retained.
+//! Only auction winners graduate to full state, via [`NodePopulation::materialize`].
+//!
+//! [`PopulationChurn`] is the membership layer at the same scale: the [`ChurnModel`]
+//! probabilities applied over **index sets** — presence is one bit per node in a packed
+//! bitmap (125 KB for a million nodes), per-round departure/arrival draws are derived
+//! per `(round, node)` hashes (order-independent, shard-independent), and mid-round
+//! dropouts clear bits directly. The dense [`crate::dynamics::ChurnState`] keeps its
+//! stream-based semantics for the paper-sized cluster; this type is its population-scale
+//! sibling.
+
+use crate::dynamics::ChurnModel;
+use crate::error::MecError;
+use crate::node::{MecNode, ResourceProfile, ResourceRanges};
+use fmore_numerics::rng::{derive_seed, derive_stream};
+use rand::Rng;
+
+/// Tag streams keeping the θ draw, the per-round resource draws, and the materialised
+/// node's private stream decorrelated from one another.
+const THETA_STREAM: u64 = 0x7A11;
+const PROFILE_STREAM: u64 = 0x9E0D;
+const NODE_STREAM: u64 = 0x1000;
+
+/// The full description of a node population: everything needed to derive any node's
+/// attributes on demand. The spec **is** the population — copying it is copying the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationSpec {
+    /// Number of edge nodes `N`.
+    pub size: usize,
+    /// Per-node resource ranges the round-by-round provision is drawn from.
+    pub ranges: ResourceRanges,
+    /// Support `[θ̲, θ̄]` of the private cost parameter.
+    pub theta_range: (f64, f64),
+    /// Root seed; node `i` derives every attribute from `(seed, i)`.
+    pub seed: u64,
+}
+
+impl PopulationSpec {
+    /// A population of `size` nodes on the paper's cluster hardware class with the
+    /// scale-experiment θ support `[0.1, 0.9]`.
+    pub fn scale_default(size: usize, seed: u64) -> Self {
+        Self {
+            size,
+            ranges: ResourceRanges::paper_cluster(),
+            theta_range: (0.1, 0.9),
+            seed,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MecError::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), MecError> {
+        if self.size == 0 {
+            return Err(MecError::InvalidConfig(
+                "population size must be positive".into(),
+            ));
+        }
+        if !self.ranges.is_valid() {
+            return Err(MecError::InvalidConfig("invalid resource ranges".into()));
+        }
+        let (lo, hi) = self.theta_range;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
+            return Err(MecError::InvalidConfig(format!(
+                "theta range [{lo}, {hi}] must satisfy 0 < lo < hi < inf"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A population of edge nodes whose attributes are derived on demand from the spec.
+///
+/// No per-node state exists until a node wins: bid collection asks for
+/// [`NodePopulation::theta`] and [`NodePopulation::profile`] (both O(1), allocation-free
+/// with [`NodePopulation::quality_into`]), and only winners pay for
+/// [`NodePopulation::materialize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePopulation {
+    spec: PopulationSpec,
+}
+
+impl NodePopulation {
+    /// Builds the population after validating the spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PopulationSpec::validate`] failures.
+    pub fn new(spec: PopulationSpec) -> Result<Self, MecError> {
+        spec.validate()?;
+        Ok(Self { spec })
+    }
+
+    /// The population spec.
+    pub fn spec(&self) -> &PopulationSpec {
+        &self.spec
+    }
+
+    /// Number of nodes `N`.
+    pub fn len(&self) -> usize {
+        self.spec.size
+    }
+
+    /// Whether the population is empty (never true for a validated spec).
+    pub fn is_empty(&self) -> bool {
+        self.spec.size == 0
+    }
+
+    /// The per-dimension resource maxima used for quality normalisation.
+    pub fn maxima(&self) -> ResourceProfile {
+        self.spec.ranges.maxima()
+    }
+
+    /// Node `i`'s private cost parameter θ — constant across rounds, derived O(1).
+    pub fn theta(&self, i: usize) -> f64 {
+        let mut rng = derive_stream(derive_seed(self.spec.seed, THETA_STREAM), i as u64);
+        let (lo, hi) = self.spec.theta_range;
+        rng.gen_range(lo..hi)
+    }
+
+    /// Node `i`'s resource provision in `round` — a fresh draw per round, derived O(1)
+    /// without touching any other node's stream.
+    pub fn profile(&self, i: usize, round: u64) -> ResourceProfile {
+        let mut rng = derive_stream(
+            derive_seed(self.spec.seed, PROFILE_STREAM ^ round.wrapping_mul(0x9E37)),
+            i as u64,
+        );
+        self.spec.ranges.draw(&mut rng)
+    }
+
+    /// Node `i`'s normalised quality vector in `round`, written into `out` (cleared first,
+    /// capacity reused).
+    pub fn quality_into(&self, i: usize, round: u64, out: &mut Vec<f64>) {
+        self.profile(i, round).quality_into(&self.maxima(), out);
+    }
+
+    /// Materialises the full [`MecNode`] for node `i` — what an auction winner graduates
+    /// to when it must carry live state (resource refresh stream, training client). The
+    /// node's private stream is derived from the same `(seed, i)` root, so materialising
+    /// twice yields the identical node.
+    pub fn materialize(&self, i: usize) -> MecNode {
+        MecNode::new(
+            fmore_auction::NodeId(i as u64),
+            self.spec.ranges,
+            self.theta(i),
+            derive_seed(self.spec.seed, NODE_STREAM + i as u64),
+        )
+    }
+}
+
+/// Packed-bitmap membership churn over a [`NodePopulation`]'s index space.
+///
+/// Presence is one bit per node; the per-round departure/arrival draws are derived from
+/// `(seed, round, node)` hashes rather than a sequential stream, so advancing a round is an
+/// embarrassingly parallel pass over the bitmap and the result is independent of evaluation
+/// order. The `min_present` floor is enforced in node order, as in
+/// [`crate::dynamics::ChurnState::begin_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationChurn {
+    model: ChurnModel,
+    seed: u64,
+    size: usize,
+    round: u64,
+    /// Presence bitmap, one bit per node index.
+    bits: Vec<u64>,
+}
+
+/// Maps a 64-bit hash to a unit draw in `[0, 1)` — same construction as the generator's
+/// `f64` sampling.
+fn unit_from_hash(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn churn_hash(seed: u64, round: u64, node: u64, tag: u64) -> u64 {
+    derive_seed(
+        derive_seed(seed, round.wrapping_mul(2).wrapping_add(tag)),
+        node,
+    )
+}
+
+impl PopulationChurn {
+    /// Everyone-present churn state over `size` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChurnModel::validate`] failures.
+    pub fn new(size: usize, model: ChurnModel, seed: u64) -> Result<Self, MecError> {
+        model.validate()?;
+        let words = size.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if let Some(last) = bits.last_mut() {
+            let tail = size % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Ok(Self {
+            model,
+            seed,
+            size,
+            round: 0,
+            bits,
+        })
+    }
+
+    /// The churn model in force.
+    pub fn model(&self) -> &ChurnModel {
+        &self.model
+    }
+
+    /// Population size `N`.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Whether node `i` is currently present.
+    pub fn is_present(&self, i: usize) -> bool {
+        i < self.size && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of currently present nodes (a popcount over the bitmap).
+    pub fn present_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Marks node `i` absent immediately (a mid-round dropout).
+    pub fn mark_departed(&mut self, i: usize) {
+        if i < self.size {
+            self.bits[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Advances membership by one round: present nodes depart with the model's departure
+    /// probability, absent nodes rejoin with its arrival probability — each decided by a
+    /// per-`(round, node)` derived hash, so the update is order-independent. Departures
+    /// honour the `min_present` floor in node order; if dropouts pushed the population
+    /// below the floor, nodes are revived in node order until it holds.
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+        let mut remaining = self.present_count();
+        for i in 0..self.size {
+            let word = i / 64;
+            let mask = 1u64 << (i % 64);
+            let present = self.bits[word] & mask != 0;
+            if present {
+                let u = unit_from_hash(churn_hash(self.seed, self.round, i as u64, 0));
+                if u < self.model.departure_prob && remaining > self.model.min_present {
+                    self.bits[word] &= !mask;
+                    remaining -= 1;
+                }
+            } else {
+                let u = unit_from_hash(churn_hash(self.seed, self.round, i as u64, 1));
+                if u < self.model.arrival_prob {
+                    self.bits[word] |= mask;
+                    remaining += 1;
+                }
+            }
+        }
+        for i in 0..self.size {
+            if remaining >= self.model.min_present {
+                break;
+            }
+            let word = i / 64;
+            let mask = 1u64 << (i % 64);
+            if self.bits[word] & mask == 0 {
+                self.bits[word] |= mask;
+                remaining += 1;
+            }
+        }
+    }
+
+    /// Calls `f` for every present node index in `range`, in index order — the shape bid
+    /// collection wants: a shard filler walks its index range and skips absentees without
+    /// ever building an index `Vec`.
+    pub fn for_each_present<F: FnMut(usize)>(&self, range: std::ops::Range<usize>, mut f: F) {
+        let end = range.end.min(self.size);
+        for i in range.start..end {
+            if self.bits[i / 64] & (1u64 << (i % 64)) != 0 {
+                f(i);
+            }
+        }
+    }
+
+    /// Resident bytes of the presence bitmap.
+    pub fn resident_bytes(&self) -> usize {
+        self.bits.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(size: usize) -> PopulationSpec {
+        PopulationSpec::scale_default(size, 42)
+    }
+
+    #[test]
+    fn spec_validation_catches_mistakes() {
+        assert!(spec(100).validate().is_ok());
+        assert!(spec(0).validate().is_err());
+        let mut bad = spec(10);
+        bad.theta_range = (0.5, 0.5);
+        assert!(bad.validate().is_err());
+        let mut bad = spec(10);
+        bad.theta_range = (0.0, 0.9);
+        assert!(bad.validate().is_err());
+        let mut bad = spec(10);
+        bad.ranges.cpu_cores = (0.0, 4.0);
+        assert!(NodePopulation::new(bad).is_err());
+    }
+
+    #[test]
+    fn derived_attributes_are_pure_functions_of_seed_and_index() {
+        let pop = NodePopulation::new(spec(1000)).unwrap();
+        assert_eq!(pop.len(), 1000);
+        assert!(!pop.is_empty());
+        for &i in &[0usize, 1, 17, 999] {
+            assert_eq!(pop.theta(i), pop.theta(i), "theta must be deterministic");
+            assert_eq!(pop.profile(i, 3), pop.profile(i, 3));
+            let (lo, hi) = pop.spec().theta_range;
+            assert!((lo..hi).contains(&pop.theta(i)));
+        }
+        // Different nodes and different rounds see different draws.
+        assert_ne!(pop.theta(0), pop.theta(1));
+        assert_ne!(pop.profile(5, 0), pop.profile(5, 1));
+        // A different seed is a different fleet.
+        let other = NodePopulation::new(PopulationSpec {
+            seed: 43,
+            ..*pop.spec()
+        })
+        .unwrap();
+        assert_ne!(pop.theta(0), other.theta(0));
+    }
+
+    #[test]
+    fn profiles_stay_within_ranges_and_qualities_in_unit_cube() {
+        let pop = NodePopulation::new(spec(64)).unwrap();
+        let mut q = Vec::new();
+        for i in 0..64 {
+            let p = pop.profile(i, 7);
+            assert!((1.0..=8.0).contains(&p.cpu_cores));
+            assert!((100.0..=1000.0).contains(&p.bandwidth_mbps));
+            assert!((2000.0..=10_000.0).contains(&p.data_size));
+            pop.quality_into(i, 7, &mut q);
+            assert_eq!(q.len(), 3);
+            assert!(q.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn materialized_nodes_match_their_derived_attributes() {
+        let pop = NodePopulation::new(spec(32)).unwrap();
+        let node = pop.materialize(9);
+        assert_eq!(node.id(), fmore_auction::NodeId(9));
+        assert!((node.theta() - pop.theta(9)).abs() < 1e-15);
+        assert_eq!(*node.ranges(), pop.spec().ranges);
+        // Materialising twice yields the identical node state.
+        let again = pop.materialize(9);
+        assert_eq!(node.current(), again.current());
+    }
+
+    #[test]
+    fn churn_bitmap_tracks_presence_and_floor() {
+        let mut churn = PopulationChurn::new(130, ChurnModel::stable(), 1).unwrap();
+        assert_eq!(churn.len(), 130);
+        assert!(!churn.is_empty());
+        assert_eq!(churn.present_count(), 130);
+        assert!(churn.is_present(129));
+        assert!(!churn.is_present(130), "out of range is absent");
+        churn.mark_departed(129);
+        assert!(!churn.is_present(129));
+        assert_eq!(churn.present_count(), 129);
+        // Stable model: nothing changes round over round.
+        churn.advance_round();
+        assert_eq!(churn.present_count(), 129);
+        assert_eq!(churn.resident_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn certain_departures_respect_the_floor_and_revival() {
+        let mut model = ChurnModel::stable().with_membership(1.0, 0.0);
+        model.min_present = 5;
+        let mut churn = PopulationChurn::new(64, model, 3).unwrap();
+        churn.advance_round();
+        assert_eq!(churn.present_count(), 5, "floor holds under certain exodus");
+        // Dropouts below the floor are revived at the next round boundary.
+        for i in 0..64 {
+            churn.mark_departed(i);
+        }
+        assert_eq!(churn.present_count(), 0);
+        churn.advance_round();
+        assert_eq!(churn.present_count(), 5);
+    }
+
+    #[test]
+    fn churn_draws_are_deterministic_and_order_independent() {
+        let model = ChurnModel::edge_default();
+        let run = |rounds: usize| {
+            let mut churn = PopulationChurn::new(256, model, 11).unwrap();
+            for _ in 0..rounds {
+                churn.advance_round();
+            }
+            (0..256).map(|i| churn.is_present(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(1), run(4));
+        // The churn actually churns.
+        let present = run(1).iter().filter(|&&p| p).count();
+        assert!(present < 256);
+        assert!(present >= model.min_present);
+    }
+
+    #[test]
+    fn for_each_present_walks_index_ranges_in_order() {
+        let mut churn = PopulationChurn::new(20, ChurnModel::stable(), 5).unwrap();
+        churn.mark_departed(3);
+        churn.mark_departed(7);
+        let mut seen = Vec::new();
+        churn.for_each_present(0..10, |i| seen.push(i));
+        assert_eq!(seen, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+        // Ranges beyond the population are clamped.
+        let mut tail = Vec::new();
+        churn.for_each_present(18..99, |i| tail.push(i));
+        assert_eq!(tail, vec![18, 19]);
+    }
+
+    #[test]
+    fn invalid_churn_models_are_rejected() {
+        let mut bad = ChurnModel::stable();
+        bad.dropout_prob = 2.0;
+        assert!(PopulationChurn::new(10, bad, 1).is_err());
+    }
+}

@@ -44,4 +44,4 @@ pub use error::NumericsError;
 pub use ode::{solve_euler, solve_rk4, OdeSolution};
 pub use optimize::{maximize_coordinate, maximize_scalar};
 pub use quadrature::{cumulative_trapezoid, simpson, trapezoid};
-pub use rng::seeded_rng;
+pub use rng::{derive_stream, seeded_rng};

@@ -33,6 +33,15 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// An O(1)-derivable per-stream RNG: `derive_stream(seed, i)` is
+/// `seeded_rng(derive_seed(seed, i))`, named for the access pattern it enables — a
+/// population of millions of nodes where node `i`'s attributes are a pure function of
+/// `(seed, i)`, materialised on demand instead of stored. The backbone of
+/// `fmore_mec`'s lazily materialised node populations.
+pub fn derive_stream(seed: u64, stream: u64) -> StdRng {
+    seeded_rng(derive_seed(seed, stream))
+}
+
 /// Fisher–Yates shuffles a slice in place using the supplied RNG.
 pub fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
     if items.len() < 2 {

@@ -10,4 +10,5 @@ pub mod impact_k;
 pub mod impact_n;
 pub mod impact_psi;
 pub mod registry;
+pub mod scale;
 pub mod scores;

@@ -9,7 +9,7 @@
 
 use crate::error::SimError;
 use crate::experiments::{
-    accuracy, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scores,
+    accuracy, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scale, scores,
 };
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
@@ -228,6 +228,46 @@ fn run_churn_waste(
     })
 }
 
+fn scale_config(fidelity: Fidelity) -> scale::ScaleConfig {
+    match fidelity {
+        Fidelity::Quick => scale::ScaleConfig::quick(),
+        Fidelity::Paper => scale::ScaleConfig::paper(),
+    }
+}
+
+fn run_scale_selection(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let figure = scale::run_selection(runner, &scale_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "scale-selection",
+        tables: vec![figure.to_table()],
+    })
+}
+
+fn run_scale_memory(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let figure = scale::run_memory(runner, &scale_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "scale-memory",
+        tables: vec![figure.to_table()],
+    })
+}
+
+fn run_scale_parity(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let figure = scale::run_parity(runner, &scale_config(fidelity))?;
+    Ok(ExperimentReport {
+        name: "scale-parity",
+        tables: vec![figure.to_table()],
+    })
+}
+
 /// Every experiment of the paper's evaluation, in figure order.
 pub const REGISTRY: &[ExperimentDef] = &[
     ExperimentDef {
@@ -290,6 +330,24 @@ pub const REGISTRY: &[ExperimentDef] = &[
         summary: "payment waste and deadline misses as the straggler rate grows",
         run: run_churn_waste,
     },
+    ExperimentDef {
+        name: "scale-selection",
+        figure: "new (population scale, SS V overhead)",
+        summary: "streamed top-K selection rounds as N sweeps from 1e3 toward 1e6",
+        run: run_scale_selection,
+    },
+    ExperimentDef {
+        name: "scale-memory",
+        figure: "new (population scale)",
+        summary: "peak resident bid bytes: bounded streaming vs a dense O(N) store",
+        run: run_scale_memory,
+    },
+    ExperimentDef {
+        name: "scale-parity",
+        figure: "new (population scale)",
+        summary: "bit-parity of streamed winners/payments against the dense full-sort path",
+        run: run_scale_parity,
+    },
 ];
 
 /// Looks an experiment up by registry name.
@@ -335,8 +393,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_ten_experiments() {
-        assert_eq!(REGISTRY.len(), 10);
+    fn registry_lists_all_thirteen_experiments() {
+        assert_eq!(REGISTRY.len(), 13);
         let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
         for expected in [
             "accuracy",
@@ -349,6 +407,9 @@ mod tests {
             "churn-dropout",
             "churn-time",
             "churn-waste",
+            "scale-selection",
+            "scale-memory",
+            "scale-parity",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -23,6 +23,7 @@
 //! | [`experiments::cluster`] | Figs. 12–13 | accuracy and cumulative time on the simulated 32-node cluster |
 //! | [`experiments::headline`] | §I / §V text | the headline round-reduction and accuracy-improvement percentages |
 //! | [`experiments::dynamics`] | §I / §VI dynamics | churn robustness: dropout sweep, curves under churn, payment waste |
+//! | [`experiments::scale`] | population scale | streamed top-K selection, peak bid memory, and dense-path parity as `N` sweeps toward 10⁶ |
 //!
 //! Every experiment has a `quick()` configuration (seconds, used by tests and CI) and a
 //! `paper()` configuration (the full parameters of Section V). The stand-alone auction games

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("== Round {} ==", idx + 1);
         println!("rank  node  score    ask    winner");
         let winner_ids = outcome.winner_ids();
-        for (rank, bid) in outcome.ranked.iter().enumerate() {
+        for (rank, bid) in outcome.ranked().iter().enumerate() {
             let is_winner = winner_ids.contains(&bid.node);
             println!(
                 "{:>4}  {:>4}  {:>6.3}  {:>5.2}  {}",

@@ -305,3 +305,91 @@ fn arena_reuse_does_not_bleed_between_rounds() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Population-scale streaming: sharding and pool width must not exist in the output.
+// ---------------------------------------------------------------------------
+
+/// A streamed population selection round is bit-identical across shard counts (1 / 2 / 8
+/// shards) and execution substrates (inline, 1-thread, 8-thread pools): tie-break keys
+/// depend only on a bid's global stream position, and shards are merged into the bounded
+/// selector in population order regardless of which worker scored them.
+#[test]
+fn streamed_selection_is_identical_across_shard_counts_and_pools() {
+    use fmore::sim::experiments::scale::{ScaleConfig, ScaleGame};
+    let n = 3_000usize;
+    let base = ScaleConfig {
+        populations: vec![n],
+        winners: 32,
+        shard_size: n, // one shard
+        reserve: 32,
+        parity_limit: n,
+        grid_size: 48,
+        seed: 99,
+        timed: false,
+    };
+
+    let reference = {
+        let game = ScaleGame::new(n, &base).expect("game builds");
+        game.run_streamed(&RoundEngine::inline(), &base)
+            .expect("round runs")
+    };
+    assert_eq!(reference.winners.len(), 32);
+
+    for shards in [1usize, 2, 8] {
+        let config = ScaleConfig {
+            shard_size: n.div_ceil(shards),
+            ..base.clone()
+        };
+        for engine in [
+            RoundEngine::inline(),
+            RoundEngine::pooled(1),
+            RoundEngine::pooled(8),
+        ] {
+            let game = ScaleGame::new(n, &config).expect("game builds");
+            let stage = game.run_streamed(&engine, &config).expect("round runs");
+            assert_eq!(
+                reference.winners,
+                stage.winners,
+                "{shards} shards on {:?} changed the winner set",
+                engine.mode()
+            );
+            assert_eq!(
+                reference.standing.candidates(),
+                stage.standing.candidates(),
+                "{shards} shards on {:?} changed the standing pool",
+                engine.mode()
+            );
+        }
+    }
+}
+
+/// The full scale sweep (all three figures) is bit-identical across runner pool sizes —
+/// the population-scale twin of the figure-level determinism the dense experiments pin.
+#[test]
+fn scale_sweep_figures_are_identical_across_pool_sizes() {
+    use fmore::sim::experiments::scale::{self, ScaleConfig};
+    let config = ScaleConfig {
+        populations: vec![800, 2_400],
+        winners: 16,
+        shard_size: 512,
+        reserve: 16,
+        parity_limit: 2_400,
+        grid_size: 48,
+        seed: 7,
+        timed: false,
+    };
+    let wide = ScenarioRunner::with_threads(8);
+    let narrow = ScenarioRunner::with_threads(1);
+    assert_eq!(
+        scale::run_selection(&wide, &config).unwrap(),
+        scale::run_selection(&narrow, &config).unwrap(),
+    );
+    assert_eq!(
+        scale::run_memory(&wide, &config).unwrap(),
+        scale::run_memory(&narrow, &config).unwrap(),
+    );
+    let parity = scale::run_parity(&wide, &config).unwrap();
+    assert_eq!(parity, scale::run_parity(&narrow, &config).unwrap());
+    assert!(parity.all_identical());
+}

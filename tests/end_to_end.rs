@@ -104,9 +104,9 @@ fn auction_round_through_the_facade() {
         SubmittedBid::new(NodeId(2), Quality::new(vec![0.95, 0.9]), 1.5),
     ];
     let outcome = auction.run(bids, &mut seeded_rng(1)).unwrap();
-    assert_eq!(outcome.winners.len(), 2);
+    assert_eq!(outcome.winners().len(), 2);
     // Node 2 has the best quality at a lower ask than node 0: it must rank first.
-    assert_eq!(outcome.ranked[0].node, NodeId(2));
+    assert_eq!(outcome.ranked()[0].node, NodeId(2));
     assert!(outcome.total_payment() > 0.0);
 }
 
@@ -162,4 +162,46 @@ fn whole_stack_is_deterministic_per_seed() {
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
+}
+
+/// The population-scale smoke CI runs by name: a 100 000-bidder selection round (bid
+/// derivation → sharded scoring → bounded top-K → payments) through the streaming auction
+/// core, cross-checked against the dense full-sort path at a size where materialising the
+/// population is still cheap.
+#[test]
+fn hundred_thousand_bidder_selection_smoke() {
+    use fmore::fl::engine::RoundEngine;
+    use fmore::sim::experiments::scale::{ScaleConfig, ScaleGame};
+
+    let mut config = ScaleConfig::quick();
+    config.populations = vec![100_000];
+    let game = ScaleGame::new(100_000, &config).expect("scale game builds");
+    let stage = game
+        .run_streamed(&RoundEngine::inline(), &config)
+        .expect("streamed round runs");
+    assert_eq!(stage.offered, 100_000);
+    assert_eq!(stage.winners.len(), 64, "a full winner set at 1e5 bidders");
+    assert!(stage.winners.iter().all(|w| w.payment > 0.0));
+    // Winners arrive in rank order with strictly positive scores.
+    assert!(stage.winners.windows(2).all(|w| w[0].score >= w[1].score));
+    // Transient bid memory stays shard-scale: far below the ~4.8 MB a dense store of
+    // 100 000 three-dimensional bids would hold.
+    assert!(
+        stage.peak_bid_bytes < 1_000_000,
+        "peak bid bytes {} is no longer shard-scale",
+        stage.peak_bid_bytes
+    );
+
+    // Dense parity at 20 000 bidders: same bids, same winners, same payments, bit for bit.
+    let parity_n = 20_000;
+    let game = ScaleGame::new(parity_n, &config).expect("scale game builds");
+    let streamed = game
+        .run_streamed(&RoundEngine::inline(), &config)
+        .expect("streamed round runs");
+    let dense = game.run_dense().expect("dense round runs");
+    assert_eq!(streamed.winners.len(), dense.winners().len());
+    for (s, d) in streamed.winners.iter().zip(dense.winners()) {
+        assert_eq!(s.node, d.node);
+        assert_eq!(s.payment.to_bits(), d.payment.to_bits());
+    }
 }

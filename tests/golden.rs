@@ -82,6 +82,21 @@ const EXPECTED: &[(&str, &str)] = &[
         "Straggler sweep: payment waste under deadline pressure (dynamic MEC) [rows=3] last: \
          0.80;6.796;0.947;17;2;0.900",
     ),
+    (
+        "scale-selection",
+        "Population-scale selection: streamed top-K over lazily derived bidders [rows=3] last: \
+         20000;20000;64;8.7094;0.7587;128;-",
+    ),
+    (
+        "scale-memory",
+        "Population-scale memory: streamed peak vs dense bid store [rows=3] last: \
+         20000;202.0;937.5;4.6x",
+    ),
+    (
+        "scale-parity",
+        "Population-scale parity: streamed selection vs dense full-sort [rows=2] last: \
+         5000;64;yes;0.0e0",
+    ),
 ];
 
 #[test]

@@ -67,14 +67,14 @@ fn auction_awards_are_consistent() {
         let outcome = auction
             .run(bids, &mut fmore::numerics::seeded_rng(*tie_seed as u64))
             .map_err(|e| e.to_string())?;
-        ensure(outcome.winners.len() == (*k).min(asks.len()), || {
+        ensure(outcome.winners().len() == (*k).min(asks.len()), || {
             format!(
                 "{} winners for K={k}, N={}",
-                outcome.winners.len(),
+                outcome.winners().len(),
                 asks.len()
             )
         })?;
-        for award in &outcome.winners {
+        for award in outcome.winners() {
             let original = asks[award.node.0 as usize];
             ensure((award.payment - original).abs() < 1e-12, || {
                 format!("first price paid {} for ask {original}", award.payment)
@@ -82,11 +82,11 @@ fn auction_awards_are_consistent() {
         }
         let winner_ids = outcome.winner_ids();
         let min_winner = outcome
-            .winners
+            .winners()
             .iter()
             .map(|w| w.score)
             .fold(f64::INFINITY, f64::min);
-        for bid in &outcome.ranked {
+        for bid in outcome.ranked() {
             if !winner_ids.contains(&bid.node) {
                 ensure(bid.score <= min_winner + 1e-9, || {
                     format!("loser score {} beats worst winner {min_winner}", bid.score)
@@ -191,7 +191,7 @@ fn first_price_auctions_over_equilibrium_bids_are_individually_rational() {
         let outcome = auction
             .run(bids, &mut fmore::numerics::seeded_rng(*tie_seed as u64))
             .map_err(|e| e.to_string())?;
-        for award in &outcome.winners {
+        for award in outcome.winners() {
             let theta = thetas[award.node.0 as usize];
             let c = cost.value(award.quality.as_slice(), theta);
             ensure(award.payment >= c - 1e-6, || {
@@ -606,4 +606,185 @@ fn arena_train_epoch_matches_seed_trajectory_bitwise() {
             Ok(())
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Population-scale selection: streaming must equal the dense full-sort path.
+// ---------------------------------------------------------------------------
+
+/// Builds the four auction schemes (selection × pricing) the workspace runs.
+fn auction_schemes(k: usize) -> Vec<(&'static str, Auction)> {
+    let rule = || ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap());
+    vec![
+        (
+            "topk/first",
+            Auction::new(rule(), k, SelectionRule::TopK, PricingRule::FirstPrice),
+        ),
+        (
+            "topk/second",
+            Auction::new(rule(), k, SelectionRule::TopK, PricingRule::SecondPrice),
+        ),
+        (
+            "psi/first",
+            Auction::new(
+                rule(),
+                k,
+                SelectionRule::PsiFMore { psi: 0.6 },
+                PricingRule::FirstPrice,
+            ),
+        ),
+        (
+            "psi/second",
+            Auction::new(
+                rule(),
+                k,
+                SelectionRule::PsiFMore { psi: 0.6 },
+                PricingRule::SecondPrice,
+            ),
+        ),
+    ]
+}
+
+/// Streaming top-K selection over a bounded selector is **bit-identical** to the dense
+/// full-sort `rank_bids` path — winners, scores, and payments — across all four schemes,
+/// duplicate-score tie populations, and `k ≥ n`. The ψ walk needs the full ranking, so the
+/// exactness reserve is `n`; plain top-K is additionally checked at a minimal reserve.
+#[test]
+fn streaming_selection_is_bit_identical_to_full_sort() {
+    use fmore::auction::{BidStore, SubmittedBid};
+    let strategy = Tuple3(
+        VecOf::new(
+            Tuple2(F64Range::new(0.0, 1.0), F64Range::new(0.0, 0.5)),
+            1,
+            48,
+        ),
+        UsizeRange::new(1, 60),
+        UsizeRange::new(0, 100_000),
+    );
+    check(&Config::seeded(0xB7), &strategy, |(rows, k, seed)| {
+        // Quantise to a coarse grid so duplicate scores (exact ties) are common.
+        let bids: Vec<SubmittedBid> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, ask))| {
+                let q = (q * 4.0).round() / 4.0;
+                let ask = (ask * 4.0).round() / 4.0;
+                SubmittedBid::new(NodeId(i as u64), Quality::new(vec![q, 1.0 - q]), ask)
+            })
+            .collect();
+        let n = bids.len();
+        for (name, auction) in auction_schemes(*k) {
+            let dense = auction
+                .run(bids.clone(), &mut fmore::numerics::seeded_rng(*seed as u64))
+                .map_err(|e| e.to_string())?;
+
+            // Exact twin: reserve covers the whole population.
+            let mut store = BidStore::with_dims(2);
+            for bid in &bids {
+                store
+                    .push(bid.node, bid.quality.as_slice(), bid.ask)
+                    .map_err(|e| e.to_string())?;
+            }
+            store
+                .score_with(auction.scoring_rule())
+                .map_err(|e| e.to_string())?;
+            let mut rng = fmore::numerics::seeded_rng(*seed as u64);
+            let mut selector = auction.selector(n);
+            selector.offer_store(&store, &mut rng);
+            let pool = selector.finish(&mut rng);
+            ensure(pool.offered() == n && pool.len() == n, || {
+                format!("{name}: keep-all selector lost candidates")
+            })?;
+            // The standing order IS the dense ranking.
+            for (c, r) in pool.candidates().iter().zip(dense.ranked()) {
+                ensure(
+                    c.node == r.node
+                        && c.score.to_bits() == r.score.to_bits()
+                        && c.ask.to_bits() == r.ask.to_bits(),
+                    || format!("{name}: standing order diverged from rank_bids"),
+                )?;
+            }
+            let awards = auction.award_standing(&pool, *k, &[], &mut rng);
+            ensure(awards.len() == dense.winners().len(), || {
+                format!(
+                    "{name}: {} streamed vs {} dense winners",
+                    awards.len(),
+                    dense.winners().len()
+                )
+            })?;
+            for (a, d) in awards.iter().zip(dense.winners()) {
+                ensure(
+                    a.node == d.node
+                        && a.score.to_bits() == d.score.to_bits()
+                        && a.payment.to_bits() == d.payment.to_bits(),
+                    || {
+                        format!(
+                            "{name}: winner diverged ({} pay {} vs {} pay {})",
+                            a.node, a.payment, d.node, d.payment
+                        )
+                    },
+                )?;
+            }
+
+            // Bounded twin: top-K stays exact with only one reserve candidate.
+            if matches!(auction.selection_rule(), SelectionRule::TopK) {
+                let mut rng = fmore::numerics::seeded_rng(*seed as u64);
+                let mut bounded = auction.selector(1);
+                bounded.offer_store(&store, &mut rng);
+                let pool = bounded.finish(&mut rng);
+                let awards = auction.award_standing(&pool, *k, &[], &mut rng);
+                for (a, d) in awards.iter().zip(dense.winners()) {
+                    ensure(
+                        a.node == d.node && a.payment.to_bits() == d.payment.to_bits(),
+                        || format!("{name}: bounded selector diverged on {}", a.node),
+                    )?;
+                }
+                ensure(awards.len() == dense.winners().len(), || {
+                    format!("{name}: bounded selector winner count diverged")
+                })?;
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The log-space `psi_fill_probability` agrees with the direct product form (the
+/// pre-hardening implementation) to ~1e-12 on small inputs, and stays finite and sane at
+/// population scales where the direct form overflows.
+#[test]
+fn psi_fill_probability_log_space_matches_direct_form() {
+    use fmore::auction::winner::psi_fill_probability;
+    // The direct product form, valid only while C(i+K-1, i) fits in f64.
+    fn direct(n: usize, k: usize, psi: f64) -> f64 {
+        let mut total = 0.0;
+        let mut binom = 1.0_f64;
+        for i in 0..=(n - k) {
+            if i > 0 {
+                binom *= (i + k - 1) as f64 / i as f64;
+            }
+            total += binom * (1.0 - psi).powi(i as i32) * psi.powi(k as i32);
+        }
+        total.min(1.0)
+    }
+    let strategy = Tuple3(
+        UsizeRange::new(1, 40),
+        UsizeRange::new(1, 40),
+        F64Range::new(0.01, 0.99),
+    );
+    check(&Config::seeded(0xB8), &strategy, |(n, k, psi)| {
+        let (n, k) = (*n.max(k), *k.min(n));
+        let log_space = psi_fill_probability(n, k, *psi);
+        let reference = direct(n, k, *psi);
+        ensure((log_space - reference).abs() < 1e-12, || {
+            format!("n={n} k={k} psi={psi}: log-space {log_space} vs direct {reference}")
+        })
+    });
+
+    // Population scale: the direct form's binomial overflows (inf · 0 = NaN); the log-space
+    // form stays exact-ish and monotone in ψ.
+    let at_scale = psi_fill_probability(1_000_000, 64, 0.5);
+    assert!(at_scale.is_finite() && at_scale > 0.999, "got {at_scale}");
+    let low = psi_fill_probability(1_000_000, 64, 1e-4);
+    assert!(low.is_finite() && (0.0..=1.0).contains(&low));
+    assert!(psi_fill_probability(1_000_000, 64, 0.9) >= at_scale - 1e-12);
 }
