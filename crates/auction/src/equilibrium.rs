@@ -514,6 +514,14 @@ impl EquilibriumSolver {
         capacity: &[f64],
         out: &mut Vec<f64>,
     ) -> Result<(), AuctionError> {
+        let (idx, frac) = self.checked_grid_pos(theta, capacity)?;
+        self.clipped_quality_at(idx, frac, capacity, out);
+        Ok(())
+    }
+
+    /// Validates θ and the capacity dimension, returning the shared grid position both
+    /// tabulated lookups interpolate from.
+    fn checked_grid_pos(&self, theta: f64, capacity: &[f64]) -> Result<(usize, f64), AuctionError> {
         self.check_theta(theta)?;
         if capacity.len() != self.bounds.len() {
             return Err(AuctionError::DimensionMismatch {
@@ -521,14 +529,43 @@ impl EquilibriumSolver {
                 actual: capacity.len(),
             });
         }
-        let (idx, frac) = self.theta_grid_pos(theta);
+        Ok(self.theta_grid_pos(theta))
+    }
+
+    /// Interpolates `q*(θ)` at a grid position and clips it component-wise to `capacity`,
+    /// writing into `out` (cleared first, capacity reused) — the single implementation
+    /// behind [`EquilibriumSolver::tabulated_quality_into`] and
+    /// [`EquilibriumSolver::tabulated_bid_into`].
+    fn clipped_quality_at(&self, idx: usize, frac: f64, capacity: &[f64], out: &mut Vec<f64>) {
         let (lo_q, hi_q) = (&self.qualities[idx], &self.qualities[idx + 1]);
         out.clear();
         for d in 0..capacity.len() {
             let want = lo_q[d] + frac * (hi_q[d] - lo_q[d]);
             out.push(want.min(capacity[d]).max(0.0));
         }
-        Ok(())
+    }
+
+    /// One whole tabulated equilibrium bid — capacity-capped quality into `out` plus the
+    /// returned ask — from a **single** θ-grid lookup shared by both interpolations, where
+    /// the [`EquilibriumSolver::tabulated_quality_into`] + [`EquilibriumSolver::tabulated_ask`]
+    /// pair pays for two support checks and two grid positions. This is the per-node step
+    /// of the population-scale bid-generation path; results are bit-identical to calling
+    /// the pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside the support and
+    /// [`AuctionError::DimensionMismatch`] when `capacity` has the wrong dimension.
+    pub fn tabulated_bid_into(
+        &self,
+        theta: f64,
+        capacity: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<f64, AuctionError> {
+        let (idx, frac) = self.checked_grid_pos(theta, capacity)?;
+        self.clipped_quality_at(idx, frac, capacity, out);
+        // Same linear form as `interp_theta`, reusing the already-computed grid position.
+        Ok(self.payments[idx] + frac * (self.payments[idx + 1] - self.payments[idx]))
     }
 
     /// The opponent-score CDF `H(x) = 1 − F(u⁻¹(x))`.

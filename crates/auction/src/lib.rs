@@ -83,7 +83,7 @@ pub use pricing::PricingRule;
 pub use scoring::{
     Additive, CobbDouglas, NormalizedScoring, PerfectComplementary, ScoringFunction, ScoringRule,
 };
-pub use store::{BidSelector, BidStore, Candidate, StandingPool, TieBreak};
+pub use store::{BidSelector, BidStore, Candidate, ShardSelection, StandingPool, TieBreak};
 pub use types::{NodeId, Quality, ScoredBid};
 pub use winner::SelectionRule;
 

@@ -50,6 +50,32 @@ pub trait ScoringFunction: Send + Sync {
         }
         Ok(self.value(q))
     }
+
+    /// Scores a columnar batch of bids in one sweep: `qualities` holds one row of
+    /// `self.dims()` components per bid (row-major, as stored by
+    /// [`crate::store::BidStore`]), `asks[i]` is bid `i`'s payment ask, and `scores[i]`
+    /// receives the quasi-linear score `s(q_i) − ask_i`.
+    ///
+    /// The default implementation evaluates [`ScoringFunction::value`] per row. The four
+    /// concrete scoring families override it with monomorphized kernels that sweep the
+    /// struct-of-arrays block directly — one virtual call per *shard* instead of one per
+    /// *bid*, and no per-bid slice bounds checks. Every override is **bit-identical** to
+    /// the per-bid path (same operations in the same association order); the property
+    /// suite pins this for all four schemes.
+    ///
+    /// Callers guarantee `qualities.len() == asks.len() * self.dims()` and
+    /// `scores.len() == asks.len()`; [`crate::store::BidStore::score_with`] validates
+    /// dimensions before dispatching here.
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        let dims = self.dims().max(1);
+        for ((q, ask), out) in qualities
+            .chunks_exact(dims)
+            .zip(asks)
+            .zip(scores.iter_mut())
+        {
+            *out = self.value(q) - ask;
+        }
+    }
 }
 
 fn validate_weights(weights: &[f64]) -> Result<(), AuctionError> {
@@ -108,6 +134,41 @@ impl ScoringFunction for Additive {
     fn name(&self) -> &'static str {
         "additive"
     }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        // Each arm replicates `value`'s left-associated `0.0 + Σ wᵢ qᵢ` fold exactly, so
+        // batch scores are bit-identical to the per-bid path.
+        match *self.weights.as_slice() {
+            [w0] => {
+                for ((q, ask), out) in qualities.chunks_exact(1).zip(asks).zip(scores.iter_mut()) {
+                    *out = (0.0 + w0 * q[0]) - ask;
+                }
+            }
+            [w0, w1] => {
+                for ((q, ask), out) in qualities.chunks_exact(2).zip(asks).zip(scores.iter_mut()) {
+                    *out = (0.0 + w0 * q[0] + w1 * q[1]) - ask;
+                }
+            }
+            [w0, w1, w2] => {
+                for ((q, ask), out) in qualities.chunks_exact(3).zip(asks).zip(scores.iter_mut()) {
+                    *out = (0.0 + w0 * q[0] + w1 * q[1] + w2 * q[2]) - ask;
+                }
+            }
+            _ => {
+                let dims = self.weights.len();
+                for ((q, ask), out) in qualities
+                    .chunks_exact(dims)
+                    .zip(asks)
+                    .zip(scores.iter_mut())
+                {
+                    let mut acc = 0.0;
+                    for (w, x) in self.weights.iter().zip(q) {
+                        acc += w * x;
+                    }
+                    *out = acc - ask;
+                }
+            }
+        }
+    }
 }
 
 /// Perfect-complementary scoring: `s(q) = min{αi qi}`.
@@ -151,6 +212,36 @@ impl ScoringFunction for PerfectComplementary {
     }
     fn name(&self) -> &'static str {
         "perfect-complementary"
+    }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        // Replicates `value`'s `min`-fold from +∞ in the same order — bit-identical.
+        match *self.weights.as_slice() {
+            [w0, w1] => {
+                for ((q, ask), out) in qualities.chunks_exact(2).zip(asks).zip(scores.iter_mut()) {
+                    *out = f64::min(f64::min(f64::INFINITY, w0 * q[0]), w1 * q[1]) - ask;
+                }
+            }
+            [w0, w1, w2] => {
+                for ((q, ask), out) in qualities.chunks_exact(3).zip(asks).zip(scores.iter_mut()) {
+                    let m = f64::min(f64::min(f64::INFINITY, w0 * q[0]), w1 * q[1]);
+                    *out = f64::min(m, w2 * q[2]) - ask;
+                }
+            }
+            _ => {
+                let dims = self.weights.len();
+                for ((q, ask), out) in qualities
+                    .chunks_exact(dims)
+                    .zip(asks)
+                    .zip(scores.iter_mut())
+                {
+                    let mut m = f64::INFINITY;
+                    for (w, x) in self.weights.iter().zip(q) {
+                        m = f64::min(m, w * x);
+                    }
+                    *out = m - ask;
+                }
+            }
+        }
     }
 }
 
@@ -217,6 +308,37 @@ impl ScoringFunction for CobbDouglas {
     fn name(&self) -> &'static str {
         "cobb-douglas"
     }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        let dims = self.exponents.len();
+        // The simulator's `25·q1·q2` form has unit exponents: `powf(x, 1.0)` is exactly
+        // `x` under IEEE 754 (pinned by the bit-parity property test), so the hot path is
+        // a clamped product with no `pow` at all.
+        if self.exponents.iter().all(|a| *a == 1.0) {
+            for ((q, ask), out) in qualities
+                .chunks_exact(dims)
+                .zip(asks)
+                .zip(scores.iter_mut())
+            {
+                let mut product = 1.0;
+                for x in q {
+                    product *= x.max(0.0);
+                }
+                *out = self.scale * product - ask;
+            }
+            return;
+        }
+        for ((q, ask), out) in qualities
+            .chunks_exact(dims)
+            .zip(asks)
+            .zip(scores.iter_mut())
+        {
+            let mut product = 1.0;
+            for (a, x) in self.exponents.iter().zip(q) {
+                product *= x.max(0.0).powf(*a);
+            }
+            *out = self.scale * product - ask;
+        }
+    }
 }
 
 /// Wraps an inner scoring function with per-dimension min–max normalisation, as in the
@@ -273,6 +395,28 @@ impl<S: ScoringFunction> ScoringFunction for NormalizedScoring<S> {
     fn name(&self) -> &'static str {
         "normalized"
     }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        // Normalise a block of rows at a time, then hand the block to the inner kernel:
+        // the per-bid `Vec` of `value` becomes one block buffer per call, and the inner
+        // sweep stays monomorphized (`S` is a concrete type here).
+        let dims = self.inner.dims().max(1);
+        const BLOCK_ROWS: usize = 128;
+        let mut block = vec![0.0; BLOCK_ROWS.min(asks.len().max(1)) * dims];
+        let mut row = 0usize;
+        while row < asks.len() {
+            let rows = BLOCK_ROWS.min(asks.len() - row);
+            let src = &qualities[row * dims..(row + rows) * dims];
+            let dst = &mut block[..rows * dims];
+            for (src_row, dst_row) in src.chunks_exact(dims).zip(dst.chunks_exact_mut(dims)) {
+                for ((x, n), slot) in src_row.iter().zip(&self.normalizers).zip(dst_row) {
+                    *slot = n.normalize(*x);
+                }
+            }
+            self.inner
+                .score_batch(dst, &asks[row..row + rows], &mut scores[row..row + rows]);
+            row += rows;
+        }
+    }
 }
 
 // Allow shared scoring functions (Arc) and references to be used wherever a ScoringFunction
@@ -287,6 +431,9 @@ impl<S: ScoringFunction + ?Sized> ScoringFunction for Arc<S> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        (**self).score_batch(qualities, asks, scores);
+    }
 }
 
 impl<S: ScoringFunction + ?Sized> ScoringFunction for &S {
@@ -298,6 +445,9 @@ impl<S: ScoringFunction + ?Sized> ScoringFunction for &S {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        (**self).score_batch(qualities, asks, scores);
     }
 }
 
@@ -344,6 +494,32 @@ impl ScoringRule {
     /// Returns [`AuctionError::DimensionMismatch`] if `q` has the wrong dimensions.
     pub fn score(&self, q: &Quality, payment_ask: f64) -> Result<f64, AuctionError> {
         Ok(self.resource_value(q)? - payment_ask)
+    }
+
+    /// Scores a columnar batch under the quasi-linear rule in one sweep: one virtual call
+    /// for the whole block, dispatching to the scoring family's monomorphized
+    /// [`ScoringFunction::score_batch`] kernel. Bit-identical to calling
+    /// [`ScoringRule::score`] per bid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] when the column lengths disagree with
+    /// the rule's dimensions (`qualities.len() == asks.len() * dims`,
+    /// `scores.len() == asks.len()`).
+    pub fn score_batch(
+        &self,
+        qualities: &[f64],
+        asks: &[f64],
+        scores: &mut [f64],
+    ) -> Result<(), AuctionError> {
+        if qualities.len() != asks.len() * self.dims() || scores.len() != asks.len() {
+            return Err(AuctionError::DimensionMismatch {
+                expected: asks.len() * self.dims(),
+                actual: qualities.len(),
+            });
+        }
+        self.s.score_batch(qualities, asks, scores);
+        Ok(())
     }
 
     /// Access the underlying scoring function as a trait object.

@@ -102,6 +102,32 @@ impl TieBreak {
         self.key_of(i)
     }
 
+    /// Draws the round salt now (if not yet drawn) and returns it, so that keys can be
+    /// computed **off-thread** from `(salt, position)` by the parallel selection waves.
+    ///
+    /// Consumes the same single RNG word the second [`TieBreak::next_key`] call would have
+    /// drawn, so the stream position is unchanged — but callers must only force the salt
+    /// when the round is guaranteed to offer at least two bids in total, or the
+    /// `max(n−1, 0)`-word contract above would be violated.
+    pub fn force_salt<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if self.salt.is_none() {
+            self.salt = Some(rng.gen::<u64>());
+        }
+        self.salt.expect("salt just ensured")
+    }
+
+    /// Whether the round salt has been drawn yet.
+    pub fn salt_known(&self) -> bool {
+        self.salt.is_some()
+    }
+
+    /// Advances the offered-bid counter past `n` externally keyed bids (bids whose keys
+    /// were computed on worker threads from a forced salt and absorbed wholesale), keeping
+    /// [`TieBreak::finish`]'s burn count — and therefore the RNG contract — exact.
+    pub fn advance(&mut self, n: usize) {
+        self.count += n;
+    }
+
     /// Burns the remainder of the round's RNG budget (`n−2` words for `n ≥ 2`), pinning the
     /// stream position to what the historical shuffle consumed. Call exactly once, after the
     /// last bid of the round.
@@ -221,8 +247,10 @@ impl BidStore {
     }
 
     /// Scores every stored bid in one pass under the broadcast rule
-    /// (`S(q, p) = s(q) − p`), filling the score column. Pure — safe to run shard-by-shard
-    /// on worker threads.
+    /// (`S(q, p) = s(q) − p`), filling the score column via the scoring family's columnar
+    /// [`crate::scoring::ScoringFunction::score_batch`] kernel — one virtual dispatch per
+    /// store, a monomorphized sweep over the SoA arrays inside. Pure — safe to run
+    /// shard-by-shard on worker threads.
     ///
     /// # Errors
     ///
@@ -235,11 +263,7 @@ impl BidStore {
                 actual: self.dims,
             });
         }
-        let s = rule.function();
-        for (i, (score, ask)) in self.scores.iter_mut().zip(&self.asks).enumerate() {
-            *score = s.value(&self.qualities[i * self.dims..(i + 1) * self.dims]) - ask;
-        }
-        Ok(())
+        rule.score_batch(&self.qualities, &self.asks, &mut self.scores)
     }
 
     /// Resident bytes of the stored bids (column lengths, not capacities — deterministic
@@ -273,68 +297,37 @@ impl Candidate {
     }
 }
 
-/// A bounded streaming top-K selector: keeps the `capacity` best candidates seen so far in a
-/// worst-first binary heap, plus the best score among everything it dropped (which is all
-/// the pricing rules need from the losers). Feeding the whole population through it and
-/// sorting the kept set reproduces the head of the dense full-sort ranking bit-for-bit.
+/// The bounded worst-first candidate heap shared by the round selector and the per-shard
+/// local selections: keeps the `capacity` best candidates offered so far plus the best
+/// score among everything it dropped. Pure data structure — no RNG, no key generation —
+/// so it runs identically on the control thread and on pool workers.
 #[derive(Debug, Clone)]
-pub struct BidSelector {
+struct CandidateHeap {
     dims: usize,
     capacity: usize,
-    tie: TieBreak,
     /// Worst-first heap: `heap[0]` is the weakest kept candidate.
     heap: Vec<Candidate>,
     best_dropped: Option<f64>,
 }
 
-impl BidSelector {
-    /// A selector keeping the best `capacity` of the `dims`-dimensional bids offered to it.
-    pub fn new(dims: usize, capacity: usize) -> Self {
+impl CandidateHeap {
+    fn new(dims: usize, capacity: usize) -> Self {
         Self {
             dims,
             capacity: capacity.max(1),
-            tie: TieBreak::new(),
             heap: Vec::new(),
             best_dropped: None,
         }
     }
 
-    /// Number of bids offered so far.
-    pub fn offered(&self) -> usize {
-        self.tie.count()
-    }
-
-    /// Number of candidates currently kept.
-    pub fn kept(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Resident bytes of the kept candidates (len-based, deterministic).
-    pub fn resident_bytes(&self) -> usize {
-        self.heap.len()
-            * (std::mem::size_of::<Candidate>() + self.dims * std::mem::size_of::<f64>())
-    }
-
-    /// Offers one scored bid. Draws exactly one tie-break key from the round stream (see
-    /// [`TieBreak`] for the RNG contract); a bid that does not beat the weakest kept
+    /// Offers one scored, already-keyed bid; a bid that does not beat the weakest kept
     /// candidate only updates the best-dropped score.
-    pub fn offer<R: Rng + ?Sized>(
-        &mut self,
-        node: NodeId,
-        quality: &[f64],
-        ask: f64,
-        score: f64,
-        rng: &mut R,
-    ) {
+    fn offer_keyed(&mut self, node: NodeId, quality: &[f64], ask: f64, score: f64, key: u64) {
         debug_assert_eq!(quality.len(), self.dims);
-        let seq = self.tie.count();
-        let key = self.tie.next_key(rng);
-        if seq == 1 {
-            // The salt now exists: re-key the provisional first candidate (if still kept).
-            if let Some(first) = self.heap.first_mut() {
-                first.key = self.tie.key_of(0);
-            }
-        }
         if self.heap.len() < self.capacity {
             self.heap.push(Candidate {
                 node,
@@ -364,17 +357,22 @@ impl BidSelector {
         }
     }
 
-    /// Offers every bid of a scored store, in store order.
-    pub fn offer_store<R: Rng + ?Sized>(&mut self, store: &BidStore, rng: &mut R) {
-        debug_assert_eq!(store.dims(), self.dims);
-        for i in 0..store.len() {
-            self.offer(
-                store.node(i),
-                store.quality(i),
-                store.ask(i),
-                store.score(i),
-                rng,
-            );
+    /// Move-based twin of [`CandidateHeap::offer_keyed`] for absorbing candidates that
+    /// already own their quality buffer (the per-shard local selections).
+    fn offer_candidate(&mut self, candidate: Candidate) {
+        debug_assert_eq!(candidate.quality.len(), self.dims);
+        if self.heap.len() < self.capacity {
+            self.heap.push(candidate);
+            self.sift_up(self.heap.len() - 1);
+            return;
+        }
+        let weakest = &self.heap[0];
+        if candidate.ranks_before(weakest) {
+            self.note_dropped(self.heap[0].score);
+            self.heap[0] = candidate;
+            self.sift_down(0);
+        } else {
+            self.note_dropped(candidate.score);
         }
     }
 
@@ -419,6 +417,188 @@ impl BidSelector {
             i = top;
         }
     }
+}
+
+/// The outcome of one shard's **local** top-K selection, computed on a worker thread with
+/// no RNG access: the shard's surviving candidates (heap order — the merge does not care),
+/// the best score the shard dropped, and how many bids it offered.
+///
+/// A bid dropped by its shard's local heap can never appear in the round's global top
+/// `capacity` (global top ∩ shard ⊆ local top at equal capacity), so absorbing only the
+/// survivors into the round selector ([`BidSelector::absorb`]) loses nothing — and because
+/// every candidate carries its *global* tie-break key, the merged result is bit-identical
+/// to offering every bid sequentially, in any wave composition.
+#[derive(Debug, Clone)]
+pub struct ShardSelection {
+    candidates: Vec<Candidate>,
+    best_dropped: Option<f64>,
+    offered: usize,
+}
+
+impl ShardSelection {
+    /// Runs the local top-`capacity` selection over a scored store. Candidate `j` gets the
+    /// deterministic global key `derive_seed(salt, base + j)` — exactly the key the dense
+    /// path assigns at stream position `base + j` — where `salt` is the round salt
+    /// ([`TieBreak::force_salt`] / [`BidSelector::force_salt`]) and `base` is the number of
+    /// bids streamed before this shard.
+    pub fn select(store: &BidStore, salt: u64, base: usize, capacity: usize) -> Self {
+        let mut heap = CandidateHeap::new(store.dims(), capacity);
+        for j in 0..store.len() {
+            heap.offer_keyed(
+                store.node(j),
+                store.quality(j),
+                store.ask(j),
+                store.score(j),
+                derive_seed(salt, (base + j) as u64),
+            );
+        }
+        Self {
+            candidates: heap.heap,
+            best_dropped: heap.best_dropped,
+            offered: store.len(),
+        }
+    }
+
+    /// Number of bids the shard offered to its local heap.
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Number of surviving candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the shard kept nothing.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// A bounded streaming top-K selector: keeps the `capacity` best candidates seen so far in a
+/// worst-first binary heap, plus the best score among everything it dropped (which is all
+/// the pricing rules need from the losers). Feeding the whole population through it and
+/// sorting the kept set reproduces the head of the dense full-sort ranking bit-for-bit.
+///
+/// Two equivalent feeding disciplines exist: the sequential [`BidSelector::offer`] /
+/// [`BidSelector::offer_store`] path (keys drawn from the round RNG as bids arrive), and
+/// the parallel-wave path — [`BidSelector::force_salt`] once, [`ShardSelection::select`]
+/// per shard on worker threads, then [`BidSelector::absorb`] in population order. Both
+/// consume the same RNG words and produce the same pool, bit for bit.
+#[derive(Debug, Clone)]
+pub struct BidSelector {
+    tie: TieBreak,
+    heap: CandidateHeap,
+}
+
+impl BidSelector {
+    /// A selector keeping the best `capacity` of the `dims`-dimensional bids offered to it.
+    pub fn new(dims: usize, capacity: usize) -> Self {
+        Self {
+            tie: TieBreak::new(),
+            heap: CandidateHeap::new(dims, capacity),
+        }
+    }
+
+    /// Number of bids offered so far.
+    pub fn offered(&self) -> usize {
+        self.tie.count()
+    }
+
+    /// Number of candidates currently kept.
+    pub fn kept(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The bound on kept candidates (`K + reserve` as configured by
+    /// [`crate::mechanism::Auction::selector`]).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity
+    }
+
+    /// Resident bytes of the kept candidates (len-based, deterministic).
+    pub fn resident_bytes(&self) -> usize {
+        self.heap.len()
+            * (std::mem::size_of::<Candidate>() + self.heap.dims * std::mem::size_of::<f64>())
+    }
+
+    /// Offers one scored bid. Draws exactly one tie-break key from the round stream (see
+    /// [`TieBreak`] for the RNG contract); a bid that does not beat the weakest kept
+    /// candidate only updates the best-dropped score.
+    pub fn offer<R: Rng + ?Sized>(
+        &mut self,
+        node: NodeId,
+        quality: &[f64],
+        ask: f64,
+        score: f64,
+        rng: &mut R,
+    ) {
+        let seq = self.tie.count();
+        let key = self.tie.next_key(rng);
+        if seq == 1 {
+            // The salt now exists: re-key the provisional first candidate (if still kept).
+            self.rekey_provisional_first();
+        }
+        self.heap.offer_keyed(node, quality, ask, score, key);
+    }
+
+    /// Offers every bid of a scored store, in store order.
+    pub fn offer_store<R: Rng + ?Sized>(&mut self, store: &BidStore, rng: &mut R) {
+        debug_assert_eq!(store.dims(), self.heap.dims);
+        for i in 0..store.len() {
+            self.offer(
+                store.node(i),
+                store.quality(i),
+                store.ask(i),
+                store.score(i),
+                rng,
+            );
+        }
+    }
+
+    /// Draws the round salt now and returns it, so shard selections can compute keys on
+    /// worker threads. Re-keys the provisional first candidate if one is already kept.
+    /// Callers must guarantee the round offers at least two bids in total (the RNG
+    /// contract of [`TieBreak::force_salt`]).
+    pub fn force_salt<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let salt = self.tie.force_salt(rng);
+        if self.tie.count() == 1 {
+            // Exactly one bid was offered sequentially before the salt existed; it holds
+            // the provisional key 0. (With ≥ 2 sequential offers the salt already existed
+            // and every kept key is final — re-keying would corrupt the heap.)
+            self.rekey_provisional_first();
+        }
+        salt
+    }
+
+    /// Gives the kept provisional first candidate (at most one exists when this is
+    /// called) its true key for stream position 0.
+    fn rekey_provisional_first(&mut self) {
+        if let Some(first) = self.heap.heap.first_mut() {
+            first.key = self.tie.key_of(0);
+        }
+    }
+
+    /// Merges one shard's local selection into the round selector: advances the offered
+    /// count, folds in the shard's best-dropped score, and offers every surviving
+    /// candidate (already carrying its global key) to the heap.
+    ///
+    /// Shards must be absorbed in population order with bases equal to the cumulative
+    /// offered count at their start — the discipline the engine's wave loop maintains;
+    /// under it the result is bit-identical to the sequential path.
+    pub fn absorb(&mut self, shard: ShardSelection) {
+        debug_assert!(
+            self.tie.salt_known() || shard.offered == 0,
+            "absorb requires a forced salt"
+        );
+        self.tie.advance(shard.offered);
+        if let Some(score) = shard.best_dropped {
+            self.heap.note_dropped(score);
+        }
+        for candidate in shard.candidates {
+            self.heap.offer_candidate(candidate);
+        }
+    }
 
     /// Ends the round: burns the tie-break stream's remaining RNG budget (so downstream
     /// consumers see the historical stream position) and returns the kept candidates in
@@ -426,12 +606,12 @@ impl BidSelector {
     pub fn finish<R: Rng + ?Sized>(self, rng: &mut R) -> StandingPool {
         self.tie.finish(rng);
         let offered = self.tie.count();
-        let mut candidates = self.heap;
+        let mut candidates = self.heap.heap;
         candidates.sort_unstable_by(|a, b| rank_order(a.score, a.key, b.score, b.key));
         StandingPool {
             candidates,
             offered,
-            best_dropped: self.best_dropped,
+            best_dropped: self.heap.best_dropped,
         }
     }
 }

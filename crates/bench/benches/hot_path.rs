@@ -18,10 +18,6 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fmore_bench::baseline::NaiveMlp;
-use fmore_fl::config::FlConfig;
-use fmore_fl::engine::RoundEngine;
-use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
 use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::{Dataset, SyntheticImageSpec};
 use fmore_ml::layers::{Activation, Dense, Layer};
@@ -111,18 +107,7 @@ fn bench_round(c: &mut Criterion) {
 
     for threads in [1usize, 2, 8] {
         group.bench_function(&format!("pooled_round_{threads}_threads"), |b| {
-            let mut config = FlConfig::fast_test(fmore_ml::TaskKind::MnistO);
-            config.clients = 24;
-            config.winners_per_round = 12;
-            config.partition.clients = 24;
-            config.train_samples = 1_200;
-            let mut trainer = FederatedTrainer::with_engine(
-                config,
-                SelectionStrategy::fmore(),
-                54,
-                RoundEngine::pooled(threads),
-            )
-            .expect("bench config is valid");
+            let mut trainer = fmore_bench::pooled_round_trainer(threads);
             b.iter(|| trainer.run_round().expect("round runs"))
         });
     }

@@ -1,0 +1,58 @@
+//! Round throughput across executor widths: the scaling surface of the work-stealing
+//! executor.
+//!
+//! Two groups, each swept over 1/2/4/8 worker threads:
+//!
+//! * `round_throughput_pooled` — one full federated round (auction → pooled local
+//!   training → FedAvg → evaluation) on the hot-path bench configuration,
+//! * `round_throughput_streamed` — one streamed million-bidder selection round (sharded
+//!   batch scoring + per-shard local top-K on the pool + population-order merge, K = 64).
+//!
+//! CI runs this bench in quick mode (`FMORE_BENCH_QUICK=1` or `-- --test`) as a
+//! panic/regression smoke on every push; `examples/round_throughput_report.rs` re-times
+//! the same suite with min-of-N `Instant` loops and emits the committed
+//! `BENCH_round_throughput.json`, including the 8-thread-beats-1-thread gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmore_fl::engine::RoundEngine;
+use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
+use std::time::Duration;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_pooled_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput_pooled");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for threads in WIDTHS {
+        let mut trainer = fmore_bench::pooled_round_trainer(threads);
+        group.bench_function(&format!("round_threads{threads}"), |b| {
+            b.iter(|| trainer.run_round().expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streamed_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput_streamed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let config = ScaleConfig::paper();
+    let game = ScaleGame::new(1_000_000, &config).expect("scale game builds");
+    for threads in WIDTHS {
+        let engine = RoundEngine::pooled(threads);
+        group.bench_function(&format!("streamed_1e6_threads{threads}"), |b| {
+            b.iter(|| game.run_streamed(&engine, &config).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooled_round, bench_streamed_selection);
+criterion_main!(benches);

@@ -15,24 +15,9 @@
 //! 1,000,000-bidder round (bid generation + scoring + top-K selection, K = 64) must finish
 //! in under 2 s single-threaded.
 
+use fmore_bench::timing::{min_time_ns as time_ns, schema_string, write_report};
 use fmore_fl::engine::RoundEngine;
 use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
-use std::time::Instant;
-
-/// Minimum wall-clock time of one invocation of `f`, over `samples` timed runs after
-/// `warmup` untimed ones.
-fn time_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u128 {
-    for _ in 0..warmup {
-        f();
-    }
-    let mut best = u128::MAX;
-    for _ in 0..samples {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_nanos());
-    }
-    best
-}
 
 fn main() {
     let out_path = std::env::args()
@@ -69,7 +54,10 @@ fn main() {
     // --- Emit the JSON document (no serde in the offline workspace; hand-formatted). ---
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fmore-auction-scale-bench/v1\",\n");
+    json.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        schema_string("auction-scale", 1)
+    ));
     json.push_str(
         "  \"note\": \"min-of-N wall-clock of one selection round (bid generation + scoring + top-K, K=64), single-threaded; regenerate with `cargo run --release -p fmore-bench --example auction_scale_report`\",\n",
     );
@@ -89,8 +77,7 @@ fn main() {
     json.push_str("  }\n");
     json.push_str("}\n");
 
-    std::fs::write(&out_path, &json).expect("write bench report");
-    print!("{json}");
+    write_report(&out_path, &json);
     let (_, million_ns, million_peak) = streamed[streamed.len() - 1];
     let million_secs = million_ns as f64 / 1e9;
     eprintln!(

@@ -11,32 +11,13 @@
 //! the round engine, so the repository tracks how each PR moved the hot path.
 
 use fmore_bench::baseline::NaiveMlp;
-use fmore_fl::config::FlConfig;
-use fmore_fl::engine::RoundEngine;
-use fmore_fl::selection::SelectionStrategy;
-use fmore_fl::trainer::FederatedTrainer;
+use fmore_bench::timing::{min_time_ns as time_ns, schema_string, write_report};
 use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::SyntheticImageSpec;
 use fmore_ml::layers::{Activation, Dense, Layer};
 use fmore_ml::model::Model;
-use fmore_ml::{Matrix, Sequential, TaskKind};
+use fmore_ml::{Matrix, Sequential};
 use fmore_numerics::seeded_rng;
-use std::time::Instant;
-
-/// Minimum wall-clock time of one invocation of `f`, over `samples` timed runs after
-/// `warmup` untimed ones.
-fn time_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> u128 {
-    for _ in 0..warmup {
-        f();
-    }
-    let mut best = u128::MAX;
-    for _ in 0..samples {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_nanos());
-    }
-    best
-}
 
 fn main() {
     let out_path = std::env::args()
@@ -116,21 +97,10 @@ fn main() {
     });
     let speedup = naive_ns as f64 / arena_ns as f64;
 
-    // --- One full FMore round (24 clients, 12 winners) at 1/2/8 pool threads. ---
+    // --- One full FMore round (the shared pooled-round workload) at 1/2/8 pool threads. ---
     let mut rounds = Vec::new();
     for threads in [1usize, 2, 8] {
-        let mut config = FlConfig::fast_test(TaskKind::MnistO);
-        config.clients = 24;
-        config.winners_per_round = 12;
-        config.partition.clients = 24;
-        config.train_samples = 1_200;
-        let mut trainer = FederatedTrainer::with_engine(
-            config,
-            SelectionStrategy::fmore(),
-            54,
-            RoundEngine::pooled(threads),
-        )
-        .expect("bench config is valid");
+        let mut trainer = fmore_bench::pooled_round_trainer(threads);
         let ns = time_ns(3, 30, || {
             trainer.run_round().expect("round runs");
         });
@@ -140,7 +110,10 @@ fn main() {
     // --- Emit the JSON document (no serde in the offline workspace; hand-formatted). ---
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"fmore-hot-path-bench/v1\",\n");
+    json.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        schema_string("hot-path", 1)
+    ));
     json.push_str(
         "  \"note\": \"min-of-N wall-clock; regenerate with `cargo run --release -p fmore-bench --example bench_report`\",\n",
     );
@@ -163,8 +136,7 @@ fn main() {
     json.push_str("  }\n");
     json.push_str("}\n");
 
-    std::fs::write(&out_path, &json).expect("write bench report");
-    print!("{json}");
+    write_report(&out_path, &json);
     eprintln!("wrote {out_path} (train_epoch speedup over seed baseline: {speedup:.2}x)");
     // Loose gate: this runs on shared CI machines where wall-clock is noisy, so only a
     // drastic regression (arena path at half the seed baseline) should fail the step.

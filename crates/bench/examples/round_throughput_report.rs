@@ -1,0 +1,145 @@
+//! Emits `BENCH_round_throughput.json` — the committed record of how the round pipeline
+//! scales with executor width. Two suites, each swept over 1/2/4/8 worker threads on the
+//! work-stealing pool:
+//!
+//! * **pooled round** — one full federated round (auction → pooled local training →
+//!   FedAvg → evaluation) on the hot-path bench configuration (24 clients, 12 winners),
+//! * **streamed selection** — one million-bidder selection round (lazily derived bids →
+//!   sharded batch scoring → per-shard local top-K on the pool → population-order merge,
+//!   K = 64); `FMORE_BENCH_QUICK` shrinks the population to 10⁵ so CI can afford the run
+//!   on every push.
+//!
+//! ```bash
+//! cargo run --release -p fmore-bench --example round_throughput_report -- BENCH_round_throughput.json
+//! ```
+//!
+//! The report records `hardware_threads` next to its numbers and scales its assertions
+//! accordingly: on a multi-core runner the 8-thread pooled round **must** beat the
+//! 1-thread round (the regression this report exists to prevent — the pre-executor pool
+//! showed zero scaling); on a single-core runner real speedup is physically impossible,
+//! so that gate degrades to a contention guard, and the JSON says which regime was
+//! measured. The ISSUE's 40 ms multi-threaded million-bidder target is *recorded*
+//! (`streamed_round_target.met`) rather than asserted — an absolute wall-clock bound on
+//! a shared runner would turn variance into a red build — while a hardware-independent
+//! contention guard still fails the job if widening the pool makes selection slower.
+
+use fmore_bench::timing::{hardware_threads, min_time_ns, quick_mode, schema_string, write_report};
+use fmore_fl::engine::RoundEngine;
+use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_round_throughput.json".to_string());
+    let quick = quick_mode();
+    let hw = hardware_threads();
+
+    // --- Pooled federated round (the shared workload) at each executor width. ---
+    let (round_warmup, round_samples) = if quick { (1, 8) } else { (3, 30) };
+    let mut round_ns = Vec::new();
+    for &threads in &WIDTHS {
+        let mut trainer = fmore_bench::pooled_round_trainer(threads);
+        let ns = min_time_ns(round_warmup, round_samples, || {
+            trainer.run_round().expect("round runs");
+        });
+        round_ns.push((threads, ns));
+    }
+
+    // --- Streamed million-bidder selection round at each executor width. ---
+    let population = if quick { 100_000 } else { 1_000_000 };
+    let (sel_warmup, sel_samples) = if quick { (1, 3) } else { (2, 5) };
+    let config = ScaleConfig::paper();
+    let game = ScaleGame::new(population, &config).expect("scale game builds");
+    let mut streamed_ns = Vec::new();
+    for &threads in &WIDTHS {
+        let engine = RoundEngine::pooled(threads);
+        let ns = min_time_ns(sel_warmup, sel_samples, || {
+            let stage = game.run_streamed(&engine, &config).expect("round runs");
+            assert_eq!(stage.winners.len(), 64);
+        });
+        streamed_ns.push((threads, ns));
+    }
+
+    let round_1t = round_ns[0].1;
+    let round_8t = round_ns[WIDTHS.len() - 1].1;
+    let round_speedup = round_1t as f64 / round_8t as f64;
+    let streamed_1t = streamed_ns[0].1;
+    let best_streamed = streamed_ns.iter().map(|&(_, ns)| ns).min().unwrap();
+    let best_streamed_ms = best_streamed as f64 / 1e6;
+    // The ISSUE's multi-threaded million-bidder target: recorded in the report (so the
+    // committed JSON tracks whether the hardware reached it) rather than asserted — an
+    // absolute wall-clock bound would turn runner variance into a red build.
+    let target_met = !quick && best_streamed_ms < 40.0;
+
+    // --- Emit the JSON document (no serde in the offline workspace; hand-formatted). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        schema_string("round-throughput", 1)
+    ));
+    json.push_str(
+        "  \"note\": \"min-of-N wall-clock per executor width; regenerate with `cargo run --release -p fmore-bench --example round_throughput_report`\",\n",
+    );
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    json.push_str("  \"pooled_round_ns\": {\n");
+    for (i, (threads, ns)) in round_ns.iter().enumerate() {
+        let comma = if i + 1 < round_ns.len() { "," } else { "" };
+        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"pooled_round_speedup_8t\": {round_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"streamed_round\": {{ \"population\": {population}, \"k\": 64 }},\n"
+    ));
+    json.push_str("  \"streamed_round_ns\": {\n");
+    for (i, (threads, ns)) in streamed_ns.iter().enumerate() {
+        let comma = if i + 1 < streamed_ns.len() { "," } else { "" };
+        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"streamed_round_best_ms\": {best_streamed_ms:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"streamed_round_target\": {{ \"ms\": 40, \"met\": {target_met} }}\n"
+    ));
+    json.push_str("}\n");
+
+    write_report(&out_path, &json);
+    eprintln!(
+        "wrote {out_path} (8-thread round speedup {round_speedup:.2}x on {hw} hardware threads; \
+         best streamed {population}-bidder round {best_streamed_ms:.1} ms)"
+    );
+
+    // --- Gates. ---
+    if hw >= 2 {
+        // The regression this report exists to prevent: before the work-stealing executor
+        // the pooled round showed zero scaling (1.72 ms at 1 thread vs 1.76 ms at 8).
+        assert!(
+            round_8t < round_1t,
+            "8-thread pooled round ({round_8t} ns) is not faster than 1-thread ({round_1t} ns) \
+             on {hw} hardware threads"
+        );
+    } else {
+        // Single-core runner: speedup is physically impossible; only guard against the
+        // executor *adding* contention cost.
+        assert!(
+            round_8t as f64 <= round_1t as f64 * 1.5,
+            "8-thread pooled round ({round_8t} ns) is drastically slower than 1-thread \
+             ({round_1t} ns) on a single-core runner — executor contention regression"
+        );
+    }
+    // Hardware-independent contention guard for the streamed round: widening the pool
+    // must never make selection drastically slower than running it on one worker.
+    assert!(
+        best_streamed as f64 <= streamed_1t as f64 * 1.5,
+        "best multi-threaded streamed round ({best_streamed} ns) is drastically slower \
+         than the 1-thread round ({streamed_1t} ns) — executor contention regression"
+    );
+}

@@ -13,18 +13,45 @@
 //! * `round_engine` — the pooled round pipeline vs the seed's spawn-per-round path,
 //! * `hot_path` — the allocation-free training kernels: in-place matmul family vs the
 //!   allocating composition, arena-backed `train_epoch` vs the [`baseline`] replica of the
-//!   pre-refactor path, and a full pooled round at 1/2/8 worker threads.
+//!   pre-refactor path, and a full pooled round at 1/2/8 worker threads,
+//! * `auction_scale` — streamed vs dense selection rounds as the population sweeps to 10⁶,
+//! * `round_throughput` — the pooled round and the million-bidder streamed round across
+//!   work-stealing executor widths 1/2/4/8.
 //!
-//! Run everything with `cargo bench --workspace`; append `-- --test` for the quick smoke
-//! mode CI uses. The `bench_report` example re-times the hot-path suite with plain
-//! `Instant` loops and emits `BENCH_hot_path.json`, the committed perf-trajectory record —
-//! regenerate it after any kernel change:
+//! Run everything with `cargo bench --workspace`; append `-- --test` (or set
+//! `FMORE_BENCH_QUICK=1`) for the quick smoke mode CI uses. The report examples
+//! (`bench_report`, `auction_scale_report`, `round_throughput_report`) re-time their
+//! suites with the shared min-of-N scaffolding in [`timing`] and emit the committed
+//! `BENCH_*.json` perf-trajectory records — regenerate after any substrate change:
 //!
 //! ```bash
 //! cargo run --release -p fmore-bench --example bench_report -- BENCH_hot_path.json
+//! cargo run --release -p fmore-bench --example auction_scale_report -- BENCH_auction_scale.json
+//! cargo run --release -p fmore-bench --example round_throughput_report -- BENCH_round_throughput.json
 //! ```
 
 pub mod baseline;
+pub mod timing;
 
 /// Marker constant so the crate root has at least one documented item.
 pub const BENCH_CRATE: &str = "fmore-bench";
+
+/// The shared "pooled round" workload of the `hot_path` and `round_throughput` suites and
+/// their report examples: one full FMore federated round (24 clients, 12 winners, 1,200
+/// training samples on the quick-fidelity MNIST-O task, seed 54) on a pool of `threads`
+/// workers. Defined once so `BENCH_hot_path.json` and `BENCH_round_throughput.json`
+/// always time the identical workload — tuning it here moves every consumer together.
+pub fn pooled_round_trainer(threads: usize) -> fmore_fl::trainer::FederatedTrainer {
+    let mut config = fmore_fl::config::FlConfig::fast_test(fmore_ml::TaskKind::MnistO);
+    config.clients = 24;
+    config.winners_per_round = 12;
+    config.partition.clients = 24;
+    config.train_samples = 1_200;
+    fmore_fl::trainer::FederatedTrainer::with_engine(
+        config,
+        fmore_fl::selection::SelectionStrategy::fmore(),
+        54,
+        fmore_fl::engine::RoundEngine::pooled(threads),
+    )
+    .expect("bench config is valid")
+}

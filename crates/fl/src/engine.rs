@@ -12,9 +12,10 @@
 //! This module holds the shared implementation of each stage and the execution substrate
 //! they run on. The original trainer spawned a fresh `crossbeam` scope with one thread per
 //! winner every round and pushed results into a locked `Vec` that then had to be re-sorted;
-//! the [`WorkerPool`] here is created once, reused across rounds (and across trainers, via
-//! [`shared_pool`]), and collects results into pre-sized slots indexed by submission order —
-//! deterministic by construction, no lock contention, no per-round thread churn.
+//! the [`WorkerPool`] here — the sharded work-stealing executor of [`crate::executor`] —
+//! is created once, reused across rounds (and across trainers, via [`shared_pool`]), and
+//! collects results into pre-sized slots indexed by submission order — deterministic by
+//! construction, no per-task queue contention, no per-round thread churn.
 //!
 //! Parallelism never affects results: a training job owns its slot's reusable model instance
 //! and scratch arena ([`SlotState`]), a shared snapshot of the global parameters, its sample
@@ -34,154 +35,18 @@ use crate::error::FlError;
 use crate::metrics::WinnerInfo;
 use fmore_auction::mechanism::Award;
 use fmore_auction::{
-    Auction, AuctionError, BidStore, EquilibriumSolver, ScoredBid, StandingPool, SubmittedBid,
+    Auction, AuctionError, BidStore, EquilibriumSolver, ScoredBid, ShardSelection, StandingPool,
+    SubmittedBid,
 };
 use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::Dataset;
 use fmore_ml::model::{Model, Sequential};
 use fmore_numerics::seeded_rng;
 use rand::Rng;
-use std::cell::Cell;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A unit of work returning a value; see [`RoundEngine::run_tasks`].
-pub type Task<T> = Box<dyn FnOnce() -> T + Send + 'static>;
-
-thread_local! {
-    /// Set while the current thread is a pool worker, so nested fan-outs (an experiment sweep
-    /// whose tasks themselves train in parallel) degrade to inline execution instead of
-    /// deadlocking on a saturated queue.
-    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
-}
-
-/// Number of workers used when a pool is created with `threads = 0`.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .clamp(1, 8)
-}
-
-/// A persistent pool of worker threads with slot-indexed, order-preserving result collection.
-pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl std::fmt::Debug for WorkerPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool")
-            .field("threads", &self.workers.len())
-            .finish()
-    }
-}
-
-impl WorkerPool {
-    /// Spawns a pool with `threads` workers (`0` means [`default_threads`]).
-    pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            default_threads()
-        } else {
-            threads
-        };
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|i| {
-                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("fmore-pool-{i}"))
-                    .spawn(move || {
-                        IN_POOL_WORKER.with(|flag| flag.set(true));
-                        loop {
-                            // Take the next job without holding the queue lock while running it.
-                            let job = match receiver.lock() {
-                                Ok(guard) => guard.recv(),
-                                Err(_) => break,
-                            };
-                            match job {
-                                // A panicking job must not take the worker down with it:
-                                // the pool is a process-wide singleton, and a dead worker
-                                // would silently shrink it for the rest of the process
-                                // (eventually starving run_indexed). The panic still
-                                // reaches the submitter — dropping the job's result sender
-                                // makes its recv() fail with "a pooled task panicked".
-                                Ok(job) => {
-                                    let _ =
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                                }
-                                Err(_) => break, // all senders dropped: pool shut down
-                            }
-                        }
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        Self {
-            sender: Some(sender),
-            workers,
-        }
-    }
-
-    /// Number of worker threads.
-    pub fn threads(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Runs every task on the pool and returns the results **in submission order**.
-    ///
-    /// Results are written into pre-sized slots keyed by submission index, so the output
-    /// order is independent of completion order — determinism by construction rather than by
-    /// an after-the-fact sort. When called from inside a pool worker (a nested fan-out) the
-    /// tasks run inline on the calling thread, which keeps the pool deadlock-free.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a task panics.
-    pub fn run_indexed<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
-        if tasks.len() <= 1 || IN_POOL_WORKER.with(|flag| flag.get()) {
-            return tasks.into_iter().map(|task| task()).collect();
-        }
-        let n = tasks.len();
-        let (tx, rx) = channel::<(usize, T)>();
-        let sender = self
-            .sender
-            .as_ref()
-            .expect("pool is live while not dropped");
-        for (slot, task) in tasks.into_iter().enumerate() {
-            let tx = tx.clone();
-            sender
-                .send(Box::new(move || {
-                    let value = task();
-                    let _ = tx.send((slot, value));
-                }))
-                .expect("worker pool queue is open");
-        }
-        drop(tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (slot, value) = rx.recv().expect("a pooled task panicked");
-            debug_assert!(slots[slot].is_none(), "slot {slot} delivered twice");
-            slots[slot] = Some(value);
-        }
-        slots
-            .into_iter()
-            .map(|v| v.expect("every slot filled exactly once"))
-            .collect()
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
+pub use crate::executor::{default_threads, JobPanic, Task, WorkerPool};
 
 /// The process-wide shared pool: created on first use, reused by every trainer, cluster, and
 /// scenario runner that does not bring its own pool. Worker threads are started exactly once
@@ -424,11 +289,17 @@ pub struct StreamedAuction {
 ///
 /// `fill` is called once per shard — on a worker thread for pooled engines — with the
 /// shard's index range and a reusable columnar [`BidStore`] to push sealed bids into
-/// (absent or ineligible indices are simply skipped). Each filled store is scored on its
-/// worker in one pass; the control thread then feeds the scored shards, in shard order,
-/// into the auction's bounded selector. At most [`RoundEngine::parallel_width`] shard
-/// stores exist at any moment and they are recycled across waves, so the stage's transient
-/// memory is `O(width · shard + K)` regardless of the population size.
+/// (absent or ineligible indices are simply skipped). Each wave of shards then runs two
+/// parallel stages: **fill + batch-score** (the monomorphized
+/// `ScoringFunction::score_batch` sweep over the store's SoA columns), and — once the
+/// round salt exists — a **local top-K selection per shard**
+/// ([`fmore_auction::ShardSelection`]), keyed by each bid's global stream position so keys
+/// are computable off-thread. The control thread only merges the small survivor sets into
+/// the auction's bounded selector, in population order: the per-bid scan that used to
+/// serialize on the control thread now runs across the full pool. At most
+/// [`RoundEngine::parallel_width`] shard stores exist at any moment and they are recycled
+/// across waves, so the stage's transient memory is `O(width · shard + K)` regardless of
+/// the population size.
 ///
 /// Winner sets are **bit-identical** to [`Auction::run`] over the same bids — for top-K at
 /// any `reserve`, and for ψ-FMore because the stage widens the standing pool to the full
@@ -478,15 +349,18 @@ where
         fmore_auction::SelectionRule::TopK => reserve,
     };
     let mut selector = auction.selector(reserve);
+    let capacity = selector.capacity();
     let width = engine.parallel_width();
     let mut free: Vec<BidStore> = Vec::new();
     let mut peak_bid_bytes = 0usize;
+    let mut salt: Option<u64> = None;
 
     let shards: Vec<std::ops::Range<usize>> = (0..population)
         .step_by(shard_size)
         .map(|lo| lo..(lo + shard_size).min(population))
         .collect();
     for wave in shards.chunks(width.max(1)) {
+        // Stage 1: fill + batch-score each shard of the wave on the pool.
         let tasks: Vec<Task<Result<BidStore, AuctionError>>> = wave
             .iter()
             .map(|range| {
@@ -504,12 +378,50 @@ where
                 }) as Task<Result<BidStore, AuctionError>>
             })
             .collect();
+        let mut stores = Vec::with_capacity(wave.len());
         let mut wave_bytes = 0usize;
         for result in engine.run_tasks(tasks) {
             let store = result?;
-            selector.offer_store(&store, rng);
             wave_bytes += store.resident_bytes();
-            free.push(store);
+            stores.push(store);
+        }
+        // The round salt is drawn as soon as two bids are guaranteed; from then on
+        // tie-break keys are pure functions of (salt, global position) and can be
+        // computed on worker threads.
+        let wave_total: usize = stores.iter().map(BidStore::len).sum();
+        if salt.is_none() && selector.offered() + wave_total >= 2 {
+            salt = Some(selector.force_salt(rng));
+        }
+        match salt {
+            // Stage 2: local top-K per shard on the pool, then a population-order merge
+            // of the small survivor sets — the only serial part of the wave.
+            Some(salt) => {
+                let mut base = selector.offered();
+                let tasks: Vec<Task<(BidStore, ShardSelection)>> = stores
+                    .into_iter()
+                    .map(|store| {
+                        let shard_base = base;
+                        base += store.len();
+                        Box::new(move || {
+                            let selection =
+                                ShardSelection::select(&store, salt, shard_base, capacity);
+                            (store, selection)
+                        }) as Task<(BidStore, ShardSelection)>
+                    })
+                    .collect();
+                for (store, selection) in engine.run_tasks(tasks) {
+                    selector.absorb(selection);
+                    free.push(store);
+                }
+            }
+            // At most one bid streamed so far: the sequential path, which draws nothing
+            // from the round RNG (matching the dense single-bid contract).
+            None => {
+                for store in stores {
+                    selector.offer_store(&store, rng);
+                    free.push(store);
+                }
+            }
         }
         peak_bid_bytes = peak_bid_bytes.max(wave_bytes + selector.resident_bytes());
     }

@@ -38,6 +38,7 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod metrics;
 pub mod selection;
 pub mod trainer;
@@ -47,6 +48,7 @@ pub use client::EdgeClient;
 pub use config::FlConfig;
 pub use engine::{shared_pool, ExecutionMode, RoundEngine, SlotState, WorkerPool};
 pub use error::FlError;
+pub use executor::JobPanic;
 pub use metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;
 pub use trainer::FederatedTrainer;

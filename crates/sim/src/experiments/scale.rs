@@ -157,8 +157,9 @@ impl ScaleGame {
             for i in range {
                 let theta = population.theta(i);
                 population.quality_into(i, 0, &mut capacity);
-                solver.tabulated_quality_into(theta, &capacity, &mut quality)?;
-                let ask = solver.tabulated_ask(theta)?;
+                // One θ-grid lookup per node for quality *and* ask (bit-identical to the
+                // tabulated_quality_into + tabulated_ask pair it replaces).
+                let ask = solver.tabulated_bid_into(theta, &capacity, &mut quality)?;
                 store.push(NodeId(i as u64), &quality, ask)?;
             }
             Ok(())

@@ -256,6 +256,53 @@ fn pool_recovers_from_panicking_tasks_under_load() {
     }
 }
 
+/// The per-slot panic markers of `run_indexed_checked` distinguish "this worker's job
+/// died" from "this job produced an empty result": healthy slots still deliver (including
+/// genuinely empty values), the panicked slot carries its index and message, and the pool
+/// keeps full capacity for the next wave. Before the markers existed, a panicked job was
+/// indistinguishable from a missing result until the whole wave's panic propagated.
+#[test]
+fn panic_markers_distinguish_dead_jobs_from_empty_results() {
+    let pool = WorkerPool::new(4);
+    let mut tasks: Vec<Task<Vec<u64>>> = (0..64usize)
+        .map(|i| {
+            Box::new(move || {
+                if i % 2 == 0 {
+                    Vec::new() // a legitimately empty result
+                } else {
+                    vec![i as u64]
+                }
+            }) as Task<Vec<u64>>
+        })
+        .collect();
+    tasks[13] = Box::new(|| panic!("churned mid-round"));
+    let results = pool.run_indexed_checked(tasks);
+    assert_eq!(results.len(), 64);
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Err(marker) => {
+                assert_eq!(i, 13, "only slot 13 was poisoned");
+                assert_eq!(marker.slot, 13);
+                assert!(marker.message.contains("churned mid-round"));
+            }
+            Ok(value) if i % 2 == 0 => {
+                assert!(value.is_empty(), "slot {i} should be empty-but-alive");
+            }
+            Ok(value) => assert_eq!(value, &vec![i as u64]),
+        }
+    }
+    // Full capacity afterwards: a clean churn-sized wave delivers in order.
+    let clean: Vec<Task<usize>> = (0..256usize)
+        .map(|i| Box::new(move || i) as Task<usize>)
+        .collect();
+    let values: Vec<usize> = pool
+        .run_indexed_checked(clean)
+        .into_iter()
+        .map(|r| r.expect("clean wave has no panics"))
+        .collect();
+    assert_eq!(values, (0..256).collect::<Vec<_>>());
+}
+
 // ---------------------------------------------------------------------------
 // Slot-state reuse: scratch arenas must not bleed between rounds.
 // ---------------------------------------------------------------------------
@@ -362,6 +409,69 @@ fn streamed_selection_is_identical_across_shard_counts_and_pools() {
             );
         }
     }
+}
+
+/// Executor width is a pure wall-clock knob across the whole selection-and-payment
+/// surface: under active work stealing (many shards in flight, skew-free ranges split and
+/// stolen between workers), winner sets, standing pools, and the cluster's payment
+/// ledgers are bit-identical across 1/2/8-worker pools.
+#[test]
+fn winners_pools_and_ledgers_agree_across_executor_widths() {
+    use fmore::sim::experiments::scale::{ScaleConfig, ScaleGame};
+    // Streamed population selection: small shards so every width runs many waves and the
+    // per-shard local selections land on different workers run to run.
+    let n = 4_000usize;
+    let config = ScaleConfig {
+        populations: vec![n],
+        winners: 24,
+        shard_size: 256,
+        reserve: 24,
+        parity_limit: n,
+        grid_size: 48,
+        seed: 1_234,
+        timed: false,
+    };
+    let game = ScaleGame::new(n, &config).expect("game builds");
+    let reference = game
+        .run_streamed(&RoundEngine::pooled(1), &config)
+        .expect("round runs");
+    assert_eq!(reference.winners.len(), 24);
+    for width in [2usize, 8] {
+        let stage = game
+            .run_streamed(&RoundEngine::pooled(width), &config)
+            .expect("round runs");
+        assert_eq!(
+            reference.winners, stage.winners,
+            "width {width} changed the winner set"
+        );
+        assert_eq!(
+            reference.standing.candidates(),
+            stage.standing.candidates(),
+            "width {width} changed the standing pool"
+        );
+        assert_eq!(reference.offered, stage.offered);
+    }
+
+    // Cluster payment accounting: the ledger accumulated over a full run is identical
+    // across widths (training jobs, auction, and payments all ride the same executor).
+    let run = |width: usize| {
+        let mut cluster = MecCluster::with_engine(
+            ClusterConfig::fast_test(),
+            ClusterStrategy::FMore,
+            SEED,
+            RoundEngine::pooled(width),
+        )
+        .expect("fast cluster config is valid");
+        let history = cluster.run(ROUNDS).expect("cluster runs");
+        (history, cluster.ledger().clone())
+    };
+    let (history_1, ledger_1) = run(1);
+    for width in [2usize, 8] {
+        let (history, ledger) = run(width);
+        assert_eq!(history_1, history, "width {width} changed the history");
+        assert_eq!(ledger_1, ledger, "width {width} changed the payment ledger");
+    }
+    assert!(ledger_1.total() > 0.0, "FMore rounds actually paid winners");
 }
 
 /// The full scale sweep (all three figures) is bit-identical across runner pool sizes —
