@@ -296,6 +296,7 @@ impl EquilibriumSolverBuilder {
             g_grid: Vec::new(),
             g_cumulative: Vec::new(),
             payments: Vec::new(),
+            flat_qualities: Vec::new(),
         };
         solver.tabulate(self.grid)?;
         Ok(solver)
@@ -332,6 +333,11 @@ pub struct EquilibriumSolver {
     /// `p*(θ_i)` for every θ grid point — the equilibrium ask table behind the O(1)
     /// population-scale bid path ([`EquilibriumSolver::tabulated_ask`]).
     payments: Vec<f64>,
+    /// Row-major copy of `qualities` (`grid × dims`, stride `bounds.len()`): adjacent grid
+    /// rows share cache lines, so the per-bid interpolation in
+    /// [`EquilibriumSolver::tabulated_bid_into`] reads two contiguous slices instead of
+    /// chasing two heap-separated row pointers. Same values, purely a layout twin.
+    flat_qualities: Vec<f64>,
 }
 
 impl std::fmt::Debug for EquilibriumSolver {
@@ -434,6 +440,7 @@ impl EquilibriumSolver {
             payments.push(c + self.rent_for(theta, u)?);
         }
         self.payments = payments;
+        self.flat_qualities = self.qualities.iter().flatten().copied().collect();
         Ok(())
     }
 
@@ -451,6 +458,7 @@ impl EquilibriumSolver {
         (q, u)
     }
 
+    #[inline(always)]
     fn check_theta(&self, theta: f64) -> Result<(), AuctionError> {
         if !theta.is_finite() || theta < self.theta.lo - 1e-12 || theta > self.theta.hi + 1e-12 {
             return Err(AuctionError::ThetaOutOfSupport {
@@ -468,12 +476,14 @@ impl EquilibriumSolver {
         Ok(self.interp_theta(&self.u_values, theta))
     }
 
+    #[inline]
     fn interp_theta(&self, values: &[f64], theta: f64) -> f64 {
         let (idx, frac) = self.theta_grid_pos(theta);
         values[idx] + frac * (values[idx + 1] - values[idx])
     }
 
     /// Grid cell and interpolation fraction of θ on the tabulated grid.
+    #[inline(always)]
     fn theta_grid_pos(&self, theta: f64) -> (usize, f64) {
         let (lo, hi) = (self.theta.lo, self.theta.hi);
         let theta = theta.clamp(lo, hi);
@@ -493,6 +503,7 @@ impl EquilibriumSolver {
     /// # Errors
     ///
     /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside `[θ̲, θ̄]`.
+    #[inline]
     pub fn tabulated_ask(&self, theta: f64) -> Result<f64, AuctionError> {
         self.check_theta(theta)?;
         Ok(self.interp_theta(&self.payments, theta))
@@ -508,6 +519,7 @@ impl EquilibriumSolver {
     ///
     /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside the support and
     /// [`AuctionError::DimensionMismatch`] when `capacity` has the wrong dimension.
+    #[inline]
     pub fn tabulated_quality_into(
         &self,
         theta: f64,
@@ -521,6 +533,7 @@ impl EquilibriumSolver {
 
     /// Validates θ and the capacity dimension, returning the shared grid position both
     /// tabulated lookups interpolate from.
+    #[inline(always)]
     fn checked_grid_pos(&self, theta: f64, capacity: &[f64]) -> Result<(usize, f64), AuctionError> {
         self.check_theta(theta)?;
         if capacity.len() != self.bounds.len() {
@@ -536,13 +549,28 @@ impl EquilibriumSolver {
     /// writing into `out` (cleared first, capacity reused) — the single implementation
     /// behind [`EquilibriumSolver::tabulated_quality_into`] and
     /// [`EquilibriumSolver::tabulated_bid_into`].
+    #[inline(always)]
     fn clipped_quality_at(&self, idx: usize, frac: f64, capacity: &[f64], out: &mut Vec<f64>) {
-        let (lo_q, hi_q) = (&self.qualities[idx], &self.qualities[idx + 1]);
         out.clear();
-        for d in 0..capacity.len() {
-            let want = lo_q[d] + frac * (hi_q[d] - lo_q[d]);
-            out.push(want.min(capacity[d]).max(0.0));
-        }
+        self.clipped_quality_append(idx, frac, capacity, out);
+    }
+
+    /// Append-style core of [`EquilibriumSolver::clipped_quality_at`]: writes the clipped
+    /// interpolation onto the end of `out` without clearing — the form that lets the bid
+    /// loop stream qualities straight onto a columnar store.
+    #[inline(always)]
+    fn clipped_quality_append(&self, idx: usize, frac: f64, capacity: &[f64], out: &mut Vec<f64>) {
+        let dims = capacity.len();
+        // Two adjacent rows of the row-major table — one contiguous window, no pointer
+        // chasing; the zipped iterators make every bounds check vanish.
+        let window = &self.flat_qualities[idx * dims..(idx + 2) * dims];
+        let (lo_q, hi_q) = window.split_at(dims);
+        out.extend(
+            lo_q.iter()
+                .zip(hi_q)
+                .zip(capacity)
+                .map(|((&l, &h), &c)| (l + frac * (h - l)).min(c).max(0.0)),
+        );
     }
 
     /// One whole tabulated equilibrium bid — capacity-capped quality into `out` plus the
@@ -556,6 +584,7 @@ impl EquilibriumSolver {
     ///
     /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside the support and
     /// [`AuctionError::DimensionMismatch`] when `capacity` has the wrong dimension.
+    #[inline(always)]
     pub fn tabulated_bid_into(
         &self,
         theta: f64,
@@ -565,7 +594,128 @@ impl EquilibriumSolver {
         let (idx, frac) = self.checked_grid_pos(theta, capacity)?;
         self.clipped_quality_at(idx, frac, capacity, out);
         // Same linear form as `interp_theta`, reusing the already-computed grid position.
-        Ok(self.payments[idx] + frac * (self.payments[idx + 1] - self.payments[idx]))
+        let p = &self.payments[idx..idx + 2];
+        Ok(p[0] + frac * (p[1] - p[0]))
+    }
+
+    /// Streaming twin of [`EquilibriumSolver::tabulated_bid_into`]: **appends** the
+    /// capacity-capped quality to `out` instead of clearing it first, so a columnar bid
+    /// store can hand its flattened quality column directly to the solver and skip the
+    /// per-bid scratch-buffer copy. Values are bit-identical to the `_into` form. On error
+    /// nothing is written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for θ outside the support and
+    /// [`AuctionError::DimensionMismatch`] when `capacity` has the wrong dimension.
+    #[inline(always)]
+    pub fn tabulated_bid_append(
+        &self,
+        theta: f64,
+        capacity: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<f64, AuctionError> {
+        let (idx, frac) = self.checked_grid_pos(theta, capacity)?;
+        self.clipped_quality_append(idx, frac, capacity, out);
+        let p = &self.payments[idx..idx + 2];
+        Ok(p[0] + frac * (p[1] - p[0]))
+    }
+
+    /// Batched twin of the θ grid lookup shared by every tabulated interpolation:
+    /// validates all θ values and writes each one's grid cell (as an exact
+    /// integer-valued `f64`) and interpolation fraction. The loop body is straight-line
+    /// IEEE-exact arithmetic — `clamp`, the support mapping, `floor`, `min` — compiled
+    /// under the runtime SIMD tiers, so the per-θ divide and floor vectorise across
+    /// lanes while staying bit-identical to the scalar grid lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::ThetaOutOfSupport`] for the first θ outside `[θ̲, θ̄]`
+    /// (including non-finite values); `idx`/`frac` contents are unspecified on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` or `frac` is not the same length as `thetas`.
+    pub fn grid_pos_batch(
+        &self,
+        thetas: &[f64],
+        idx: &mut [f64],
+        frac: &mut [f64],
+    ) -> Result<(), AuctionError> {
+        assert_eq!(thetas.len(), idx.len());
+        assert_eq!(thetas.len(), frac.len());
+        #[cfg(target_arch = "x86_64")]
+        let all_ok = if fmore_numerics::avx512_enabled() {
+            // SAFETY: the AVX-512 gate just confirmed the F/DQ/VL subsets at runtime.
+            unsafe { grid_pos_batch_avx512(self, thetas, idx, frac) }
+        } else if fmore_numerics::avx_enabled() {
+            // SAFETY: the AVX gate just confirmed the feature at runtime.
+            unsafe { grid_pos_batch_avx(self, thetas, idx, frac) }
+        } else {
+            self.grid_pos_batch_core(thetas, idx, frac)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let all_ok = self.grid_pos_batch_core(thetas, idx, frac);
+        if !all_ok {
+            for &theta in thetas {
+                self.check_theta(theta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The generic loop behind [`EquilibriumSolver::grid_pos_batch`]; `inline(always)` so
+    /// each `target_feature` wrapper compiles the whole body under its instruction set.
+    /// Returns whether every θ passed the support check (branch-free accumulation so the
+    /// loop stays vectorisable; the caller rescans scalar on failure for the exact error).
+    #[inline(always)]
+    fn grid_pos_batch_core(&self, thetas: &[f64], idx: &mut [f64], frac: &mut [f64]) -> bool {
+        let (lo, hi) = (self.theta.lo, self.theta.hi);
+        let scale = (self.thetas.len() - 1) as f64;
+        let last = (self.thetas.len() - 2) as f64;
+        let mut all_ok = true;
+        for j in 0..thetas.len() {
+            let theta = thetas[j];
+            // NaN fails both comparisons and ±∞ fails one, so this is `check_theta`'s
+            // predicate exactly (finiteness included), accumulated without branching.
+            all_ok &= (theta >= lo - 1e-12) & (theta <= hi + 1e-12);
+            // Same operations in the same order as `theta_grid_pos`; `min` against the
+            // last interior cell replaces the usize `min` bit-for-bit (both operands are
+            // exact small integers).
+            let t = (theta.clamp(lo, hi) - lo) / (hi - lo) * scale;
+            let i = t.floor().min(last);
+            idx[j] = i;
+            frac[j] = t - i;
+        }
+        all_ok
+    }
+
+    /// [`EquilibriumSolver::tabulated_bid_append`] with the θ grid position precomputed
+    /// by [`EquilibriumSolver::grid_pos_batch`] — the per-node remainder of the batched
+    /// population bid loop. `idx` must be a cell index the batch lookup produced for this
+    /// solver (always in range for its grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuctionError::DimensionMismatch`] when `capacity` has the wrong
+    /// dimension; nothing is written on error.
+    #[inline(always)]
+    pub fn tabulated_bid_append_at(
+        &self,
+        idx: usize,
+        frac: f64,
+        capacity: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<f64, AuctionError> {
+        if capacity.len() != self.bounds.len() {
+            return Err(AuctionError::DimensionMismatch {
+                expected: self.bounds.len(),
+                actual: capacity.len(),
+            });
+        }
+        self.clipped_quality_append(idx, frac, capacity, out);
+        let p = &self.payments[idx..idx + 2];
+        Ok(p[0] + frac * (p[1] - p[0]))
     }
 
     /// The opponent-score CDF `H(x) = 1 − F(u⁻¹(x))`.
@@ -786,6 +936,32 @@ impl EquilibriumSolver {
         let ask = self.payment_for(theta)?;
         Ok(SubmittedBid::new(node, Quality::new(declared), ask))
     }
+}
+
+/// AVX-compiled twin of [`EquilibriumSolver::grid_pos_batch_core`] — identical code under
+/// `target_feature(enable = "avx")`, bit-identical results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn grid_pos_batch_avx(
+    solver: &EquilibriumSolver,
+    thetas: &[f64],
+    idx: &mut [f64],
+    frac: &mut [f64],
+) -> bool {
+    solver.grid_pos_batch_core(thetas, idx, frac)
+}
+
+/// AVX-512-compiled twin of [`EquilibriumSolver::grid_pos_batch_core`] — 8-wide f64
+/// lanes for the per-θ divide and floor, bit-identical results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn grid_pos_batch_avx512(
+    solver: &EquilibriumSolver,
+    thetas: &[f64],
+    idx: &mut [f64],
+    frac: &mut [f64],
+) -> bool {
+    solver.grid_pos_batch_core(thetas, idx, frac)
 }
 
 #[cfg(test)]

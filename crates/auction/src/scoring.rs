@@ -97,6 +97,161 @@ fn validate_weights(weights: &[f64]) -> Result<(), AuctionError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------------------
+// Monomorphized batch kernels for the two hot scoring families.
+//
+// Each kernel follows the workspace SIMD discipline (`fmore_numerics::simd`): an
+// `#[inline(always)]` scalar core that sweeps the columnar block four rows at a time,
+// an `#[target_feature(enable = "avx")]` wrapper compiling the *same* core with AVX code
+// generation, and a `*_batch` dispatcher switching on the runtime gate. The four rows of
+// an unrolled step are **independent** bids — AVX only widens them into vector lanes, it
+// never reassociates the per-row fold — so both paths produce identical bits (pinned by
+// the property suite and re-checked by CI's scalar-only job).
+
+/// Additive kernel core: per row the left-associated `0.0 + Σ wᵢ qᵢ` fold of
+/// [`Additive`]'s `value`, minus the ask.
+#[inline(always)]
+fn additive_core<const D: usize>(
+    weights: &[f64; D],
+    qualities: &[f64],
+    asks: &[f64],
+    scores: &mut [f64],
+) {
+    let q4 = qualities.chunks_exact(4 * D);
+    let a4 = asks.chunks_exact(4);
+    let q_rem = q4.remainder();
+    let a_rem = a4.remainder();
+    let (s4, s_rem) = scores.split_at_mut(asks.len() - a_rem.len());
+    for ((q, a), s) in q4.zip(a4).zip(s4.chunks_exact_mut(4)) {
+        for r in 0..4 {
+            let mut acc = 0.0;
+            for (d, w) in weights.iter().enumerate() {
+                acc += w * q[r * D + d];
+            }
+            s[r] = acc - a[r];
+        }
+    }
+    for ((q, a), s) in q_rem.chunks_exact(D).zip(a_rem).zip(s_rem.iter_mut()) {
+        let mut acc = 0.0;
+        for (w, x) in weights.iter().zip(q) {
+            acc += w * x;
+        }
+        *s = acc - a;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn additive_avx<const D: usize>(
+    weights: &[f64; D],
+    qualities: &[f64],
+    asks: &[f64],
+    scores: &mut [f64],
+) {
+    additive_core(weights, qualities, asks, scores);
+}
+
+fn additive_batch<const D: usize>(
+    weights: &[f64; D],
+    qualities: &[f64],
+    asks: &[f64],
+    scores: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fmore_numerics::avx_enabled() {
+        // SAFETY: the gate only answers true after the runtime AVX feature check.
+        unsafe { additive_avx(weights, qualities, asks, scores) };
+        return;
+    }
+    additive_core(weights, qualities, asks, scores);
+}
+
+/// Additive fallback for dimension counts without a monomorphized kernel.
+fn additive_generic(weights: &[f64], qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+    let dims = weights.len();
+    for ((q, ask), out) in qualities
+        .chunks_exact(dims)
+        .zip(asks)
+        .zip(scores.iter_mut())
+    {
+        let mut acc = 0.0;
+        for (w, x) in weights.iter().zip(q) {
+            acc += w * x;
+        }
+        *out = acc - ask;
+    }
+}
+
+/// Unit-exponent Cobb–Douglas kernel core: per row the clamped product fold
+/// `1.0 · Π max(qᵢ, 0)` of [`CobbDouglas`]'s `value` (with `powf(x, 1.0) = x`), scaled,
+/// minus the ask.
+#[inline(always)]
+fn cobb_unit_core<const D: usize>(scale: f64, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+    let q4 = qualities.chunks_exact(4 * D);
+    let a4 = asks.chunks_exact(4);
+    let q_rem = q4.remainder();
+    let a_rem = a4.remainder();
+    let (s4, s_rem) = scores.split_at_mut(asks.len() - a_rem.len());
+    for ((q, a), s) in q4.zip(a4).zip(s4.chunks_exact_mut(4)) {
+        for r in 0..4 {
+            let mut product = 1.0;
+            for d in 0..D {
+                product *= q[r * D + d].max(0.0);
+            }
+            s[r] = scale * product - a[r];
+        }
+    }
+    for ((q, a), s) in q_rem.chunks_exact(D).zip(a_rem).zip(s_rem.iter_mut()) {
+        let mut product = 1.0;
+        for x in q {
+            product *= x.max(0.0);
+        }
+        *s = scale * product - a;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn cobb_unit_avx<const D: usize>(
+    scale: f64,
+    qualities: &[f64],
+    asks: &[f64],
+    scores: &mut [f64],
+) {
+    cobb_unit_core::<D>(scale, qualities, asks, scores);
+}
+
+fn cobb_unit_batch<const D: usize>(
+    scale: f64,
+    qualities: &[f64],
+    asks: &[f64],
+    scores: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fmore_numerics::avx_enabled() {
+        // SAFETY: the gate only answers true after the runtime AVX feature check.
+        unsafe { cobb_unit_avx::<D>(scale, qualities, asks, scores) };
+        return;
+    }
+    cobb_unit_core::<D>(scale, qualities, asks, scores);
+}
+
+/// Unit-exponent Cobb–Douglas fallback for dimension counts without a monomorphized
+/// kernel.
+fn cobb_unit_generic(scale: f64, dims: usize, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+    for ((q, ask), out) in qualities
+        .chunks_exact(dims)
+        .zip(asks)
+        .zip(scores.iter_mut())
+    {
+        let mut product = 1.0;
+        for x in q {
+            product *= x.max(0.0);
+        }
+        *out = scale * product - ask;
+    }
+}
+
 /// Perfect-substitution (additive) scoring: `s(q) = Σ αi qi`.
 ///
 /// The paper recommends this form for substitutable resources such as GPU and CPU; the
@@ -122,6 +277,19 @@ impl Additive {
     pub fn weights(&self) -> &[f64] {
         &self.weights
     }
+
+    /// The scalar cores behind [`ScoringFunction::score_batch`], bypassing the runtime AVX
+    /// dispatch — the parity oracle the property suite compares the dispatched path
+    /// against bit-for-bit.
+    #[doc(hidden)]
+    pub fn score_batch_scalar(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        match *self.weights.as_slice() {
+            [w0] => additive_core(&[w0], qualities, asks, scores),
+            [w0, w1] => additive_core(&[w0, w1], qualities, asks, scores),
+            [w0, w1, w2] => additive_core(&[w0, w1, w2], qualities, asks, scores),
+            _ => additive_generic(&self.weights, qualities, asks, scores),
+        }
+    }
 }
 
 impl ScoringFunction for Additive {
@@ -135,38 +303,14 @@ impl ScoringFunction for Additive {
         "additive"
     }
     fn score_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
-        // Each arm replicates `value`'s left-associated `0.0 + Σ wᵢ qᵢ` fold exactly, so
-        // batch scores are bit-identical to the per-bid path.
+        // Each kernel replicates `value`'s left-associated `0.0 + Σ wᵢ qᵢ` fold per row
+        // exactly, so batch scores are bit-identical to the per-bid path — on both the
+        // AVX and scalar sides of the dispatch.
         match *self.weights.as_slice() {
-            [w0] => {
-                for ((q, ask), out) in qualities.chunks_exact(1).zip(asks).zip(scores.iter_mut()) {
-                    *out = (0.0 + w0 * q[0]) - ask;
-                }
-            }
-            [w0, w1] => {
-                for ((q, ask), out) in qualities.chunks_exact(2).zip(asks).zip(scores.iter_mut()) {
-                    *out = (0.0 + w0 * q[0] + w1 * q[1]) - ask;
-                }
-            }
-            [w0, w1, w2] => {
-                for ((q, ask), out) in qualities.chunks_exact(3).zip(asks).zip(scores.iter_mut()) {
-                    *out = (0.0 + w0 * q[0] + w1 * q[1] + w2 * q[2]) - ask;
-                }
-            }
-            _ => {
-                let dims = self.weights.len();
-                for ((q, ask), out) in qualities
-                    .chunks_exact(dims)
-                    .zip(asks)
-                    .zip(scores.iter_mut())
-                {
-                    let mut acc = 0.0;
-                    for (w, x) in self.weights.iter().zip(q) {
-                        acc += w * x;
-                    }
-                    *out = acc - ask;
-                }
-            }
+            [w0] => additive_batch(&[w0], qualities, asks, scores),
+            [w0, w1] => additive_batch(&[w0, w1], qualities, asks, scores),
+            [w0, w1, w2] => additive_batch(&[w0, w1, w2], qualities, asks, scores),
+            _ => additive_generic(&self.weights, qualities, asks, scores),
         }
     }
 }
@@ -290,6 +434,39 @@ impl CobbDouglas {
     pub fn scale(&self) -> f64 {
         self.scale
     }
+
+    /// The scalar cores behind [`ScoringFunction::score_batch`], bypassing the runtime AVX
+    /// dispatch — the parity oracle the property suite compares the dispatched path
+    /// against bit-for-bit.
+    #[doc(hidden)]
+    pub fn score_batch_scalar(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        let dims = self.exponents.len();
+        if self.exponents.iter().all(|a| *a == 1.0) {
+            match dims {
+                2 => cobb_unit_core::<2>(self.scale, qualities, asks, scores),
+                3 => cobb_unit_core::<3>(self.scale, qualities, asks, scores),
+                _ => cobb_unit_generic(self.scale, dims, qualities, asks, scores),
+            }
+            return;
+        }
+        self.powf_batch(qualities, asks, scores);
+    }
+
+    /// The general `powf` sweep shared by the dispatched and scalar batch paths.
+    fn powf_batch(&self, qualities: &[f64], asks: &[f64], scores: &mut [f64]) {
+        let dims = self.exponents.len();
+        for ((q, ask), out) in qualities
+            .chunks_exact(dims)
+            .zip(asks)
+            .zip(scores.iter_mut())
+        {
+            let mut product = 1.0;
+            for (a, x) in self.exponents.iter().zip(q) {
+                product *= x.max(0.0).powf(*a);
+            }
+            *out = self.scale * product - ask;
+        }
+    }
 }
 
 impl ScoringFunction for CobbDouglas {
@@ -312,32 +489,17 @@ impl ScoringFunction for CobbDouglas {
         let dims = self.exponents.len();
         // The simulator's `25·q1·q2` form has unit exponents: `powf(x, 1.0)` is exactly
         // `x` under IEEE 754 (pinned by the bit-parity property test), so the hot path is
-        // a clamped product with no `pow` at all.
+        // a clamped product with no `pow` at all — and with a monomorphized 4-row kernel
+        // behind the runtime AVX dispatch at the common dimension counts.
         if self.exponents.iter().all(|a| *a == 1.0) {
-            for ((q, ask), out) in qualities
-                .chunks_exact(dims)
-                .zip(asks)
-                .zip(scores.iter_mut())
-            {
-                let mut product = 1.0;
-                for x in q {
-                    product *= x.max(0.0);
-                }
-                *out = self.scale * product - ask;
+            match dims {
+                2 => cobb_unit_batch::<2>(self.scale, qualities, asks, scores),
+                3 => cobb_unit_batch::<3>(self.scale, qualities, asks, scores),
+                _ => cobb_unit_generic(self.scale, dims, qualities, asks, scores),
             }
             return;
         }
-        for ((q, ask), out) in qualities
-            .chunks_exact(dims)
-            .zip(asks)
-            .zip(scores.iter_mut())
-        {
-            let mut product = 1.0;
-            for (a, x) in self.exponents.iter().zip(q) {
-                product *= x.max(0.0).powf(*a);
-            }
-            *out = self.scale * product - ask;
-        }
+        self.powf_batch(qualities, asks, scores);
     }
 }
 

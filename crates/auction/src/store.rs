@@ -226,22 +226,79 @@ impl BidStore {
         Ok(())
     }
 
+    /// Appends one bid the caller guarantees is well-formed — right dimension, finite
+    /// non-negative quality components, finite non-negative ask — skipping the per-component
+    /// validation of [`BidStore::push`]. The trusted fast path of the population-scale
+    /// filler, whose bids come from the solver's tabulated equilibrium (clipped to a finite
+    /// non-negative capacity) rather than from untrusted submitters; at 10⁶ bids per round
+    /// the validation sweep is a measurable slice of the bid-generation budget. Debug builds
+    /// still assert every invariant.
+    #[inline(always)]
+    pub fn push_trusted(&mut self, node: NodeId, quality: &[f64], ask: f64) {
+        debug_assert_eq!(quality.len(), self.dims);
+        debug_assert!(quality.iter().all(|v| v.is_finite() && *v >= 0.0));
+        debug_assert!(ask.is_finite() && ask >= 0.0);
+        self.nodes.push(node.0);
+        self.qualities.extend_from_slice(quality);
+        self.asks.push(ask);
+        self.scores.push(0.0);
+    }
+
+    /// Streaming twin of [`BidStore::push_trusted`]: `fill` writes exactly `dims` quality
+    /// components **directly onto the store's quality column** and returns the ask, so the
+    /// bid never round-trips through a caller-side scratch buffer. The per-bid contract of
+    /// the population-scale loop: one closure call, zero copies.
+    ///
+    /// `fill` must append exactly `dims` elements on success and nothing on error (the
+    /// solver's `tabulated_bid_append` honours this: its checks precede its writes); both
+    /// obligations are debug-asserted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fill`'s error, leaving the store unchanged.
+    #[inline(always)]
+    pub fn push_trusted_with<E>(
+        &mut self,
+        node: NodeId,
+        fill: impl FnOnce(&mut Vec<f64>) -> Result<f64, E>,
+    ) -> Result<(), E> {
+        #[cfg(debug_assertions)]
+        let written_from = self.qualities.len();
+        let ask = fill(&mut self.qualities)?;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(self.qualities.len(), written_from + self.dims);
+            debug_assert!(self.qualities[written_from..]
+                .iter()
+                .all(|v| v.is_finite() && *v >= 0.0));
+            debug_assert!(ask.is_finite() && ask >= 0.0);
+        }
+        self.nodes.push(node.0);
+        self.asks.push(ask);
+        self.scores.push(0.0);
+        Ok(())
+    }
+
     /// The `i`-th bidder.
+    #[inline]
     pub fn node(&self, i: usize) -> NodeId {
         NodeId(self.nodes[i])
     }
 
     /// The `i`-th quality vector.
+    #[inline]
     pub fn quality(&self, i: usize) -> &[f64] {
         &self.qualities[i * self.dims..(i + 1) * self.dims]
     }
 
     /// The `i`-th payment ask.
+    #[inline]
     pub fn ask(&self, i: usize) -> f64 {
         self.asks[i]
     }
 
     /// The `i`-th score (0 until [`BidStore::score_with`] ran).
+    #[inline]
     pub fn score(&self, i: usize) -> f64 {
         self.scores[i]
     }
@@ -442,15 +499,34 @@ impl ShardSelection {
     /// ([`TieBreak::force_salt`] / [`BidSelector::force_salt`]) and `base` is the number of
     /// bids streamed before this shard.
     pub fn select(store: &BidStore, salt: u64, base: usize, capacity: usize) -> Self {
-        let mut heap = CandidateHeap::new(store.dims(), capacity);
+        let dims = store.dims();
+        let mut heap = CandidateHeap::new(dims, capacity);
+        // Column sweep with a cached weakest-kept rank: once the heap is full, the common
+        // case by far is a bid that loses to the weakest kept candidate, and that verdict
+        // needs only the score/key pair — so decide it from the dense columns alone,
+        // without building the quality slice or walking into the heap. The recorded
+        // outcome (`note_dropped(score)`) is exactly what `offer_keyed` does on the reject
+        // path, so the selection stays bit-identical to the naive per-index loop.
+        let mut weakest: Option<(f64, u64)> = None;
         for j in 0..store.len() {
+            let score = store.scores[j];
+            let key = derive_seed(salt, (base + j) as u64);
+            if let Some((w_score, w_key)) = weakest {
+                if rank_order(score, key, w_score, w_key) != Ordering::Less {
+                    heap.note_dropped(score);
+                    continue;
+                }
+            }
             heap.offer_keyed(
-                store.node(j),
-                store.quality(j),
-                store.ask(j),
-                store.score(j),
-                derive_seed(salt, (base + j) as u64),
+                NodeId(store.nodes[j]),
+                &store.qualities[j * dims..(j + 1) * dims],
+                store.asks[j],
+                score,
+                key,
             );
+            if heap.len() == heap.capacity {
+                weakest = Some((heap.heap[0].score, heap.heap[0].key));
+            }
         }
         Self {
             candidates: heap.heap,

@@ -1,12 +1,16 @@
 //! Round throughput across executor widths: the scaling surface of the work-stealing
 //! executor.
 //!
-//! Two groups, each swept over 1/2/4/8 worker threads:
+//! Three groups, each swept over 1/2/4/8 worker threads:
 //!
 //! * `round_throughput_pooled` — one full federated round (auction → pooled local
 //!   training → FedAvg → evaluation) on the hot-path bench configuration,
 //! * `round_throughput_streamed` — one streamed million-bidder selection round (sharded
-//!   batch scoring + per-shard local top-K on the pool + population-order merge, K = 64).
+//!   batch scoring + per-shard local top-K on the pool + population-order merge, K = 64)
+//!   under the golden-compatible v1 stream contract,
+//! * `round_throughput_streamed_v2` — the same round on the fused single-stream v2
+//!   contract (columnar derivation passes + batched grid lookup under the runtime SIMD
+//!   tiers), the path the committed report's 40 ms gate asserts on.
 //!
 //! CI runs this bench in quick mode (`FMORE_BENCH_QUICK=1` or `-- --test`) as a
 //! panic/regression smoke on every push; `examples/round_throughput_report.rs` re-times
@@ -15,6 +19,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fmore_fl::engine::RoundEngine;
+use fmore_mec::population::SpecVersion;
 use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
 use std::time::Duration;
 
@@ -54,5 +59,28 @@ fn bench_streamed_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pooled_round, bench_streamed_selection);
+fn bench_streamed_selection_v2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput_streamed_v2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let config = ScaleConfig::paper().with_spec_version(SpecVersion::V2);
+    let game = ScaleGame::new(1_000_000, &config).expect("scale game builds");
+    for threads in WIDTHS {
+        let engine = RoundEngine::pooled(threads);
+        group.bench_function(&format!("streamed_1e6_threads{threads}"), |b| {
+            b.iter(|| game.run_streamed(&engine, &config).expect("round runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pooled_round,
+    bench_streamed_selection,
+    bench_streamed_selection_v2
+);
 criterion_main!(benches);

@@ -1,13 +1,17 @@
 //! Emits `BENCH_round_throughput.json` — the committed record of how the round pipeline
-//! scales with executor width. Two suites, each swept over 1/2/4/8 worker threads on the
+//! scales with executor width. Three suites, each swept over 1/2/4/8 worker threads on the
 //! work-stealing pool:
 //!
 //! * **pooled round** — one full federated round (auction → pooled local training →
 //!   FedAvg → evaluation) on the hot-path bench configuration (24 clients, 12 winners),
-//! * **streamed selection** — one million-bidder selection round (lazily derived bids →
-//!   sharded batch scoring → per-shard local top-K on the pool → population-order merge,
-//!   K = 64); `FMORE_BENCH_QUICK` shrinks the population to 10⁵ so CI can afford the run
-//!   on every push.
+//! * **streamed selection, spec v1** — one million-bidder selection round (lazily derived
+//!   bids → sharded batch scoring → per-shard local top-K on the pool → population-order
+//!   merge, K = 64) under the golden-compatible two-stream population contract,
+//! * **streamed selection, spec v2** — the same round under the fused single-stream
+//!   contract (`NodePopulation::bid_into`), the fast path the 40 ms target is asserted on.
+//!
+//! `FMORE_BENCH_QUICK` shrinks the population to 10⁵ so CI can afford the run on every
+//! push.
 //!
 //! ```bash
 //! cargo run --release -p fmore-bench --example round_throughput_report -- BENCH_round_throughput.json
@@ -18,16 +22,47 @@
 //! 1-thread round (the regression this report exists to prevent — the pre-executor pool
 //! showed zero scaling); on a single-core runner real speedup is physically impossible,
 //! so that gate degrades to a contention guard, and the JSON says which regime was
-//! measured. The ISSUE's 40 ms multi-threaded million-bidder target is *recorded*
-//! (`streamed_round_target.met`) rather than asserted — an absolute wall-clock bound on
-//! a shared runner would turn variance into a red build — while a hardware-independent
-//! contention guard still fails the job if widening the pool makes selection slower.
+//! measured. The ISSUE's 40 ms million-bidder target **asserts on the v2 path** at full
+//! fidelity (the fused derivation is what the target was set for); the v1 pair rides
+//! along as the recorded baseline, still covered by the hardware-independent contention
+//! guard.
 
 use fmore_bench::timing::{hardware_threads, min_time_ns, quick_mode, schema_string, write_report};
 use fmore_fl::engine::RoundEngine;
+use fmore_mec::population::SpecVersion;
 use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
 
 const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sweeps one streamed million-bidder selection round over the executor widths.
+fn sweep_streamed(
+    population: usize,
+    config: &ScaleConfig,
+    warmup: usize,
+    samples: usize,
+) -> Vec<(usize, u128)> {
+    let game = ScaleGame::new(population, config).expect("scale game builds");
+    WIDTHS
+        .iter()
+        .map(|&threads| {
+            let engine = RoundEngine::pooled(threads);
+            let ns = min_time_ns(warmup, samples, || {
+                let stage = game.run_streamed(&engine, config).expect("round runs");
+                assert_eq!(stage.winners.len(), 64);
+            });
+            (threads, ns)
+        })
+        .collect()
+}
+
+fn push_ns_object(json: &mut String, key: &str, rows: &[(usize, u128)], trailing_comma: bool) {
+    json.push_str(&format!("  \"{key}\": {{\n"));
+    for (i, (threads, ns)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
+    }
+    json.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
 
 fn main() {
     let out_path = std::env::args()
@@ -47,74 +82,63 @@ fn main() {
         round_ns.push((threads, ns));
     }
 
-    // --- Streamed million-bidder selection round at each executor width. ---
+    // --- Streamed million-bidder selection round, spec v1 vs v2, at each width. ---
     let population = if quick { 100_000 } else { 1_000_000 };
     let (sel_warmup, sel_samples) = if quick { (1, 3) } else { (2, 5) };
-    let config = ScaleConfig::paper();
-    let game = ScaleGame::new(population, &config).expect("scale game builds");
-    let mut streamed_ns = Vec::new();
-    for &threads in &WIDTHS {
-        let engine = RoundEngine::pooled(threads);
-        let ns = min_time_ns(sel_warmup, sel_samples, || {
-            let stage = game.run_streamed(&engine, &config).expect("round runs");
-            assert_eq!(stage.winners.len(), 64);
-        });
-        streamed_ns.push((threads, ns));
-    }
+    let config_v1 = ScaleConfig::paper();
+    let config_v2 = ScaleConfig::paper().with_spec_version(SpecVersion::V2);
+    let streamed_v1 = sweep_streamed(population, &config_v1, sel_warmup, sel_samples);
+    let streamed_v2 = sweep_streamed(population, &config_v2, sel_warmup, sel_samples);
 
     let round_1t = round_ns[0].1;
     let round_8t = round_ns[WIDTHS.len() - 1].1;
     let round_speedup = round_1t as f64 / round_8t as f64;
-    let streamed_1t = streamed_ns[0].1;
-    let best_streamed = streamed_ns.iter().map(|&(_, ns)| ns).min().unwrap();
-    let best_streamed_ms = best_streamed as f64 / 1e6;
-    // The ISSUE's multi-threaded million-bidder target: recorded in the report (so the
-    // committed JSON tracks whether the hardware reached it) rather than asserted — an
-    // absolute wall-clock bound would turn runner variance into a red build.
-    let target_met = !quick && best_streamed_ms < 40.0;
+    let v1_1t = streamed_v1[0].1;
+    let best_v1 = streamed_v1.iter().map(|&(_, ns)| ns).min().unwrap();
+    let v2_1t = streamed_v2[0].1;
+    let best_v2 = streamed_v2.iter().map(|&(_, ns)| ns).min().unwrap();
+    let best_v1_ms = best_v1 as f64 / 1e6;
+    let best_v2_ms = best_v2 as f64 / 1e6;
+    let target_met = !quick && best_v2_ms < 40.0;
 
     // --- Emit the JSON document (no serde in the offline workspace; hand-formatted). ---
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"schema\": \"{}\",\n",
-        schema_string("round-throughput", 1)
+        schema_string("round-throughput", 2)
     ));
     json.push_str(
         "  \"note\": \"min-of-N wall-clock per executor width; regenerate with `cargo run --release -p fmore-bench --example round_throughput_report`\",\n",
     );
     json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     json.push_str(&format!("  \"quick_mode\": {quick},\n"));
-    json.push_str("  \"pooled_round_ns\": {\n");
-    for (i, (threads, ns)) in round_ns.iter().enumerate() {
-        let comma = if i + 1 < round_ns.len() { "," } else { "" };
-        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
-    }
-    json.push_str("  },\n");
+    push_ns_object(&mut json, "pooled_round_ns", &round_ns, true);
     json.push_str(&format!(
         "  \"pooled_round_speedup_8t\": {round_speedup:.2},\n"
     ));
     json.push_str(&format!(
         "  \"streamed_round\": {{ \"population\": {population}, \"k\": 64 }},\n"
     ));
-    json.push_str("  \"streamed_round_ns\": {\n");
-    for (i, (threads, ns)) in streamed_ns.iter().enumerate() {
-        let comma = if i + 1 < streamed_ns.len() { "," } else { "" };
-        json.push_str(&format!("    \"threads_{threads}\": {ns}{comma}\n"));
-    }
-    json.push_str("  },\n");
+    json.push_str("  \"streamed_round_v1\": { \"spec_version\": \"v1\" },\n");
+    push_ns_object(&mut json, "streamed_round_v1_ns", &streamed_v1, true);
     json.push_str(&format!(
-        "  \"streamed_round_best_ms\": {best_streamed_ms:.3},\n"
+        "  \"streamed_round_v1_best_ms\": {best_v1_ms:.3},\n"
+    ));
+    json.push_str("  \"streamed_round_v2\": { \"spec_version\": \"v2\" },\n");
+    push_ns_object(&mut json, "streamed_round_v2_ns", &streamed_v2, true);
+    json.push_str(&format!(
+        "  \"streamed_round_v2_best_ms\": {best_v2_ms:.3},\n"
     ));
     json.push_str(&format!(
-        "  \"streamed_round_target\": {{ \"ms\": 40, \"met\": {target_met} }}\n"
+        "  \"streamed_round_target\": {{ \"ms\": 40, \"spec_version\": \"v2\", \"met\": {target_met} }}\n"
     ));
     json.push_str("}\n");
 
     write_report(&out_path, &json);
     eprintln!(
         "wrote {out_path} (8-thread round speedup {round_speedup:.2}x on {hw} hardware threads; \
-         best streamed {population}-bidder round {best_streamed_ms:.1} ms)"
+         best streamed {population}-bidder round v1 {best_v1_ms:.1} ms, v2 {best_v2_ms:.1} ms)"
     );
 
     // --- Gates. ---
@@ -128,18 +152,31 @@ fn main() {
         );
     } else {
         // Single-core runner: speedup is physically impossible; only guard against the
-        // executor *adding* contention cost.
+        // executor *adding* contention cost. With the submitter executing injector units,
+        // a width-8 pool on one core is the same serial work plus queue traffic — it must
+        // never lose to width-1 by more than the contention bound.
         assert!(
             round_8t as f64 <= round_1t as f64 * 1.5,
             "8-thread pooled round ({round_8t} ns) is drastically slower than 1-thread \
              ({round_1t} ns) on a single-core runner — executor contention regression"
         );
     }
-    // Hardware-independent contention guard for the streamed round: widening the pool
+    // Hardware-independent contention guards for both streamed pairs: widening the pool
     // must never make selection drastically slower than running it on one worker.
-    assert!(
-        best_streamed as f64 <= streamed_1t as f64 * 1.5,
-        "best multi-threaded streamed round ({best_streamed} ns) is drastically slower \
-         than the 1-thread round ({streamed_1t} ns) — executor contention regression"
-    );
+    for (label, best, one_t) in [("v1", best_v1, v1_1t), ("v2", best_v2, v2_1t)] {
+        assert!(
+            best as f64 <= one_t as f64 * 1.5,
+            "best multi-threaded streamed {label} round ({best} ns) is drastically slower \
+             than the 1-thread round ({one_t} ns) — executor contention regression"
+        );
+    }
+    // The ISSUE's 40 ms million-bidder target, asserted on the fused v2 path at full
+    // fidelity — the whole point of the single-stream derivation.
+    if !quick {
+        assert!(
+            best_v2_ms < 40.0,
+            "v2 streamed {population}-bidder round took {best_v2_ms:.3} ms — the fused \
+             bid path must clear the 40 ms target"
+        );
+    }
 }

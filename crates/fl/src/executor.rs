@@ -323,6 +323,53 @@ impl PoolShared {
         }
         unit.runner.run_range(unit.lo, unit.hi);
     }
+
+    /// Publishes one unit from an external (non-worker) thread — the helping submitter has
+    /// no local deque, so split halves land in the injector — and wakes a sleeper if there
+    /// is one. Same Dekker handshake as [`PoolShared::push_local`].
+    fn push_injector(&self, unit: WorkUnit) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let mut injector = lock(&self.injector);
+        injector.push_back(unit);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Pops the next unit for an external thread: the injector first (FIFO — the oldest
+    /// fan-outs), then a steal sweep over every worker's deque.
+    fn find_unit_external(&self) -> Option<WorkUnit> {
+        if let Some(unit) = lock(&self.injector).pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(unit);
+        }
+        for victim in &self.locals {
+            if let Some(unit) = lock(victim).pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(unit);
+            }
+        }
+        None
+    }
+
+    /// Runs one unit on an external thread, splitting wide ranges into the injector. The
+    /// worker flag is set for the duration of the borrowed task so a nested fan-out inside
+    /// it degrades to inline execution, exactly as it would on a real worker.
+    fn execute_external(&self, mut unit: WorkUnit) {
+        let min = unit.runner.split_len().max(1);
+        while unit.hi - unit.lo > min {
+            let mid = unit.lo + (unit.hi - unit.lo) / 2;
+            self.push_injector(WorkUnit {
+                runner: Arc::clone(&unit.runner),
+                lo: mid,
+                hi: unit.hi,
+            });
+            unit.hi = mid;
+        }
+        let was_worker = IN_POOL_WORKER.with(|flag| flag.replace(true));
+        unit.runner.run_range(unit.lo, unit.hi);
+        IN_POOL_WORKER.with(|flag| flag.set(was_worker));
+    }
 }
 
 fn worker_loop(shared: Arc<PoolShared>, me: usize) {
@@ -435,6 +482,18 @@ impl WorkerPool {
             }
             self.shared.queued.fetch_add(units, Ordering::SeqCst);
             self.shared.work_cv.notify_all();
+        }
+        // The submitter helps instead of parking: while its fan-out has outstanding slots
+        // it executes queued units like any worker would (its own units — or, work-
+        // conserving, an earlier fan-out's). On width-1 pools and single-core boxes this
+        // is what makes a pooled round cost one running thread instead of a worker plus a
+        // dead submitter; on wider pools it adds a thread to every wave. Only when the
+        // queues drain while stragglers still run does it fall back to the latch.
+        while fan.remaining.load(Ordering::Acquire) > 0 {
+            match self.shared.find_unit_external() {
+                Some(unit) => self.shared.execute_external(unit),
+                None => break,
+            }
         }
         fan.wait_done();
         fan.take_results()
@@ -572,6 +631,46 @@ mod tests {
             })
             .collect();
         assert_eq!(pool.run_indexed(tasks), (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submitter_executes_units_while_every_worker_is_blocked() {
+        // Saturate a width-1 pool: fan A's two tasks block on channels, occupying the
+        // lone worker *and* A's helping submitter. Fan B then has no worker left — it
+        // completes only because B's submitter executes the queued units itself. Before
+        // submitter helping this test would hang on B's completion latch.
+        let pool = Arc::new(WorkerPool::new(1));
+        let (tx_a, rx_a) = std::sync::mpsc::channel::<()>();
+        let (tx_b, rx_b) = std::sync::mpsc::channel::<()>();
+        let started = Arc::new(AtomicUsize::new(0));
+        let blocker_pool = Arc::clone(&pool);
+        let (s_a, s_b) = (Arc::clone(&started), Arc::clone(&started));
+        let blocker = std::thread::spawn(move || {
+            let tasks: Vec<Task<()>> = vec![
+                Box::new(move || {
+                    s_a.fetch_add(1, Ordering::SeqCst);
+                    rx_a.recv().unwrap();
+                }),
+                Box::new(move || {
+                    s_b.fetch_add(1, Ordering::SeqCst);
+                    rx_b.recv().unwrap();
+                }),
+            ];
+            blocker_pool.run_indexed(tasks)
+        });
+        // Wait until both blocking tasks have been claimed and are running.
+        while started.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let me = std::thread::current().id();
+        let tasks: Vec<Task<std::thread::ThreadId>> = (0..16)
+            .map(|_| Box::new(|| std::thread::current().id()) as Task<std::thread::ThreadId>)
+            .collect();
+        let ran_on = pool.run_indexed(tasks);
+        assert!(ran_on.iter().all(|id| *id == me));
+        tx_a.send(()).unwrap();
+        tx_b.send(()).unwrap();
+        blocker.join().unwrap();
     }
 
     #[test]

@@ -28,7 +28,16 @@ impl ResourceProfile {
     /// Allocation-free form of [`ResourceProfile::to_quality`]: writes the normalised
     /// components into `out` (cleared first, capacity reused) — the form the
     /// population-scale bid path cycles through per node.
+    #[inline(always)]
     pub fn quality_into(&self, max: &ResourceProfile, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.to_quality_array(max));
+    }
+
+    /// Stack-array form of [`ResourceProfile::quality_into`] — same normalisation, no
+    /// heap buffer; the population-scale bid loop keeps the round's capacity in registers.
+    #[inline(always)]
+    pub fn to_quality_array(&self, max: &ResourceProfile) -> [f64; 3] {
         let norm = |v: f64, m: f64| {
             if m > 0.0 {
                 (v / m).clamp(0.0, 1.0)
@@ -36,10 +45,11 @@ impl ResourceProfile {
                 0.0
             }
         };
-        out.clear();
-        out.push(norm(self.cpu_cores, max.cpu_cores));
-        out.push(norm(self.bandwidth_mbps, max.bandwidth_mbps));
-        out.push(norm(self.data_size, max.data_size));
+        [
+            norm(self.cpu_cores, max.cpu_cores),
+            norm(self.bandwidth_mbps, max.bandwidth_mbps),
+            norm(self.data_size, max.data_size),
+        ]
     }
 }
 
@@ -66,6 +76,7 @@ impl ResourceRanges {
     }
 
     /// The per-dimension maxima, used for normalisation.
+    #[inline]
     pub fn maxima(&self) -> ResourceProfile {
         ResourceProfile {
             cpu_cores: self.cpu_cores.1,

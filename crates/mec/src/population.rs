@@ -20,14 +20,40 @@
 use crate::dynamics::ChurnModel;
 use crate::error::MecError;
 use crate::node::{MecNode, ResourceProfile, ResourceRanges};
+use fmore_auction::{AuctionError, BidStore, EquilibriumSolver, NodeId};
 use fmore_numerics::rng::{derive_seed, derive_stream};
 use rand::Rng;
 
 /// Tag streams keeping the θ draw, the per-round resource draws, and the materialised
-/// node's private stream decorrelated from one another.
+/// node's private stream decorrelated from one another (the v1 contract), plus the root
+/// tag of the v2 fused per-node counter stream.
 const THETA_STREAM: u64 = 0x7A11;
 const PROFILE_STREAM: u64 = 0x9E0D;
 const NODE_STREAM: u64 = 0x1000;
+const FUSED_STREAM: u64 = 0xF05E;
+
+/// Which RNG stream contract a [`PopulationSpec`] derives node attributes under.
+///
+/// * [`SpecVersion::V1`] — the original two-stream derivation: θ and the per-round
+///   resource profile each seed a full generator (`derive_stream`) per node. Every
+///   committed golden fingerprint and every seeded history replays bit-for-bit under v1,
+///   which is why it stays the default.
+/// * [`SpecVersion::V2`] — the fused single-stream derivation: node `i` owns **one**
+///   counter-based SplitMix64 stream rooted at `w_i = derive_seed(derive_seed(seed,
+///   FUSED_STREAM), i)`. θ is read from the stream root itself and the round-`r` profile
+///   from the single child word `derive_seed(w_i, r)`, so a whole bid costs two SplitMix64
+///   chains instead of two generator constructions plus four generator steps — the fast
+///   path of the population-scale bid loop, with its own committed goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpecVersion {
+    /// Two generator streams per node (θ + profile); bit-compatible with every committed
+    /// golden and seeded history.
+    #[default]
+    V1,
+    /// One counter-based SplitMix64 stream per node; the fused fast path of
+    /// [`NodePopulation::bid_into`].
+    V2,
+}
 
 /// The full description of a node population: everything needed to derive any node's
 /// attributes on demand. The spec **is** the population — copying it is copying the fleet.
@@ -41,18 +67,28 @@ pub struct PopulationSpec {
     pub theta_range: (f64, f64),
     /// Root seed; node `i` derives every attribute from `(seed, i)`.
     pub seed: u64,
+    /// The RNG stream contract node attributes are derived under.
+    pub version: SpecVersion,
 }
 
 impl PopulationSpec {
     /// A population of `size` nodes on the paper's cluster hardware class with the
-    /// scale-experiment θ support `[0.1, 0.9]`.
+    /// scale-experiment θ support `[0.1, 0.9]`, under the golden-compatible
+    /// [`SpecVersion::V1`] stream contract.
     pub fn scale_default(size: usize, seed: u64) -> Self {
         Self {
             size,
             ranges: ResourceRanges::paper_cluster(),
             theta_range: (0.1, 0.9),
             seed,
+            version: SpecVersion::default(),
         }
+    }
+
+    /// The same spec under a different stream contract.
+    pub fn with_version(mut self, version: SpecVersion) -> Self {
+        self.version = version;
+        self
     }
 
     /// Checks internal consistency.
@@ -88,6 +124,9 @@ impl PopulationSpec {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodePopulation {
     spec: PopulationSpec,
+    /// Root of the v2 fused per-node counter stream, `derive_seed(seed, FUSED_STREAM)` —
+    /// precomputed so the bid loop pays exactly two SplitMix64 chains per node.
+    fused_root: u64,
 }
 
 impl NodePopulation {
@@ -98,7 +137,10 @@ impl NodePopulation {
     /// Propagates [`PopulationSpec::validate`] failures.
     pub fn new(spec: PopulationSpec) -> Result<Self, MecError> {
         spec.validate()?;
-        Ok(Self { spec })
+        Ok(Self {
+            spec,
+            fused_root: derive_seed(spec.seed, FUSED_STREAM),
+        })
     }
 
     /// The population spec.
@@ -117,31 +159,244 @@ impl NodePopulation {
     }
 
     /// The per-dimension resource maxima used for quality normalisation.
+    #[inline]
     pub fn maxima(&self) -> ResourceProfile {
         self.spec.ranges.maxima()
     }
 
+    /// Node `i`'s v2 fused stream word — the single SplitMix64 chain everything v2 about
+    /// the node hangs off.
+    #[inline(always)]
+    fn fused_word(&self, i: usize) -> u64 {
+        derive_seed(self.fused_root, i as u64)
+    }
+
     /// Node `i`'s private cost parameter θ — constant across rounds, derived O(1).
+    #[inline]
     pub fn theta(&self, i: usize) -> f64 {
-        let mut rng = derive_stream(derive_seed(self.spec.seed, THETA_STREAM), i as u64);
         let (lo, hi) = self.spec.theta_range;
-        rng.gen_range(lo..hi)
+        match self.spec.version {
+            SpecVersion::V1 => {
+                let mut rng = derive_stream(derive_seed(self.spec.seed, THETA_STREAM), i as u64);
+                rng.gen_range(lo..hi)
+            }
+            SpecVersion::V2 => theta_from_word(self.fused_word(i), lo, hi),
+        }
     }
 
     /// Node `i`'s resource provision in `round` — a fresh draw per round, derived O(1)
     /// without touching any other node's stream.
+    #[inline]
     pub fn profile(&self, i: usize, round: u64) -> ResourceProfile {
-        let mut rng = derive_stream(
-            derive_seed(self.spec.seed, PROFILE_STREAM ^ round.wrapping_mul(0x9E37)),
-            i as u64,
-        );
-        self.spec.ranges.draw(&mut rng)
+        match self.spec.version {
+            SpecVersion::V1 => {
+                let mut rng = derive_stream(
+                    derive_seed(self.spec.seed, PROFILE_STREAM ^ round.wrapping_mul(0x9E37)),
+                    i as u64,
+                );
+                self.spec.ranges.draw(&mut rng)
+            }
+            SpecVersion::V2 => {
+                profile_from_hash(&self.spec.ranges, derive_seed(self.fused_word(i), round))
+            }
+        }
     }
 
     /// Node `i`'s normalised quality vector in `round`, written into `out` (cleared first,
     /// capacity reused).
+    #[inline]
     pub fn quality_into(&self, i: usize, round: u64, out: &mut Vec<f64>) {
         self.profile(i, round).quality_into(&self.maxima(), out);
+    }
+
+    /// Derives node `i`'s complete equilibrium bid for `round` in one shot: θ, the round's
+    /// resource provision, the normalised capacity (written into `capacity`), and the
+    /// tabulated equilibrium bid (clipped quality into `quality`, ask returned). Both
+    /// vectors are cleared first and their allocations reused — the population-scale bid
+    /// loop calls this once per node with the same two scratch vectors.
+    ///
+    /// Under [`SpecVersion::V1`] this performs exactly the decomposed
+    /// `theta` → `quality_into` → `tabulated_bid_into` sequence, bit-for-bit. Under
+    /// [`SpecVersion::V2`] the θ and profile draws share the node's single fused stream
+    /// word, so the whole derivation costs two SplitMix64 chains instead of two full
+    /// generator constructions — and still agrees bit-for-bit with the decomposed calls
+    /// under v2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EquilibriumSolver::tabulated_bid_into`] failures (θ outside the
+    /// tabulated grid, dimension mismatch).
+    #[inline(always)]
+    pub fn bid_into(
+        &self,
+        i: usize,
+        round: u64,
+        solver: &EquilibriumSolver,
+        capacity: &mut Vec<f64>,
+        quality: &mut Vec<f64>,
+    ) -> Result<f64, AuctionError> {
+        match self.spec.version {
+            SpecVersion::V1 => {
+                let theta = self.theta(i);
+                self.quality_into(i, round, capacity);
+                solver.tabulated_bid_into(theta, capacity, quality)
+            }
+            SpecVersion::V2 => {
+                let w = self.fused_word(i);
+                let (lo, hi) = self.spec.theta_range;
+                let theta = theta_from_word(w, lo, hi);
+                let profile = profile_from_hash(&self.spec.ranges, derive_seed(w, round));
+                profile.quality_into(&self.maxima(), capacity);
+                solver.tabulated_bid_into(theta, capacity, quality)
+            }
+        }
+    }
+
+    /// Derives one shard's worth of equilibrium bids — [`NodePopulation::bid_into`] for
+    /// every node in `range`, appended to `store` via the trusted fast path (the bids come
+    /// straight from the tabulated solver: quality clipped to a validated capacity, finite
+    /// ask, so the store's submitter validation is redundant here).
+    ///
+    /// Shard granularity matters beyond amortising scratch buffers: on x86-64 the whole
+    /// loop body — fused derivation, `round`/`floor` in the provision mapping, the
+    /// solver's grid interpolation — is compiled once under the runtime AVX gate
+    /// ([`fmore_numerics::avx_enabled`]), which turns the baseline target's libm
+    /// `round`/`floor` calls into single instructions. Every operation involved is
+    /// IEEE-exact (rounding, conversion, min/max, multiply/add in fixed order), so the
+    /// accelerated build is **bit-identical** to the scalar fallback — the same discipline
+    /// as the scoring kernels, pinned by the scalar-parity suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`NodePopulation::bid_into`] failure.
+    pub fn bid_range_into_store(
+        &self,
+        range: std::ops::Range<usize>,
+        round: u64,
+        solver: &EquilibriumSolver,
+        store: &mut BidStore,
+    ) -> Result<(), AuctionError> {
+        #[cfg(target_arch = "x86_64")]
+        if fmore_numerics::avx_enabled() {
+            // SAFETY: the AVX gate just confirmed the feature at runtime.
+            return unsafe { bid_range_avx(self, range, round, solver, store) };
+        }
+        self.bid_range_core(range, round, solver, store)
+    }
+
+    /// The generic loop behind [`NodePopulation::bid_range_into_store`]; `inline(always)`
+    /// so the `target_feature` wrapper compiles the whole body (and everything `#[inline]`
+    /// beneath it) under the wider instruction set.
+    #[inline(always)]
+    fn bid_range_core(
+        &self,
+        range: std::ops::Range<usize>,
+        round: u64,
+        solver: &EquilibriumSolver,
+        store: &mut BidStore,
+    ) -> Result<(), AuctionError> {
+        match self.spec.version {
+            SpecVersion::V1 => {
+                let mut capacity = Vec::with_capacity(3);
+                let mut quality = Vec::with_capacity(3);
+                for i in range {
+                    let ask = self.bid_into(i, round, solver, &mut capacity, &mut quality)?;
+                    store.push_trusted(NodeId(i as u64), &quality, ask);
+                }
+            }
+            SpecVersion::V2 => {
+                // The fused derivation of `bid_into`'s V2 arm, restructured as columnar
+                // passes over the shard. Pass A is the pure derivation — fused stream
+                // word, θ, per-round profile, normalised capacity — written to per-thread
+                // scratch; its loop body is straight-line integer hashing and IEEE-exact
+                // float mapping with no branches or calls, which LLVM fully vectorises
+                // under the AVX-512 tier (see [`derive_shard_avx512`]). The solver's
+                // batched grid lookup then vectorises the per-θ divide and floor, and the
+                // final pass walks the precomputed positions through the interpolation,
+                // appending straight onto the store's columns. Same helpers, same
+                // operation order, so every value is bit-identical to the per-node
+                // `bid_into` path (pinned by the property suite).
+                let n = range.len();
+                SHARD_SCRATCH.with(|cell| {
+                    let s = &mut *cell.borrow_mut();
+                    s.resize(n);
+                    self.derive_shard(
+                        range.start,
+                        round,
+                        &mut s.thetas,
+                        &mut s.c0,
+                        &mut s.c1,
+                        &mut s.c2,
+                    );
+                    solver.grid_pos_batch(&s.thetas, &mut s.idx, &mut s.frac)?;
+                    for j in 0..n {
+                        let capacity = [s.c0[j], s.c1[j], s.c2[j]];
+                        store.push_trusted_with(NodeId((range.start + j) as u64), |out| {
+                            solver.tabulated_bid_append_at(
+                                s.idx[j] as usize,
+                                s.frac[j],
+                                &capacity,
+                                out,
+                            )
+                        })?;
+                    }
+                    Ok::<(), AuctionError>(())
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass A of the v2 shard loop: derives θ and the normalised capacity columns for
+    /// nodes `start..start + thetas.len()` in `round`. Dispatches to the AVX-512-compiled
+    /// twin when the CPU supports it (and [`fmore_numerics::avx512_enabled`] allows it);
+    /// otherwise the core compiles under whatever instruction set the caller's own
+    /// `target_feature` context provides — the tier-by-tier fallthrough of the SIMD
+    /// dispatch discipline.
+    fn derive_shard(
+        &self,
+        start: usize,
+        round: u64,
+        thetas: &mut [f64],
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if fmore_numerics::avx512_enabled() {
+            // SAFETY: the AVX-512 gate just confirmed the F/DQ/VL subsets at runtime.
+            return unsafe { derive_shard_avx512(self, start, round, thetas, c0, c1, c2) };
+        }
+        self.derive_shard_core(start, round, thetas, c0, c1, c2);
+    }
+
+    /// The generic loop behind [`NodePopulation::derive_shard`]; `inline(always)` so the
+    /// `target_feature` wrapper compiles the whole body under the wider instruction set.
+    /// Every operation is IEEE-exact (integer hashing, `u64 → f64` conversion,
+    /// multiply/add in fixed order, [`snap`], min/max), so the vectorised compile is
+    /// bit-identical to the scalar one.
+    #[inline(always)]
+    fn derive_shard_core(
+        &self,
+        start: usize,
+        round: u64,
+        thetas: &mut [f64],
+        c0: &mut [f64],
+        c1: &mut [f64],
+        c2: &mut [f64],
+    ) {
+        let (lo, hi) = self.spec.theta_range;
+        let maxima = self.maxima();
+        let ranges = &self.spec.ranges;
+        for j in 0..thetas.len() {
+            let w = self.fused_word(start + j);
+            thetas[j] = theta_from_word(w, lo, hi);
+            let profile = profile_from_hash(ranges, derive_seed(w, round));
+            let cap = profile.to_quality_array(&maxima);
+            c0[j] = cap[0];
+            c1[j] = cap[1];
+            c2[j] = cap[2];
+        }
     }
 
     /// Materialises the full [`MecNode`] for node `i` — what an auction winner graduates
@@ -156,6 +411,71 @@ impl NodePopulation {
             derive_seed(self.spec.seed, NODE_STREAM + i as u64),
         )
     }
+}
+
+/// AVX-compiled twin of [`NodePopulation::bid_range_core`] — identical code under
+/// `target_feature(enable = "avx")`, bit-identical results (see
+/// [`NodePopulation::bid_range_into_store`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn bid_range_avx(
+    population: &NodePopulation,
+    range: std::ops::Range<usize>,
+    round: u64,
+    solver: &EquilibriumSolver,
+    store: &mut BidStore,
+) -> Result<(), AuctionError> {
+    population.bid_range_core(range, round, solver, store)
+}
+
+/// Per-thread columnar scratch for the v2 shard bid loop: pass-A outputs (θ and the
+/// three capacity columns) plus the batched grid positions. Sized once per worker thread
+/// and reused every shard, so the steady-state round allocates nothing and never pays
+/// the zero-fill of fresh buffers.
+#[derive(Default)]
+struct ShardScratch {
+    thetas: Vec<f64>,
+    c0: Vec<f64>,
+    c1: Vec<f64>,
+    c2: Vec<f64>,
+    idx: Vec<f64>,
+    frac: Vec<f64>,
+}
+
+impl ShardScratch {
+    fn resize(&mut self, n: usize) {
+        self.thetas.resize(n, 0.0);
+        self.c0.resize(n, 0.0);
+        self.c1.resize(n, 0.0);
+        self.c2.resize(n, 0.0);
+        self.idx.resize(n, 0.0);
+        self.frac.resize(n, 0.0);
+    }
+}
+
+std::thread_local! {
+    /// See [`ShardScratch`] — one per worker thread, reused across shards and rounds.
+    static SHARD_SCRATCH: std::cell::RefCell<ShardScratch> =
+        std::cell::RefCell::new(ShardScratch::default());
+}
+
+/// AVX-512-compiled twin of [`NodePopulation::derive_shard_core`] — identical code under
+/// `target_feature(enable = "avx512f,avx512dq,avx512vl")`, bit-identical results. The F
+/// subset supplies the 8-wide f64 lanes, DQ the 64-bit lane multiplies (`vpmullq`) and
+/// `u64 → f64` conversions (`vcvtuqq2pd`) the SplitMix64 chains and unit mappings
+/// vectorise over, and VL the narrower encodings for the loop remainder.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+unsafe fn derive_shard_avx512(
+    population: &NodePopulation,
+    start: usize,
+    round: u64,
+    thetas: &mut [f64],
+    c0: &mut [f64],
+    c1: &mut [f64],
+    c2: &mut [f64],
+) {
+    population.derive_shard_core(start, round, thetas, c0, c1, c2);
 }
 
 /// Packed-bitmap membership churn over a [`NodePopulation`]'s index space.
@@ -179,6 +499,78 @@ pub struct PopulationChurn {
 /// `f64` sampling.
 fn unit_from_hash(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// v2 θ draw: maps the node's fused stream word onto `[lo, hi)` with the same
+/// exclusive-top clamp the generator's float `gen_range` applies.
+#[inline(always)]
+fn theta_from_word(w: u64, lo: f64, hi: f64) -> f64 {
+    let v = lo + (hi - lo) * unit_from_hash(w);
+    if v >= hi {
+        (hi - (hi - lo) * f64::EPSILON).max(lo)
+    } else {
+        v
+    }
+}
+
+/// Maps a 21-bit field to a unit draw in `[0, 1)` — the v2 per-dimension resolution
+/// (three dimensions share one 64-bit word; a 2⁻²¹ step is far below every range's
+/// rounding or normalisation granularity).
+#[inline(always)]
+fn unit21(x: u64) -> f64 {
+    (x & 0x1F_FFFF) as f64 * (1.0 / (1u64 << 21) as f64)
+}
+
+/// Inclusive-range sample matching `ResourceRanges::draw`'s `gen_range(lo..=hi)`
+/// semantics: degenerate ranges collapse to `hi`, and the mapped value is capped at `hi`.
+#[inline(always)]
+fn inclusive_sample(lo: f64, hi: f64, unit: f64) -> f64 {
+    if hi > lo {
+        let v = lo + (hi - lo) * unit;
+        if v > hi {
+            hi
+        } else {
+            v
+        }
+    } else {
+        hi
+    }
+}
+
+/// The v2 integer-snapping contract: `(x + 0.5).floor()`. One rounding instruction in
+/// both scalar and vector code (`roundsd`/`vrndscalepd` in floor mode) — unlike `round`'s
+/// half-away-from-zero, which has no vector encoding and forces a libm call on baseline
+/// targets. For the non-negative draws the v2 mapping produces, `x + 0.5` is exact at
+/// every halfway case on the resource grids, so the result equals `round` on every
+/// representable draw.
+#[inline(always)]
+fn snap(x: f64) -> f64 {
+    (x + 0.5).floor()
+}
+
+/// v2 profile draw: splits one per-round hash into three 21-bit unit draws and applies the
+/// same per-dimension mapping as `ResourceRanges::draw` (cpu, bandwidth, data in that
+/// order), with integer dimensions snapped under the v2 [`snap`] contract.
+#[inline(always)]
+fn profile_from_hash(ranges: &ResourceRanges, h: u64) -> ResourceProfile {
+    ResourceProfile {
+        cpu_cores: snap(inclusive_sample(
+            ranges.cpu_cores.0,
+            ranges.cpu_cores.1,
+            unit21(h),
+        ))
+        .max(1.0),
+        bandwidth_mbps: inclusive_sample(
+            ranges.bandwidth_mbps.0,
+            ranges.bandwidth_mbps.1,
+            unit21(h >> 21),
+        ),
+        data_size: snap(inclusive_sample(
+            ranges.data_size.0,
+            ranges.data_size.1,
+            unit21(h >> 42),
+        )),
+    }
 }
 
 fn churn_hash(seed: u64, round: u64, node: u64, tag: u64) -> u64 {
@@ -373,6 +765,75 @@ mod tests {
         // Materialising twice yields the identical node state.
         let again = pop.materialize(9);
         assert_eq!(node.current(), again.current());
+    }
+
+    fn tiny_solver(theta_range: (f64, f64)) -> EquilibriumSolver {
+        EquilibriumSolver::builder()
+            .scoring(fmore_auction::Additive::new(vec![0.4, 0.3, 0.3]).unwrap())
+            .cost(fmore_auction::LinearCost::new(vec![0.3, 0.3, 0.4]).unwrap())
+            .theta(fmore_numerics::UniformDist::new(theta_range.0, theta_range.1).unwrap())
+            .bounds(vec![(0.0, 1.0); 3])
+            .population(64)
+            .winners(8)
+            .grid_size(48)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn v2_attributes_are_deterministic_in_range_and_distinct_from_v1() {
+        let v1 = NodePopulation::new(spec(256)).unwrap();
+        let v2 = NodePopulation::new(spec(256).with_version(SpecVersion::V2)).unwrap();
+        let (lo, hi) = v2.spec().theta_range;
+        let mut q = Vec::new();
+        for i in 0..256 {
+            assert_eq!(v2.theta(i), v2.theta(i));
+            assert!((lo..hi).contains(&v2.theta(i)));
+            let p = v2.profile(i, 5);
+            assert_eq!(p, v2.profile(i, 5));
+            assert!((1.0..=8.0).contains(&p.cpu_cores));
+            assert!((100.0..=1000.0).contains(&p.bandwidth_mbps));
+            assert!((2000.0..=10_000.0).contains(&p.data_size));
+            assert_eq!(p.cpu_cores, p.cpu_cores.round());
+            assert_eq!(p.data_size, p.data_size.round());
+            v2.quality_into(i, 5, &mut q);
+            assert!(q.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // The contracts really are different streams.
+        assert!((0..256).any(|i| v1.theta(i) != v2.theta(i)));
+        assert!((0..256).any(|i| v1.profile(i, 0) != v2.profile(i, 0)));
+        // θ is round-independent while profiles are per-round draws.
+        assert_ne!(v2.profile(7, 0), v2.profile(7, 1));
+    }
+
+    #[test]
+    fn bid_into_matches_decomposed_derivation_under_both_versions() {
+        for version in [SpecVersion::V1, SpecVersion::V2] {
+            let pop = NodePopulation::new(spec(64).with_version(version)).unwrap();
+            let solver = tiny_solver(pop.spec().theta_range);
+            let (mut cap, mut qual) = (Vec::new(), Vec::new());
+            let (mut cap2, mut qual2) = (Vec::new(), Vec::new());
+            for i in (0..64).step_by(7) {
+                for round in [0u64, 3] {
+                    let ask = pop
+                        .bid_into(i, round, &solver, &mut cap, &mut qual)
+                        .unwrap();
+                    let theta = pop.theta(i);
+                    pop.quality_into(i, round, &mut cap2);
+                    let ask2 = solver.tabulated_bid_into(theta, &cap2, &mut qual2).unwrap();
+                    assert_eq!(ask.to_bits(), ask2.to_bits(), "{version:?} node {i}");
+                    assert_eq!(cap, cap2);
+                    assert_eq!(qual, qual2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_nodes_follow_the_spec_version() {
+        let pop = NodePopulation::new(spec(32).with_version(SpecVersion::V2)).unwrap();
+        let node = pop.materialize(9);
+        assert_eq!(node.theta().to_bits(), pop.theta(9).to_bits());
     }
 
     #[test]

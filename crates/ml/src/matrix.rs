@@ -194,8 +194,8 @@ unsafe fn matmul_ta_core_avx(
 
 fn run_matmul_core(m: usize, kd: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
     #[cfg(target_arch = "x86_64")]
-    if std::is_x86_feature_detected!("avx") {
-        // SAFETY: guarded by the runtime feature check above.
+    if fmore_numerics::simd::avx_enabled() {
+        // SAFETY: the gate only answers true after the runtime AVX feature check.
         unsafe { matmul_core_avx(m, kd, n, a, b, out) };
         return;
     }
@@ -204,8 +204,8 @@ fn run_matmul_core(m: usize, kd: usize, n: usize, a: &[f64], b: &[f64], out: &mu
 
 fn run_matmul_ta_core(rows: usize, m: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
     #[cfg(target_arch = "x86_64")]
-    if std::is_x86_feature_detected!("avx") {
-        // SAFETY: guarded by the runtime feature check above.
+    if fmore_numerics::simd::avx_enabled() {
+        // SAFETY: the gate only answers true after the runtime AVX feature check.
         unsafe { matmul_ta_core_avx(rows, m, n, a, b, out) };
         return;
     }

@@ -14,7 +14,9 @@
 //!   ([`normalize`]),
 //! * summary statistics and histograms used by the evaluation ([`stats`]),
 //! * deterministic, seedable random-number helpers so that every experiment in the
-//!   repository is reproducible ([`rng`]).
+//!   repository is reproducible ([`rng`]),
+//! * the workspace-wide runtime SIMD dispatch gate shared by every vectorised kernel
+//!   ([`simd`]).
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@ pub mod ode;
 pub mod optimize;
 pub mod quadrature;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use distribution::{Distribution1D, EmpiricalCdf, TruncatedNormal, UniformDist};
@@ -45,3 +48,4 @@ pub use ode::{solve_euler, solve_rk4, OdeSolution};
 pub use optimize::{maximize_coordinate, maximize_scalar};
 pub use quadrature::{cumulative_trapezoid, simpson, trapezoid};
 pub use rng::{derive_stream, seeded_rng};
+pub use simd::{avx512_enabled, avx_enabled};

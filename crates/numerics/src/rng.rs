@@ -25,6 +25,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// Derives a child seed from a parent seed and a stream index.
 ///
 /// Used to give every edge node / client an independent but reproducible RNG stream.
+#[inline]
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     // SplitMix64 step: decorrelates consecutive stream indices.
     let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);

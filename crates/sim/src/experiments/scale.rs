@@ -26,12 +26,12 @@ use crate::error::SimError;
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
 use fmore_auction::{
-    Additive, Auction, AuctionError, EquilibriumSolver, LinearCost, NodeId, PricingRule, Quality,
+    Additive, Auction, AuctionError, EquilibriumSolver, LinearCost, PricingRule, Quality,
     ScoringRule, SelectionRule, SubmittedBid,
 };
 use fmore_fl::engine::{auction_select_streamed, RoundEngine, StreamedAuction};
 use fmore_fl::metrics::WinnerInfo;
-use fmore_mec::population::{NodePopulation, PopulationSpec};
+use fmore_mec::population::{NodePopulation, PopulationSpec, SpecVersion};
 use fmore_numerics::rng::derive_seed;
 use fmore_numerics::{seeded_rng, UniformDist};
 use std::sync::Arc;
@@ -66,6 +66,10 @@ pub struct ScaleConfig {
     pub seed: u64,
     /// Measure selection wall-clock (paper fidelity only — timings are not fingerprintable).
     pub timed: bool,
+    /// RNG stream contract the populations derive bids under
+    /// ([`SpecVersion::V1`] reproduces every committed golden; [`SpecVersion::V2`] is the
+    /// fused fast path with its own goldens).
+    pub spec_version: SpecVersion,
 }
 
 impl ScaleConfig {
@@ -80,7 +84,14 @@ impl ScaleConfig {
             grid_size: 96,
             seed: 4_242,
             timed: false,
+            spec_version: SpecVersion::V1,
         }
+    }
+
+    /// The same configuration under a different population stream contract.
+    pub fn with_spec_version(mut self, version: SpecVersion) -> Self {
+        self.spec_version = version;
+        self
     }
 
     /// The full sweep: `N` from 10³ to 10⁶, timed.
@@ -94,6 +105,7 @@ impl ScaleConfig {
             grid_size: 128,
             seed: 4_242,
             timed: true,
+            spec_version: SpecVersion::V1,
         }
     }
 }
@@ -116,7 +128,8 @@ impl ScaleGame {
     ///
     /// Propagates population and solver construction failures.
     pub fn new(n: usize, config: &ScaleConfig) -> Result<Self, SimError> {
-        let spec = PopulationSpec::scale_default(n, derive_seed(config.seed, n as u64));
+        let spec = PopulationSpec::scale_default(n, derive_seed(config.seed, n as u64))
+            .with_version(config.spec_version);
         let population = NodePopulation::new(spec)?;
         let scoring = Additive::new(vec![0.4, 0.3, 0.3])?;
         let cost = LinearCost::new(vec![0.3, 0.3, 0.4])?;
@@ -152,16 +165,11 @@ impl ScaleGame {
         let population = self.population;
         let solver = Arc::clone(&self.solver);
         Arc::new(move |range, store| {
-            let mut capacity = Vec::with_capacity(3);
-            let mut quality = Vec::with_capacity(3);
-            for i in range {
-                let theta = population.theta(i);
-                population.quality_into(i, 0, &mut capacity);
-                // One θ-grid lookup per node for quality *and* ask (bit-identical to the
-                // tabulated_quality_into + tabulated_ask pair it replaces).
-                let ask = solver.tabulated_bid_into(theta, &capacity, &mut quality)?;
-                store.push(NodeId(i as u64), &quality, ask)?;
-            }
+            // One fused derivation per node (bit-identical under v1 to the decomposed
+            // theta + quality_into + tabulated_bid_into sequence it replaces; under v2
+            // the fast single-stream path), the whole shard compiled under the runtime
+            // AVX gate and appended through the store's trusted fast path.
+            population.bid_range_into_store(range, 0, &solver, store)?;
             Ok(())
         })
     }
@@ -481,6 +489,7 @@ mod tests {
             grid_size: 48,
             seed: 7,
             timed: false,
+            spec_version: SpecVersion::V1,
         }
     }
 
@@ -531,6 +540,26 @@ mod tests {
         assert!(figure.all_identical(), "{:?}", figure.points);
         for p in &figure.points {
             assert_eq!(p.winners, 16);
+        }
+    }
+
+    #[test]
+    fn v2_spec_changes_the_draws_but_keeps_every_invariant() {
+        let runner = ScenarioRunner::new();
+        let v2 = tiny().with_spec_version(SpecVersion::V2);
+        // The streamed/dense parity contract is version-independent…
+        let parity = run_parity(&runner, &v2).unwrap();
+        assert!(parity.all_identical(), "{:?}", parity.points);
+        // …the sweep is deterministic across pool widths…
+        let a = run_selection(&runner, &v2).unwrap();
+        let b = run_selection(&ScenarioRunner::with_threads(1), &v2).unwrap();
+        assert_eq!(a, b);
+        // …and the v2 stream really is a different fleet than v1.
+        let v1 = run_selection(&runner, &tiny()).unwrap();
+        assert_ne!(a, v1, "v2 must not replay the v1 draws");
+        for p in &a.points {
+            assert_eq!(p.winners, 16);
+            assert!(p.total_payment > 0.0);
         }
     }
 

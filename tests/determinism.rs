@@ -374,6 +374,7 @@ fn streamed_selection_is_identical_across_shard_counts_and_pools() {
         grid_size: 48,
         seed: 99,
         timed: false,
+        spec_version: fmore::mec::population::SpecVersion::V1,
     };
 
     let reference = {
@@ -430,6 +431,7 @@ fn winners_pools_and_ledgers_agree_across_executor_widths() {
         grid_size: 48,
         seed: 1_234,
         timed: false,
+        spec_version: fmore::mec::population::SpecVersion::V1,
     };
     let game = ScaleGame::new(n, &config).expect("game builds");
     let reference = game
@@ -488,6 +490,7 @@ fn scale_sweep_figures_are_identical_across_pool_sizes() {
         grid_size: 48,
         seed: 7,
         timed: false,
+        spec_version: fmore::mec::population::SpecVersion::V1,
     };
     let wide = ScenarioRunner::with_threads(8);
     let narrow = ScenarioRunner::with_threads(1);

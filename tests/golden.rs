@@ -15,7 +15,10 @@
 //! ```
 //! (the failure output prints the actual fingerprint of every drifted entry).
 
+use fmore::fl::engine::RoundEngine;
+use fmore::mec::population::{NodePopulation, PopulationSpec, SpecVersion};
 use fmore::sim::experiments::registry::{self, ExperimentReport, Fidelity};
+use fmore::sim::experiments::scale::{ScaleConfig, ScaleGame};
 use fmore::sim::ScenarioRunner;
 
 /// Reduces a report to its committed-comparable form.
@@ -98,6 +101,67 @@ const EXPECTED: &[(&str, &str)] = &[
          5000;64;yes;0.0e0",
     ),
 ];
+
+/// FNV-1a offset basis; the digests below fold exact bit patterns, so any single-ULP
+/// drift anywhere in the v2 derivation or selection pipeline changes them.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one 64-bit word into an FNV-1a digest.
+fn fold_word(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Folds the exact bits of one `f64` into an FNV-1a digest.
+fn fold_bits(h: u64, x: f64) -> u64 {
+    fold_word(h, x.to_bits())
+}
+
+/// The committed digests of the v2 fused-stream contract: θ draws, per-round profile
+/// draws, and one full streamed selection round (winner ids, scores, payments).
+///
+/// [`SpecVersion::V2`] has no registry entry, so these digests **are** its goldens: v1's
+/// fingerprints pin the original two-stream contract above, and these pin the fused
+/// single-stream derivation the population-scale fast path runs on. Drift means the v2
+/// contract changed — review it, and if intended re-commit the printed actual values.
+const V2_DIGESTS: [u64; 3] = [
+    0xcb9f_3f96_ef72_fdf4,
+    0x6f64_c2af_a705_6325,
+    0x4f8a_3889_a0c9_e718,
+];
+
+#[test]
+fn v2_population_and_selection_digests_match_committed_values() {
+    let spec = PopulationSpec::scale_default(4_096, 2_020).with_version(SpecVersion::V2);
+    let population = NodePopulation::new(spec).expect("valid spec");
+    let mut theta_digest = FNV_OFFSET;
+    let mut profile_digest = FNV_OFFSET;
+    for i in 0..population.len() {
+        theta_digest = fold_bits(theta_digest, population.theta(i));
+        for round in 0..3 {
+            let p = population.profile(i, round);
+            profile_digest = fold_bits(profile_digest, p.cpu_cores);
+            profile_digest = fold_bits(profile_digest, p.bandwidth_mbps);
+            profile_digest = fold_bits(profile_digest, p.data_size);
+        }
+    }
+    let config = ScaleConfig::quick().with_spec_version(SpecVersion::V2);
+    let game = ScaleGame::new(5_000, &config).expect("game builds");
+    let stage = game
+        .run_streamed(&RoundEngine::inline(), &config)
+        .expect("streamed round");
+    let mut selection_digest = FNV_OFFSET;
+    for w in &stage.winners {
+        selection_digest = fold_word(selection_digest, w.node.0);
+        selection_digest = fold_bits(selection_digest, w.score);
+        selection_digest = fold_bits(selection_digest, w.payment);
+    }
+    let actual = [theta_digest, profile_digest, selection_digest];
+    assert_eq!(
+        actual, V2_DIGESTS,
+        "v2 goldens drifted (θ, profile, selection) — actual {actual:#x?}; if the change is \
+         intended, update V2_DIGESTS in tests/golden.rs"
+    );
+}
 
 #[test]
 fn every_registry_entry_matches_its_committed_fingerprint() {

@@ -900,3 +900,215 @@ fn psi_fill_probability_log_space_matches_direct_form() {
     assert!(low.is_finite() && (0.0..=1.0).contains(&low));
     assert!(psi_fill_probability(1_000_000, 64, 0.9) >= at_scale - 1e-12);
 }
+
+/// The scale game's tabulated solver at the population's θ support — the property twin of
+/// the `ScaleGame` construction, sized down for per-case tabulation.
+fn population_solver(n: usize) -> EquilibriumSolver {
+    EquilibriumSolver::builder()
+        .scoring(Additive::new(vec![0.4, 0.3, 0.3]).unwrap())
+        .cost(LinearCost::new(vec![0.3, 0.3, 0.4]).unwrap())
+        .theta(UniformDist::new(0.1, 0.9).unwrap())
+        .bounds(vec![(0.0, 1.0); 3])
+        .population(n)
+        .winners(8.min(n))
+        .grid_size(64)
+        .build()
+        .unwrap()
+}
+
+/// The fused `bid_into` is **bit-identical** to the decomposed
+/// `theta` → `quality_into` → `tabulated_bid_into` sequence under both stream contracts —
+/// the v1 guarantee that made the fusion safe for committed goldens, and the v2 guarantee
+/// that the single-stream fast path computes the same bid the decomposed accessors
+/// describe. `materialize` must agree on θ as well.
+#[test]
+fn bid_into_is_bit_identical_to_decomposed_derivation() {
+    use fmore::mec::population::{NodePopulation, PopulationSpec, SpecVersion};
+    let strategy = Tuple3(
+        UsizeRange::new(1, 200),
+        UsizeRange::new(0, 5),
+        UsizeRange::new(0, 100_000),
+    );
+    check(&Config::seeded(0xD1), &strategy, |(n, round, seed)| {
+        let solver = population_solver(*n);
+        let round = *round as u64;
+        for version in [SpecVersion::V1, SpecVersion::V2] {
+            let spec = PopulationSpec::scale_default(*n, *seed as u64).with_version(version);
+            let population = NodePopulation::new(spec).map_err(|e| e.to_string())?;
+            let (mut cap, mut qual) = (Vec::new(), Vec::new());
+            let (mut cap2, mut qual2) = (Vec::new(), Vec::new());
+            for i in (0..*n).step_by(1 + n / 16) {
+                let ask = population
+                    .bid_into(i, round, &solver, &mut cap, &mut qual)
+                    .map_err(|e| e.to_string())?;
+                let theta = population.theta(i);
+                population.quality_into(i, round, &mut cap2);
+                let ask2 = solver
+                    .tabulated_bid_into(theta, &cap2, &mut qual2)
+                    .map_err(|e| e.to_string())?;
+                ensure(
+                    population.materialize(i).theta().to_bits() == theta.to_bits(),
+                    || format!("{version:?}: materialize θ drifted at node {i}"),
+                )?;
+                ensure(ask.to_bits() == ask2.to_bits(), || {
+                    format!("{version:?}: fused ask {ask} != decomposed {ask2} at node {i}")
+                })?;
+                ensure(
+                    cap.iter()
+                        .map(|v| v.to_bits())
+                        .eq(cap2.iter().map(|v| v.to_bits())),
+                    || format!("{version:?}: capacity drifted at node {i}: {cap:?} vs {cap2:?}"),
+                )?;
+                ensure(
+                    qual.iter()
+                        .map(|v| v.to_bits())
+                        .eq(qual2.iter().map(|v| v.to_bits())),
+                    || format!("{version:?}: quality drifted at node {i}: {qual:?} vs {qual2:?}"),
+                )?;
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The sharded columnar bid path — `bid_range_into_store` with its batched grid lookup
+/// and SIMD-tiered derivation passes — appends exactly the bids the per-node
+/// `bid_into` + `push_trusted` loop would, bit-for-bit, under both stream contracts and
+/// across shard-boundary range shapes.
+#[test]
+fn bid_range_into_store_matches_per_node_bids_bitwise() {
+    use fmore::auction::BidStore;
+    use fmore::mec::population::{NodePopulation, PopulationSpec, SpecVersion};
+    let strategy = Tuple3(
+        UsizeRange::new(1, 300),
+        UsizeRange::new(0, 3),
+        UsizeRange::new(0, 100_000),
+    );
+    check(&Config::seeded(0xD2), &strategy, |(n, round, seed)| {
+        let solver = population_solver(*n);
+        let round = *round as u64;
+        for version in [SpecVersion::V1, SpecVersion::V2] {
+            let spec = PopulationSpec::scale_default(*n, *seed as u64).with_version(version);
+            let population = NodePopulation::new(spec).map_err(|e| e.to_string())?;
+            // Cover an empty range, a mid-range shard, and the full population.
+            for range in [0..0, n / 3..(2 * n / 3).max(n / 3), 0..*n] {
+                let mut streamed = BidStore::with_dims(3);
+                population
+                    .bid_range_into_store(range.clone(), round, &solver, &mut streamed)
+                    .map_err(|e| e.to_string())?;
+                let mut reference = BidStore::with_dims(3);
+                let (mut cap, mut qual) = (Vec::new(), Vec::new());
+                for i in range.clone() {
+                    let ask = population
+                        .bid_into(i, round, &solver, &mut cap, &mut qual)
+                        .map_err(|e| e.to_string())?;
+                    reference.push_trusted(NodeId(i as u64), &qual, ask);
+                }
+                ensure(streamed.len() == reference.len(), || {
+                    format!(
+                        "{version:?} {range:?}: {} bids vs {}",
+                        streamed.len(),
+                        reference.len()
+                    )
+                })?;
+                for j in 0..streamed.len() {
+                    ensure(
+                        streamed.node(j) == reference.node(j)
+                            && streamed.ask(j).to_bits() == reference.ask(j).to_bits()
+                            && streamed
+                                .quality(j)
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .eq(reference.quality(j).iter().map(|v| v.to_bits())),
+                        || format!("{version:?} {range:?}: bid {j} drifted"),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The SIMD-dispatched batch-scoring kernels agree **bit-for-bit** with their scalar
+/// cores at every vector-boundary length (empty, sub-lane, exact-lane, lane+1 for both
+/// 4- and 8-wide tiles) across the scoring families — the lengths where remainder-loop
+/// bugs live. The undispatched families are checked against the per-bid path at the same
+/// lengths.
+#[test]
+fn simd_score_batch_matches_scalar_cores_at_boundary_lengths() {
+    const LENGTHS: [usize; 8] = [0, 1, 3, 4, 5, 7, 8, 9];
+    let strategy = UsizeRange::new(0, 100_000);
+    check(&Config::seeded(0xD3), &strategy, |seed| {
+        let mut rng = fmore::numerics::seeded_rng(*seed as u64);
+        use rand::Rng;
+        for &len in &LENGTHS {
+            for dims in [2usize, 3] {
+                let qualities: Vec<f64> =
+                    (0..len * dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let asks: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0..2.0)).collect();
+                let weights = &[0.4, 0.3, 0.3][..dims];
+                let mut dispatched = vec![0.0; len];
+                let mut scalar = vec![0.0; len];
+
+                let additive = Additive::new(weights.to_vec()).unwrap();
+                additive.score_batch(&qualities, &asks, &mut dispatched);
+                additive.score_batch_scalar(&qualities, &asks, &mut scalar);
+                ensure(
+                    dispatched
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .eq(scalar.iter().map(|v| v.to_bits())),
+                    || format!("additive len={len} dims={dims}: {dispatched:?} vs {scalar:?}"),
+                )?;
+
+                for exponents in [vec![1.0; dims], vec![0.5; dims]] {
+                    let cobb = CobbDouglas::with_scale(25.0, exponents.clone()).unwrap();
+                    cobb.score_batch(&qualities, &asks, &mut dispatched);
+                    cobb.score_batch_scalar(&qualities, &asks, &mut scalar);
+                    ensure(
+                        dispatched
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .eq(scalar.iter().map(|v| v.to_bits())),
+                        || {
+                            format!(
+                                "cobb-douglas {exponents:?} len={len} dims={dims}: \
+                                 {dispatched:?} vs {scalar:?}"
+                            )
+                        },
+                    )?;
+                }
+
+                // Undispatched families: batch vs per-bid at the same boundary lengths.
+                let comp = ScoringRule::new(PerfectComplementary::new(weights.to_vec()).unwrap());
+                let norm = ScoringRule::new(
+                    NormalizedScoring::new(
+                        Additive::new(weights.to_vec()).unwrap(),
+                        vec![(0.0, 1.0); dims],
+                    )
+                    .unwrap(),
+                );
+                for (name, rule) in [("complementary", &comp), ("normalized", &norm)] {
+                    rule.score_batch(&qualities, &asks, &mut dispatched)
+                        .map_err(|e| e.to_string())?;
+                    for i in 0..len {
+                        let per_bid = rule
+                            .score(
+                                &Quality::new(qualities[i * dims..(i + 1) * dims].to_vec()),
+                                asks[i],
+                            )
+                            .map_err(|e| e.to_string())?;
+                        ensure(dispatched[i].to_bits() == per_bid.to_bits(), || {
+                            format!(
+                                "{name} len={len} dims={dims} bid {i}: batch {} vs per-bid \
+                                 {per_bid}",
+                                dispatched[i]
+                            )
+                        })?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
