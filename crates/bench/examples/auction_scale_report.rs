@@ -1,9 +1,9 @@
 //! Emits `BENCH_auction_scale.json` — the committed perf-trajectory record of the
 //! population-scale auction core. Re-times the same rounds as `benches/auction_scale.rs`
 //! with plain `Instant` loops (min-of-N, far more stable across CI machines than means) and
-//! writes one JSON document with per-`N` streamed selection times, the dense twin where it
-//! is still reasonable to materialise, and the peak resident bid bytes of each streamed
-//! round.
+//! writes one JSON document with per-`N` streamed selection times under **both** population
+//! stream contracts (v1 two-stream, v2 fused single-stream), the dense twin where it is
+//! still reasonable to materialise, and the peak resident bid bytes of each streamed round.
 //!
 //! ```bash
 //! cargo run --release -p fmore-bench --example auction_scale_report -- BENCH_auction_scale.json
@@ -11,13 +11,47 @@
 //!
 //! Regenerate (and re-commit) after any change to the bid store, the tie-break keys, the
 //! bounded selector, or the sharded collection stage, so the repository tracks how each PR
-//! moved the selection path. The ISSUE acceptance gate is asserted at the bottom: a
-//! 1,000,000-bidder round (bid generation + scoring + top-K selection, K = 64) must finish
-//! in under 2 s single-threaded.
+//! moved the selection path. Acceptance gates asserted at the bottom: a 1,000,000-bidder
+//! round (bid generation + scoring + top-K selection, K = 64) under 2 s single-threaded, a
+//! 10,000,000-bidder round under 20 s, and — the memory story — peak resident bid bytes
+//! **identical** across every streamed row of both contracts (the 8192-bid shard, not the
+//! population, is the footprint).
 
 use fmore_bench::timing::{min_time_ns as time_ns, schema_string, write_report};
 use fmore_fl::engine::RoundEngine;
+use fmore_mec::population::SpecVersion;
 use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
+
+fn streamed_rows(
+    config: &ScaleConfig,
+    engine: &RoundEngine,
+    points: &[(usize, usize)],
+) -> Vec<(usize, u128, usize)> {
+    points
+        .iter()
+        .map(|&(n, samples)| {
+            let game = ScaleGame::new(n, config).expect("scale game builds");
+            let mut peak_bytes = 0usize;
+            let ns = time_ns(1, samples, || {
+                let stage = game.run_streamed(engine, config).expect("round runs");
+                peak_bytes = stage.peak_bid_bytes;
+                assert_eq!(stage.winners.len(), 64);
+            });
+            (n, ns, peak_bytes)
+        })
+        .collect()
+}
+
+fn push_streamed_section(json: &mut String, key: &str, rows: &[(usize, u128, usize)]) {
+    json.push_str(&format!("  \"{key}\": {{\n"));
+    for (i, (n, ns, peak)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"n_{n}\": {{ \"ns\": {ns}, \"peak_bid_bytes\": {peak} }}{comma}\n"
+        ));
+    }
+    json.push_str("  },\n");
+}
 
 fn main() {
     let out_path = std::env::args()
@@ -25,20 +59,16 @@ fn main() {
         .unwrap_or_else(|| "BENCH_auction_scale.json".to_string());
 
     let config = ScaleConfig::paper();
+    let config_v2 = ScaleConfig::paper().with_spec_version(SpecVersion::V2);
     let engine = RoundEngine::inline();
 
-    // --- Streamed rounds, single-threaded, N from 1e4 to 1e6. ---
-    let mut streamed = Vec::new();
-    for (n, samples) in [(10_000usize, 20), (100_000, 10), (1_000_000, 5)] {
-        let game = ScaleGame::new(n, &config).expect("scale game builds");
-        let mut peak_bytes = 0usize;
-        let ns = time_ns(2, samples, || {
-            let stage = game.run_streamed(&engine, &config).expect("round runs");
-            peak_bytes = stage.peak_bid_bytes;
-            assert_eq!(stage.winners.len(), 64);
-        });
-        streamed.push((n, ns, peak_bytes));
-    }
+    // --- Streamed rounds, single-threaded: v1 from 1e4 to 1e7, v2 at the heavy sizes. ---
+    let streamed = streamed_rows(
+        &config,
+        &engine,
+        &[(10_000, 20), (100_000, 10), (1_000_000, 5), (10_000_000, 3)],
+    );
+    let streamed_v2 = streamed_rows(&config_v2, &engine, &[(1_000_000, 5), (10_000_000, 3)]);
 
     // --- Dense twins where materialising the population is still reasonable. ---
     let mut dense = Vec::new();
@@ -56,19 +86,13 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"schema\": \"{}\",\n",
-        schema_string("auction-scale", 1)
+        schema_string("auction-scale", 2)
     ));
     json.push_str(
-        "  \"note\": \"min-of-N wall-clock of one selection round (bid generation + scoring + top-K, K=64), single-threaded; regenerate with `cargo run --release -p fmore-bench --example auction_scale_report`\",\n",
+        "  \"note\": \"min-of-N wall-clock of one selection round (bid generation + scoring + top-K, K=64), single-threaded, under the v1 and v2 population stream contracts; regenerate with `cargo run --release -p fmore-bench --example auction_scale_report`\",\n",
     );
-    json.push_str("  \"streamed_round\": {\n");
-    for (i, (n, ns, peak)) in streamed.iter().enumerate() {
-        let comma = if i + 1 < streamed.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    \"n_{n}\": {{ \"ns\": {ns}, \"peak_bid_bytes\": {peak} }}{comma}\n"
-        ));
-    }
-    json.push_str("  },\n");
+    push_streamed_section(&mut json, "streamed_round", &streamed);
+    push_streamed_section(&mut json, "streamed_round_v2", &streamed_v2);
     json.push_str("  \"dense_round\": {\n");
     for (i, (n, ns)) in dense.iter().enumerate() {
         let comma = if i + 1 < dense.len() { "," } else { "" };
@@ -78,17 +102,41 @@ fn main() {
     json.push_str("}\n");
 
     write_report(&out_path, &json);
-    let (_, million_ns, million_peak) = streamed[streamed.len() - 1];
+    let row = |rows: &[(usize, u128, usize)], n: usize| {
+        rows.iter()
+            .find(|r| r.0 == n)
+            .copied()
+            .expect("row was timed")
+    };
+    let (_, million_ns, million_peak) = row(&streamed, 1_000_000);
+    let (_, ten_million_ns, _) = row(&streamed, 10_000_000);
     let million_secs = million_ns as f64 / 1e9;
+    let ten_million_secs = ten_million_ns as f64 / 1e9;
     eprintln!(
-        "wrote {out_path} (1e6-bidder round: {million_secs:.3}s, peak {million_peak} bid bytes)"
+        "wrote {out_path} (1e6 round: {million_secs:.3}s, 1e7 round: {ten_million_secs:.3}s, \
+         v2 1e7: {:.3}s, peak {million_peak} bid bytes)",
+        row(&streamed_v2, 10_000_000).1 as f64 / 1e9
     );
-    // The ISSUE acceptance gate: a million-bidder round in under 2 s single-threaded, with
-    // shard-scale (not population-scale) transient bid memory.
+
+    // Acceptance gates. First the wall-clock trajectory...
     assert!(
         million_secs < 2.0,
         "1e6-bidder selection round regressed past the 2s acceptance gate ({million_secs:.3}s)"
     );
+    assert!(
+        ten_million_secs < 20.0,
+        "1e7-bidder selection round regressed past the 20s acceptance gate ({ten_million_secs:.3}s)"
+    );
+    // ...then the memory story: every streamed row of both contracts holds the identical
+    // shard-scale peak — growing the population 1000x (or switching stream contract) must
+    // not move resident bid memory at all.
+    for (n, _, peak) in streamed.iter().chain(&streamed_v2) {
+        assert_eq!(
+            *peak, million_peak,
+            "streamed peak bid bytes drifted at n={n}: {peak} != {million_peak} — the flat \
+             memory contract of the 8192-bid shard is broken"
+        );
+    }
     assert!(
         million_peak < 1_000_000 * 48 / 10,
         "streamed peak bid bytes ({million_peak}) is no longer an order of magnitude below a dense store"

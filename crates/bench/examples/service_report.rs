@@ -1,0 +1,177 @@
+//! Emits `BENCH_service.json` — the committed throughput/tail-latency record of the
+//! always-on [`fmore_fl::service::AuctionService`] under synthetic multi-tenant traffic.
+//!
+//! The workload is the soak fleet of `fmore_sim::experiments::service_soak`: concurrent
+//! jobs of mixed schemes (FMore top-K and ψ-FMore) and mixed population stream contracts
+//! (v1 and v2), each driven from its own OS thread through the service's bounded
+//! request/drain interface, all multiplexed on one shared worker pool. Every round is a
+//! full streamed auction (bid derivation → sharded scoring → bounded top-K → payments)
+//! plus the per-winner synthetic work fan-out, so "rounds per second" measures the real
+//! service path, not an empty queue.
+//!
+//! ```bash
+//! cargo run --release -p fmore-bench --example service_report -- BENCH_service.json
+//! ```
+//!
+//! The acceptance gate is asserted at the bottom: ≥ 1,000 aggregate rounds/sec across the
+//! 8-job fleet, with p50/p99 per-round latency recorded. `FMORE_BENCH_QUICK=1` shrinks the
+//! round count for CI smoke runs (the gate still applies).
+
+use fmore_bench::timing::{hardware_threads, quick_mode, schema_string, write_report};
+use fmore_fl::engine::RoundEngine;
+use fmore_fl::service::{AuctionService, ServiceConfig};
+use fmore_sim::experiments::service_soak::{job_specs, SoakConfig};
+use std::time::Instant;
+
+struct FleetResult {
+    jobs: usize,
+    rounds_total: usize,
+    elapsed_ns: u128,
+    rounds_per_sec: f64,
+    p50_ns: u128,
+    p99_ns: u128,
+}
+
+fn percentile(sorted: &[u128], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drives `jobs` concurrent tenants for `rounds_per_job` rounds each and measures the
+/// aggregate throughput plus the distribution of individual round latencies.
+fn drive_fleet(config: &SoakConfig, rounds_per_job: usize) -> FleetResult {
+    let specs = job_specs(config).expect("soak specs build");
+    let service = AuctionService::with_engine(
+        ServiceConfig {
+            max_jobs: config.jobs,
+            max_pending: 4,
+        },
+        RoundEngine::default(),
+    );
+    let ids: Vec<_> = specs
+        .into_iter()
+        .map(|spec| service.admit(spec).expect("admission"))
+        .collect();
+
+    let started = Instant::now();
+    let mut latencies: Vec<u128> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds_per_job);
+                    for _ in 0..rounds_per_job {
+                        let t0 = Instant::now();
+                        service.request_round(id).expect("queue has room");
+                        service.run_pending(id).expect("round runs");
+                        lat.push(t0.elapsed().as_nanos());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("driver thread survives"))
+            .collect()
+    });
+    let elapsed_ns = started.elapsed().as_nanos();
+
+    // Every requested round actually ran and succeeded.
+    for &id in &ids {
+        let history = service.history(id).expect("job is live");
+        assert_eq!(history.completed(), rounds_per_job);
+        assert_eq!(history.failed(), 0);
+    }
+
+    latencies.sort_unstable();
+    let rounds_total = latencies.len();
+    FleetResult {
+        jobs: config.jobs,
+        rounds_total,
+        elapsed_ns,
+        rounds_per_sec: rounds_total as f64 / (elapsed_ns as f64 / 1e9),
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let quick = quick_mode();
+    let rounds_per_job = if quick { 150 } else { 600 };
+
+    let base = SoakConfig {
+        jobs: 8,
+        rounds: rounds_per_job,
+        population: 2_048,
+        shard_size: 512,
+        winners: 16,
+        reserve: 16,
+        grid_size: 64,
+        seed: 9_090,
+    };
+    let duo = SoakConfig { jobs: 2, ..base };
+
+    // Warm the shared pool and populations once, then measure.
+    drive_fleet(&duo, 5.min(rounds_per_job));
+    let fleets = [
+        drive_fleet(&duo, rounds_per_job),
+        drive_fleet(&base, rounds_per_job),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        schema_string("service", 1)
+    ));
+    json.push_str(
+        "  \"note\": \"aggregate throughput and per-round latency of the multi-tenant AuctionService: N concurrent mixed-scheme jobs (v1+v2 stream contracts, FMore and psi-FMore), one OS driver thread per job, one shared worker pool; every round is a full streamed auction plus winner-work fan-out; regenerate with `cargo run --release -p fmore-bench --example service_report`\",\n",
+    );
+    json.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        hardware_threads()
+    ));
+    json.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{ \"population\": {}, \"shard_size\": {}, \"winners\": {}, \"rounds_per_job\": {rounds_per_job} }},\n",
+        base.population, base.shard_size, base.winners
+    ));
+    for (i, fleet) in fleets.iter().enumerate() {
+        let comma = if i + 1 < fleets.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  \"jobs_{}\": {{ \"rounds_total\": {}, \"elapsed_ns\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {} }}{comma}\n",
+            fleet.jobs,
+            fleet.rounds_total,
+            fleet.elapsed_ns,
+            fleet.rounds_per_sec,
+            fleet.p50_ns,
+            fleet.p99_ns
+        ));
+    }
+    json.push_str("}\n");
+
+    write_report(&out_path, &json);
+    let eight = &fleets[1];
+    eprintln!(
+        "wrote {out_path} ({} jobs: {:.0} rounds/sec, p50 {:.2}ms, p99 {:.2}ms)",
+        eight.jobs,
+        eight.rounds_per_sec,
+        eight.p50_ns as f64 / 1e6,
+        eight.p99_ns as f64 / 1e6
+    );
+    // The ISSUE acceptance gate: at least a thousand synthetic rounds/sec aggregate across
+    // the 8-job fleet, even in quick mode on a single hardware thread.
+    assert!(
+        eight.rounds_per_sec >= 1_000.0,
+        "service throughput regressed below the 1000 rounds/sec gate ({:.1} rounds/sec)",
+        eight.rounds_per_sec
+    );
+}

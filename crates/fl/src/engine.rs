@@ -144,12 +144,45 @@ impl RoundEngine {
     /// Runs the tasks under the configured mode, returning results in submission order in
     /// every mode.
     ///
+    /// This is the legacy batch-driver entry point; service-facing stages go through
+    /// [`RoundEngine::try_run_tasks`] instead, where a panicking task becomes a typed
+    /// [`FlError::JobPanic`] on the submitting round rather than a process abort.
+    ///
     /// # Panics
     ///
     /// Panics if a task panics.
     pub fn run_tasks<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Vec<T> {
+        self.run_tasks_checked(tasks)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(value) => value,
+                Err(marker) => panic!("{marker}"),
+            })
+            .collect()
+    }
+
+    /// Runs the tasks under the configured mode, returning each slot's fate **in submission
+    /// order** in every mode: `Ok` with the task's value, or the [`JobPanic`] marker of a
+    /// task that panicked. Panics never propagate, never kill pool workers, and never mask
+    /// sibling results — the checked twin of [`RoundEngine::run_tasks`], routed through
+    /// [`WorkerPool::run_indexed_checked`] on pooled engines.
+    pub fn run_tasks_checked<T: Send + 'static>(
+        &self,
+        tasks: Vec<Task<T>>,
+    ) -> Vec<Result<T, JobPanic>> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let caught = |slot: usize, payload: Box<dyn std::any::Any + Send>| JobPanic {
+            slot,
+            message: crate::executor::panic_message(payload),
+        };
         match self.mode {
-            ExecutionMode::Inline => tasks.into_iter().map(|task| task()).collect(),
+            ExecutionMode::Inline => tasks
+                .into_iter()
+                .enumerate()
+                .map(|(slot, task)| {
+                    catch_unwind(AssertUnwindSafe(task)).map_err(|p| caught(slot, p))
+                })
+                .collect(),
             ExecutionMode::SpawnPerRound => {
                 let handles: Vec<JoinHandle<T>> = tasks
                     .into_iter()
@@ -157,15 +190,32 @@ impl RoundEngine {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("a spawned task panicked"))
+                    .enumerate()
+                    .map(|(slot, h)| h.join().map_err(|p| caught(slot, p)))
                     .collect()
             }
             ExecutionMode::Pooled => self
                 .pool
                 .as_ref()
                 .expect("pooled engine always has a pool")
-                .run_indexed(tasks),
+                .run_indexed_checked(tasks),
         }
+    }
+
+    /// Runs the tasks checked and returns all results, or the **first** panic as a typed
+    /// [`FlError::JobPanic`] — the error-not-panic entry point of every service-facing
+    /// fan-out. Sibling tasks still run to completion before the error is returned (the
+    /// executor delivers every healthy slot), so a poisoned round never leaves stray work
+    /// behind on the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::JobPanic`] naming the first panicked slot.
+    pub fn try_run_tasks<T: Send + 'static>(&self, tasks: Vec<Task<T>>) -> Result<Vec<T>, FlError> {
+        self.run_tasks_checked(tasks)
+            .into_iter()
+            .map(|slot| slot.map_err(FlError::from))
+            .collect()
     }
 }
 
@@ -312,8 +362,10 @@ pub struct StreamedAuction {
 ///
 /// # Errors
 ///
-/// Propagates malformed-bid and invalid-game failures, and [`AuctionError::NoBids`] when
-/// the population streamed zero bids.
+/// Propagates malformed-bid and invalid-game failures as [`FlError::Auction`]
+/// ([`AuctionError::NoBids`] when the population streamed zero bids), and surfaces a
+/// panicking fill/scoring/selection task as [`FlError::JobPanic`] — the round fails, the
+/// process and every sibling job's wave survive.
 #[allow(clippy::too_many_arguments)]
 pub fn auction_select_streamed<R, F, G>(
     auction: &Auction,
@@ -324,7 +376,7 @@ pub fn auction_select_streamed<R, F, G>(
     fill: Arc<G>,
     rng: &mut R,
     mut map_award: F,
-) -> Result<StreamedAuction, AuctionError>
+) -> Result<StreamedAuction, FlError>
 where
     R: Rng + ?Sized,
     G: Fn(std::ops::Range<usize>, &mut BidStore) -> Result<(), AuctionError>
@@ -336,7 +388,7 @@ where
 {
     let k = auction.winners_per_round();
     if k == 0 || !auction.selection_rule().is_valid() {
-        return Err(AuctionError::InvalidGame { n: population, k });
+        return Err(AuctionError::InvalidGame { n: population, k }.into());
     }
     let shard_size = shard_size.max(1);
     let dims = auction.scoring_rule().dims();
@@ -380,7 +432,7 @@ where
             .collect();
         let mut stores = Vec::with_capacity(wave.len());
         let mut wave_bytes = 0usize;
-        for result in engine.run_tasks(tasks) {
+        for result in engine.try_run_tasks(tasks)? {
             let store = result?;
             wave_bytes += store.resident_bytes();
             stores.push(store);
@@ -409,7 +461,7 @@ where
                         }) as Task<(BidStore, ShardSelection)>
                     })
                     .collect();
-                for (store, selection) in engine.run_tasks(tasks) {
+                for (store, selection) in engine.try_run_tasks(tasks)? {
                     selector.absorb(selection);
                     free.push(store);
                 }
@@ -428,7 +480,7 @@ where
 
     let standing = selector.finish(rng);
     if standing.offered() == 0 {
-        return Err(AuctionError::NoBids);
+        return Err(AuctionError::NoBids.into());
     }
     let awards = auction.award_standing(&standing, k, &[], rng);
     let winners = awards.iter().map(&mut map_award).collect();
@@ -611,15 +663,21 @@ impl TrainingJob {
 
 /// Trains every job on the engine (steps 4–5 of Algorithm 1), returning updates and their
 /// reclaimed slot states in slot order regardless of execution mode or completion order.
+///
+/// # Errors
+///
+/// Returns [`FlError::JobPanic`] when a training task panics — attributed to this round,
+/// with every sibling update still trained (the checked executor delivers healthy slots
+/// before the error surfaces).
 pub fn local_training(
     engine: &RoundEngine,
     jobs: Vec<TrainingJob>,
-) -> Vec<(LocalUpdate, SlotState)> {
+) -> Result<Vec<(LocalUpdate, SlotState)>, FlError> {
     let tasks: Vec<Task<(LocalUpdate, SlotState)>> = jobs
         .into_iter()
         .map(|job| Box::new(move || job.run()) as Task<(LocalUpdate, SlotState)>)
         .collect();
-    engine.run_tasks(tasks)
+    engine.try_run_tasks(tasks)
 }
 
 // ---------------------------------------------------------------------------
@@ -898,7 +956,10 @@ mod tests {
             |_| unreachable!(),
         )
         .unwrap_err();
-        assert!(matches!(err, AuctionError::InvalidGame { .. }));
+        assert!(matches!(
+            err,
+            FlError::Auction(AuctionError::InvalidGame { .. })
+        ));
         // A population that streams zero bids is NoBids, like the dense stage.
         let auction = scale_auction(2);
         let err = auction_select_streamed(
@@ -912,7 +973,79 @@ mod tests {
             |_| unreachable!(),
         )
         .unwrap_err();
-        assert_eq!(err, AuctionError::NoBids);
+        assert_eq!(err, FlError::Auction(AuctionError::NoBids));
+    }
+
+    #[test]
+    fn streamed_selection_surfaces_fill_panics_as_typed_errors() {
+        let auction = scale_auction(4);
+        let fill = Arc::new(|range: std::ops::Range<usize>, store: &mut BidStore| {
+            for i in range {
+                assert!(i < 96, "mid-churn population vanished");
+                let (node, q, ask) = synthetic_bid(i);
+                store.push(node, &q, ask)?;
+            }
+            Ok(())
+        });
+        for engine in [
+            RoundEngine::inline(),
+            RoundEngine::spawn_per_round(),
+            RoundEngine::pooled(2),
+        ] {
+            let err = auction_select_streamed(
+                &auction,
+                128,
+                32,
+                4,
+                &engine,
+                Arc::clone(&fill),
+                &mut seeded_rng(5),
+                |_| unreachable!("no winners from a failed round"),
+            )
+            .unwrap_err();
+            match err {
+                FlError::JobPanic(marker) => {
+                    assert!(marker.message.contains("mid-churn"), "{marker}");
+                }
+                other => panic!("expected JobPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checked_engine_modes_agree_and_attribute_panics_per_slot() {
+        let make = || -> Vec<Task<usize>> {
+            (0..8usize)
+                .map(|i| {
+                    Box::new(move || {
+                        assert!(i != 5, "slot five dies");
+                        i * 10
+                    }) as Task<usize>
+                })
+                .collect()
+        };
+        for engine in [
+            RoundEngine::inline(),
+            RoundEngine::spawn_per_round(),
+            RoundEngine::pooled(3),
+        ] {
+            let fates = engine.run_tasks_checked(make());
+            assert_eq!(fates.len(), 8);
+            for (i, fate) in fates.iter().enumerate() {
+                match fate {
+                    Ok(v) => assert_eq!(*v, i * 10),
+                    Err(marker) => {
+                        assert_eq!(i, 5, "only slot five panics");
+                        assert_eq!(marker.slot, 5);
+                    }
+                }
+            }
+            let err = engine.try_run_tasks(make()).unwrap_err();
+            assert!(
+                matches!(err, FlError::JobPanic(ref m) if m.slot == 5),
+                "{err}"
+            );
+        }
     }
 
     #[test]

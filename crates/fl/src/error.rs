@@ -3,6 +3,13 @@
 use std::fmt;
 
 /// Error returned by the federated-learning substrate.
+///
+/// This is the one typed error family of every service-facing path: a malformed job, a
+/// mid-churn population, or a panicking training/scoring task must fail **that job's
+/// round** — never the process. Parallel-stage panics are caught at the executor and
+/// surface here as [`FlError::JobPanic`]; the service-layer variants
+/// ([`FlError::UnknownJob`], [`FlError::AdmissionFull`], [`FlError::Backpressure`]) are the
+/// admission/backpressure contract of [`crate::service::AuctionService`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlError {
     /// Invalid training configuration (zero clients, `K > N`, zero rounds, …).
@@ -11,6 +18,24 @@ pub enum FlError {
     UnknownClient(usize),
     /// The auction used by FMore selection failed.
     Auction(fmore_auction::AuctionError),
+    /// A parallel task of one round panicked; caught at the executor and attributed to the
+    /// round that submitted it, with every sibling slot still delivered.
+    JobPanic(crate::executor::JobPanic),
+    /// The service has no job under this id (never admitted, or already closed).
+    UnknownJob(u64),
+    /// Admission refused: the service is already at its concurrent-job capacity.
+    AdmissionFull {
+        /// The service's configured job capacity.
+        capacity: usize,
+    },
+    /// A job's bounded round queue is full — the caller must drain (run) pending rounds
+    /// before requesting more.
+    Backpressure {
+        /// The job whose queue is full.
+        job: u64,
+        /// Rounds already pending for that job.
+        pending: usize,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -19,6 +44,17 @@ impl fmt::Display for FlError {
             FlError::InvalidConfig(msg) => write!(f, "invalid federated-learning config: {msg}"),
             FlError::UnknownClient(idx) => write!(f, "unknown client index {idx}"),
             FlError::Auction(e) => write!(f, "auction failure: {e}"),
+            FlError::JobPanic(p) => write!(f, "round task panicked: {p}"),
+            FlError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            FlError::AdmissionFull { capacity } => {
+                write!(f, "admission refused: service already runs {capacity} jobs")
+            }
+            FlError::Backpressure { job, pending } => {
+                write!(
+                    f,
+                    "backpressure: job {job} already has {pending} pending rounds"
+                )
+            }
         }
     }
 }
@@ -35,6 +71,12 @@ impl std::error::Error for FlError {
 impl From<fmore_auction::AuctionError> for FlError {
     fn from(e: fmore_auction::AuctionError) -> Self {
         FlError::Auction(e)
+    }
+}
+
+impl From<crate::executor::JobPanic> for FlError {
+    fn from(p: crate::executor::JobPanic) -> Self {
+        FlError::JobPanic(p)
     }
 }
 
@@ -55,6 +97,25 @@ mod tests {
         let e: FlError = inner.into();
         assert!(e.to_string().contains("no bids"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn service_variants_render_their_context() {
+        let e: FlError = crate::executor::JobPanic {
+            slot: 3,
+            message: "boom".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("slot 3"));
+        assert!(e.to_string().contains("boom"));
+
+        assert!(FlError::UnknownJob(9).to_string().contains('9'));
+        assert!(FlError::AdmissionFull { capacity: 4 }
+            .to_string()
+            .contains('4'));
+        let e = FlError::Backpressure { job: 2, pending: 8 };
+        assert!(e.to_string().contains("job 2"));
+        assert!(e.to_string().contains("8 pending"));
     }
 
     #[test]

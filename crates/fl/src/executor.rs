@@ -93,7 +93,7 @@ impl std::fmt::Display for JobPanic {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -505,6 +505,12 @@ impl WorkerPool {
     /// order is independent of completion order — determinism by construction rather than
     /// by an after-the-fact sort. When called from inside a pool worker (a nested fan-out)
     /// the tasks run inline on the calling thread, which keeps the pool deadlock-free.
+    ///
+    /// This re-raising wrapper exists for batch drivers that own the whole process (sweep
+    /// examples, benches). Service-facing paths never call it: every round-pipeline
+    /// fan-out goes through [`WorkerPool::run_indexed_checked`] (via
+    /// `RoundEngine::try_run_tasks`), where a panic becomes a typed error on the
+    /// submitting job's round instead of an abort.
     ///
     /// # Panics
     ///

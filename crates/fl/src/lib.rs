@@ -41,6 +41,7 @@ pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod selection;
+pub mod service;
 pub mod trainer;
 
 pub use aggregator::{federated_average, federated_average_into};
@@ -51,4 +52,5 @@ pub use error::FlError;
 pub use executor::JobPanic;
 pub use metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;
+pub use service::{AuctionService, JobHistory, JobId, JobSpec, RoundSummary, ServiceConfig};
 pub use trainer::FederatedTrainer;

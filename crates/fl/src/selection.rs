@@ -109,10 +109,11 @@ mod tests {
 
     #[test]
     fn fixed_first_enumerates_clients() {
-        match SelectionStrategy::fixed_first(3) {
-            SelectionStrategy::Fixed(idx) => assert_eq!(idx, vec![0, 1, 2]),
-            other => panic!("unexpected {other:?}"),
-        }
+        let strategy = SelectionStrategy::fixed_first(3);
+        assert!(
+            matches!(&strategy, SelectionStrategy::Fixed(idx) if *idx == vec![0, 1, 2]),
+            "unexpected {strategy:?}"
+        );
     }
 
     #[test]
@@ -126,11 +127,14 @@ mod tests {
 
     #[test]
     fn psi_fmore_embeds_psi() {
-        match SelectionStrategy::psi_fmore(0.4) {
-            SelectionStrategy::Auction(cfg) => {
-                assert_eq!(cfg.selection, SelectionRule::PsiFMore { psi: 0.4 });
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let strategy = SelectionStrategy::psi_fmore(0.4);
+        assert!(
+            matches!(
+                &strategy,
+                SelectionStrategy::Auction(cfg)
+                    if cfg.selection == SelectionRule::PsiFMore { psi: 0.4 }
+            ),
+            "unexpected {strategy:?}"
+        );
     }
 }

@@ -1,0 +1,360 @@
+//! One tenant of the [`crate::service::AuctionService`]: its specification, its per-round
+//! state, and the history it accumulates.
+//!
+//! A job owns everything mutable it touches during a round — its RNG derivation, its
+//! auction, its round counter, its history. The only shared pieces are immutable
+//! ([`JobSpec::source`], [`JobSpec::work`] behind `Arc`) or explicitly concurrency-safe
+//! (the engine's worker pool, whose per-fan-out slabs are private to the submitting
+//! round). That ownership split is what makes a job's history bit-identical whether it
+//! runs alone or interleaved with noisy neighbours.
+
+use crate::engine::{
+    apply_deadline, auction_select_streamed, ParticipantTiming, RoundEngine, Task,
+};
+use crate::error::FlError;
+use crate::metrics::WinnerInfo;
+use fmore_auction::{Auction, AuctionError, BidStore};
+use fmore_numerics::rng::derive_seed;
+use fmore_numerics::seeded_rng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Identifier of an admitted job, unique for the lifetime of its service.
+pub type JobId = u64;
+
+/// A job's bid stream: called once per shard — on a worker thread for pooled engines —
+/// with the shard's index range, the job's current round, and a recycled columnar
+/// [`BidStore`] to push sealed bids into.
+///
+/// The closure must be a pure function of `(range, round)`: it may capture immutable
+/// population state (or per-thread scratch that is fully rewritten per call), but nothing
+/// mutable shared with other jobs — that contract is what the solo-vs-interleaved
+/// determinism suite enforces.
+pub type BidSource =
+    dyn Fn(Range<usize>, u64, &mut BidStore) -> Result<(), AuctionError> + Send + Sync;
+
+/// Optional per-winner post-selection work (the stand-in for local training in synthetic
+/// service traffic): called as `work(round, slot, winner)` on a worker thread, returning a
+/// scalar folded into [`RoundSummary::work_value`]. A panic inside is caught by the
+/// checked executor path and fails only this job's round.
+pub type WinnerWork = dyn Fn(u64, usize, &WinnerInfo) -> f64 + Send + Sync;
+
+/// Synthetic deadline model for a job: deterministic per-`(seed, round, slot)` completion
+/// times fed through [`apply_deadline`], so a service job exercises the same
+/// survivor/missed partition as the MEC dynamics without owning a churn simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineSpec {
+    /// Round deadline `T` in simulated seconds.
+    pub deadline_secs: f64,
+    /// Nominal completion time of an unhindered winner.
+    pub base_secs: f64,
+    /// Probability a winner is slowed this round.
+    pub straggler_rate: f64,
+    /// Multiplicative slowdown applied to stragglers (`completion = base · (1 + slowdown)`).
+    pub slowdown: f64,
+}
+
+impl DeadlineSpec {
+    /// A deadline loose enough that only stragglers miss it.
+    pub fn lenient() -> Self {
+        Self {
+            deadline_secs: 10.0,
+            base_secs: 5.0,
+            straggler_rate: 0.2,
+            slowdown: 1.5,
+        }
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for `(seed, round, slot)`.
+    fn uniform(seed: u64, round: u64, slot: usize) -> f64 {
+        let h = derive_seed(derive_seed(seed, round), slot as u64 + 1);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn timings(&self, seed: u64, round: u64, winners: usize) -> Vec<ParticipantTiming> {
+        (0..winners)
+            .map(|slot| {
+                let straggler = Self::uniform(seed, round, slot) < self.straggler_rate;
+                let completion_secs = if straggler {
+                    self.base_secs * (1.0 + self.slowdown)
+                } else {
+                    self.base_secs
+                };
+                ParticipantTiming {
+                    slot,
+                    completion_secs,
+                    straggler,
+                    dropped_out: false,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Everything the service needs to run one tenant: population size, auction, stream
+/// geometry, seed, and the job's bid/work closures.
+///
+/// Cloning a spec is cheap (the closures are shared via `Arc`) and yields a job that
+/// replays the exact same history — the determinism suite relies on this to compare solo
+/// and interleaved runs of the same spec.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Human-readable name (reported in histories and soak tables).
+    pub name: String,
+    /// Number of bidder indices streamed per round.
+    pub population: usize,
+    /// Shard width of the bid stream (peak memory is `O(width · shard + K)`).
+    pub shard_size: usize,
+    /// Extra ranked candidates the selector keeps beyond `K` (re-auction reserve).
+    pub reserve: usize,
+    /// The job's auction: scoring rule, `K`, selection rule, pricing rule.
+    pub auction: Auction,
+    /// Root seed; each round derives its own RNG as `derive_seed(seed, round)`.
+    pub seed: u64,
+    /// Optional synthetic deadline model applied to each round's winners.
+    pub deadline: Option<DeadlineSpec>,
+    /// Bound on rounds queued but not yet run (the backpressure knob); `0` means
+    /// "service default".
+    pub max_pending: usize,
+    /// The job's bid stream.
+    pub source: Arc<BidSource>,
+    /// Optional per-winner work.
+    pub work: Option<Arc<WinnerWork>>,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("population", &self.population)
+            .field("shard_size", &self.shard_size)
+            .field("winners", &self.auction.winners_per_round())
+            .field("seed", &self.seed)
+            .field("deadline", &self.deadline)
+            .field("max_pending", &self.max_pending)
+            .finish()
+    }
+}
+
+/// What one successful round produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// The job-local round number (1-based).
+    pub round: u64,
+    /// Bids streamed through the selector.
+    pub offered: usize,
+    /// Post-deadline surviving winners, in selection order.
+    pub winners: Vec<WinnerInfo>,
+    /// Total payment promised to the surviving winners.
+    pub total_payment: f64,
+    /// Winners that missed the deadline (excluded from `winners`).
+    pub deadline_misses: usize,
+    /// Sum of the per-winner work values (0 when the job has no work closure).
+    pub work_value: f64,
+    /// Peak resident bid bytes of the round's streaming stage.
+    pub peak_bid_bytes: usize,
+}
+
+/// One round's outcome in a job's history: a summary, or the typed error that failed the
+/// round (the job itself survives and may run further rounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// The job-local round number (1-based).
+    pub round: u64,
+    /// The round's outcome.
+    pub outcome: Result<RoundSummary, FlError>,
+}
+
+/// The full per-job history: every round ever run, successful or failed, in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobHistory {
+    /// The job's name (from its spec).
+    pub name: String,
+    /// One record per round run.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl JobHistory {
+    /// Number of successful rounds.
+    pub fn completed(&self) -> usize {
+        self.rounds.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Number of failed rounds.
+    pub fn failed(&self) -> usize {
+        self.rounds.len() - self.completed()
+    }
+
+    /// FNV-1a fingerprint over the history's *auction-observable* content: round numbers,
+    /// offered counts, winner nodes/scores/payments bit-for-bit, deadline misses, work
+    /// values, failure messages. [`RoundSummary::peak_bid_bytes`] is deliberately
+    /// excluded — it is memory *accounting* and scales with the engine's parallel width,
+    /// while the fingerprint pins what must be invariant across widths and neighbours.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        for record in &self.rounds {
+            eat(&record.round.to_le_bytes());
+            match &record.outcome {
+                Ok(s) => {
+                    eat(&(s.offered as u64).to_le_bytes());
+                    eat(&s.total_payment.to_bits().to_le_bytes());
+                    eat(&(s.deadline_misses as u64).to_le_bytes());
+                    eat(&s.work_value.to_bits().to_le_bytes());
+                    for w in &s.winners {
+                        eat(&w.node.0.to_le_bytes());
+                        eat(&w.score.to_bits().to_le_bytes());
+                        eat(&w.payment.to_bits().to_le_bytes());
+                    }
+                }
+                Err(e) => eat(e.to_string().as_bytes()),
+            }
+        }
+        h
+    }
+}
+
+/// A live job inside the service: spec + round counter + pending-round queue depth +
+/// accumulated history. All of it is private to the job's own mutex; a round holds no
+/// other lock while it runs.
+#[derive(Debug)]
+pub struct FlJob {
+    spec: JobSpec,
+    round: u64,
+    pending: usize,
+    history: JobHistory,
+}
+
+impl FlJob {
+    pub(super) fn new(spec: JobSpec) -> Self {
+        let history = JobHistory {
+            name: spec.name.clone(),
+            rounds: Vec::new(),
+        };
+        Self {
+            spec,
+            round: 0,
+            pending: 0,
+            history,
+        }
+    }
+
+    pub(super) fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    pub(super) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    pub(super) fn push_pending(&mut self) {
+        self.pending += 1;
+    }
+
+    pub(super) fn pop_pending(&mut self) -> bool {
+        if self.pending == 0 {
+            return false;
+        }
+        self.pending -= 1;
+        true
+    }
+
+    pub(super) fn history(&self) -> &JobHistory {
+        &self.history
+    }
+
+    pub(super) fn into_history(self) -> JobHistory {
+        self.history
+    }
+
+    /// Runs one round and records its outcome in the history. The returned result mirrors
+    /// the recorded outcome; an `Err` means *this round* failed — the job stays usable.
+    pub(super) fn run_round(&mut self, engine: &RoundEngine) -> Result<RoundSummary, FlError> {
+        self.round += 1;
+        let round = self.round;
+        let outcome = self.round_body(round, engine);
+        self.history.rounds.push(RoundRecord {
+            round,
+            outcome: outcome.clone(),
+        });
+        outcome
+    }
+
+    fn round_body(&self, round: u64, engine: &RoundEngine) -> Result<RoundSummary, FlError> {
+        let spec = &self.spec;
+        // Each round's randomness derives from (seed, round) alone, so the stream of
+        // histories is independent of when — or beside whom — the round executes.
+        let mut rng = seeded_rng(derive_seed(spec.seed, round));
+        let source = Arc::clone(&spec.source);
+        let fill =
+            Arc::new(move |range: Range<usize>, store: &mut BidStore| source(range, round, store));
+        let streamed = auction_select_streamed(
+            &spec.auction,
+            spec.population,
+            spec.shard_size,
+            spec.reserve,
+            engine,
+            fill,
+            &mut rng,
+            |award| WinnerInfo {
+                client: award.node.0 as usize,
+                node: award.node,
+                data_size: 1,
+                categories: 1,
+                score: award.score,
+                payment: award.payment,
+            },
+        )?;
+
+        let mut winners = streamed.winners;
+        let mut deadline_misses = 0;
+        if let Some(deadline) = &spec.deadline {
+            let timings = deadline.timings(spec.seed, round, winners.len());
+            let verdict = apply_deadline(&timings, deadline.deadline_secs);
+            deadline_misses = winners.len() - verdict.survivors.len();
+            let mut keep = verdict.survivors.into_iter().peekable();
+            let mut slot = 0usize;
+            winners.retain(|_| {
+                let keep_this = keep.peek() == Some(&slot);
+                if keep_this {
+                    keep.next();
+                }
+                slot += 1;
+                keep_this
+            });
+        }
+
+        let work_value = match &spec.work {
+            Some(work) => {
+                let tasks: Vec<Task<f64>> = winners
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, winner)| {
+                        let work = Arc::clone(work);
+                        let winner = winner.clone();
+                        Box::new(move || work(round, slot, &winner)) as Task<f64>
+                    })
+                    .collect();
+                engine.try_run_tasks(tasks)?.into_iter().sum()
+            }
+            None => 0.0,
+        };
+
+        let total_payment = winners.iter().map(|w| w.payment).sum();
+        Ok(RoundSummary {
+            round,
+            offered: streamed.offered,
+            winners,
+            total_payment,
+            deadline_misses,
+            work_value,
+            peak_bid_bytes: streamed.peak_bid_bytes,
+        })
+    }
+}

@@ -1,0 +1,462 @@
+//! Always-on multi-tenant auction service.
+//!
+//! Every experiment in the workspace so far has been a batch run that owns the process.
+//! [`AuctionService`] is the long-running shape FMore's §I/§VI pitch implies: one shared
+//! work-stealing executor multiplexing many concurrent FL jobs, each with its own
+//! population stream, seed, scheme, `K`, and deadline config.
+//!
+//! # Contract
+//!
+//! * **Admission** — [`AuctionService::admit`] refuses (with
+//!   [`FlError::AdmissionFull`]) once `max_jobs` tenants are live; a slot frees when a job
+//!   is [closed](AuctionService::close).
+//! * **Backpressure** — rounds are *requested* ([`AuctionService::request_round`]) into a
+//!   bounded per-job queue and *drained* ([`AuctionService::run_pending`]) by whatever
+//!   thread the caller dedicates to the job. A full queue returns
+//!   [`FlError::Backpressure`] instead of queueing unboundedly — the service never spawns;
+//!   all parallelism comes from bounded fan-outs on the shared [`WorkerPool`].
+//! * **Isolation** — a round locks only its own job. Bid ingestion reuses the streamed
+//!   selection path (`O(width · shard + K)` peak memory per job, never `O(N)`), and every
+//!   fan-out goes through the checked executor path, so a panicking task in job A surfaces
+//!   as [`FlError::JobPanic`] in *A's* round record while job B's wave — and the process —
+//!   complete untouched.
+//! * **Determinism** — a job's history is a pure function of its [`JobSpec`]: bit-identical
+//!   whether the job runs alone or interleaved with noisy neighbours, at any pool width.
+//!
+//! [`WorkerPool`]: crate::executor::WorkerPool
+
+mod job;
+
+pub use job::{
+    BidSource, DeadlineSpec, FlJob, JobHistory, JobId, JobSpec, RoundRecord, RoundSummary,
+    WinnerWork,
+};
+
+use crate::engine::RoundEngine;
+use crate::error::FlError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Capacity knobs of an [`AuctionService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum concurrently admitted jobs.
+    pub max_jobs: usize,
+    /// Default bound on per-job pending rounds (used when a spec leaves
+    /// [`JobSpec::max_pending`] at `0`).
+    pub max_pending: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_jobs: 64,
+            max_pending: 32,
+        }
+    }
+}
+
+struct ServiceState {
+    jobs: BTreeMap<JobId, Arc<Mutex<FlJob>>>,
+    next: JobId,
+}
+
+/// The long-running multi-tenant auction service. See the [module docs](self) for the
+/// admission/backpressure/isolation contract.
+///
+/// The service itself is `Sync`: callers drive jobs from as many threads as they like.
+/// The jobs table is behind one short-lived mutex (held only for map lookups, never
+/// across a round); each job has its own mutex, so rounds of different jobs genuinely
+/// interleave on the shared pool.
+pub struct AuctionService {
+    engine: RoundEngine,
+    config: ServiceConfig,
+    state: Mutex<ServiceState>,
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked — a service must keep
+/// serving its healthy tenants after one tenant's round dies mid-lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl AuctionService {
+    /// Builds a service on the process-wide shared worker pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_engine(config, RoundEngine::default())
+    }
+
+    /// Builds a service running its rounds on a caller-supplied engine (an inline engine
+    /// for strict single-threaded runs, or a private pool of a chosen width). The engine
+    /// never affects job histories — only wall-clock.
+    pub fn with_engine(config: ServiceConfig, engine: RoundEngine) -> Self {
+        Self {
+            engine,
+            config,
+            state: Mutex::new(ServiceState {
+                jobs: BTreeMap::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// The engine executing this service's rounds.
+    pub fn engine(&self) -> &RoundEngine {
+        &self.engine
+    }
+
+    /// Number of currently admitted jobs.
+    pub fn len(&self) -> usize {
+        lock(&self.state).jobs.len()
+    }
+
+    /// Whether no jobs are admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The service's job capacity.
+    pub fn capacity(&self) -> usize {
+        self.config.max_jobs
+    }
+
+    /// The ids of all live jobs, in admission order.
+    pub fn jobs(&self) -> Vec<JobId> {
+        lock(&self.state).jobs.keys().copied().collect()
+    }
+
+    /// Admits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::AdmissionFull`] when the service already runs `max_jobs` jobs.
+    pub fn admit(&self, spec: JobSpec) -> Result<JobId, FlError> {
+        let mut state = lock(&self.state);
+        if state.jobs.len() >= self.config.max_jobs {
+            return Err(FlError::AdmissionFull {
+                capacity: self.config.max_jobs,
+            });
+        }
+        let id = state.next;
+        state.next += 1;
+        state
+            .jobs
+            .insert(id, Arc::new(Mutex::new(FlJob::new(spec))));
+        Ok(id)
+    }
+
+    /// Removes a job and returns its final history, freeing its admission slot.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] if no such job is live.
+    pub fn close(&self, id: JobId) -> Result<JobHistory, FlError> {
+        let job = lock(&self.state)
+            .jobs
+            .remove(&id)
+            .ok_or(FlError::UnknownJob(id))?;
+        Ok(match Arc::try_unwrap(job) {
+            Ok(m) => m
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .into_history(),
+            // A racing round still holds the job; snapshot what it has recorded.
+            Err(shared) => lock(&shared).history().clone(),
+        })
+    }
+
+    /// Enqueues one round for the job without running it.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] for a dead id; [`FlError::Backpressure`] when the job's
+    /// pending queue is at its bound (`spec.max_pending`, or the service default) — the
+    /// caller must drain via [`AuctionService::run_pending`] first.
+    pub fn request_round(&self, id: JobId) -> Result<(), FlError> {
+        let job = self.job(id)?;
+        let mut job = lock(&job);
+        let bound = match job.spec().max_pending {
+            0 => self.config.max_pending,
+            n => n,
+        };
+        if job.pending() >= bound {
+            return Err(FlError::Backpressure {
+                job: id,
+                pending: job.pending(),
+            });
+        }
+        job.push_pending();
+        Ok(())
+    }
+
+    /// Runs every pending round of the job, in order, recording each outcome (success *or
+    /// typed failure*) in the job's history. Returns how many rounds ran. A failed round
+    /// never aborts the drain: the next pending round still runs.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] for a dead id. Per-round failures are recorded, not
+    /// returned — read them from [`AuctionService::history`].
+    pub fn run_pending(&self, id: JobId) -> Result<usize, FlError> {
+        let job = self.job(id)?;
+        let mut ran = 0;
+        loop {
+            let mut job = lock(&job);
+            if !job.pop_pending() {
+                return Ok(ran);
+            }
+            let _ = job.run_round(&self.engine);
+            ran += 1;
+        }
+    }
+
+    /// Runs one round immediately (bypassing the pending queue) and returns its summary.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] for a dead id; otherwise whatever failed the round
+    /// (auction failure, [`FlError::JobPanic`], …). The failure is also recorded in the
+    /// job's history, and the job remains usable.
+    pub fn run_round(&self, id: JobId) -> Result<RoundSummary, FlError> {
+        let job = self.job(id)?;
+        let mut job = lock(&job);
+        job.run_round(&self.engine)
+    }
+
+    /// Snapshot of the job's history so far.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] for a dead id.
+    pub fn history(&self, id: JobId) -> Result<JobHistory, FlError> {
+        let job = self.job(id)?;
+        let job = lock(&job);
+        Ok(job.history().clone())
+    }
+
+    fn job(&self, id: JobId) -> Result<Arc<Mutex<FlJob>>, FlError> {
+        lock(&self.state)
+            .jobs
+            .get(&id)
+            .cloned()
+            .ok_or(FlError::UnknownJob(id))
+    }
+}
+
+impl std::fmt::Debug for AuctionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuctionService")
+            .field("jobs", &self.len())
+            .field("capacity", &self.config.max_jobs)
+            .field("mode", &self.engine.mode())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmore_auction::{CobbDouglas, NodeId, PricingRule, ScoringRule, SelectionRule};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn toy_auction(k: usize) -> fmore_auction::Auction {
+        let scoring = CobbDouglas::with_scale(25.0, vec![0.5, 0.3]).unwrap();
+        fmore_auction::Auction::new(
+            ScoringRule::new(scoring),
+            k,
+            SelectionRule::TopK,
+            PricingRule::FirstPrice,
+        )
+    }
+
+    fn toy_source() -> Arc<BidSource> {
+        Arc::new(|range, round, store| {
+            for i in range {
+                let phase = ((i as u64).wrapping_mul(2654435761) ^ round) % 97;
+                let q = [
+                    0.2 + 0.7 * (phase as f64 / 97.0),
+                    0.3 + 0.5 * ((phase as f64 * 1.618) % 1.0),
+                ];
+                store.push(NodeId(i as u64), &q, 0.05 + 0.01 * (i % 7) as f64)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn toy_spec(name: &str, seed: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            population: 256,
+            shard_size: 64,
+            reserve: 4,
+            auction: toy_auction(8),
+            seed,
+            deadline: Some(DeadlineSpec::lenient()),
+            max_pending: 0,
+            source: toy_source(),
+            work: None,
+        }
+    }
+
+    #[test]
+    fn admission_is_bounded_and_close_frees_the_slot() {
+        let service = AuctionService::with_engine(
+            ServiceConfig {
+                max_jobs: 2,
+                max_pending: 4,
+            },
+            RoundEngine::inline(),
+        );
+        let a = service.admit(toy_spec("a", 1)).unwrap();
+        let _b = service.admit(toy_spec("b", 2)).unwrap();
+        let err = service.admit(toy_spec("c", 3)).unwrap_err();
+        assert_eq!(err, FlError::AdmissionFull { capacity: 2 });
+        service.close(a).unwrap();
+        assert!(service.admit(toy_spec("c", 3)).is_ok());
+        assert_eq!(service.len(), 2);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_pending_queue() {
+        let service = AuctionService::with_engine(
+            ServiceConfig {
+                max_jobs: 4,
+                max_pending: 2,
+            },
+            RoundEngine::inline(),
+        );
+        let id = service.admit(toy_spec("bp", 9)).unwrap();
+        service.request_round(id).unwrap();
+        service.request_round(id).unwrap();
+        let err = service.request_round(id).unwrap_err();
+        assert_eq!(
+            err,
+            FlError::Backpressure {
+                job: id,
+                pending: 2
+            }
+        );
+        // Draining frees the queue and actually runs the rounds.
+        assert_eq!(service.run_pending(id).unwrap(), 2);
+        assert_eq!(service.history(id).unwrap().completed(), 2);
+        service.request_round(id).unwrap();
+    }
+
+    #[test]
+    fn unknown_job_is_a_typed_error_everywhere() {
+        let service = AuctionService::new(ServiceConfig::default());
+        assert_eq!(service.run_round(7).unwrap_err(), FlError::UnknownJob(7));
+        assert_eq!(service.history(7).unwrap_err(), FlError::UnknownJob(7));
+        assert_eq!(service.close(7).unwrap_err(), FlError::UnknownJob(7));
+        assert_eq!(
+            service.request_round(7).unwrap_err(),
+            FlError::UnknownJob(7)
+        );
+        assert_eq!(service.run_pending(7).unwrap_err(), FlError::UnknownJob(7));
+    }
+
+    #[test]
+    fn rounds_produce_winners_payments_and_bounded_memory() {
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+        let id = service.admit(toy_spec("toy", 42)).unwrap();
+        let summary = service.run_round(id).unwrap();
+        assert_eq!(summary.round, 1);
+        assert_eq!(summary.offered, 256);
+        assert!(!summary.winners.is_empty() && summary.winners.len() <= 8);
+        assert!(summary.total_payment > 0.0);
+        // Streaming, not collecting: peak bid bytes must be far below the full population.
+        assert!(summary.peak_bid_bytes < 256 * 3 * 8);
+        let again = service.run_round(id).unwrap();
+        assert_eq!(again.round, 2);
+        assert_ne!(summary.winners, again.winners, "rounds draw fresh bids");
+    }
+
+    #[test]
+    fn histories_are_deterministic_per_spec() {
+        let run_seed = |engine: RoundEngine, seed: u64| {
+            let service = AuctionService::with_engine(ServiceConfig::default(), engine);
+            let id = service.admit(toy_spec("det", seed)).unwrap();
+            for _ in 0..3 {
+                service.run_round(id).unwrap();
+            }
+            service.close(id).unwrap()
+        };
+        let run = |engine: RoundEngine| run_seed(engine, 77);
+        let inline = run(RoundEngine::inline());
+        let pooled = run(RoundEngine::pooled(4));
+        // Same width → the full history (including memory accounting) is bit-identical.
+        assert_eq!(inline, run(RoundEngine::inline()));
+        assert_eq!(pooled, run(RoundEngine::pooled(4)));
+        // Across widths only `peak_bid_bytes` may differ (wider waves hold more shard
+        // stores); everything the auction observed is pinned by the fingerprint.
+        assert_eq!(inline.fingerprint(), pooled.fingerprint());
+        assert_ne!(
+            inline.fingerprint(),
+            run_seed(RoundEngine::inline(), 78).fingerprint(),
+            "different seeds produce different histories"
+        );
+    }
+
+    #[test]
+    fn poisoned_neighbour_fails_its_own_round_only() {
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut poisoned = toy_spec("poisoned", 5);
+        let seen = Arc::clone(&calls);
+        poisoned.work = Some(Arc::new(move |round, slot, _winner| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            assert!(!(round == 1 && slot == 2), "synthetic training crash");
+            1.0
+        }));
+        let healthy_spec = toy_spec("healthy", 6);
+        let a = service.admit(poisoned).unwrap();
+        let b = service.admit(healthy_spec.clone()).unwrap();
+
+        // Job A's first round dies in its work stage; the error is typed and recorded.
+        let err = service.run_round(a).unwrap_err();
+        assert!(
+            matches!(err, FlError::JobPanic(ref p) if p.message.contains("crash")),
+            "{err}"
+        );
+        let history = service.history(a).unwrap();
+        assert_eq!(history.failed(), 1);
+
+        // Job B is untouched by its neighbour's panic...
+        let healthy_round = service.run_round(b).unwrap();
+        assert!(!healthy_round.winners.is_empty());
+        // ...and B's history matches a solo run on a fresh service bit-for-bit.
+        let solo = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+        let solo_id = solo.admit(healthy_spec).unwrap();
+        let solo_round = solo.run_round(solo_id).unwrap();
+        assert_eq!(healthy_round, solo_round);
+
+        // Job A itself survives: round 2 completes on the same pool.
+        let recovered = service.run_round(a).unwrap();
+        assert_eq!(recovered.round, 2);
+        assert!(recovered.work_value > 0.0);
+        assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn run_pending_records_failures_and_keeps_draining() {
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+        let mut spec = toy_spec("flaky", 11);
+        spec.work = Some(Arc::new(|round, _slot, _winner| {
+            assert!(round != 1, "round one always dies");
+            2.0
+        }));
+        let id = service.admit(spec).unwrap();
+        service.request_round(id).unwrap();
+        service.request_round(id).unwrap();
+        assert_eq!(service.run_pending(id).unwrap(), 2);
+        let history = service.close(id).unwrap();
+        assert_eq!(history.rounds.len(), 2);
+        assert_eq!(history.failed(), 1);
+        assert_eq!(history.completed(), 1);
+        assert!(matches!(
+            history.rounds[0].outcome,
+            Err(FlError::JobPanic(_))
+        ));
+        assert!(history.rounds[1].outcome.is_ok());
+    }
+}

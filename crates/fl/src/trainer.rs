@@ -256,7 +256,7 @@ impl FederatedTrainer {
     pub fn run_round(&mut self) -> Result<RoundMetrics, FlError> {
         self.refresh_clients();
         let (winners, all_scores) = self.select_participants()?;
-        Ok(self.run_round_with(winners, all_scores))
+        self.run_round_with(winners, all_scores)
     }
 
     /// Re-draws every client's per-round data availability. Called automatically by
@@ -283,14 +283,12 @@ impl FederatedTrainer {
                 Ok((self.plain_winners(&selected), Vec::new()))
             }
             SelectionStrategy::Auction(_) => {
-                let solver = self
-                    .solver
-                    .as_ref()
-                    .expect("auction strategy always has a solver");
-                let auction = self
-                    .auction
-                    .as_ref()
-                    .expect("auction strategy always has an auction");
+                let solver = self.solver.as_ref().ok_or_else(|| {
+                    FlError::InvalidConfig("auction strategy without a solver".into())
+                })?;
+                let auction = self.auction.as_ref().ok_or_else(|| {
+                    FlError::InvalidConfig("auction strategy without an auction".into())
+                })?;
                 let max_data = self.config.partition.size_range.1 as f64;
                 let num_classes = self.train_data.num_classes();
                 let bids = engine::collect_bids(&self.clients, solver, max_data, num_classes)?;
@@ -339,11 +337,16 @@ impl FederatedTrainer {
     /// determined winner set (used by the MEC cluster simulator, which performs its own
     /// three-dimensional auction before delegating the learning to this trainer). The round's
     /// churn accounting is the trivial static one: every winner completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::JobPanic`] if a local-training task panics; the trainer and its
+    /// worker pool survive and the next round may run normally.
     pub fn run_round_with(
         &mut self,
         winners: Vec<WinnerInfo>,
         all_scores: Vec<f64>,
-    ) -> RoundMetrics {
+    ) -> Result<RoundMetrics, FlError> {
         let outcome = RoundOutcome::all_completed(winners.len());
         self.run_round_with_outcome(winners, all_scores, outcome)
     }
@@ -354,15 +357,19 @@ impl FederatedTrainer {
     ///
     /// `winners` must already be the post-deadline survivor set: only their updates are
     /// trained and aggregated.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FederatedTrainer::run_round_with`].
     pub fn run_round_with_outcome(
         &mut self,
         winners: Vec<WinnerInfo>,
         all_scores: Vec<f64>,
         outcome: RoundOutcome,
-    ) -> RoundMetrics {
+    ) -> Result<RoundMetrics, FlError> {
         self.round += 1;
         let jobs = self.training_jobs(&winners);
-        let results = engine::local_training(&self.engine, jobs);
+        let results = engine::local_training(&self.engine, jobs)?;
         let mut updates = Vec::with_capacity(results.len());
         for (update, state) in results {
             self.slots[update.slot] = Some(state);
@@ -380,14 +387,14 @@ impl FederatedTrainer {
         let eval =
             self.global
                 .evaluate_in(&mut self.eval_arena, &self.test_data, &self.test_indices);
-        RoundMetrics {
+        Ok(RoundMetrics {
             round: self.round,
             accuracy: eval.accuracy,
             loss: eval.loss,
             winners,
             all_scores,
             outcome,
-        }
+        })
     }
 
     /// Drops all per-slot reusable training state (models, arenas, buffers).
@@ -593,7 +600,7 @@ mod tests {
             score: 1.5,
             payment: 0.4,
         }];
-        let metrics = trainer.run_round_with(winners, vec![1.5, 0.3]);
+        let metrics = trainer.run_round_with(winners, vec![1.5, 0.3]).unwrap();
         assert_eq!(metrics.round, 1);
         assert_eq!(metrics.winners.len(), 1);
         assert_eq!(metrics.all_scores, vec![1.5, 0.3]);

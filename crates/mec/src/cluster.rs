@@ -537,7 +537,7 @@ impl MecCluster {
         self.ledger
             .record_round(winners.iter().map(|w| (w.node, w.payment)));
 
-        let learning = self.trainer.run_round_with(winners, all_scores);
+        let learning = self.trainer.run_round_with(winners, all_scores)?;
         Ok(ClusterRound {
             learning,
             round_secs,
@@ -716,7 +716,7 @@ impl MecCluster {
         // Stage 5: the surviving updates train and aggregate.
         let learning = self
             .trainer
-            .run_round_with_outcome(survivors, all_scores, outcome);
+            .run_round_with_outcome(survivors, all_scores, outcome)?;
         Ok(ClusterRound {
             learning,
             round_secs,

@@ -12,3 +12,4 @@ pub mod impact_psi;
 pub mod registry;
 pub mod scale;
 pub mod scores;
+pub mod service_soak;

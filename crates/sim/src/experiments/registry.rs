@@ -10,6 +10,7 @@
 use crate::error::SimError;
 use crate::experiments::{
     accuracy, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scale, scores,
+    service_soak,
 };
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
@@ -268,6 +269,17 @@ fn run_scale_parity(
     })
 }
 
+fn run_service_soak(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => service_soak::SoakConfig::quick(),
+        Fidelity::Paper => service_soak::SoakConfig::paper(),
+    };
+    service_soak::run(runner, &config)
+}
+
 /// Every experiment of the paper's evaluation, in figure order.
 pub const REGISTRY: &[ExperimentDef] = &[
     ExperimentDef {
@@ -348,6 +360,12 @@ pub const REGISTRY: &[ExperimentDef] = &[
         summary: "bit-parity of streamed winners/payments against the dense full-sort path",
         run: run_scale_parity,
     },
+    ExperimentDef {
+        name: "service-soak",
+        figure: "new (SS I / SS VI always-on service)",
+        summary: "N concurrent mixed-scheme jobs on one service, interleaved == solo",
+        run: run_service_soak,
+    },
 ];
 
 /// Looks an experiment up by registry name.
@@ -393,8 +411,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_thirteen_experiments() {
-        assert_eq!(REGISTRY.len(), 13);
+    fn registry_lists_all_fourteen_experiments() {
+        assert_eq!(REGISTRY.len(), 14);
         let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
         for expected in [
             "accuracy",
@@ -410,6 +428,7 @@ mod tests {
             "scale-selection",
             "scale-memory",
             "scale-parity",
+            "service-soak",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

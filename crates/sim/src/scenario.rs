@@ -19,6 +19,7 @@ use fmore_fl::metrics::TrainingHistory;
 use fmore_fl::selection::SelectionStrategy;
 use fmore_fl::trainer::FederatedTrainer;
 use fmore_fl::FlConfig;
+use fmore_fl::FlError;
 use fmore_mec::cluster::{ClusterConfig, ClusterHistory, ClusterStrategy, MecCluster};
 use fmore_mec::dynamics::DynamicsConfig;
 use std::sync::Arc;
@@ -242,10 +243,10 @@ impl ScenarioRunner {
     ///
     /// Returns the first (in spec order) scenario failure.
     pub fn run_all(&self, specs: &[ScenarioSpec]) -> Result<Vec<ScenarioOutcome>, SimError> {
-        let results = self.map(specs.to_vec(), {
+        let results = self.try_map(specs.to_vec(), {
             let pool = Arc::clone(&self.pool);
             move |spec: ScenarioSpec| ScenarioRunner::with_pool(Arc::clone(&pool)).run(&spec)
-        });
+        })?;
         results.into_iter().collect()
     }
 
@@ -278,18 +279,40 @@ impl ScenarioRunner {
         &self,
         specs: &[ClusterScenarioSpec],
     ) -> Result<Vec<ClusterOutcome>, SimError> {
-        let results = self.map(specs.to_vec(), {
+        let results = self.try_map(specs.to_vec(), {
             let pool = Arc::clone(&self.pool);
             move |spec: ClusterScenarioSpec| {
                 ScenarioRunner::with_pool(Arc::clone(&pool)).run_cluster(&spec)
             }
-        });
+        })?;
         results.into_iter().collect()
     }
 
     /// Applies `f` to every input in parallel on the pool, preserving input order — the
     /// primitive behind sweep experiments (one auction game or training run per point).
+    ///
+    /// Panics if any task panics (the batch-driver contract: an experiment point that dies
+    /// should abort its figure). Service-facing callers use
+    /// [`ScenarioRunner::try_map`] instead, which surfaces the panic as a typed error.
     pub fn map<I, T, F>(&self, inputs: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+        F: Fn(I) -> T + Send + Sync + 'static,
+    {
+        self.try_map(inputs, f)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Checked twin of [`ScenarioRunner::map`]: every task runs through the executor's
+    /// panic-catching path, so one panicking input yields [`SimError::Fl`] (carrying the
+    /// [`fmore_fl::JobPanic`] attribution) after every sibling completed — the pool and the
+    /// caller both survive.
+    ///
+    /// # Errors
+    ///
+    /// The first (in input order) task panic, as a typed error.
+    pub fn try_map<I, T, F>(&self, inputs: Vec<I>, f: F) -> Result<Vec<T>, SimError>
     where
         I: Send + 'static,
         T: Send + 'static,
@@ -303,7 +326,11 @@ impl ScenarioRunner {
                 Box::new(move || f(input)) as Task<T>
             })
             .collect();
-        self.pool.run_indexed(tasks)
+        let mut out = Vec::with_capacity(tasks.len());
+        for slot in self.pool.run_indexed_checked(tasks) {
+            out.push(slot.map_err(FlError::from)?);
+        }
+        Ok(out)
     }
 }
 
@@ -436,6 +463,23 @@ mod tests {
         let runner = ScenarioRunner::with_threads(3);
         let squares = runner.map((0..32usize).collect(), |i| i * i);
         assert_eq!(squares, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_surfaces_panics_as_typed_errors() {
+        let runner = ScenarioRunner::with_threads(2);
+        let err = runner
+            .try_map((0..8usize).collect(), |i| {
+                assert!(i != 3, "input three dies");
+                i * 2
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Fl(FlError::JobPanic(ref p)) if p.slot == 3),
+            "{err}"
+        );
+        // The pool survives the poisoned batch.
+        assert_eq!(runner.try_map(vec![5usize], |i| i * 2).unwrap(), vec![10]);
     }
 
     #[test]

@@ -506,3 +506,154 @@ fn scale_sweep_figures_are_identical_across_pool_sizes() {
     assert_eq!(parity, scale::run_parity(&narrow, &config).unwrap());
     assert!(parity.all_identical());
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant service: neighbours and pool width must not exist in a job's history.
+// ---------------------------------------------------------------------------
+
+/// The service's core isolation guarantee: 1/2/8-worker pools × 2–8 interleaved jobs of
+/// mixed schemes and stream contracts produce bit-identical per-job histories vs solo runs
+/// of the same specs at the same width — and the auction-observable fingerprint is
+/// additionally identical *across* widths (only the memory-accounting `peak_bid_bytes`
+/// may widen with the pool).
+#[test]
+fn concurrent_jobs_match_solo_histories_across_pools() {
+    use fmore::fl::service::{AuctionService, ServiceConfig};
+    use fmore::sim::experiments::service_soak::{job_specs, SoakConfig};
+
+    let config = SoakConfig {
+        jobs: 8,
+        rounds: 2,
+        population: 384,
+        shard_size: 96,
+        winners: 8,
+        reserve: 8,
+        grid_size: 48,
+        seed: 5_050,
+    };
+    let specs = job_specs(&config).expect("soak specs build");
+
+    let solo_at = |threads: usize| -> Vec<fmore::fl::service::JobHistory> {
+        specs
+            .iter()
+            .map(|spec| {
+                let service = AuctionService::with_engine(
+                    ServiceConfig::default(),
+                    RoundEngine::pooled(threads),
+                );
+                let id = service.admit(spec.clone()).expect("admission");
+                for _ in 0..config.rounds {
+                    service.run_round(id).expect("solo round runs");
+                }
+                service.close(id).expect("close returns the history")
+            })
+            .collect()
+    };
+
+    let mut fingerprints_by_width = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let solo = solo_at(threads);
+        fingerprints_by_width.push(solo.iter().map(|h| h.fingerprint()).collect::<Vec<_>>());
+        for jobs in [2usize, 5, 8] {
+            let service = AuctionService::with_engine(
+                ServiceConfig {
+                    max_jobs: jobs,
+                    max_pending: 4,
+                },
+                RoundEngine::pooled(threads),
+            );
+            let ids: Vec<_> = specs[..jobs]
+                .iter()
+                .map(|s| service.admit(s.clone()).expect("admission"))
+                .collect();
+            // One OS thread per job, all multiplexed on the shared pool.
+            std::thread::scope(|scope| {
+                for &id in &ids {
+                    let service = &service;
+                    let rounds = config.rounds;
+                    scope.spawn(move || {
+                        for _ in 0..rounds {
+                            service.request_round(id).expect("queue has room");
+                            assert_eq!(service.run_pending(id).expect("drain runs"), 1);
+                        }
+                    });
+                }
+            });
+            for (j, &id) in ids.iter().enumerate() {
+                let interleaved = service.close(id).expect("close returns the history");
+                assert_eq!(
+                    interleaved, solo[j],
+                    "{threads}-thread pool, {jobs} jobs: job {j} diverged from its solo run"
+                );
+            }
+        }
+    }
+    // Across widths, the auction-observable content is invariant too.
+    assert_eq!(fingerprints_by_width[0], fingerprints_by_width[1]);
+    assert_eq!(fingerprints_by_width[0], fingerprints_by_width[2]);
+}
+
+/// The cross-layer poisoned-neighbour regression (ISSUE 7): job A's training work panics
+/// every round, job B — built by the same sim-layer spec factory and driven concurrently on
+/// the same pool — completes every round bit-identically to a solo run, the process
+/// survives, and A's failures are typed `JobPanic` records in A's own history.
+#[test]
+fn poisoned_job_never_aborts_its_neighbours_round() {
+    use fmore::fl::service::{AuctionService, ServiceConfig};
+    use fmore::fl::FlError;
+    use fmore::sim::experiments::service_soak::{job_specs, SoakConfig};
+    use std::sync::Arc;
+
+    let config = SoakConfig::quick();
+    let mut specs = job_specs(&config).expect("soak specs build");
+    let healthy_spec = specs[1].clone();
+    specs[0].work = Some(Arc::new(|_round, _slot, _winner| {
+        panic!("poisoned tenant: training task dies")
+    }));
+
+    // Reference: the healthy job solo on its own pool.
+    let solo = {
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+        let id = service.admit(healthy_spec.clone()).expect("admission");
+        for _ in 0..config.rounds {
+            service.run_round(id).expect("healthy round runs");
+        }
+        service.close(id).expect("close")
+    };
+
+    let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+    let poisoned = service.admit(specs[0].clone()).expect("admission");
+    let healthy = service.admit(healthy_spec).expect("admission");
+    std::thread::scope(|scope| {
+        let service = &service;
+        let rounds = config.rounds;
+        scope.spawn(move || {
+            for _ in 0..rounds {
+                let err = service.run_round(poisoned).expect_err("poisoned rounds fail");
+                assert!(
+                    matches!(err, FlError::JobPanic(ref p) if p.message.contains("poisoned tenant")),
+                    "unexpected failure: {err}"
+                );
+            }
+        });
+        scope.spawn(move || {
+            for _ in 0..rounds {
+                service
+                    .run_round(healthy)
+                    .expect("neighbour round survives");
+            }
+        });
+    });
+
+    let poisoned_history = service.close(poisoned).expect("close");
+    assert_eq!(poisoned_history.failed(), config.rounds);
+    assert!(poisoned_history
+        .rounds
+        .iter()
+        .all(|r| matches!(r.outcome, Err(FlError::JobPanic(_)))));
+    let healthy_history = service.close(healthy).expect("close");
+    assert_eq!(
+        healthy_history, solo,
+        "the healthy job's history must be untouched by its poisoned neighbour"
+    );
+}

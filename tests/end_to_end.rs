@@ -205,3 +205,27 @@ fn hundred_thousand_bidder_selection_smoke() {
         assert_eq!(s.payment.to_bits(), d.payment.to_bits());
     }
 }
+
+/// CI smoke for the always-on service: the `service-soak` registry entry drives concurrent
+/// mixed-scheme jobs through one `AuctionService` at quick fidelity, and every job's
+/// interleaved history matches its solo run (the entry itself errors otherwise).
+#[test]
+fn service_soak_quick_smoke() {
+    use fmore::sim::experiments::registry::{find, Fidelity};
+    let runner = ScenarioRunner::new();
+    let report = find("service-soak")
+        .expect("service-soak is registered")
+        .run(&runner, Fidelity::Quick)
+        .expect("quick soak runs");
+    assert_eq!(report.name, "service-soak");
+    let md = report.to_markdown();
+    assert!(md.contains("psi-FMore"), "mixed schemes soaked:\n{md}");
+    assert!(
+        md.contains("v1") && md.contains("v2"),
+        "both stream contracts soaked"
+    );
+    assert!(
+        !md.contains("NO"),
+        "every job matched its solo history:\n{md}"
+    );
+}

@@ -100,6 +100,11 @@ const EXPECTED: &[(&str, &str)] = &[
         "Population-scale parity: streamed selection vs dense full-sort [rows=2] last: \
          5000;64;yes;0.0e0",
     ),
+    (
+        "service-soak",
+        "Service soak: 4 concurrent jobs on one pool [rows=4] last: \
+         job3-psi-FMore-v2;psi-FMore;v2;3;0;7.0;3.8042;yes",
+    ),
 ];
 
 /// FNV-1a offset basis; the digests below fold exact bit patterns, so any single-ULP
