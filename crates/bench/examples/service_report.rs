@@ -19,7 +19,8 @@
 
 use fmore_bench::timing::{hardware_threads, quick_mode, schema_string, write_report};
 use fmore_fl::engine::RoundEngine;
-use fmore_fl::service::{AuctionService, ServiceConfig};
+use fmore_fl::service::{AuctionService, JobSpec, ServiceConfig};
+use fmore_sim::experiments::chaos_soak::{self, ChaosConfig};
 use fmore_sim::experiments::service_soak::{job_specs, SoakConfig};
 use std::time::Instant;
 
@@ -30,6 +31,8 @@ struct FleetResult {
     rounds_per_sec: f64,
     p50_ns: u128,
     p99_ns: u128,
+    retried_rounds: usize,
+    faults_injected: usize,
 }
 
 fn percentile(sorted: &[u128], q: f64) -> u128 {
@@ -40,13 +43,15 @@ fn percentile(sorted: &[u128], q: f64) -> u128 {
     sorted[idx]
 }
 
-/// Drives `jobs` concurrent tenants for `rounds_per_job` rounds each and measures the
-/// aggregate throughput plus the distribution of individual round latencies.
-fn drive_fleet(config: &SoakConfig, rounds_per_job: usize) -> FleetResult {
-    let specs = job_specs(config).expect("soak specs build");
+/// Drives the given tenant specs concurrently for `rounds_per_job` rounds each and
+/// measures the aggregate throughput plus the distribution of individual round latencies.
+/// Every round must ultimately succeed — under a fault plan that means the watchdog's
+/// retries are part of the measured latency, which is exactly the overhead being priced.
+fn drive_fleet(specs: Vec<JobSpec>, rounds_per_job: usize) -> FleetResult {
+    let jobs = specs.len();
     let service = AuctionService::with_engine(
         ServiceConfig {
-            max_jobs: config.jobs,
+            max_jobs: jobs,
             max_pending: 4,
         },
         RoundEngine::default(),
@@ -81,22 +86,28 @@ fn drive_fleet(config: &SoakConfig, rounds_per_job: usize) -> FleetResult {
     });
     let elapsed_ns = started.elapsed().as_nanos();
 
-    // Every requested round actually ran and succeeded.
+    // Every requested round actually ran and succeeded (faulted rounds via retry).
+    let mut retried_rounds = 0;
+    let mut faults_injected = 0;
     for &id in &ids {
         let history = service.history(id).expect("job is live");
         assert_eq!(history.completed(), rounds_per_job);
         assert_eq!(history.failed(), 0);
+        retried_rounds += history.rounds.iter().filter(|r| r.attempts > 1).count();
+        faults_injected += history.rounds.iter().map(|r| r.faults.len()).sum::<usize>();
     }
 
     latencies.sort_unstable();
     let rounds_total = latencies.len();
     FleetResult {
-        jobs: config.jobs,
+        jobs,
         rounds_total,
         elapsed_ns,
         rounds_per_sec: rounds_total as f64 / (elapsed_ns as f64 / 1e9),
         p50_ns: percentile(&latencies, 0.50),
         p99_ns: percentile(&latencies, 0.99),
+        retried_rounds,
+        faults_injected,
     }
 }
 
@@ -117,23 +128,38 @@ fn main() {
         grid_size: 64,
         seed: 9_090,
     };
-    let duo = SoakConfig { jobs: 2, ..base };
+    let duo = SoakConfig {
+        jobs: 2,
+        ..base.clone()
+    };
+    let chaos = ChaosConfig {
+        soak: base.clone(),
+        update_dim: 8,
+        fault_seed: 0xC4A0,
+    };
+    let specs_for = |c: &SoakConfig| job_specs(c).expect("soak specs build");
 
     // Warm the shared pool and populations once, then measure.
-    drive_fleet(&duo, 5.min(rounds_per_job));
+    drive_fleet(specs_for(&duo), 5.min(rounds_per_job));
     let fleets = [
-        drive_fleet(&duo, rounds_per_job),
-        drive_fleet(&base, rounds_per_job),
+        drive_fleet(specs_for(&duo), rounds_per_job),
+        drive_fleet(specs_for(&base), rounds_per_job),
     ];
+    // The same 8-tenant fleet under an active FaultPlan on the odd half: prices the fault
+    // layer (injection draws, watchdog metering, retries, screening) against the clean run.
+    let chaos_fleet = drive_fleet(
+        chaos_soak::job_specs(&chaos).expect("chaos specs build"),
+        rounds_per_job,
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"schema\": \"{}\",\n",
-        schema_string("service", 1)
+        schema_string("service", 2)
     ));
     json.push_str(
-        "  \"note\": \"aggregate throughput and per-round latency of the multi-tenant AuctionService: N concurrent mixed-scheme jobs (v1+v2 stream contracts, FMore and psi-FMore), one OS driver thread per job, one shared worker pool; every round is a full streamed auction plus winner-work fan-out; regenerate with `cargo run --release -p fmore-bench --example service_report`\",\n",
+        "  \"note\": \"aggregate throughput and per-round latency of the multi-tenant AuctionService: N concurrent mixed-scheme jobs (v1+v2 stream contracts, FMore and psi-FMore), one OS driver thread per job, one shared worker pool; every round is a full streamed auction plus winner-work fan-out; the fault_overhead section re-times the 8-job fleet under an active FaultPlan (injected panics/stalls/dropouts/corruption on the odd half, watchdog retries included in latency); regenerate with `cargo run --release -p fmore-bench --example service_report`\",\n",
     );
     json.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -144,10 +170,9 @@ fn main() {
         "  \"workload\": {{ \"population\": {}, \"shard_size\": {}, \"winners\": {}, \"rounds_per_job\": {rounds_per_job} }},\n",
         base.population, base.shard_size, base.winners
     ));
-    for (i, fleet) in fleets.iter().enumerate() {
-        let comma = if i + 1 < fleets.len() { "," } else { "" };
+    for fleet in &fleets {
         json.push_str(&format!(
-            "  \"jobs_{}\": {{ \"rounds_total\": {}, \"elapsed_ns\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {} }}{comma}\n",
+            "  \"jobs_{}\": {{ \"rounds_total\": {}, \"elapsed_ns\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {} }},\n",
             fleet.jobs,
             fleet.rounds_total,
             fleet.elapsed_ns,
@@ -156,22 +181,43 @@ fn main() {
             fleet.p99_ns
         ));
     }
+    let clean = &fleets[1];
+    json.push_str(&format!(
+        "  \"fault_overhead\": {{ \"jobs\": {}, \"faulted_jobs\": {}, \"rounds_total\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {}, \"retried_rounds\": {}, \"faults_injected\": {}, \"throughput_vs_clean\": {:.3} }}\n",
+        chaos_fleet.jobs,
+        chaos_fleet.jobs / 2,
+        chaos_fleet.rounds_total,
+        chaos_fleet.rounds_per_sec,
+        chaos_fleet.p50_ns,
+        chaos_fleet.p99_ns,
+        chaos_fleet.retried_rounds,
+        chaos_fleet.faults_injected,
+        chaos_fleet.rounds_per_sec / clean.rounds_per_sec
+    ));
     json.push_str("}\n");
 
     write_report(&out_path, &json);
     let eight = &fleets[1];
     eprintln!(
-        "wrote {out_path} ({} jobs: {:.0} rounds/sec, p50 {:.2}ms, p99 {:.2}ms)",
+        "wrote {out_path} ({} jobs: {:.0} rounds/sec, p50 {:.2}ms, p99 {:.2}ms; under chaos: {:.0} rounds/sec, {} retried, {} faults)",
         eight.jobs,
         eight.rounds_per_sec,
         eight.p50_ns as f64 / 1e6,
-        eight.p99_ns as f64 / 1e6
+        eight.p99_ns as f64 / 1e6,
+        chaos_fleet.rounds_per_sec,
+        chaos_fleet.retried_rounds,
+        chaos_fleet.faults_injected
     );
     // The ISSUE acceptance gate: at least a thousand synthetic rounds/sec aggregate across
-    // the 8-job fleet, even in quick mode on a single hardware thread.
+    // the clean 8-job fleet, even in quick mode on a single hardware thread. (The chaos
+    // fleet is recorded, not gated — its retries and stall sleeps price the fault layer.)
     assert!(
         eight.rounds_per_sec >= 1_000.0,
         "service throughput regressed below the 1000 rounds/sec gate ({:.1} rounds/sec)",
         eight.rounds_per_sec
+    );
+    assert!(
+        chaos_fleet.faults_injected > 0 && chaos_fleet.retried_rounds > 0,
+        "the chaos fleet injected nothing — the fault_overhead section is vacuous"
     );
 }

@@ -1,11 +1,19 @@
-//! Global aggregation (FedAvg, Eq. 3 of the paper).
+//! Global aggregation (FedAvg, Eq. 3 of the paper), with typed rejection of poisoned
+//! updates and a screening pass that quarantines them instead of failing the round.
+
+use crate::error::FlError;
 
 /// Computes the data-size-weighted average of client parameter vectors:
 /// `w(t+1) = Σ D_i w_i(t+1) / Σ D_i`.
 ///
-/// Updates with non-positive weight are ignored. Returns `None` if there are no usable
+/// Updates with non-positive weight are ignored. Returns `Ok(None)` if there are no usable
 /// updates or the parameter vectors disagree in length.
-pub fn federated_average(updates: &[(Vec<f64>, f64)]) -> Option<Vec<f64>> {
+///
+/// # Errors
+///
+/// [`FlError::NonFiniteUpdate`] when an accepted update contains a NaN/±∞ parameter — such
+/// a value would silently poison every coordinate of the global model.
+pub fn federated_average(updates: &[(Vec<f64>, f64)]) -> Result<Option<Vec<f64>>, FlError> {
     federated_average_slices(
         updates
             .iter()
@@ -16,28 +24,42 @@ pub fn federated_average(updates: &[(Vec<f64>, f64)]) -> Option<Vec<f64>> {
 /// Borrowing form of [`federated_average`]: averages parameter slices without requiring the
 /// caller to materialise owned vectors (used by the round engine, whose `LocalUpdate`s
 /// already own their parameters).
-pub fn federated_average_slices<'a, I>(updates: I) -> Option<Vec<f64>>
+///
+/// # Errors
+///
+/// As for [`federated_average`].
+pub fn federated_average_slices<'a, I>(updates: I) -> Result<Option<Vec<f64>>, FlError>
 where
     I: IntoIterator<Item = (&'a [f64], f64)>,
 {
     let mut out = Vec::new();
-    federated_average_into(updates, &mut out).then_some(out)
+    Ok(federated_average_into(updates, &mut out)?.then_some(out))
 }
 
 /// Accumulating form of [`federated_average_slices`]: writes the weighted average into `out`
 /// (cleared first, capacity reused), so a driver that averages every round reuses one buffer
-/// instead of allocating per round. Returns `false` — leaving `out` empty — when there are
-/// no usable updates or the parameter vectors disagree in length.
-pub fn federated_average_into<'a, I>(updates: I, out: &mut Vec<f64>) -> bool
+/// instead of allocating per round. Returns `Ok(false)` — leaving `out` empty — when there
+/// are no usable updates or the parameter vectors disagree in length.
+///
+/// # Errors
+///
+/// [`FlError::NonFiniteUpdate`] when an accepted (positive-weight) update contains a
+/// non-finite parameter; `out` is left empty. Callers that must *survive* poisoned updates
+/// screen them out first with [`federated_average_screened`].
+pub fn federated_average_into<'a, I>(updates: I, out: &mut Vec<f64>) -> Result<bool, FlError>
 where
     I: IntoIterator<Item = (&'a [f64], f64)>,
 {
     out.clear();
     let mut initialised = false;
     let mut total_weight = 0.0;
-    for (params, weight) in updates {
+    for (index, (params, weight)) in updates.into_iter().enumerate() {
         if weight <= 0.0 {
             continue;
+        }
+        if !params.iter().all(|p| p.is_finite()) {
+            out.clear();
+            return Err(FlError::NonFiniteUpdate { index });
         }
         if !initialised {
             out.extend(params.iter().map(|p| p * weight));
@@ -45,7 +67,7 @@ where
         } else {
             if params.len() != out.len() {
                 out.clear();
-                return false;
+                return Ok(false);
             }
             for (a, p) in out.iter_mut().zip(params) {
                 *a += p * weight;
@@ -55,12 +77,129 @@ where
     }
     if !initialised || total_weight <= 0.0 {
         out.clear();
-        return false;
+        return Ok(false);
     }
     for a in out.iter_mut() {
         *a /= total_weight;
     }
-    true
+    Ok(true)
+}
+
+/// Screening policy of [`federated_average_screened`]: an update is quarantined when any
+/// parameter is non-finite, or when its L2 norm exceeds `norm_factor ×` the median norm of
+/// the finite updates in the batch (a relative gate, so the policy needs no knowledge of
+/// the model's scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenPolicy {
+    /// Multiple of the batch's median update norm beyond which an update is an outlier.
+    pub norm_factor: f64,
+}
+
+impl Default for ScreenPolicy {
+    fn default() -> Self {
+        Self { norm_factor: 8.0 }
+    }
+}
+
+/// Why one update was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateFault {
+    /// The update contains a NaN/±∞ parameter.
+    NonFinite,
+    /// The update's norm is a `norm_factor` outlier against the batch median.
+    NormOutlier {
+        /// The offending update's L2 norm.
+        norm: f64,
+        /// The limit it exceeded (`norm_factor × median`).
+        limit: f64,
+    },
+}
+
+/// One quarantined update of a screened aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quarantine {
+    /// Index of the update in the batch handed to [`federated_average_screened`].
+    pub index: usize,
+    /// Why it was rejected.
+    pub fault: UpdateFault,
+}
+
+/// Outcome of one screened aggregation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenedAggregation {
+    /// Updates that passed screening and were aggregated.
+    pub accepted: usize,
+    /// Updates rejected by screening, with their typed reasons, in batch order.
+    pub quarantined: Vec<Quarantine>,
+}
+
+/// FedAvg with update screening: quarantines non-finite and norm-outlier updates (per
+/// `policy`), aggregates the survivors into `out`, and reports exactly what was rejected —
+/// the round *degrades* to the surviving winners instead of being poisoned or failing.
+///
+/// Screening is a pure function of the batch, so a screened aggregation is as
+/// deterministic as a plain one.
+///
+/// # Errors
+///
+/// [`FlError::AllUpdatesQuarantined`] when screening rejected every update of a non-empty
+/// batch — there is nothing left to aggregate, and silently keeping the stale model would
+/// hide the outage. (An empty batch returns `Ok` with `accepted == 0`.)
+pub fn federated_average_screened(
+    updates: &[(&[f64], f64)],
+    policy: &ScreenPolicy,
+    out: &mut Vec<f64>,
+) -> Result<ScreenedAggregation, FlError> {
+    out.clear();
+    if updates.is_empty() {
+        return Ok(ScreenedAggregation {
+            accepted: 0,
+            quarantined: Vec::new(),
+        });
+    }
+
+    let norms: Vec<Option<f64>> = updates
+        .iter()
+        .map(|(params, _)| {
+            params
+                .iter()
+                .all(|p| p.is_finite())
+                .then(|| params.iter().map(|p| p * p).sum::<f64>().sqrt())
+        })
+        .collect();
+    let mut finite: Vec<f64> = norms.iter().filter_map(|n| *n).collect();
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite norms are ordered"));
+    let median = finite.get(finite.len() / 2).copied().unwrap_or(0.0);
+    let limit = policy.norm_factor * median;
+
+    let mut quarantined = Vec::new();
+    let mut kept = Vec::with_capacity(updates.len());
+    for (index, ((params, weight), norm)) in updates.iter().zip(&norms).enumerate() {
+        match norm {
+            None => quarantined.push(Quarantine {
+                index,
+                fault: UpdateFault::NonFinite,
+            }),
+            Some(norm) if finite.len() > 1 && *norm > limit => quarantined.push(Quarantine {
+                index,
+                fault: UpdateFault::NormOutlier { norm: *norm, limit },
+            }),
+            Some(_) => kept.push((*params, *weight)),
+        }
+    }
+    if kept.is_empty() {
+        return Err(FlError::AllUpdatesQuarantined {
+            quarantined: quarantined.len(),
+        });
+    }
+    let accepted = kept.len();
+    // Screening removed every non-finite update, so the typed error path below is
+    // unreachable; `?` still propagates it rather than asserting.
+    federated_average_into(kept, out)?;
+    Ok(ScreenedAggregation {
+        accepted,
+        quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -69,34 +208,122 @@ mod tests {
 
     #[test]
     fn equal_weights_give_plain_mean() {
-        let avg = federated_average(&[(vec![1.0, 2.0], 1.0), (vec![3.0, 4.0], 1.0)]).unwrap();
+        let avg = federated_average(&[(vec![1.0, 2.0], 1.0), (vec![3.0, 4.0], 1.0)])
+            .unwrap()
+            .unwrap();
         assert_eq!(avg, vec![2.0, 3.0]);
     }
 
     #[test]
     fn weights_follow_data_sizes() {
         // Eq. 3: node with 3x the data pulls the average 3x harder.
-        let avg = federated_average(&[(vec![0.0], 1.0), (vec![4.0], 3.0)]).unwrap();
+        let avg = federated_average(&[(vec![0.0], 1.0), (vec![4.0], 3.0)])
+            .unwrap()
+            .unwrap();
         assert_eq!(avg, vec![3.0]);
     }
 
     #[test]
     fn zero_and_negative_weights_are_ignored() {
-        let avg =
-            federated_average(&[(vec![10.0], 0.0), (vec![-3.0], -5.0), (vec![2.0], 2.0)]).unwrap();
+        let avg = federated_average(&[(vec![10.0], 0.0), (vec![-3.0], -5.0), (vec![2.0], 2.0)])
+            .unwrap()
+            .unwrap();
         assert_eq!(avg, vec![2.0]);
     }
 
     #[test]
     fn degenerate_inputs_return_none() {
-        assert!(federated_average(&[]).is_none());
-        assert!(federated_average(&[(vec![1.0], 0.0)]).is_none());
-        assert!(federated_average(&[(vec![1.0], 1.0), (vec![1.0, 2.0], 1.0)]).is_none());
+        assert!(federated_average(&[]).unwrap().is_none());
+        assert!(federated_average(&[(vec![1.0], 0.0)]).unwrap().is_none());
+        assert!(
+            federated_average(&[(vec![1.0], 1.0), (vec![1.0, 2.0], 1.0)])
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
     fn single_update_is_returned_unchanged() {
-        let avg = federated_average(&[(vec![1.5, -2.5, 0.0], 7.0)]).unwrap();
+        let avg = federated_average(&[(vec![1.5, -2.5, 0.0], 7.0)])
+            .unwrap()
+            .unwrap();
         assert_eq!(avg, vec![1.5, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_updates_are_a_typed_error() {
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = federated_average(&[(vec![1.0], 1.0), (vec![poison], 1.0)]).unwrap_err();
+            assert_eq!(err, FlError::NonFiniteUpdate { index: 1 });
+        }
+        // Zero-weight poisoned updates are skipped before inspection, like any other
+        // zero-weight update.
+        let avg = federated_average(&[(vec![f64::NAN], 0.0), (vec![3.0], 1.0)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(avg, vec![3.0]);
+        let mut out = vec![9.0];
+        let err = federated_average_into([(&[f64::NAN][..], 1.0)], &mut out).unwrap_err();
+        assert_eq!(err, FlError::NonFiniteUpdate { index: 0 });
+        assert!(out.is_empty(), "the buffer never carries poisoned output");
+    }
+
+    #[test]
+    fn screening_quarantines_poison_and_outliers_and_degrades() {
+        let clean_a = vec![1.0, 1.0];
+        let clean_b = vec![1.2, 0.8];
+        let clean_c = vec![0.9, 1.1];
+        let nan = vec![f64::NAN, 1.0];
+        let huge = vec![1e9, 1e9];
+        let updates: Vec<(&[f64], f64)> = vec![
+            (&clean_a, 1.0),
+            (&nan, 1.0),
+            (&clean_b, 1.0),
+            (&huge, 1.0),
+            (&clean_c, 1.0),
+        ];
+        let mut out = Vec::new();
+        let screened =
+            federated_average_screened(&updates, &ScreenPolicy::default(), &mut out).unwrap();
+        assert_eq!(screened.accepted, 3);
+        assert_eq!(screened.quarantined.len(), 2);
+        assert_eq!(screened.quarantined[0].index, 1);
+        assert_eq!(screened.quarantined[0].fault, UpdateFault::NonFinite);
+        assert_eq!(screened.quarantined[1].index, 3);
+        assert!(matches!(
+            screened.quarantined[1].fault,
+            UpdateFault::NormOutlier { .. }
+        ));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.is_finite() && p.abs() < 10.0));
+    }
+
+    #[test]
+    fn screening_fails_typed_when_nothing_survives() {
+        let a = vec![f64::NAN];
+        let b = vec![f64::INFINITY];
+        let updates: Vec<(&[f64], f64)> = vec![(&a, 1.0), (&b, 1.0)];
+        let mut out = Vec::new();
+        let err =
+            federated_average_screened(&updates, &ScreenPolicy::default(), &mut out).unwrap_err();
+        assert_eq!(err, FlError::AllUpdatesQuarantined { quarantined: 2 });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn screening_keeps_a_lone_update_and_empty_batches() {
+        // A single clean update is never an outlier against itself.
+        let solo = vec![42.0];
+        let updates: Vec<(&[f64], f64)> = vec![(&solo, 2.0)];
+        let mut out = Vec::new();
+        let screened =
+            federated_average_screened(&updates, &ScreenPolicy::default(), &mut out).unwrap();
+        assert_eq!(screened.accepted, 1);
+        assert!(screened.quarantined.is_empty());
+        assert_eq!(out, vec![42.0]);
+
+        let screened = federated_average_screened(&[], &ScreenPolicy::default(), &mut out).unwrap();
+        assert_eq!(screened.accepted, 0);
+        assert!(out.is_empty());
     }
 }

@@ -685,15 +685,23 @@ pub fn local_training(
 // ---------------------------------------------------------------------------
 
 /// Aggregates local updates into new global parameters by data-weighted FedAvg (step 6 of
-/// Algorithm 1). Returns `None` when there are no updates.
-pub fn aggregate(updates: &[LocalUpdate]) -> Option<Vec<f64>> {
+/// Algorithm 1). Returns `Ok(None)` when there are no updates.
+///
+/// # Errors
+///
+/// [`FlError::NonFiniteUpdate`] when an update carries a NaN/±∞ parameter.
+pub fn aggregate(updates: &[LocalUpdate]) -> Result<Option<Vec<f64>>, FlError> {
     federated_average_slices(updates.iter().map(|u| (u.parameters.as_slice(), u.weight)))
 }
 
 /// Allocation-free form of [`aggregate`]: accumulates the weighted average into `out`
-/// (capacity reused). Returns `false` — leaving `out` empty — when there is nothing to
+/// (capacity reused). Returns `Ok(false)` — leaving `out` empty — when there is nothing to
 /// aggregate.
-pub fn aggregate_into(updates: &[LocalUpdate], out: &mut Vec<f64>) -> bool {
+///
+/// # Errors
+///
+/// [`FlError::NonFiniteUpdate`] when an update carries a NaN/±∞ parameter.
+pub fn aggregate_into(updates: &[LocalUpdate], out: &mut Vec<f64>) -> Result<bool, FlError> {
     federated_average_into(
         updates.iter().map(|u| (u.parameters.as_slice(), u.weight)),
         out,
@@ -1071,9 +1079,15 @@ mod tests {
                 weight: 1.0,
             },
         ];
-        let avg = aggregate(&updates).unwrap();
+        let avg = aggregate(&updates).unwrap().unwrap();
         assert!((avg[0] - 0.75).abs() < 1e-12);
         assert!((avg[1] - 0.25).abs() < 1e-12);
-        assert_eq!(aggregate(&[]), None);
+        assert_eq!(aggregate(&[]).unwrap(), None);
+        let mut poisoned = updates;
+        poisoned[0].parameters[1] = f64::NAN;
+        assert_eq!(
+            aggregate(&poisoned).unwrap_err(),
+            FlError::NonFiniteUpdate { index: 0 }
+        );
     }
 }

@@ -36,6 +36,31 @@ pub enum FlError {
         /// Rounds already pending for that job.
         pending: usize,
     },
+    /// A round attempt exceeded its watchdog budget (simulated seconds, so the verdict is
+    /// deterministic); the watchdog retries it up to the spec's bound.
+    RoundTimeout {
+        /// The round that blew its budget.
+        round: u64,
+        /// Simulated seconds the attempt spent.
+        sim_secs: f64,
+        /// The watchdog's per-round budget.
+        budget_secs: f64,
+    },
+    /// An update handed to the aggregator contains a non-finite parameter. Raised by
+    /// [`crate::aggregator::federated_average_into`]; the screened service path quarantines
+    /// such updates before they reach this error.
+    NonFiniteUpdate {
+        /// Index of the poisoned update in the aggregation batch.
+        index: usize,
+    },
+    /// Update screening quarantined *every* update of a round: there is nothing left to
+    /// aggregate, so the round fails (retryably) instead of skipping aggregation silently.
+    AllUpdatesQuarantined {
+        /// How many updates were quarantined.
+        quarantined: usize,
+    },
+    /// A serialised [`crate::service::JobCheckpoint`] could not be decoded.
+    CheckpointCorrupt(String),
 }
 
 impl fmt::Display for FlError {
@@ -55,6 +80,28 @@ impl fmt::Display for FlError {
                     "backpressure: job {job} already has {pending} pending rounds"
                 )
             }
+            FlError::RoundTimeout {
+                round,
+                sim_secs,
+                budget_secs,
+            } => {
+                write!(
+                    f,
+                    "round {round} timed out: {sim_secs:.3}s simulated against a \
+                     {budget_secs:.3}s budget"
+                )
+            }
+            FlError::NonFiniteUpdate { index } => {
+                write!(f, "update {index} contains a non-finite parameter")
+            }
+            FlError::AllUpdatesQuarantined { quarantined } => {
+                write!(
+                    f,
+                    "all {quarantined} updates of the round were quarantined; nothing to \
+                     aggregate"
+                )
+            }
+            FlError::CheckpointCorrupt(msg) => write!(f, "corrupt job checkpoint: {msg}"),
         }
     }
 }
@@ -116,6 +163,28 @@ mod tests {
         let e = FlError::Backpressure { job: 2, pending: 8 };
         assert!(e.to_string().contains("job 2"));
         assert!(e.to_string().contains("8 pending"));
+    }
+
+    #[test]
+    fn robustness_variants_render_their_context() {
+        let e = FlError::RoundTimeout {
+            round: 4,
+            sim_secs: 35.5,
+            budget_secs: 20.0,
+        };
+        assert!(e.to_string().contains("round 4"));
+        assert!(e.to_string().contains("35.500"));
+        assert!(e.to_string().contains("20.000"));
+
+        assert!(FlError::NonFiniteUpdate { index: 3 }
+            .to_string()
+            .contains("update 3"));
+        assert!(FlError::AllUpdatesQuarantined { quarantined: 5 }
+            .to_string()
+            .contains("all 5 updates"));
+        assert!(FlError::CheckpointCorrupt("truncated".into())
+            .to_string()
+            .contains("truncated"));
     }
 
     #[test]

@@ -238,6 +238,13 @@ struct PoolShared {
     /// everyone is already busy.
     sleepers: AtomicUsize,
     live: AtomicBool,
+    /// Belt-and-braces park interval: how long a worker sleeps before re-checking for work
+    /// it was never notified about (see [`PoolShared::park`]).
+    park_timeout: Duration,
+    /// How many parks expired without a notification *and* without queued work — each one
+    /// is a wakeup the Dekker handshake says should never be needed, so a growing count
+    /// under load is the stall signature this diagnostic exists to surface.
+    stall_wakeups: AtomicUsize,
 }
 
 impl PoolShared {
@@ -295,12 +302,20 @@ impl PoolShared {
             return false;
         }
         // The timeout is a belt-and-braces liveness net only; the handshake above is what
-        // correctness rests on. Long enough that an idle process-wide pool costs
-        // essentially nothing in background wakeups.
-        let (_guard, _timeout) = self
+        // correctness rests on. The default interval is long enough that an idle
+        // process-wide pool costs essentially nothing in background wakeups.
+        let (_guard, timeout) = self
             .work_cv
-            .wait_timeout(guard, Duration::from_secs(2))
+            .wait_timeout(guard, self.park_timeout)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if timeout.timed_out()
+            && self.queued.load(Ordering::SeqCst) == 0
+            && self.live.load(Ordering::SeqCst)
+        {
+            // Expired with nothing to do and no shutdown: a silent stall wakeup. Counted
+            // instead of swallowed, so a wedged submitter shows up in diagnostics.
+            self.stall_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
         true
     }
@@ -402,9 +417,21 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Default belt-and-braces park interval of [`WorkerPool::new`].
+pub const DEFAULT_PARK_TIMEOUT: Duration = Duration::from_secs(2);
+
 impl WorkerPool {
-    /// Spawns a pool with `threads` workers (`0` means [`default_threads`]).
+    /// Spawns a pool with `threads` workers (`0` means [`default_threads`]) parking at
+    /// [`DEFAULT_PARK_TIMEOUT`].
     pub fn new(threads: usize) -> Self {
+        Self::with_park_timeout(threads, DEFAULT_PARK_TIMEOUT)
+    }
+
+    /// Spawns a pool whose idle workers re-check for missed work every `park_timeout`
+    /// instead of the default two seconds. Shorter intervals surface stalls faster in
+    /// [`WorkerPool::stall_wakeups`] at the cost of more idle wakeups; the results of any
+    /// fan-out are identical either way.
+    pub fn with_park_timeout(threads: usize, park_timeout: Duration) -> Self {
         let threads = if threads == 0 {
             default_threads()
         } else {
@@ -417,6 +444,8 @@ impl WorkerPool {
             queued: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
             live: AtomicBool::new(true),
+            park_timeout: park_timeout.max(Duration::from_millis(1)),
+            stall_wakeups: AtomicUsize::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -433,6 +462,15 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// How many worker parks have expired without a notification or queued work since the
+    /// pool was built. On a healthy pool this stays near zero under load (workers are
+    /// notified, not timed out); it climbs at `threads / park_timeout` per second while
+    /// the pool sits idle or a submitter is wedged — a cheap, always-on stall diagnostic
+    /// that used to be swallowed silently.
+    pub fn stall_wakeups(&self) -> usize {
+        self.shared.stall_wakeups.load(Ordering::Relaxed)
     }
 
     /// Runs every task on the pool and returns each slot's fate **in submission order**:
@@ -687,5 +725,28 @@ mod tests {
             .map(|i| Box::new(move || i) as Task<usize>)
             .collect();
         assert_eq!(pool.run_indexed(two), vec![0, 1]);
+    }
+
+    #[test]
+    fn stall_wakeups_are_counted_and_the_interval_is_configurable() {
+        // A freshly built pool at the default two-second interval reports no stalls.
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.stall_wakeups(), 0);
+
+        // At a short interval, idle workers accumulate counted stall wakeups quickly...
+        let pool = WorkerPool::with_park_timeout(2, Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            pool.stall_wakeups() >= 1,
+            "idle workers at a 20ms park interval must register stall wakeups"
+        );
+        // ...and the pool still executes fan-outs normally afterwards.
+        let tasks: Vec<Task<usize>> = (0..64usize)
+            .map(|i| Box::new(move || i * 3) as Task<usize>)
+            .collect();
+        assert_eq!(
+            pool.run_indexed(tasks),
+            (0..64).map(|i| i * 3).collect::<Vec<_>>()
+        );
     }
 }

@@ -1,0 +1,409 @@
+//! Seeded, deterministic fault injection for the service round pipeline, plus the
+//! watchdog/retry policy that recovers from it.
+//!
+//! FMore's premise (§I/§VI of the paper) is FL over *unreliable* MEC edge nodes: workers
+//! that crash mid-task, stall past any reasonable deadline, vanish between selection and
+//! delivery, or hand back garbage updates. The service survives all of these by
+//! construction (errors-not-panics, per-job isolation), but nothing so far could *provoke*
+//! them on demand — and an untested recovery path is a broken recovery path.
+//!
+//! This module is the provoker. A [`FaultPlan`] attached to a
+//! [`JobSpec`](crate::service::JobSpec) describes fault rates; a [`FaultClock`] turns the
+//! plan's one seed word into per-`(job, round, attempt, slot)` uniform draws with exactly
+//! the same `derive_seed`-chain discipline as the straggler draws of
+//! [`DeadlineSpec`](crate::service::DeadlineSpec). Two consequences fall out of that
+//! discipline:
+//!
+//! * **Chaos is replayable.** The same spec injects the same faults at the same slots in
+//!   every run, at every pool width, beside any neighbours — so chaos runs are pinned by
+//!   the same bit-identical golden/determinism machinery as healthy runs.
+//! * **Retries can draw clean.** Draws are keyed by the *attempt* as well as the round, so
+//!   a watchdog retry of a faulted round re-executes against fresh fault draws while the
+//!   auction RNG (keyed by `(seed, round)` only) replays identically — a recovered round
+//!   is bit-identical to a round that never faulted.
+//!
+//! The recovery side lives in [`WatchdogSpec`]: a per-round simulated-time budget whose
+//! overrun becomes a typed [`FlError::RoundTimeout`], a bounded retry count, and a
+//! deterministic exponential backoff that is *accounted* (recorded in the
+//! [`RoundRecord`](crate::service::RoundRecord)) rather than slept, keeping chaos suites
+//! fast and bit-stable.
+
+use crate::error::FlError;
+use fmore_numerics::rng::derive_seed;
+
+/// How a corrupted model update is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// The first parameter becomes `NaN` (a silently poisonous value).
+    Nan,
+    /// Every parameter becomes `+∞`.
+    Inf,
+    /// Every parameter is multiplied by [`FaultPlan::corrupt_scale`] (a norm outlier that
+    /// stays finite — the screening policy must catch it by magnitude, not by `is_finite`).
+    Scale,
+}
+
+impl Corruption {
+    /// Applies this corruption to a parameter vector in place.
+    pub fn apply(self, params: &mut [f64], scale: f64) {
+        match self {
+            Corruption::Nan => {
+                if let Some(first) = params.first_mut() {
+                    *first = f64::NAN;
+                }
+            }
+            Corruption::Inf => params.fill(f64::INFINITY),
+            Corruption::Scale => {
+                for p in params.iter_mut() {
+                    *p *= scale;
+                }
+            }
+        }
+    }
+}
+
+/// The kind of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A bid-collection shard panicked on its worker (slot = the shard's start index).
+    FillPanic,
+    /// A per-winner work task panicked on its worker.
+    WorkPanic,
+    /// A per-winner work task stalled: [`FaultPlan::stall_secs`] simulated seconds are
+    /// charged to the round (tripping the watchdog budget), and the task briefly parks its
+    /// worker for real so the executor's stall diagnostics see genuine dead time.
+    Stall,
+    /// A winner dropped out mid-round: its update and payment are forfeited.
+    Dropout,
+    /// A winner's model update came back corrupted.
+    CorruptUpdate(Corruption),
+}
+
+/// One injected fault, recorded as a typed entry in the round's
+/// [`RoundRecord`](crate::service::RoundRecord).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The attempt (0-based) during which the fault fired.
+    pub attempt: u32,
+    /// The slot the fault hit: a winner slot, or the shard start index for
+    /// [`FaultKind::FillPanic`].
+    pub slot: usize,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A job's fault-injection plan: per-stage fault rates, all derived from one seed word.
+///
+/// Rates are per-slot (or per-shard, for fill panics) Bernoulli probabilities evaluated by
+/// the job's [`FaultClock`]. A plan is pure data — attaching it to a spec changes the
+/// job's history only through the faults it injects, and two jobs with the same plan but
+/// different job seeds draw independent fault streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed word of the fault stream (independent of the job's auction seed).
+    pub seed: u64,
+    /// Probability a bid-collection shard panics on its worker.
+    pub fill_panic_rate: f64,
+    /// Probability a per-winner work task panics.
+    pub panic_rate: f64,
+    /// Probability a per-winner work task stalls.
+    pub stall_rate: f64,
+    /// Simulated seconds one stall charges to the round (the watchdog's trigger).
+    pub stall_secs: f64,
+    /// Probability a winner drops out mid-round (after the deadline gate).
+    pub dropout_rate: f64,
+    /// Probability a winner's update is corrupted before aggregation.
+    pub corrupt_rate: f64,
+    /// Multiplier used by [`Corruption::Scale`].
+    pub corrupt_scale: f64,
+    /// Attempts (0-based, exclusive bound) in which injection is active: `1` means faults
+    /// fire on the first attempt only, so every watchdog retry executes clean — the
+    /// configuration chaos suites use to *guarantee* recovery within the retry budget.
+    /// `u32::MAX` keeps faults active on every attempt.
+    pub faulty_attempts: u32,
+}
+
+impl FaultPlan {
+    /// The chaos-soak preset: every fault class active at rates that hit a quick-fidelity
+    /// fleet hard, first attempt only (retries are clean, so recovery is structural).
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            fill_panic_rate: 0.10,
+            panic_rate: 0.15,
+            stall_rate: 0.20,
+            stall_secs: 30.0,
+            dropout_rate: 0.15,
+            corrupt_rate: 0.25,
+            corrupt_scale: 1e9,
+            faulty_attempts: 1,
+        }
+    }
+}
+
+// Draw channels: distinct words folded into the seed chain so each fault class draws an
+// independent uniform per (round, attempt, slot).
+const CH_FILL_PANIC: u64 = 0xF1;
+const CH_WORK: u64 = 0xF2;
+const CH_DROPOUT: u64 = 0xF3;
+const CH_CORRUPT: u64 = 0xF4;
+const CH_CORRUPT_KIND: u64 = 0xF5;
+
+/// The deterministic fault stream of one job: `derive_seed`-chained uniforms keyed by
+/// `(plan seed ⊕ job seed, round, attempt, slot, channel)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultClock {
+    seed: u64,
+}
+
+impl FaultClock {
+    /// Binds a plan to a job: the clock's root seed mixes the plan's seed word with the
+    /// job's auction seed, so two jobs sharing one plan still fault independently.
+    pub fn new(plan: &FaultPlan, job_seed: u64) -> Self {
+        Self {
+            seed: derive_seed(plan.seed, job_seed),
+        }
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` — the same mantissa construction as
+    /// `DeadlineSpec::uniform`, one more derivation deep for the attempt and channel.
+    fn uniform(&self, round: u64, attempt: u32, slot: u64, channel: u64) -> f64 {
+        let h = derive_seed(
+            derive_seed(
+                derive_seed(derive_seed(self.seed, round), u64::from(attempt) + 1),
+                slot + 1,
+            ),
+            channel,
+        );
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn active(plan: &FaultPlan, attempt: u32) -> bool {
+        attempt < plan.faulty_attempts
+    }
+
+    /// Whether the bid-collection shard starting at `shard_start` panics this attempt.
+    pub fn fill_panics(
+        &self,
+        plan: &FaultPlan,
+        round: u64,
+        attempt: u32,
+        shard_start: usize,
+    ) -> bool {
+        Self::active(plan, attempt)
+            && self.uniform(round, attempt, shard_start as u64, CH_FILL_PANIC)
+                < plan.fill_panic_rate
+    }
+
+    /// The fault (if any) injected into winner `slot`'s work task this attempt: one draw
+    /// split between [`FaultKind::WorkPanic`] and [`FaultKind::Stall`], so a slot never
+    /// both panics and stalls.
+    pub fn work_fault(
+        &self,
+        plan: &FaultPlan,
+        round: u64,
+        attempt: u32,
+        slot: usize,
+    ) -> Option<FaultKind> {
+        if !Self::active(plan, attempt) {
+            return None;
+        }
+        let u = self.uniform(round, attempt, slot as u64, CH_WORK);
+        if u < plan.panic_rate {
+            Some(FaultKind::WorkPanic)
+        } else if u < plan.panic_rate + plan.stall_rate {
+            Some(FaultKind::Stall)
+        } else {
+            None
+        }
+    }
+
+    /// Whether winner `slot` drops out mid-round this attempt.
+    pub fn drops_out(&self, plan: &FaultPlan, round: u64, attempt: u32, slot: usize) -> bool {
+        Self::active(plan, attempt)
+            && self.uniform(round, attempt, slot as u64, CH_DROPOUT) < plan.dropout_rate
+    }
+
+    /// The corruption (if any) applied to winner `slot`'s update this attempt; the
+    /// corruption kind is a second, independent draw split evenly three ways.
+    pub fn corruption(
+        &self,
+        plan: &FaultPlan,
+        round: u64,
+        attempt: u32,
+        slot: usize,
+    ) -> Option<Corruption> {
+        if !Self::active(plan, attempt)
+            || self.uniform(round, attempt, slot as u64, CH_CORRUPT) >= plan.corrupt_rate
+        {
+            return None;
+        }
+        let kind = self.uniform(round, attempt, slot as u64, CH_CORRUPT_KIND);
+        Some(if kind < 1.0 / 3.0 {
+            Corruption::Nan
+        } else if kind < 2.0 / 3.0 {
+            Corruption::Inf
+        } else {
+            Corruption::Scale
+        })
+    }
+}
+
+/// A job's round watchdog: the per-round simulated-time budget and the bounded
+/// retry/backoff policy applied when a round fails retryably.
+///
+/// The budget is checked against *simulated* seconds (the deadline model's wave time plus
+/// injected stall charges), never wall-clock — a watchdog that raced real threads would
+/// make chaos histories flaky, and the whole point is that they are pinned. Backoff is
+/// likewise deterministic accounting: `backoff_base_secs · backoff_factor^attempt` per
+/// retry, summed into [`RoundRecord::backoff_secs`](crate::service::RoundRecord), with no
+/// real sleeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogSpec {
+    /// Simulated seconds one round attempt may spend before it is declared wedged and
+    /// fails with [`FlError::RoundTimeout`].
+    pub round_budget_secs: f64,
+    /// Retries allowed after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff charged for the first retry, in simulated seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplicative backoff growth per further retry.
+    pub backoff_factor: f64,
+}
+
+impl WatchdogSpec {
+    /// A forgiving default: a minute of simulated budget, three retries, 1 s → 2 s → 4 s
+    /// backoff.
+    pub fn standard() -> Self {
+        Self {
+            round_budget_secs: 60.0,
+            max_retries: 3,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+        }
+    }
+
+    /// The backoff charged before retrying failed attempt `attempt` (0-based).
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        self.backoff_base_secs * self.backoff_factor.powi(attempt as i32)
+    }
+
+    /// Whether an error is worth retrying: transient round-scoped failures (a panicked
+    /// task, a blown round budget, a fully quarantined aggregation) are; structural
+    /// failures (bad config, unknown ids, admission/backpressure) never heal by retry.
+    pub fn retryable(error: &FlError) -> bool {
+        matches!(
+            error,
+            FlError::JobPanic(_)
+                | FlError::RoundTimeout { .. }
+                | FlError::AllUpdatesQuarantined { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_attempt_keyed() {
+        let plan = FaultPlan::chaos(99);
+        let clock = FaultClock::new(&plan, 7);
+        for slot in 0..32 {
+            assert_eq!(
+                clock.work_fault(&plan, 3, 0, slot),
+                clock.work_fault(&plan, 3, 0, slot),
+                "same key, same draw"
+            );
+        }
+        // With faulty_attempts = 1 every retry attempt is clean by construction.
+        for slot in 0..64 {
+            assert_eq!(clock.work_fault(&plan, 3, 1, slot), None);
+            assert!(!clock.drops_out(&plan, 3, 2, slot));
+            assert_eq!(clock.corruption(&plan, 3, 1, slot), None);
+            assert!(!clock.fill_panics(&plan, 3, 1, slot));
+        }
+        let mut unlimited = plan.clone();
+        unlimited.faulty_attempts = u32::MAX;
+        let faults_on_retry = (0..64)
+            .filter(|&slot| clock.work_fault(&unlimited, 3, 1, slot).is_some())
+            .count();
+        assert!(faults_on_retry > 0, "unlimited plans keep faulting retries");
+    }
+
+    #[test]
+    fn rates_are_respected_in_aggregate() {
+        let plan = FaultPlan::chaos(1234);
+        let clock = FaultClock::new(&plan, 1);
+        let n = 4000;
+        let drops = (0..n)
+            .filter(|&slot| clock.drops_out(&plan, 1, 0, slot))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!(
+            (rate - plan.dropout_rate).abs() < 0.03,
+            "empirical dropout rate {rate} strays from {}",
+            plan.dropout_rate
+        );
+        // Different jobs sharing one plan draw independent streams.
+        let other = FaultClock::new(&plan, 2);
+        let agree = (0..n)
+            .filter(|&slot| {
+                clock.drops_out(&plan, 1, 0, slot) == other.drops_out(&plan, 1, 0, slot)
+            })
+            .count();
+        assert!(agree < n, "two jobs' fault streams must differ");
+    }
+
+    #[test]
+    fn corruption_kinds_all_occur_and_apply() {
+        let plan = FaultPlan::chaos(5);
+        let clock = FaultClock::new(&plan, 9);
+        let mut seen = [false; 3];
+        for slot in 0..2000 {
+            match clock.corruption(&plan, 1, 0, slot) {
+                Some(Corruption::Nan) => seen[0] = true,
+                Some(Corruption::Inf) => seen[1] = true,
+                Some(Corruption::Scale) => seen[2] = true,
+                None => {}
+            }
+        }
+        assert_eq!(seen, [true; 3], "all three corruption kinds drawn");
+
+        let mut params = vec![1.0, 2.0];
+        Corruption::Nan.apply(&mut params, 1e9);
+        assert!(params[0].is_nan() && params[1] == 2.0);
+        let mut params = vec![1.0, 2.0];
+        Corruption::Inf.apply(&mut params, 1e9);
+        assert!(params.iter().all(|p| p.is_infinite()));
+        let mut params = vec![1.0, 2.0];
+        Corruption::Scale.apply(&mut params, 1e9);
+        assert_eq!(params, vec![1e9, 2e9]);
+    }
+
+    #[test]
+    fn watchdog_backoff_is_exponential_and_retryability_is_typed() {
+        let w = WatchdogSpec::standard();
+        assert_eq!(w.backoff_secs(0), 1.0);
+        assert_eq!(w.backoff_secs(1), 2.0);
+        assert_eq!(w.backoff_secs(2), 4.0);
+        assert!(WatchdogSpec::retryable(&FlError::RoundTimeout {
+            round: 1,
+            sim_secs: 90.0,
+            budget_secs: 60.0,
+        }));
+        assert!(WatchdogSpec::retryable(&FlError::JobPanic(
+            crate::executor::JobPanic {
+                slot: 0,
+                message: "boom".into(),
+            }
+        )));
+        assert!(WatchdogSpec::retryable(&FlError::AllUpdatesQuarantined {
+            quarantined: 4
+        }));
+        assert!(!WatchdogSpec::retryable(&FlError::UnknownJob(3)));
+        assert!(!WatchdogSpec::retryable(&FlError::InvalidConfig(
+            "x".into()
+        )));
+    }
+}

@@ -39,18 +39,25 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod selection;
 pub mod service;
 pub mod trainer;
 
-pub use aggregator::{federated_average, federated_average_into};
+pub use aggregator::{
+    federated_average, federated_average_into, federated_average_screened, Quarantine,
+    ScreenPolicy, ScreenedAggregation, UpdateFault,
+};
 pub use client::EdgeClient;
 pub use config::FlConfig;
 pub use engine::{shared_pool, ExecutionMode, RoundEngine, SlotState, WorkerPool};
 pub use error::FlError;
 pub use executor::JobPanic;
+pub use faults::{Corruption, FaultClock, FaultEvent, FaultKind, FaultPlan, WatchdogSpec};
 pub use metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 pub use selection::SelectionStrategy;
-pub use service::{AuctionService, JobHistory, JobId, JobSpec, RoundSummary, ServiceConfig};
+pub use service::{
+    AuctionService, JobCheckpoint, JobHistory, JobId, JobSpec, RoundSummary, ServiceConfig,
+};
 pub use trainer::FederatedTrainer;

@@ -8,16 +8,19 @@
 //! round). That ownership split is what makes a job's history bit-identical whether it
 //! runs alone or interleaved with noisy neighbours.
 
+use crate::aggregator::{federated_average_screened, ScreenPolicy};
 use crate::engine::{
     apply_deadline, auction_select_streamed, ParticipantTiming, RoundEngine, Task,
 };
 use crate::error::FlError;
+use crate::faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, WatchdogSpec};
 use crate::metrics::WinnerInfo;
 use fmore_auction::{Auction, AuctionError, BidStore};
 use fmore_numerics::rng::derive_seed;
 use fmore_numerics::seeded_rng;
 use std::ops::Range;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifier of an admitted job, unique for the lifetime of its service.
 pub type JobId = u64;
@@ -38,6 +41,10 @@ pub type BidSource =
 /// scalar folded into [`RoundSummary::work_value`]. A panic inside is caught by the
 /// checked executor path and fails only this job's round.
 pub type WinnerWork = dyn Fn(u64, usize, &WinnerInfo) -> f64 + Send + Sync;
+
+/// A [`BidSource`] already bound to its round — the shape the streamed selector's fill
+/// input takes (and the fault layer wraps to inject shard panics).
+type ShardFill = dyn Fn(Range<usize>, &mut BidStore) -> Result<(), AuctionError> + Send + Sync;
 
 /// Synthetic deadline model for a job: deterministic per-`(seed, round, slot)` completion
 /// times fed through [`apply_deadline`], so a service job exercises the same
@@ -116,6 +123,18 @@ pub struct JobSpec {
     /// Bound on rounds queued but not yet run (the backpressure knob); `0` means
     /// "service default".
     pub max_pending: usize,
+    /// Dimension of the synthetic per-winner model updates aggregated each round; `0`
+    /// disables the update/aggregation stage. Updates are a pure function of
+    /// `(seed, round, node)`, screened through
+    /// [`federated_average_screened`] so corrupted vectors are quarantined, never averaged.
+    pub update_dim: usize,
+    /// Optional round watchdog: simulated-time budget plus bounded retry with
+    /// deterministic backoff accounting. `None` means a failed round is recorded and
+    /// never retried (the pre-watchdog behaviour).
+    pub watchdog: Option<WatchdogSpec>,
+    /// Optional deterministic fault-injection plan (chaos testing); `None` injects
+    /// nothing and leaves the round pipeline byte-identical to a plan-free build.
+    pub faults: Option<FaultPlan>,
     /// The job's bid stream.
     pub source: Arc<BidSource>,
     /// Optional per-winner work.
@@ -132,6 +151,9 @@ impl std::fmt::Debug for JobSpec {
             .field("seed", &self.seed)
             .field("deadline", &self.deadline)
             .field("max_pending", &self.max_pending)
+            .field("update_dim", &self.update_dim)
+            .field("watchdog", &self.watchdog)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -149,6 +171,13 @@ pub struct RoundSummary {
     pub total_payment: f64,
     /// Winners that missed the deadline (excluded from `winners`).
     pub deadline_misses: usize,
+    /// Winners that dropped out mid-round (excluded from `winners`, payment forfeited).
+    pub dropouts: usize,
+    /// Updates quarantined by aggregation screening (the round degraded to the rest).
+    pub quarantined: usize,
+    /// Simulated seconds the successful attempt spent (deadline wave time plus injected
+    /// stall charges) — what the watchdog budget was checked against.
+    pub sim_secs: f64,
     /// Sum of the per-winner work values (0 when the job has no work closure).
     pub work_value: f64,
     /// Peak resident bid bytes of the round's streaming stage.
@@ -156,13 +185,23 @@ pub struct RoundSummary {
 }
 
 /// One round's outcome in a job's history: a summary, or the typed error that failed the
-/// round (the job itself survives and may run further rounds).
+/// round (the job itself survives and may run further rounds) — plus the watchdog's
+/// retry/backoff accounting and every fault injected into the round, as typed entries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// The job-local round number (1-based).
     pub round: u64,
-    /// The round's outcome.
+    /// The round's final outcome (of the last attempt).
     pub outcome: Result<RoundSummary, FlError>,
+    /// Attempts executed (1 for a clean round; watchdog retries add to this).
+    pub attempts: u32,
+    /// Total deterministic backoff charged across retries, in simulated seconds.
+    pub backoff_secs: f64,
+    /// Every fault injected across the round's attempts, in injection order.
+    pub faults: Vec<FaultEvent>,
+    /// The typed error of each failed-and-retried attempt, in attempt order (the final
+    /// attempt's error, if any, is in `outcome` instead).
+    pub retry_errors: Vec<FlError>,
 }
 
 /// The full per-job history: every round ever run, successful or failed, in order.
@@ -186,10 +225,12 @@ impl JobHistory {
     }
 
     /// FNV-1a fingerprint over the history's *auction-observable* content: round numbers,
-    /// offered counts, winner nodes/scores/payments bit-for-bit, deadline misses, work
-    /// values, failure messages. [`RoundSummary::peak_bid_bytes`] is deliberately
-    /// excluded — it is memory *accounting* and scales with the engine's parallel width,
-    /// while the fingerprint pins what must be invariant across widths and neighbours.
+    /// offered counts, winner nodes/scores/payments bit-for-bit, deadline misses,
+    /// dropouts, quarantine counts, simulated round time, work values, retry/backoff
+    /// accounting, injected faults, and failure messages.
+    /// [`RoundSummary::peak_bid_bytes`] is deliberately excluded — it is memory
+    /// *accounting* and scales with the engine's parallel width, while the fingerprint
+    /// pins what must be invariant across widths and neighbours.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |bytes: &[u8]| {
@@ -201,11 +242,24 @@ impl JobHistory {
         eat(self.name.as_bytes());
         for record in &self.rounds {
             eat(&record.round.to_le_bytes());
+            eat(&u64::from(record.attempts).to_le_bytes());
+            eat(&record.backoff_secs.to_bits().to_le_bytes());
+            for fault in &record.faults {
+                eat(&u64::from(fault.attempt).to_le_bytes());
+                eat(&(fault.slot as u64).to_le_bytes());
+                eat(&fault_kind_tag(fault.kind).to_le_bytes());
+            }
+            for error in &record.retry_errors {
+                eat(error.to_string().as_bytes());
+            }
             match &record.outcome {
                 Ok(s) => {
                     eat(&(s.offered as u64).to_le_bytes());
                     eat(&s.total_payment.to_bits().to_le_bytes());
                     eat(&(s.deadline_misses as u64).to_le_bytes());
+                    eat(&(s.dropouts as u64).to_le_bytes());
+                    eat(&(s.quarantined as u64).to_le_bytes());
+                    eat(&s.sim_secs.to_bits().to_le_bytes());
                     eat(&s.work_value.to_bits().to_le_bytes());
                     for w in &s.winners {
                         eat(&w.node.0.to_le_bytes());
@@ -219,6 +273,38 @@ impl JobHistory {
         h
     }
 }
+
+/// Stable fold tag of a [`FaultKind`] for fingerprinting.
+fn fault_kind_tag(kind: FaultKind) -> u64 {
+    use crate::faults::Corruption;
+    match kind {
+        FaultKind::FillPanic => 1,
+        FaultKind::WorkPanic => 2,
+        FaultKind::Stall => 3,
+        FaultKind::Dropout => 4,
+        FaultKind::CorruptUpdate(Corruption::Nan) => 5,
+        FaultKind::CorruptUpdate(Corruption::Inf) => 6,
+        FaultKind::CorruptUpdate(Corruption::Scale) => 7,
+    }
+}
+
+/// The deterministic synthetic model update of one winner: a pure function of
+/// `(seed, round, node, dim)` in `[-1, 1)^dim`, the service-path stand-in for a trained
+/// parameter delta (corruption faults mutate it *after* this derivation).
+fn synthetic_update(seed: u64, round: u64, node: u64, dim: usize) -> Vec<f64> {
+    let base = derive_seed(derive_seed(seed, round), node.wrapping_add(1));
+    (0..dim)
+        .map(|d| {
+            let h = derive_seed(base, d as u64 + 1);
+            ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Real wall-clock pause of one injected stall: long enough that the executor genuinely
+/// parks a worker mid-wave, short enough that chaos suites stay sub-second. Simulated
+/// time (what the watchdog meters) is charged separately via [`FaultPlan::stall_secs`].
+const STALL_SLEEP: Duration = Duration::from_micros(200);
 
 /// A live job inside the service: spec + round counter + pending-round queue depth +
 /// accumulated history. All of it is private to the job's own mutex; a round holds no
@@ -273,28 +359,127 @@ impl FlJob {
         self.history
     }
 
-    /// Runs one round and records its outcome in the history. The returned result mirrors
-    /// the recorded outcome; an `Err` means *this round* failed — the job stays usable.
+    /// Snapshot of the job's resumable state. The round counter *is* the job's entire RNG
+    /// position — every round re-derives its randomness from `(seed, round)` — so counter
+    /// plus history is a complete checkpoint.
+    pub(super) fn checkpoint(&self) -> super::JobCheckpoint {
+        super::JobCheckpoint {
+            round: self.round,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Rebuilds a job mid-run from a checkpoint and its (re-supplied) spec. The next round
+    /// run is `checkpoint.round + 1`, with randomness identical to what the uninterrupted
+    /// job would have drawn.
+    pub(super) fn from_checkpoint(spec: JobSpec, checkpoint: super::JobCheckpoint) -> Self {
+        Self {
+            spec,
+            round: checkpoint.round,
+            pending: 0,
+            history: checkpoint.history,
+        }
+    }
+
+    /// Runs one round — retrying under the spec's watchdog policy — and records its
+    /// outcome, retry/backoff accounting, and every injected fault in the history. The
+    /// returned result mirrors the recorded outcome; an `Err` means *this round* failed
+    /// (its retry budget included) — the job stays usable.
     pub(super) fn run_round(&mut self, engine: &RoundEngine) -> Result<RoundSummary, FlError> {
         self.round += 1;
         let round = self.round;
-        let outcome = self.round_body(round, engine);
+        let max_retries = self.spec.watchdog.as_ref().map_or(0, |w| w.max_retries);
+        let mut faults = Vec::new();
+        let mut retry_errors = Vec::new();
+        let mut backoff_secs = 0.0;
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match self.round_body(round, attempt, engine, &mut faults) {
+                Ok(summary) => break Ok(summary),
+                Err(error) => {
+                    if attempt >= max_retries || !WatchdogSpec::retryable(&error) {
+                        break Err(error);
+                    }
+                    // max_retries > 0 implies a watchdog; charge its deterministic
+                    // backoff (accounting only — no real sleeping) and go again.
+                    let watchdog = self
+                        .spec
+                        .watchdog
+                        .as_ref()
+                        .expect("retries need a watchdog");
+                    backoff_secs += watchdog.backoff_secs(attempt);
+                    retry_errors.push(error);
+                    attempt += 1;
+                }
+            }
+        };
         self.history.rounds.push(RoundRecord {
             round,
             outcome: outcome.clone(),
+            attempts: attempt + 1,
+            backoff_secs,
+            faults,
+            retry_errors,
         });
         outcome
     }
 
-    fn round_body(&self, round: u64, engine: &RoundEngine) -> Result<RoundSummary, FlError> {
+    /// One attempt of one round. Fault draws are keyed by `(plan, round, attempt, slot)`
+    /// while the auction RNG is keyed by `(seed, round)` alone — so a clean retry of a
+    /// faulted attempt replays the *identical* auction and is bit-identical to a round
+    /// that never faulted.
+    fn round_body(
+        &self,
+        round: u64,
+        attempt: u32,
+        engine: &RoundEngine,
+        faults: &mut Vec<FaultEvent>,
+    ) -> Result<RoundSummary, FlError> {
         let spec = &self.spec;
+        let clock = spec
+            .faults
+            .as_ref()
+            .map(|plan| (plan, FaultClock::new(plan, spec.seed)));
+
         // Each round's randomness derives from (seed, round) alone, so the stream of
         // histories is independent of when — or beside whom — the round executes.
         let mut rng = seeded_rng(derive_seed(spec.seed, round));
         let source = Arc::clone(&spec.source);
-        let fill =
-            Arc::new(move |range: Range<usize>, store: &mut BidStore| source(range, round, store));
-        let streamed = auction_select_streamed(
+        // Record the shards that will panic before dispatch (draws are deterministic, so
+        // "will fire" and "fired" coincide).
+        let mut fill_panic_shards: Vec<usize> = Vec::new();
+        if let Some((plan, clock)) = &clock {
+            if plan.fill_panic_rate > 0.0 {
+                for start in (0..spec.population).step_by(spec.shard_size.max(1)) {
+                    if clock.fill_panics(plan, round, attempt, start) {
+                        fill_panic_shards.push(start);
+                        faults.push(FaultEvent {
+                            attempt,
+                            slot: start,
+                            kind: FaultKind::FillPanic,
+                        });
+                    }
+                }
+            }
+        }
+        let fill: Arc<ShardFill> = match &clock {
+            Some((plan, clock)) if plan.fill_panic_rate > 0.0 => {
+                let plan = (*plan).clone();
+                let clock = *clock;
+                Arc::new(move |range: Range<usize>, store: &mut BidStore| {
+                    assert!(
+                        !clock.fill_panics(&plan, round, attempt, range.start),
+                        "injected fault: bid shard at {} panicked",
+                        range.start
+                    );
+                    source(range, round, store)
+                })
+            }
+            _ => Arc::new(move |range: Range<usize>, store: &mut BidStore| {
+                source(range, round, store)
+            }),
+        };
+        let streamed = match auction_select_streamed(
             &spec.auction,
             spec.population,
             spec.shard_size,
@@ -310,14 +495,30 @@ impl FlJob {
                 score: award.score,
                 payment: award.payment,
             },
-        )?;
+        ) {
+            Ok(streamed) => streamed,
+            // The executor attributes a caught panic to its wave-relative task slot,
+            // which depends on the pool width. An *injected* fill panic must leave a
+            // width-invariant record, so canonicalise it to the first panicking shard's
+            // start index (the panic genuinely fired on a worker either way).
+            Err(FlError::JobPanic(_)) if !fill_panic_shards.is_empty() => {
+                let shard = fill_panic_shards[0];
+                return Err(FlError::JobPanic(crate::executor::JobPanic {
+                    slot: shard,
+                    message: format!("injected fault: bid shard at {shard} panicked"),
+                }));
+            }
+            Err(e) => return Err(e),
+        };
 
         let mut winners = streamed.winners;
         let mut deadline_misses = 0;
+        let mut sim_secs = 0.0f64;
         if let Some(deadline) = &spec.deadline {
             let timings = deadline.timings(spec.seed, round, winners.len());
             let verdict = apply_deadline(&timings, deadline.deadline_secs);
             deadline_misses = winners.len() - verdict.survivors.len();
+            sim_secs = verdict.wave_secs;
             let mut keep = verdict.survivors.into_iter().peekable();
             let mut slot = 0usize;
             winners.retain(|_| {
@@ -330,21 +531,112 @@ impl FlJob {
             });
         }
 
+        // Mid-round dropouts: the survivor set thins again, payment forfeited.
+        let mut dropouts = 0;
+        if let Some((plan, clock)) = &clock {
+            let mut slot = 0usize;
+            winners.retain(|_| {
+                let dropped = clock.drops_out(plan, round, attempt, slot);
+                if dropped {
+                    faults.push(FaultEvent {
+                        attempt,
+                        slot,
+                        kind: FaultKind::Dropout,
+                    });
+                    dropouts += 1;
+                }
+                slot += 1;
+                !dropped
+            });
+        }
+
+        // Per-winner work fan-out, with injected panics and stalls. Stall charges land on
+        // the round's simulated clock (the watchdog's meter); the stalled task also parks
+        // its worker briefly for real so the executor sees genuine dead time.
         let work_value = match &spec.work {
             Some(work) => {
                 let tasks: Vec<Task<f64>> = winners
                     .iter()
                     .enumerate()
                     .map(|(slot, winner)| {
+                        let injected = clock.as_ref().and_then(|(plan, clock)| {
+                            let fault = clock.work_fault(plan, round, attempt, slot)?;
+                            faults.push(FaultEvent {
+                                attempt,
+                                slot,
+                                kind: fault,
+                            });
+                            if fault == FaultKind::Stall {
+                                sim_secs += plan.stall_secs;
+                            }
+                            Some(fault)
+                        });
                         let work = Arc::clone(work);
                         let winner = winner.clone();
-                        Box::new(move || work(round, slot, &winner)) as Task<f64>
+                        Box::new(move || {
+                            match injected {
+                                Some(FaultKind::WorkPanic) => {
+                                    panic!("injected fault: work task in slot {slot} panicked")
+                                }
+                                Some(FaultKind::Stall) => std::thread::sleep(STALL_SLEEP),
+                                _ => {}
+                            }
+                            work(round, slot, &winner)
+                        }) as Task<f64>
                     })
                     .collect();
                 engine.try_run_tasks(tasks)?.into_iter().sum()
             }
             None => 0.0,
         };
+
+        // The watchdog meters simulated time, so its verdict is identical on every
+        // machine and at every pool width. Checked before aggregation: a wedged round
+        // should not publish a model.
+        if let Some(watchdog) = &spec.watchdog {
+            if sim_secs > watchdog.round_budget_secs {
+                return Err(FlError::RoundTimeout {
+                    round,
+                    sim_secs,
+                    budget_secs: watchdog.round_budget_secs,
+                });
+            }
+        }
+
+        // Synthetic update stage: derive each survivor's update, corrupt per the fault
+        // plan, screen, and aggregate what survives. Quarantine degrades the round;
+        // only a fully quarantined batch fails it (retryably).
+        let mut quarantined = 0;
+        if spec.update_dim > 0 && !winners.is_empty() {
+            let updates: Vec<(Vec<f64>, f64)> = winners
+                .iter()
+                .enumerate()
+                .map(|(slot, winner)| {
+                    let mut params =
+                        synthetic_update(spec.seed, round, winner.node.0, spec.update_dim);
+                    if let Some((plan, clock)) = &clock {
+                        if let Some(corruption) = clock.corruption(plan, round, attempt, slot) {
+                            corruption.apply(&mut params, plan.corrupt_scale);
+                            faults.push(FaultEvent {
+                                attempt,
+                                slot,
+                                kind: FaultKind::CorruptUpdate(corruption),
+                            });
+                        }
+                    }
+                    (params, winner.data_size as f64)
+                })
+                .collect();
+            let borrowed: Vec<(&[f64], f64)> = updates
+                .iter()
+                .map(|(params, weight)| (params.as_slice(), *weight))
+                .collect();
+            let mut global = Vec::new();
+            let screened =
+                federated_average_screened(&borrowed, &ScreenPolicy::default(), &mut global)?;
+            quarantined = screened.quarantined.len();
+            debug_assert!(global.iter().all(|p| p.is_finite()));
+        }
 
         let total_payment = winners.iter().map(|w| w.payment).sum();
         Ok(RoundSummary {
@@ -353,6 +645,9 @@ impl FlJob {
             winners,
             total_payment,
             deadline_misses,
+            dropouts,
+            quarantined,
+            sim_secs,
             work_value,
             peak_bid_bytes: streamed.peak_bid_bytes,
         })

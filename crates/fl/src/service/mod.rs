@@ -25,8 +25,10 @@
 //!
 //! [`WorkerPool`]: crate::executor::WorkerPool
 
+mod checkpoint;
 mod job;
 
+pub use checkpoint::JobCheckpoint;
 pub use job::{
     BidSource, DeadlineSpec, FlJob, JobHistory, JobId, JobSpec, RoundRecord, RoundSummary,
     WinnerWork,
@@ -234,6 +236,53 @@ impl AuctionService {
         Ok(job.history().clone())
     }
 
+    /// Snapshot of the job's resumable state — serialise it with
+    /// [`JobCheckpoint::to_bytes`] and resume it (here or on a fresh service) with
+    /// [`AuctionService::restore`]. The job keeps running; a checkpoint is a copy, not a
+    /// close.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::UnknownJob`] for a dead id.
+    pub fn checkpoint(&self, id: JobId) -> Result<JobCheckpoint, FlError> {
+        let job = self.job(id)?;
+        let job = lock(&job);
+        Ok(job.checkpoint())
+    }
+
+    /// Admits a job resumed from a checkpoint: its round counter and history continue
+    /// where the checkpoint left off, and — because each round's randomness derives from
+    /// `(seed, round)` alone — the restored job's further rounds are bit-identical to the
+    /// uninterrupted run's. The spec is re-supplied by the caller (specs hold closures and
+    /// are never serialised) and must name the same job.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] when `spec.name` differs from the checkpointed name;
+    /// [`FlError::AdmissionFull`] when the service is at capacity.
+    pub fn restore(&self, spec: JobSpec, checkpoint: JobCheckpoint) -> Result<JobId, FlError> {
+        if spec.name != checkpoint.name() {
+            return Err(FlError::InvalidConfig(format!(
+                "checkpoint of job '{}' cannot restore a spec named '{}'",
+                checkpoint.name(),
+                spec.name
+            )));
+        }
+        let mut state = lock(&self.state);
+        if state.jobs.len() >= self.config.max_jobs {
+            return Err(FlError::AdmissionFull {
+                capacity: self.config.max_jobs,
+            });
+        }
+        let id = state.next;
+        state.next += 1;
+        state.jobs.insert(
+            id,
+            Arc::new(Mutex::new(FlJob::from_checkpoint(spec, checkpoint))),
+        );
+        Ok(id)
+    }
+
     fn job(&self, id: JobId) -> Result<Arc<Mutex<FlJob>>, FlError> {
         lock(&self.state)
             .jobs
@@ -293,6 +342,9 @@ mod tests {
             seed,
             deadline: Some(DeadlineSpec::lenient()),
             max_pending: 0,
+            update_dim: 0,
+            watchdog: None,
+            faults: None,
             source: toy_source(),
             work: None,
         }
@@ -435,6 +487,179 @@ mod tests {
         assert_eq!(recovered.round, 2);
         assert!(recovered.work_value > 0.0);
         assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn close_during_a_racing_round_snapshots_history_and_frees_the_slot() {
+        use std::sync::atomic::AtomicBool;
+        let service = AuctionService::with_engine(
+            ServiceConfig {
+                max_jobs: 1,
+                max_pending: 4,
+            },
+            RoundEngine::inline(),
+        );
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let mut spec = toy_spec("racer", 21);
+        let (entered_w, release_r) = (Arc::clone(&entered), Arc::clone(&release));
+        spec.work = Some(Arc::new(move |_round, slot, _winner| {
+            if slot == 0 {
+                entered_w.store(true, Ordering::SeqCst);
+                while !release_r.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            }
+            1.0
+        }));
+        let id = service.admit(spec).unwrap();
+        // Hold a handle to the job the way an in-flight round does, so `close` is
+        // guaranteed to hit its snapshot branch rather than unwrapping the sole Arc.
+        let held = service.job(id).unwrap();
+
+        std::thread::scope(|scope| {
+            let round = scope.spawn(|| service.run_round(id));
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // The round is mid-work and owns the job mutex. Close concurrently: it must
+            // remove the job, then wait out the racing round and snapshot its record.
+            let closer = scope.spawn(|| service.close(id));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            // The slot is free for a new tenant even while the old round still runs.
+            assert!(service.is_empty());
+            let fresh = service.admit(toy_spec("tenant2", 22)).unwrap();
+            assert!(service.run_round(fresh).is_ok());
+
+            release.store(true, Ordering::SeqCst);
+            let summary = round.join().expect("round thread").unwrap();
+            assert_eq!(summary.round, 1);
+            let snapshot = closer.join().expect("closer thread").unwrap();
+            // Close serialised after the racing round's record was written.
+            assert_eq!(snapshot.name, "racer");
+            assert_eq!(snapshot.completed(), 1);
+        });
+        drop(held);
+        assert_eq!(service.run_round(id).unwrap_err(), FlError::UnknownJob(id));
+    }
+
+    #[test]
+    fn capacity_reuse_preserves_the_closed_jobs_history() {
+        let service = AuctionService::with_engine(
+            ServiceConfig {
+                max_jobs: 1,
+                max_pending: 4,
+            },
+            RoundEngine::inline(),
+        );
+        let a = service.admit(toy_spec("first", 31)).unwrap();
+        service.run_round(a).unwrap();
+        service.run_round(a).unwrap();
+        assert_eq!(
+            service.admit(toy_spec("second", 32)).unwrap_err(),
+            FlError::AdmissionFull { capacity: 1 }
+        );
+        let history = service.close(a).unwrap();
+        assert_eq!(history.name, "first");
+        assert_eq!(history.completed(), 2);
+        let b = service.admit(toy_spec("second", 32)).unwrap();
+        assert!(service.run_round(b).is_ok());
+        assert_eq!(service.history(b).unwrap().name, "second");
+    }
+
+    #[test]
+    fn watchdog_recovers_faulted_rounds_within_budget() {
+        use crate::faults::{FaultPlan, WatchdogSpec};
+        let run = || {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let mut spec = toy_spec("chaos", 404);
+            spec.update_dim = 8;
+            spec.watchdog = Some(WatchdogSpec {
+                round_budget_secs: 20.0,
+                max_retries: 3,
+                backoff_base_secs: 0.5,
+                backoff_factor: 2.0,
+            });
+            spec.faults = Some(FaultPlan::chaos(11));
+            spec.work = Some(Arc::new(|_round, _slot, winner| winner.score));
+            let id = service.admit(spec).unwrap();
+            for _ in 0..6 {
+                let _ = service.run_round(id);
+            }
+            service.close(id).unwrap()
+        };
+        let history = run();
+        assert_eq!(history.completed(), 6, "every faulted round recovered");
+        let retried: Vec<_> = history.rounds.iter().filter(|r| r.attempts > 1).collect();
+        assert!(
+            !retried.is_empty(),
+            "chaos rates over 6 rounds × 8 winners must trip at least one retry"
+        );
+        for record in &retried {
+            assert_eq!(record.retry_errors.len() as u32, record.attempts - 1);
+            assert!(record.backoff_secs > 0.0);
+            assert!(record.retry_errors.iter().all(WatchdogSpec::retryable));
+            assert!(!record.faults.is_empty());
+        }
+        // Chaos is replayable: the identical spec reproduces the identical history.
+        assert_eq!(history, run());
+    }
+
+    #[test]
+    fn faults_without_a_watchdog_fail_typed_and_unretried() {
+        use crate::faults::FaultPlan;
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+        let mut spec = toy_spec("unguarded", 77);
+        let mut plan = FaultPlan::chaos(3);
+        // Make failure certain: every work task panics, and no watchdog retries it.
+        plan.panic_rate = 1.0;
+        spec.faults = Some(plan);
+        spec.work = Some(Arc::new(|_round, _slot, winner| winner.score));
+        let id = service.admit(spec).unwrap();
+        let err = service.run_round(id).unwrap_err();
+        assert!(matches!(err, FlError::JobPanic(_)), "{err}");
+        let history = service.close(id).unwrap();
+        assert_eq!(history.rounds[0].attempts, 1);
+        assert!(history.rounds[0].retry_errors.is_empty());
+        assert!(!history.rounds[0].faults.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let spec = || toy_spec("cp", 55);
+        // Uninterrupted reference run.
+        let full = {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+            let id = service.admit(spec()).unwrap();
+            for _ in 0..4 {
+                service.run_round(id).unwrap();
+            }
+            service.close(id).unwrap()
+        };
+        // Interrupted run: two rounds, checkpoint → bytes → restore on a *fresh* service,
+        // two more rounds.
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+        let id = service.admit(spec()).unwrap();
+        for _ in 0..2 {
+            service.run_round(id).unwrap();
+        }
+        let bytes = service.checkpoint(id).unwrap().to_bytes();
+        let resumed = JobCheckpoint::from_bytes(&bytes).unwrap();
+        let fresh = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+        let rid = fresh.restore(spec(), resumed).unwrap();
+        for _ in 0..2 {
+            fresh.run_round(rid).unwrap();
+        }
+        assert_eq!(fresh.close(rid).unwrap(), full);
+        // The original keeps running — a checkpoint is a copy, not a close.
+        service.run_round(id).unwrap();
+        // Restoring under a different name is refused.
+        let err = fresh
+            .restore(toy_spec("other", 55), service.checkpoint(id).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, FlError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

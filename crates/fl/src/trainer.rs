@@ -375,7 +375,7 @@ impl FederatedTrainer {
             self.slots[update.slot] = Some(state);
             updates.push(update);
         }
-        if engine::aggregate_into(&updates, &mut self.avg_buf) {
+        if engine::aggregate_into(&updates, &mut self.avg_buf)? {
             self.global.set_parameters(&self.avg_buf);
         }
         // Hand each parameter buffer back to its slot so next round exports into it again.

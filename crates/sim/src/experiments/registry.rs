@@ -9,8 +9,8 @@
 
 use crate::error::SimError;
 use crate::experiments::{
-    accuracy, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scale, scores,
-    service_soak,
+    accuracy, chaos_soak, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scale,
+    scores, service_soak,
 };
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
@@ -280,6 +280,17 @@ fn run_service_soak(
     service_soak::run(runner, &config)
 }
 
+fn run_chaos_soak(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => chaos_soak::ChaosConfig::quick(),
+        Fidelity::Paper => chaos_soak::ChaosConfig::paper(),
+    };
+    chaos_soak::run(runner, &config)
+}
+
 /// Every experiment of the paper's evaluation, in figure order.
 pub const REGISTRY: &[ExperimentDef] = &[
     ExperimentDef {
@@ -366,6 +377,12 @@ pub const REGISTRY: &[ExperimentDef] = &[
         summary: "N concurrent mixed-scheme jobs on one service, interleaved == solo",
         run: run_service_soak,
     },
+    ExperimentDef {
+        name: "chaos-soak",
+        figure: "new (SS I / SS VI unreliable edge nodes)",
+        summary: "fault-injected fleet: healthy == solo, faulted recover, checkpoint == solo",
+        run: run_chaos_soak,
+    },
 ];
 
 /// Looks an experiment up by registry name.
@@ -411,8 +428,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_fourteen_experiments() {
-        assert_eq!(REGISTRY.len(), 14);
+    fn registry_lists_all_fifteen_experiments() {
+        assert_eq!(REGISTRY.len(), 15);
         let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
         for expected in [
             "accuracy",
@@ -429,6 +446,7 @@ mod tests {
             "scale-memory",
             "scale-parity",
             "service-soak",
+            "chaos-soak",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

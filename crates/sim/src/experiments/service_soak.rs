@@ -155,6 +155,9 @@ pub fn job_specs(config: &SoakConfig) -> Result<Vec<JobSpec>, SimError> {
                 seed,
                 deadline: (j % 2 == 1).then(DeadlineSpec::lenient),
                 max_pending: 4,
+                update_dim: 0,
+                watchdog: None,
+                faults: None,
                 source,
                 // Deterministic stand-in for local training: pure in (round, slot, winner).
                 work: Some(Arc::new(|round, slot, winner| {

@@ -657,3 +657,169 @@ fn poisoned_job_never_aborts_its_neighbours_round() {
         "the healthy job's history must be untouched by its poisoned neighbour"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Chaos determinism (ISSUE 8): active fault injection must change nothing it
+// doesn't name — healthy tenants bit-match solo, faulted tenants recover with
+// typed records, and a checkpointed run equals the uninterrupted one.
+// ---------------------------------------------------------------------------
+
+/// The chaos pin: under an active `FaultPlan` injecting panics, stalls, dropouts, and
+/// corrupted updates into half the fleet, (a) every *healthy* job's interleaved history is
+/// bit-identical to its solo run at the same pool width, (b) every *faulted* job recovers
+/// all its rounds within the watchdog's retry budget, with each injected fault and each
+/// retried error present as typed entries in its `RoundRecord`s, and (c) the whole fleet's
+/// fingerprints are invariant across pool widths.
+#[test]
+fn chaos_fleet_heals_within_budget_and_spares_healthy_tenants() {
+    use fmore::fl::service::{AuctionService, ServiceConfig};
+    use fmore::fl::WatchdogSpec;
+    use fmore::sim::experiments::chaos_soak::{job_specs, ChaosConfig};
+
+    let config = ChaosConfig::quick();
+    let specs = job_specs(&config).expect("chaos specs build");
+    let rounds = config.soak.rounds;
+
+    let solo_at = |threads: usize| -> Vec<fmore::fl::service::JobHistory> {
+        specs
+            .iter()
+            .map(|spec| {
+                let service = AuctionService::with_engine(
+                    ServiceConfig::default(),
+                    RoundEngine::pooled(threads),
+                );
+                let id = service.admit(spec.clone()).expect("admission");
+                for _ in 0..rounds {
+                    // Faulted rounds may fail an attempt and recover; the recorded
+                    // outcome is what the determinism comparison pins.
+                    let _ = service.run_round(id);
+                }
+                service.close(id).expect("close")
+            })
+            .collect()
+    };
+
+    let mut fingerprints_by_width = Vec::new();
+    for threads in [1usize, 4] {
+        let solo = solo_at(threads);
+        fingerprints_by_width.push(solo.iter().map(|h| h.fingerprint()).collect::<Vec<_>>());
+
+        // The interleaved fleet: all four tenants on one shared service, one driver
+        // thread each, faulted beside healthy.
+        let service =
+            AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(threads));
+        let ids: Vec<_> = specs
+            .iter()
+            .map(|s| service.admit(s.clone()).expect("admission"))
+            .collect();
+        std::thread::scope(|scope| {
+            for &id in &ids {
+                let service = &service;
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        service.request_round(id).expect("queue has room");
+                        service.run_pending(id).expect("drain runs");
+                    }
+                });
+            }
+        });
+
+        for (j, &id) in ids.iter().enumerate() {
+            let interleaved = service.close(id).expect("close");
+            // (a) + chaos replayability: every tenant — healthy *and* faulted — matches
+            // its solo run bit-for-bit (fault draws are deterministic).
+            assert_eq!(
+                interleaved, solo[j],
+                "{threads}-thread pool: job {j} diverged from its solo run"
+            );
+            let is_faulted = specs[j].faults.is_some();
+            // (b) every faulted job recovered every round within the retry budget…
+            assert_eq!(
+                interleaved.completed(),
+                rounds,
+                "job {j} did not recover every round"
+            );
+            let total_faults: usize = interleaved.rounds.iter().map(|r| r.faults.len()).sum();
+            if is_faulted {
+                assert!(total_faults > 0, "faulted job {j} recorded no faults");
+                // …with its faults and retried errors as typed entries.
+                for record in &interleaved.rounds {
+                    assert_eq!(
+                        record.retry_errors.len() as u32,
+                        record.attempts - 1,
+                        "job {j}: retries and typed errors disagree"
+                    );
+                    assert!(record.retry_errors.iter().all(WatchdogSpec::retryable));
+                    if record.attempts > 1 {
+                        assert!(
+                            record.backoff_secs > 0.0,
+                            "job {j}: retry without backoff accounting"
+                        );
+                        assert!(
+                            !record.faults.is_empty(),
+                            "job {j}: a retried round must name its faults"
+                        );
+                    }
+                }
+                assert!(
+                    interleaved.rounds.iter().any(|r| r.attempts > 1),
+                    "chaos rates must trip the watchdog at least once for job {j}"
+                );
+            } else {
+                assert_eq!(total_faults, 0, "healthy job {j} recorded injected faults");
+                assert!(interleaved.rounds.iter().all(|r| r.attempts == 1));
+            }
+        }
+    }
+    // (c) the auction-observable content is invariant across pool widths.
+    assert_eq!(fingerprints_by_width[0], fingerprints_by_width[1]);
+}
+
+/// The checkpoint pin: a job checkpointed mid-run, serialised to bytes, decoded, and
+/// restored onto a *fresh* service finishes with a history bit-identical to the
+/// uninterrupted run's — for a healthy tenant and for one under active fault injection.
+#[test]
+fn checkpoint_restore_equals_the_uninterrupted_run_even_under_chaos() {
+    use fmore::fl::service::{AuctionService, JobCheckpoint, ServiceConfig};
+    use fmore::sim::experiments::chaos_soak::{job_specs, ChaosConfig};
+
+    let config = ChaosConfig::quick();
+    let specs = job_specs(&config).expect("chaos specs build");
+    let rounds = 4usize;
+
+    // Job 0 is healthy, job 1 runs under the chaos plan.
+    for spec in [&specs[0], &specs[1]] {
+        let uninterrupted = {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let id = service.admit(spec.clone()).expect("admission");
+            for _ in 0..rounds {
+                let _ = service.run_round(id);
+            }
+            service.close(id).expect("close")
+        };
+
+        for cut in 1..rounds {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let id = service.admit(spec.clone()).expect("admission");
+            for _ in 0..cut {
+                let _ = service.run_round(id);
+            }
+            let bytes = service.checkpoint(id).expect("checkpoint").to_bytes();
+            let decoded = JobCheckpoint::from_bytes(&bytes).expect("decode");
+            let fresh =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let resumed = fresh.restore(spec.clone(), decoded).expect("restore");
+            for _ in cut..rounds {
+                let _ = fresh.run_round(resumed);
+            }
+            let history = fresh.close(resumed).expect("close");
+            assert_eq!(
+                history, uninterrupted,
+                "job '{}' interrupted after round {cut} diverged from the uninterrupted run",
+                spec.name
+            );
+        }
+    }
+}

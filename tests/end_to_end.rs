@@ -229,3 +229,25 @@ fn service_soak_quick_smoke() {
         "every job matched its solo history:\n{md}"
     );
 }
+
+/// CI smoke for the fault layer: the `chaos-soak` registry entry runs the soak fleet with
+/// an active fault plan on half the tenants and asserts the full robustness contract —
+/// healthy jobs bit-identical to solo, faulted jobs recovered within their retry budget,
+/// and a mid-run checkpoint/restore leg matching the uninterrupted run (the entry itself
+/// errors on any violation; the verdict columns make a violation visible here too).
+#[test]
+fn chaos_soak_quick_smoke() {
+    use fmore::sim::experiments::registry::{find, Fidelity};
+    let runner = ScenarioRunner::new();
+    let report = find("chaos-soak")
+        .expect("chaos-soak is registered")
+        .run(&runner, Fidelity::Quick)
+        .expect("quick chaos soak runs");
+    assert_eq!(report.name, "chaos-soak");
+    let md = report.to_markdown();
+    assert!(md.contains("-chaos"), "faulted tenants are labelled:\n{md}");
+    assert!(
+        !md.contains("NO"),
+        "every robustness verdict is green:\n{md}"
+    );
+}

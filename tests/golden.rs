@@ -105,6 +105,11 @@ const EXPECTED: &[(&str, &str)] = &[
         "Service soak: 4 concurrent jobs on one pool [rows=4] last: \
          job3-psi-FMore-v2;psi-FMore;v2;3;0;7.0;3.8042;yes",
     ),
+    (
+        "chaos-soak",
+        "Chaos soak: 4 tenants, fault plan on the odd half [rows=4] last: \
+         job3-psi-FMore-v2-chaos;yes;3;2;6;1;2;1.00;yes;yes",
+    ),
 ];
 
 /// FNV-1a offset basis; the digests below fold exact bit patterns, so any single-ULP

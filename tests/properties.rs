@@ -301,6 +301,7 @@ fn federated_average_stays_in_envelope() {
             let b: Vec<f64> = coords.iter().map(|(base, delta)| base + delta).collect();
             let avg =
                 fmore::fl::federated_average(&[(a.clone(), *weight_a), (b.clone(), *weight_b)])
+                    .map_err(|e| e.to_string())?
                     .ok_or("average of two updates must exist")?;
             for i in 0..a.len() {
                 let lo = a[i].min(b[i]) - 1e-9;
@@ -311,6 +312,7 @@ fn federated_average_stays_in_envelope() {
             }
             let same =
                 fmore::fl::federated_average(&[(a.clone(), *weight_a), (a.clone(), *weight_b)])
+                    .map_err(|e| e.to_string())?
                     .ok_or("average of identical updates must exist")?;
             for (x, y) in same.iter().zip(&a) {
                 ensure((x - y).abs() < 1e-9, || {
@@ -344,8 +346,12 @@ fn federated_average_is_invariant_under_weight_scaling() {
             .collect();
         let scaled: Vec<(Vec<f64>, f64)> =
             plain.iter().map(|(v, w)| (v.clone(), w * scale)).collect();
-        let base = fmore::fl::federated_average(&plain).ok_or("non-empty average")?;
-        let rescaled = fmore::fl::federated_average(&scaled).ok_or("non-empty average")?;
+        let base = fmore::fl::federated_average(&plain)
+            .map_err(|e| e.to_string())?
+            .ok_or("non-empty average")?;
+        let rescaled = fmore::fl::federated_average(&scaled)
+            .map_err(|e| e.to_string())?
+            .ok_or("non-empty average")?;
         for (x, y) in base.iter().zip(&rescaled) {
             ensure((x - y).abs() < 1e-9, || {
                 format!("weight scaling by {scale} moved a coordinate: {x} -> {y}")
