@@ -13,7 +13,7 @@ use crate::error::AuctionError;
 use crate::mechanism::Auction;
 use crate::pricing::PricingRule;
 use crate::scoring::{CobbDouglas, ScoringRule};
-use crate::types::{NodeId, Quality, ScoredBid};
+use crate::types::NodeId;
 use crate::winner::SelectionRule;
 use fmore_numerics::rng::seeded_rng;
 use fmore_numerics::{Distribution1D, UniformDist};
@@ -149,21 +149,20 @@ pub struct RankSpreadCounts {
 
 /// Selects `k` winners from an `n`-node score ladder with the ψ-FMore rule `trials` times and
 /// counts how many selections fall in the top 10/20/30 ranks.
+///
+/// Runs on the bounded rank-only walk ([`SelectionRule::select_indices`]) — the exact code
+/// path (and draw sequence) of the streamed bounded ψ admission — rather than
+/// materialising an `n`-element score ladder: the ladder carried no information the walk
+/// ever read (it is rank-based by construction), so sweeping `n` into the millions costs
+/// winners-sized memory. Bit-identical to the historical ladder path, which consumed no RNG
+/// building the ladder.
 pub fn psi_rank_spread(psi: f64, n: usize, k: usize, trials: usize, seed: u64) -> RankSpreadCounts {
-    let bids: Vec<ScoredBid> = (0..n)
-        .map(|i| ScoredBid {
-            node: NodeId(i as u64),
-            quality: Quality::default(),
-            ask: 0.0,
-            score: 1.0 - i as f64 / n as f64,
-        })
-        .collect();
     let rule = SelectionRule::PsiFMore { psi };
     let mut rng = seeded_rng(seed);
     let (mut t10, mut t20, mut t30) = (0usize, 0usize, 0usize);
     let trials = trials.max(1);
     for _ in 0..trials {
-        let winners = rule.select(&bids, k, &mut rng);
+        let winners = rule.select_indices(n, k, &mut rng);
         t10 += winners.iter().filter(|&&i| i < 10).count();
         t20 += winners.iter().filter(|&&i| i < 20).count();
         t30 += winners.iter().filter(|&&i| i < 30).count();

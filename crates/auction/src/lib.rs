@@ -78,12 +78,15 @@ pub use cost::{CostFunction, LinearCost, QuadraticCost};
 pub use equilibrium::{EquilibriumBid, EquilibriumSolver, EquilibriumSolverBuilder, PaymentMethod};
 pub use error::AuctionError;
 pub use game::{game_statistics, psi_rank_spread, GameConfig, GameStatistics, RankSpreadCounts};
-pub use mechanism::{Auction, AuctionOutcome, Award, SubmittedBid};
+pub use mechanism::{AdmissionPlan, Auction, AuctionOutcome, Award, SubmittedBid};
 pub use pricing::PricingRule;
 pub use scoring::{
     Additive, CobbDouglas, NormalizedScoring, PerfectComplementary, ScoringFunction, ScoringRule,
 };
-pub use store::{BidSelector, BidStore, Candidate, ShardSelection, StandingPool, TieBreak};
+pub use store::{
+    BidSelector, BidStore, Candidate, RankRefiner, RankedCandidates, ScoreHistogram,
+    ShardSelection, StandingPool, TieBreak,
+};
 pub use types::{NodeId, Quality, ScoredBid};
 pub use winner::SelectionRule;
 

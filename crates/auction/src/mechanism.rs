@@ -8,7 +8,7 @@
 use crate::error::AuctionError;
 use crate::pricing::PricingRule;
 use crate::scoring::{ScoringFunction, ScoringRule};
-use crate::store::{rank_order, BidSelector, StandingPool, TieBreak};
+use crate::store::{rank_order, BidSelector, Candidate, StandingPool, TieBreak};
 use crate::types::{NodeId, Quality, ScoredBid};
 use crate::winner::SelectionRule;
 use rand::Rng;
@@ -131,6 +131,25 @@ impl AuctionOutcome {
         }
         self.total_payment() / self.winners.len() as f64
     }
+}
+
+/// The rank-level admission decisions of one streamed round, produced by
+/// [`Auction::plan_admission`] **before** any candidate beyond the bounded standing pool is
+/// materialised: which global ranks won (in admission order) and which rank prices
+/// second-score payments. Ranks are positions in the full-sort ranking of
+/// [`Auction::rank_bids`] — the plan consumes exactly the RNG words the dense
+/// winner-determination stage consumes, so a seeded round can be planned bounded and
+/// resolved lazily with unchanged histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionPlan {
+    /// Global ranks of the winners, in admission order.
+    pub picked: Vec<usize>,
+    /// The best-ranked non-winner, or `None` when every offered bid won. Because scores are
+    /// non-increasing in rank, this rank's score **is** the dense path's best losing score —
+    /// the one value second-score pricing needs from the entire loser set. Always at most
+    /// `K` (among the first `K + 1` ranks at least one is not picked), so the pricing
+    /// boundary always lies within a `K + reserve` standing pool.
+    pub price_rank: Option<usize>,
 }
 
 /// One multi-dimensional procurement auction with `K` winners.
@@ -314,10 +333,62 @@ impl Auction {
     /// standing candidates fund pricing look-back and re-auction refills). Feed it scored
     /// [`crate::store::BidStore`] shards, [`crate::store::BidSelector::finish`] it, and
     /// award winners with [`Auction::award_standing`] — bit-identical to [`Auction::run`]
-    /// over the same bids for top-K selection at any `reserve` (and for ψ-FMore whenever
-    /// `reserve` covers the whole population, which the dense sizes always do).
+    /// over the same bids for top-K selection at any `reserve`. ψ-FMore is bit-identical at
+    /// any `reserve` too, via the two-pass bounded admission: plan the walk over ranks with
+    /// [`Auction::plan_admission`], then resolve ranks from the pool head — or, when the
+    /// walk admitted deeper than the pool, from a [`crate::store::RankRefiner`] pass (see
+    /// `fmore_fl`'s streamed stage).
     pub fn selector(&self, reserve: usize) -> BidSelector {
         BidSelector::new(self.scoring.dims(), self.k.saturating_add(reserve))
+    }
+
+    /// Runs the winner-admission walk of this auction's selection rule over the ranks of a
+    /// streamed round (`offered` bids total, up to `quota` winners) **without touching a
+    /// single candidate** — the rank-only first half of the bounded streamed award stage,
+    /// drawing exactly the RNG words [`Auction::award_standing`] draws over a full-width
+    /// pool. The caller resolves the planned ranks to candidates (bounded pool head or
+    /// refinement pass) and prices them with [`Auction::award_candidate`].
+    pub fn plan_admission<R: Rng + ?Sized>(
+        &self,
+        offered: usize,
+        quota: usize,
+        rng: &mut R,
+    ) -> AdmissionPlan {
+        let picked = self.selection.select_indices(offered, quota, rng);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        // The pricing boundary: the smallest rank the walk did not admit.
+        let mut price_rank = 0usize;
+        for &rank in &sorted {
+            if rank == price_rank {
+                price_rank += 1;
+            } else {
+                break;
+            }
+        }
+        AdmissionPlan {
+            picked,
+            price_rank: (price_rank < offered).then_some(price_rank),
+        }
+    }
+
+    /// Prices and awards one standing candidate — the shared award constructor of
+    /// [`Auction::award_standing`] and the bounded streamed ψ path, so both produce
+    /// bit-identical awards by construction.
+    pub fn award_candidate(&self, candidate: &Candidate, best_losing: Option<f64>) -> Award {
+        let payment = self.pricing.payment_from_parts(
+            &self.scoring,
+            &candidate.quality,
+            candidate.ask,
+            candidate.score,
+            best_losing,
+        );
+        Award {
+            node: candidate.node,
+            quality: Quality::new(candidate.quality.clone()),
+            score: candidate.score,
+            payment,
+        }
     }
 
     /// Winner determination and pricing over a streamed [`StandingPool`]: selects up to
@@ -358,22 +429,7 @@ impl Auction {
         }
         picked
             .iter()
-            .map(|&pos| {
-                let c = &pool.candidates()[avail[pos]];
-                let payment = self.pricing.payment_from_parts(
-                    &self.scoring,
-                    &c.quality,
-                    c.ask,
-                    c.score,
-                    best_losing,
-                );
-                Award {
-                    node: c.node,
-                    quality: Quality::new(c.quality.clone()),
-                    score: c.score,
-                    payment,
-                }
-            })
+            .map(|&pos| self.award_candidate(&pool.candidates()[avail[pos]], best_losing))
             .collect()
     }
 

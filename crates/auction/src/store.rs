@@ -29,9 +29,14 @@
 //!
 //! The streaming selection is pinned **bit-identical** to the full-sort
 //! [`crate::mechanism::Auction::rank_bids`] path (same keys, same order, same selection
-//! draws, same payments) by `tests/properties.rs`; ψ-FMore needs the full ranking to walk,
-//! so exact ψ parity requires `reserve ≥ N` (the dense sizes), while plain top-K is exact at
-//! any `reserve`.
+//! draws, same payments) by `tests/properties.rs` — for plain top-K at any `reserve`, and
+//! for ψ-FMore through the two-pass bounded admission built from [`ScoreHistogram`] and
+//! [`RankRefiner`]: the first streaming pass counts every score into a fixed-width
+//! histogram, the ψ admission walk runs over *ranks* alone
+//! ([`crate::mechanism::Auction::plan_admission`]), and — only when an admitted rank falls
+//! beyond the bounded pool — a refinement pass re-streams the population to materialise
+//! exactly the admitted ranks (plus the pricing boundary) with their full-sort tie-break
+//! keys. State is `O(width·shard + K + bins)`, never `O(N)`.
 
 use crate::error::AuctionError;
 use crate::scoring::ScoringRule;
@@ -730,6 +735,261 @@ impl StandingPool {
     }
 }
 
+/// A fixed-width score histogram: the rank-locating backbone of the bounded ψ-FMore
+/// streamed admission.
+///
+/// The first streaming pass counts every scored bid into one of 2¹⁶ bins, keyed by the top
+/// 16 bits of an order-preserving integer image of the score (higher bin index ⇔ higher
+/// score; exactly equal scores always share a bin, so the strict rank order within a bin is
+/// decided purely by [`rank_order`] over the bin's members). After the pass, the global
+/// rank interval of every bin is known: bin `b` holds ranks
+/// `[Σ_{b' > b} count(b'), Σ_{b' ≥ b} count(b'))`. That is enough to translate the ranks an
+/// admission walk picks into *(bin, within-bin offset)* coordinates without ever holding
+/// the population — the job of [`RankRefiner`].
+///
+/// The histogram is `BINS` words of constant state (512 KiB) regardless of the population
+/// size, consumes no RNG, and is deterministic in the bid stream (counting is order- and
+/// shard-independent). `-0.0` is canonicalised to `+0.0` so the binning never splits a pair
+/// of scores that [`rank_order`] treats as equal. Scores must be finite — the bid
+/// validation of [`BidStore::push`] guarantees it.
+#[derive(Debug, Clone)]
+pub struct ScoreHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for ScoreHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreHistogram {
+    /// Number of bins (top 16 bits of the score's order-preserving integer image).
+    pub const BINS: usize = 1 << 16;
+
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; Self::BINS],
+            total: 0,
+        }
+    }
+
+    /// The order-preserving integer image of a finite score: flips the sign-magnitude
+    /// encoding of `f64` into a monotone unsigned integer (`a < b ⇔ ordinal(a) < ordinal(b)`
+    /// for finite non-NaN inputs), with `-0.0` canonicalised to `+0.0` first.
+    fn ordinal(score: f64) -> u64 {
+        let score = if score == 0.0 { 0.0 } else { score };
+        let bits = score.to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+
+    /// The bin a score counts into.
+    pub fn bin_of(score: f64) -> usize {
+        (Self::ordinal(score) >> 48) as usize
+    }
+
+    /// Counts one score.
+    pub fn record(&mut self, score: f64) {
+        self.counts[Self::bin_of(score)] += 1;
+        self.total += 1;
+    }
+
+    /// Counts every score of a scored store.
+    pub fn record_store(&mut self, store: &BidStore) {
+        for j in 0..store.len() {
+            self.record(store.score(j));
+        }
+    }
+
+    /// Total number of scores counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Resident bytes of the bin table (constant in the population size).
+    pub fn resident_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Locates each of the (ascending, distinct) global ranks: returns `(bin,
+    /// first_rank_of_bin)` per rank, in order. Every rank must be smaller than
+    /// [`ScoreHistogram::total`].
+    fn locate(&self, sorted_ranks: &[usize]) -> Vec<(usize, usize)> {
+        debug_assert!(sorted_ranks.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(sorted_ranks.len());
+        let mut next = 0;
+        let mut start = 0usize;
+        for bin in (0..Self::BINS).rev() {
+            if next == sorted_ranks.len() {
+                break;
+            }
+            let count = self.counts[bin] as usize;
+            if count == 0 {
+                continue;
+            }
+            let end = start + count;
+            while next < sorted_ranks.len() && sorted_ranks[next] < end {
+                debug_assert!(sorted_ranks[next] >= start);
+                out.push((bin, start));
+                next += 1;
+            }
+            start = end;
+        }
+        assert_eq!(
+            out.len(),
+            sorted_ranks.len(),
+            "a requested rank lies beyond the counted population"
+        );
+        out
+    }
+}
+
+/// One needed histogram bin of a refinement pass: collects the bin's best members (by
+/// [`rank_order`]) up to the deepest needed within-bin offset.
+#[derive(Debug, Clone)]
+struct BinProbe {
+    bin: usize,
+    start_rank: usize,
+    heap: CandidateHeap,
+}
+
+/// The refinement pass of the bounded ψ-FMore streamed admission: re-streams the scored
+/// population (no RNG — tie-break keys are recomputed as the pure function
+/// `derive_seed(salt, position)`) and keeps, per histogram bin that holds a needed rank,
+/// exactly the bin's best `deepest_needed_offset + 1` members. Because needed bins cover
+/// disjoint rank intervals, the total kept state is at most `deepest_needed_rank + 1`
+/// candidates — winners-scale for the geometric admission tail of the ψ walk, never `O(N)`.
+///
+/// Feed every scored store of the round through [`RankRefiner::offer_store`] **in stream
+/// order with exact bases** (the same discipline as [`ShardSelection::select`]), then
+/// [`RankRefiner::into_ranked`] resolves any needed rank to its candidate — bit-identical,
+/// including tie-break keys, to indexing the full-sort ranking.
+#[derive(Debug, Clone)]
+pub struct RankRefiner {
+    salt: u64,
+    /// Probes in ascending `start_rank` order — equivalently descending `bin` order.
+    probes: Vec<BinProbe>,
+    /// Cheap reject: the lowest needed bin (most bids of a large population score below
+    /// every needed bin and never touch the probe search).
+    min_bin: usize,
+}
+
+impl RankRefiner {
+    /// Builds the probes for the (ascending, distinct) needed global ranks, as counted by
+    /// `histogram`. `salt` is the round's tie-break salt ([`TieBreak::force_salt`]) and
+    /// `dims` the bid dimensionality.
+    pub fn new(histogram: &ScoreHistogram, sorted_ranks: &[usize], salt: u64, dims: usize) -> Self {
+        let located = histogram.locate(sorted_ranks);
+        // (bin, start_rank, deepest needed within-bin offset); ranks ascend, so the last
+        // rank seen for a bin is its deepest.
+        let mut spans: Vec<(usize, usize, usize)> = Vec::new();
+        for (&rank, &(bin, start)) in sorted_ranks.iter().zip(&located) {
+            match spans.last_mut() {
+                Some(span) if span.0 == bin => span.2 = rank - start,
+                _ => spans.push((bin, start, rank - start)),
+            }
+        }
+        let min_bin = spans.last().map_or(0, |span| span.0);
+        let probes = spans
+            .into_iter()
+            .map(|(bin, start_rank, deepest)| BinProbe {
+                bin,
+                start_rank,
+                heap: CandidateHeap::new(dims, deepest + 1),
+            })
+            .collect();
+        Self {
+            salt,
+            probes,
+            min_bin,
+        }
+    }
+
+    /// Offers every bid of a scored store; `base` is the number of bids streamed before it
+    /// (exactly the [`ShardSelection::select`] base of the first pass, so keys agree).
+    pub fn offer_store(&mut self, store: &BidStore, base: usize) {
+        let dims = store.dims();
+        for j in 0..store.len() {
+            let score = store.scores[j];
+            let bin = ScoreHistogram::bin_of(score);
+            if bin < self.min_bin {
+                continue;
+            }
+            // Probes are sorted by descending bin.
+            if let Ok(p) = self
+                .probes
+                .binary_search_by(|probe| probe.bin.cmp(&bin).reverse())
+            {
+                self.probes[p].heap.offer_keyed(
+                    NodeId(store.nodes[j]),
+                    &store.qualities[j * dims..(j + 1) * dims],
+                    store.asks[j],
+                    score,
+                    derive_seed(self.salt, (base + j) as u64),
+                );
+            }
+        }
+    }
+
+    /// Resident bytes of the kept candidates (len-based, deterministic).
+    pub fn resident_bytes(&self) -> usize {
+        self.probes
+            .iter()
+            .map(|p| {
+                p.heap.len()
+                    * (std::mem::size_of::<Candidate>() + p.heap.dims * std::mem::size_of::<f64>())
+            })
+            .sum()
+    }
+
+    /// Finishes the pass: sorts each probe's members into within-bin rank order and returns
+    /// a rank-addressable view of the collected candidates.
+    pub fn into_ranked(self) -> RankedCandidates {
+        let groups = self
+            .probes
+            .into_iter()
+            .map(|probe| {
+                debug_assert_eq!(
+                    probe.heap.len(),
+                    probe.heap.capacity,
+                    "a needed rank was counted but never streamed"
+                );
+                let mut members = probe.heap.heap;
+                members.sort_unstable_by(|a, b| rank_order(a.score, a.key, b.score, b.key));
+                (probe.start_rank, members)
+            })
+            .collect();
+        RankedCandidates { groups }
+    }
+}
+
+/// The output of a [`RankRefiner`] pass: candidates addressable by their global rank, for
+/// exactly the ranks the refiner was built for.
+#[derive(Debug, Clone)]
+pub struct RankedCandidates {
+    /// `(first_global_rank, members in within-bin rank order)`, ascending by rank.
+    groups: Vec<(usize, Vec<Candidate>)>,
+}
+
+impl RankedCandidates {
+    /// The candidate at a global rank, if that rank was collected.
+    pub fn get(&self, rank: usize) -> Option<&Candidate> {
+        let group = match self.groups.binary_search_by(|g| g.0.cmp(&rank)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (start, members) = &self.groups[group];
+        members.get(rank - start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -925,6 +1185,97 @@ mod tests {
             rand::Rng::gen::<u64>(&mut rng),
             rand::Rng::gen::<u64>(&mut untouched)
         );
+    }
+
+    #[test]
+    fn histogram_bins_preserve_score_order_and_merge_signed_zero() {
+        // Higher score ⇒ same-or-higher bin, across signs.
+        let samples = [
+            -3.0e8, -1.5, -1e-300, 0.0, 1e-300, 0.25, 0.2500001, 7.0, 3.0e8,
+        ];
+        for w in samples.windows(2) {
+            assert!(
+                ScoreHistogram::bin_of(w[0]) <= ScoreHistogram::bin_of(w[1]),
+                "bin order inverted between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+        // rank_order treats -0.0 and +0.0 as equal, so they must share a bin.
+        assert_eq!(ScoreHistogram::bin_of(-0.0), ScoreHistogram::bin_of(0.0));
+        let mut hist = ScoreHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        assert_eq!(hist.total(), samples.len() as u64);
+        assert_eq!(hist.resident_bytes(), ScoreHistogram::BINS * 8);
+    }
+
+    #[test]
+    fn rank_refiner_reproduces_full_sort_ranks_bitwise() {
+        use crate::scoring::Additive;
+        let rule = ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap());
+        // Quantised qualities force plenty of exact score ties (within-bin ordering is then
+        // decided purely by tie-break keys).
+        let rows: Vec<(u64, [f64; 2], f64)> = (0..300)
+            .map(|i| {
+                let q = [((i * 7) % 5) as f64 / 5.0, ((i * 11) % 4) as f64 / 4.0];
+                (i, q, ((i * 3) % 6) as f64 / 8.0)
+            })
+            .collect();
+        let salt = 0xDECAF_u64;
+
+        // Ground truth: the full-sort ranking under the same keys.
+        let mut full: Vec<Candidate> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(node, q, ask))| {
+                let mut store = BidStore::with_dims(2);
+                store.push(NodeId(node), &q, ask).unwrap();
+                store.score_with(&rule).unwrap();
+                Candidate {
+                    node: NodeId(node),
+                    score: store.score(0),
+                    key: derive_seed(salt, i as u64),
+                    ask,
+                    quality: q.to_vec(),
+                }
+            })
+            .collect();
+        full.sort_by(|a, b| rank_order(a.score, a.key, b.score, b.key));
+
+        // First pass: histogram over shards.
+        let mut hist = ScoreHistogram::new();
+        for shard in rows.chunks(37) {
+            let mut store = store_of(shard);
+            store.score_with(&rule).unwrap();
+            hist.record_store(&store);
+        }
+        assert_eq!(hist.total() as usize, rows.len());
+
+        // Needed ranks spread across the ranking, including tied regions and the tail.
+        let needed = vec![0usize, 1, 5, 17, 18, 19, 64, 123, 299];
+        let mut refiner = RankRefiner::new(&hist, &needed, salt, 2);
+        let mut base = 0;
+        for shard in rows.chunks(37) {
+            let mut store = store_of(shard);
+            store.score_with(&rule).unwrap();
+            refiner.offer_store(&store, base);
+            base += store.len();
+        }
+        // Bounded: the refiner never holds more than deepest_rank + 1 candidates.
+        assert!(refiner.resident_bytes() <= 300 * (std::mem::size_of::<Candidate>() + 16));
+        let ranked = refiner.into_ranked();
+        for &r in &needed {
+            let c = ranked.get(r).expect("needed rank collected");
+            assert_eq!(
+                (c.node, c.score.to_bits(), c.key),
+                (full[r].node, full[r].score.to_bits(), full[r].key),
+                "rank {r} diverged from the full sort"
+            );
+        }
+        // Ranks beyond every collected span are absent, not wrong.
+        assert!(ranked.get(300).is_none());
     }
 
     #[test]

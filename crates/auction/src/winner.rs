@@ -52,6 +52,12 @@ impl SelectionRule {
     /// only ranks — so the dense full-sort path and the streaming
     /// [`crate::store::StandingPool`] path share this exact implementation (and therefore
     /// the exact RNG draw sequence).
+    ///
+    /// State is `O(k)` regardless of `n`: the admitted set is a sorted position vector, not
+    /// an `n`-wide bitmap, so the ψ walk over a 10⁸-candidate ranking costs winners-sized
+    /// memory. The draw sequence is unchanged from the bitmap implementation — one
+    /// `rng.gen::<f64>()` per *non-admitted* position in visit order — which is what keeps
+    /// every seeded history and committed golden fingerprint replaying bit-for-bit.
     pub fn select_indices<R: Rng + ?Sized>(&self, n: usize, k: usize, rng: &mut R) -> Vec<usize> {
         let k = k.min(n);
         if k == 0 {
@@ -62,36 +68,35 @@ impl SelectionRule {
             SelectionRule::PsiFMore { psi } => {
                 let psi = psi.clamp(0.0, 1.0);
                 let mut winners = Vec::with_capacity(k);
-                let mut admitted = vec![false; n];
+                // Sorted admitted positions — at most k entries ever exist.
+                let mut admitted: Vec<usize> = Vec::with_capacity(k);
                 // Walk the rank order repeatedly until K nodes are admitted. With ψ = 1 the
                 // first pass admits exactly the top K; with ψ < 1 later-ranked nodes get a
                 // chance. A final deterministic pass guarantees termination even for tiny ψ.
                 let mut passes = 0;
                 while winners.len() < k && passes < 64 {
-                    for (idx, taken) in admitted.iter_mut().enumerate() {
+                    for idx in 0..n {
                         if winners.len() >= k {
                             break;
                         }
-                        if *taken {
-                            continue;
-                        }
-                        if rng.gen::<f64>() < psi {
-                            *taken = true;
-                            winners.push(idx);
+                        if let Err(pos) = admitted.binary_search(&idx) {
+                            if rng.gen::<f64>() < psi {
+                                admitted.insert(pos, idx);
+                                winners.push(idx);
+                            }
                         }
                     }
                     passes += 1;
                 }
                 // Deterministic fill (highest-ranked first) if the probabilistic passes did
                 // not complete the set.
-                for (idx, taken) in admitted.iter_mut().enumerate() {
-                    if winners.len() >= k {
-                        break;
-                    }
-                    if !*taken {
-                        *taken = true;
+                let mut idx = 0;
+                while winners.len() < k {
+                    if let Err(pos) = admitted.binary_search(&idx) {
+                        admitted.insert(pos, idx);
                         winners.push(idx);
                     }
+                    idx += 1;
                 }
                 winners
             }
@@ -239,6 +244,82 @@ mod tests {
             top30_high > top30_low,
             "ψ=0.9 should pick more top-30 nodes ({top30_high}) than ψ=0.2 ({top30_low})"
         );
+    }
+
+    /// The pre-rewrite O(n)-bitmap walk, kept as the ground truth the O(k) sorted-set
+    /// implementation must reproduce draw-for-draw.
+    fn bitmap_walk<R: rand::Rng + ?Sized>(n: usize, k: usize, psi: f64, rng: &mut R) -> Vec<usize> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let psi = psi.clamp(0.0, 1.0);
+        let mut winners = Vec::with_capacity(k);
+        let mut admitted = vec![false; n];
+        let mut passes = 0;
+        while winners.len() < k && passes < 64 {
+            for (idx, taken) in admitted.iter_mut().enumerate() {
+                if winners.len() >= k {
+                    break;
+                }
+                if *taken {
+                    continue;
+                }
+                if rng.gen::<f64>() < psi {
+                    *taken = true;
+                    winners.push(idx);
+                }
+            }
+            passes += 1;
+        }
+        for (idx, taken) in admitted.iter_mut().enumerate() {
+            if winners.len() >= k {
+                break;
+            }
+            if !*taken {
+                *taken = true;
+                winners.push(idx);
+            }
+        }
+        winners
+    }
+
+    #[test]
+    fn bounded_walk_matches_bitmap_walk_bitwise() {
+        for &(n, k) in &[(1usize, 1usize), (5, 3), (40, 40), (200, 17), (513, 64)] {
+            for &psi in &[0.02, 0.1, 0.5, 0.9, 1.0] {
+                for seed in 0..8 {
+                    let mut rng_a = seeded_rng(seed);
+                    let mut rng_b = seeded_rng(seed);
+                    let bounded = SelectionRule::PsiFMore { psi }.select_indices(n, k, &mut rng_a);
+                    let reference = bitmap_walk(n, k, psi, &mut rng_b);
+                    assert_eq!(
+                        bounded, reference,
+                        "n={n} k={k} psi={psi} seed={seed}: walk diverged from bitmap"
+                    );
+                    // The RNG cursor must land in the same place too.
+                    assert_eq!(
+                        rand::Rng::gen::<u64>(&mut rng_a),
+                        rand::Rng::gen::<u64>(&mut rng_b),
+                        "n={n} k={k} psi={psi} seed={seed}: RNG consumption diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_is_cheap_at_population_scale() {
+        // 1e8 candidates: the walk must neither allocate an n-wide bitmap nor visit more
+        // than a winners-sized prefix at moderate ψ.
+        let mut rng = seeded_rng(7);
+        let winners =
+            SelectionRule::PsiFMore { psi: 0.8 }.select_indices(100_000_000, 64, &mut rng);
+        assert_eq!(winners.len(), 64);
+        let mut dedup = winners.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 64);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! Emits `BENCH_round_throughput.json` — the committed record of how the round pipeline
-//! scales with executor width. Three suites, each swept over 1/2/4/8 worker threads on the
-//! work-stealing pool:
+//! scales with executor width. Four suites on the work-stealing pool:
 //!
 //! * **pooled round** — one full federated round (auction → pooled local training →
 //!   FedAvg → evaluation) on the hot-path bench configuration (24 clients, 12 winners),
+//!   swept over 1/2/4/8 worker threads,
 //! * **streamed selection, spec v1** — one million-bidder selection round (lazily derived
 //!   bids → sharded batch scoring → per-shard local top-K on the pool → population-order
 //!   merge, K = 64) under the golden-compatible two-stream population contract,
 //! * **streamed selection, spec v2** — the same round under the fused single-stream
-//!   contract (`NodePopulation::bid_into`), the fast path the 40 ms target is asserted on.
+//!   contract (`NodePopulation::bid_into`), the fast path the 40 ms target is asserted on,
+//! * **straggler fan-out** — the straggler-heavy local-training fan-out (seven uniform
+//!   winners plus one 7×-data straggler submitted last) on a 2-worker pool, per-winner
+//!   dispatch vs the chain scheduler's per-batch units: the longest-remaining-first policy
+//!   must start the straggler immediately instead of leaving it to serialise the tail.
 //!
 //! `FMORE_BENCH_QUICK` shrinks the population to 10⁵ so CI can afford the run on every
 //! push.
@@ -28,7 +32,7 @@
 //! guard.
 
 use fmore_bench::timing::{hardware_threads, min_time_ns, quick_mode, schema_string, write_report};
-use fmore_fl::engine::RoundEngine;
+use fmore_fl::engine::{local_training_with, FanOutGranularity, RoundEngine};
 use fmore_mec::population::SpecVersion;
 use fmore_sim::experiments::scale::{ScaleConfig, ScaleGame};
 
@@ -82,6 +86,22 @@ fn main() {
         round_ns.push((threads, ns));
     }
 
+    // --- Straggler-heavy fan-out: per-winner vs per-batch dispatch on a 2-worker pool. ---
+    let (small, straggler) = if quick { (200, 1_400) } else { (400, 2_800) };
+    let fan_samples = if quick { 3 } else { 8 };
+    let fan_engine = RoundEngine::pooled(2);
+    let time_fanout = |granularity: FanOutGranularity| {
+        min_time_ns(1, fan_samples, || {
+            let jobs = fmore_bench::straggler_fanout_jobs(small, straggler);
+            let updates =
+                local_training_with(&fan_engine, jobs, granularity).expect("fan-out runs");
+            assert_eq!(updates.len(), 8);
+        })
+    };
+    let per_winner_ns = time_fanout(FanOutGranularity::PerWinner);
+    let per_batch_ns = time_fanout(FanOutGranularity::PerBatch);
+    let fanout_speedup = per_winner_ns as f64 / per_batch_ns as f64;
+
     // --- Streamed million-bidder selection round, spec v1 vs v2, at each width. ---
     let population = if quick { 100_000 } else { 1_000_000 };
     let (sel_warmup, sel_samples) = if quick { (1, 3) } else { (2, 5) };
@@ -106,7 +126,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"schema\": \"{}\",\n",
-        schema_string("round-throughput", 2)
+        schema_string("round-throughput", 3)
     ));
     json.push_str(
         "  \"note\": \"min-of-N wall-clock per executor width; regenerate with `cargo run --release -p fmore-bench --example round_throughput_report`\",\n",
@@ -116,6 +136,11 @@ fn main() {
     push_ns_object(&mut json, "pooled_round_ns", &round_ns, true);
     json.push_str(&format!(
         "  \"pooled_round_speedup_8t\": {round_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"straggler_fanout\": {{ \"jobs\": 8, \"small\": {small}, \"straggler\": {straggler}, \
+         \"pool_threads\": 2, \"per_winner_ns\": {per_winner_ns}, \"per_batch_ns\": {per_batch_ns}, \
+         \"per_batch_speedup\": {fanout_speedup:.2} }},\n"
     ));
     json.push_str(&format!(
         "  \"streamed_round\": {{ \"population\": {population}, \"k\": 64 }},\n"
@@ -138,7 +163,8 @@ fn main() {
     write_report(&out_path, &json);
     eprintln!(
         "wrote {out_path} (8-thread round speedup {round_speedup:.2}x on {hw} hardware threads; \
-         best streamed {population}-bidder round v1 {best_v1_ms:.1} ms, v2 {best_v2_ms:.1} ms)"
+         best streamed {population}-bidder round v1 {best_v1_ms:.1} ms, v2 {best_v2_ms:.1} ms; \
+         straggler fan-out per-batch speedup {fanout_speedup:.2}x)"
     );
 
     // --- Gates. ---
@@ -159,6 +185,25 @@ fn main() {
             round_8t as f64 <= round_1t as f64 * 1.5,
             "8-thread pooled round ({round_8t} ns) is drastically slower than 1-thread \
              ({round_1t} ns) on a single-core runner — executor contention regression"
+        );
+    }
+    if hw >= 2 {
+        // The win the chain scheduler was built for: on a real multi-core machine the
+        // per-batch units let the straggler start first (longest-remaining-first), so the
+        // fan-out must beat the per-winner dispatch that strands the straggler at the tail.
+        assert!(
+            per_batch_ns < per_winner_ns,
+            "per-batch fan-out ({per_batch_ns} ns) did not beat per-winner dispatch \
+             ({per_winner_ns} ns) on the straggler-heavy round with {hw} hardware threads"
+        );
+    } else {
+        // Single-core runner: both dispatches serialise the same work, so only guard
+        // against the chain scheduler adding contention cost per unit.
+        assert!(
+            per_batch_ns as f64 <= per_winner_ns as f64 * 1.5,
+            "per-batch fan-out ({per_batch_ns} ns) is drastically slower than per-winner \
+             ({per_winner_ns} ns) on a single-core runner — chain scheduler contention \
+             regression"
         );
     }
     // Hardware-independent contention guards for both streamed pairs: widening the pool

@@ -127,6 +127,7 @@ fn main() {
         reserve: 16,
         grid_size: 64,
         seed: 9_090,
+        fan_out: Default::default(),
     };
     let duo = SoakConfig {
         jobs: 2,

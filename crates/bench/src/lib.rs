@@ -55,3 +55,44 @@ pub fn pooled_round_trainer(threads: usize) -> fmore_fl::trainer::FederatedTrain
     )
     .expect("bench config is valid")
 }
+
+/// The straggler-heavy local-training fan-out workload of `round_throughput_report`: seven
+/// uniform winners plus one straggler holding `straggler / small`× their data, submitted
+/// **last** — the worst case for per-winner dispatch (the monolithic straggler task starts
+/// only after earlier tasks drain) and the case the chain scheduler's
+/// longest-remaining-first policy exists for. Rebuilt per timed run: jobs are consumed by
+/// [`fmore_fl::engine::local_training_with`].
+pub fn straggler_fanout_jobs(small: usize, straggler: usize) -> Vec<fmore_fl::engine::TrainingJob> {
+    use fmore_ml::dataset::SyntheticImageSpec;
+    use fmore_ml::layers::{Dense, Layer};
+    use fmore_ml::{Model, Sequential};
+    use std::sync::Arc;
+
+    let mut rng = fmore_numerics::seeded_rng(77);
+    let data = Arc::new(SyntheticImageSpec::mnist_like().generate(512, &mut rng));
+    let model = Sequential::new(vec![
+        Box::new(Dense::new(data.feature_dim(), 16, &mut rng)) as Box<dyn Layer>,
+        Box::new(Dense::new(16, data.num_classes(), &mut rng)),
+    ]);
+    let global_params = Arc::new(model.parameters());
+    let sizes = [small, small, small, small, small, small, small, straggler];
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(slot, &size)| {
+            let mut state = fmore_fl::engine::SlotState::new(model.clone());
+            state.indices = (0..size).map(|i| (slot * 31 + i) % data.len()).collect();
+            fmore_fl::engine::TrainingJob {
+                slot,
+                client: slot,
+                state,
+                global_params: Arc::clone(&global_params),
+                data: Arc::clone(&data),
+                epochs: 2,
+                learning_rate: 0.05,
+                batch_size: 16,
+                seed: fmore_numerics::rng::derive_seed(78, slot as u64),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,304 @@
+//! Serial task chains scheduled as fine-grained units on the round engine.
+//!
+//! The per-winner training fan-out hands the executor one indivisible task per winner, so a
+//! straggler winner — more data, more epochs — bounds the round's makespan from whenever a
+//! worker happens to reach it. A [`TaskChain`] instead exposes the winner's local training
+//! as a *sequence* of small units (one epoch, or one mini-batch) that must run in order but
+//! can be interleaved with other chains' units on the same worker pool.
+//!
+//! [`run_chains`] drains every chain with longest-remaining-work-first scheduling: each
+//! runner repeatedly picks the chain with the largest `remaining × unit_cost` product
+//! (ties broken by chain index), executes exactly one unit, and requeues the chain. A
+//! straggler chain therefore starts immediately and stays continuously scheduled, while
+//! short chains pack around it — the classic LPT bound on makespan, instead of
+//! last-picked-straggler luck.
+//!
+//! **Determinism contract.** A chain's units execute strictly in order on whichever workers
+//! pick them up, each chain's result lands in its own submission-indexed slot, and the
+//! scheduler's choices affect wall-clock only. Every history produced through chains is
+//! bit-identical to the per-winner path at any pool width — the determinism suite pins
+//! granularities × widths against each other.
+
+use crate::engine::RoundEngine;
+use crate::error::FlError;
+use crate::executor::{panic_message, JobPanic};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// One serial sequence of work units producing a single result.
+///
+/// `step` is called repeatedly — never concurrently — until it returns `Some(result)`; every
+/// `None` is one completed intermediate unit. `remaining` and `cost` are *scheduling hints*
+/// (estimated units left and estimated per-unit cost): correctness never depends on them,
+/// a chain is finished exactly when `step` says so.
+pub struct TaskChain<T> {
+    step: Box<dyn FnMut() -> Option<T> + Send + 'static>,
+    remaining: usize,
+    cost: u64,
+}
+
+impl<T> TaskChain<T> {
+    /// Builds a chain from a unit estimate, a per-unit cost estimate, and the step closure.
+    pub fn new(
+        remaining: usize,
+        cost: u64,
+        step: impl FnMut() -> Option<T> + Send + 'static,
+    ) -> Self {
+        Self {
+            step: Box::new(step),
+            remaining: remaining.max(1),
+            cost: cost.max(1),
+        }
+    }
+
+    /// Estimated work left on this chain, the scheduling priority.
+    fn priority(&self) -> u128 {
+        self.remaining as u128 * self.cost as u128
+    }
+}
+
+impl<T> std::fmt::Debug for TaskChain<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskChain")
+            .field("remaining", &self.remaining)
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (unit panics are
+/// caught before any scheduler lock is touched, so poisoning cannot happen by
+/// construction).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Shared state of one [`run_chains`] call: the ready queue and the per-chain result slots.
+struct ChainShared<T> {
+    /// Chains ready to run, tagged with their submission index. A chain is here, owned by a
+    /// runner mid-unit, or finished — never two of those at once.
+    ready: Mutex<Vec<(usize, TaskChain<T>)>>,
+    /// One slot per chain, written exactly once (result or panic marker).
+    results: Mutex<Vec<Option<Result<T, JobPanic>>>>,
+    /// Wakes runners parked on an empty ready queue while other runners still hold chains.
+    ready_cv: Condvar,
+    /// Chains not yet finished (ready or held by a runner); runners exit when this is 0.
+    unfinished: Mutex<usize>,
+}
+
+impl<T> ChainShared<T> {
+    /// Pops the ready chain with the highest priority (ties to the lowest index), blocking
+    /// while the queue is empty but chains are still in flight elsewhere. Returns `None`
+    /// when every chain has finished.
+    fn next_chain(&self) -> Option<(usize, TaskChain<T>)> {
+        loop {
+            {
+                let mut ready = lock(&self.ready);
+                let best = ready
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, (ia, a)), (_, (ib, b))| {
+                        (a.priority(), std::cmp::Reverse(*ia))
+                            .cmp(&(b.priority(), std::cmp::Reverse(*ib)))
+                    })
+                    .map(|(pos, _)| pos);
+                if let Some(pos) = best {
+                    return Some(ready.swap_remove(pos));
+                }
+            }
+            // Ready is empty: either all chains are done, or other runners hold them
+            // mid-unit and may requeue. Park on the condvar rather than spin.
+            let mut unfinished = lock(&self.unfinished);
+            loop {
+                if *unfinished == 0 {
+                    return None;
+                }
+                if !lock(&self.ready).is_empty() {
+                    break;
+                }
+                unfinished = self
+                    .ready_cv
+                    .wait(unfinished)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+    }
+
+    /// Requeues a chain after an intermediate unit. The notify happens under the
+    /// `unfinished` mutex (the condvar's mutex), so a runner between its empty-queue check
+    /// and its wait cannot miss it.
+    fn requeue(&self, index: usize, chain: TaskChain<T>) {
+        lock(&self.ready).push((index, chain));
+        let _guard = lock(&self.unfinished);
+        self.ready_cv.notify_all();
+    }
+
+    /// Records a chain's terminal fate; wakes parked runners so they can re-check for exit
+    /// (or for a chain this one's completion can never requeue).
+    fn finish(&self, index: usize, fate: Result<T, JobPanic>) {
+        lock(&self.results)[index] = Some(fate);
+        let mut unfinished = lock(&self.unfinished);
+        *unfinished -= 1;
+        self.ready_cv.notify_all();
+    }
+
+    /// One runner: repeatedly pick the heaviest ready chain, run one unit, requeue or
+    /// retire it. A panicking unit retires its chain with a [`JobPanic`] marker carrying
+    /// the chain index; every other chain keeps running.
+    fn run(&self) {
+        while let Some((index, mut chain)) = self.next_chain() {
+            match catch_unwind(AssertUnwindSafe(|| (chain.step)())) {
+                Ok(None) => {
+                    chain.remaining = chain.remaining.saturating_sub(1).max(1);
+                    self.requeue(index, chain);
+                }
+                Ok(Some(result)) => self.finish(index, Ok(result)),
+                Err(payload) => self.finish(
+                    index,
+                    Err(JobPanic {
+                        slot: index,
+                        message: panic_message(payload),
+                    }),
+                ),
+            }
+        }
+    }
+}
+
+/// Runs every chain to completion on the engine and returns the results in submission
+/// order, or the **first** (lowest-indexed) panicked chain as a typed
+/// [`FlError::JobPanic`] — mirroring [`RoundEngine::try_run_tasks`], including that every
+/// healthy sibling chain still runs to completion before the error surfaces.
+///
+/// `min(parallel_width, chains.len())` runner tasks are submitted through the engine; each
+/// drains units with longest-remaining-first priority. On an inline engine the single
+/// runner executes chains one unit at a time in priority order — same results, no threads.
+///
+/// # Errors
+///
+/// Returns [`FlError::JobPanic`] naming the first panicked chain's index.
+pub fn run_chains<T: Send + 'static>(
+    engine: &RoundEngine,
+    chains: Vec<TaskChain<T>>,
+) -> Result<Vec<T>, FlError> {
+    let n = chains.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let shared = Arc::new(ChainShared {
+        ready: Mutex::new(chains.into_iter().enumerate().collect()),
+        results: Mutex::new((0..n).map(|_| None).collect()),
+        ready_cv: Condvar::new(),
+        unfinished: Mutex::new(n),
+    });
+    let runners = engine.parallel_width().min(n).max(1);
+    let tasks: Vec<crate::engine::Task<()>> = (0..runners)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            Box::new(move || shared.run()) as crate::engine::Task<()>
+        })
+        .collect();
+    // Runners catch unit panics internally, so this fan-out itself never errors.
+    engine.try_run_tasks(tasks)?;
+    let results = std::mem::take(&mut *lock(&shared.results));
+    let mut out = Vec::with_capacity(n);
+    for fate in results {
+        out.push(fate.expect("every chain finished exactly once")?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_chain(
+        units: usize,
+        cost: u64,
+        value: usize,
+        log: Arc<Mutex<Vec<usize>>>,
+    ) -> TaskChain<usize> {
+        let mut done = 0usize;
+        TaskChain::new(units, cost, move || {
+            done += 1;
+            log.lock().unwrap().push(value);
+            (done == units).then_some(value)
+        })
+    }
+
+    #[test]
+    fn chains_complete_in_submission_order_on_every_engine() {
+        for engine in [
+            RoundEngine::inline(),
+            RoundEngine::pooled(1),
+            RoundEngine::pooled(3),
+        ] {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let chains: Vec<TaskChain<usize>> = (0..5)
+                .map(|i| counting_chain(i + 1, 10, i, Arc::clone(&log)))
+                .collect();
+            let results = run_chains(&engine, chains).unwrap();
+            assert_eq!(results, vec![0, 1, 2, 3, 4]);
+            // Every unit ran: 1 + 2 + 3 + 4 + 5.
+            assert_eq!(log.lock().unwrap().len(), 15);
+        }
+    }
+
+    #[test]
+    fn inline_scheduling_is_longest_remaining_first() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Chain 0: 2 units of cost 1; chain 1: 3 units of cost 4. LRF must run chain 1
+        // until its remaining work drops below chain 0's.
+        let chains = vec![
+            counting_chain(2, 1, 0, Arc::clone(&log)),
+            counting_chain(3, 4, 1, Arc::clone(&log)),
+        ];
+        run_chains(&RoundEngine::inline(), chains).unwrap();
+        let order = log.lock().unwrap().clone();
+        assert_eq!(order, vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn a_panicking_unit_fails_only_its_chain() {
+        let survivor_units = Arc::new(AtomicUsize::new(0));
+        for engine in [RoundEngine::inline(), RoundEngine::pooled(2)] {
+            let units = Arc::clone(&survivor_units);
+            units.store(0, Ordering::SeqCst);
+            let mut healthy_done = 0usize;
+            let healthy = TaskChain::new(4, 1, move || {
+                healthy_done += 1;
+                units.fetch_add(1, Ordering::SeqCst);
+                (healthy_done == 4).then_some(7usize)
+            });
+            let mut doomed_done = 0usize;
+            let doomed = TaskChain::new(4, 100, move || {
+                doomed_done += 1;
+                if doomed_done == 2 {
+                    panic!("unit two died");
+                }
+                None
+            });
+            let err = run_chains(&engine, vec![healthy, doomed]).unwrap_err();
+            match err {
+                FlError::JobPanic(marker) => {
+                    assert_eq!(marker.slot, 1);
+                    assert_eq!(marker.message, "unit two died");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+            // The healthy chain still ran all of its units.
+            assert_eq!(survivor_units.load(Ordering::SeqCst), 4);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_chain_calls_work() {
+        let engine = RoundEngine::inline();
+        assert!(run_chains::<u8>(&engine, Vec::new()).unwrap().is_empty());
+        let one = TaskChain::new(1, 1, || Some(9u8));
+        assert_eq!(run_chains(&engine, vec![one]).unwrap(), vec![9]);
+    }
+}

@@ -35,8 +35,8 @@ use crate::error::FlError;
 use crate::metrics::WinnerInfo;
 use fmore_auction::mechanism::Award;
 use fmore_auction::{
-    Auction, AuctionError, BidStore, EquilibriumSolver, ScoredBid, ShardSelection, StandingPool,
-    SubmittedBid,
+    Auction, AuctionError, BidStore, Candidate, EquilibriumSolver, RankRefiner, ScoreHistogram,
+    ScoredBid, SelectionRule, ShardSelection, StandingPool, SubmittedBid,
 };
 use fmore_ml::arena::ScratchArena;
 use fmore_ml::dataset::Dataset;
@@ -351,10 +351,17 @@ pub struct StreamedAuction {
 /// across waves, so the stage's transient memory is `O(width · shard + K)` regardless of
 /// the population size.
 ///
-/// Winner sets are **bit-identical** to [`Auction::run`] over the same bids — for top-K at
-/// any `reserve`, and for ψ-FMore because the stage widens the standing pool to the full
-/// population (the ψ walk needs the whole ranking; a bounded pool would silently change the
-/// mechanism, so ψ trades the `O(K)` pool for exactness). Results are independent of both
+/// Winner sets are **bit-identical** to [`Auction::run`] over the same bids for **every**
+/// selection rule at any `reserve`. Top-K reads its winners straight off the bounded pool
+/// head. ψ-FMore — whose admission walk ranges over the whole ranking — runs bounded via a
+/// two-pass design: the first pass additionally counts every score into a fixed-width
+/// [`ScoreHistogram`], the walk is planned over ranks alone
+/// ([`Auction::plan_admission`], same RNG draws as the full-width walk), and only if an
+/// admitted rank falls beyond the standing pool does a refinement pass re-stream the
+/// shards (fills are pure functions of their range) through a [`RankRefiner`] that keeps
+/// just the needed ranks' candidates — with their exact full-sort tie-break keys and zero
+/// further RNG consumption. Peak state stays `O(width · shard + K + bins)`, never `O(N)`.
+/// Results are independent of both
 /// the shard size and the engine width — tie-break keys depend only on the bid's global
 /// stream position. Winners materialise
 /// through `map_award` exactly as in [`auction_select`]: nothing beyond the `K` awards ever
@@ -392,29 +399,30 @@ where
     }
     let shard_size = shard_size.max(1);
     let dims = auction.scoring_rule().dims();
-    // ψ-FMore's admission walk must see the full ranking — truncating it to a bounded pool
-    // would silently change the mechanism (deep candidates lose their geometric admission
-    // tail and the draw sequence diverges from `Auction::run`). The selector therefore
-    // keeps the whole population for ψ selections; only top-K earns the bounded pool.
-    let reserve = match auction.selection_rule() {
-        fmore_auction::SelectionRule::PsiFMore { .. } => reserve.max(population),
-        fmore_auction::SelectionRule::TopK => reserve,
-    };
+    // ψ-FMore's admission walk ranges over the whole ranking, but the walk needs only
+    // *ranks* — so instead of widening the standing pool to the population (the pre-v9
+    // behaviour), a fixed-width score histogram is counted alongside the first pass and the
+    // walk is planned over it; see the award stage below. Every selection rule therefore
+    // keeps the same bounded `K + reserve` pool.
     let mut selector = auction.selector(reserve);
     let capacity = selector.capacity();
     let width = engine.parallel_width();
     let mut free: Vec<BidStore> = Vec::new();
     let mut peak_bid_bytes = 0usize;
     let mut salt: Option<u64> = None;
+    let mut histogram = match auction.selection_rule() {
+        SelectionRule::PsiFMore { .. } => Some(ScoreHistogram::new()),
+        SelectionRule::TopK => None,
+    };
 
     let shards: Vec<std::ops::Range<usize>> = (0..population)
         .step_by(shard_size)
         .map(|lo| lo..(lo + shard_size).min(population))
         .collect();
-    for wave in shards.chunks(width.max(1)) {
-        // Stage 1: fill + batch-score each shard of the wave on the pool.
-        let tasks: Vec<Task<Result<BidStore, AuctionError>>> = wave
-            .iter()
+    // One wave of fill + batch-score shard tasks, run on the pool. Fills are pure functions
+    // of their range, so the refinement pass of the ψ award stage can replay them.
+    let wave_tasks = |wave: &[std::ops::Range<usize>], free: &mut Vec<BidStore>| {
+        wave.iter()
             .map(|range| {
                 let mut store = free
                     .pop()
@@ -429,12 +437,19 @@ where
                     Ok(store)
                 }) as Task<Result<BidStore, AuctionError>>
             })
-            .collect();
+            .collect::<Vec<_>>()
+    };
+    for wave in shards.chunks(width.max(1)) {
+        // Stage 1: fill + batch-score each shard of the wave on the pool.
+        let tasks = wave_tasks(wave, &mut free);
         let mut stores = Vec::with_capacity(wave.len());
         let mut wave_bytes = 0usize;
         for result in engine.try_run_tasks(tasks)? {
             let store = result?;
             wave_bytes += store.resident_bytes();
+            if let Some(histogram) = histogram.as_mut() {
+                histogram.record_store(&store);
+            }
             stores.push(store);
         }
         // The round salt is drawn as soon as two bids are guaranteed; from then on
@@ -482,7 +497,67 @@ where
     if standing.offered() == 0 {
         return Err(AuctionError::NoBids.into());
     }
-    let awards = auction.award_standing(&standing, k, &[], rng);
+    let awards = match histogram {
+        // Top-K: winners are the head of the bounded pool; pricing looks one rank past it.
+        None => auction.award_standing(&standing, k, &[], rng),
+        // ψ-FMore, bounded: plan the admission walk over ranks alone (exactly the RNG draws
+        // the full-width walk makes), then materialise just the admitted ranks plus the
+        // pricing boundary.
+        Some(histogram) => {
+            let offered = standing.offered();
+            debug_assert_eq!(histogram.total() as usize, offered);
+            let plan = auction.plan_admission(offered, k, rng);
+            let mut needed: Vec<usize> = plan.picked.clone();
+            needed.extend(plan.price_rank);
+            needed.sort_unstable();
+            needed.dedup();
+            let deepest = *needed.last().expect("k >= 1 admits at least one rank");
+            if deepest < standing.len() {
+                // Every needed rank sits in the bounded pool, whose order IS the global
+                // rank order — no second pass.
+                let best_losing = plan.price_rank.map(|r| standing.candidates()[r].score);
+                plan.picked
+                    .iter()
+                    .map(|&r| auction.award_candidate(&standing.candidates()[r], best_losing))
+                    .collect()
+            } else {
+                // Refinement pass: re-stream the shards (fills are pure) through per-bin
+                // probes that keep only the needed ranks' candidates — same global
+                // tie-break keys via `derive_seed(salt, position)`, zero RNG consumption,
+                // at most `deepest + 1` candidates resident.
+                let salt = salt.expect("refinement implies >= 2 offered bids, so the salt exists");
+                let mut refiner = RankRefiner::new(&histogram, &needed, salt, dims);
+                let standing_bytes = standing.len()
+                    * (std::mem::size_of::<Candidate>() + dims * std::mem::size_of::<f64>());
+                let mut base = 0usize;
+                for wave in shards.chunks(width.max(1)) {
+                    let tasks = wave_tasks(wave, &mut free);
+                    let mut wave_bytes = 0usize;
+                    for result in engine.try_run_tasks(tasks)? {
+                        let store = result?;
+                        wave_bytes += store.resident_bytes();
+                        refiner.offer_store(&store, base);
+                        base += store.len();
+                        free.push(store);
+                    }
+                    peak_bid_bytes =
+                        peak_bid_bytes.max(wave_bytes + standing_bytes + refiner.resident_bytes());
+                }
+                debug_assert_eq!(base, offered, "refinement re-fill diverged from pass one");
+                let ranked = refiner.into_ranked();
+                let at = |rank: usize| {
+                    ranked
+                        .get(rank)
+                        .expect("every needed rank was counted and collected")
+                };
+                let best_losing = plan.price_rank.map(|r| at(r).score);
+                plan.picked
+                    .iter()
+                    .map(|&r| auction.award_candidate(at(r), best_losing))
+                    .collect()
+            }
+        }
+    };
     let winners = awards.iter().map(&mut map_award).collect();
     Ok(StreamedAuction {
         winners,
@@ -661,6 +736,156 @@ impl TrainingJob {
     }
 }
 
+/// How the local-training stage decomposes each winner's work into executor tasks.
+///
+/// Every granularity produces bit-identical updates (a winner's units run strictly in
+/// order, with the same RNG stream); the knob only changes how finely the scheduler can
+/// pack work around a straggler winner. Coarser is cheaper in scheduling overhead, finer
+/// wins wall-clock when winners' workloads are skewed — see [`crate::chain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanOutGranularity {
+    /// One indivisible task per winner (the historical default).
+    #[default]
+    PerWinner,
+    /// One chain unit per local epoch.
+    PerEpoch,
+    /// One chain unit per mini-batch (plus the epoch's shuffle folded into its first
+    /// batch) — the finest decomposition [`fmore_ml::model::Sequential`] supports.
+    PerBatch,
+}
+
+/// Incremental executor of one [`TrainingJob`]: the same phases as [`TrainingJob::run`]
+/// (prime the slot model, train the epochs, export the parameters) advanced one fan-out
+/// unit at a time, bit-identical to the one-shot path at every granularity.
+struct ChainedTraining {
+    job: TrainingJob,
+    rng: rand::rngs::StdRng,
+    granularity: FanOutGranularity,
+    primed: bool,
+    epoch: usize,
+    /// Sample cursor into the current epoch's shuffled order (per-batch only).
+    cursor: usize,
+}
+
+impl ChainedTraining {
+    fn new(job: TrainingJob, granularity: FanOutGranularity) -> Self {
+        let rng = seeded_rng(job.seed);
+        Self {
+            job,
+            rng,
+            granularity,
+            primed: false,
+            epoch: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Estimated `(units, per-unit cost)` of the chain, in samples — scheduling hints for
+    /// the longest-remaining-first queue, never load-bearing for correctness.
+    fn estimate(&self) -> (usize, u64) {
+        let n = self.job.state.indices.len();
+        let epochs = self.job.epochs.max(1);
+        let batch = self.job.batch_size.max(1);
+        match self.granularity {
+            FanOutGranularity::PerWinner => (1, (epochs * n.max(1)) as u64),
+            FanOutGranularity::PerEpoch => (epochs, n.max(1) as u64),
+            FanOutGranularity::PerBatch => (
+                epochs * n.div_ceil(batch).max(1),
+                batch.min(n.max(1)) as u64,
+            ),
+        }
+    }
+
+    /// Runs one unit; returns `true` once every epoch has trained (the caller then
+    /// exports the parameters via [`ChainedTraining::finish`]).
+    fn advance(&mut self) -> bool {
+        let state = &mut self.job.state;
+        if !self.primed {
+            state.model.apply_parameters(&self.job.global_params);
+            state.model.reset_scratch_rng();
+            self.primed = true;
+            if self.job.epochs == 0 {
+                return true;
+            }
+        }
+        match self.granularity {
+            FanOutGranularity::PerWinner | FanOutGranularity::PerEpoch => {
+                state.model.train_epoch_in(
+                    &mut state.arena,
+                    &self.job.data,
+                    &state.indices,
+                    self.job.learning_rate,
+                    self.job.batch_size,
+                    &mut self.rng,
+                );
+                self.epoch += 1;
+            }
+            FanOutGranularity::PerBatch => {
+                if self.cursor == 0 {
+                    // First batch of the epoch carries the shuffle. An empty subset makes
+                    // the whole epoch a no-op consuming no RNG, exactly like
+                    // `train_epoch_in`'s early return.
+                    state
+                        .model
+                        .shuffle_epoch_in(&mut state.arena, &state.indices, &mut self.rng);
+                }
+                let n = state.arena.epoch_len();
+                if n == 0 {
+                    self.epoch += 1;
+                    return self.epoch == self.job.epochs;
+                }
+                let lo = self.cursor;
+                let hi = (lo + self.job.batch_size.max(1)).min(n);
+                state.model.train_batches_in(
+                    &mut state.arena,
+                    &self.job.data,
+                    lo..hi,
+                    self.job.learning_rate,
+                    self.job.batch_size,
+                );
+                self.cursor = hi;
+                if self.cursor >= n {
+                    self.cursor = 0;
+                    self.epoch += 1;
+                }
+            }
+        }
+        self.epoch == self.job.epochs
+    }
+
+    /// Exports the trained parameters — the tail of [`TrainingJob::run`], verbatim.
+    fn finish(mut self) -> (LocalUpdate, SlotState) {
+        let state = &mut self.job.state;
+        state.model.parameters_into(&mut state.params);
+        let update = LocalUpdate {
+            slot: self.job.slot,
+            client: self.job.client,
+            parameters: std::mem::take(&mut state.params),
+            weight: state.indices.len() as f64,
+        };
+        (update, self.job.state)
+    }
+
+    /// Wraps the chained job as a [`TaskChain`] step closure.
+    fn into_chain(self) -> crate::chain::TaskChain<(LocalUpdate, SlotState)> {
+        let (units, cost) = self.estimate();
+        let mut chained = Some(self);
+        crate::chain::TaskChain::new(units, cost, move || {
+            let c = chained.as_mut().expect("chain stepped past completion");
+            if c.advance() {
+                Some(
+                    chained
+                        .take()
+                        .expect("chain finished exactly once")
+                        .finish(),
+                )
+            } else {
+                None
+            }
+        })
+    }
+}
+
 /// Trains every job on the engine (steps 4–5 of Algorithm 1), returning updates and their
 /// reclaimed slot states in slot order regardless of execution mode or completion order.
 ///
@@ -673,11 +898,41 @@ pub fn local_training(
     engine: &RoundEngine,
     jobs: Vec<TrainingJob>,
 ) -> Result<Vec<(LocalUpdate, SlotState)>, FlError> {
-    let tasks: Vec<Task<(LocalUpdate, SlotState)>> = jobs
-        .into_iter()
-        .map(|job| Box::new(move || job.run()) as Task<(LocalUpdate, SlotState)>)
-        .collect();
-    engine.try_run_tasks(tasks)
+    local_training_with(engine, jobs, FanOutGranularity::PerWinner)
+}
+
+/// [`local_training`] with an explicit [`FanOutGranularity`]: per-winner jobs go through
+/// the executor as indivisible tasks; per-epoch and per-batch jobs run as
+/// [`crate::chain::TaskChain`]s (see [`crate::chain::run_chains`]) whose units interleave
+/// across winners with
+/// longest-remaining-first scheduling. The returned updates are bit-identical across all
+/// granularities, engines, and pool widths.
+///
+/// # Errors
+///
+/// As for [`local_training`]; a panic mid-chain fails the round with the chain's winner
+/// slot, with every sibling winner still trained.
+pub fn local_training_with(
+    engine: &RoundEngine,
+    jobs: Vec<TrainingJob>,
+    granularity: FanOutGranularity,
+) -> Result<Vec<(LocalUpdate, SlotState)>, FlError> {
+    match granularity {
+        FanOutGranularity::PerWinner => {
+            let tasks: Vec<Task<(LocalUpdate, SlotState)>> = jobs
+                .into_iter()
+                .map(|job| Box::new(move || job.run()) as Task<(LocalUpdate, SlotState)>)
+                .collect();
+            engine.try_run_tasks(tasks)
+        }
+        FanOutGranularity::PerEpoch | FanOutGranularity::PerBatch => {
+            let chains = jobs
+                .into_iter()
+                .map(|job| ChainedTraining::new(job, granularity).into_chain())
+                .collect();
+            crate::chain::run_chains(engine, chains)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -935,6 +1190,62 @@ mod tests {
     }
 
     #[test]
+    fn bounded_psi_streaming_matches_the_dense_auction_bitwise() {
+        use fmore_auction::{Additive, PricingRule, ScoringRule};
+        // ψ = 0.6 usually resolves from the bounded pool head; ψ = 0.12 walks deep enough
+        // that the refinement pass runs. Both must match the dense auction bit for bit.
+        for &(psi, pricing) in &[
+            (0.6, PricingRule::FirstPrice),
+            (0.6, PricingRule::SecondPrice),
+            (0.12, PricingRule::FirstPrice),
+            (0.12, PricingRule::SecondPrice),
+        ] {
+            let auction = Auction::new(
+                ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap()),
+                8,
+                SelectionRule::PsiFMore { psi },
+                pricing,
+            );
+            let n = 500;
+            for seed in [7u64, 77, 777] {
+                let dense_bids: Vec<SubmittedBid> = (0..n)
+                    .map(|i| {
+                        let (node, q, ask) = synthetic_bid(i);
+                        SubmittedBid::new(node, fmore_auction::Quality::new(q.to_vec()), ask)
+                    })
+                    .collect();
+                let dense = auction.run(dense_bids, &mut seeded_rng(seed)).unwrap();
+                for engine in [RoundEngine::inline(), RoundEngine::pooled(2)] {
+                    let streamed = streamed_winners(&auction, n, 64, &engine, seed);
+                    let dense_pairs: Vec<(u64, u64)> = dense
+                        .winners()
+                        .iter()
+                        .map(|w| (w.node.0, w.payment.to_bits()))
+                        .collect();
+                    let streamed_pairs: Vec<(u64, u64)> = streamed
+                        .winners
+                        .iter()
+                        .map(|w| (w.node.0, w.payment.to_bits()))
+                        .collect();
+                    assert_eq!(
+                        dense_pairs, streamed_pairs,
+                        "psi={psi} {pricing:?} seed={seed}: bounded walk diverged"
+                    );
+                    // The pool stays at K + reserve and peak memory stays shard-scale —
+                    // the O(N) widening is gone.
+                    assert!(streamed.standing.len() <= 16);
+                    let full_store_bytes = n * (8 + 8 * 4);
+                    assert!(
+                        streamed.peak_bid_bytes < full_store_bytes,
+                        "psi={psi} seed={seed}: peak {} not bounded",
+                        streamed.peak_bid_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn streamed_selection_is_shard_and_width_independent() {
         let auction = scale_auction(5);
         let reference = streamed_winners(&auction, 300, 300, &RoundEngine::inline(), 3);
@@ -1061,6 +1372,88 @@ mod tests {
         assert_eq!(RoundEngine::inline().parallel_width(), 1);
         assert_eq!(RoundEngine::pooled(3).parallel_width(), 3);
         assert!(RoundEngine::spawn_per_round().parallel_width() >= 1);
+    }
+
+    fn fan_out_jobs(sizes: &[usize]) -> Vec<TrainingJob> {
+        use fmore_ml::dataset::SyntheticImageSpec;
+        use fmore_ml::layers::{Dense, Dropout, Layer};
+        let mut rng = seeded_rng(90);
+        let data = Arc::new(SyntheticImageSpec::mnist_like().generate(160, &mut rng));
+        // Dropout makes the model's scratch RNG order-sensitive, so any unit-sequencing
+        // divergence between granularities corrupts the parameters.
+        let model = Sequential::new(vec![
+            Box::new(Dense::new(data.feature_dim(), 10, &mut rng)) as Box<dyn Layer>,
+            Box::new(Dropout::new(0.25)),
+            Box::new(Dense::new(10, data.num_classes(), &mut rng)),
+        ]);
+        let global_params = Arc::new(model.parameters());
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(slot, &size)| {
+                let mut state = SlotState::new(model.clone());
+                state.indices = (0..size).map(|i| (slot * 13 + i) % data.len()).collect();
+                TrainingJob {
+                    slot,
+                    client: slot,
+                    state,
+                    global_params: Arc::clone(&global_params),
+                    data: Arc::clone(&data),
+                    epochs: 2,
+                    learning_rate: 0.1,
+                    batch_size: 8,
+                    seed: fmore_numerics::rng::derive_seed(91, slot as u64),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fan_out_granularities_produce_bit_identical_updates() {
+        // Skewed sizes (one straggler, an empty subset, a sub-batch subset) across every
+        // granularity × engine combination must reproduce the per-winner updates bitwise.
+        let sizes = [60usize, 5, 0, 23, 120];
+        let reference = local_training(&RoundEngine::inline(), fan_out_jobs(&sizes)).unwrap();
+        for granularity in [
+            FanOutGranularity::PerWinner,
+            FanOutGranularity::PerEpoch,
+            FanOutGranularity::PerBatch,
+        ] {
+            for engine in [
+                RoundEngine::inline(),
+                RoundEngine::pooled(2),
+                RoundEngine::pooled(8),
+            ] {
+                let got = local_training_with(&engine, fan_out_jobs(&sizes), granularity).unwrap();
+                assert_eq!(got.len(), reference.len());
+                for ((update, _), (expected, _)) in got.iter().zip(&reference) {
+                    assert_eq!(update.slot, expected.slot);
+                    assert_eq!(update.weight.to_bits(), expected.weight.to_bits());
+                    let bits = |p: &[f64]| p.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(&update.parameters),
+                        bits(&expected.parameters),
+                        "granularity {granularity:?} diverged in slot {}",
+                        update.slot
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_chain_panics_fail_the_round_with_the_winner_slot() {
+        let mut jobs = fan_out_jobs(&[10, 10, 10]);
+        // Poison slot 1 with indices past the dataset: the gather panics mid-chain.
+        jobs[1].state.indices = vec![usize::MAX];
+        for granularity in [FanOutGranularity::PerEpoch, FanOutGranularity::PerBatch] {
+            let err = local_training_with(&RoundEngine::pooled(2), jobs.clone(), granularity)
+                .unwrap_err();
+            assert!(
+                matches!(err, FlError::JobPanic(ref m) if m.slot == 1),
+                "granularity {granularity:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregator;
+pub mod chain;
 pub mod client;
 pub mod config;
 pub mod engine;
@@ -49,9 +50,12 @@ pub use aggregator::{
     federated_average, federated_average_into, federated_average_screened, Quarantine,
     ScreenPolicy, ScreenedAggregation, UpdateFault,
 };
+pub use chain::{run_chains, TaskChain};
 pub use client::EdgeClient;
 pub use config::FlConfig;
-pub use engine::{shared_pool, ExecutionMode, RoundEngine, SlotState, WorkerPool};
+pub use engine::{
+    shared_pool, ExecutionMode, FanOutGranularity, RoundEngine, SlotState, WorkerPool,
+};
 pub use error::FlError;
 pub use executor::JobPanic;
 pub use faults::{Corruption, FaultClock, FaultEvent, FaultKind, FaultPlan, WatchdogSpec};

@@ -9,8 +9,10 @@
 //! runs alone or interleaved with noisy neighbours.
 
 use crate::aggregator::{federated_average_screened, ScreenPolicy};
+use crate::chain::TaskChain;
 use crate::engine::{
-    apply_deadline, auction_select_streamed, ParticipantTiming, RoundEngine, Task,
+    apply_deadline, auction_select_streamed, FanOutGranularity, ParticipantTiming, RoundEngine,
+    Task,
 };
 use crate::error::FlError;
 use crate::faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, WatchdogSpec};
@@ -135,6 +137,12 @@ pub struct JobSpec {
     /// Optional deterministic fault-injection plan (chaos testing); `None` injects
     /// nothing and leaves the round pipeline byte-identical to a plan-free build.
     pub faults: Option<FaultPlan>,
+    /// How the per-winner work stage is dispatched. Synthetic winner work is a single
+    /// closure call, so anything finer than [`FanOutGranularity::PerWinner`] runs each
+    /// winner as a one-unit [`TaskChain`] through the chain scheduler — same work, same
+    /// history bit-for-bit (including injected work faults), different dispatch path. The
+    /// chaos determinism suite pins that equivalence.
+    pub fan_out: FanOutGranularity,
     /// The job's bid stream.
     pub source: Arc<BidSource>,
     /// Optional per-winner work.
@@ -154,6 +162,7 @@ impl std::fmt::Debug for JobSpec {
             .field("update_dim", &self.update_dim)
             .field("watchdog", &self.watchdog)
             .field("faults", &self.faults)
+            .field("fan_out", &self.fan_out)
             .finish()
     }
 }
@@ -585,7 +594,25 @@ impl FlJob {
                         }) as Task<f64>
                     })
                     .collect();
-                engine.try_run_tasks(tasks)?.into_iter().sum()
+                match spec.fan_out {
+                    FanOutGranularity::PerWinner => engine.try_run_tasks(tasks)?.into_iter().sum(),
+                    // Winner work is a single closure call, so finer granularities
+                    // degrade to one-unit chains: the same tasks, dispatched through the
+                    // chain scheduler. Fault attribution (chain index = winner slot) and
+                    // the resulting history are bit-identical to the per-winner path.
+                    FanOutGranularity::PerEpoch | FanOutGranularity::PerBatch => {
+                        let chains: Vec<TaskChain<f64>> = tasks
+                            .into_iter()
+                            .map(|task| {
+                                let mut task = Some(task);
+                                TaskChain::new(1, 1, move || {
+                                    Some(task.take().expect("one-unit chain runs once")())
+                                })
+                            })
+                            .collect();
+                        crate::chain::run_chains(engine, chains)?.into_iter().sum()
+                    }
+                }
             }
             None => 0.0,
         };

@@ -345,6 +345,7 @@ mod tests {
             update_dim: 0,
             watchdog: None,
             faults: None,
+            fan_out: Default::default(),
             source: toy_source(),
             work: None,
         }

@@ -3,7 +3,7 @@
 
 use crate::client::EdgeClient;
 use crate::config::{FlConfig, ModelChoice};
-use crate::engine::{self, RoundEngine, SlotState, TrainingJob};
+use crate::engine::{self, FanOutGranularity, RoundEngine, SlotState, TrainingJob};
 use crate::error::FlError;
 use crate::metrics::{RoundMetrics, RoundOutcome, TrainingHistory, WinnerInfo};
 use crate::selection::SelectionStrategy;
@@ -36,6 +36,8 @@ pub struct FederatedTrainer {
     solver: Option<EquilibriumSolver>,
     auction: Option<Auction>,
     engine: RoundEngine,
+    /// How local training decomposes into executor tasks; never affects histories.
+    fan_out: FanOutGranularity,
     rng: StdRng,
     seed: u64,
     round: usize,
@@ -194,6 +196,7 @@ impl FederatedTrainer {
             solver,
             auction,
             engine,
+            fan_out: FanOutGranularity::default(),
             rng,
             seed,
             round: 0,
@@ -217,6 +220,19 @@ impl FederatedTrainer {
     /// The engine executing this trainer's parallel stages.
     pub fn engine(&self) -> &RoundEngine {
         &self.engine
+    }
+
+    /// How local training is decomposed into executor tasks (defaults to
+    /// [`FanOutGranularity::PerWinner`]).
+    pub fn fan_out(&self) -> FanOutGranularity {
+        self.fan_out
+    }
+
+    /// Sets the local-training fan-out granularity. Finer granularities let the scheduler
+    /// pack work around straggler winners on pooled engines; the produced
+    /// [`TrainingHistory`] is bit-identical at every setting.
+    pub fn set_fan_out(&mut self, granularity: FanOutGranularity) {
+        self.fan_out = granularity;
     }
 
     /// The clients participating in the game.
@@ -369,7 +385,7 @@ impl FederatedTrainer {
     ) -> Result<RoundMetrics, FlError> {
         self.round += 1;
         let jobs = self.training_jobs(&winners);
-        let results = engine::local_training(&self.engine, jobs)?;
+        let results = engine::local_training_with(&self.engine, jobs, self.fan_out)?;
         let mut updates = Vec::with_capacity(results.len());
         for (update, state) in results {
             self.slots[update.slot] = Some(state);
@@ -567,6 +583,25 @@ mod tests {
         assert_eq!(inline, run(RoundEngine::pooled(1)));
         assert_eq!(inline, run(RoundEngine::pooled(4)));
         assert_eq!(inline, run(RoundEngine::default()));
+    }
+
+    #[test]
+    fn fan_out_granularity_never_changes_the_history() {
+        let run = |granularity| {
+            let mut t = FederatedTrainer::with_engine(
+                fast_config(),
+                SelectionStrategy::fmore(),
+                29,
+                RoundEngine::pooled(2),
+            )
+            .unwrap();
+            t.set_fan_out(granularity);
+            assert_eq!(t.fan_out(), granularity);
+            t.run(2).unwrap()
+        };
+        let per_winner = run(FanOutGranularity::PerWinner);
+        assert_eq!(per_winner, run(FanOutGranularity::PerEpoch));
+        assert_eq!(per_winner, run(FanOutGranularity::PerBatch));
     }
 
     #[test]

@@ -122,12 +122,29 @@ pub struct ScaleGame {
 
 impl ScaleGame {
     /// Builds the game for a population of `n` nodes under `config` (solver tabulation
-    /// happens here, once — not inside the per-round path).
+    /// happens here, once — not inside the per-round path). Selection is the paper's
+    /// top-K; [`ScaleGame::with_selection`] swaps in another rule.
     ///
     /// # Errors
     ///
     /// Propagates population and solver construction failures.
     pub fn new(n: usize, config: &ScaleConfig) -> Result<Self, SimError> {
+        Self::with_selection(n, config, SelectionRule::TopK)
+    }
+
+    /// [`ScaleGame::new`] under an explicit selection rule — the ψ-FMore sweeps of the
+    /// scale bench ride on this constructor; everything else (population stream, solver
+    /// tabulation, per-`N` selection seed) is identical, so a ψ game at the same `n`
+    /// draws the very same bid population as the top-K game.
+    ///
+    /// # Errors
+    ///
+    /// Propagates population and solver construction failures.
+    pub fn with_selection(
+        n: usize,
+        config: &ScaleConfig,
+        selection: SelectionRule,
+    ) -> Result<Self, SimError> {
         let spec = PopulationSpec::scale_default(n, derive_seed(config.seed, n as u64))
             .with_version(config.spec_version);
         let population = NodePopulation::new(spec)?;
@@ -148,7 +165,7 @@ impl ScaleGame {
         let auction = Auction::new(
             ScoringRule::new(scoring),
             k,
-            SelectionRule::TopK,
+            selection,
             PricingRule::FirstPrice,
         );
         Ok(Self {
@@ -561,6 +578,32 @@ mod tests {
             assert_eq!(p.winners, 16);
             assert!(p.total_payment > 0.0);
         }
+    }
+
+    #[test]
+    fn psi_selection_is_bit_identical_to_dense_and_stays_bounded() {
+        let config = tiny();
+        let engine = RoundEngine::inline();
+        let mut peaks = Vec::new();
+        for &n in &config.populations {
+            let game = ScaleGame::with_selection(n, &config, SelectionRule::PsiFMore { psi: 0.8 })
+                .unwrap();
+            let streamed = game.run_streamed(&engine, &config).unwrap();
+            let dense = game.run_dense().unwrap();
+            assert_eq!(streamed.winners.len(), dense.winners().len());
+            for (s, d) in streamed.winners.iter().zip(dense.winners()) {
+                assert_eq!(s.node, d.node);
+                assert_eq!(s.score.to_bits(), d.score.to_bits());
+                assert_eq!(s.payment.to_bits(), d.payment.to_bits());
+            }
+            peaks.push(streamed.peak_bid_bytes);
+        }
+        // The bounded ψ admission keeps the peak at shard scale: quadrupling the
+        // population must not move resident bid bytes past the shard-bounded envelope.
+        assert!(
+            peaks[1] <= peaks[0] * 2,
+            "psi streamed peak grew with N: {peaks:?}"
+        );
     }
 
     #[test]

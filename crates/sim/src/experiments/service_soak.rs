@@ -16,7 +16,7 @@ use crate::scenario::ScenarioRunner;
 use crate::series::Table;
 use fmore_auction::{Additive, Auction, AuctionError, EquilibriumSolver, LinearCost};
 use fmore_auction::{PricingRule, ScoringRule, SelectionRule};
-use fmore_fl::engine::RoundEngine;
+use fmore_fl::engine::{FanOutGranularity, RoundEngine};
 use fmore_fl::service::{AuctionService, BidSource, DeadlineSpec, JobSpec, ServiceConfig};
 use fmore_mec::population::{NodePopulation, PopulationSpec, SpecVersion};
 use fmore_numerics::rng::derive_seed;
@@ -42,6 +42,9 @@ pub struct SoakConfig {
     pub grid_size: usize,
     /// Base seed; job `j` derives its own stream as `derive_seed(seed, j)`.
     pub seed: u64,
+    /// Dispatch granularity of every job's per-winner work stage (never changes
+    /// histories; see [`fmore_fl::engine::FanOutGranularity`]).
+    pub fan_out: FanOutGranularity,
 }
 
 impl SoakConfig {
@@ -56,6 +59,7 @@ impl SoakConfig {
             reserve: 8,
             grid_size: 48,
             seed: 7_171,
+            fan_out: FanOutGranularity::PerWinner,
         }
     }
 
@@ -70,6 +74,7 @@ impl SoakConfig {
             reserve: 16,
             grid_size: 96,
             seed: 7_171,
+            fan_out: FanOutGranularity::PerWinner,
         }
     }
 }
@@ -158,6 +163,7 @@ pub fn job_specs(config: &SoakConfig) -> Result<Vec<JobSpec>, SimError> {
                 update_dim: 0,
                 watchdog: None,
                 faults: None,
+                fan_out: config.fan_out,
                 source,
                 // Deterministic stand-in for local training: pure in (round, slot, winner).
                 work: Some(Arc::new(|round, slot, winner| {

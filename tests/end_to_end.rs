@@ -206,6 +206,40 @@ fn hundred_thousand_bidder_selection_smoke() {
     }
 }
 
+/// Named CI smoke for the bounded ψ admission at scale: one streamed ψ-FMore (ψ = 0.8)
+/// selection round over 10,000,000 lazily derived bidders — the histogram-planned
+/// admission walk plus (when needed) the refinement pass — completing with a full winner
+/// set at the shard-scale peak the 1e5 top-K smoke holds. Ignored by default (a 1e7 round
+/// is too slow for the debug-mode tier-1 run); CI runs it by name in release.
+#[test]
+#[ignore = "ten-million-bidder round; CI runs it by name in release"]
+fn ten_million_bidder_psi_selection_smoke() {
+    use fmore::auction::SelectionRule;
+    use fmore::fl::engine::RoundEngine;
+    use fmore::sim::experiments::scale::{ScaleConfig, ScaleGame};
+
+    let config = ScaleConfig::paper();
+    let game = ScaleGame::with_selection(10_000_000, &config, SelectionRule::PsiFMore { psi: 0.8 })
+        .expect("scale game builds");
+    let stage = game
+        .run_streamed(&RoundEngine::inline(), &config)
+        .expect("streamed round runs");
+    assert_eq!(stage.offered, 10_000_000);
+    assert_eq!(
+        stage.winners.len(),
+        64,
+        "a full ψ winner set at 1e7 bidders"
+    );
+    assert!(stage.winners.iter().all(|w| w.payment > 0.0));
+    // The memory contract of the two-pass admission: resident bid bytes stay bounded by
+    // the shard and the standing pool, three orders of magnitude below a dense store.
+    assert!(
+        stage.peak_bid_bytes < 1_000_000,
+        "peak bid bytes {} is no longer shard-scale",
+        stage.peak_bid_bytes
+    );
+}
+
 /// CI smoke for the always-on service: the `service-soak` registry entry drives concurrent
 /// mixed-scheme jobs through one `AuctionService` at quick fidelity, and every job's
 /// interleaved history matches its solo run (the entry itself errors otherwise).

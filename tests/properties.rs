@@ -653,8 +653,11 @@ fn auction_schemes(k: usize) -> Vec<(&'static str, Auction)> {
 
 /// Streaming top-K selection over a bounded selector is **bit-identical** to the dense
 /// full-sort `rank_bids` path — winners, scores, and payments — across all four schemes,
-/// duplicate-score tie populations, and `k ≥ n`. The ψ walk needs the full ranking, so the
-/// exactness reserve is `n`; plain top-K is additionally checked at a minimal reserve.
+/// duplicate-score tie populations, and `k ≥ n`. This test keeps a full-width pool
+/// (`reserve = n`) so the standing order itself can be compared rank-by-rank against
+/// `rank_bids`; plain top-K is additionally checked at a minimal reserve. Bounded-reserve
+/// exactness for the ψ walk is pinned separately by
+/// `bounded_psi_admission_is_bit_identical_to_full_sort` below.
 #[test]
 fn streaming_selection_is_bit_identical_to_full_sort() {
     use fmore::auction::{BidStore, SubmittedBid};
@@ -747,6 +750,146 @@ fn streaming_selection_is_bit_identical_to_full_sort() {
                 }
                 ensure(awards.len() == dense.winners().len(), || {
                     format!("{name}: bounded selector winner count diverged")
+                })?;
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The bounded two-pass ψ admission — [`ScoreHistogram`] first pass, rank-only
+/// `plan_admission` walk, and (when the walk admits past the standing pool) a
+/// [`RankRefiner`] refinement pass — is **bit-identical** to the dense full-sort
+/// `Auction::run` path at a *small* reserve, across ψ ∈ {0.1, 0.5, 0.9, 1.0} × both
+/// pricing rules, duplicate-score tie populations, sharded streams, and `k ≥ n`. The
+/// streamed side must also leave the round RNG at exactly the dense path's position, so a
+/// seeded history cannot tell which path ran.
+#[test]
+fn bounded_psi_admission_is_bit_identical_to_full_sort() {
+    use fmore::auction::{BidStore, RankRefiner, ScoreHistogram, SubmittedBid};
+    use rand::Rng;
+    let strategy = Tuple3(
+        VecOf::new(
+            Tuple2(F64Range::new(0.0, 1.0), F64Range::new(0.0, 0.5)),
+            1,
+            48,
+        ),
+        UsizeRange::new(1, 60),
+        UsizeRange::new(0, 100_000),
+    );
+    check(&Config::seeded(0xB9), &strategy, |(rows, k, seed)| {
+        // Coarse quantisation makes exact score ties common, exercising the tie-break keys
+        // through both the histogram bins and the refinement probes.
+        let bids: Vec<SubmittedBid> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, ask))| {
+                let q = (q * 4.0).round() / 4.0;
+                let ask = (ask * 4.0).round() / 4.0;
+                SubmittedBid::new(NodeId(i as u64), Quality::new(vec![q, 1.0 - q]), ask)
+            })
+            .collect();
+        let n = bids.len();
+        // Shard the stream so refinement-pass base offsets are exercised.
+        let shards: Vec<BidStore> = bids
+            .chunks(7)
+            .map(|chunk| {
+                let mut store = BidStore::with_dims(2);
+                for bid in chunk {
+                    store.push(bid.node, bid.quality.as_slice(), bid.ask)?;
+                }
+                Ok::<_, AuctionError>(store)
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        for psi in [0.1, 0.5, 0.9, 1.0] {
+            for pricing in [PricingRule::FirstPrice, PricingRule::SecondPrice] {
+                let auction = Auction::new(
+                    ScoringRule::new(Additive::new(vec![1.0, 1.0]).unwrap()),
+                    *k,
+                    SelectionRule::PsiFMore { psi },
+                    pricing,
+                );
+                let name = format!("psi={psi}/{pricing:?}");
+                let mut dense_rng = fmore::numerics::seeded_rng(*seed as u64);
+                let dense = auction
+                    .run(bids.clone(), &mut dense_rng)
+                    .map_err(|e| e.to_string())?;
+
+                // Streamed twin at a deliberately tiny reserve: one standing candidate
+                // beyond K, so deep ψ admissions must go through the refinement pass.
+                let mut rng = fmore::numerics::seeded_rng(*seed as u64);
+                let mut selector = auction.selector(1);
+                let salt = (n >= 2).then(|| selector.force_salt(&mut rng));
+                let mut histogram = ScoreHistogram::new();
+                for store in &mut shards.clone() {
+                    store
+                        .score_with(auction.scoring_rule())
+                        .map_err(|e| e.to_string())?;
+                    histogram.record_store(store);
+                    selector.offer_store(store, &mut rng);
+                }
+                let standing = selector.finish(&mut rng);
+                let plan = auction.plan_admission(standing.offered(), *k, &mut rng);
+                let mut needed: Vec<usize> = plan.picked.clone();
+                needed.extend(plan.price_rank);
+                needed.sort_unstable();
+                needed.dedup();
+                let deepest = *needed.last().expect("k >= 1 admits at least one rank");
+                let awards: Vec<Award> = if deepest < standing.len() {
+                    let best_losing = plan.price_rank.map(|r| standing.candidates()[r].score);
+                    plan.picked
+                        .iter()
+                        .map(|&r| auction.award_candidate(&standing.candidates()[r], best_losing))
+                        .collect()
+                } else {
+                    let salt = salt.expect("refinement implies >= 2 bids, so the salt exists");
+                    let mut refiner = RankRefiner::new(&histogram, &needed, salt, 2);
+                    let mut base = 0usize;
+                    for store in &mut shards.clone() {
+                        store
+                            .score_with(auction.scoring_rule())
+                            .map_err(|e| e.to_string())?;
+                        refiner.offer_store(store, base);
+                        base += store.len();
+                    }
+                    let ranked = refiner.into_ranked();
+                    let at = |rank: usize| {
+                        ranked
+                            .get(rank)
+                            .expect("every needed rank was counted and collected")
+                    };
+                    let best_losing = plan.price_rank.map(|r| at(r).score);
+                    plan.picked
+                        .iter()
+                        .map(|&r| auction.award_candidate(at(r), best_losing))
+                        .collect()
+                };
+
+                ensure(awards.len() == dense.winners().len(), || {
+                    format!(
+                        "{name}: {} streamed vs {} dense winners",
+                        awards.len(),
+                        dense.winners().len()
+                    )
+                })?;
+                for (a, d) in awards.iter().zip(dense.winners()) {
+                    ensure(
+                        a.node == d.node
+                            && a.score.to_bits() == d.score.to_bits()
+                            && a.payment.to_bits() == d.payment.to_bits(),
+                        || {
+                            format!(
+                                "{name}: winner diverged ({} pay {} vs {} pay {})",
+                                a.node, a.payment, d.node, d.payment
+                            )
+                        },
+                    )?;
+                }
+                // RNG-position parity: the bounded plan must consume exactly the words the
+                // dense ranking + selection walk consumed.
+                ensure(rng.gen::<u64>() == dense_rng.gen::<u64>(), || {
+                    format!("{name}: streamed path left the round RNG at a different position")
                 })?;
             }
         }
