@@ -328,6 +328,59 @@ impl BidStore {
         rule.score_batch(&self.qualities, &self.asks, &mut self.scores)
     }
 
+    /// Revises the bids pushed at index `start` onwards, in push order: `revise` receives
+    /// each bid's node, mutable quality row, and mutable ask, and returns whether the bid
+    /// stays in the store. Returning `false` removes the bid (the tail is compacted in
+    /// place, preserving order). Returns how many bids were removed.
+    ///
+    /// This is the post-fill hook of reputation-aware selection and adversarial bid
+    /// distortion: a streamed shard is filled by its (possibly untruthful) source, then the
+    /// auctioneer-side policy reweighs or excludes bids *before* scoring. The closure must
+    /// keep every kept bid well-formed (finite, non-negative quality and ask) — debug
+    /// builds assert it.
+    pub fn revise_from(
+        &mut self,
+        start: usize,
+        mut revise: impl FnMut(NodeId, &mut [f64], &mut f64) -> bool,
+    ) -> usize {
+        let dims = self.dims;
+        let len = self.nodes.len();
+        let mut write = start;
+        for read in start..len {
+            let mut ask = self.asks[read];
+            let keep = revise(
+                NodeId(self.nodes[read]),
+                &mut self.qualities[read * dims..(read + 1) * dims],
+                &mut ask,
+            );
+            if keep {
+                debug_assert!(
+                    self.qualities[read * dims..(read + 1) * dims]
+                        .iter()
+                        .all(|v| v.is_finite() && *v >= 0.0),
+                    "revised quality must stay well-formed"
+                );
+                debug_assert!(
+                    ask.is_finite() && ask >= 0.0,
+                    "revised ask must stay well-formed"
+                );
+                self.asks[write] = ask;
+                if write != read {
+                    self.nodes[write] = self.nodes[read];
+                    self.scores[write] = self.scores[read];
+                    self.qualities
+                        .copy_within(read * dims..(read + 1) * dims, write * dims);
+                }
+                write += 1;
+            }
+        }
+        self.nodes.truncate(write);
+        self.asks.truncate(write);
+        self.scores.truncate(write);
+        self.qualities.truncate(write * dims);
+        len - write
+    }
+
     /// Resident bytes of the stored bids (column lengths, not capacities — deterministic
     /// across allocators, which lets the scale experiments fingerprint it).
     pub fn resident_bytes(&self) -> usize {
@@ -1015,6 +1068,44 @@ mod tests {
         let bytes = store.resident_bytes();
         assert_eq!(bytes, 2 * 8 + (4 + 2 + 2) * 8);
         store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn revise_from_mutates_and_compacts_the_tail_in_order() {
+        let mut store = store_of(&[
+            (0, [0.5, 0.5], 0.1),
+            (1, [0.9, 0.2], 0.3),
+            (2, [0.4, 0.6], 0.2),
+            (3, [0.7, 0.7], 0.4),
+        ]);
+        // Revision starts at index 1: bid 0 is untouchable.
+        let dropped = store.revise_from(1, |node, quality, ask| {
+            if node == NodeId(2) {
+                return false;
+            }
+            for q in quality.iter_mut() {
+                *q *= 0.5;
+            }
+            *ask *= 2.0;
+            true
+        });
+        assert_eq!(dropped, 1);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.quality(0), &[0.5, 0.5]);
+        assert_eq!(store.ask(0), 0.1);
+        assert_eq!(store.node(1), NodeId(1));
+        assert_eq!(store.quality(1), &[0.45, 0.1]);
+        assert_eq!(store.ask(1), 0.6);
+        // Bid 3 compacted down into slot 2, order preserved.
+        assert_eq!(store.node(2), NodeId(3));
+        assert_eq!(store.quality(2), &[0.35, 0.35]);
+        assert_eq!(store.ask(2), 0.8);
+
+        // Dropping everything from 0 empties the store; resident bytes follow.
+        let dropped = store.revise_from(0, |_, _, _| false);
+        assert_eq!(dropped, 3);
         assert!(store.is_empty());
         assert_eq!(store.resident_bytes(), 0);
     }

@@ -20,9 +20,16 @@
 use fmore_bench::timing::{hardware_threads, quick_mode, schema_string, write_report};
 use fmore_fl::engine::RoundEngine;
 use fmore_fl::service::{AuctionService, JobSpec, ServiceConfig};
+use fmore_sim::experiments::adversary_soak::{self, AdversaryConfig};
 use fmore_sim::experiments::chaos_soak::{self, ChaosConfig};
 use fmore_sim::experiments::service_soak::{job_specs, SoakConfig};
 use std::time::Instant;
+
+struct JobStats {
+    name: String,
+    quarantined_updates: usize,
+    retried_rounds: usize,
+}
 
 struct FleetResult {
     jobs: usize,
@@ -33,6 +40,7 @@ struct FleetResult {
     p99_ns: u128,
     retried_rounds: usize,
     faults_injected: usize,
+    per_job: Vec<JobStats>,
 }
 
 fn percentile(sorted: &[u128], q: f64) -> u128 {
@@ -89,12 +97,23 @@ fn drive_fleet(specs: Vec<JobSpec>, rounds_per_job: usize) -> FleetResult {
     // Every requested round actually ran and succeeded (faulted rounds via retry).
     let mut retried_rounds = 0;
     let mut faults_injected = 0;
+    let mut per_job = Vec::with_capacity(ids.len());
     for &id in &ids {
         let history = service.history(id).expect("job is live");
         assert_eq!(history.completed(), rounds_per_job);
         assert_eq!(history.failed(), 0);
-        retried_rounds += history.rounds.iter().filter(|r| r.attempts > 1).count();
+        let retried = history.rounds.iter().filter(|r| r.attempts > 1).count();
+        retried_rounds += retried;
         faults_injected += history.rounds.iter().map(|r| r.faults.len()).sum::<usize>();
+        per_job.push(JobStats {
+            name: history.name.clone(),
+            quarantined_updates: history
+                .rounds
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok().map(|s| s.quarantined))
+                .sum(),
+            retried_rounds: retried,
+        });
     }
 
     latencies.sort_unstable();
@@ -108,6 +127,7 @@ fn drive_fleet(specs: Vec<JobSpec>, rounds_per_job: usize) -> FleetResult {
         p99_ns: percentile(&latencies, 0.99),
         retried_rounds,
         faults_injected,
+        per_job,
     }
 }
 
@@ -138,6 +158,14 @@ fn main() {
         update_dim: 8,
         fault_seed: 0xC4A0,
     };
+    let adversary = AdversaryConfig {
+        soak: base.clone(),
+        update_dim: 8,
+        // The descent-panel knobs are irrelevant here: only the fleet specs are driven.
+        panel: 0,
+        descent_rounds: 0,
+        adversary_seed: 0xADE7,
+    };
     let specs_for = |c: &SoakConfig| job_specs(c).expect("soak specs build");
 
     // Warm the shared pool and populations once, then measure.
@@ -152,15 +180,22 @@ fn main() {
         chaos_soak::job_specs(&chaos).expect("chaos specs build"),
         rounds_per_job,
     );
+    // And once more under a Byzantine AdversaryPlan on the odd half: prices the adversary
+    // layer (bid distortion draws, update poisoning, robust-aggregation screening, the
+    // reputation ledger feeding back into selection) against the same clean run.
+    let adversary_fleet = drive_fleet(
+        adversary_soak::job_specs(&adversary).expect("adversary specs build"),
+        rounds_per_job,
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
         "  \"schema\": \"{}\",\n",
-        schema_string("service", 2)
+        schema_string("service", 3)
     ));
     json.push_str(
-        "  \"note\": \"aggregate throughput and per-round latency of the multi-tenant AuctionService: N concurrent mixed-scheme jobs (v1+v2 stream contracts, FMore and psi-FMore), one OS driver thread per job, one shared worker pool; every round is a full streamed auction plus winner-work fan-out; the fault_overhead section re-times the 8-job fleet under an active FaultPlan (injected panics/stalls/dropouts/corruption on the odd half, watchdog retries included in latency); regenerate with `cargo run --release -p fmore-bench --example service_report`\",\n",
+        "  \"note\": \"aggregate throughput and per-round latency of the multi-tenant AuctionService: N concurrent mixed-scheme jobs (v1+v2 stream contracts, FMore and psi-FMore), one OS driver thread per job, one shared worker pool; every round is a full streamed auction plus winner-work fan-out; the fault_overhead section re-times the 8-job fleet under an active FaultPlan (injected panics/stalls/dropouts/corruption on the odd half, watchdog retries included in latency); the adversary_overhead section re-times it under a Byzantine AdversaryPlan on the odd half (bid distortion, update poisoning, robust-aggregation screening, reputation feedback); regenerate with `cargo run --release -p fmore-bench --example service_report`\",\n",
     );
     json.push_str(&format!(
         "  \"hardware_threads\": {},\n",
@@ -184,7 +219,7 @@ fn main() {
     }
     let clean = &fleets[1];
     json.push_str(&format!(
-        "  \"fault_overhead\": {{ \"jobs\": {}, \"faulted_jobs\": {}, \"rounds_total\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {}, \"retried_rounds\": {}, \"faults_injected\": {}, \"throughput_vs_clean\": {:.3} }}\n",
+        "  \"fault_overhead\": {{ \"jobs\": {}, \"faulted_jobs\": {}, \"rounds_total\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {}, \"retried_rounds\": {}, \"faults_injected\": {}, \"throughput_vs_clean\": {:.3} }},\n",
         chaos_fleet.jobs,
         chaos_fleet.jobs / 2,
         chaos_fleet.rounds_total,
@@ -194,6 +229,34 @@ fn main() {
         chaos_fleet.retried_rounds,
         chaos_fleet.faults_injected,
         chaos_fleet.rounds_per_sec / clean.rounds_per_sec
+    ));
+    let adversary_vs_clean = adversary_fleet.rounds_per_sec / clean.rounds_per_sec;
+    let per_job_json = adversary_fleet
+        .per_job
+        .iter()
+        .map(|j| {
+            format!(
+                "    {{ \"job\": \"{}\", \"quarantined_updates\": {}, \"retried_rounds\": {} }}",
+                j.name, j.quarantined_updates, j.retried_rounds
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    json.push_str(&format!(
+        "  \"adversary_overhead\": {{ \"jobs\": {}, \"adversarial_jobs\": {}, \"rounds_total\": {}, \"rounds_per_sec\": {:.1}, \"p50_round_ns\": {}, \"p99_round_ns\": {}, \"quarantined_updates\": {}, \"retried_rounds\": {}, \"throughput_vs_clean\": {:.3}, \"per_job\": [\n{per_job_json}\n  ] }}\n",
+        adversary_fleet.jobs,
+        adversary_fleet.jobs / 2,
+        adversary_fleet.rounds_total,
+        adversary_fleet.rounds_per_sec,
+        adversary_fleet.p50_ns,
+        adversary_fleet.p99_ns,
+        adversary_fleet
+            .per_job
+            .iter()
+            .map(|j| j.quarantined_updates)
+            .sum::<usize>(),
+        adversary_fleet.retried_rounds,
+        adversary_vs_clean
     ));
     json.push_str("}\n");
 
@@ -220,5 +283,18 @@ fn main() {
     assert!(
         chaos_fleet.faults_injected > 0 && chaos_fleet.retried_rounds > 0,
         "the chaos fleet injected nothing — the fault_overhead section is vacuous"
+    );
+    // Robust aggregation plus the reputation ledger must stay within 4× of the clean
+    // fleet's cost — the adversary layer is screening arithmetic, not a second service.
+    assert!(
+        adversary_vs_clean >= 0.25,
+        "the adversary fleet fell below 0.25x clean throughput ({adversary_vs_clean:.3})"
+    );
+    assert!(
+        adversary_fleet
+            .per_job
+            .iter()
+            .any(|j| j.quarantined_updates > 0),
+        "the adversary fleet quarantined nothing — the adversary_overhead section is vacuous"
     );
 }

@@ -32,7 +32,7 @@ fn every_committed_bench_report_carries_its_generators_schema() {
         ("BENCH_hot_path.json", "hot-path", 1),
         ("BENCH_auction_scale.json", "auction-scale", 3),
         ("BENCH_round_throughput.json", "round-throughput", 3),
-        ("BENCH_service.json", "service", 2),
+        ("BENCH_service.json", "service", 3),
     ] {
         assert_eq!(
             committed_schema(file),

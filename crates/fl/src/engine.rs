@@ -29,7 +29,10 @@
 //! slot keeps one model + arena for the life of the trainer, re-pointed at the new global
 //! parameters each round; see `crates/README.md` ("The allocation-free hot path").
 
-use crate::aggregator::{federated_average_into, federated_average_slices};
+use crate::aggregator::{
+    federated_average_into, federated_average_slices, AggregationRule, AggregationScratch,
+    ScreenedAggregation,
+};
 use crate::client::EdgeClient;
 use crate::error::FlError;
 use crate::metrics::WinnerInfo;
@@ -961,6 +964,27 @@ pub fn aggregate_into(updates: &[LocalUpdate], out: &mut Vec<f64>) -> Result<boo
         updates.iter().map(|u| (u.parameters.as_slice(), u.weight)),
         out,
     )
+}
+
+/// Aggregates local updates through a pluggable [`AggregationRule`], reusing `scratch`
+/// so the rule's internals allocate nothing in steady state. Returns the screening
+/// verdict; `out` holds the new global parameters when anything was accepted.
+///
+/// # Errors
+///
+/// Whatever the rule reports — e.g. [`FlError::AllUpdatesQuarantined`] when screening
+/// rejected every update.
+pub fn aggregate_with_rule(
+    rule: &dyn AggregationRule,
+    updates: &[LocalUpdate],
+    scratch: &mut AggregationScratch,
+    out: &mut Vec<f64>,
+) -> Result<ScreenedAggregation, FlError> {
+    let borrowed: Vec<(&[f64], f64)> = updates
+        .iter()
+        .map(|u| (u.parameters.as_slice(), u.weight))
+        .collect();
+    rule.aggregate_with(&borrowed, out, scratch)
 }
 
 #[cfg(test)]

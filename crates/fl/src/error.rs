@@ -61,6 +61,14 @@ pub enum FlError {
     },
     /// A serialised [`crate::service::JobCheckpoint`] could not be decoded.
     CheckpointCorrupt(String),
+    /// The reputation ledger excluded every bid of a round: nothing was left for the
+    /// auction to select. Classified retryable (a degraded fleet deserves its retry
+    /// budget), but within one round the reputation snapshot is fixed, so an exhausted
+    /// budget fails the round typed — never a panic, never a silently empty winner set.
+    AllBiddersExcluded {
+        /// How many bids the reputation filter dropped this round.
+        excluded: usize,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -102,6 +110,13 @@ impl fmt::Display for FlError {
                 )
             }
             FlError::CheckpointCorrupt(msg) => write!(f, "corrupt job checkpoint: {msg}"),
+            FlError::AllBiddersExcluded { excluded } => {
+                write!(
+                    f,
+                    "reputation filter excluded all {excluded} bids of the round; nothing \
+                     to select"
+                )
+            }
         }
     }
 }
@@ -185,6 +200,9 @@ mod tests {
         assert!(FlError::CheckpointCorrupt("truncated".into())
             .to_string()
             .contains("truncated"));
+        assert!(FlError::AllBiddersExcluded { excluded: 9 }
+            .to_string()
+            .contains("all 9 bids"));
     }
 
     #[test]

@@ -139,6 +139,50 @@ impl FaultPlan {
             faulty_attempts: 1,
         }
     }
+
+    /// Validates the plan's rates and budgets. Every rate must be a probability in
+    /// `[0, 1]`; `panic_rate + stall_rate` share one draw and must sum to at most `1`
+    /// (otherwise the stall band is silently truncated); stall charges and the corruption
+    /// scale must be finite and non-negative. Checked at service admission, so a
+    /// malformed plan is a typed [`FlError::InvalidConfig`] before any draw happens.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FlError> {
+        for (name, rate) in [
+            ("fill_panic_rate", self.fill_panic_rate),
+            ("panic_rate", self.panic_rate),
+            ("stall_rate", self.stall_rate),
+            ("dropout_rate", self.dropout_rate),
+            ("corrupt_rate", self.corrupt_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(FlError::InvalidConfig(format!(
+                    "fault plan {name} {rate} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        if self.panic_rate + self.stall_rate > 1.0 {
+            return Err(FlError::InvalidConfig(format!(
+                "fault plan panic_rate + stall_rate {} exceeds the one-draw budget of 1",
+                self.panic_rate + self.stall_rate
+            )));
+        }
+        if !self.stall_secs.is_finite() || self.stall_secs < 0.0 {
+            return Err(FlError::InvalidConfig(format!(
+                "fault plan stall_secs {} must be finite and non-negative",
+                self.stall_secs
+            )));
+        }
+        if !self.corrupt_scale.is_finite() {
+            return Err(FlError::InvalidConfig(format!(
+                "fault plan corrupt_scale {} must be finite",
+                self.corrupt_scale
+            )));
+        }
+        Ok(())
+    }
 }
 
 // Draw channels: distinct words folded into the seed chain so each fault class draws an
@@ -289,14 +333,16 @@ impl WatchdogSpec {
     }
 
     /// Whether an error is worth retrying: transient round-scoped failures (a panicked
-    /// task, a blown round budget, a fully quarantined aggregation) are; structural
-    /// failures (bad config, unknown ids, admission/backpressure) never heal by retry.
+    /// task, a blown round budget, a fully quarantined aggregation, a fully excluded bid
+    /// pool) are; structural failures (bad config, unknown ids, admission/backpressure)
+    /// never heal by retry.
     pub fn retryable(error: &FlError) -> bool {
         matches!(
             error,
             FlError::JobPanic(_)
                 | FlError::RoundTimeout { .. }
                 | FlError::AllUpdatesQuarantined { .. }
+                | FlError::AllBiddersExcluded { .. }
         )
     }
 }
@@ -401,9 +447,44 @@ mod tests {
         assert!(WatchdogSpec::retryable(&FlError::AllUpdatesQuarantined {
             quarantined: 4
         }));
+        assert!(WatchdogSpec::retryable(&FlError::AllBiddersExcluded {
+            excluded: 12
+        }));
         assert!(!WatchdogSpec::retryable(&FlError::UnknownJob(3)));
         assert!(!WatchdogSpec::retryable(&FlError::InvalidConfig(
             "x".into()
         )));
+    }
+
+    #[test]
+    fn plan_validation_rejects_out_of_range_rates_and_budgets() {
+        assert!(FaultPlan::chaos(1).validate().is_ok());
+        type Mutation = Box<dyn Fn(&mut FaultPlan)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("fill_panic_rate", Box::new(|p| p.fill_panic_rate = 1.5)),
+            ("panic_rate", Box::new(|p| p.panic_rate = -0.1)),
+            ("stall_rate", Box::new(|p| p.stall_rate = f64::NAN)),
+            ("dropout_rate", Box::new(|p| p.dropout_rate = 2.0)),
+            ("corrupt_rate", Box::new(|p| p.corrupt_rate = -1.0)),
+            (
+                "one-draw budget",
+                Box::new(|p| {
+                    p.panic_rate = 0.7;
+                    p.stall_rate = 0.7;
+                }),
+            ),
+            ("stall_secs", Box::new(|p| p.stall_secs = -1.0)),
+            ("stall_secs", Box::new(|p| p.stall_secs = f64::INFINITY)),
+            ("corrupt_scale", Box::new(|p| p.corrupt_scale = f64::NAN)),
+        ];
+        for (what, poison) in cases {
+            let mut plan = FaultPlan::chaos(1);
+            poison(&mut plan);
+            let err = plan.validate().unwrap_err();
+            assert!(
+                matches!(err, FlError::InvalidConfig(_)),
+                "{what}: expected InvalidConfig, got {err}"
+            );
+        }
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
 pub mod aggregator;
 pub mod chain;
 pub mod client;
@@ -46,9 +47,14 @@ pub mod selection;
 pub mod service;
 pub mod trainer;
 
+pub use adversary::{
+    AdversaryClock, AdversaryPlan, BidDistortion, Poison, ReputationFilter, ReputationLedger,
+    ReputationSpec,
+};
 pub use aggregator::{
-    federated_average, federated_average_into, federated_average_screened, Quarantine,
-    ScreenPolicy, ScreenedAggregation, UpdateFault,
+    federated_average, federated_average_into, federated_average_screened, AggregationRule,
+    AggregationScratch, CoordinateMedian, FedAvg, Krum, MedianNormScreen, Quarantine, ScreenPolicy,
+    ScreenedAggregation, TrimmedMean, UpdateFault,
 };
 pub use chain::{run_chains, TaskChain};
 pub use client::EdgeClient;

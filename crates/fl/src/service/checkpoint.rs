@@ -30,10 +30,14 @@ pub struct JobCheckpoint {
     pub round: u64,
     /// Everything the job recorded up to the checkpoint.
     pub history: JobHistory,
+    /// The reputation ledger's tracked `(node, score)` entries, in node order — selection
+    /// depends on them, so a resumed job must see the same scores the uninterrupted run
+    /// would. Empty when the job runs without a reputation loop.
+    pub reputation: Vec<(u64, f64)>,
 }
 
 const MAGIC: &[u8; 4] = b"FMCK";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 impl JobCheckpoint {
     /// The checkpointed job's name (restore validates it against the supplied spec).
@@ -73,6 +77,11 @@ impl JobCheckpoint {
                     put_fl_error(&mut out, error);
                 }
             }
+        }
+        put_u64(&mut out, self.reputation.len() as u64);
+        for &(node, score) in &self.reputation {
+            put_u64(&mut out, node);
+            put_f64(&mut out, score);
         }
         out
     }
@@ -132,10 +141,18 @@ impl JobCheckpoint {
                 retry_errors,
             });
         }
+        let n_reputation = r.len()?;
+        let mut reputation = Vec::with_capacity(n_reputation);
+        for _ in 0..n_reputation {
+            let node = r.u64()?;
+            let score = r.f64()?;
+            reputation.push((node, score));
+        }
         r.finish()?;
         Ok(Self {
             round,
             history: JobHistory { name, rounds },
+            reputation,
         })
     }
 }
@@ -290,6 +307,10 @@ fn put_fl_error(out: &mut Vec<u8>, e: &FlError) {
             out.push(10);
             put_str(out, msg);
         }
+        FlError::AllBiddersExcluded { excluded } => {
+            out.push(11);
+            put_u64(out, *excluded as u64);
+        }
     }
 }
 
@@ -322,6 +343,9 @@ fn take_fl_error(r: &mut Reader<'_>) -> Result<FlError, FlError> {
             quarantined: r.u64()? as usize,
         },
         10 => FlError::CheckpointCorrupt(r.string()?),
+        11 => FlError::AllBiddersExcluded {
+            excluded: r.u64()? as usize,
+        },
         tag => return Err(corrupt(&format!("bad error tag {tag}"))),
     })
 }
@@ -561,6 +585,7 @@ mod tests {
             FlError::NonFiniteUpdate { index: 2 },
             FlError::AllUpdatesQuarantined { quarantined: 6 },
             FlError::CheckpointCorrupt("nested".into()),
+            FlError::AllBiddersExcluded { excluded: 12 },
         ]
     }
 
@@ -606,6 +631,7 @@ mod tests {
                 name: "cp-job".into(),
                 rounds,
             },
+            reputation: vec![(3, 0.75), (17, 0.0), (901, 0.25)],
         }
     }
 
@@ -675,6 +701,7 @@ mod tests {
                 name: "fresh".into(),
                 rounds: Vec::new(),
             },
+            reputation: Vec::new(),
         };
         assert_eq!(JobCheckpoint::from_bytes(&cp.to_bytes()).unwrap(), cp);
     }

@@ -8,7 +8,8 @@
 //! round). That ownership split is what makes a job's history bit-identical whether it
 //! runs alone or interleaved with noisy neighbours.
 
-use crate::aggregator::{federated_average_screened, ScreenPolicy};
+use crate::adversary::{AdversaryClock, AdversaryPlan, ReputationLedger, ReputationSpec};
+use crate::aggregator::{AggregationRule, AggregationScratch, MedianNormScreen, ScreenPolicy};
 use crate::chain::TaskChain;
 use crate::engine::{
     apply_deadline, auction_select_streamed, FanOutGranularity, ParticipantTiming, RoundEngine,
@@ -21,6 +22,7 @@ use fmore_auction::{Auction, AuctionError, BidStore};
 use fmore_numerics::rng::derive_seed;
 use fmore_numerics::seeded_rng;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -143,10 +145,52 @@ pub struct JobSpec {
     /// history bit-for-bit (including injected work faults), different dispatch path. The
     /// chaos determinism suite pins that equivalence.
     pub fan_out: FanOutGranularity,
+    /// Optional deterministic adversary model (Byzantine participants); `None` — or an
+    /// all-honest plan — leaves every bid and update byte-identical to a plan-free build.
+    pub adversaries: Option<AdversaryPlan>,
+    /// Optional reputation loop: aggregation verdicts accumulate per-node scores that
+    /// down-weight or exclude suspect bids in later rounds' selection. `None` disables
+    /// the loop entirely (the pre-reputation behaviour).
+    pub reputation: Option<ReputationSpec>,
+    /// The global-aggregation backend applied to the round's synthetic updates. The
+    /// default ([`JobSpec::default_aggregation`]) is the median-norm screen the service
+    /// always used, bit-for-bit.
+    pub aggregation: Arc<dyn AggregationRule>,
     /// The job's bid stream.
     pub source: Arc<BidSource>,
     /// Optional per-winner work.
     pub work: Option<Arc<WinnerWork>>,
+}
+
+impl JobSpec {
+    /// The service's historical aggregation backend: the median-norm screen under the
+    /// default [`ScreenPolicy`]. Shares its implementation with
+    /// [`crate::aggregator::federated_average_screened`], so specs carrying this default
+    /// reproduce pre-rule histories exactly.
+    pub fn default_aggregation() -> Arc<dyn AggregationRule> {
+        Arc::new(MedianNormScreen(ScreenPolicy::default()))
+    }
+
+    /// Validates everything the spec can get wrong *at admission* — fault rates,
+    /// adversary rates and budgets, reputation bounds, aggregation parameters — so a
+    /// malformed plan is a typed [`FlError::InvalidConfig`] at `admit` time, never a
+    /// skewed draw threshold discovered rounds later.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FlError> {
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+        if let Some(plan) = &self.adversaries {
+            plan.validate()?;
+        }
+        if let Some(spec) = &self.reputation {
+            spec.validate()?;
+        }
+        self.aggregation.validate()
+    }
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -163,6 +207,9 @@ impl std::fmt::Debug for JobSpec {
             .field("watchdog", &self.watchdog)
             .field("faults", &self.faults)
             .field("fan_out", &self.fan_out)
+            .field("adversaries", &self.adversaries)
+            .field("reputation", &self.reputation)
+            .field("aggregation", &self.aggregation.name())
             .finish()
     }
 }
@@ -324,6 +371,9 @@ pub struct FlJob {
     round: u64,
     pending: usize,
     history: JobHistory,
+    /// Per-node reputation accumulated from aggregation verdicts; `Some` iff the spec
+    /// enables the loop. Part of the job's resumable state (checkpointed).
+    ledger: Option<ReputationLedger>,
 }
 
 impl FlJob {
@@ -332,11 +382,13 @@ impl FlJob {
             name: spec.name.clone(),
             rounds: Vec::new(),
         };
+        let ledger = spec.reputation.map(ReputationLedger::new);
         Self {
             spec,
             round: 0,
             pending: 0,
             history,
+            ledger,
         }
     }
 
@@ -370,23 +422,32 @@ impl FlJob {
 
     /// Snapshot of the job's resumable state. The round counter *is* the job's entire RNG
     /// position — every round re-derives its randomness from `(seed, round)` — so counter
-    /// plus history is a complete checkpoint.
+    /// plus history plus the reputation ledger is a complete checkpoint.
     pub(super) fn checkpoint(&self) -> super::JobCheckpoint {
         super::JobCheckpoint {
             round: self.round,
             history: self.history.clone(),
+            reputation: self
+                .ledger
+                .as_ref()
+                .map(|l| l.entries().collect())
+                .unwrap_or_default(),
         }
     }
 
     /// Rebuilds a job mid-run from a checkpoint and its (re-supplied) spec. The next round
     /// run is `checkpoint.round + 1`, with randomness identical to what the uninterrupted
-    /// job would have drawn.
+    /// job would have drawn — including the reputation state selection depends on.
     pub(super) fn from_checkpoint(spec: JobSpec, checkpoint: super::JobCheckpoint) -> Self {
+        let ledger = spec
+            .reputation
+            .map(|r| ReputationLedger::from_entries(r, checkpoint.reputation));
         Self {
             spec,
             round: checkpoint.round,
             pending: 0,
             history: checkpoint.history,
+            ledger,
         }
     }
 
@@ -402,8 +463,12 @@ impl FlJob {
         let mut retry_errors = Vec::new();
         let mut backoff_secs = 0.0;
         let mut attempt = 0u32;
+        // Aggregation verdicts of the *final* attempt, applied to the ledger after the
+        // retry loop settles: within one round every attempt sees the same reputation
+        // snapshot, so retries replay the identical auction.
+        let mut verdicts: Vec<(u64, bool)> = Vec::new();
         let outcome = loop {
-            match self.round_body(round, attempt, engine, &mut faults) {
+            match self.round_body(round, attempt, engine, &mut faults, &mut verdicts) {
                 Ok(summary) => break Ok(summary),
                 Err(error) => {
                     if attempt >= max_retries || !WatchdogSpec::retryable(&error) {
@@ -422,6 +487,11 @@ impl FlJob {
                 }
             }
         };
+        if let Some(ledger) = &mut self.ledger {
+            for &(node, accepted) in &verdicts {
+                ledger.record(node, accepted);
+            }
+        }
         self.history.rounds.push(RoundRecord {
             round,
             outcome: outcome.clone(),
@@ -443,12 +513,25 @@ impl FlJob {
         attempt: u32,
         engine: &RoundEngine,
         faults: &mut Vec<FaultEvent>,
+        verdicts: &mut Vec<(u64, bool)>,
     ) -> Result<RoundSummary, FlError> {
+        verdicts.clear();
         let spec = &self.spec;
         let clock = spec
             .faults
             .as_ref()
             .map(|plan| (plan, FaultClock::new(plan, spec.seed)));
+        // Adversary draws are attempt-independent (see `crate::adversary`): a retried
+        // round replays the same auction against the same lies.
+        let adversary = spec
+            .adversaries
+            .as_ref()
+            .filter(|plan| plan.is_active())
+            .map(|plan| (plan, AdversaryClock::new(plan, spec.seed)));
+        // The round's frozen reputation view, shared with the fill closures on worker
+        // threads; the ledger itself only moves between rounds.
+        let reputation = self.ledger.as_ref().map(|l| Arc::new(l.snapshot()));
+        let excluded_bids = Arc::new(AtomicUsize::new(0));
 
         // Each round's randomness derives from (seed, round) alone, so the stream of
         // histories is independent of when — or beside whom — the round executes.
@@ -488,6 +571,35 @@ impl FlJob {
                 source(range, round, store)
             }),
         };
+        // Post-fill bid revision: adversarial distortion first (the lie the node tells),
+        // then the reputation filter (what the auctioneer believes). Inactive plans and
+        // full scores leave every bid untouched, so honest histories stay bit-identical.
+        let fill: Arc<ShardFill> = if adversary.is_some() || reputation.is_some() {
+            let inner = fill;
+            let plan = adversary.as_ref().map(|(plan, _)| (*plan).clone());
+            let adversary_clock = adversary.as_ref().map(|(_, clock)| *clock);
+            let filter = reputation.clone();
+            let excluded_bids = Arc::clone(&excluded_bids);
+            Arc::new(move |range: Range<usize>, store: &mut BidStore| {
+                let start = store.len();
+                inner(range, store)?;
+                let dropped = store.revise_from(start, |node, qualities, ask| {
+                    if let (Some(plan), Some(clock)) = (&plan, &adversary_clock) {
+                        if let Some(distortion) = clock.bid_distortion(plan, round, node.0) {
+                            distortion.apply(plan, qualities, ask);
+                        }
+                    }
+                    match &filter {
+                        Some(filter) => filter.revise(node.0, qualities, ask),
+                        None => true,
+                    }
+                });
+                excluded_bids.fetch_add(dropped, Ordering::Relaxed);
+                Ok(())
+            })
+        } else {
+            fill
+        };
         let streamed = match auction_select_streamed(
             &spec.auction,
             spec.population,
@@ -516,6 +628,15 @@ impl FlJob {
                     slot: shard,
                     message: format!("injected fault: bid shard at {shard} panicked"),
                 }));
+            }
+            // An empty bid book caused by reputation exclusion is its own typed,
+            // retryable failure: the fleet degraded, the model was not poisoned.
+            Err(FlError::Auction(AuctionError::NoBids))
+                if excluded_bids.load(Ordering::Relaxed) > 0 =>
+            {
+                return Err(FlError::AllBiddersExcluded {
+                    excluded: excluded_bids.load(Ordering::Relaxed),
+                });
             }
             Err(e) => return Err(e),
         };
@@ -630,9 +751,10 @@ impl FlJob {
             }
         }
 
-        // Synthetic update stage: derive each survivor's update, corrupt per the fault
-        // plan, screen, and aggregate what survives. Quarantine degrades the round;
-        // only a fully quarantined batch fails it (retryably).
+        // Synthetic update stage: derive each survivor's update, poison per the adversary
+        // plan, corrupt per the fault plan, then hand the batch to the spec's aggregation
+        // rule. Quarantine degrades the round — and feeds the reputation verdicts — while
+        // a fully quarantined batch fails it (retryably).
         let mut quarantined = 0;
         if spec.update_dim > 0 && !winners.is_empty() {
             let updates: Vec<(Vec<f64>, f64)> = winners
@@ -641,6 +763,11 @@ impl FlJob {
                 .map(|(slot, winner)| {
                     let mut params =
                         synthetic_update(spec.seed, round, winner.node.0, spec.update_dim);
+                    if let Some((plan, aclock)) = &adversary {
+                        if let Some(poison) = aclock.update_poison(plan, round, winner.node.0) {
+                            poison.apply(plan, &mut params);
+                        }
+                    }
                     if let Some((plan, clock)) = &clock {
                         if let Some(corruption) = clock.corruption(plan, round, attempt, slot) {
                             corruption.apply(&mut params, plan.corrupt_scale);
@@ -659,9 +786,30 @@ impl FlJob {
                 .map(|(params, weight)| (params.as_slice(), *weight))
                 .collect();
             let mut global = Vec::new();
+            let mut scratch = AggregationScratch::new();
             let screened =
-                federated_average_screened(&borrowed, &ScreenPolicy::default(), &mut global)?;
+                match spec
+                    .aggregation
+                    .aggregate_with(&borrowed, &mut global, &mut scratch)
+                {
+                    Ok(screened) => screened,
+                    Err(e @ FlError::AllUpdatesQuarantined { .. }) => {
+                        // The round fails, but the ledger still learns: every winner of the
+                        // fully quarantined batch takes the penalty.
+                        verdicts.extend(winners.iter().map(|w| (w.node.0, false)));
+                        return Err(e);
+                    }
+                    Err(e) => return Err(e),
+                };
             quarantined = screened.quarantined.len();
+            let mut next_bad = screened.quarantined.iter().peekable();
+            for (slot, winner) in winners.iter().enumerate() {
+                let bad = next_bad.peek().is_some_and(|q| q.index == slot);
+                if bad {
+                    next_bad.next();
+                }
+                verdicts.push((winner.node.0, !bad));
+            }
             debug_assert!(global.iter().all(|p| p.is_finite()));
         }
 

@@ -131,8 +131,11 @@ impl AuctionService {
     ///
     /// # Errors
     ///
+    /// [`FlError::InvalidConfig`] when the spec's fault/adversary/reputation/aggregation
+    /// parameters are out of range (see [`JobSpec::validate`]);
     /// [`FlError::AdmissionFull`] when the service already runs `max_jobs` jobs.
     pub fn admit(&self, spec: JobSpec) -> Result<JobId, FlError> {
+        spec.validate()?;
         let mut state = lock(&self.state);
         if state.jobs.len() >= self.config.max_jobs {
             return Err(FlError::AdmissionFull {
@@ -258,9 +261,11 @@ impl AuctionService {
     ///
     /// # Errors
     ///
-    /// [`FlError::InvalidConfig`] when `spec.name` differs from the checkpointed name;
+    /// [`FlError::InvalidConfig`] when `spec.name` differs from the checkpointed name or
+    /// the spec itself is out of range (see [`JobSpec::validate`]);
     /// [`FlError::AdmissionFull`] when the service is at capacity.
     pub fn restore(&self, spec: JobSpec, checkpoint: JobCheckpoint) -> Result<JobId, FlError> {
+        spec.validate()?;
         if spec.name != checkpoint.name() {
             return Err(FlError::InvalidConfig(format!(
                 "checkpoint of job '{}' cannot restore a spec named '{}'",
@@ -346,6 +351,9 @@ mod tests {
             watchdog: None,
             faults: None,
             fan_out: Default::default(),
+            adversaries: None,
+            reputation: None,
+            aggregation: JobSpec::default_aggregation(),
             source: toy_source(),
             work: None,
         }
@@ -614,7 +622,9 @@ mod tests {
         let mut spec = toy_spec("unguarded", 77);
         let mut plan = FaultPlan::chaos(3);
         // Make failure certain: every work task panics, and no watchdog retries it.
+        // (Panic and stall share one draw, so the two rates must fit one budget.)
         plan.panic_rate = 1.0;
+        plan.stall_rate = 0.0;
         spec.faults = Some(plan);
         spec.work = Some(Arc::new(|_round, _slot, winner| winner.score));
         let id = service.admit(spec).unwrap();
@@ -661,6 +671,160 @@ mod tests {
             .restore(toy_spec("other", 55), service.checkpoint(id).unwrap())
             .unwrap_err();
         assert!(matches!(err, FlError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_at_admission_typed() {
+        use crate::adversary::{AdversaryPlan, ReputationSpec};
+        use crate::aggregator::Krum;
+        use crate::faults::FaultPlan;
+        let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::inline());
+
+        let mut spec = toy_spec("bad-faults", 1);
+        let mut plan = FaultPlan::chaos(1);
+        plan.dropout_rate = 1.5;
+        spec.faults = Some(plan);
+        assert!(matches!(
+            service.admit(spec).unwrap_err(),
+            FlError::InvalidConfig(_)
+        ));
+
+        let mut spec = toy_spec("bad-adversaries", 1);
+        let mut plan = AdversaryPlan::byzantine(1);
+        plan.sign_flip_rate = 0.9; // poison classes now sum past 1
+        spec.adversaries = Some(plan);
+        assert!(matches!(
+            service.admit(spec).unwrap_err(),
+            FlError::InvalidConfig(_)
+        ));
+
+        let mut spec = toy_spec("bad-reputation", 1);
+        let mut reputation = ReputationSpec::standard();
+        reputation.penalty = -0.5;
+        spec.reputation = Some(reputation);
+        assert!(matches!(
+            service.admit(spec).unwrap_err(),
+            FlError::InvalidConfig(_)
+        ));
+
+        let mut spec = toy_spec("bad-aggregation", 1);
+        spec.aggregation = Arc::new(Krum::multi(1, 0));
+        assert!(matches!(
+            service.admit(spec).unwrap_err(),
+            FlError::InvalidConfig(_)
+        ));
+
+        // Restore validates the re-supplied spec too.
+        let id = service.admit(toy_spec("good", 2)).unwrap();
+        let checkpoint = service.checkpoint(id).unwrap();
+        let mut spec = toy_spec("good", 2);
+        spec.reputation = Some(ReputationSpec {
+            exclusion_threshold: 7.0,
+            ..ReputationSpec::standard()
+        });
+        assert!(matches!(
+            service.restore(spec, checkpoint).unwrap_err(),
+            FlError::InvalidConfig(_)
+        ));
+        assert_eq!(service.len(), 1, "nothing malformed was admitted");
+    }
+
+    #[test]
+    fn honest_adversary_plan_and_idle_reputation_are_bitwise_inert() {
+        use crate::adversary::{AdversaryPlan, ReputationSpec};
+        let run = |decorate: bool| {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let mut spec = toy_spec("inert", 313);
+            spec.update_dim = 8;
+            if decorate {
+                spec.adversaries = Some(AdversaryPlan::honest(99));
+                spec.reputation = Some(ReputationSpec::standard());
+            }
+            let id = service.admit(spec).unwrap();
+            for _ in 0..4 {
+                service.run_round(id).unwrap();
+            }
+            service.close(id).unwrap()
+        };
+        // An all-honest plan plus a reputation loop that never sees a quarantine must
+        // leave the history byte-identical — the decoration is pure potential.
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reputation_loop_excludes_repeat_offenders_and_fails_typed_when_empty() {
+        use crate::adversary::ReputationSpec;
+        use crate::faults::FaultPlan;
+        let run = || {
+            let service =
+                AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+            let mut spec = toy_spec("three-strikes", 606);
+            // Four nodes, all of them winners, every update corrupted: the ledger learns
+            // fast, and once every node is excluded the book goes empty.
+            spec.population = 4;
+            spec.shard_size = 2;
+            spec.auction = toy_auction(4);
+            spec.reserve = 0;
+            spec.update_dim = 8;
+            spec.deadline = None;
+            spec.faults = Some(FaultPlan {
+                seed: 17,
+                fill_panic_rate: 0.0,
+                panic_rate: 0.0,
+                stall_rate: 0.0,
+                stall_secs: 0.0,
+                dropout_rate: 0.0,
+                corrupt_rate: 1.0,
+                corrupt_scale: 1e9,
+                faulty_attempts: u32::MAX,
+            });
+            spec.reputation = Some(ReputationSpec::standard());
+            let id = service.admit(spec).unwrap();
+            for _ in 0..20 {
+                let _ = service.run_round(id);
+            }
+            service.close(id).unwrap()
+        };
+        let history = run();
+        assert!(
+            history.rounds.iter().any(|r| matches!(
+                r.outcome,
+                Ok(ref s) if s.quarantined > 0
+            ) || matches!(
+                r.outcome,
+                Err(FlError::AllUpdatesQuarantined { .. })
+            )),
+            "corruption at rate 1.0 must trip quarantines"
+        );
+        let first_empty = history
+            .rounds
+            .iter()
+            .position(|r| matches!(r.outcome, Err(FlError::AllBiddersExcluded { .. })))
+            .expect("with every update corrupt, reputation must eventually exclude all four");
+        assert_eq!(
+            history.rounds[first_empty].outcome,
+            Err(FlError::AllBiddersExcluded { excluded: 4 }),
+            "the whole four-node book was dropped"
+        );
+        // Exclusion is sticky within this configuration: every later round fails the
+        // same way, typed — the job never panics and the service keeps serving it.
+        for record in &history.rounds[first_empty..] {
+            assert!(
+                matches!(
+                    record.outcome,
+                    Err(FlError::AllBiddersExcluded { excluded: 4 })
+                ),
+                "round {}: {:?}",
+                record.round,
+                record.outcome
+            );
+        }
+        assert!(crate::faults::WatchdogSpec::retryable(
+            &FlError::AllBiddersExcluded { excluded: 4 }
+        ));
+        // The collapse is replayable bit-for-bit.
+        assert_eq!(history, run());
     }
 
     #[test]

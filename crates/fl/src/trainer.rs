@@ -1,6 +1,7 @@
 //! The federated-learning round loop (Algorithm 1 of the paper), composed from the shared
 //! stages of [`crate::engine`].
 
+use crate::aggregator::{AggregationRule, AggregationScratch, FedAvg};
 use crate::client::EdgeClient;
 use crate::config::{FlConfig, ModelChoice};
 use crate::engine::{self, FanOutGranularity, RoundEngine, SlotState, TrainingJob};
@@ -50,6 +51,11 @@ pub struct FederatedTrainer {
     eval_arena: ScratchArena,
     /// Reusable FedAvg accumulator.
     avg_buf: Vec<f64>,
+    /// Pluggable aggregation rule (step 6); defaults to plain [`FedAvg`], which keeps
+    /// histories bit-identical to the unscreened baseline.
+    aggregation: Arc<dyn AggregationRule>,
+    /// Reusable scratch for the aggregation rule's screening internals.
+    agg_scratch: AggregationScratch,
 }
 
 impl std::fmt::Debug for FederatedTrainer {
@@ -204,6 +210,8 @@ impl FederatedTrainer {
             global_params: Arc::new(Vec::new()),
             eval_arena: ScratchArena::new(),
             avg_buf: Vec::new(),
+            aggregation: Arc::new(FedAvg),
+            agg_scratch: AggregationScratch::new(),
         })
     }
 
@@ -233,6 +241,24 @@ impl FederatedTrainer {
     /// [`TrainingHistory`] is bit-identical at every setting.
     pub fn set_fan_out(&mut self, granularity: FanOutGranularity) {
         self.fan_out = granularity;
+    }
+
+    /// The aggregation rule applied at step 6 (defaults to plain [`FedAvg`]).
+    pub fn aggregation(&self) -> &Arc<dyn AggregationRule> {
+        &self.aggregation
+    }
+
+    /// Swaps the step-6 aggregation rule — e.g. a robust screen when some clients are
+    /// untrusted. With the default [`FedAvg`] rule, histories are bit-identical to the
+    /// unscreened baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::InvalidConfig`] when the rule's own parameters are degenerate.
+    pub fn set_aggregation(&mut self, rule: Arc<dyn AggregationRule>) -> Result<(), FlError> {
+        rule.validate()?;
+        self.aggregation = rule;
+        Ok(())
     }
 
     /// The clients participating in the game.
@@ -391,7 +417,15 @@ impl FederatedTrainer {
             self.slots[update.slot] = Some(state);
             updates.push(update);
         }
-        if engine::aggregate_into(&updates, &mut self.avg_buf)? {
+        engine::aggregate_with_rule(
+            self.aggregation.as_ref(),
+            &updates,
+            &mut self.agg_scratch,
+            &mut self.avg_buf,
+        )?;
+        // The rule leaves `avg_buf` empty when it accepted nothing (e.g. an empty winner
+        // set after total churn); the global model then simply carries over.
+        if !self.avg_buf.is_empty() {
             self.global.set_parameters(&self.avg_buf);
         }
         // Hand each parameter buffer back to its slot so next round exports into it again.

@@ -3,6 +3,7 @@
 //! [`crate::scenario`]; none of them owns a training loop or constructs auction machinery.
 
 pub mod accuracy;
+pub mod adversary_soak;
 pub mod chaos_soak;
 pub mod cluster;
 pub mod dynamics;

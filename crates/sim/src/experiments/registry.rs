@@ -9,8 +9,8 @@
 
 use crate::error::SimError;
 use crate::experiments::{
-    accuracy, chaos_soak, cluster, dynamics, headline, impact_k, impact_n, impact_psi, scale,
-    scores, service_soak,
+    accuracy, adversary_soak, chaos_soak, cluster, dynamics, headline, impact_k, impact_n,
+    impact_psi, scale, scores, service_soak,
 };
 use crate::scenario::ScenarioRunner;
 use crate::series::Table;
@@ -291,6 +291,17 @@ fn run_chaos_soak(
     chaos_soak::run(runner, &config)
 }
 
+fn run_adversary_soak(
+    runner: &ScenarioRunner,
+    fidelity: Fidelity,
+) -> Result<ExperimentReport, SimError> {
+    let config = match fidelity {
+        Fidelity::Quick => adversary_soak::AdversaryConfig::quick(),
+        Fidelity::Paper => adversary_soak::AdversaryConfig::paper(),
+    };
+    adversary_soak::run(runner, &config)
+}
+
 /// Every experiment of the paper's evaluation, in figure order.
 pub const REGISTRY: &[ExperimentDef] = &[
     ExperimentDef {
@@ -383,6 +394,12 @@ pub const REGISTRY: &[ExperimentDef] = &[
         summary: "fault-injected fleet: healthy == solo, faulted recover, checkpoint == solo",
         run: run_chaos_soak,
     },
+    ExperimentDef {
+        name: "adversary-soak",
+        figure: "new (SS I / SS VI untrusted edge nodes)",
+        summary: "Byzantine fleet: robust rules converge, FedAvg degrades, reputation bites",
+        run: run_adversary_soak,
+    },
 ];
 
 /// Looks an experiment up by registry name.
@@ -428,8 +445,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_all_fifteen_experiments() {
-        assert_eq!(REGISTRY.len(), 15);
+    fn registry_lists_all_sixteen_experiments() {
+        assert_eq!(REGISTRY.len(), 16);
         let names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
         for expected in [
             "accuracy",
@@ -447,6 +464,7 @@ mod tests {
             "scale-parity",
             "service-soak",
             "chaos-soak",
+            "adversary-soak",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

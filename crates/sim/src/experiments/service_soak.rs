@@ -163,6 +163,9 @@ pub fn job_specs(config: &SoakConfig) -> Result<Vec<JobSpec>, SimError> {
                 update_dim: 0,
                 watchdog: None,
                 faults: None,
+                adversaries: None,
+                reputation: None,
+                aggregation: JobSpec::default_aggregation(),
                 fan_out: config.fan_out,
                 source,
                 // Deterministic stand-in for local training: pure in (round, slot, winner).

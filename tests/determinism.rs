@@ -909,3 +909,128 @@ fn chained_work_dispatch_matches_direct_dispatch_even_under_chaos() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adversary determinism (ISSUE 10): seeded Byzantine behaviour must replay
+// bit-for-bit at every pool width, and an all-honest adversary plan must be
+// indistinguishable from no plan at all.
+// ---------------------------------------------------------------------------
+
+/// The adversary pin: the Byzantine fleet — untruthful bids, poisoned updates, a live
+/// reputation loop, robust aggregation — produces bit-identical histories across 1-, 2-,
+/// and 8-worker pools, interleaved or solo. Every adversary draw is a pure function of
+/// `(plan seed ⊕ job seed, round, slot)`, so thread scheduling can never leak into who
+/// distorts, who poisons, or who gets quarantined.
+#[test]
+fn adversary_fleet_is_bit_identical_across_pool_widths() {
+    use fmore::fl::service::{AuctionService, JobHistory, ServiceConfig};
+    use fmore::sim::experiments::adversary_soak::{job_specs, AdversaryConfig};
+
+    let config = AdversaryConfig::quick();
+    let specs = job_specs(&config).expect("adversary specs build");
+    let rounds = config.soak.rounds;
+
+    let solo_at = |threads: usize| -> Vec<JobHistory> {
+        specs
+            .iter()
+            .map(|spec| {
+                let service = AuctionService::with_engine(
+                    ServiceConfig::default(),
+                    RoundEngine::pooled(threads),
+                );
+                let id = service.admit(spec.clone()).expect("admission");
+                for _ in 0..rounds {
+                    let _ = service.run_round(id);
+                }
+                service.close(id).expect("close")
+            })
+            .collect()
+    };
+
+    let reference = solo_at(2);
+    let quarantined: usize = reference
+        .iter()
+        .flat_map(|h| &h.rounds)
+        .filter_map(|r| r.outcome.as_ref().ok())
+        .map(|s| s.quarantined)
+        .sum();
+    assert!(
+        quarantined > 0,
+        "the Byzantine fleet quarantined nothing — the pin would be vacuous"
+    );
+    // Across pool widths, the auction-observable content (which `fingerprint()` folds;
+    // `peak_bid_bytes` is legitimately width-dependent) is invariant.
+    let reference_prints: Vec<u64> = reference.iter().map(|h| h.fingerprint()).collect();
+    for threads in [1usize, 8] {
+        let prints: Vec<u64> = solo_at(threads).iter().map(|h| h.fingerprint()).collect();
+        assert_eq!(
+            prints, reference_prints,
+            "a {threads}-worker pool changed an adversary-fleet fingerprint"
+        );
+    }
+
+    // Interleaved on one shared service: still bit-identical to solo.
+    let service = AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| service.admit(s.clone()).expect("admission"))
+        .collect();
+    std::thread::scope(|scope| {
+        for &id in &ids {
+            let service = &service;
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    service.request_round(id).expect("queue has room");
+                    service.run_pending(id).expect("drain runs");
+                }
+            });
+        }
+    });
+    for (j, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            service.close(id).expect("close"),
+            reference[j],
+            "job {j} interleaved beside Byzantine tenants diverged from its solo run"
+        );
+    }
+}
+
+/// The inertness pin: decorating every tenant of the *plain* service-soak fleet with an
+/// all-honest `AdversaryPlan` plus an idle reputation ledger reproduces the undecorated
+/// fleet's histories byte-for-byte — the adversary layer is pure potential until a rate
+/// is nonzero, so the committed golden fingerprints cannot drift from wiring alone.
+#[test]
+fn honest_adversary_decoration_reproduces_undecorated_histories() {
+    use fmore::fl::service::{AuctionService, ServiceConfig};
+    use fmore::fl::{AdversaryPlan, ReputationSpec};
+    use fmore::sim::experiments::service_soak::{job_specs, SoakConfig};
+
+    let config = SoakConfig::quick();
+    let rounds = config.rounds;
+    let run = |decorate: bool| -> Vec<fmore::fl::service::JobHistory> {
+        let mut specs = job_specs(&config).expect("soak specs build");
+        if decorate {
+            for (j, spec) in specs.iter_mut().enumerate() {
+                spec.adversaries = Some(AdversaryPlan::honest(0xFACE + j as u64));
+                spec.reputation = Some(ReputationSpec::standard());
+            }
+        }
+        specs
+            .iter()
+            .map(|spec| {
+                let service =
+                    AuctionService::with_engine(ServiceConfig::default(), RoundEngine::pooled(2));
+                let id = service.admit(spec.clone()).expect("admission");
+                for _ in 0..rounds {
+                    service.run_round(id).expect("clean fleet rounds run");
+                }
+                service.close(id).expect("close")
+            })
+            .collect()
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "an all-honest adversary plan must be bitwise inert"
+    );
+}

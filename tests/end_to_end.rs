@@ -285,3 +285,34 @@ fn chaos_soak_quick_smoke() {
         "every robustness verdict is green:\n{md}"
     );
 }
+
+/// CI smoke for the adversary layer: the `adversary-soak` registry entry runs the
+/// Byzantine convergence panel plus the reputation-loop fleet at quick fidelity and
+/// asserts the full resilience contract — robust rules within 5 points of clean, plain
+/// FedAvg degraded under the identical attack, every tenant bit-identical to its solo
+/// run, and the adversarial win-rate falling from the early to the late half (the entry
+/// itself errors on any violation; the verdict columns make a violation visible here too).
+#[test]
+fn adversary_soak_quick_smoke() {
+    use fmore::sim::experiments::registry::{find, Fidelity};
+    let runner = ScenarioRunner::new();
+    let report = find("adversary-soak")
+        .expect("adversary-soak is registered")
+        .run(&runner, Fidelity::Quick)
+        .expect("quick adversary soak runs");
+    assert_eq!(report.name, "adversary-soak");
+    let md = report.to_markdown();
+    assert!(
+        md.contains("-adv"),
+        "adversarial tenants are labelled:\n{md}"
+    );
+    assert!(md.contains("robust"), "robust verdicts are rendered:\n{md}");
+    assert!(
+        md.contains("degrades"),
+        "the FedAvg contrast is rendered:\n{md}"
+    );
+    assert!(
+        !md.contains("NO"),
+        "every resilience verdict is green:\n{md}"
+    );
+}

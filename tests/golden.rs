@@ -110,6 +110,13 @@ const EXPECTED: &[(&str, &str)] = &[
         "Chaos soak: 4 tenants, fault plan on the odd half [rows=4] last: \
          job3-psi-FMore-v2-chaos;yes;3;2;6;1;2;1.00;yes;yes",
     ),
+    (
+        "adversary-soak",
+        "Byzantine convergence: 10-member panel, 20 rounds, ~30% poisoned [rows=5] last: \
+         krum;99.9;99.9;0.0;40;robust || \
+         Adversary soak: 4 tenants, Byzantine plan + reputation on the odd half [rows=4] last: \
+         job3-psi-FMore-v2-adv;trimmed-mean;yes;8;1;14;10;yes",
+    ),
 ];
 
 /// FNV-1a offset basis; the digests below fold exact bit patterns, so any single-ULP

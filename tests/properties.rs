@@ -1261,3 +1261,256 @@ fn simd_score_batch_matches_scalar_cores_at_boundary_lengths() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------------------------------
+// Aggregation-rule invariants (ISSUE 10): every rule is permutation-invariant,
+// agrees with FedAvg bit-for-bit on clean batches, and recovers the honest
+// mean under a Byzantine minority.
+// ---------------------------------------------------------------------------
+
+/// The full rule panel, with the Byzantine tolerance `f` each screening backend is
+/// parameterised for.
+fn aggregation_rules(f: usize) -> Vec<std::sync::Arc<dyn fmore::fl::AggregationRule>> {
+    use fmore::fl::{CoordinateMedian, FedAvg, Krum, MedianNormScreen, ScreenPolicy, TrimmedMean};
+    vec![
+        std::sync::Arc::new(FedAvg),
+        std::sync::Arc::new(MedianNormScreen(ScreenPolicy::default())),
+        std::sync::Arc::new(CoordinateMedian::default()),
+        std::sync::Arc::new(TrimmedMean::new(f)),
+        std::sync::Arc::new(Krum::new(f)),
+    ]
+}
+
+/// Every aggregation rule is permutation-invariant: rotating the batch changes neither
+/// how many updates are accepted nor the aggregate (within summation-reorder tolerance —
+/// the survivors are re-summed in the rotated order).
+#[test]
+fn aggregation_rules_are_permutation_invariant() {
+    use fmore::fl::AggregationScratch;
+    let strategy = Tuple3(
+        Tuple2(UsizeRange::new(4, 9), UsizeRange::new(1, 6)),
+        UsizeRange::new(1, 8),
+        Tuple2(
+            VecOf::new(F64Range::new(-10.0, 10.0), 54, 54),
+            VecOf::new(F64Range::new(0.1, 5.0), 9, 9),
+        ),
+    );
+    check(
+        &Config::seeded(0xA66),
+        &strategy,
+        |((n, dim), rot, (values, weights))| {
+            let (n, dim) = (*n, *dim);
+            let batch: Vec<(Vec<f64>, f64)> = (0..n)
+                .map(|i| {
+                    let params: Vec<f64> = (0..dim)
+                        .map(|d| values[(i * dim + d) % values.len()])
+                        .collect();
+                    (params, weights[i % weights.len()])
+                })
+                .collect();
+            let rotated: Vec<(Vec<f64>, f64)> =
+                (0..n).map(|i| batch[(i + rot) % n].clone()).collect();
+            let mut scratch = AggregationScratch::new();
+            for rule in aggregation_rules(1) {
+                let mut out_a = Vec::new();
+                let mut out_b = Vec::new();
+                let borrow = |b: &'_ [(Vec<f64>, f64)]| -> Vec<(Vec<f64>, f64)> { b.to_vec() };
+                let a_borrowed: Vec<(&[f64], f64)> =
+                    batch.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
+                let b_owned = borrow(&rotated);
+                let b_borrowed: Vec<(&[f64], f64)> =
+                    b_owned.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
+                let a = rule
+                    .aggregate_with(&a_borrowed, &mut out_a, &mut scratch)
+                    .map_err(|e| e.to_string())?;
+                let b = rule
+                    .aggregate_with(&b_borrowed, &mut out_b, &mut scratch)
+                    .map_err(|e| e.to_string())?;
+                ensure(a.accepted == b.accepted, || {
+                    format!(
+                        "{}: rotation by {rot} changed accepted {} -> {}",
+                        rule.name(),
+                        a.accepted,
+                        b.accepted
+                    )
+                })?;
+                ensure(out_a.len() == out_b.len(), || {
+                    format!("{}: rotation changed the output dimension", rule.name())
+                })?;
+                for (d, (x, y)) in out_a.iter().zip(&out_b).enumerate() {
+                    ensure(
+                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0),
+                        || {
+                            format!(
+                                "{}: rotation by {rot} moved coordinate {d}: {x} vs {y}",
+                                rule.name()
+                            )
+                        },
+                    )?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// One member of a clean "ray" cluster: `center + t_i · dir`, where the per-member scale
+/// `t_i` walks [0.5, 1] in `n` even steps and `dir`'s sign alternates by coordinate only.
+/// All members share one direction, so distances from any reasonable robust centre spread
+/// linearly along the ray — the max never exceeds 4× the upper-median distance (and the
+/// norms stay within 8× of their median), which is exactly the band every screen tolerates.
+/// Per-member offsets with independent signs do NOT have this property: at dim 1 they
+/// collapse into two clusters at `center ± s`, and the far cluster trips the screen.
+fn ray_member(i: usize, n: usize, dim: usize, center: &[f64], spread: &[f64]) -> Vec<f64> {
+    let t = 0.5 + 0.5 * i as f64 / (n - 1) as f64;
+    (0..dim)
+        .map(|d| {
+            let sign = if d % 2 == 0 { 1.0 } else { -1.0 };
+            center[d % center.len()] + sign * t * spread[d % spread.len()]
+        })
+        .collect()
+}
+
+/// With zero adversaries — a clean, tightly clustered batch — every rule quarantines
+/// nothing and agrees with plain FedAvg **bit-for-bit**: the robust backends are screens
+/// over the same weighted average, so on clean data they are free.
+#[test]
+fn aggregation_rules_match_fedavg_bits_with_zero_adversaries() {
+    use fmore::fl::{AggregationRule, AggregationScratch, FedAvg};
+    let strategy = Tuple3(
+        Tuple2(UsizeRange::new(4, 9), UsizeRange::new(1, 6)),
+        VecOf::new(F64Range::new(1.0, 2.0), 6, 6),
+        Tuple2(
+            VecOf::new(F64Range::new(0.5, 1.0), 6, 6),
+            VecOf::new(F64Range::new(0.1, 5.0), 9, 9),
+        ),
+    );
+    check(
+        &Config::seeded(0xC1EA),
+        &strategy,
+        |((n, dim), center, (spread, weights))| {
+            let (n, dim) = (*n, *dim);
+            let batch: Vec<(Vec<f64>, f64)> = (0..n)
+                .map(|i| {
+                    (
+                        ray_member(i, n, dim, center, spread),
+                        weights[i % weights.len()],
+                    )
+                })
+                .collect();
+            let borrowed: Vec<(&[f64], f64)> =
+                batch.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
+            let mut scratch = AggregationScratch::new();
+            let mut reference = Vec::new();
+            FedAvg
+                .aggregate_with(&borrowed, &mut reference, &mut scratch)
+                .map_err(|e| e.to_string())?;
+            for rule in aggregation_rules(1) {
+                let mut out = Vec::new();
+                let screened = rule
+                    .aggregate_with(&borrowed, &mut out, &mut scratch)
+                    .map_err(|e| e.to_string())?;
+                ensure(screened.quarantined.is_empty(), || {
+                    format!(
+                        "{}: quarantined {} members of a clean batch",
+                        rule.name(),
+                        screened.quarantined.len()
+                    )
+                })?;
+                ensure(out.len() == reference.len(), || {
+                    format!("{}: output dimension diverged from FedAvg", rule.name())
+                })?;
+                for (d, (x, y)) in out.iter().zip(&reference).enumerate() {
+                    ensure(x.to_bits() == y.to_bits(), || {
+                        format!(
+                            "{}: coordinate {d} is not bit-identical to FedAvg: {x} vs {y}",
+                            rule.name()
+                        )
+                    })?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Under `f` Byzantine members (25×-scaled updates) in a batch of `n > 3f`, every robust
+/// screening rule quarantines exactly the Byzantine set and recovers the honest weighted
+/// mean **bit-for-bit** — survivors aggregate in batch order, so the result is literally
+/// FedAvg over the honest subset.
+#[test]
+fn robust_rules_recover_the_honest_mean_under_byzantine_minority() {
+    use fmore::fl::{federated_average_into, AggregationScratch};
+    let strategy = Tuple3(
+        Tuple3(
+            UsizeRange::new(7, 10),
+            UsizeRange::new(1, 2),
+            UsizeRange::new(0, 9),
+        ),
+        Tuple2(
+            UsizeRange::new(2, 6),
+            VecOf::new(F64Range::new(1.0, 2.0), 6, 6),
+        ),
+        Tuple2(
+            VecOf::new(F64Range::new(0.5, 1.0), 6, 6),
+            VecOf::new(F64Range::new(0.1, 5.0), 10, 10),
+        ),
+    );
+    check(
+        &Config::seeded(0xB12A),
+        &strategy,
+        |((n, f, offset), (dim, center), (spread, weights))| {
+            let (n, f, offset, dim) = (*n, *f, *offset, *dim);
+            let byzantine: std::collections::BTreeSet<usize> =
+                (0..f).map(|i| (offset + i) % n).collect();
+            let batch: Vec<(Vec<f64>, f64)> = (0..n)
+                .map(|i| {
+                    let mut params = ray_member(i, n, dim, center, spread);
+                    if byzantine.contains(&i) {
+                        for p in &mut params {
+                            *p *= 25.0;
+                        }
+                    }
+                    (params, weights[i % weights.len()])
+                })
+                .collect();
+            let borrowed: Vec<(&[f64], f64)> =
+                batch.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
+            let honest: Vec<(&[f64], f64)> = borrowed
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !byzantine.contains(i))
+                .map(|(_, u)| *u)
+                .collect();
+            let mut honest_mean = Vec::new();
+            federated_average_into(honest.iter().copied(), &mut honest_mean)
+                .map_err(|e| e.to_string())?;
+            let mut scratch = AggregationScratch::new();
+            // Skip FedAvg (index 0): the whole point is that it cannot survive this.
+            for rule in aggregation_rules(f).into_iter().skip(1) {
+                let mut out = Vec::new();
+                let screened = rule
+                    .aggregate_with(&borrowed, &mut out, &mut scratch)
+                    .map_err(|e| e.to_string())?;
+                let caught: std::collections::BTreeSet<usize> =
+                    screened.quarantined.iter().map(|q| q.index).collect();
+                ensure(caught == byzantine, || {
+                    format!(
+                        "{}: quarantined {caught:?}, expected the Byzantine set \
+                         {byzantine:?} (n={n}, f={f})",
+                        rule.name()
+                    )
+                })?;
+                for (d, (x, y)) in out.iter().zip(&honest_mean).enumerate() {
+                    ensure(x.to_bits() == y.to_bits(), || {
+                        format!(
+                            "{}: coordinate {d} missed the honest mean: {x} vs {y}",
+                            rule.name()
+                        )
+                    })?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
